@@ -1,0 +1,252 @@
+//! A ConQuest-style snapshot structure (Chen et al., CoNEXT 2019) — the
+//! related work closest to PrintQueue's time windows (§8 of the paper).
+//!
+//! ConQuest divides time into short snapshot windows and keeps `h` sketches
+//! in rotation: one being written, the older ones read-only. When a packet
+//! *enqueues*, the data plane estimates how much of the current queue
+//! belongs to the packet's own flow by summing that flow's counts over the
+//! snapshots spanning the queue's contents, and can then act (e.g. mark or
+//! drop) if the flow is a heavy contributor.
+//!
+//! The crucial limitation the PrintQueue paper identifies: ConQuest answers
+//! "is *this arriving packet's flow* filling the queue right now?" — a
+//! *forward* query keyed by the arriving packet. It cannot answer the
+//! *reverse* query ("given a victim, who were the culprits?") for an
+//! arbitrary past interval, because snapshots are recycled after roughly
+//! one queue-drain time; holding them longer would need storage linear in
+//! the total traffic. The `ext_conquest` experiment binary demonstrates
+//! both sides quantitatively.
+
+use pq_packet::{FlowId, FlowKey, Nanos};
+use std::collections::HashMap;
+
+/// One snapshot: a count-min sketch over flow bytes.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    /// `rows × width` counters, bytes per flow.
+    counters: Vec<Vec<u64>>,
+    /// Window index this snapshot currently holds (for recycling).
+    window: u64,
+}
+
+impl Snapshot {
+    fn new(rows: usize, width: usize) -> Snapshot {
+        Snapshot {
+            counters: vec![vec![0; width]; rows],
+            window: u64::MAX,
+        }
+    }
+
+    fn clear(&mut self, window: u64) {
+        for row in &mut self.counters {
+            row.fill(0);
+        }
+        self.window = window;
+    }
+
+    fn index(sig: u32, row: usize, width: usize) -> usize {
+        let mixed = sig
+            .wrapping_mul(0x9e37_79b9u32.wrapping_add(0xc2b2_ae35u32.wrapping_mul(row as u32 + 1)))
+            .rotate_left(row as u32 * 5 + 3);
+        mixed as usize % width
+    }
+
+    fn add(&mut self, sig: u32, bytes: u64) {
+        let width = self.counters[0].len();
+        for (row, counters) in self.counters.iter_mut().enumerate() {
+            counters[Self::index(sig, row, width)] += bytes;
+        }
+    }
+
+    fn estimate(&self, sig: u32) -> u64 {
+        let width = self.counters[0].len();
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(row, counters)| counters[Self::index(sig, row, width)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// The rotating snapshot set.
+#[derive(Debug, Clone)]
+pub struct ConQuest {
+    snapshots: Vec<Snapshot>,
+    /// Snapshot window length in nanoseconds (≈ queue drain time / h in
+    /// the ConQuest paper).
+    window_ns: Nanos,
+}
+
+impl ConQuest {
+    /// Build with `h` snapshots of `rows × width` counters each, rotating
+    /// every `window_ns`.
+    pub fn new(h: usize, rows: usize, width: usize, window_ns: Nanos) -> ConQuest {
+        assert!(h >= 2 && rows >= 1 && width >= 1 && window_ns >= 1);
+        ConQuest {
+            snapshots: (0..h).map(|_| Snapshot::new(rows, width)).collect(),
+            window_ns,
+        }
+    }
+
+    /// The ConQuest paper's typical configuration: 4 snapshots of 2×2048
+    /// counters.
+    pub fn paper_typical(window_ns: Nanos) -> ConQuest {
+        ConQuest::new(4, 2, 2048, window_ns)
+    }
+
+    fn slot(&self, window: u64) -> usize {
+        (window % self.snapshots.len() as u64) as usize
+    }
+
+    /// Record an *enqueueing* packet into the current snapshot.
+    pub fn on_enqueue(&mut self, key: &FlowKey, bytes: u32, now: Nanos) {
+        let window = now / self.window_ns;
+        let slot = self.slot(window);
+        if self.snapshots[slot].window != window {
+            // Recycle: the oldest snapshot becomes the new write window —
+            // its previous contents are *gone*, which is exactly why
+            // after-the-fact victim queries are impossible.
+            self.snapshots[slot].clear(window);
+        }
+        self.snapshots[slot].add(key.signature(), u64::from(bytes));
+    }
+
+    /// The forward query ConQuest is built for: at time `now`, how many
+    /// bytes of the last `span_ns` of arrivals belong to `key`'s flow?
+    /// (The data plane compares this against the queue depth to decide if
+    /// the flow is a main contributor.)
+    pub fn flow_bytes_in_queue(&self, key: &FlowKey, now: Nanos, span_ns: Nanos) -> u64 {
+        let sig = key.signature();
+        let newest = now / self.window_ns;
+        let windows_back = span_ns.div_ceil(self.window_ns);
+        let usable = (self.snapshots.len() as u64).min(windows_back + 1);
+        (0..usable)
+            .filter_map(|back| {
+                let window = newest.checked_sub(back)?;
+                let snap = &self.snapshots[self.slot(window)];
+                (snap.window == window).then(|| snap.estimate(sig))
+            })
+            .sum()
+    }
+
+    /// Attempted *reverse* query for a past interval `[from, to]` (what
+    /// PrintQueue's time windows answer): per-flow byte estimates from
+    /// whatever snapshots still cover the interval. For intervals older
+    /// than `h × window_ns` this returns nothing — the demonstration of the
+    /// §8 limitation ("ConQuest would need offline storage space linear to
+    /// the total packets" to support it).
+    pub fn reverse_query(
+        &self,
+        candidates: &[(FlowId, FlowKey)],
+        from: Nanos,
+        to: Nanos,
+    ) -> HashMap<FlowId, u64> {
+        let mut out = HashMap::new();
+        let first_window = from / self.window_ns;
+        let last_window = to / self.window_ns;
+        for window in first_window..=last_window {
+            let snap = &self.snapshots[self.slot(window)];
+            if snap.window != window {
+                continue; // recycled — data lost
+            }
+            for (id, key) in candidates {
+                let est = snap.estimate(key.signature());
+                if est > 0 {
+                    *out.entry(*id).or_insert(0) += est;
+                }
+            }
+        }
+        out
+    }
+
+    /// How far back (ns) reverse queries can possibly reach.
+    pub fn history_horizon(&self) -> Nanos {
+        self.snapshots.len() as Nanos * self.window_ns
+    }
+
+    /// SRAM bytes (4 B counters).
+    pub fn sram_bytes(&self) -> u64 {
+        self.snapshots
+            .iter()
+            .map(|s| (s.counters.len() * s.counters[0].len()) as u64 * 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::ipv4::Address;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey::tcp(
+            Address::new(10, 7, (n / 250) as u8, (n % 250) as u8 + 1),
+            3_000 + n,
+            Address::new(10, 200, 0, 3),
+            80,
+        )
+    }
+
+    #[test]
+    fn forward_query_sees_recent_arrivals() {
+        let mut cq = ConQuest::new(4, 2, 512, 1_000);
+        for i in 0..10u64 {
+            cq.on_enqueue(&key(1), 100, i * 100); // all within window 0
+        }
+        assert_eq!(cq.flow_bytes_in_queue(&key(1), 999, 999), 1_000);
+        assert_eq!(cq.flow_bytes_in_queue(&key(2), 999, 999), 0);
+    }
+
+    #[test]
+    fn snapshots_rotate_and_recycle() {
+        let mut cq = ConQuest::new(2, 1, 512, 1_000);
+        cq.on_enqueue(&key(1), 100, 500); // window 0
+        cq.on_enqueue(&key(1), 100, 1_500); // window 1
+        cq.on_enqueue(&key(1), 100, 2_500); // window 2 recycles window 0's slot
+        let candidates = [(FlowId(1), key(1))];
+        // Window 0 is gone.
+        assert!(cq.reverse_query(&candidates, 0, 999).is_empty());
+        // Windows 1 and 2 survive.
+        let recent = cq.reverse_query(&candidates, 1_000, 2_999);
+        assert_eq!(recent[&FlowId(1)], 200);
+    }
+
+    #[test]
+    fn reverse_query_beyond_horizon_returns_nothing() {
+        let mut cq = ConQuest::paper_typical(10_000);
+        for w in 0..100u64 {
+            cq.on_enqueue(&key(3), 1_000, w * 10_000 + 5_000);
+        }
+        let candidates = [(FlowId(3), key(3))];
+        let now = 995_000;
+        assert!(now > cq.history_horizon());
+        // A victim whose congestion happened 500 µs ago: unanswerable.
+        let old = cq.reverse_query(&candidates, 100_000, 200_000);
+        assert!(old.is_empty(), "snapshots that old must be recycled");
+        // The recent horizon still answers.
+        let fresh = cq.reverse_query(&candidates, 970_000, 990_000);
+        assert!(!fresh.is_empty());
+    }
+
+    #[test]
+    fn cms_never_underestimates() {
+        let mut cq = ConQuest::new(2, 2, 64, 1_000_000);
+        let mut truth = HashMap::new();
+        for i in 0..500u16 {
+            let f = i % 40;
+            cq.on_enqueue(&key(f), 100, 10);
+            *truth.entry(f).or_insert(0u64) += 100;
+        }
+        for (f, t) in truth {
+            let est = cq.flow_bytes_in_queue(&key(f), 20, 19);
+            assert!(est >= t, "CMS underestimated flow {f}: {est} < {t}");
+        }
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let cq = ConQuest::new(4, 2, 2048, 1_000);
+        assert_eq!(cq.sram_bytes(), 4 * 2 * 2048 * 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! HashPipe heavy-hitter tracking (Sivaraman et al., SOSR 2017).
+//!
+//! d pipelined stages, each a hash-indexed table of `(key, count)` slots.
+//! Every packet is *always inserted* in the first stage; the evicted
+//! `(key, count)` pair then walks the remaining stages, at each one either
+//! merging with a matching key, filling an empty slot, or swapping with the
+//! current occupant when the traveller's count is larger ("track the
+//! minimum"). This keeps heavy hitters resident while mice churn through.
+//!
+//! The PrintQueue evaluation grants HashPipe 4096 slots × 5 stages and
+//! resets it at PrintQueue's set period, prorating interval queries.
+
+use pq_packet::{FlowId, FlowKey};
+use std::collections::HashMap;
+
+/// One table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    key: FlowId,
+    /// The tuple signature used for stage hashing (kept alongside the id so
+    /// hashing does not depend on the intern order).
+    sig: u32,
+    count: u64,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        key: FlowId::NONE,
+        sig: 0,
+        count: 0,
+    };
+
+    fn is_empty(&self) -> bool {
+        self.key.is_none()
+    }
+}
+
+/// The HashPipe sketch.
+#[derive(Debug, Clone)]
+pub struct HashPipe {
+    stages: Vec<Vec<Slot>>,
+    slots_per_stage: usize,
+    /// Packets observed since the last reset.
+    pub packets: u64,
+}
+
+impl HashPipe {
+    /// Build with `stages` stages of `slots_per_stage` slots (the paper's
+    /// comparison uses 5 × 4096).
+    pub fn new(stages: usize, slots_per_stage: usize) -> HashPipe {
+        assert!(stages >= 1 && slots_per_stage >= 1);
+        HashPipe {
+            stages: vec![vec![Slot::EMPTY; slots_per_stage]; stages],
+            slots_per_stage,
+            packets: 0,
+        }
+    }
+
+    /// Per-stage hash: mix the flow signature with a per-stage constant.
+    fn index(&self, sig: u32, stage: usize) -> usize {
+        // Distinct odd multipliers per stage decorrelate the stages.
+        let mixed = sig
+            .wrapping_mul(0x9e37_79b9u32.wrapping_add(0x85eb_ca6bu32.wrapping_mul(stage as u32)))
+            .rotate_left(stage as u32 * 7 + 1);
+        (mixed as usize) % self.slots_per_stage
+    }
+
+    /// Record one packet of `flow` (with tuple `key` for hashing).
+    pub fn record(&mut self, flow: FlowId, key: &FlowKey) {
+        self.packets += 1;
+        let sig = key.signature();
+
+        // Stage 0: always insert.
+        let idx = self.index(sig, 0);
+        let slot = &mut self.stages[0][idx];
+        if slot.key == flow {
+            slot.count += 1;
+            return;
+        }
+        let mut traveller = Slot {
+            key: flow,
+            sig,
+            count: 1,
+        };
+        if slot.is_empty() {
+            *slot = traveller;
+            return;
+        }
+        std::mem::swap(slot, &mut traveller);
+
+        // Later stages: merge, fill, or swap-if-larger.
+        for stage in 1..self.stages.len() {
+            let idx = self.index(traveller.sig, stage);
+            let slot = &mut self.stages[stage][idx];
+            if slot.key == traveller.key {
+                slot.count += traveller.count;
+                return;
+            }
+            if slot.is_empty() {
+                *slot = traveller;
+                return;
+            }
+            if traveller.count > slot.count {
+                std::mem::swap(slot, &mut traveller);
+            }
+        }
+        // Evicted from the last stage: the traveller's count is lost.
+    }
+
+    /// Control-plane readout: per-flow packet counts, summing duplicates
+    /// across stages.
+    pub fn counts(&self) -> HashMap<FlowId, u64> {
+        let mut out = HashMap::new();
+        for stage in &self.stages {
+            for slot in stage {
+                if !slot.is_empty() {
+                    *out.entry(slot.key).or_insert(0) += slot.count;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reset all stages (the fixed-interval collection boundary).
+    pub fn reset(&mut self) {
+        for stage in &mut self.stages {
+            stage.fill(Slot::EMPTY);
+        }
+        self.packets = 0;
+    }
+
+    /// SRAM bytes of the primary structure: each slot stores a 32-bit key
+    /// and a 32-bit count.
+    pub fn sram_bytes(&self) -> u64 {
+        (self.stages.len() * self.slots_per_stage) as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::ipv4::Address;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey::tcp(
+            Address::new(10, 0, (n / 250) as u8, (n % 250) as u8 + 1),
+            1000 + n,
+            Address::new(10, 1, 0, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn single_flow_counted_exactly() {
+        let mut hp = HashPipe::new(5, 64);
+        let k = key(1);
+        for _ in 0..100 {
+            hp.record(FlowId(1), &k);
+        }
+        assert_eq!(hp.counts()[&FlowId(1)], 100);
+    }
+
+    #[test]
+    fn few_flows_all_tracked() {
+        let mut hp = HashPipe::new(5, 256);
+        for round in 0..50 {
+            for f in 0..10u16 {
+                let _ = round;
+                hp.record(FlowId(u32::from(f)), &key(f));
+            }
+        }
+        let counts = hp.counts();
+        for f in 0..10u16 {
+            assert_eq!(counts[&FlowId(u32::from(f))], 50, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_survive_crowding() {
+        // 2 heavy flows (10k pkts) among 2000 mice (1 pkt each), with only
+        // 2×64 slots: the heavies must retain large counts.
+        let mut hp = HashPipe::new(2, 64);
+        for i in 0..10_000 {
+            hp.record(FlowId(0), &key(0));
+            hp.record(FlowId(1), &key(1));
+            if i < 2000 {
+                hp.record(FlowId(100 + i), &key(100 + i as u16));
+            }
+        }
+        let counts = hp.counts();
+        assert!(counts.get(&FlowId(0)).copied().unwrap_or(0) > 5_000);
+        assert!(counts.get(&FlowId(1)).copied().unwrap_or(0) > 5_000);
+    }
+
+    #[test]
+    fn counts_never_exceed_truth_per_flow() {
+        // HashPipe can undercount (evictions) but a flow's total must not
+        // exceed its true packet count.
+        let mut hp = HashPipe::new(3, 32);
+        let mut truth = HashMap::new();
+        for i in 0..5_000u32 {
+            let f = i % 97;
+            hp.record(FlowId(f), &key(f as u16));
+            *truth.entry(FlowId(f)).or_insert(0u64) += 1;
+        }
+        for (flow, est) in hp.counts() {
+            assert!(
+                est <= truth[&flow],
+                "flow {flow} overcounted: {est} > {}",
+                truth[&flow]
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut hp = HashPipe::new(2, 16);
+        hp.record(FlowId(1), &key(1));
+        hp.reset();
+        assert!(hp.counts().is_empty());
+        assert_eq!(hp.packets, 0);
+    }
+
+    #[test]
+    fn sram_matches_parameters() {
+        let hp = HashPipe::new(5, 4096);
+        assert_eq!(hp.sram_bytes(), 5 * 4096 * 8);
+    }
+}

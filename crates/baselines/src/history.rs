@@ -1,0 +1,282 @@
+//! NetSight-style packet histories (Handigol et al., NSDI 2014) — the full
+//! version of the linear-storage class the paper compares against in
+//! Figure 14(a).
+//!
+//! NetSight has every switch emit a *postcard* per packet (truncated
+//! header + switch/port/version info); a collector assembles each packet's
+//! postcards into its *packet history* and answers filter queries over
+//! them. Storage is strictly linear in traffic volume — complete fidelity,
+//! at a cost PrintQueue's evaluation shows is orders of magnitude higher
+//! for long timescales.
+//!
+//! The model here keeps the pieces PrintQueue's comparison cares about:
+//! per-packet postcards with queue metadata, per-flow history assembly,
+//! and time/flow/port-filtered queries (a simplified packet-history filter,
+//! without the regex path language).
+
+use pq_packet::{FlowId, Nanos};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One postcard: what a NetSight-instrumented switch mails the collector
+/// for every packet it forwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Postcard {
+    /// Emitting switch.
+    pub switch: u32,
+    /// Egress port.
+    pub port: u16,
+    /// The packet's flow.
+    pub flow: FlowId,
+    /// Packet sequence number (stands in for the header hash NetSight uses
+    /// to correlate postcards of one packet).
+    pub packet: u64,
+    /// Dequeue timestamp at this hop.
+    pub deq_timestamp: Nanos,
+    /// Queueing delay at this hop.
+    pub queue_delay: u32,
+}
+
+/// Bytes per postcard on the wire (NetSight compresses to ~tens of bytes;
+/// 40 B is the figure the storage comparison uses).
+pub const POSTCARD_BYTES: u64 = 40;
+
+/// A filter over packet histories (conjunctive; `None` = wildcard).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistoryFilter {
+    pub flow: Option<FlowId>,
+    pub switch: Option<u32>,
+    pub port: Option<u16>,
+    /// Dequeue-time window (inclusive).
+    pub from: Option<Nanos>,
+    pub to: Option<Nanos>,
+    /// Only hops that queued at least this long.
+    pub min_queue_delay: Option<u32>,
+}
+
+impl HistoryFilter {
+    fn matches(&self, p: &Postcard) -> bool {
+        self.flow.is_none_or(|f| p.flow == f)
+            && self.switch.is_none_or(|s| p.switch == s)
+            && self.port.is_none_or(|q| p.port == q)
+            && self.from.is_none_or(|t| p.deq_timestamp >= t)
+            && self.to.is_none_or(|t| p.deq_timestamp <= t)
+            && self.min_queue_delay.is_none_or(|d| p.queue_delay >= d)
+    }
+}
+
+/// The collector: stores every postcard and assembles packet histories.
+#[derive(Debug, Default)]
+pub struct HistoryCollector {
+    postcards: Vec<Postcard>,
+}
+
+impl HistoryCollector {
+    /// An empty collector.
+    pub fn new() -> HistoryCollector {
+        HistoryCollector::default()
+    }
+
+    /// Ingest one postcard.
+    pub fn ingest(&mut self, postcard: Postcard) {
+        self.postcards.push(postcard);
+    }
+
+    /// Number of stored postcards.
+    pub fn len(&self) -> usize {
+        self.postcards.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.postcards.is_empty()
+    }
+
+    /// Total collector storage in bytes — the linear cost of Figure 14(a).
+    pub fn storage_bytes(&self) -> u64 {
+        self.postcards.len() as u64 * POSTCARD_BYTES
+    }
+
+    /// All postcards matching a filter, in ingest order.
+    pub fn query(&self, filter: &HistoryFilter) -> Vec<Postcard> {
+        self.postcards
+            .iter()
+            .filter(|p| filter.matches(p))
+            .copied()
+            .collect()
+    }
+
+    /// Assemble one packet's full history (its postcards across switches,
+    /// ordered by time) — NetSight's core primitive.
+    pub fn packet_history(&self, packet: u64) -> Vec<Postcard> {
+        let mut history: Vec<Postcard> = self
+            .postcards
+            .iter()
+            .filter(|p| p.packet == packet)
+            .copied()
+            .collect();
+        history.sort_by_key(|p| p.deq_timestamp);
+        history
+    }
+
+    /// Per-flow packet counts over a dequeue-time window at one switch/port
+    /// — the *exact* answer PrintQueue approximates, at linear cost.
+    pub fn flow_counts(
+        &self,
+        switch: u32,
+        port: u16,
+        from: Nanos,
+        to: Nanos,
+    ) -> HashMap<FlowId, u64> {
+        let mut counts = HashMap::new();
+        let filter = HistoryFilter {
+            switch: Some(switch),
+            port: Some(port),
+            from: Some(from),
+            to: Some(to),
+            ..Default::default()
+        };
+        for p in self.postcards.iter().filter(|p| filter.matches(p)) {
+            *counts.entry(p.flow).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Drop postcards older than `horizon` (bounded-retention deployment).
+    pub fn expire_before(&mut self, horizon: Nanos) {
+        self.postcards.retain(|p| p.deq_timestamp >= horizon);
+    }
+}
+
+/// A switch-side hook emitting postcards into a collector. (In NetSight the
+/// collector is a separate server; sharing memory here only removes the
+/// transport, not the cost accounting.)
+#[derive(Debug)]
+pub struct PostcardEmitter {
+    /// This switch's id in the postcards.
+    pub switch: u32,
+    /// The collected mail.
+    pub collector: HistoryCollector,
+}
+
+impl PostcardEmitter {
+    /// Emit postcards as switch `switch`.
+    pub fn new(switch: u32) -> PostcardEmitter {
+        PostcardEmitter {
+            switch,
+            collector: HistoryCollector::new(),
+        }
+    }
+}
+
+impl pq_switch::QueueHooks for PostcardEmitter {
+    fn on_dequeue(
+        &mut self,
+        pkt: &pq_packet::SimPacket,
+        port: u16,
+        _depth_after: u32,
+        now: Nanos,
+    ) {
+        self.collector.ingest(Postcard {
+            switch: self.switch,
+            port,
+            flow: pkt.flow,
+            packet: pkt.seqno,
+            deq_timestamp: now,
+            queue_delay: pkt.meta.deq_timedelta,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn card(switch: u32, flow: u32, packet: u64, deq: Nanos, delay: u32) -> Postcard {
+        Postcard {
+            switch,
+            port: 0,
+            flow: FlowId(flow),
+            packet,
+            deq_timestamp: deq,
+            queue_delay: delay,
+        }
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let mut c = HistoryCollector::new();
+        c.ingest(card(1, 10, 0, 100, 5));
+        c.ingest(card(1, 11, 1, 200, 50));
+        c.ingest(card(2, 10, 2, 300, 5));
+        let hits = c.query(&HistoryFilter {
+            switch: Some(1),
+            flow: Some(FlowId(10)),
+            ..Default::default()
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].packet, 0);
+        // Delay filter.
+        let slow = c.query(&HistoryFilter {
+            min_queue_delay: Some(10),
+            ..Default::default()
+        });
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].flow, FlowId(11));
+    }
+
+    #[test]
+    fn packet_history_spans_switches_in_time_order() {
+        let mut c = HistoryCollector::new();
+        c.ingest(card(2, 7, 42, 500, 0)); // later hop ingested first
+        c.ingest(card(1, 7, 42, 100, 0));
+        c.ingest(card(1, 7, 43, 100, 0)); // different packet
+        let history = c.packet_history(42);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].switch, 1);
+        assert_eq!(history[1].switch, 2);
+    }
+
+    #[test]
+    fn flow_counts_are_exact() {
+        let mut c = HistoryCollector::new();
+        for i in 0..100u64 {
+            c.ingest(card(1, (i % 4) as u32, i, i * 10, 0));
+        }
+        let counts = c.flow_counts(1, 0, 100, 499); // packets 10..=49
+        assert_eq!(counts.values().sum::<u64>(), 40);
+        assert_eq!(counts[&FlowId(0)], 10);
+    }
+
+    #[test]
+    fn storage_is_linear() {
+        let mut c = HistoryCollector::new();
+        for i in 0..1_000u64 {
+            c.ingest(card(1, 0, i, i, 0));
+        }
+        assert_eq!(c.storage_bytes(), 1_000 * POSTCARD_BYTES);
+        c.expire_before(500);
+        assert_eq!(c.len(), 500);
+    }
+
+    #[test]
+    fn emitter_hook_builds_histories_from_a_switch_run() {
+        use pq_packet::{FlowId, SimPacket};
+        use pq_switch::{Arrival, QueueHooks, Switch, SwitchConfig};
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+        let mut emitter = PostcardEmitter::new(7);
+        let arrivals: Vec<Arrival> = (0..50u64)
+            .map(|i| Arrival::new(SimPacket::new(FlowId((i % 2) as u32), 1500, i * 500), 0))
+            .collect();
+        {
+            let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut emitter];
+            sw.run(arrivals, &mut hooks, 0);
+        }
+        assert_eq!(emitter.collector.len(), 50);
+        let counts = emitter.collector.flow_counts(7, 0, 0, u64::MAX);
+        assert_eq!(counts[&FlowId(0)], 25);
+        assert_eq!(counts[&FlowId(1)], 25);
+        // Every packet's one-hop history is intact.
+        assert_eq!(emitter.collector.packet_history(10).len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baselines the PrintQueue paper compares against (§7.1, Table 2,
+//! Figures 10–11 and 14a).
+//!
+//! * [`hashpipe`] — HashPipe (Sivaraman et al., SOSR 2017): a pipeline of
+//!   d hash-indexed stages tracking heavy hitters entirely in the data
+//!   plane.
+//! * [`flowradar`] — FlowRadar (Li et al., NSDI 2016): an encoded flowset
+//!   (Bloom filter + counting table) decoded in the control plane.
+//! * [`linear`] — a NetSight/BurstRadar-style per-packet record log, the
+//!   linear-storage comparison of Figure 14(a).
+//! * [`prorate`] — the fixed-interval query adapter the paper grants the
+//!   baselines: both reset at PrintQueue's set period, and interval queries
+//!   prorate their counts by `interval / period`.
+//!
+//! Both flow-measurement baselines are implemented from their papers at the
+//! resource parity the PrintQueue evaluation grants them: "4096 register
+//! entries in each of five stages".
+
+pub mod conquest;
+pub mod flowradar;
+pub mod history;
+pub mod hashpipe;
+pub mod linear;
+pub mod prorate;
+
+pub use conquest::ConQuest;
+pub use flowradar::FlowRadar;
+pub use history::{HistoryCollector, HistoryFilter, Postcard, PostcardEmitter};
+pub use hashpipe::HashPipe;
+pub use linear::LinearStore;
+pub use prorate::ProratedQuerier;

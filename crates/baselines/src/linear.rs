@@ -1,0 +1,107 @@
+//! A linear-storage per-packet log, modelling NetSight / BurstRadar-style
+//! telemetry collection for the storage comparison of Figure 14(a).
+//!
+//! Systems in this class export one fixed-size record per packet (NetSight
+//! a postcard, BurstRadar a ring-buffer snapshot entry). Storage therefore
+//! grows linearly with packets — accurate, but orders of magnitude more
+//! expensive than PrintQueue's exponential compression over long spans.
+
+use pq_packet::{FlowId, Nanos};
+use std::collections::HashMap;
+
+/// One exported record. 16 bytes on the wire: 4 B flow signature, 8 B
+/// dequeue timestamp, 4 B metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearRecord {
+    pub flow: FlowId,
+    pub deq_ts: Nanos,
+}
+
+/// Bytes each exported record occupies.
+pub const RECORD_BYTES: u64 = 16;
+
+/// The per-packet log.
+#[derive(Debug, Clone, Default)]
+pub struct LinearStore {
+    records: Vec<LinearRecord>,
+}
+
+impl LinearStore {
+    /// An empty store.
+    pub fn new() -> LinearStore {
+        LinearStore::default()
+    }
+
+    /// Log one dequeued packet.
+    pub fn record(&mut self, flow: FlowId, deq_ts: Nanos) {
+        self.records.push(LinearRecord { flow, deq_ts });
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Exact per-flow counts over `[from, to]` — the (expensive) ground
+    /// truth this class of system can answer.
+    pub fn query(&self, from: Nanos, to: Nanos) -> HashMap<FlowId, u64> {
+        let mut out = HashMap::new();
+        for r in &self.records {
+            if (from..=to).contains(&r.deq_ts) {
+                *out.entry(r.flow).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total storage consumed, in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.records.len() as u64 * RECORD_BYTES
+    }
+
+    /// Drop records older than `horizon` (ring-buffer behaviour).
+    pub fn expire_before(&mut self, horizon: Nanos) {
+        self.records.retain(|r| r.deq_ts >= horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_is_exact() {
+        let mut store = LinearStore::new();
+        for t in 0..100u64 {
+            store.record(FlowId((t % 4) as u32), t);
+        }
+        let counts = store.query(10, 49);
+        assert_eq!(counts.values().sum::<u64>(), 40);
+        assert_eq!(counts[&FlowId(0)], 10);
+    }
+
+    #[test]
+    fn storage_grows_linearly() {
+        let mut store = LinearStore::new();
+        for t in 0..1000u64 {
+            store.record(FlowId(0), t);
+        }
+        assert_eq!(store.storage_bytes(), 1000 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn expire_trims_history() {
+        let mut store = LinearStore::new();
+        for t in 0..100u64 {
+            store.record(FlowId(0), t);
+        }
+        store.expire_before(50);
+        assert_eq!(store.len(), 50);
+        assert!(store.query(0, 49).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! The fixed-interval query adapter the paper grants the baselines.
+//!
+//! HashPipe and FlowRadar "are only queryable on the granularity of a reset
+//! period. We, therefore, improve their estimations by prorating packet
+//! counts using a multiplier equal to the length of the query interval over
+//! the length of the total period" (§7.1). This module implements that
+//! adapter: it stores per-period per-flow counts (one entry per reset) and
+//! answers interval queries by scaling each overlapped period's counts by
+//! the overlap fraction.
+
+use pq_packet::{FlowId, Nanos};
+use std::collections::HashMap;
+
+/// Per-flow counts for one collection period.
+#[derive(Debug, Clone)]
+pub struct PeriodCounts {
+    /// Period start (inclusive).
+    pub from: Nanos,
+    /// Period end (exclusive).
+    pub to: Nanos,
+    /// Flow → packets collected during the period.
+    pub counts: HashMap<FlowId, u64>,
+}
+
+/// Stores one period of counts per reset and prorates interval queries.
+#[derive(Debug, Clone, Default)]
+pub struct ProratedQuerier {
+    periods: Vec<PeriodCounts>,
+}
+
+impl ProratedQuerier {
+    /// An empty querier.
+    pub fn new() -> ProratedQuerier {
+        ProratedQuerier::default()
+    }
+
+    /// Store the counts collected over `[from, to)` (called at each reset).
+    pub fn push_period(&mut self, from: Nanos, to: Nanos, counts: HashMap<FlowId, u64>) {
+        debug_assert!(from < to, "empty period");
+        self.periods.push(PeriodCounts { from, to, counts });
+    }
+
+    /// Number of stored periods.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True when no periods are stored.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Prorated per-flow estimate over `[from, to]`.
+    pub fn query(&self, from: Nanos, to: Nanos) -> HashMap<FlowId, f64> {
+        let mut out: HashMap<FlowId, f64> = HashMap::new();
+        for period in &self.periods {
+            let ov_from = from.max(period.from);
+            let ov_to = to.min(period.to.saturating_sub(1));
+            if ov_from > ov_to {
+                continue;
+            }
+            // Inclusive overlap length against the period's span.
+            let overlap = (ov_to - ov_from + 1) as f64;
+            let span = (period.to - period.from) as f64;
+            let fraction = (overlap / span).min(1.0);
+            for (flow, n) in &period.counts {
+                *out.entry(*flow).or_insert(0.0) += *n as f64 * fraction;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, u64)]) -> HashMap<FlowId, u64> {
+        pairs.iter().map(|(f, n)| (FlowId(*f), *n)).collect()
+    }
+
+    #[test]
+    fn full_period_query_returns_full_counts() {
+        let mut q = ProratedQuerier::new();
+        q.push_period(0, 100, counts(&[(1, 50), (2, 10)]));
+        let est = q.query(0, 99);
+        assert!((est[&FlowId(1)] - 50.0).abs() < 1e-9);
+        assert!((est[&FlowId(2)] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_period_query_prorates_by_half() {
+        let mut q = ProratedQuerier::new();
+        q.push_period(0, 100, counts(&[(1, 50)]));
+        let est = q.query(0, 49);
+        assert!((est[&FlowId(1)] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_spanning_periods_sums_parts() {
+        let mut q = ProratedQuerier::new();
+        q.push_period(0, 100, counts(&[(1, 100)]));
+        q.push_period(100, 200, counts(&[(1, 200)]));
+        // [50, 149]: half of each period.
+        let est = q.query(50, 149);
+        assert!((est[&FlowId(1)] - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_query_returns_empty() {
+        let mut q = ProratedQuerier::new();
+        q.push_period(0, 100, counts(&[(1, 5)]));
+        assert!(q.query(200, 300).is_empty());
+    }
+
+    #[test]
+    fn tiny_interval_gets_tiny_share() {
+        // The §7.1 point: a microsecond-scale victim interval inside a long
+        // period gets a vanishing share — which "can greatly over- or
+        // under-estimate reality".
+        let mut q = ProratedQuerier::new();
+        q.push_period(0, 1_000_000, counts(&[(1, 1_000_000)]));
+        let est = q.query(500, 509);
+        assert!((est[&FlowId(1)] - 10.0).abs() < 1e-6);
+    }
+}

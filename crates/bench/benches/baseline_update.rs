@@ -1,0 +1,67 @@
+//! Baseline data-plane update costs, for context next to `per_packet.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pq_baselines::{FlowRadar, HashPipe, LinearStore};
+use pq_packet::ipv4::Address;
+use pq_packet::{FlowId, FlowKey};
+
+fn keys(n: u16) -> Vec<FlowKey> {
+    (0..n)
+        .map(|i| {
+            FlowKey::tcp(
+                Address::new(10, (i / 250) as u8, (i % 250) as u8, 1),
+                1024 + i,
+                Address::new(10, 200, 0, 1),
+                80,
+            )
+        })
+        .collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let keys = keys(2048);
+    let mut group = c.benchmark_group("baseline_record");
+    group.throughput(Throughput::Elements(1));
+
+    let mut hp = HashPipe::new(5, 4096);
+    let mut i = 0usize;
+    group.bench_function("hashpipe", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            hp.record(black_box(FlowId(i as u32)), black_box(&keys[i]));
+        })
+    });
+
+    let mut fr = FlowRadar::paper_parity();
+    let mut j = 0usize;
+    group.bench_function("flowradar", |b| {
+        b.iter(|| {
+            j = (j + 1) % keys.len();
+            fr.record(black_box(FlowId(j as u32)), black_box(&keys[j]));
+        })
+    });
+
+    let mut linear = LinearStore::new();
+    let mut ts = 0u64;
+    group.bench_function("linear_store", |b| {
+        b.iter(|| {
+            ts += 110;
+            linear.record(black_box(FlowId((ts % 2048) as u32)), black_box(ts));
+        })
+    });
+    group.finish();
+
+    // FlowRadar decode cost, the control-plane side.
+    let mut group = c.benchmark_group("flowradar_decode");
+    let mut fr = FlowRadar::paper_parity();
+    for (i, key) in keys.iter().take(900).enumerate() {
+        for _ in 0..3 {
+            fr.record(FlowId(i as u32), key);
+        }
+    }
+    group.bench_function("decode_900_flows", |b| b.iter(|| black_box(fr.decode())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Analysis-program query throughput.
+//!
+//! §7.1: "Our Python analysis program front end can execute ~100 queries
+//! per second." This bench measures the Rust analysis program's query rate
+//! against a realistic checkpoint store (the reproduction is typically
+//! several orders of magnitude faster — recorded in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pq_core::control::{AnalysisProgram, ControlConfig};
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::FlowId;
+
+/// Build an analysis program with several populated checkpoints.
+fn populated_program(tw: TimeWindowConfig) -> AnalysisProgram {
+    let mut ap = AnalysisProgram::new(
+        tw,
+        ControlConfig::per_set_period(&tw, 64),
+        &[0],
+        32 * 1024,
+        1,
+        110,
+    );
+    let set_period = tw.set_period();
+    let mut ts = 0u64;
+    for poll in 1..=6u64 {
+        while ts < poll * set_period {
+            ap.record_dequeue(0, FlowId((ts % 2048) as u32), ts);
+            ts += 110;
+        }
+        ap.on_tick(poll * set_period);
+    }
+    ap
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tw = TimeWindowConfig::UW;
+    let ap = populated_program(tw);
+    let set_period = tw.set_period();
+
+    let mut group = c.benchmark_group("analysis_queries");
+    group.throughput(Throughput::Elements(1));
+
+    // A microburst-scale victim interval (~100 µs) in recent history.
+    group.bench_function("short_interval", |b| {
+        let from = 5 * set_period + 1_000_000;
+        b.iter(|| {
+            black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 100_000)))
+        })
+    });
+
+    // A deep-queue victim interval (~1.3 ms).
+    group.bench_function("long_interval", |b| {
+        let from = 4 * set_period + 500_000;
+        b.iter(|| {
+            black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 1_300_000)))
+        })
+    });
+
+    // A whole-regime indirect-culprit query spanning checkpoints.
+    group.bench_function("regime_interval", |b| {
+        b.iter(|| {
+            black_box(
+                ap.query_time_windows(0, QueryInterval::new(set_period, 4 * set_period)),
+            )
+        })
+    });
+
+    // Queue-monitor original-culprit query.
+    group.bench_function("queue_monitor", |b| {
+        b.iter(|| {
+            let snap = ap.query_queue_monitor(0, 3 * set_period).unwrap();
+            black_box(snap.original_culprits())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

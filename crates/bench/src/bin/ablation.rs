@@ -1,0 +1,129 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **Passing rule** (Algorithm 1): with passing disabled, every eviction
+//!    drops, so deep windows stay empty and long-interval recall collapses.
+//! 2. **Coefficient recovery** (Algorithm 2): with unit coefficients, deep-
+//!    window observations are not scaled back up, collapsing recall for
+//!    compressed history.
+//!
+//! Each ablation runs the UW workload and reports overall AQ accuracy.
+
+use pq_bench::eval::{per_bucket, victim_truth, QueryAccuracy};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::{sample_victims, Victim, DEPTH_BUCKETS};
+use pq_core::coefficient::Coefficients;
+use pq_core::metrics;
+use pq_core::params::TimeWindowConfig;
+use pq_core::printqueue::{PrintQueue, PrintQueueConfig};
+use pq_core::snapshot::QueryInterval;
+use pq_packet::NanosExt;
+use pq_switch::{QueueHooks, Switch, SwitchConfig, TelemetrySink};
+use pq_trace::workload::{GeneratedTrace, Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: &'static str,
+    bucket: &'static str,
+    precision: f64,
+    recall: f64,
+}
+
+/// Run with an optionally ablated PrintQueue and evaluate AQ accuracy.
+fn run_variant(
+    trace: &GeneratedTrace,
+    tw: TimeWindowConfig,
+    ablate_passing: bool,
+    unit_coeffs: bool,
+    seed: u64,
+    per_bucket_n: usize,
+) -> Vec<QueryAccuracy> {
+    let mut pq_config = PrintQueueConfig::single_port(tw, 110);
+    pq_config.ablate_passing = ablate_passing;
+    let mut printqueue = PrintQueue::new(pq_config);
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut printqueue, &mut sink];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    let mut out = pq_bench::harness::RunOutput {
+        printqueue,
+        baselines: None,
+        truth: pq_core::culprits::GroundTruth::new(&sink.records, 80),
+        drops: sink.drops,
+        end_time: sw.now(),
+        transmitted: sw.port_stats(0).dequeued,
+    };
+    let victims: Vec<Victim> = sample_victims(&out.truth, per_bucket_n, seed);
+    let coeffs = if unit_coeffs {
+        Coefficients {
+            coefficient: vec![1.0; usize::from(tw.t)],
+            z: vec![1.0; usize::from(tw.t)],
+        }
+    } else {
+        out.printqueue.analysis().coefficients().clone()
+    };
+    victims
+        .iter()
+        .map(|v| {
+            let truth = victim_truth(&out, v);
+            let interval =
+                QueryInterval::new(v.record.meta.enq_timestamp, v.record.deq_timestamp());
+            let est = out
+                .printqueue
+                .analysis_mut()
+                .query_time_windows_with(0, interval, &coeffs);
+            QueryAccuracy {
+                bucket: v.bucket,
+                pr: metrics::precision_recall(&est.counts, &truth),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let per_bucket_n = if args.quick { 20 } else { 60 };
+    let tw = TimeWindowConfig::UW;
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[ablation] UW: {} packets", trace.packets());
+
+    let variants: [(&'static str, bool, bool); 3] = [
+        ("full PrintQueue", false, false),
+        ("no passing rule", true, false),
+        ("no coefficient recovery", false, true),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "depth(1e3)",
+        "full P/R",
+        "no-pass P/R",
+        "no-coeff P/R",
+    ]);
+    let mut stats = Vec::new();
+    for (name, ablate_passing, unit_coeffs) in variants {
+        let accs = run_variant(&trace, tw, ablate_passing, unit_coeffs, args.seed, per_bucket_n);
+        let bucketed = per_bucket(&accs);
+        for (b, s) in bucketed.iter().enumerate() {
+            rows.push(Row {
+                variant: name,
+                bucket: DEPTH_BUCKETS[b].label,
+                precision: s.mean_precision,
+                recall: s.mean_recall,
+            });
+        }
+        stats.push(bucketed);
+    }
+    for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
+        table.row(vec![
+            bucket.label.to_string(),
+            format!("{}/{}", f3(stats[0][b].mean_precision), f3(stats[0][b].mean_recall)),
+            format!("{}/{}", f3(stats[1][b].mean_precision), f3(stats[1][b].mean_recall)),
+            format!("{}/{}", f3(stats[2][b].mean_precision), f3(stats[2][b].mean_recall)),
+        ]);
+    }
+    table.print("Ablation — AQ accuracy per depth bucket (UW)");
+    write_json("ablation", &rows);
+}

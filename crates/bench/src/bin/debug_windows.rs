@@ -1,0 +1,48 @@
+//! Diagnostic: per-window occupancy and recovery quality inside real
+//! checkpoints (not a paper figure; useful when tuning parameters).
+use pq_bench::harness::{run, RunConfig};
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+
+fn main() {
+    let tw = TimeWindowConfig::new(6, 1, 12, 5);
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, 30u64.millis(), 1).generate();
+    println!(
+        "packets {} offered {:.2} Gbps",
+        trace.packets(),
+        trace.offered_gbps(30u64.millis())
+    );
+    let out = run(&RunConfig::new(tw, 110), &trace);
+    let coeffs = out.printqueue.analysis().coefficients().clone();
+    println!("coefficients: {:?}", coeffs.coefficient);
+    for (ci, cp) in out.printqueue.analysis().checkpoints(0).iter().enumerate() {
+        let mut snap = cp.windows.clone();
+        snap.filter();
+        print!("cp{ci}@{:.1}ms:", cp.frozen_at as f64 / 1e6);
+        for w in snap.occupancy_profile() {
+            let Some((from, to)) = w.span else {
+                print!("  w{}[empty]", w.window);
+                continue;
+            };
+            let truth = out
+                .truth
+                .records()
+                .iter()
+                .filter(|r| (from..to).contains(&r.deq_timestamp()))
+                .count();
+            let est = snap
+                .query_window(w.window, QueryInterval::new(from, to - 1), &coeffs)
+                .total();
+            print!(
+                "  w{}[{:.0}% full {:.1}-{:.1}ms est {est:.0} truth {truth}]",
+                w.window,
+                w.fill * 100.0,
+                from as f64 / 1e6,
+                to as f64 / 1e6
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,111 @@
+//! Extension experiment: predicted vs measured per-window recovery error.
+//!
+//! §4.3 notes the proportional property "only provides an expected value
+//! without any error bounds"; `pq_core::error_bounds` derives the missing
+//! variance from the binomial survival model. This binary validates the
+//! model against simulation: for each window, compare the *predicted*
+//! relative standard error of per-flow recovered counts with the *measured*
+//! relative RMS error over the UW trace.
+
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_core::error_bounds::{min_trustworthy_flow, recovery_bound};
+use pq_core::metrics::FlowCounts;
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    window: u8,
+    flows_measured: usize,
+    predicted_rel_err: f64,
+    measured_rel_rmse: f64,
+    min_trustworthy_flow_25pct: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let tw = TimeWindowConfig::new(6, 1, 12, 5);
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[ext_error_bounds] UW: {} packets", trace.packets());
+    let out = run(&RunConfig::new(tw, 110), &trace);
+    let coeffs = out.printqueue.analysis().coefficients().clone();
+
+    let cps = out.printqueue.analysis().checkpoints(0);
+    let mut table = Table::new(vec![
+        "window",
+        "flows",
+        "predicted σ/n",
+        "measured RMSE/n",
+        "min flow @25% err",
+    ]);
+    let mut rows = Vec::new();
+    for w in 0..tw.t {
+        // Gather per-flow (recovered, truth) pairs across checkpoints.
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for cp in cps {
+            let mut snap = cp.windows.clone();
+            snap.filter();
+            let Some((from, to)) = snap.window_span(w) else { continue };
+            let est = snap.query_window(w, QueryInterval::new(from, to - 1), &coeffs);
+            let mut truth: FlowCounts = FlowCounts::new();
+            for r in out.truth.records() {
+                let d = r.deq_timestamp();
+                if (from..to).contains(&d) {
+                    *truth.entry(r.flow).or_insert(0.0) += 1.0;
+                }
+            }
+            for (flow, n_true) in &truth {
+                // Only medium+ flows: tiny flows have infinite relative
+                // error by design (the bound predicts that too).
+                if *n_true >= 20.0 {
+                    let n_est = est.counts.get(flow).copied().unwrap_or(0.0);
+                    pairs.push((n_est, *n_true));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        // Measured relative RMSE.
+        let mse: f64 = pairs
+            .iter()
+            .map(|(e, t)| ((e - t) / t) * ((e - t) / t))
+            .sum::<f64>()
+            / pairs.len() as f64;
+        let measured = mse.sqrt();
+        // Predicted relative error at the median flow size.
+        let mut truths: Vec<f64> = pairs.iter().map(|(_, t)| *t).collect();
+        truths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_n = truths[truths.len() / 2];
+        let c = coeffs.coefficient[usize::from(w)];
+        let predicted = recovery_bound(&coeffs, w, median_n * c).relative_error;
+        let min_flow = min_trustworthy_flow(&coeffs, w, 0.25);
+
+        table.row(vec![
+            w.to_string(),
+            pairs.len().to_string(),
+            f3(predicted),
+            f3(measured),
+            format!("{min_flow:.0}"),
+        ]);
+        rows.push(Row {
+            window: w,
+            flows_measured: pairs.len(),
+            predicted_rel_err: predicted,
+            measured_rel_rmse: measured,
+            min_trustworthy_flow_25pct: min_flow,
+        });
+    }
+    table.print("Extension — predicted vs measured per-window recovery error (UW)");
+    println!(
+        "\nthe binomial model predicts the *scale* of the error and its growth with\n\
+         window depth; measured error runs above prediction because real arrivals\n\
+         are only near-i.i.d. (the §4.3 caveat)."
+    );
+    write_json("ext_error_bounds", &rows);
+}

@@ -1,0 +1,110 @@
+//! Figure 9: precision and recall versus queue depth, for asynchronous
+//! (AQ) and data-plane (DQ) queries, under the UW, WS, and DM workloads.
+//!
+//! Paper shape to reproduce: DQ accuracy consistently high (>0.9) across
+//! depths; AQ accuracy lower and *increasing* with queue depth (short
+//! intervals risk falling into heavily compressed windows); UW below WS/DM
+//! because it must track ~10× more packets with a larger α.
+
+use pq_bench::eval::{eval_async, eval_dataplane, per_bucket};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::{sample_victims, DEPTH_BUCKETS};
+use pq_core::params::TimeWindowConfig;
+use pq_core::printqueue::DataPlaneTrigger;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FigureRow {
+    workload: &'static str,
+    query: &'static str,
+    bucket: &'static str,
+    samples: usize,
+    precision: f64,
+    recall: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let per_bucket_n = if args.quick { 25 } else { 100 };
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    for kind in [WorkloadKind::Uw, WorkloadKind::Ws, WorkloadKind::Dm] {
+        let (m0, alpha, k, t) = kind.paper_params();
+        let tw = TimeWindowConfig::new(m0, alpha, k, t);
+        // Mean packet interval: 110 ns for UW, ~1200 ns for WS/DM (§7.1).
+        let d = match kind {
+            WorkloadKind::Uw => 110,
+            _ => 1200,
+        };
+        eprintln!(
+            "[fig09] {} trace: {} ms, tw {}, set period {:.2} ms",
+            kind.label(),
+            duration / 1_000_000,
+            tw.label(),
+            tw.set_period() as f64 / 1e6
+        );
+        let trace = Workload::paper_testbed(kind, duration, args.seed).generate();
+        eprintln!(
+            "[fig09] {} packets, {} flows, offered {:.2} Gbps",
+            trace.packets(),
+            trace.flows.len(),
+            trace.offered_gbps(duration)
+        );
+
+        // Asynchronous queries on periodically polled registers.
+        let mut out = run(&RunConfig::new(tw, d), &trace);
+        let victims = sample_victims(&out.truth, per_bucket_n, args.seed);
+        let aq = eval_async(&mut out, &victims);
+        let aq_stats = per_bucket(&aq);
+
+        // Data-plane queries: a depth threshold in the egress pipeline.
+        let trigger = DataPlaneTrigger {
+            min_deq_timedelta: u32::MAX,
+            min_enq_qdepth: 1_000,
+            cooldown: 2u64.millis(),
+        };
+        let mut out_dq = run(&RunConfig::new(tw, d).with_trigger(trigger), &trace);
+        let dq = eval_dataplane(&mut out_dq);
+        let dq_stats = per_bucket(&dq);
+
+        let mut table = Table::new(vec![
+            "depth(1e3)",
+            "AQ n",
+            "AQ precision",
+            "AQ recall",
+            "DQ n",
+            "DQ precision",
+            "DQ recall",
+        ]);
+        for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
+            table.row(vec![
+                bucket.label.to_string(),
+                aq_stats[b].samples.to_string(),
+                f3(aq_stats[b].mean_precision),
+                f3(aq_stats[b].mean_recall),
+                dq_stats[b].samples.to_string(),
+                f3(dq_stats[b].mean_precision),
+                f3(dq_stats[b].mean_recall),
+            ]);
+            for (query, stats) in [("AQ", &aq_stats[b]), ("DQ", &dq_stats[b])] {
+                rows.push(FigureRow {
+                    workload: kind.label(),
+                    query,
+                    bucket: bucket.label,
+                    samples: stats.samples,
+                    precision: stats.mean_precision,
+                    recall: stats.mean_recall,
+                });
+            }
+        }
+        table.print(&format!(
+            "Figure 9 — accuracy vs queue depth, {} trace",
+            kind.label()
+        ));
+    }
+    write_json("fig09_accuracy_vs_depth", &rows);
+}

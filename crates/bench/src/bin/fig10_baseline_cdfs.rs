@@ -1,0 +1,97 @@
+//! Figure 10: CDFs of per-victim precision and recall for PrintQueue,
+//! HashPipe, and FlowRadar under the UW trace, split by query-interval
+//! (queue-depth) class: 1k–5k, 5k–15k, and >15k cells.
+//!
+//! Shape to reproduce: PrintQueue's CDF sits to the right (higher accuracy)
+//! of both baselines in every class, and the baselines track each other.
+
+use pq_bench::eval::{eval_async, eval_baseline, QueryAccuracy};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::sample_victims;
+use pq_core::metrics::cdf_points;
+use pq_core::params::TimeWindowConfig;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+/// Figure 10's coarser depth classes, as bucket-index ranges over
+/// `DEPTH_BUCKETS` (1–2 & 2–5 → "1k–5k", 5–10 & 10–15 → "5k–15k", rest).
+const CLASSES: [(&str, [usize; 2]); 3] =
+    [("1k-5k", [0, 1]), ("5k-15k", [2, 3]), (">15k", [4, 5])];
+
+#[derive(Serialize)]
+struct CdfSeries {
+    class: &'static str,
+    system: &'static str,
+    metric: &'static str,
+    points: Vec<(f64, f64)>,
+}
+
+fn in_class(acc: &QueryAccuracy, class: &[usize; 2]) -> bool {
+    acc.bucket == class[0] || acc.bucket == class[1]
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let per_bucket_n = if args.quick { 25 } else { 100 };
+
+    let tw = TimeWindowConfig::UW;
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[fig10] UW: {} packets", trace.packets());
+    let mut out = run(&RunConfig::new(tw, 110).with_baselines(), &trace);
+    let victims = sample_victims(&out.truth, per_bucket_n, args.seed);
+
+    let pq = eval_async(&mut out, &victims);
+    let baselines = out.baselines.as_ref().expect("baselines attached");
+    let hp = eval_baseline(&out, &baselines.hp_periods, &victims);
+    let fr = eval_baseline(&out, &baselines.fr_periods, &victims);
+
+    let mut series = Vec::new();
+    for (label, class) in CLASSES {
+        let mut table = Table::new(vec!["system", "metric", "p25", "median", "p75"]);
+        for (system, accs) in [("PrintQueue", &pq), ("HashPipe", &hp), ("FlowRadar", &fr)] {
+            for (metric, values) in [
+                (
+                    "precision",
+                    accs.iter()
+                        .filter(|a| in_class(a, &class))
+                        .map(|a| a.pr.precision)
+                        .collect::<Vec<f64>>(),
+                ),
+                (
+                    "recall",
+                    accs.iter()
+                        .filter(|a| in_class(a, &class))
+                        .map(|a| a.pr.recall)
+                        .collect::<Vec<f64>>(),
+                ),
+            ] {
+                let points = cdf_points(&values);
+                let q = |p: f64| -> f64 {
+                    if points.is_empty() {
+                        return 0.0;
+                    }
+                    let idx = ((points.len() as f64 * p) as usize).min(points.len() - 1);
+                    points[idx].0
+                };
+                table.row(vec![
+                    system.to_string(),
+                    metric.to_string(),
+                    f3(q(0.25)),
+                    f3(q(0.5)),
+                    f3(q(0.75)),
+                ]);
+                series.push(CdfSeries {
+                    class: label,
+                    system,
+                    metric,
+                    points,
+                });
+            }
+        }
+        table.print(&format!("Figure 10 — accuracy CDF quartiles, depth {label}"));
+    }
+    write_json("fig10_baseline_cdfs", &series);
+}

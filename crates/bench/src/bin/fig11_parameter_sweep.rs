@@ -1,0 +1,79 @@
+//! Figure 11: PrintQueue versus the baselines under the UW trace with
+//! varying time-window parameters: (α=2,k=12,T=4), (α=2,k=12,T=5), and
+//! (α=3,k=12,T=4). Median accuracy per queue-depth bucket.
+//!
+//! Shape to reproduce: PrintQueue outperforms the baselines at larger
+//! query intervals for every parameter set; its small-interval accuracy
+//! drops as α (or T) grows, because the deepest windows become very coarse
+//! (§7.1: with α=3 a short interval may be estimated from just four cells).
+
+use pq_bench::eval::{eval_async, eval_baseline, per_bucket};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::{sample_victims, DEPTH_BUCKETS};
+use pq_core::params::TimeWindowConfig;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    bucket: &'static str,
+    system: &'static str,
+    median_precision: f64,
+    median_recall: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let per_bucket_n = if args.quick { 25 } else { 100 };
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[fig11] UW: {} packets", trace.packets());
+
+    let configs = [
+        TimeWindowConfig::new(6, 2, 12, 4),
+        TimeWindowConfig::new(6, 2, 12, 5),
+        TimeWindowConfig::new(6, 3, 12, 4),
+    ];
+    let mut rows = Vec::new();
+    for tw in configs {
+        let mut out = run(&RunConfig::new(tw, 110).with_baselines(), &trace);
+        let victims = sample_victims(&out.truth, per_bucket_n, args.seed);
+        let pq = per_bucket(&eval_async(&mut out, &victims));
+        let baselines = out.baselines.as_ref().expect("baselines attached");
+        let hp = per_bucket(&eval_baseline(&out, &baselines.hp_periods, &victims));
+        let fr = per_bucket(&eval_baseline(&out, &baselines.fr_periods, &victims));
+
+        let mut table = Table::new(vec![
+            "depth(1e3)",
+            "PQ P/R",
+            "HP P/R",
+            "FR P/R",
+        ]);
+        for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
+            table.row(vec![
+                bucket.label.to_string(),
+                format!("{}/{}", f3(pq[b].median_precision), f3(pq[b].median_recall)),
+                format!("{}/{}", f3(hp[b].median_precision), f3(hp[b].median_recall)),
+                format!("{}/{}", f3(fr[b].median_precision), f3(fr[b].median_recall)),
+            ]);
+            for (system, stats) in [("PrintQueue", &pq[b]), ("HashPipe", &hp[b]), ("FlowRadar", &fr[b])]
+            {
+                rows.push(Row {
+                    config: tw.label(),
+                    bucket: bucket.label,
+                    system,
+                    median_precision: stats.median_precision,
+                    median_recall: stats.median_recall,
+                });
+            }
+        }
+        table.print(&format!(
+            "Figure 11 — median accuracy, UW trace, α={} k={} T={}",
+            tw.alpha, tw.k, tw.t
+        ));
+    }
+    write_json("fig11_parameter_sweep", &rows);
+}

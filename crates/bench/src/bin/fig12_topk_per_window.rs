@@ -1,0 +1,100 @@
+//! Figure 12: per-window accuracy for Top-K flows under the UW trace
+//! (α=1, k=12, T=5; query interval = the window's full period).
+//!
+//! Shape to reproduce: precision near 1 in window 0 (uncompressed) and
+//! falling with window depth; Top-50/100 stay relatively accurate in deep
+//! windows (heavy flows survive passing preferentially) while Top-500 and
+//! "all flows" collapse as the mice overwhelm the elephants.
+
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_core::metrics::{self, FlowCounts};
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+const TOP_KS: [usize; 5] = [50, 100, 200, 500, usize::MAX];
+
+#[derive(Serialize)]
+struct Row {
+    window: u8,
+    top_k: String,
+    precision: f64,
+    recall: f64,
+}
+
+fn label_of(k: usize) -> String {
+    if k == usize::MAX {
+        "All".to_string()
+    } else {
+        format!("Top {k}")
+    }
+}
+
+fn truth_counts(out: &pq_bench::harness::RunOutput, from: u64, to: u64) -> FlowCounts {
+    let mut counts = FlowCounts::new();
+    for r in out.truth.records() {
+        let d = r.deq_timestamp();
+        if (from..=to).contains(&d) {
+            *counts.entry(r.flow).or_insert(0.0) += 1.0;
+        }
+    }
+    counts
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let tw = TimeWindowConfig::new(6, 1, 12, 5);
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[fig12] UW: {} packets, tw {}", trace.packets(), tw.label());
+    let out = run(&RunConfig::new(tw, 110), &trace);
+    let coeffs = out.printqueue.analysis().coefficients().clone();
+
+    // Use the last checkpoint with data in every window: iterate from the
+    // newest backwards until one has a window-span for the deepest window.
+    let n_checkpoints = out.printqueue.analysis().checkpoints(0).len();
+    assert!(n_checkpoints > 0, "no checkpoints — trace too short?");
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec!["window", "Top50 P/R", "Top100 P/R", "Top200 P/R", "Top500 P/R", "All P/R"]);
+    // Work on a clone of the snapshot so filtering state stays local.
+    let cp_idx = n_checkpoints - 1;
+    let mut snap = out.printqueue.analysis().checkpoints(0)[cp_idx].windows.clone();
+    snap.filter();
+    for w in 0..tw.t {
+        let Some((from, to)) = snap.window_span(w) else {
+            table.row(vec![w.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let interval = QueryInterval::new(from, to.saturating_sub(1));
+        let est = snap.query_window(w, interval, &coeffs);
+        let truth = truth_counts(&out, interval.from, interval.to);
+        let mut cells = vec![w.to_string()];
+        for k in TOP_KS {
+            let est_k = if k == usize::MAX {
+                est.counts.clone()
+            } else {
+                metrics::top_k(&est.counts, k)
+            };
+            let truth_k = if k == usize::MAX {
+                truth.clone()
+            } else {
+                metrics::top_k(&truth, k)
+            };
+            let pr = metrics::precision_recall(&est_k, &truth_k);
+            cells.push(format!("{}/{}", f3(pr.precision), f3(pr.recall)));
+            rows.push(Row {
+                window: w,
+                top_k: label_of(k),
+                precision: pr.precision,
+                recall: pr.recall,
+            });
+        }
+        table.row(cells);
+    }
+    table.print("Figure 12 — Top-K accuracy per individual window (UW, α=1 k=12 T=5)");
+    write_json("fig12_topk_per_window", &rows);
+}

@@ -1,0 +1,75 @@
+//! Figure 13: control-plane storage overhead (MB/s) versus precision and
+//! recall for different (α, k, T) configurations under the UW trace, with
+//! the analysis program's data-exchange limit drawn as a feasibility line.
+//!
+//! Shape to reproduce: larger α or T compresses more aggressively, cutting
+//! the required I/O but also the accuracy; k barely moves either axis for
+//! asynchronous queries.
+
+use pq_bench::eval::{eval_async, overall};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::sample_victims;
+use pq_core::params::TimeWindowConfig;
+use pq_core::resources::{ResourceModel, READ_LIMIT_MBPS};
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    control_mbps: f64,
+    feasible: bool,
+    precision: f64,
+    recall: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let per_bucket_n = if args.quick { 20 } else { 60 };
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
+    eprintln!("[fig13] UW: {} packets", trace.packets());
+
+    // The configurations named in Figure 13 (α_k_T).
+    let configs = [
+        TimeWindowConfig::new(6, 1, 12, 4),
+        TimeWindowConfig::new(6, 2, 12, 4),
+        TimeWindowConfig::new(6, 3, 12, 4),
+        TimeWindowConfig::new(6, 1, 12, 5),
+        TimeWindowConfig::new(6, 2, 12, 5),
+        TimeWindowConfig::new(6, 2, 11, 4),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "config(a_k_T)",
+        "MB/s",
+        "feasible",
+        "precision",
+        "recall",
+    ]);
+    for tw in configs {
+        let model = ResourceModel::new(&tw, 1, 0);
+        let mut out = run(&RunConfig::new(tw, 110), &trace);
+        let victims = sample_victims(&out.truth, per_bucket_n, args.seed);
+        let pr = overall(&eval_async(&mut out, &victims));
+        table.row(vec![
+            tw.label(),
+            format!("{:.2}", model.control_mbps),
+            if model.control_feasible() { "yes" } else { "NO" }.to_string(),
+            f3(pr.precision),
+            f3(pr.recall),
+        ]);
+        rows.push(Row {
+            config: tw.label(),
+            control_mbps: model.control_mbps,
+            feasible: model.control_feasible(),
+            precision: pr.precision,
+            recall: pr.recall,
+        });
+    }
+    table.print("Figure 13 — storage overhead vs accuracy (UW)");
+    println!("\ndata-exchange limit (feasibility line): {READ_LIMIT_MBPS} MB/s");
+    write_json("fig13_storage_vs_accuracy", &rows);
+}

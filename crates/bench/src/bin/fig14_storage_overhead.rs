@@ -1,0 +1,86 @@
+//! Figure 14: (a) the ratio of linear (per-packet) storage to PrintQueue's
+//! exponential storage as the covered duration grows, for α ∈ {1, 2, 3};
+//! (b) data-plane SRAM utilisation across (k, T) parameter choices.
+//!
+//! Shape to reproduce: (a) the ratio grows with duration, reaching orders
+//! of magnitude (the paper: up to three); (b) SRAM scales linearly in T and
+//! geometrically in k, staying a moderate share of the budget throughout.
+
+use pq_bench::report::{write_json, CommonArgs, Table};
+use pq_core::params::TimeWindowConfig;
+use pq_core::resources::{exponential_aged_bytes, linear_storage_bytes, ResourceModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RatioRow {
+    alpha: u8,
+    duration_ns: u64,
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct SramRow {
+    k: u8,
+    t: u8,
+    sram_bytes: u64,
+    utilization_pct: f64,
+}
+
+fn main() {
+    let _args = CommonArgs::parse();
+
+    // (a) linear vs exponential, UW packet rate, NetSight-sized (~40 B)
+    // per-packet postcards for the linear systems.
+    let pps = 9.1e6;
+    let record_bytes = 40;
+    let mut ratio_rows = Vec::new();
+    let mut table_a = Table::new(vec!["duration(ns)", "alpha=1", "alpha=2", "alpha=3"]);
+    for exp in 18..=22u32 {
+        let duration = 1u64 << exp;
+        let mut cells = vec![format!("2^{exp}")];
+        for alpha in 1..=3u8 {
+            // T chosen large enough that the set period covers 2^22 ns.
+            let tw = TimeWindowConfig::new(6, alpha, 12, 5);
+            let linear = linear_storage_bytes(duration, pps, record_bytes);
+            let expo = exponential_aged_bytes(&tw, duration);
+            let ratio = linear / expo;
+            cells.push(format!("{ratio:.1}"));
+            ratio_rows.push(RatioRow {
+                alpha,
+                duration_ns: duration,
+                ratio,
+            });
+        }
+        table_a.row(cells);
+    }
+    table_a.print("Figure 14(a) — linear : exponential storage ratio");
+
+    // (b) SRAM across (k, T): k ∈ {9..12} × T=5, then k=12 × T ∈ {2..5}.
+    let mut sram_rows = Vec::new();
+    let mut table_b = Table::new(vec!["k_T", "SRAM (KiB)", "utilization %"]);
+    let mut push = |k: u8, t: u8, table: &mut Table| {
+        let tw = TimeWindowConfig::new(6, 1, k, t);
+        let model = ResourceModel::new(&tw, 1, 0);
+        table.row(vec![
+            format!("{k}_{t}"),
+            format!("{}", model.tw_sram_bytes / 1024),
+            format!("{:.2}", model.sram_utilization_pct()),
+        ]);
+        sram_rows.push(SramRow {
+            k,
+            t,
+            sram_bytes: model.tw_sram_bytes,
+            utilization_pct: model.sram_utilization_pct(),
+        });
+    };
+    for k in 9..=12u8 {
+        push(k, 5, &mut table_b);
+    }
+    for t in (2..=4u8).rev() {
+        push(12, t, &mut table_b);
+    }
+    table_b.print("Figure 14(b) — time-window SRAM across (k, T)");
+
+    write_json("fig14a_storage_ratio", &ratio_rows);
+    write_json("fig14b_sram", &sram_rows);
+}

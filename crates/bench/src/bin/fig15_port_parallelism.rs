@@ -1,0 +1,83 @@
+//! Figure 15: accuracy versus the number of PrintQueue-enabled ports under
+//! the WS trace, with per-port (α, k) shrunk so the total SRAM stays inside
+//! the budget.
+//!
+//! The ports are independent (each has its own register partition), so the
+//! per-port accuracy is measured on a single simulated port running the
+//! shrunken parameters; the SRAM column scales the partition count.
+//!
+//! Shape to reproduce: accuracy degrades as k shrinks and α grows to make
+//! room for more ports; around 10 ports the configuration hits the PCIe /
+//! SRAM wall (§7.1: "With α = 2, at most 10 ports can run PrintQueue in
+//! parallel").
+
+use pq_bench::eval::{eval_async, overall};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{f3, write_json, CommonArgs, Table};
+use pq_bench::victims::sample_victims;
+use pq_core::params::TimeWindowConfig;
+use pq_core::resources::{ResourceModel, READ_LIMIT_MBPS};
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    ports: u32,
+    alpha: u8,
+    k: u8,
+    sram_pct: f64,
+    control_mbps: f64,
+    precision: f64,
+    recall: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let per_bucket_n = if args.quick { 20 } else { 60 };
+    let trace = Workload::paper_testbed(WorkloadKind::Ws, duration, args.seed).generate();
+    eprintln!("[fig15] WS: {} packets", trace.packets());
+
+    // The figure's x-axis: port count with the per-port parameters the
+    // paper lists (α=1 k=12 @1, α=1 k=11 @2, α=2 k=10 @4/8/10).
+    let setups: [(u32, u8, u8); 5] = [(1, 1, 12), (2, 1, 11), (4, 2, 10), (8, 2, 10), (10, 2, 10)];
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "ports",
+        "alpha",
+        "k",
+        "SRAM %",
+        "MB/s",
+        "precision",
+        "recall",
+    ]);
+    for (ports, alpha, k) in setups {
+        let tw = TimeWindowConfig::new(10, alpha, k, 4);
+        let model = ResourceModel::new(&tw, ports, 0);
+        let mut out = run(&RunConfig::new(tw, 1200), &trace);
+        let victims = sample_victims(&out.truth, per_bucket_n, args.seed);
+        let pr = overall(&eval_async(&mut out, &victims));
+        table.row(vec![
+            ports.to_string(),
+            alpha.to_string(),
+            k.to_string(),
+            format!("{:.2}", model.sram_utilization_pct()),
+            format!("{:.2}", model.control_mbps),
+            f3(pr.precision),
+            f3(pr.recall),
+        ]);
+        rows.push(Row {
+            ports,
+            alpha,
+            k,
+            sram_pct: model.sram_utilization_pct(),
+            control_mbps: model.control_mbps,
+            precision: pr.precision,
+            recall: pr.recall,
+        });
+    }
+    table.print("Figure 15 — accuracy vs enabled ports (WS)");
+    println!("\ncontrol-plane limit: {READ_LIMIT_MBPS} MB/s total across ports");
+    write_json("fig15_port_parallelism", &rows);
+}

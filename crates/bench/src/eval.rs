@@ -1,0 +1,197 @@
+//! Shared query-evaluation logic for the accuracy figures.
+
+use crate::harness::RunOutput;
+use crate::victims::{bucket_of, Victim};
+use pq_baselines::ProratedQuerier;
+use pq_core::metrics::{self, FlowCounts, PrecisionRecall};
+use pq_core::snapshot::QueryInterval;
+use serde::Serialize;
+
+/// Accuracy of one query, tagged with its depth bucket.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueryAccuracy {
+    /// Index into [`crate::victims::DEPTH_BUCKETS`].
+    pub bucket: usize,
+    pub pr: PrecisionRecall,
+}
+
+/// Ground-truth direct-culprit counts for a victim.
+pub fn victim_truth(out: &RunOutput, victim: &Victim) -> FlowCounts {
+    let truth = out.truth.direct_culprits(
+        victim.record.meta.enq_timestamp,
+        victim.record.deq_timestamp(),
+        victim.record.seqno,
+    );
+    metrics::to_float_counts(&truth)
+}
+
+/// Evaluate asynchronous PrintQueue queries for each victim (§7.1 AQ).
+pub fn eval_async(out: &mut RunOutput, victims: &[Victim]) -> Vec<QueryAccuracy> {
+    victims
+        .iter()
+        .map(|v| {
+            let truth = victim_truth(out, v);
+            let interval = QueryInterval::new(
+                v.record.meta.enq_timestamp,
+                v.record.deq_timestamp(),
+            );
+            let est = out.printqueue.analysis_mut().query_time_windows(0, interval);
+            QueryAccuracy {
+                bucket: v.bucket,
+                pr: metrics::precision_recall(&est.counts, &truth),
+            }
+        })
+        .collect()
+}
+
+/// Evaluate the data-plane (on-demand) queries that fired during the run
+/// (§7.1 DQ): each trigger froze a special register set; accuracy is
+/// computed for the triggering packet itself.
+pub fn eval_dataplane(out: &mut RunOutput) -> Vec<QueryAccuracy> {
+    let triggers = out.printqueue.triggers_fired.clone();
+    let mut results = Vec::new();
+    for (i, (_port, interval, _at, depth)) in triggers.iter().enumerate() {
+        let Some(bucket) = bucket_of(*depth) else {
+            continue;
+        };
+        let Some(est) = out.printqueue.analysis_mut().query_special(0, Some(i)) else {
+            continue;
+        };
+        // Recover the triggering packet's ground truth. The trigger packet
+        // is the one that dequeued at `interval.to` having enqueued at
+        // `interval.from`.
+        let Some(victim) = out
+            .truth
+            .records()
+            .iter()
+            .find(|r| {
+                r.meta.enq_timestamp == interval.from && r.deq_timestamp() == interval.to
+            })
+            .copied()
+        else {
+            continue;
+        };
+        let truth = metrics::to_float_counts(&out.truth.direct_culprits(
+            interval.from,
+            interval.to,
+            victim.seqno,
+        ));
+        results.push(QueryAccuracy {
+            bucket,
+            pr: metrics::precision_recall(&est.counts, &truth),
+        });
+    }
+    results
+}
+
+/// Evaluate a prorated fixed-interval baseline for each victim.
+pub fn eval_baseline(
+    out: &RunOutput,
+    querier: &ProratedQuerier,
+    victims: &[Victim],
+) -> Vec<QueryAccuracy> {
+    victims
+        .iter()
+        .map(|v| {
+            let truth = victim_truth(out, v);
+            let est = querier.query(v.record.meta.enq_timestamp, v.record.deq_timestamp());
+            QueryAccuracy {
+                bucket: v.bucket,
+                pr: metrics::precision_recall(&est, &truth),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate per-bucket statistics of a set of query accuracies.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BucketStats {
+    pub samples: usize,
+    pub mean_precision: f64,
+    pub mean_recall: f64,
+    pub median_precision: f64,
+    pub median_recall: f64,
+}
+
+/// Group accuracies into the six depth buckets.
+pub fn per_bucket(accuracies: &[QueryAccuracy]) -> [BucketStats; 6] {
+    let mut out = [BucketStats::default(); 6];
+    for (b, stats) in out.iter_mut().enumerate() {
+        let ps: Vec<f64> = accuracies
+            .iter()
+            .filter(|a| a.bucket == b)
+            .map(|a| a.pr.precision)
+            .collect();
+        let rs: Vec<f64> = accuracies
+            .iter()
+            .filter(|a| a.bucket == b)
+            .map(|a| a.pr.recall)
+            .collect();
+        *stats = BucketStats {
+            samples: ps.len(),
+            mean_precision: metrics::mean(&ps),
+            mean_recall: metrics::mean(&rs),
+            median_precision: metrics::median(&ps),
+            median_recall: metrics::median(&rs),
+        };
+    }
+    out
+}
+
+/// Overall averages across every sample.
+pub fn overall(accuracies: &[QueryAccuracy]) -> PrecisionRecall {
+    let ps: Vec<f64> = accuracies.iter().map(|a| a.pr.precision).collect();
+    let rs: Vec<f64> = accuracies.iter().map(|a| a.pr.recall).collect();
+    PrecisionRecall {
+        precision: metrics::mean(&ps),
+        recall: metrics::mean(&rs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_core::metrics::PrecisionRecall;
+
+    fn acc(bucket: usize, p: f64, r: f64) -> QueryAccuracy {
+        QueryAccuracy {
+            bucket,
+            pr: PrecisionRecall {
+                precision: p,
+                recall: r,
+            },
+        }
+    }
+
+    #[test]
+    fn per_bucket_groups_and_averages() {
+        let accs = vec![
+            acc(0, 1.0, 0.5),
+            acc(0, 0.5, 1.0),
+            acc(3, 0.2, 0.2),
+        ];
+        let stats = per_bucket(&accs);
+        assert_eq!(stats[0].samples, 2);
+        assert!((stats[0].mean_precision - 0.75).abs() < 1e-12);
+        assert!((stats[0].mean_recall - 0.75).abs() < 1e-12);
+        assert!((stats[0].median_precision - 0.75).abs() < 1e-12);
+        assert_eq!(stats[3].samples, 1);
+        assert_eq!(stats[1].samples, 0);
+        assert_eq!(stats[1].mean_precision, 0.0);
+    }
+
+    #[test]
+    fn overall_averages_everything() {
+        let accs = vec![acc(0, 1.0, 0.0), acc(5, 0.0, 1.0)];
+        let pr = overall(&accs);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_of_empty_is_zero() {
+        let pr = overall(&[]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+    }
+}

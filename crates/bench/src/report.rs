@@ -1,0 +1,159 @@
+//! Output formatting: aligned text tables and JSON result files.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells stringified by the caller).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(cells.len(), self.header.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float to 3 decimals (the paper's accuracy precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Write `value` as pretty JSON to `results/<name>.json` under the
+/// workspace root (best effort — experiments still print to stdout).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if fs::write(&path, json).is_ok() {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(err) => eprintln!("JSON serialization failed: {err}"),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    PathBuf::from(manifest)
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Parse the common experiment flags from argv: `--quick` (reduced scale)
+/// and `--seed N`.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonArgs {
+    pub quick: bool,
+    pub seed: u64,
+}
+
+impl CommonArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> CommonArgs {
+        let mut quick = false;
+        let mut seed = 1u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => {
+                    eprintln!("unknown argument: {other} (supported: --quick, --seed N)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        CommonArgs { quick, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(vec!["wide-cell", "x", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in every data line.
+        let off = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('2').unwrap(), off);
+        assert_eq!(lines[3].find('x').unwrap(), off);
+    }
+
+    #[test]
+    fn f3_rounds() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+}

@@ -1,0 +1,125 @@
+//! Parallel parameter sweeps across seeds.
+//!
+//! Single-trace results carry heavy-tail noise (a couple of elephant flows
+//! dominate any 100 ms window), so headline comparisons should be averaged
+//! across seeds. This module fans a closure over seeds on worker threads
+//! (each run is independent and CPU-bound — the case where threads, not
+//! async, are the right tool) and aggregates mean and standard deviation.
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+/// Mean and standard deviation of one metric across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub runs: usize,
+}
+
+impl Aggregate {
+    /// Aggregate a sample set.
+    pub fn of(values: &[f64]) -> Aggregate {
+        let n = values.len();
+        if n == 0 {
+            return Aggregate {
+                mean: 0.0,
+                std_dev: 0.0,
+                runs: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Aggregate {
+            mean,
+            std_dev: var.sqrt(),
+            runs: n,
+        }
+    }
+
+    /// Render as `mean ± std`.
+    pub fn display(&self) -> String {
+        format!("{:.3} ± {:.3}", self.mean, self.std_dev)
+    }
+}
+
+/// Run `job` once per seed, in parallel across up to `workers` threads, and
+/// return the results in seed order.
+///
+/// `job` must be deterministic per seed; results are collected positionally
+/// so thread scheduling cannot perturb output order.
+pub fn sweep_seeds<T, F>(seeds: &[u64], workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(workers >= 1);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
+    results.resize_with(seeds.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+
+    thread::scope(|scope| {
+        for _ in 0..workers.min(seeds.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let out = job(seeds[i]);
+                results_mutex.lock().unwrap()[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every seed produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_math() {
+        let agg = Aggregate::of(&[1.0, 2.0, 3.0]);
+        assert!((agg.mean - 2.0).abs() < 1e-12);
+        assert!((agg.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(agg.runs, 3);
+        assert_eq!(Aggregate::of(&[]).runs, 0);
+    }
+
+    #[test]
+    fn sweep_preserves_seed_order() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let results = sweep_seeds(&seeds, 4, |s| s * 10);
+        assert_eq!(results, (0..32).map(|s| s * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sweep_runs_in_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let seeds: Vec<u64> = (0..16).collect();
+        sweep_seeds(&seeds, 4, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "never observed parallelism"
+        );
+    }
+
+    #[test]
+    fn single_worker_degrades_to_serial() {
+        let results = sweep_seeds(&[5, 6], 1, |s| s + 1);
+        assert_eq!(results, vec![6, 7]);
+    }
+}

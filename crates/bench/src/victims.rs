@@ -1,0 +1,139 @@
+//! Victim sampling — the §7.1 methodology.
+//!
+//! "For a given victim packet, we classify its query into six groups based
+//! on the queuing it encounters: 1k to 2k, 2k to 5k, 5k to 10k, 10k to 15k,
+//! 15k to 20k, and above 20k" (queue depth in buffer cells). "For
+//! asynchronous queries, we randomly sample 100 victim packets experiencing
+//! each queue depth."
+
+use pq_core::culprits::GroundTruth;
+use pq_switch::TelemetryRecord;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A queue-depth bucket in cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthBucket {
+    /// Inclusive lower bound in cells.
+    pub lo: u32,
+    /// Exclusive upper bound (`u32::MAX` = unbounded).
+    pub hi: u32,
+    /// Display label, e.g. `1-2`.
+    pub label: &'static str,
+}
+
+impl DepthBucket {
+    /// Does a depth fall inside the bucket?
+    pub fn contains(&self, depth_cells: u32) -> bool {
+        depth_cells >= self.lo && depth_cells < self.hi
+    }
+}
+
+/// The paper's six queue-depth groups (×10³ cells).
+pub const DEPTH_BUCKETS: [DepthBucket; 6] = [
+    DepthBucket { lo: 1_000, hi: 2_000, label: "1-2" },
+    DepthBucket { lo: 2_000, hi: 5_000, label: "2-5" },
+    DepthBucket { lo: 5_000, hi: 10_000, label: "5-10" },
+    DepthBucket { lo: 10_000, hi: 15_000, label: "10-15" },
+    DepthBucket { lo: 15_000, hi: 20_000, label: "15-20" },
+    DepthBucket { lo: 20_000, hi: u32::MAX, label: ">20" },
+];
+
+/// A sampled victim packet.
+#[derive(Debug, Clone, Copy)]
+pub struct Victim {
+    /// The victim's telemetry record.
+    pub record: TelemetryRecord,
+    /// Which bucket its enqueue-time depth fell into.
+    pub bucket: usize,
+}
+
+/// Sample up to `per_bucket` victims per depth bucket, uniformly at random
+/// with a fixed seed.
+pub fn sample_victims(truth: &GroundTruth, per_bucket: usize, seed: u64) -> Vec<Victim> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut victims = Vec::new();
+    for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
+        let mut in_bucket: Vec<&TelemetryRecord> = truth
+            .records()
+            .iter()
+            .filter(|r| bucket.contains(r.meta.enq_qdepth))
+            .collect();
+        in_bucket.shuffle(&mut rng);
+        victims.extend(in_bucket.into_iter().take(per_bucket).map(|r| Victim {
+            record: *r,
+            bucket: b,
+        }));
+    }
+    victims
+}
+
+/// Index of the bucket containing `depth_cells`, if any.
+pub fn bucket_of(depth_cells: u32) -> Option<usize> {
+    DEPTH_BUCKETS.iter().position(|b| b.contains(depth_cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::{FlowId, PacketMeta};
+
+    fn rec(seqno: u64, depth: u32) -> TelemetryRecord {
+        TelemetryRecord {
+            flow: FlowId(0),
+            port: 0,
+            len: 80,
+            seqno,
+            meta: PacketMeta {
+                egress_port: 0,
+                enq_timestamp: seqno * 10,
+                deq_timedelta: 100,
+                enq_qdepth: depth,
+                queue: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(bucket_of(999), None);
+        assert_eq!(bucket_of(1_000), Some(0));
+        assert_eq!(bucket_of(4_999), Some(1));
+        assert_eq!(bucket_of(19_999), Some(4));
+        assert_eq!(bucket_of(1_000_000), Some(5));
+    }
+
+    #[test]
+    fn sampling_respects_bucket_and_cap() {
+        let mut records = Vec::new();
+        for i in 0..500u64 {
+            records.push(rec(i, 1_500)); // bucket 0
+        }
+        for i in 500..520u64 {
+            records.push(rec(i, 3_000)); // bucket 1
+        }
+        let truth = GroundTruth::new(&records, 80);
+        let victims = sample_victims(&truth, 100, 7);
+        let b0 = victims.iter().filter(|v| v.bucket == 0).count();
+        let b1 = victims.iter().filter(|v| v.bucket == 1).count();
+        assert_eq!(b0, 100, "bucket 0 capped at 100");
+        assert_eq!(b1, 20, "bucket 1 exhausts its 20 records");
+        assert!(victims.iter().all(|v| v.bucket <= 1));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let records: Vec<TelemetryRecord> = (0..300).map(|i| rec(i, 1_200)).collect();
+        let truth = GroundTruth::new(&records, 80);
+        let a: Vec<u64> = sample_victims(&truth, 50, 1)
+            .iter()
+            .map(|v| v.record.seqno)
+            .collect();
+        let b: Vec<u64> = sample_victims(&truth, 50, 1)
+            .iter()
+            .map(|v| v.record.seqno)
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Count-recovery coefficients — Algorithm 2 and Theorems 1–3 of the paper.
+//!
+//! Passing across time windows is lossy: by Theorem 2 the expected fraction
+//! of a window's fresh packets that survive into the next window is
+//! `r = z · (1 − p^{2^α}) / (1 − p) / 2^α`, where `z` is the probability a
+//! cell receives a fresh packet each window period and `p = 1 − z²` is the
+//! no-pass probability of Theorem 1. `coefficient[i]` is the cumulative
+//! product of those per-hop ratios, so dividing an observed per-flow packet
+//! count in window `i` by `coefficient[i]` recovers the expected count the
+//! flow had in window 0 — the "proportional property".
+//!
+//! Theorem 3 supplies the boot value: at line rate, window 0's `z` is
+//! `2^{m0} / d` with `d` the transmission delay of a minimum-sized packet.
+
+use crate::params::TimeWindowConfig;
+use pq_packet::Nanos;
+
+/// The per-window recovery coefficients plus the intermediate `z` values
+/// (exposed for the analysis in the property tests and benches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients {
+    /// `coefficient[i]`: expected observed fraction in window `i` of a count
+    /// that was fresh in window 0. `coefficient[0] = 1`.
+    pub coefficient: Vec<f64>,
+    /// Per-window fresh-cell probability `z_i`.
+    pub z: Vec<f64>,
+}
+
+impl Coefficients {
+    /// Algorithm 2, with `d` = transmission delay of a minimum-sized packet
+    /// in nanoseconds.
+    pub fn compute(config: &TimeWindowConfig, d: Nanos) -> Coefficients {
+        assert!(d > 0, "transmission delay must be positive");
+        let t = usize::from(config.t);
+        let two_alpha = f64::from(1u32 << config.alpha);
+        let mut coefficient = vec![1.0f64; t];
+        let mut zs = Vec::with_capacity(t);
+
+        // Theorem 3: window 0's z. Clamp to 1: if the cell period exceeds
+        // the packet gap, window 0 saturates (the paper assumes 2^m0 ≤ d,
+        // but sweeps may explore beyond it).
+        let mut z = ((1u64 << config.m0) as f64 / d as f64).min(1.0);
+        zs.push(z);
+        let mut acc = 1.0f64;
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..t {
+            let p = 1.0 - z * z;
+            // Ratio of Theorem 2; the (1-p^{2^α})/(1-p) factor is the
+            // geometric series Σ_{m<2^α} p^m. Guard the p→1 limit (z→0),
+            // where the series sums to 2^α.
+            let series = if 1.0 - p < 1e-12 {
+                two_alpha
+            } else {
+                (1.0 - p.powf(two_alpha)) / (1.0 - p)
+            };
+            let ratio = z * series / two_alpha;
+            // Floor against f64 underflow for pathologically slow traffic:
+            // recover() divides by the coefficient and must stay finite.
+            acc = (acc * ratio).max(1e-300);
+            coefficient[i] = acc;
+            z = 1.0 - p.powf(two_alpha);
+            zs.push(z);
+        }
+        Coefficients {
+            coefficient,
+            z: zs,
+        }
+    }
+
+    /// Recover the original (window-0-equivalent) count from an observation
+    /// of `n` packets in window `i`.
+    pub fn recover(&self, window: u8, n: f64) -> f64 {
+        n / self.coefficient[usize::from(window)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeffs(m0: u8, alpha: u8, t: u8, d: Nanos) -> Coefficients {
+        Coefficients::compute(&TimeWindowConfig::new(m0, alpha, 12, t), d)
+    }
+
+    #[test]
+    fn coefficient_zero_is_one() {
+        let c = coeffs(6, 2, 4, 80);
+        assert_eq!(c.coefficient[0], 1.0);
+    }
+
+    #[test]
+    fn coefficients_decrease_monotonically() {
+        // Each hop loses packets, so deeper windows observe smaller
+        // fractions.
+        for (m0, alpha, d) in [(6u8, 1u8, 80u64), (6, 2, 80), (10, 1, 1200), (6, 3, 52)] {
+            let c = coeffs(m0, alpha, 5, d);
+            for w in c.coefficient.windows(2) {
+                assert!(
+                    w[1] < w[0] && w[1] > 0.0,
+                    "coefficients not decreasing for m0={m0} alpha={alpha}: {:?}",
+                    c.coefficient
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_window0_passes_half_with_alpha1() {
+        // z = 1 (every cell fresh every period): p = 0, series = 1, ratio =
+        // 1/2^α... with α = 1 the next window keeps 1/2 of the packets —
+        // matching the intuition that two cells merge into one.
+        let c = coeffs(6, 1, 3, 64); // 2^6 / 64 = 1
+        assert!((c.z[0] - 1.0).abs() < 1e-12);
+        assert!((c.coefficient[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_evolves_via_theorem2() {
+        let config = TimeWindowConfig::new(6, 2, 4, 12);
+        let c = Coefficients::compute(&config, 110);
+        // z_{i+1} = 1 - (1 - z_i^2)^{2^alpha}.
+        for i in 0..c.z.len() - 1 {
+            let p = 1.0 - c.z[i] * c.z[i];
+            let expect = 1.0 - p.powi(4);
+            assert!((c.z[i + 1] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recover_inverts_observation() {
+        let c = coeffs(6, 2, 4, 110);
+        let original = 1000.0;
+        for w in 0..4u8 {
+            let observed = original * c.coefficient[usize::from(w)];
+            assert!((c.recover(w, observed) - original).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tiny_z_does_not_produce_nan() {
+        // Very slow traffic: z near zero must stay finite via the series
+        // guard.
+        let c = coeffs(6, 2, 6, 1_000_000_000);
+        for v in &c.coefficient {
+            assert!(v.is_finite() && *v > 0.0, "bad coefficient {v}");
+        }
+    }
+
+    /// Monte-Carlo check of Theorem 2: simulate the cell process directly
+    /// (fresh packet in each cell with probability z per window period,
+    /// Algorithm-1 one-shot passing, 2^α window-0 cells merging into one
+    /// window-1 cell) and compare the measured survival ratio with the
+    /// analytic `z · (1 − p^{2^α}) / (1 − p) / 2^α`.
+    ///
+    /// A packet fresh in period P can be passed only during period P+1; it
+    /// *survives* (counts as "stored in the subsequent window") if no later
+    /// pass in period P+1 lands in the same merged cell. So survivors of
+    /// fresh-period P = merged cells whose last pass of period P+1 carried
+    /// a fresh-P packet — and every pass in period P+1 carries a fresh-P
+    /// packet by the one-shot rule.
+    #[test]
+    fn theorem2_matches_simulation() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for (alpha, z) in [(1u32, 0.8f64), (2, 0.6), (1, 0.3)] {
+            let p = 1.0 - z * z;
+            let two_alpha = 1usize << alpha;
+            let analytic = z * (1.0 - p.powf(two_alpha as f64)) / (1.0 - p) / two_alpha as f64;
+
+            let mut rng = SmallRng::seed_from_u64(42 + alpha as u64);
+            let cells = 1 << 14;
+            let periods = 40usize;
+            // Window-0 cell state: Some(period the occupant was written).
+            let mut window0: Vec<Option<usize>> = vec![None; cells];
+            let mut fresh = vec![0usize; periods];
+            let mut survived = vec![0usize; periods];
+            // Merged-cell scoreboard: did the *last* pass of this period
+            // land here (value = period of the pass)?
+            let mut last_pass: Vec<Option<usize>> = vec![None; cells >> alpha];
+            for period in 0..periods {
+                for (idx, cell) in window0.iter_mut().enumerate() {
+                    if rng.gen::<f64>() < z {
+                        fresh[period] += 1;
+                        if let Some(wrote) = cell.replace(period) {
+                            if period - wrote == 1 {
+                                last_pass[idx >> alpha] = Some(period);
+                            }
+                        }
+                    }
+                }
+                // End of `period`: every merged cell whose last pass
+                // happened this period holds a survivor fresh in period-1.
+                if period >= 1 {
+                    survived[period - 1] +=
+                        last_pass.iter().filter(|p| **p == Some(period)).count();
+                }
+            }
+            let total_fresh: usize = fresh[5..periods - 5].iter().sum();
+            let total_survived: usize = survived[5..periods - 5].iter().sum();
+            let measured = total_survived as f64 / total_fresh as f64;
+            assert!(
+                (measured - analytic).abs() < 0.05,
+                "alpha={alpha} z={z}: measured {measured:.3} vs analytic {analytic:.3}"
+            );
+        }
+    }
+}

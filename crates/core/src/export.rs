@@ -1,0 +1,170 @@
+//! Checkpoint export: persist the analysis program's collected state for
+//! offline analysis.
+//!
+//! The paper's artifact ships "experiment data collected from our testing
+//! and script to reproduce the paper results"; the analogous capability
+//! here is serializing an [`AnalysisProgram`]'s checkpoint store to JSON
+//! (human-inspectable, diffable) so a long run's registers can be archived
+//! and re-queried later without re-simulating.
+
+use crate::control::{AnalysisProgram, Checkpoint};
+use crate::params::TimeWindowConfig;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// A serializable archive of one port's checkpoints.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CheckpointArchive {
+    /// Format version.
+    pub version: u32,
+    /// The time-window configuration the checkpoints were captured under.
+    pub tw_config: TimeWindowConfig,
+    /// The port the checkpoints belong to.
+    pub port: u16,
+    /// The checkpoints, oldest first.
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl CheckpointArchive {
+    /// Capture an archive from a live analysis program.
+    pub fn capture(analysis: &AnalysisProgram, port: u16) -> CheckpointArchive {
+        CheckpointArchive {
+            version: 1,
+            tw_config: *analysis.tw_config(),
+            port,
+            checkpoints: analysis.checkpoints(port).to_vec(),
+        }
+    }
+
+    /// Serialize as JSON.
+    pub fn write_json<W: Write>(&self, w: W) -> io::Result<()> {
+        serde_json::to_writer(w, self).map_err(io::Error::other)
+    }
+
+    /// Deserialize from JSON, validating the version.
+    pub fn read_json<R: Read>(r: R) -> io::Result<CheckpointArchive> {
+        let archive: CheckpointArchive =
+            serde_json::from_reader(r).map_err(io::Error::other)?;
+        if archive.version != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported archive version",
+            ));
+        }
+        Ok(archive)
+    }
+
+    /// Re-run a time-window query against the archived checkpoints, exactly
+    /// as the live analysis program would (§6.3 semantics, including the
+    /// per-checkpoint slice clamping).
+    pub fn query(
+        &self,
+        interval: crate::snapshot::QueryInterval,
+        coeffs: &crate::coefficient::Coefficients,
+    ) -> crate::snapshot::FlowEstimates {
+        let mut result = crate::snapshot::FlowEstimates::default();
+        let mut prev_frozen_at: Option<u64> = None;
+        for cp in &self.checkpoints {
+            let slice_from = interval.from.max(prev_frozen_at.map_or(0, |t| t + 1));
+            let slice_to = interval.to.min(cp.frozen_at);
+            if !cp.on_demand {
+                prev_frozen_at = Some(cp.frozen_at);
+            }
+            if slice_from > slice_to || cp.on_demand {
+                continue;
+            }
+            let est = cp.windows.query(
+                crate::snapshot::QueryInterval::new(slice_from, slice_to),
+                coeffs,
+            );
+            result.merge(&est);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coefficient::Coefficients;
+    use crate::control::ControlConfig;
+    use crate::snapshot::QueryInterval;
+    use pq_packet::FlowId;
+
+    fn program_with_data() -> AnalysisProgram {
+        let tw = TimeWindowConfig::new(0, 1, 6, 2);
+        let mut ap = AnalysisProgram::new(
+            tw,
+            ControlConfig {
+                poll_period: 64,
+                max_snapshots: 16,
+            },
+            &[0],
+            32,
+            1,
+            1,
+        );
+        for t in 0..48u64 {
+            ap.record_dequeue(0, FlowId((t % 3) as u32), t);
+        }
+        ap.qm_enqueue(0, 0, FlowId(7), 5, 10);
+        ap.on_tick(64);
+        ap
+    }
+
+    #[test]
+    fn archive_roundtrips_through_json() {
+        let ap = program_with_data();
+        let archive = CheckpointArchive::capture(&ap, 0);
+        let mut buf = Vec::new();
+        archive.write_json(&mut buf).unwrap();
+        let back = CheckpointArchive::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back.checkpoints.len(), archive.checkpoints.len());
+        assert_eq!(back.tw_config, archive.tw_config);
+        assert_eq!(
+            back.checkpoints[0].frozen_at,
+            archive.checkpoints[0].frozen_at
+        );
+    }
+
+    #[test]
+    fn archived_queries_match_live_queries() {
+        let ap = program_with_data();
+        let interval = QueryInterval::new(0, 47);
+        let live = ap.query_time_windows(0, interval);
+
+        let archive = CheckpointArchive::capture(&ap, 0);
+        let mut buf = Vec::new();
+        archive.write_json(&mut buf).unwrap();
+        let back = CheckpointArchive::read_json(buf.as_slice()).unwrap();
+        let coeffs = Coefficients::compute(&back.tw_config, 1);
+        let offline = back.query(interval, &coeffs);
+
+        assert_eq!(live.counts.len(), offline.counts.len());
+        for (flow, n) in &live.counts {
+            assert!((offline.counts[flow] - n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queue_monitor_state_survives_archiving() {
+        let ap = program_with_data();
+        let archive = CheckpointArchive::capture(&ap, 0);
+        let mut buf = Vec::new();
+        archive.write_json(&mut buf).unwrap();
+        let back = CheckpointArchive::read_json(buf.as_slice()).unwrap();
+        let culprits = back.checkpoints[0].queue_monitor().original_culprits();
+        assert_eq!(culprits.len(), 1);
+        assert_eq!(culprits[0].flow, FlowId(7));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let ap = program_with_data();
+        let mut archive = CheckpointArchive::capture(&ap, 0);
+        archive.version = 99;
+        let mut buf = Vec::new();
+        archive.write_json(&mut buf).unwrap();
+        assert!(CheckpointArchive::read_json(buf.as_slice()).is_err());
+    }
+}

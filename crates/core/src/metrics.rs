@@ -1,0 +1,185 @@
+//! Accuracy metrics — the §7.1 methodology.
+//!
+//! "We first compute, for every flow in the query period, the true positives
+//! of PrintQueue. Precision is the sum of the true positives over
+//! PrintQueue's cumulative packet count estimate. Recall is the sum of the
+//! true positives over the ground truth's cumulative estimate." A flow's
+//! true positives are `min(estimate, truth)`.
+
+use pq_packet::FlowId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-flow packet counts (either estimated or ground truth).
+pub type FlowCounts = HashMap<FlowId, f64>;
+
+/// A precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    pub precision: f64,
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// F1 harmonic mean (not used by the paper, handy in tests).
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Compute per-flow-weighted precision and recall of `estimate` against
+/// `truth` (§7.1).
+///
+/// Conventions for the degenerate cases: an empty estimate has precision 1
+/// (nothing claimed, nothing wrong) and an empty truth has recall 1.
+pub fn precision_recall(estimate: &FlowCounts, truth: &FlowCounts) -> PrecisionRecall {
+    let est_total: f64 = estimate.values().sum();
+    let truth_total: f64 = truth.values().sum();
+    let tp: f64 = estimate
+        .iter()
+        .map(|(flow, est)| truth.get(flow).copied().unwrap_or(0.0).min(*est))
+        .sum();
+    PrecisionRecall {
+        precision: if est_total == 0.0 { 1.0 } else { tp / est_total },
+        recall: if truth_total == 0.0 { 1.0 } else { tp / truth_total },
+    }
+}
+
+/// Restrict `counts` to its `k` largest flows (ties broken by flow id for
+/// determinism) — the Figure 12 Top-K metric.
+pub fn top_k(counts: &FlowCounts, k: usize) -> FlowCounts {
+    let mut ranked: Vec<(FlowId, f64)> = counts.iter().map(|(f, n)| (*f, *n)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked.into_iter().collect()
+}
+
+/// Convert integer ground-truth counts to the float-valued [`FlowCounts`].
+pub fn to_float_counts(counts: &HashMap<FlowId, u64>) -> FlowCounts {
+    counts.iter().map(|(f, n)| (*f, *n as f64)).collect()
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+/// Returns 0 for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Empirical CDF points `(value, fraction ≤ value)` for plotting
+/// (Figure 10's precision/recall CDFs).
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, f64)]) -> FlowCounts {
+        pairs.iter().map(|(f, n)| (FlowId(*f), *n)).collect()
+    }
+
+    #[test]
+    fn perfect_estimate_scores_one() {
+        let truth = counts(&[(1, 10.0), (2, 5.0)]);
+        let pr = precision_recall(&truth, &truth);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn overestimate_hurts_precision_only() {
+        let truth = counts(&[(1, 10.0)]);
+        let est = counts(&[(1, 20.0)]);
+        let pr = precision_recall(&est, &truth);
+        assert_eq!(pr.precision, 0.5);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn underestimate_hurts_recall_only() {
+        let truth = counts(&[(1, 10.0)]);
+        let est = counts(&[(1, 5.0)]);
+        let pr = precision_recall(&est, &truth);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.5);
+    }
+
+    #[test]
+    fn phantom_flow_hurts_precision() {
+        let truth = counts(&[(1, 10.0)]);
+        let est = counts(&[(1, 10.0), (2, 10.0)]);
+        let pr = precision_recall(&est, &truth);
+        assert_eq!(pr.precision, 0.5);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = FlowCounts::new();
+        let truth = counts(&[(1, 1.0)]);
+        let pr = precision_recall(&empty, &truth);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr = precision_recall(&truth, &empty);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(precision_recall(&empty, &empty).f1(), 1.0);
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let c = counts(&[(1, 5.0), (2, 9.0), (3, 1.0)]);
+        let top2 = top_k(&c, 2);
+        assert_eq!(top2.len(), 2);
+        assert!(top2.contains_key(&FlowId(1)));
+        assert!(top2.contains_key(&FlowId(2)));
+    }
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_ending_at_one() {
+        let points = cdf_points(&[0.5, 0.1, 0.9, 0.1]);
+        assert_eq!(points.len(), 4);
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(points.last().unwrap().1, 1.0);
+    }
+}

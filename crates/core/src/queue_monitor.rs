@@ -1,0 +1,386 @@
+//! The queue monitor — §5 of the paper.
+//!
+//! A sparse stack tracking the *original causes* of the current congestion
+//! regime: conceptually a register array indexed by queue depth, plus a
+//! 'stack top' pointer holding the latest depth. Whenever a packet changes
+//! the depth `l1 → l2`, its flow ID and a monotonically increasing sequence
+//! number are written to entry `l2` — into the entry's *upper half* for
+//! increases (enqueues) and *lower half* for decreases (dequeues).
+//!
+//! Entries under the top pointer may be stale (left over from an earlier,
+//! higher peak — Figure 7). The filter walks the array bottom-up tracking
+//! the largest sequence number seen so far and keeps only increase entries
+//! newer than everything below them: exactly the monotone chain of packets
+//! that raised the queue to its current level.
+//!
+//! On the Tofino both halves are written from the egress pipeline (each
+//! packet carries its `enq_qdepth` and observes the post-dequeue depth);
+//! the simulator delivers the same information at the actual enqueue and
+//! dequeue instants, which is where the transitions semantically happen.
+
+use pq_packet::{FlowId, Nanos};
+use pq_switch::RegisterArray;
+use serde::{Deserialize, Serialize};
+
+/// One half of a depth entry: who moved the depth here, and when (sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Half {
+    /// Flow of the packet that caused the transition.
+    pub flow: FlowId,
+    /// Monotonic sequence number; 0 = never written.
+    pub seq: u64,
+}
+
+impl Half {
+    const EMPTY: Half = Half {
+        flow: FlowId::NONE,
+        seq: 0,
+    };
+
+    /// True when this half has never been written.
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+impl Default for Half {
+    fn default() -> Self {
+        Half::EMPTY
+    }
+}
+
+/// A depth entry: increase (upper) and decrease (lower) halves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Entry {
+    /// Written when an enqueue raises the depth to this level.
+    pub inc: Half,
+    /// Written when a dequeue lowers the depth to this level.
+    pub dec: Half,
+}
+
+/// An original-culprit record recovered by the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginalCulprit {
+    /// Depth level (in entry granularity) the packet raised the queue to.
+    pub level: u32,
+    /// The culprit's flow.
+    pub flow: FlowId,
+    /// Sequence number of the recording.
+    pub seq: u64,
+}
+
+/// The queue monitor for one egress queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueMonitor {
+    entries: RegisterArray<Entry>,
+    /// Buffer cells per entry ("buffer allocation granularity", §5).
+    cells_per_entry: u32,
+    /// Stack-top pointer: entry index of the latest observed depth.
+    top: u32,
+    /// Next sequence number (1-based; 0 means empty).
+    next_seq: u64,
+}
+
+impl QueueMonitor {
+    /// Create a monitor able to track depths up to
+    /// `entries * cells_per_entry` buffer cells.
+    pub fn new(entries: usize, cells_per_entry: u32) -> QueueMonitor {
+        assert!(entries > 0 && cells_per_entry > 0);
+        QueueMonitor {
+            entries: RegisterArray::new(entries),
+            cells_per_entry,
+            top: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Number of depth entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the monitor has no entries (never: `new` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current stack-top entry index.
+    pub fn top(&self) -> u32 {
+        self.top
+    }
+
+    fn level_for(&self, depth_cells: u32) -> u32 {
+        (depth_cells / self.cells_per_entry).min(self.entries.len() as u32 - 1)
+    }
+
+    /// A packet of `flow` enqueued, raising the depth to `depth_cells`
+    /// (inclusive of the packet).
+    pub fn on_enqueue(&mut self, flow: FlowId, depth_cells: u32, _now: Nanos) {
+        let level = self.level_for(depth_cells);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.begin_packet();
+        self.entries.rmw(level as usize, |e| {
+            e.inc = Half { flow, seq };
+        });
+        self.top = level;
+    }
+
+    /// A packet of `flow` dequeued, lowering the depth to `depth_cells`.
+    pub fn on_dequeue(&mut self, flow: FlowId, depth_cells: u32, _now: Nanos) {
+        let level = self.level_for(depth_cells);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.begin_packet();
+        self.entries.rmw(level as usize, |e| {
+            e.dec = Half { flow, seq };
+        });
+        self.top = level;
+    }
+
+    /// Control-plane snapshot of the register state.
+    pub fn snapshot(&self) -> QueueMonitorSnapshot {
+        QueueMonitorSnapshot {
+            entries: self.entries.snapshot(),
+            top: self.top,
+        }
+    }
+
+    /// Control-plane reset.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.top = 0;
+        // The sequence counter is *not* reset: monotonicity across reads is
+        // what lets the filter discard pre-clear stragglers.
+    }
+}
+
+/// A frozen copy of queue-monitor register state, as read by the analysis
+/// program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueMonitorSnapshot {
+    /// The depth entries.
+    pub entries: Vec<Entry>,
+    /// Stack-top pointer at freeze time.
+    pub top: u32,
+}
+
+impl QueueMonitorSnapshot {
+    /// Filter stale entries and return the original culprits, bottom-up.
+    ///
+    /// Walks entries `0..=top`, tracking the largest sequence number seen in
+    /// *either* half so far; an increase entry is kept only if it is newer
+    /// than everything below it. The surviving entries are precisely the
+    /// packets whose arrival raised the queue, level by level, to its
+    /// current height (§5's correction procedure for Figure 7).
+    pub fn original_culprits(&self) -> Vec<OriginalCulprit> {
+        let mut culprits = Vec::new();
+        let mut max_seq = 0u64;
+        for (level, entry) in self.entries.iter().enumerate().take(self.top as usize + 1) {
+            if !entry.inc.is_empty() && entry.inc.seq > max_seq {
+                culprits.push(OriginalCulprit {
+                    level: level as u32,
+                    flow: entry.inc.flow,
+                    seq: entry.inc.seq,
+                });
+            }
+            max_seq = max_seq.max(entry.inc.seq).max(entry.dec.seq);
+        }
+        culprits
+    }
+
+    /// Per-flow counts of original culprits.
+    pub fn culprit_counts(&self) -> std::collections::HashMap<FlowId, u64> {
+        let mut counts = std::collections::HashMap::new();
+        for c in self.original_culprits() {
+            *counts.entry(c.flow).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The buildup timeline: the surviving chain ordered by *arrival*
+    /// (sequence number) rather than by level — who raised the queue first,
+    /// who piled on later. For Figure 16's narrative this distinguishes a
+    /// burst that founded the congestion from traffic that merely kept the
+    /// top churning.
+    pub fn buildup_timeline(&self) -> Vec<OriginalCulprit> {
+        let mut chain = self.original_culprits();
+        chain.sort_by_key(|c| c.seq);
+        chain
+    }
+
+    /// Per-flow summary of the buildup: for each flow in the chain, the
+    /// lowest and highest level it contributed — "this flow built the queue
+    /// from X to Y".
+    pub fn buildup_ranges(&self) -> std::collections::HashMap<FlowId, (u32, u32)> {
+        let mut ranges: std::collections::HashMap<FlowId, (u32, u32)> =
+            std::collections::HashMap::new();
+        for c in self.original_culprits() {
+            ranges
+                .entry(c.flow)
+                .and_modify(|(lo, hi)| {
+                    *lo = (*lo).min(c.level);
+                    *hi = (*hi).max(c.level);
+                })
+                .or_insert((c.level, c.level));
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: FlowId = FlowId(1);
+    const B: FlowId = FlowId(2);
+    const C: FlowId = FlowId(3);
+    const D: FlowId = FlowId(4);
+
+    /// Figure 7's storyline: B raises the queue 2→5, it drains to 2, then D
+    /// raises it to 7. The stale B entry at 5 must be filtered out.
+    #[test]
+    fn figure7_stale_peak_filtered() {
+        let mut qm = QueueMonitor::new(16, 1);
+        // Build up to 2 with A (levels 1, 2).
+        qm.on_enqueue(A, 1, 0);
+        qm.on_enqueue(A, 2, 0);
+        // t=1: B brings 2 → 5.
+        qm.on_enqueue(B, 5, 1);
+        // t=2: drains back to 2 (dequeues land at 4, 3, 2).
+        qm.on_dequeue(A, 4, 2);
+        qm.on_dequeue(A, 3, 2);
+        qm.on_dequeue(B, 2, 2);
+        // t=3: D brings 2 → 7.
+        qm.on_enqueue(D, 7, 3);
+
+        let snap = qm.snapshot();
+        assert_eq!(snap.top, 7);
+        let culprits = snap.original_culprits();
+        let flows: Vec<(u32, FlowId)> = culprits.iter().map(|c| (c.level, c.flow)).collect();
+        // A's buildup to 1 and 2 is still the base; B's entry at 5 is stale
+        // (the drain to 2 wrote newer sequence numbers below it); D at 7 is
+        // fresh.
+        assert!(flows.contains(&(1, A)));
+        assert!(flows.contains(&(7, D)));
+        assert!(
+            !flows.iter().any(|(l, f)| *l == 5 && *f == B),
+            "stale B entry survived: {flows:?}"
+        );
+    }
+
+    #[test]
+    fn monotone_buildup_keeps_everything() {
+        let mut qm = QueueMonitor::new(16, 1);
+        for (i, flow) in [A, B, C, D].iter().enumerate() {
+            qm.on_enqueue(*flow, i as u32 + 1, 0);
+        }
+        let culprits = qm.snapshot().original_culprits();
+        assert_eq!(culprits.len(), 4);
+        assert_eq!(culprits[0].flow, A);
+        assert_eq!(culprits[3].flow, D);
+    }
+
+    #[test]
+    fn oscillation_band_keeps_latest_writer() {
+        let mut qm = QueueMonitor::new(16, 1);
+        // Build to 5 with A.
+        for d in 1..=5 {
+            qm.on_enqueue(A, d, 0);
+        }
+        // Oscillate 5→4→5 with B replacing the top.
+        qm.on_dequeue(A, 4, 1);
+        qm.on_enqueue(B, 5, 2);
+        let culprits = qm.snapshot().original_culprits();
+        // Levels 1..4 belong to A; level 5's latest increase is B.
+        let at5: Vec<FlowId> = culprits
+            .iter()
+            .filter(|c| c.level == 5)
+            .map(|c| c.flow)
+            .collect();
+        assert_eq!(at5, vec![B]);
+        assert_eq!(culprits.iter().filter(|c| c.flow == A).count(), 4);
+    }
+
+    #[test]
+    fn granularity_buckets_depths() {
+        let mut qm = QueueMonitor::new(8, 100); // entries cover 100 cells each
+        qm.on_enqueue(A, 250, 0); // level 2
+        assert_eq!(qm.top(), 2);
+        qm.on_enqueue(B, 799, 0); // level 7
+        assert_eq!(qm.top(), 7);
+    }
+
+    #[test]
+    fn depth_beyond_range_clamps_to_last_entry() {
+        let mut qm = QueueMonitor::new(4, 1);
+        qm.on_enqueue(A, 100, 0);
+        assert_eq!(qm.top(), 3);
+        let culprits = qm.snapshot().original_culprits();
+        assert_eq!(culprits.len(), 1);
+        assert_eq!(culprits[0].level, 3);
+    }
+
+    #[test]
+    fn empty_monitor_reports_nothing() {
+        let qm = QueueMonitor::new(8, 1);
+        assert!(qm.snapshot().original_culprits().is_empty());
+    }
+
+    #[test]
+    fn counts_aggregate_by_flow() {
+        let mut qm = QueueMonitor::new(16, 1);
+        qm.on_enqueue(A, 1, 0);
+        qm.on_enqueue(A, 2, 0);
+        qm.on_enqueue(B, 3, 0);
+        let counts = qm.snapshot().culprit_counts();
+        assert_eq!(counts[&A], 2);
+        assert_eq!(counts[&B], 1);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let mut qm = QueueMonitor::new(8, 1);
+        qm.on_enqueue(A, 1, 0);
+        qm.clear();
+        assert!(qm.snapshot().original_culprits().is_empty());
+        qm.on_enqueue(B, 1, 0);
+        let culprits = qm.snapshot().original_culprits();
+        assert_eq!(culprits.len(), 1);
+        assert_eq!(culprits[0].flow, B);
+        assert!(culprits[0].seq > 1, "sequence numbers must keep rising");
+    }
+}
+
+#[cfg(test)]
+mod buildup_tests {
+    use super::*;
+
+    #[test]
+    fn timeline_orders_by_arrival_not_level() {
+        let mut qm = QueueMonitor::new(16, 1);
+        // B arrives first raising to 3 (a multi-cell packet), then A fills
+        // in levels 4 and 5 later.
+        qm.on_enqueue(FlowId(2), 3, 0);
+        qm.on_enqueue(FlowId(1), 4, 1);
+        qm.on_enqueue(FlowId(1), 5, 2);
+        let timeline = qm.snapshot().buildup_timeline();
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline[0].flow, FlowId(2), "founder first");
+        assert!(timeline.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn ranges_give_per_flow_level_bands() {
+        let mut qm = QueueMonitor::new(32, 1);
+        for d in 1..=10 {
+            qm.on_enqueue(FlowId(7), d, 0);
+        }
+        for d in 11..=12 {
+            qm.on_enqueue(FlowId(8), d, 0);
+        }
+        let ranges = qm.snapshot().buildup_ranges();
+        assert_eq!(ranges[&FlowId(7)], (1, 10));
+        assert_eq!(ranges[&FlowId(8)], (11, 12));
+    }
+}

@@ -1,0 +1,110 @@
+//! Trimmed-timestamp (TTS) arithmetic — Figure 5 of the paper.
+//!
+//! A window-`i` TTS is the dequeue timestamp right-shifted by `m0 + αi`.
+//! Its low `k` bits index a cell; the remaining high bits form the cycle ID
+//! that disambiguates ring-buffer laps. A `(cycle, index)` pair therefore
+//! reconstructs the TTS, and a TTS reconstructs the (truncated) time span
+//! the cell covers.
+
+use crate::params::TimeWindowConfig;
+use pq_packet::Nanos;
+
+/// A decomposed trimmed timestamp within one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Tts {
+    /// Cycle ID: the high bits (`tts >> k`).
+    pub cycle: u64,
+    /// Cell index: the low `k` bits.
+    pub index: usize,
+}
+
+impl Tts {
+    /// Decompose a window-`i` TTS for configuration `config`.
+    pub fn from_deq_timestamp(config: &TimeWindowConfig, window: u8, deq_ts: Nanos) -> Tts {
+        let tts = deq_ts >> config.shift(window);
+        Tts::from_raw(config, tts)
+    }
+
+    /// Decompose a raw TTS value.
+    pub fn from_raw(config: &TimeWindowConfig, tts: u64) -> Tts {
+        Tts {
+            cycle: tts >> config.k,
+            index: (tts & ((1u64 << config.k) - 1)) as usize,
+        }
+    }
+
+    /// Recompose the raw TTS value.
+    pub fn to_raw(self, config: &TimeWindowConfig) -> u64 {
+        (self.cycle << config.k) | self.index as u64
+    }
+
+    /// Start of the time span this TTS covers in window `window`.
+    pub fn span_start(self, config: &TimeWindowConfig, window: u8) -> Nanos {
+        self.to_raw(config) << config.shift(window)
+    }
+
+    /// Exclusive end of the time span this TTS covers in window `window`.
+    pub fn span_end(self, config: &TimeWindowConfig, window: u8) -> Nanos {
+        (self.to_raw(config) + 1) << config.shift(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Figure 5: timestamp 0xAAA9105A with m0 = 7 and
+    /// k = 12 splits into cycle 0b1010101010101 and index 0b001000100000 —
+    /// wait, the figure shows a 13-bit cycle and 12-bit index after dropping
+    /// 7 low bits of a 32-bit timestamp. Check the arithmetic directly.
+    #[test]
+    fn figure5_example() {
+        let config = TimeWindowConfig::new(7, 1, 12, 4);
+        let ts: Nanos = 0xAAA9_105A;
+        let tts = Tts::from_deq_timestamp(&config, 0, ts);
+        let raw = ts >> 7;
+        assert_eq!(tts.cycle, raw >> 12);
+        assert_eq!(tts.index, (raw & 0xfff) as usize);
+        // Cross-check against the figure's bit strings.
+        assert_eq!(tts.cycle, 0b1010101010101);
+        assert_eq!(tts.index, 0b001000100000);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let config = TimeWindowConfig::UW;
+        for raw in [0u64, 1, 4095, 4096, 123_456_789] {
+            let tts = Tts::from_raw(&config, raw);
+            assert_eq!(tts.to_raw(&config), raw);
+        }
+    }
+
+    #[test]
+    fn deeper_windows_merge_cells() {
+        // With alpha = 1, two adjacent window-0 TTS values map to one
+        // window-1 TTS (the §4.2 example: TTS 0x3fff000 and 0x3fff001 in
+        // window 0 share window-1 TTS 0x1fff800).
+        let config = TimeWindowConfig::new(6, 1, 12, 4);
+        let a = 0x3fff000u64 << 6; // deq timestamps whose window-0 TTS are
+        let b = 0x3fff001u64 << 6; // 0x3fff000 and 0x3fff001
+        let a1 = Tts::from_deq_timestamp(&config, 1, a);
+        let b1 = Tts::from_deq_timestamp(&config, 1, b);
+        assert_eq!(a1, b1);
+        assert_eq!(a1.to_raw(&config), 0x1fff800);
+    }
+
+    #[test]
+    fn span_covers_timestamp() {
+        let config = TimeWindowConfig::UW;
+        let ts: Nanos = 987_654_321;
+        for w in 0..config.t {
+            let tts = Tts::from_deq_timestamp(&config, w, ts);
+            assert!(tts.span_start(&config, w) <= ts);
+            assert!(ts < tts.span_end(&config, w));
+            assert_eq!(
+                tts.span_end(&config, w) - tts.span_start(&config, w),
+                config.cell_period(w)
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Ethernet II framing.
+
+use crate::wire::{Error, Result};
+use core::fmt;
+
+/// A six-octet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Address(pub [u8; 6]);
+
+impl Address {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Address = Address([0xff; 6]);
+
+    /// True when the least-significant bit of the first octet is set
+    /// (multicast or broadcast destination).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for unicast (not multicast, not all-zero).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && self.0 != [0; 6]
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values this reproduction cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    /// PrintQueue's evaluation inserts a telemetry header between Ethernet
+    /// and IPv4; we mark such frames with a dedicated (locally administered)
+    /// ethertype, as INT-style prototypes commonly do.
+    Telemetry,
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(raw: u16) -> Self {
+        match raw {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88b5 => EtherType::Telemetry, // IEEE local experimental
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> u16 {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Telemetry => 0x88b5,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// Length of the Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// A borrowed view over an Ethernet II frame.
+#[derive(Debug)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer, validating there is room for the header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Wrap a buffer without validation (caller guarantees length).
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> Address {
+        let b = self.buffer.as_ref();
+        Address(b[0..6].try_into().unwrap())
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> Address {
+        let b = self.buffer.as_ref();
+        Address(b[6..12].try_into().unwrap())
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Release the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, value: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(value).to_be_bytes());
+    }
+
+    /// Mutable access to the payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Owned representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub dst: Address,
+    pub src: Address,
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse from a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Repr {
+        Repr {
+            dst: frame.dst_addr(),
+            src: frame.src_addr(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Bytes required to emit this header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_dst_addr(self.dst);
+        frame.set_src_addr(self.src);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr {
+            dst: Address([0x02, 0, 0, 0, 0, 0x01]),
+            src: Address([0x02, 0, 0, 0, 0, 0x02]),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let mut bytes = vec![0u8; HEADER_LEN + 4];
+        let mut frame = Frame::new_unchecked(&mut bytes);
+        repr.emit(&mut frame);
+        let frame = Frame::new_checked(&bytes).unwrap();
+        assert_eq!(Repr::parse(&frame), repr);
+        assert_eq!(frame.payload().len(), 4);
+    }
+
+    #[test]
+    fn checked_rejects_short_buffer() {
+        assert_eq!(
+            Frame::new_checked([0u8; 13].as_slice()).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x88b5), EtherType::Telemetry);
+        assert_eq!(u16::from(EtherType::Unknown(0x1234)), 0x1234);
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(Address::BROADCAST.is_broadcast());
+        assert!(Address::BROADCAST.is_multicast());
+        assert!(Address([0x02, 0, 0, 0, 0, 1]).is_unicast());
+        assert!(!Address([0x03, 0, 0, 0, 0, 1]).is_unicast());
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Address([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(a.to_string(), "de:ad:be:ef:00:01");
+    }
+}

@@ -1,0 +1,325 @@
+//! Flow identification: the 5-tuple key and the compact interned flow ID.
+//!
+//! PrintQueue identifies every culprit flow by its 5-tuple (§3 of the paper):
+//! source/destination IPv4 addresses, source/destination transport ports, and
+//! the protocol number. On the Tofino the data-plane register cells store a
+//! 32-bit flow signature computed from these fields; the reproduction mirrors
+//! that with an interned [`FlowId`] (`u32`) handed out by a [`FlowTable`], so
+//! a register cell costs the same 4 bytes it costs on the ASIC while queries
+//! can still recover the full tuple.
+
+use crate::ipv4;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Transport protocols distinguished by the flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    Tcp,
+    Udp,
+    /// Any other IP protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+}
+
+impl From<u8> for Protocol {
+    fn from(n: u8) -> Self {
+        match n {
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "tcp"),
+            Protocol::Udp => write!(f, "udp"),
+            Protocol::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// The 5-tuple flow key (§3: "Flow ID, expressed as 5-Tuple").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    pub src: [u8; 4],
+    pub dst: [u8; 4],
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: Protocol,
+}
+
+impl FlowKey {
+    /// Build a TCP flow key from address/port pairs.
+    pub fn tcp(src: ipv4::Address, src_port: u16, dst: ipv4::Address, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src: src.0,
+            dst: dst.0,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
+    }
+
+    /// Build a UDP flow key from address/port pairs.
+    pub fn udp(src: ipv4::Address, src_port: u16, dst: ipv4::Address, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src: src.0,
+            dst: dst.0,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+        }
+    }
+
+    /// Source address as the wire type.
+    pub fn src_addr(&self) -> ipv4::Address {
+        ipv4::Address(self.src)
+    }
+
+    /// Destination address as the wire type.
+    pub fn dst_addr(&self) -> ipv4::Address {
+        ipv4::Address(self.dst)
+    }
+
+    /// A stable 32-bit signature of the tuple — the value a Tofino register
+    /// cell would store. FNV-1a over the 13 tuple bytes: cheap, deterministic
+    /// across runs (unlike `DefaultHasher`), and adequately mixed for the
+    /// hash-indexed baselines.
+    pub fn signature(&self) -> u32 {
+        let mut hash: u32 = 0x811c_9dc5;
+        let mut eat = |byte: u8| {
+            hash ^= u32::from(byte);
+            hash = hash.wrapping_mul(0x0100_0193);
+        };
+        for b in self.src {
+            eat(b);
+        }
+        for b in self.dst {
+            eat(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            eat(b);
+        }
+        eat(self.protocol.number());
+        hash
+    }
+
+    /// An independent second hash (FNV over the bytes in reverse with a
+    /// different offset basis) for multi-hash structures such as FlowRadar's
+    /// encoded flowset.
+    pub fn signature2(&self) -> u32 {
+        let mut hash: u32 = 0xcbf2_9ce4;
+        let mut eat = |byte: u8| {
+            hash = hash.wrapping_mul(0x0100_0193);
+            hash ^= u32::from(byte);
+        };
+        eat(self.protocol.number());
+        for b in self.dst_port.to_be_bytes().iter().rev() {
+            eat(*b);
+        }
+        for b in self.src_port.to_be_bytes().iter().rev() {
+            eat(*b);
+        }
+        for b in self.dst.iter().rev() {
+            eat(*b);
+        }
+        for b in self.src.iter().rev() {
+            eat(*b);
+        }
+        hash
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} > {}:{} ({})",
+            self.src_addr(),
+            self.src_port,
+            self.dst_addr(),
+            self.dst_port,
+            self.protocol
+        )
+    }
+}
+
+/// Compact interned flow identifier, as stored in data-plane register cells.
+///
+/// `FlowId(u32::MAX)` is reserved as the "empty cell" sentinel by the
+/// data-plane structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Sentinel for an empty register cell.
+    pub const NONE: FlowId = FlowId(u32::MAX);
+
+    /// True when this is the empty-cell sentinel.
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "flow#none")
+        } else {
+            write!(f, "flow#{}", self.0)
+        }
+    }
+}
+
+/// Bidirectional intern table between [`FlowKey`]s and dense [`FlowId`]s.
+///
+/// The simulator interns each tuple once at generation time; the data plane
+/// then only ever touches the 4-byte id, faithfully modelling the ASIC's
+/// storage cost while keeping query output human-readable.
+#[derive(Debug, Default, Clone)]
+pub struct FlowTable {
+    ids: HashMap<FlowKey, FlowId>,
+    keys: Vec<FlowKey>,
+}
+
+impl FlowTable {
+    /// Create an empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Intern a key, returning its dense id (allocating one if new).
+    pub fn intern(&mut self, key: FlowKey) -> FlowId {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = FlowId(self.keys.len() as u32);
+        assert!(
+            id.0 != u32::MAX,
+            "flow table exhausted the 32-bit id space"
+        );
+        self.keys.push(key);
+        self.ids.insert(key, id);
+        id
+    }
+
+    /// Look up an id without interning.
+    pub fn get(&self, key: &FlowKey) -> Option<FlowId> {
+        self.ids.get(key).copied()
+    }
+
+    /// Recover the tuple for an id.
+    pub fn resolve(&self, id: FlowId) -> Option<&FlowKey> {
+        self.keys.get(id.0 as usize)
+    }
+
+    /// Number of interned flows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no flows are interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate over `(FlowId, FlowKey)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowKey)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (FlowId(i as u32), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey::tcp(
+            ipv4::Address::new(10, 0, 0, n),
+            1000 + u16::from(n),
+            ipv4::Address::new(10, 0, 1, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut table = FlowTable::new();
+        let a = table.intern(key(1));
+        let b = table.intern(key(2));
+        assert_ne!(a, b);
+        assert_eq!(table.intern(key(1)), a);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut table = FlowTable::new();
+        let id = table.intern(key(7));
+        assert_eq!(table.resolve(id), Some(&key(7)));
+        assert_eq!(table.resolve(FlowId(99)), None);
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_discriminating() {
+        let a = key(1).signature();
+        assert_eq!(a, key(1).signature());
+        assert_ne!(a, key(2).signature());
+    }
+
+    #[test]
+    fn two_signatures_are_independent() {
+        // Not a strong statistical test, just a regression check that the
+        // two hashes don't collapse to the same function.
+        let mut same = 0;
+        for n in 0..100u8 {
+            if key(n).signature() % 64 == key(n).signature2() % 64 {
+                same += 1;
+            }
+        }
+        assert!(same < 20, "hashes look correlated: {same}/100");
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        assert_eq!(Protocol::from(6), Protocol::Tcp);
+        assert_eq!(Protocol::from(17), Protocol::Udp);
+        assert_eq!(Protocol::from(47), Protocol::Other(47));
+        assert_eq!(Protocol::Other(47).number(), 47);
+    }
+
+    #[test]
+    fn display_forms() {
+        let k = key(3);
+        assert_eq!(k.to_string(), "10.0.0.3:1003 > 10.0.1.1:80 (tcp)");
+        assert_eq!(FlowId(5).to_string(), "flow#5");
+        assert_eq!(FlowId::NONE.to_string(), "flow#none");
+    }
+
+    #[test]
+    fn none_sentinel() {
+        assert!(FlowId::NONE.is_none());
+        assert!(!FlowId(0).is_none());
+    }
+}

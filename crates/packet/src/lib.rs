@@ -1,0 +1,36 @@
+//! Packet model and wire formats for the PrintQueue reproduction.
+//!
+//! This crate is the leaf of the workspace dependency graph. It provides:
+//!
+//! * nanosecond time types ([`Nanos`], [`time`] helpers) shared by every
+//!   other crate,
+//! * wire-format parsing and emission for the headers PrintQueue derives its
+//!   flow IDs from (Ethernet II, IPv4, TCP, UDP) in the style of `smoltcp`:
+//!   a borrowed view type over a byte slice plus an owned `Repr`,
+//! * the 5-tuple [`FlowKey`] and the compact interned [`FlowId`] used in
+//!   data-plane register cells,
+//! * the PrintQueue ground-truth telemetry header ([`telemetry`]) that the
+//!   paper's evaluation inserts into every packet (§7.1), and
+//! * the simulation-level packet descriptor [`SimPacket`] that travels
+//!   through the switch substrate.
+//!
+//! The wire formats are complete enough to round-trip real packet bytes; the
+//! simulator mostly moves [`SimPacket`] descriptors around for speed, but the
+//! integration tests demonstrate full parse → queue → emit paths.
+
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod packet;
+pub mod tcp;
+pub mod telemetry;
+pub mod time;
+pub mod udp;
+pub mod wire;
+
+pub use flow::{FlowId, FlowKey, FlowTable, Protocol};
+pub use packet::{PacketMeta, SimPacket};
+pub use telemetry::TelemetryHeader;
+pub use time::{Nanos, NanosExt};
+pub use wire::{Error as WireError, Result as WireResult};

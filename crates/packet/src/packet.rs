@@ -1,0 +1,260 @@
+//! The simulation-level packet descriptor.
+//!
+//! Inside the simulator we do not shuttle full byte buffers through the
+//! switch for every packet — at UW-trace rates (~9 Mpps) that would dominate
+//! runtime without changing any result, because PrintQueue only reads the
+//! metadata of Table 1. [`SimPacket`] is that metadata plus the flow id and
+//! wire length. The integration tests build real byte frames with
+//! [`crate::ethernet`]/[`crate::ipv4`]/... and convert them to descriptors to
+//! prove the two views agree.
+
+use crate::ethernet;
+use crate::flow::{FlowId, FlowKey, Protocol};
+use crate::ipv4;
+use crate::tcp;
+use crate::time::Nanos;
+use crate::udp;
+use crate::wire::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Queueing metadata attached by the traffic manager, mirroring the intrinsic
+/// metadata of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// `egress_spec` — output port chosen by the ingress pipeline.
+    pub egress_port: u16,
+    /// `enq_timestamp` — when the packet entered the queue.
+    pub enq_timestamp: Nanos,
+    /// `deq_timedelta` — time spent in the queue.
+    pub deq_timedelta: u32,
+    /// `enq_qdepth` — depth (in buffer cells) of the packet's *own* queue
+    /// observed at enqueue, *including* this packet's cells. For a FIFO
+    /// port this equals the port depth; multi-queue disciplines report the
+    /// per-queue depth, which is what the paper's queue monitor tracks
+    /// "individually" per queue (§5).
+    pub enq_qdepth: u32,
+    /// Which of the egress port's queues the packet occupied (0 on FIFO
+    /// ports).
+    #[serde(default)]
+    pub queue: u8,
+}
+
+impl PacketMeta {
+    /// Dequeue timestamp: `enq_timestamp + deq_timedelta` (§4.2).
+    pub fn deq_timestamp(&self) -> Nanos {
+        self.enq_timestamp + Nanos::from(self.deq_timedelta)
+    }
+}
+
+/// A packet travelling through the simulated switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimPacket {
+    /// Interned flow identity.
+    pub flow: FlowId,
+    /// Wire length in bytes (Ethernet frame, no FCS).
+    pub len: u32,
+    /// Time the packet arrived at the switch ingress.
+    pub arrival: Nanos,
+    /// Scheduling priority (0 = highest). Only meaningful for
+    /// priority-scheduled ports; FIFO ports ignore it.
+    pub priority: u8,
+    /// Monotonic per-simulation sequence number, used to keep ground truth
+    /// records unambiguous even when timestamps collide.
+    pub seqno: u64,
+    /// Queueing metadata, filled by the traffic manager.
+    pub meta: PacketMeta,
+}
+
+impl SimPacket {
+    /// Construct an un-enqueued packet.
+    pub fn new(flow: FlowId, len: u32, arrival: Nanos) -> SimPacket {
+        SimPacket {
+            flow,
+            len,
+            arrival,
+            priority: 0,
+            seqno: 0,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Builder-style priority assignment.
+    pub fn with_priority(mut self, priority: u8) -> SimPacket {
+        self.priority = priority;
+        self
+    }
+}
+
+/// A fully parsed frame: link + network + transport headers and the flow key
+/// derived from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFrame {
+    pub ethernet: ethernet::Repr,
+    pub ipv4: ipv4::Repr,
+    pub flow: FlowKey,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+    /// Total frame length in bytes.
+    pub frame_len: usize,
+}
+
+/// Parse an Ethernet/IPv4/{TCP,UDP} frame into a [`ParsedFrame`].
+///
+/// This is the ingress parser of the simulated switch: exactly the state
+/// machine a P4 parser would run to extract the 5-tuple ("The flow ID can be
+/// derived directly from packet header contents", §4).
+pub fn parse_frame(bytes: &[u8]) -> Result<ParsedFrame> {
+    let eth_frame = ethernet::Frame::new_checked(bytes)?;
+    let eth = ethernet::Repr::parse(&eth_frame);
+    if eth.ethertype != ethernet::EtherType::Ipv4 {
+        return Err(Error::Malformed);
+    }
+    let ip_packet = ipv4::Packet::new_checked(eth_frame.payload())?;
+    let ip = ipv4::Repr::parse(&ip_packet)?;
+    let (src_port, dst_port, payload_len) = match Protocol::from(ip.protocol) {
+        Protocol::Tcp => {
+            let seg = tcp::Segment::new_checked(ip_packet.payload())?;
+            let repr = tcp::Repr::parse(&seg);
+            (repr.src_port, repr.dst_port, seg.payload().len())
+        }
+        Protocol::Udp => {
+            let dgram = udp::Datagram::new_checked(ip_packet.payload())?;
+            let repr = udp::Repr::parse(&dgram);
+            (repr.src_port, repr.dst_port, dgram.payload().len())
+        }
+        Protocol::Other(_) => (0, 0, ip_packet.payload().len()),
+    };
+    let flow = FlowKey {
+        src: ip.src.0,
+        dst: ip.dst.0,
+        src_port,
+        dst_port,
+        protocol: Protocol::from(ip.protocol),
+    };
+    Ok(ParsedFrame {
+        ethernet: eth,
+        ipv4: ip,
+        flow,
+        payload_len,
+        frame_len: bytes.len(),
+    })
+}
+
+/// Build a complete Ethernet/IPv4/{TCP,UDP} frame for a flow with
+/// `payload_len` payload bytes (zero-filled). Used by tests and examples to
+/// exercise the byte-level path.
+pub fn build_frame(flow: &FlowKey, payload_len: usize) -> Vec<u8> {
+    let transport_len = match flow.protocol {
+        Protocol::Tcp => tcp::HEADER_LEN,
+        Protocol::Udp => udp::HEADER_LEN,
+        Protocol::Other(_) => 0,
+    } + payload_len;
+    let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + transport_len;
+    let mut bytes = vec![0u8; total];
+
+    let eth = ethernet::Repr {
+        dst: ethernet::Address([0x02, 0, 0, 0, 0, 0x01]),
+        src: ethernet::Address([0x02, 0, 0, 0, 0, 0x02]),
+        ethertype: ethernet::EtherType::Ipv4,
+    };
+    let mut eth_frame = ethernet::Frame::new_unchecked(&mut bytes);
+    eth.emit(&mut eth_frame);
+
+    let ip = ipv4::Repr {
+        src: flow.src_addr(),
+        dst: flow.dst_addr(),
+        protocol: flow.protocol.number(),
+        payload_len: transport_len as u16,
+        dscp: 0,
+        ttl: 64,
+    };
+    let mut ip_packet = ipv4::Packet::new_unchecked(eth_frame.payload_mut());
+    ip.emit(&mut ip_packet);
+
+    match flow.protocol {
+        Protocol::Tcp => {
+            let repr = tcp::Repr {
+                src_port: flow.src_port,
+                dst_port: flow.dst_port,
+                seq: 0,
+                ack: 0,
+                flags: tcp::flags::ACK,
+                window: 65535,
+            };
+            let mut seg = tcp::Segment::new_unchecked(ip_packet.payload_mut());
+            repr.emit(&mut seg, flow.src_addr(), flow.dst_addr());
+        }
+        Protocol::Udp => {
+            let repr = udp::Repr {
+                src_port: flow.src_port,
+                dst_port: flow.dst_port,
+                payload_len: payload_len as u16,
+            };
+            let mut dgram = udp::Datagram::new_unchecked(ip_packet.payload_mut());
+            repr.emit(&mut dgram, flow.src_addr(), flow.dst_addr());
+        }
+        Protocol::Other(_) => {}
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Address;
+
+    fn tcp_key() -> FlowKey {
+        FlowKey::tcp(Address::new(10, 0, 0, 1), 40000, Address::new(10, 0, 1, 2), 80)
+    }
+
+    fn udp_key() -> FlowKey {
+        FlowKey::udp(Address::new(10, 0, 0, 9), 5000, Address::new(10, 0, 1, 2), 9999)
+    }
+
+    #[test]
+    fn build_then_parse_tcp() {
+        let key = tcp_key();
+        let bytes = build_frame(&key, 100);
+        let parsed = parse_frame(&bytes).unwrap();
+        assert_eq!(parsed.flow, key);
+        assert_eq!(parsed.payload_len, 100);
+        assert_eq!(parsed.frame_len, bytes.len());
+    }
+
+    #[test]
+    fn build_then_parse_udp() {
+        let key = udp_key();
+        let bytes = build_frame(&key, 22);
+        let parsed = parse_frame(&bytes).unwrap();
+        assert_eq!(parsed.flow, key);
+        assert_eq!(parsed.payload_len, 22);
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let key = tcp_key();
+        let mut bytes = build_frame(&key, 10);
+        bytes[12..14].copy_from_slice(&0x0806u16.to_be_bytes()); // ARP
+        assert_eq!(parse_frame(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn meta_deq_timestamp() {
+        let meta = PacketMeta {
+            egress_port: 1,
+            enq_timestamp: 100,
+            deq_timedelta: 40,
+            enq_qdepth: 7,
+            queue: 0,
+        };
+        assert_eq!(meta.deq_timestamp(), 140);
+    }
+
+    #[test]
+    fn sim_packet_builder() {
+        let p = SimPacket::new(FlowId(3), 64, 1000).with_priority(2);
+        assert_eq!(p.priority, 2);
+        assert_eq!(p.len, 64);
+        assert_eq!(p.meta, PacketMeta::default());
+    }
+}

@@ -1,0 +1,265 @@
+//! TCP header parsing and emission (header only — the simulator does not run
+//! a TCP state machine; flow-level senders in `pq-trace` model rate behaviour
+//! instead, matching how the paper drives its testbed with replayed traces).
+
+use crate::checksum::{self, Sum};
+use crate::ipv4;
+use crate::wire::{Error, Result};
+
+/// Minimum TCP header length (no options), in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+/// A borrowed view over a TCP segment.
+#[derive(Debug)]
+pub struct Segment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Segment<T> {
+    /// Wrap a buffer, validating length fields.
+    pub fn new_checked(buffer: T) -> Result<Segment<T>> {
+        let segment = Segment { buffer };
+        let b = segment.buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let header_len = segment.header_len() as usize;
+        if header_len < HEADER_LEN || header_len > b.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(segment)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Segment<T> {
+        Segment { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag byte (FIN/SYN/RST/PSH/ACK bits).
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13] & 0x3f
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Payload after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len() as usize..]
+    }
+
+    /// Verify the checksum against the IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: ipv4::Address, dst: ipv4::Address) -> bool {
+        let b = self.buffer.as_ref();
+        let mut sum = checksum::pseudo_header_sum(src.0, dst.0, 6, b.len() as u16);
+        sum.add_bytes(b);
+        sum.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq_number(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Set the acknowledgement number.
+    pub fn set_ack_number(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Set data offset (header length in bytes).
+    pub fn set_header_len(&mut self, len: u8) {
+        debug_assert_eq!(len % 4, 0);
+        self.buffer.as_mut()[12] = (len / 4) << 4;
+    }
+
+    /// Set the flag byte.
+    pub fn set_flags(&mut self, flags: u8) {
+        self.buffer.as_mut()[13] = flags & 0x3f;
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&window.to_be_bytes());
+    }
+
+    /// Compute and store the checksum over pseudo-header + segment.
+    pub fn fill_checksum(&mut self, src: ipv4::Address, dst: ipv4::Address) {
+        let len = self.buffer.as_ref().len() as u16;
+        let b = self.buffer.as_mut();
+        b[16..18].copy_from_slice(&[0, 0]);
+        let mut sum: Sum = checksum::pseudo_header_sum(src.0, dst.0, 6, len);
+        sum.add_bytes(b);
+        let cksum = sum.finish();
+        b[16..18].copy_from_slice(&cksum.to_be_bytes());
+    }
+}
+
+/// Owned representation of a TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+}
+
+impl Repr {
+    /// Parse from a segment view (checksum verified separately, since it
+    /// needs the pseudo-header).
+    pub fn parse<T: AsRef<[u8]>>(segment: &Segment<T>) -> Repr {
+        Repr {
+            src_port: segment.src_port(),
+            dst_port: segment.dst_port(),
+            seq: segment.seq_number(),
+            ack: segment.ack_number(),
+            flags: segment.flags(),
+            window: segment.window(),
+        }
+    }
+
+    /// Bytes required to emit this header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit into a segment view and compute the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        segment: &mut Segment<T>,
+        src: ipv4::Address,
+        dst: ipv4::Address,
+    ) {
+        segment.set_src_port(self.src_port);
+        segment.set_dst_port(self.dst_port);
+        segment.set_seq_number(self.seq);
+        segment.set_ack_number(self.ack);
+        segment.set_header_len(HEADER_LEN as u8);
+        segment.set_flags(self.flags);
+        segment.set_window(self.window);
+        segment.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: ipv4::Address = ipv4::Address::new(10, 0, 0, 1);
+    const DST: ipv4::Address = ipv4::Address::new(10, 0, 0, 2);
+
+    fn sample() -> Repr {
+        Repr {
+            src_port: 43211,
+            dst_port: 80,
+            seq: 0x12345678,
+            ack: 0x9abcdef0,
+            flags: flags::ACK | flags::PSH,
+            window: 65535,
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_payload() {
+        let repr = sample();
+        let mut bytes = vec![0u8; HEADER_LEN + 11];
+        bytes[HEADER_LEN..].copy_from_slice(b"hello world");
+        let mut segment = Segment::new_unchecked(&mut bytes);
+        repr.emit(&mut segment, SRC, DST);
+        let segment = Segment::new_checked(&bytes).unwrap();
+        assert!(segment.verify_checksum(SRC, DST));
+        assert_eq!(Repr::parse(&segment), repr);
+        assert_eq!(segment.payload(), b"hello world");
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let repr = sample();
+        let mut bytes = vec![0u8; HEADER_LEN];
+        let mut segment = Segment::new_unchecked(&mut bytes);
+        repr.emit(&mut segment, SRC, DST);
+        let segment = Segment::new_checked(&bytes).unwrap();
+        assert!(!segment.verify_checksum(SRC, ipv4::Address::new(10, 0, 0, 3)));
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut bytes = [0u8; HEADER_LEN];
+        bytes[12] = 0x20; // header length 8 < 20
+        assert_eq!(
+            Segment::new_checked(bytes.as_slice()).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn flag_bits() {
+        let repr = sample();
+        let mut bytes = vec![0u8; HEADER_LEN];
+        let mut segment = Segment::new_unchecked(&mut bytes);
+        repr.emit(&mut segment, SRC, DST);
+        let segment = Segment::new_checked(&bytes).unwrap();
+        assert_eq!(segment.flags() & flags::ACK, flags::ACK);
+        assert_eq!(segment.flags() & flags::SYN, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! PrintQueue ground-truth telemetry header.
+//!
+//! To compute its evaluation metrics, the paper's testbed switch inserts a
+//! telemetry header into every packet carrying the enqueue/dequeue timestamps
+//! and queue depth at enqueue (§7.1: "the switch inserts a telemetry header
+//! into every packet that contains the enqueue/dequeue timestamps and queue
+//! depth at the packet's enqueue time"). The header is *not* part of a real
+//! deployment — only the ground-truth path uses it. We mirror it as a fixed
+//! 20-byte header placed between Ethernet and IPv4 (ethertype 0x88b5).
+//!
+//! Layout (all big-endian):
+//!
+//! ```text
+//!  0       4       8       12      16    18   20
+//!  +-------+-------+-------+-------+-----+----+
+//!  | enq_ts (u64)  | deq_delta u32 | qd  |port|
+//!  +---------------+---------------+-----+----+
+//! ```
+//!
+//! where `qd` is the 16-bit enqueue queue depth in buffer cells and `port`
+//! the 16-bit egress port.
+
+use crate::time::Nanos;
+use crate::wire::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of the telemetry header in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// The decoded telemetry header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryHeader {
+    /// Switch time when the packet was enqueued.
+    pub enq_timestamp: Nanos,
+    /// Time spent in the queue (`deq_timestamp - enq_timestamp`).
+    pub deq_timedelta: u32,
+    /// Queue depth (in buffer cells) observed at enqueue.
+    pub enq_qdepth: u16,
+    /// Egress port the packet left through.
+    pub egress_port: u16,
+}
+
+impl TelemetryHeader {
+    /// Dequeue timestamp (`enq_timestamp + deq_timedelta`), the value
+    /// PrintQueue's time windows index on (§4.2).
+    pub fn deq_timestamp(&self) -> Nanos {
+        self.enq_timestamp + Nanos::from(self.deq_timedelta)
+    }
+
+    /// Parse from the front of a byte slice.
+    pub fn parse(data: &[u8]) -> Result<TelemetryHeader> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(TelemetryHeader {
+            enq_timestamp: u64::from_be_bytes(data[0..8].try_into().unwrap()),
+            deq_timedelta: u32::from_be_bytes(data[8..12].try_into().unwrap()),
+            enq_qdepth: u16::from_be_bytes(data[12..14].try_into().unwrap()),
+            egress_port: u16::from_be_bytes(data[14..16].try_into().unwrap()),
+        })
+    }
+
+    /// Emit into the front of a byte slice. The final four bytes are a
+    /// reserved field zeroed for alignment.
+    pub fn emit(&self, data: &mut [u8]) -> Result<()> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        data[0..8].copy_from_slice(&self.enq_timestamp.to_be_bytes());
+        data[8..12].copy_from_slice(&self.deq_timedelta.to_be_bytes());
+        data[12..14].copy_from_slice(&self.enq_qdepth.to_be_bytes());
+        data[14..16].copy_from_slice(&self.egress_port.to_be_bytes());
+        data[16..20].copy_from_slice(&[0; 4]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = TelemetryHeader {
+            enq_timestamp: 0xAAA9_105A,
+            deq_timedelta: 123_456,
+            enq_qdepth: 4096,
+            egress_port: 140,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        assert_eq!(TelemetryHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn deq_timestamp_is_sum() {
+        let hdr = TelemetryHeader {
+            enq_timestamp: 1_000,
+            deq_timedelta: 500,
+            enq_qdepth: 0,
+            egress_port: 0,
+        };
+        assert_eq!(hdr.deq_timestamp(), 1_500);
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        let hdr = TelemetryHeader {
+            enq_timestamp: 0,
+            deq_timedelta: 0,
+            enq_qdepth: 0,
+            egress_port: 0,
+        };
+        let mut short = [0u8; HEADER_LEN - 1];
+        assert_eq!(hdr.emit(&mut short).unwrap_err(), Error::Truncated);
+        assert_eq!(TelemetryHeader::parse(&short).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,95 @@
+//! Nanosecond time base shared by the whole workspace.
+//!
+//! Modern switch ASICs timestamp packets with a free-running nanosecond
+//! clock; PrintQueue's trimmed timestamps (TTS, §4.2 of the paper) are
+//! derived from that clock by bit shifts. Everything in this reproduction
+//! therefore uses a plain `u64` nanosecond counter starting at zero when the
+//! simulation starts. A newtype would buy little here and cost a lot of
+//! arithmetic noise, so `Nanos` is a type alias plus an extension trait for
+//! readable construction.
+
+/// A point in (simulated) time or a duration, in nanoseconds.
+pub type Nanos = u64;
+
+/// Nanoseconds in one microsecond.
+pub const MICRO: Nanos = 1_000;
+/// Nanoseconds in one millisecond.
+pub const MILLI: Nanos = 1_000_000;
+/// Nanoseconds in one second.
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Readable constructors for [`Nanos`] values: `5.micros()`, `3.millis()`.
+pub trait NanosExt {
+    /// Interpret `self` as a count of microseconds.
+    fn micros(self) -> Nanos;
+    /// Interpret `self` as a count of milliseconds.
+    fn millis(self) -> Nanos;
+    /// Interpret `self` as a count of seconds.
+    fn secs(self) -> Nanos;
+}
+
+impl NanosExt for u64 {
+    fn micros(self) -> Nanos {
+        self * MICRO
+    }
+    fn millis(self) -> Nanos {
+        self * MILLI
+    }
+    fn secs(self) -> Nanos {
+        self * SECOND
+    }
+}
+
+/// Transmission (serialization) delay of `bytes` at `rate_gbps` gigabits per
+/// second, rounded up to a whole nanosecond.
+///
+/// This is the quantum that drives the whole simulation: a port transmits one
+/// packet every `tx_delay_ns(len, rate)` nanoseconds when backlogged. At
+/// 10 Gbps a 64 B minimum frame takes 51.2 ns — hence the paper's choice of
+/// `m0 = 6` (cell period 64 ns) for minimum-size packets, and `m0 = 10`
+/// (1024 ns) for near-MTU traffic.
+pub fn tx_delay_ns(bytes: u32, rate_gbps: f64) -> Nanos {
+    debug_assert!(rate_gbps > 0.0, "line rate must be positive");
+    let bits = f64::from(bytes) * 8.0;
+    (bits / rate_gbps).ceil() as Nanos
+}
+
+/// Convert a nanosecond duration to seconds as `f64` (for rate math).
+pub fn to_secs_f64(ns: Nanos) -> f64 {
+    ns as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(5u64.micros(), 5_000);
+        assert_eq!(3u64.millis(), 3_000_000);
+        assert_eq!(2u64.secs(), 2_000_000_000);
+    }
+
+    #[test]
+    fn tx_delay_min_frame_at_10g() {
+        // 64 B * 8 = 512 bits at 10 Gbps = 51.2 ns, rounds up to 52.
+        assert_eq!(tx_delay_ns(64, 10.0), 52);
+    }
+
+    #[test]
+    fn tx_delay_mtu_at_10g() {
+        // 1500 B * 8 = 12000 bits at 10 Gbps = 1200 ns.
+        assert_eq!(tx_delay_ns(1500, 10.0), 1200);
+    }
+
+    #[test]
+    fn tx_delay_at_40g_is_quarter() {
+        assert_eq!(tx_delay_ns(1500, 40.0), 300);
+    }
+
+    #[test]
+    fn to_secs_roundtrip() {
+        assert!((to_secs_f64(SECOND) - 1.0).abs() < 1e-12);
+        assert!((to_secs_f64(MILLI) - 1e-3).abs() < 1e-12);
+    }
+}

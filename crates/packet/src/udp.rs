@@ -1,0 +1,209 @@
+//! UDP header parsing and emission.
+
+use crate::checksum::{self, Sum};
+use crate::ipv4;
+use crate::wire::{Error, Result};
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A borrowed view over a UDP datagram.
+#[derive(Debug)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wrap a buffer, validating length fields.
+    pub fn new_checked(buffer: T) -> Result<Datagram<T>> {
+        let datagram = Datagram { buffer };
+        let b = datagram.buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = datagram.len() as usize;
+        if len < HEADER_LEN || len > b.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(datagram)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Datagram<T> {
+        Datagram { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// True when the length field covers only the header.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verify the checksum (a zero checksum means "not computed" per RFC 768
+    /// and verifies trivially).
+    pub fn verify_checksum(&self, src: ipv4::Address, dst: ipv4::Address) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let b = &self.buffer.as_ref()[..self.len() as usize];
+        let mut sum = checksum::pseudo_header_sum(src.0, dst.0, 17, self.len());
+        sum.add_bytes(b);
+        sum.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Compute and store the checksum.
+    pub fn fill_checksum(&mut self, src: ipv4::Address, dst: ipv4::Address) {
+        let len = self.len();
+        let b = self.buffer.as_mut();
+        b[6..8].copy_from_slice(&[0, 0]);
+        let mut sum: Sum = checksum::pseudo_header_sum(src.0, dst.0, 17, len);
+        sum.add_bytes(&b[..len as usize]);
+        let mut cksum = sum.finish();
+        if cksum == 0 {
+            // RFC 768: a computed zero checksum is transmitted as all-ones.
+            cksum = 0xffff;
+        }
+        b[6..8].copy_from_slice(&cksum.to_be_bytes());
+    }
+}
+
+/// Owned representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload_len: u16,
+}
+
+impl Repr {
+    /// Parse from a datagram view.
+    pub fn parse<T: AsRef<[u8]>>(datagram: &Datagram<T>) -> Repr {
+        Repr {
+            src_port: datagram.src_port(),
+            dst_port: datagram.dst_port(),
+            payload_len: datagram.len() - HEADER_LEN as u16,
+        }
+    }
+
+    /// Bytes required to emit this header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit into a datagram view and compute the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        datagram: &mut Datagram<T>,
+        src: ipv4::Address,
+        dst: ipv4::Address,
+    ) {
+        datagram.set_src_port(self.src_port);
+        datagram.set_dst_port(self.dst_port);
+        datagram.set_len(HEADER_LEN as u16 + self.payload_len);
+        datagram.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: ipv4::Address = ipv4::Address::new(10, 0, 0, 1);
+    const DST: ipv4::Address = ipv4::Address::new(10, 0, 0, 2);
+
+    #[test]
+    fn roundtrip() {
+        let repr = Repr {
+            src_port: 5353,
+            dst_port: 9999,
+            payload_len: 5,
+        };
+        let mut bytes = vec![0u8; HEADER_LEN + 5];
+        bytes[HEADER_LEN..].copy_from_slice(b"burst");
+        let mut dgram = Datagram::new_unchecked(&mut bytes);
+        repr.emit(&mut dgram, SRC, DST);
+        let dgram = Datagram::new_checked(&bytes).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+        assert_eq!(Repr::parse(&dgram), repr);
+        assert_eq!(dgram.payload(), b"burst");
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut bytes = vec![0u8; HEADER_LEN];
+        let mut dgram = Datagram::new_unchecked(&mut bytes);
+        dgram.set_src_port(1);
+        dgram.set_dst_port(2);
+        dgram.set_len(HEADER_LEN as u16);
+        let dgram = Datagram::new_checked(&bytes).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_beyond_buffer_rejected() {
+        let mut bytes = vec![0u8; HEADER_LEN];
+        bytes[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Datagram::new_checked(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
+        let mut bytes = vec![0u8; HEADER_LEN + 4];
+        bytes[HEADER_LEN..].copy_from_slice(b"data");
+        let mut dgram = Datagram::new_unchecked(&mut bytes);
+        repr.emit(&mut dgram, SRC, DST);
+        bytes[HEADER_LEN] ^= 0xff;
+        let dgram = Datagram::new_checked(&bytes).unwrap();
+        assert!(!dgram.verify_checksum(SRC, DST));
+    }
+}

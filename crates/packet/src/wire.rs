@@ -1,0 +1,43 @@
+//! Error handling for wire-format parsing and emission.
+
+use core::fmt;
+
+/// Errors produced when parsing or emitting packet headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the header (or the header's own length
+    /// field claims more bytes than are present).
+    Truncated,
+    /// A header field holds a value the parser cannot accept (bad version,
+    /// impossible header length, unsupported ethertype, ...).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated packet"),
+            Error::Malformed => write!(f, "malformed header field"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for wire operations.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Error::Truncated.to_string(), "truncated packet");
+        assert_eq!(Error::Malformed.to_string(), "malformed header field");
+        assert_eq!(Error::Checksum.to_string(), "checksum mismatch");
+    }
+}

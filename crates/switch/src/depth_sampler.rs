@@ -1,0 +1,216 @@
+//! Periodic queue-depth sampling — the telemetry behind depth-over-time
+//! plots such as the paper's Figure 16(a).
+//!
+//! Real deployments poll queue depth counters (or stream them via INT);
+//! this hook samples each watched port's depth on the control-plane tick
+//! and keeps a bounded series. Unlike the ground-truth oracle, it observes
+//! exactly what a switch's counters expose, at poll granularity.
+
+use crate::hooks::QueueHooks;
+use pq_packet::{Nanos, SimPacket};
+use serde::{Deserialize, Serialize};
+
+/// One (time, depth) observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthSample {
+    pub at: Nanos,
+    pub depth_cells: u32,
+}
+
+/// Samples one port's depth whenever the tick fires.
+///
+/// Depth is tracked incrementally from enqueue/dequeue deltas (the hook
+/// never peeks inside the switch), so it stays accurate between ticks and
+/// costs O(1) per packet.
+#[derive(Debug)]
+pub struct DepthSampler {
+    /// Watched port.
+    pub port: u16,
+    /// Collected samples, in time order.
+    pub samples: Vec<DepthSample>,
+    /// Peak depth ever observed (at packet granularity, not just ticks).
+    pub peak_cells: u32,
+    current_cells: i64,
+    cell_bytes: u32,
+    max_samples: usize,
+}
+
+impl DepthSampler {
+    /// Watch `port`, with the switch's buffer-cell size, keeping at most
+    /// `max_samples` samples (oldest dropped first).
+    pub fn new(port: u16, cell_bytes: u32, max_samples: usize) -> DepthSampler {
+        assert!(cell_bytes > 0 && max_samples > 0);
+        DepthSampler {
+            port,
+            samples: Vec::new(),
+            peak_cells: 0,
+            current_cells: 0,
+            cell_bytes,
+            max_samples,
+        }
+    }
+
+    fn cells(&self, len: u32) -> i64 {
+        i64::from(len.div_ceil(self.cell_bytes))
+    }
+
+    /// Depth right now, in cells.
+    pub fn current_depth(&self) -> u32 {
+        self.current_cells.max(0) as u32
+    }
+
+    /// The sample closest in time to `at`.
+    pub fn nearest(&self, at: Nanos) -> Option<DepthSample> {
+        self.samples
+            .iter()
+            .min_by_key(|s| s.at.abs_diff(at))
+            .copied()
+    }
+
+    /// The latest sample at or before `at` whose depth was zero — a
+    /// deployment-side estimate of when the current congestion regime
+    /// began (the ground-truth oracle computes this exactly from telemetry;
+    /// operators only have counter samples).
+    pub fn last_idle_before(&self, at: Nanos) -> Option<Nanos> {
+        self.samples
+            .iter()
+            .filter(|s| s.at <= at && s.depth_cells == 0)
+            .map(|s| s.at)
+            .next_back()
+    }
+
+    /// Longest contiguous run of samples with depth above `threshold`,
+    /// returned as (start, end) times.
+    pub fn longest_busy_span(&self, threshold: u32) -> Option<(Nanos, Nanos)> {
+        let mut best: Option<(Nanos, Nanos)> = None;
+        let mut run_start: Option<Nanos> = None;
+        for s in &self.samples {
+            if s.depth_cells > threshold {
+                run_start.get_or_insert(s.at);
+                let start = run_start.unwrap();
+                if best.is_none_or(|(bs, be)| s.at - start > be - bs) {
+                    best = Some((start, s.at));
+                }
+            } else {
+                run_start = None;
+            }
+        }
+        best
+    }
+}
+
+impl QueueHooks for DepthSampler {
+    fn on_enqueue(&mut self, pkt: &SimPacket, port: u16, _depth_after: u32, _now: Nanos) {
+        if port == self.port {
+            self.current_cells += self.cells(pkt.len);
+            self.peak_cells = self.peak_cells.max(self.current_depth());
+        }
+    }
+
+    fn on_dequeue(&mut self, pkt: &SimPacket, port: u16, _depth_after: u32, _now: Nanos) {
+        if port == self.port {
+            self.current_cells -= self.cells(pkt.len);
+        }
+    }
+
+    fn on_tick(&mut self, now: Nanos) {
+        if self.samples.len() == self.max_samples {
+            self.samples.remove(0);
+        }
+        self.samples.push(DepthSample {
+            at: now,
+            depth_cells: self.current_depth(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::{Arrival, Switch, SwitchConfig};
+    use pq_packet::FlowId;
+
+    #[test]
+    fn sampler_tracks_burst_and_drain() {
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+        let mut sampler = DepthSampler::new(0, 80, 1024);
+        // 100 MTU packets in 10 µs (burst), drains over ~120 µs.
+        let arrivals: Vec<Arrival> = (0..100u64)
+            .map(|i| Arrival::new(SimPacket::new(FlowId(0), 1500, i * 100), 0))
+            .collect();
+        {
+            let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut sampler];
+            sw.run(arrivals, &mut hooks, 10_000);
+        }
+        assert!(sampler.peak_cells > 80 * 19, "peak {}", sampler.peak_cells);
+        // Final sample: drained.
+        assert_eq!(sampler.samples.last().unwrap().depth_cells, 0);
+        // Depth rose then fell.
+        let max_sample = sampler.samples.iter().map(|s| s.depth_cells).max().unwrap();
+        assert!(max_sample > 1000);
+        let busy = sampler.longest_busy_span(100).expect("busy span");
+        assert!(busy.1 > busy.0);
+    }
+
+    #[test]
+    fn sampler_is_port_selective() {
+        use crate::tm::PortConfig;
+        let config = SwitchConfig {
+            ports: vec![PortConfig::default(); 2],
+            cell_bytes: 80,
+        };
+        let mut sw = Switch::new(config);
+        let mut sampler = DepthSampler::new(1, 80, 64);
+        let arrivals = vec![
+            Arrival::new(SimPacket::new(FlowId(0), 1500, 0), 0),
+            Arrival::new(SimPacket::new(FlowId(1), 1500, 1), 1),
+        ];
+        {
+            let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut sampler];
+            sw.run(arrivals, &mut hooks, 500);
+        }
+        // Only port 1's single packet was ever counted.
+        assert_eq!(sampler.peak_cells, 19);
+    }
+
+    #[test]
+    fn sample_ring_is_bounded() {
+        let mut sampler = DepthSampler::new(0, 80, 4);
+        for t in 0..10u64 {
+            sampler.on_tick(t * 100);
+        }
+        assert_eq!(sampler.samples.len(), 4);
+        assert_eq!(sampler.samples[0].at, 600);
+    }
+
+    #[test]
+    fn nearest_picks_closest_sample() {
+        let mut sampler = DepthSampler::new(0, 80, 16);
+        sampler.on_tick(100);
+        sampler.on_tick(200);
+        assert_eq!(sampler.nearest(140).unwrap().at, 100);
+        assert_eq!(sampler.nearest(160).unwrap().at, 200);
+        assert!(DepthSampler::new(0, 80, 4).nearest(0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod regime_tests {
+    use super::*;
+
+    #[test]
+    fn last_idle_before_finds_the_regime_start() {
+        let mut s = DepthSampler::new(0, 80, 64);
+        // Samples: idle at 100 and 200, busy at 300-500, idle at 600.
+        for (t, d) in [(100u64, 0u32), (200, 0), (300, 50), (400, 80), (500, 20), (600, 0)] {
+            s.samples.push(DepthSample {
+                at: t,
+                depth_cells: d,
+            });
+        }
+        assert_eq!(s.last_idle_before(450), Some(200));
+        assert_eq!(s.last_idle_before(150), Some(100));
+        assert_eq!(s.last_idle_before(700), Some(600));
+        assert_eq!(s.last_idle_before(50), None);
+    }
+}

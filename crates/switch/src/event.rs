@@ -1,0 +1,121 @@
+//! The event calendar driving the discrete-event simulation.
+//!
+//! Only one kind of internal event exists: a port finishing the transmission
+//! of a packet ([`Event::TxComplete`]). Packet arrivals come from the sorted
+//! input stream and periodic control-plane ticks are synthesized by the run
+//! loop, so the calendar stays tiny and allocation-light.
+
+use pq_packet::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An internal simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Port `port` finishes serializing its current packet at the scheduled
+    /// time and can begin the next transmission.
+    TxComplete { port: u16 },
+}
+
+/// A scheduled event with a deterministic tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: Nanos,
+    /// Monotonic insertion counter so simultaneous events fire in the order
+    /// they were scheduled, keeping runs reproducible.
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event calendar.
+#[derive(Debug, Default)]
+pub struct Calendar {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl Calendar {
+    /// Create an empty calendar.
+    pub fn new() -> Calendar {
+        Calendar::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(30, Event::TxComplete { port: 3 });
+        cal.schedule(10, Event::TxComplete { port: 1 });
+        cal.schedule(20, Event::TxComplete { port: 2 });
+        let order: Vec<Nanos> = std::iter::from_fn(|| cal.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(5, Event::TxComplete { port: 9 });
+        cal.schedule(5, Event::TxComplete { port: 1 });
+        let (_, first) = cal.pop().unwrap();
+        let (_, second) = cal.pop().unwrap();
+        assert_eq!(first, Event::TxComplete { port: 9 });
+        assert_eq!(second, Event::TxComplete { port: 1 });
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.peek_time(), None);
+        cal.schedule(42, Event::TxComplete { port: 0 });
+        assert_eq!(cal.peek_time(), Some(42));
+        assert_eq!(cal.pop().unwrap().0, 42);
+        assert!(cal.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Hook points where data-plane programs and measurement sinks attach.
+//!
+//! The switch invokes hooks at the three queue-state transitions PrintQueue
+//! cares about, plus a periodic tick that models the control-plane CPU
+//! getting scheduled:
+//!
+//! * **enqueue** — the traffic manager admitted a packet; the queue depth
+//!   grew. The queue monitor records depth increases here.
+//! * **dequeue** — a packet left the queue and is traversing the egress
+//!   pipeline with its final metadata (Table 1 of the paper) attached. Time
+//!   windows index packets here, by dequeue timestamp.
+//! * **drop** — tail drop. No PrintQueue structure updates (a dropped packet
+//!   never occupied the queue), but sinks may count it.
+//! * **tick** — fires every `tick_period` of simulated time; the PrintQueue
+//!   analysis program performs its periodic register polling here.
+
+use pq_packet::{FlowId, Nanos, PacketMeta, SimPacket};
+use serde::{Deserialize, Serialize};
+
+/// A queue state transition reported to hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueEvent {
+    /// Packet admitted; `depth_after` includes the packet's own cells.
+    Enqueue,
+    /// Packet departed; `depth_after` excludes it.
+    Dequeue,
+    /// Packet tail-dropped; depth unchanged.
+    Drop,
+}
+
+/// A data-plane program or measurement sink attached to the switch.
+///
+/// All methods default to no-ops so implementors override only what they
+/// observe.
+pub trait QueueHooks {
+    /// A packet was admitted to `port`'s queue at `now`.
+    /// `depth_after` is the queue depth in buffer cells including the packet.
+    fn on_enqueue(&mut self, _pkt: &SimPacket, _port: u16, _depth_after: u32, _now: Nanos) {}
+
+    /// A packet left `port`'s queue at `now` and is in the egress pipeline;
+    /// `pkt.meta` carries the final Table-1 metadata. `depth_after` is the
+    /// remaining queue depth in cells.
+    fn on_dequeue(&mut self, _pkt: &SimPacket, _port: u16, _depth_after: u32, _now: Nanos) {}
+
+    /// A packet was tail-dropped at `port`.
+    fn on_drop(&mut self, _pkt: &SimPacket, _port: u16, _now: Nanos) {}
+
+    /// Periodic control-plane tick.
+    fn on_tick(&mut self, _now: Nanos) {}
+}
+
+/// One ground-truth record, equivalent to the telemetry header the paper's
+/// testbed switch inserts into every packet and the DPDK receiver logs
+/// (§7.1). The evaluation derives "which packets dequeued during the victim's
+/// queueing" from exactly these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Interned flow the packet belongs to.
+    pub flow: FlowId,
+    /// Egress port.
+    pub port: u16,
+    /// Wire length in bytes.
+    pub len: u32,
+    /// Monotonic packet sequence number (disambiguates timestamp ties).
+    pub seqno: u64,
+    /// Queueing metadata (enqueue/dequeue timestamps, enqueue depth).
+    pub meta: PacketMeta,
+}
+
+impl TelemetryRecord {
+    /// Dequeue timestamp.
+    pub fn deq_timestamp(&self) -> Nanos {
+        self.meta.deq_timestamp()
+    }
+}
+
+/// Collects [`TelemetryRecord`]s for every dequeued packet, and counts drops.
+///
+/// This is the stand-in for the paper's DPDK receiver: it exists purely to
+/// compute ground truth for the evaluation and is not part of a deployment.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    /// Ground-truth records in dequeue order.
+    pub records: Vec<TelemetryRecord>,
+    /// Number of tail drops observed.
+    pub drops: u64,
+}
+
+impl TelemetrySink {
+    /// Create an empty sink.
+    pub fn new() -> TelemetrySink {
+        TelemetrySink::default()
+    }
+
+    /// Records whose dequeue timestamp falls inside `[from, to]`.
+    pub fn dequeued_between(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &TelemetryRecord> {
+        self.records
+            .iter()
+            .filter(move |r| (from..=to).contains(&r.deq_timestamp()))
+    }
+}
+
+impl QueueHooks for TelemetrySink {
+    fn on_dequeue(&mut self, pkt: &SimPacket, port: u16, _depth_after: u32, _now: Nanos) {
+        self.records.push(TelemetryRecord {
+            flow: pkt.flow,
+            port,
+            len: pkt.len,
+            seqno: pkt.seqno,
+            meta: pkt.meta,
+        });
+    }
+
+    fn on_drop(&mut self, _pkt: &SimPacket, _port: u16, _now: Nanos) {
+        self.drops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(flow: u32, enq: Nanos, delta: u32) -> TelemetryRecord {
+        TelemetryRecord {
+            flow: FlowId(flow),
+            port: 0,
+            len: 100,
+            seqno: 0,
+            meta: PacketMeta {
+                egress_port: 0,
+                enq_timestamp: enq,
+                deq_timedelta: delta,
+                enq_qdepth: 1,
+                queue: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn sink_records_dequeues_and_drops() {
+        let mut sink = TelemetrySink::new();
+        let pkt = SimPacket::new(FlowId(1), 100, 0);
+        sink.on_dequeue(&pkt, 3, 0, 10);
+        sink.on_drop(&pkt, 3, 11);
+        assert_eq!(sink.records.len(), 1);
+        assert_eq!(sink.records[0].port, 3);
+        assert_eq!(sink.drops, 1);
+    }
+
+    #[test]
+    fn dequeued_between_is_inclusive() {
+        let mut sink = TelemetrySink::new();
+        sink.records.push(record(1, 100, 50)); // deq at 150
+        sink.records.push(record(2, 100, 100)); // deq at 200
+        sink.records.push(record(3, 100, 150)); // deq at 250
+        let flows: Vec<u32> = sink.dequeued_between(150, 200).map(|r| r.flow.0).collect();
+        assert_eq!(flows, vec![1, 2]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Discrete-event programmable-switch simulator — the substrate PrintQueue
+//! runs on in this reproduction.
+//!
+//! The paper implements PrintQueue on an Intel Tofino ASIC. PrintQueue's
+//! algorithms consume exactly four pieces of intrinsic metadata (Table 1 of
+//! the paper): the egress port, the enqueue timestamp, the time spent in the
+//! queue, and the queue depth at enqueue. This crate produces those fields
+//! with the same semantics the Tofino traffic manager would:
+//!
+//! * a nanosecond event clock ([`pq_packet::Nanos`]),
+//! * per-egress-port queues with tail-drop and configurable scheduling
+//!   ([`scheduler`]: FIFO, strict priority, deficit round-robin — the paper
+//!   claims its structures are "compatible with non-FIFO queuing policies"
+//!   and we test that claim),
+//! * line-rate serialization: a port transmits one packet every
+//!   `len * 8 / rate` nanoseconds when backlogged ([`tm`]),
+//! * stateful register arrays with single-access-per-packet discipline
+//!   mirroring what a match-action stage can do ([`registers`]), and
+//! * hook points where data-plane programs attach ([`hooks`]): on enqueue,
+//!   on dequeue (the egress pipeline), on drop, and on a periodic tick used
+//!   by control planes.
+//!
+//! The [`Switch`] type owns the event calendar and drives a sorted stream of
+//! [`Arrival`]s through the ports, invoking hooks as queue state changes. A
+//! built-in [`hooks::TelemetrySink`] records the ground-truth per-packet
+//! records the paper's evaluation collects with DPDK at the receiver (§7.1).
+
+pub mod depth_sampler;
+pub mod event;
+pub mod hooks;
+pub mod rate_meter;
+pub mod registers;
+pub mod router;
+pub mod scheduler;
+pub mod stats;
+pub mod switch;
+pub mod tm;
+pub mod topology;
+
+pub use depth_sampler::{DepthSample, DepthSampler};
+pub use hooks::{QueueEvent, QueueHooks, TelemetryRecord, TelemetrySink};
+pub use rate_meter::{RateMeter, RateSample};
+pub use registers::RegisterArray;
+pub use router::Router;
+pub use scheduler::SchedulerKind;
+pub use stats::PortStats;
+pub use switch::{Arrival, PortConfig, Switch, SwitchConfig};

@@ -1,0 +1,67 @@
+//! Per-port counters.
+
+use pq_packet::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the traffic manager for one egress port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets transmitted.
+    pub dequeued: u64,
+    /// Packets tail-dropped.
+    pub dropped: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Highest queue depth (in buffer cells) ever observed.
+    pub max_depth_cells: u32,
+    /// Sum of per-packet queueing delays, for mean-delay reporting.
+    pub total_queue_delay: Nanos,
+}
+
+impl PortStats {
+    /// Mean queueing delay over all transmitted packets, in nanoseconds.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.dequeued == 0 {
+            0.0
+        } else {
+            self.total_queue_delay as f64 / self.dequeued as f64
+        }
+    }
+
+    /// Offered-load drop rate: drops / (drops + enqueued).
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.dropped + self.enqueued;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_delay_guards_divide_by_zero() {
+        let stats = PortStats::default();
+        assert_eq!(stats.mean_queue_delay(), 0.0);
+    }
+
+    #[test]
+    fn mean_delay_and_drop_rate() {
+        let stats = PortStats {
+            enqueued: 90,
+            dequeued: 4,
+            dropped: 10,
+            tx_bytes: 400,
+            max_depth_cells: 7,
+            total_queue_delay: 1000,
+        };
+        assert_eq!(stats.mean_queue_delay(), 250.0);
+        assert!((stats.drop_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! The traffic manager: per-port queue state between ingress and egress.
+//!
+//! Queue depth is accounted in *buffer cells* of `cell_bytes` each (80 B on
+//! Tofino), matching the granularity of the paper's `enq_qdepth` metadata
+//! and the index of the queue monitor ("maximum length of the queue divided
+//! by the buffer allocation granularity", §5). A packet of length `len`
+//! occupies `ceil(len / cell_bytes)` cells.
+
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::stats::PortStats;
+use pq_packet::{time::tx_delay_ns, Nanos, SimPacket};
+
+/// Static configuration of one egress port.
+#[derive(Debug, Clone, Copy)]
+pub struct PortConfig {
+    /// Line rate in Gbps.
+    pub rate_gbps: f64,
+    /// Tail-drop threshold in buffer cells.
+    pub max_depth_cells: u32,
+    /// Queue discipline.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        // A 10 Gbps port with a deep (2 MB-ish at 80 B cells) buffer, the
+        // regime the paper's evaluation explores (queue depths above 20k
+        // cells appear in Figure 9).
+        PortConfig {
+            rate_gbps: 10.0,
+            max_depth_cells: 32_768,
+            scheduler: SchedulerKind::Fifo,
+        }
+    }
+}
+
+/// The outcome of offering a packet to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Admitted; the contained value is the depth (cells) after insertion.
+    Stored { depth_after: u32 },
+    /// Tail-dropped.
+    Dropped,
+}
+
+/// Runtime state of one egress port.
+pub struct Port {
+    config: PortConfig,
+    scheduler: Box<dyn Scheduler>,
+    /// Current total depth in buffer cells (all queues; tail drop operates
+    /// on this shared-buffer figure).
+    depth_cells: u32,
+    /// Per-queue depths in buffer cells (length = scheduler queue count).
+    queue_depths: Vec<u32>,
+    /// True while the serializer is busy transmitting a packet.
+    transmitting: bool,
+    /// Counters.
+    pub stats: PortStats,
+}
+
+impl std::fmt::Debug for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Port")
+            .field("depth_cells", &self.depth_cells)
+            .field("transmitting", &self.transmitting)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Port {
+    /// Create a port from its configuration.
+    pub fn new(config: PortConfig) -> Port {
+        let scheduler = config.scheduler.build();
+        let queue_depths = vec![0; usize::from(scheduler.num_queues())];
+        Port {
+            scheduler,
+            config,
+            depth_cells: 0,
+            queue_depths,
+            transmitting: false,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// The port's configuration.
+    pub fn config(&self) -> &PortConfig {
+        &self.config
+    }
+
+    /// Current total port depth in buffer cells (all queues).
+    pub fn depth_cells(&self) -> u32 {
+        self.depth_cells
+    }
+
+    /// Current depth of one internal queue.
+    pub fn queue_depth_cells(&self, queue: u8) -> u32 {
+        self.queue_depths
+            .get(usize::from(queue))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of internal queues (1 for FIFO).
+    pub fn num_queues(&self) -> u8 {
+        self.scheduler.num_queues()
+    }
+
+    /// Number of cells `len` bytes occupy at this switch's granularity.
+    pub fn cells_for(len: u32, cell_bytes: u32) -> u32 {
+        len.div_ceil(cell_bytes)
+    }
+
+    /// Offer a packet to the queue at time `now`. On admission the packet's
+    /// Table-1 metadata (`enq_timestamp`, `enq_qdepth`, `queue`) is stamped
+    /// in place, so the caller's copy matches what the scheduler stored and
+    /// enqueue hooks observe the final metadata.
+    pub fn enqueue(&mut self, pkt: &mut SimPacket, cell_bytes: u32, now: Nanos) -> EnqueueOutcome {
+        let cells = Self::cells_for(pkt.len, cell_bytes);
+        if self.depth_cells + cells > self.config.max_depth_cells {
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        self.depth_cells += cells;
+        self.stats.enqueued += 1;
+        self.stats.max_depth_cells = self.stats.max_depth_cells.max(self.depth_cells);
+        let queue = self.scheduler.queue_for(pkt);
+        self.queue_depths[usize::from(queue)] += cells;
+        pkt.meta.enq_timestamp = now;
+        pkt.meta.enq_qdepth = self.queue_depths[usize::from(queue)];
+        pkt.meta.queue = queue;
+        self.scheduler.enqueue(*pkt);
+        EnqueueOutcome::Stored {
+            depth_after: self.queue_depths[usize::from(queue)],
+        }
+    }
+
+    /// True when the serializer is idle and a transmission can start.
+    pub fn can_start_tx(&self) -> bool {
+        !self.transmitting && !self.scheduler.is_empty()
+    }
+
+    /// Begin transmitting the next scheduled packet at `now`.
+    ///
+    /// The packet *dequeues* at the start of serialization: its
+    /// `deq_timedelta` is stamped, the depth drops, and the caller gets the
+    /// packet (to run the egress pipeline) plus the time the serializer will
+    /// be busy until.
+    pub fn start_tx(&mut self, cell_bytes: u32, now: Nanos) -> Option<(SimPacket, Nanos)> {
+        if self.transmitting {
+            return None;
+        }
+        let mut pkt = self.scheduler.dequeue()?;
+        let cells = Self::cells_for(pkt.len, cell_bytes);
+        debug_assert!(self.depth_cells >= cells, "queue depth underflow");
+        self.depth_cells -= cells;
+        let qd = &mut self.queue_depths[usize::from(pkt.meta.queue)];
+        debug_assert!(*qd >= cells, "per-queue depth underflow");
+        *qd -= cells;
+        pkt.meta.deq_timedelta = (now - pkt.meta.enq_timestamp) as u32;
+        self.stats.dequeued += 1;
+        self.stats.tx_bytes += u64::from(pkt.len);
+        self.stats.total_queue_delay += Nanos::from(pkt.meta.deq_timedelta);
+        self.transmitting = true;
+        let done_at = now + tx_delay_ns(pkt.len, self.config.rate_gbps);
+        Some((pkt, done_at))
+    }
+
+    /// The serializer finished its packet; the port may start another.
+    pub fn tx_complete(&mut self) {
+        debug_assert!(self.transmitting, "tx_complete on idle port");
+        self.transmitting = false;
+    }
+
+    /// Number of queued packets (not cells).
+    pub fn queued_packets(&self) -> usize {
+        self.scheduler.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::FlowId;
+
+    const CELL: u32 = 80;
+
+    fn port() -> Port {
+        Port::new(PortConfig {
+            rate_gbps: 10.0,
+            max_depth_cells: 4,
+            scheduler: SchedulerKind::Fifo,
+        })
+    }
+
+    fn pkt(flow: u32, len: u32) -> SimPacket {
+        SimPacket::new(FlowId(flow), len, 0)
+    }
+
+    #[test]
+    fn cells_round_up() {
+        assert_eq!(Port::cells_for(1, CELL), 1);
+        assert_eq!(Port::cells_for(80, CELL), 1);
+        assert_eq!(Port::cells_for(81, CELL), 2);
+        assert_eq!(Port::cells_for(1500, CELL), 19);
+    }
+
+    #[test]
+    fn enqueue_stamps_metadata() {
+        let mut p = port();
+        match p.enqueue(&mut pkt(1, 100), CELL, 500) {
+            EnqueueOutcome::Stored { depth_after } => assert_eq!(depth_after, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (sent, _) = p.start_tx(CELL, 700).unwrap();
+        assert_eq!(sent.meta.enq_timestamp, 500);
+        assert_eq!(sent.meta.enq_qdepth, 2);
+        assert_eq!(sent.meta.deq_timedelta, 200);
+    }
+
+    #[test]
+    fn tail_drop_at_threshold() {
+        let mut p = port(); // 4-cell limit
+        assert!(matches!(
+            p.enqueue(&mut pkt(1, 240), CELL, 0), // 3 cells
+            EnqueueOutcome::Stored { .. }
+        ));
+        assert_eq!(p.enqueue(&mut pkt(2, 160), CELL, 0), EnqueueOutcome::Dropped); // 2 cells > 1 free
+        assert!(matches!(
+            p.enqueue(&mut pkt(3, 80), CELL, 0), // exactly fits
+            EnqueueOutcome::Stored { depth_after: 4 }
+        ));
+        assert_eq!(p.stats.dropped, 1);
+        assert_eq!(p.stats.enqueued, 2);
+    }
+
+    #[test]
+    fn depth_falls_at_tx_start() {
+        let mut p = port();
+        p.enqueue(&mut pkt(1, 80), CELL, 0);
+        p.enqueue(&mut pkt(2, 80), CELL, 0);
+        assert_eq!(p.depth_cells(), 2);
+        let (_, done) = p.start_tx(CELL, 10).unwrap();
+        assert_eq!(p.depth_cells(), 1);
+        // 80 B at 10 Gbps = 64 ns.
+        assert_eq!(done, 74);
+        // Serializer busy: no second tx until completion.
+        assert!(p.start_tx(CELL, 20).is_none());
+        p.tx_complete();
+        assert!(p.can_start_tx());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = port();
+        p.enqueue(&mut pkt(1, 80), CELL, 0);
+        let (_, done) = p.start_tx(CELL, 100).unwrap();
+        p.tx_complete();
+        assert_eq!(p.stats.dequeued, 1);
+        assert_eq!(p.stats.tx_bytes, 80);
+        assert_eq!(p.stats.total_queue_delay, 100);
+        assert_eq!(p.stats.max_depth_cells, 1);
+        assert!(done > 100);
+    }
+}

@@ -1,0 +1,198 @@
+//! Multi-hop composition: chain switches into a feed-forward topology.
+//!
+//! The paper's §1 motivation notes "the cascading nature of queuing delays"
+//! — congestion at one switch shapes the arrival process of the next. Since
+//! each [`crate::Switch`] run is a deterministic function from an arrival
+//! stream to a departure stream, feed-forward topologies compose by running
+//! hops in order: hop N's departures (plus link propagation delay) become
+//! hop N+1's arrivals.
+//!
+//! This intentionally supports DAG-shaped (feed-forward) topologies only;
+//! cycles would need co-simulation of all switches in one event loop, which
+//! PrintQueue — a strictly per-switch system — never requires.
+
+use crate::hooks::QueueHooks;
+use crate::switch::{Arrival, Switch};
+use pq_packet::{Nanos, SimPacket};
+
+/// Captures a port's departures as a future arrival stream.
+///
+/// Attach as a hook; afterwards [`DepartureTap::into_arrivals`] yields the
+/// packets that left `from_port`, re-addressed to `to_port` on the next
+/// switch and delayed by the link's propagation latency.
+#[derive(Debug)]
+pub struct DepartureTap {
+    /// Which egress port to tap.
+    pub from_port: u16,
+    /// Ingress re-address on the next hop.
+    pub to_port: u16,
+    /// Link propagation + serialization-start offset in nanoseconds.
+    pub link_delay: Nanos,
+    departures: Vec<(Nanos, SimPacket)>,
+}
+
+impl DepartureTap {
+    /// Tap `from_port`, delivering into `to_port` after `link_delay`.
+    pub fn new(from_port: u16, to_port: u16, link_delay: Nanos) -> DepartureTap {
+        DepartureTap {
+            from_port,
+            to_port,
+            link_delay,
+            departures: Vec::new(),
+        }
+    }
+
+    /// Number of captured departures.
+    pub fn len(&self) -> usize {
+        self.departures.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.departures.is_empty()
+    }
+
+    /// Convert the captured departures into the next hop's arrival stream.
+    ///
+    /// Each packet arrives downstream when its *last bit* clears the link:
+    /// dequeue time + link delay. Queueing metadata is reset — the next
+    /// switch stamps its own (per-hop metadata is exactly what the paper's
+    /// per-switch deployment model implies).
+    pub fn into_arrivals(self) -> Vec<Arrival> {
+        let mut arrivals: Vec<Arrival> = self
+            .departures
+            .into_iter()
+            .map(|(deq_at, pkt)| {
+                let mut fresh = SimPacket::new(pkt.flow, pkt.len, deq_at + self.link_delay);
+                fresh.priority = pkt.priority;
+                Arrival::new(fresh, self.to_port)
+            })
+            .collect();
+        arrivals.sort_by_key(|a| a.pkt.arrival);
+        arrivals
+    }
+}
+
+impl QueueHooks for DepartureTap {
+    fn on_dequeue(&mut self, pkt: &SimPacket, port: u16, _depth_after: u32, now: Nanos) {
+        if port == self.from_port {
+            self.departures.push((now, *pkt));
+        }
+    }
+}
+
+/// Run a linear chain of switches over `arrivals`, tapping port
+/// `tap_port` of each hop into port `tap_port` of the next with
+/// `link_delay` between hops. Extra hooks are attached at every hop.
+///
+/// Returns the per-hop switches for stats inspection.
+pub fn run_chain(
+    mut switches: Vec<Switch>,
+    arrivals: Vec<Arrival>,
+    tap_port: u16,
+    link_delay: Nanos,
+    tick_period: Nanos,
+    mut per_hop_hooks: Vec<Vec<&mut dyn QueueHooks>>,
+) -> Vec<Switch> {
+    assert_eq!(
+        switches.len(),
+        per_hop_hooks.len(),
+        "one hook set per hop (may be empty)"
+    );
+    let mut stream = arrivals;
+    for (hop, sw) in switches.iter_mut().enumerate() {
+        let mut tap = DepartureTap::new(tap_port, tap_port, link_delay);
+        {
+            let hooks = &mut per_hop_hooks[hop];
+            let mut all: Vec<&mut dyn QueueHooks> = Vec::with_capacity(hooks.len() + 1);
+            all.push(&mut tap);
+            for h in hooks.iter_mut() {
+                all.push(&mut **h);
+            }
+            sw.run(stream, &mut all, tick_period);
+        }
+        stream = tap.into_arrivals();
+    }
+    switches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::SwitchConfig;
+    use pq_packet::FlowId;
+
+    fn burst(n: u64, len: u32, gap: Nanos) -> Vec<Arrival> {
+        (0..n)
+            .map(|i| Arrival::new(SimPacket::new(FlowId((i % 3) as u32), len, i * gap), 0))
+            .collect()
+    }
+
+    #[test]
+    fn tap_captures_and_readdresses() {
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+        let mut tap = DepartureTap::new(0, 0, 1_000);
+        sw.run(burst(10, 1500, 2_000), &mut [&mut tap], 0);
+        assert_eq!(tap.len(), 10);
+        let arrivals = tap.into_arrivals();
+        // Downstream arrivals are sorted and offset by the link delay.
+        assert!(arrivals.windows(2).all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
+        assert!(arrivals[0].pkt.arrival >= 1_000);
+        // Metadata was reset for the next hop.
+        assert_eq!(arrivals[0].pkt.meta.enq_qdepth, 0);
+    }
+
+    #[test]
+    fn upstream_bottleneck_paces_downstream() {
+        // Hop 1 is a 10 Gbps bottleneck fed by a dense burst; hop 2 is
+        // identical. Because hop 1 spaces packets out to line rate, hop 2
+        // sees an already-paced stream and builds (almost) no queue — the
+        // cascade *shapes* traffic.
+        let switches = vec![
+            Switch::new(SwitchConfig::single_port(10.0, 32_768)),
+            Switch::new(SwitchConfig::single_port(10.0, 32_768)),
+        ];
+        // 500 packets arriving every 200 ns (6x oversubscribed).
+        let out = run_chain(
+            switches,
+            burst(500, 1500, 200),
+            0,
+            5_000,
+            0,
+            vec![Vec::new(), Vec::new()],
+        );
+        let hop1 = out[0].port_stats(0);
+        let hop2 = out[1].port_stats(0);
+        assert_eq!(hop1.dequeued, 500);
+        assert_eq!(hop2.dequeued, 500);
+        assert!(
+            hop1.max_depth_cells > 50 * 19,
+            "hop 1 should congest: {}",
+            hop1.max_depth_cells
+        );
+        assert!(
+            hop2.max_depth_cells <= 2 * 19,
+            "hop 2 should stay nearly empty: {}",
+            hop2.max_depth_cells
+        );
+    }
+
+    #[test]
+    fn downstream_bottleneck_congests_second_hop() {
+        // Hop 1 at 40 Gbps barely queues; hop 2 at 10 Gbps takes the hit.
+        let switches = vec![
+            Switch::new(SwitchConfig::single_port(40.0, 32_768)),
+            Switch::new(SwitchConfig::single_port(10.0, 32_768)),
+        ];
+        let out = run_chain(
+            switches,
+            burst(500, 1500, 400), // 30 Gbps offered
+            0,
+            5_000,
+            0,
+            vec![Vec::new(), Vec::new()],
+        );
+        assert!(out[0].port_stats(0).max_depth_cells < 20 * 19);
+        assert!(out[1].port_stats(0).max_depth_cells > 100 * 19);
+    }
+}

@@ -1,0 +1,220 @@
+//! Trace file I/O: save and replay generated workloads.
+//!
+//! The paper drives its testbed by replaying pcap files with `tcpreplay`;
+//! the analogous capability here is a compact binary trace format so
+//! experiments can snapshot an expensive workload once and replay it across
+//! runs and parameter sweeps, byte-for-byte reproducibly.
+//!
+//! Format (`PQTR` v1, little-endian):
+//!
+//! ```text
+//! magic "PQTR" | u16 version | u16 reserved
+//! u32 flow_count
+//!   per flow: 4B src, 4B dst, u16 sport, u16 dport, u8 proto
+//! u64 packet_count
+//!   per packet: u32 flow_id, u32 len, u64 arrival_ns, u16 port, u8 priority
+//! ```
+
+use crate::workload::GeneratedTrace;
+use pq_packet::{FlowKey, FlowTable, Protocol, SimPacket};
+use pq_switch::Arrival;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PQTR";
+const VERSION: u16 = 1;
+
+/// Serialize a trace to a writer.
+pub fn write_trace<W: Write>(trace: &GeneratedTrace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u16.to_le_bytes())?;
+
+    w.write_all(&(trace.flows.len() as u32).to_le_bytes())?;
+    for (_, key) in trace.flows.iter() {
+        w.write_all(&key.src)?;
+        w.write_all(&key.dst)?;
+        w.write_all(&key.src_port.to_le_bytes())?;
+        w.write_all(&key.dst_port.to_le_bytes())?;
+        w.write_all(&[key.protocol.number()])?;
+    }
+
+    w.write_all(&(trace.arrivals.len() as u64).to_le_bytes())?;
+    for a in &trace.arrivals {
+        w.write_all(&a.pkt.flow.0.to_le_bytes())?;
+        w.write_all(&a.pkt.len.to_le_bytes())?;
+        w.write_all(&a.pkt.arrival.to_le_bytes())?;
+        w.write_all(&a.port.to_le_bytes())?;
+        w.write_all(&[a.pkt.priority])?;
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize, R: Read>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Deserialize a trace from a reader.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<GeneratedTrace> {
+    if &read_exact::<4, _>(&mut r)? != MAGIC {
+        return Err(bad("not a PQTR trace (bad magic)"));
+    }
+    let version = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
+    if version != VERSION {
+        return Err(bad("unsupported PQTR version"));
+    }
+    let _reserved = read_exact::<2, _>(&mut r)?;
+
+    let flow_count = u32::from_le_bytes(read_exact::<4, _>(&mut r)?);
+    let mut flows = FlowTable::new();
+    for _ in 0..flow_count {
+        let src = read_exact::<4, _>(&mut r)?;
+        let dst = read_exact::<4, _>(&mut r)?;
+        let src_port = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
+        let dst_port = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
+        let proto = read_exact::<1, _>(&mut r)?[0];
+        flows.intern(FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            protocol: Protocol::from(proto),
+        });
+    }
+
+    let packet_count = u64::from_le_bytes(read_exact::<8, _>(&mut r)?);
+    let mut arrivals = Vec::with_capacity(usize::try_from(packet_count).unwrap_or(0));
+    let mut prev_arrival = 0u64;
+    for _ in 0..packet_count {
+        let flow = u32::from_le_bytes(read_exact::<4, _>(&mut r)?);
+        let len = u32::from_le_bytes(read_exact::<4, _>(&mut r)?);
+        let arrival = u64::from_le_bytes(read_exact::<8, _>(&mut r)?);
+        let port = u16::from_le_bytes(read_exact::<2, _>(&mut r)?);
+        let priority = read_exact::<1, _>(&mut r)?[0];
+        if flow >= flow_count {
+            return Err(bad("packet references unknown flow"));
+        }
+        if arrival < prev_arrival {
+            return Err(bad("arrivals not time-sorted"));
+        }
+        prev_arrival = arrival;
+        arrivals.push(Arrival::new(
+            SimPacket::new(pq_packet::FlowId(flow), len, arrival).with_priority(priority),
+            port,
+        ));
+    }
+    Ok(GeneratedTrace { arrivals, flows })
+}
+
+/// Convenience: write to a file path.
+pub fn save(trace: &GeneratedTrace, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_trace(trace, io::BufWriter::new(file))
+}
+
+/// Convenience: read from a file path.
+pub fn load(path: &std::path::Path) -> io::Result<GeneratedTrace> {
+    let file = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Workload, WorkloadKind};
+    use pq_packet::NanosExt;
+
+    fn sample() -> GeneratedTrace {
+        Workload {
+            kind: WorkloadKind::Ws,
+            duration: 2u64.millis(),
+            load: 1.0,
+            port: 0,
+            port_rate_gbps: 10.0,
+            sender_rate_gbps: 40.0,
+            min_flow_rate_gbps: 0.5,
+            warmup: 2u64.millis(),
+            seed: 31,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.arrivals, trace.arrivals);
+        assert_eq!(back.flows.len(), trace.flows.len());
+        for (id, key) in trace.flows.iter() {
+            assert_eq!(back.flows.resolve(id), Some(key));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_flow_reference_rejected() {
+        // Hand-craft: zero flows but one packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PQTR");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no flows
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one packet
+        buf.extend_from_slice(&0u32.to_le_bytes()); // flow 0 (unknown)
+        buf.extend_from_slice(&64u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.push(0);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unsorted_arrivals_rejected() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        // Reverse two packets by writing manually.
+        let mut reversed = GeneratedTrace {
+            arrivals: trace.arrivals.clone(),
+            flows: trace.flows.clone(),
+        };
+        reversed.arrivals.reverse();
+        write_trace(&reversed, &mut buf).unwrap();
+        if trace.arrivals.len() > 1 {
+            assert!(read_trace(buf.as_slice()).is_err());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pqtr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.pqtr");
+        let trace = sample();
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.packets(), trace.packets());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload and scenario generation for the PrintQueue reproduction.
+//!
+//! The paper's evaluation (§7.1) drives its Tofino testbed with three
+//! workloads:
+//!
+//! * **UW** — the University of Wisconsin data-center trace: ~100 B packets
+//!   (9.1 Mpps at 10 Gbps), an extremely long-tailed flow-size distribution
+//!   ("the packet count of the 100th largest flow is less than 1% of the
+//!   packet count of the largest flow"), thousands of concurrent flows.
+//! * **WS** — synthetic web-search traffic with the DCTCP flow-size
+//!   distribution, near-MTU packets.
+//! * **DM** — synthetic data-mining traffic with the VL2 flow-size
+//!   distribution, near-MTU packets.
+//!
+//! The real UW pcap is not redistributable, so [`workload::WorkloadKind::Uw`]
+//! synthesizes a trace matching the stated statistics (see DESIGN.md §1 for
+//! the substitution rationale). WS and DM were synthetic in the paper too;
+//! we sample the same published distributions ([`dists`]).
+//!
+//! Flows and packets arrive "according to Poisson processes" (§7.1);
+//! [`workload`] implements that generator, and [`scenario`] builds the named
+//! experiment setups: the two-sender congestion testbed, microbursts, incast,
+//! and the Figure 16 case study.
+
+pub mod closed_loop;
+pub mod dists;
+pub mod io;
+pub mod pcap;
+pub mod ramp;
+pub mod scenario;
+pub mod shaping;
+pub mod stats;
+pub mod workload;
+
+pub use dists::{EmpiricalCdf, FlowSizeDist};
+pub use workload::{GeneratedTrace, Workload, WorkloadKind};

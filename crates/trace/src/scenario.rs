@@ -1,0 +1,297 @@
+//! Scenario builders for the paper's named experiments.
+//!
+//! * [`case_study_fig16`] — the queue-monitor case study (§7.2): a 9 Gbps
+//!   background TCP flow, a short 4 Gbps burst of 10,000 datagrams, and a
+//!   late 0.5 Gbps TCP flow whose packets become the diagnosis victims.
+//! * [`microburst`] — a synchronized packet burst lasting tens to hundreds
+//!   of microseconds, the §1/§2 motivating event.
+//! * [`incast`] — N servers answering one aggregator at once (the §2
+//!   "indirect culprits" motivation).
+
+use crate::workload::GeneratedTrace;
+use pq_packet::ipv4::Address;
+use pq_packet::time::tx_delay_ns;
+use pq_packet::{FlowId, FlowKey, FlowTable, Nanos, SimPacket};
+use pq_switch::Arrival;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Labelled roles of the flows in the Figure 16 case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseStudyFlows {
+    /// The long-lived ~9 Gbps background TCP flow.
+    pub background: FlowId,
+    /// The 10,000-datagram UDP burst.
+    pub burst: FlowId,
+    /// The late, low-rate TCP flow (the victim's flow).
+    pub new_tcp: FlowId,
+}
+
+/// The generated case study: arrivals, flow table, roles, and the time the
+/// new TCP flow starts (the blue arrow in Figure 16(a)).
+#[derive(Debug)]
+pub struct CaseStudy {
+    pub trace: GeneratedTrace,
+    pub roles: CaseStudyFlows,
+    /// When the UDP burst begins.
+    pub burst_start: Nanos,
+    /// When the new TCP flow begins.
+    pub new_tcp_start: Nanos,
+}
+
+/// Emit a constant-bit-rate packet stream for one flow.
+///
+/// Packets of `pkt_len` bytes are spaced so the stream averages `rate_gbps`,
+/// with up to `jitter` nanoseconds of uniform noise per packet.
+#[allow(clippy::too_many_arguments)]
+pub fn cbr_stream(
+    flow: FlowId,
+    pkt_len: u32,
+    rate_gbps: f64,
+    from: Nanos,
+    until: Nanos,
+    jitter: Nanos,
+    port: u16,
+    rng: &mut SmallRng,
+    out: &mut Vec<Arrival>,
+) {
+    assert!(rate_gbps > 0.0);
+    let gap = tx_delay_ns(pkt_len, rate_gbps);
+    let mut t = from;
+    while t < until {
+        let j = if jitter == 0 { 0 } else { rng.gen_range(0..=jitter) };
+        out.push(Arrival::new(SimPacket::new(flow, pkt_len, t + j), port));
+        t += gap;
+    }
+}
+
+/// Build the §7.2 queue-monitor case study.
+///
+/// Paper setup: one server sends a background TCP flow limited to ~90% of
+/// the link capacity (9 Gbps); another first sends a burst of 10,000
+/// datagrams at 4 Gbps, then after a short gap begins a 0.5 Gbps TCP flow.
+///
+/// With a 10 Gbps bottleneck the burst (total offered 13 Gbps) fills the
+/// queue in a few milliseconds; afterwards the ~9.5 Gbps steady load drains
+/// it only slowly, so the queueing long outlives the burst — 76× longer in
+/// the paper's run.
+pub fn case_study_fig16(duration: Nanos, seed: u64) -> CaseStudy {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut flows = FlowTable::new();
+    let port = 0u16;
+
+    let background = flows.intern(FlowKey::tcp(
+        Address::new(10, 0, 0, 1),
+        33333,
+        Address::new(10, 0, 1, 1),
+        5001,
+    ));
+    let burst = flows.intern(FlowKey::udp(
+        Address::new(10, 0, 0, 2),
+        44444,
+        Address::new(10, 0, 1, 1),
+        9999,
+    ));
+    let new_tcp = flows.intern(FlowKey::tcp(
+        Address::new(10, 0, 0, 2),
+        44445,
+        Address::new(10, 0, 1, 1),
+        5002,
+    ));
+
+    let mut arrivals = Vec::new();
+    // Background flow: 9 Gbps of MTU packets for the whole run.
+    cbr_stream(
+        background, 1500, 9.0, 0, duration, 120, port, &mut rng, &mut arrivals,
+    );
+
+    // Burst: 10,000 datagrams at 4 Gbps. We use 250 B datagrams so the
+    // 10k-packet burst lasts ≈ 5 ms, matching Figure 16(a)'s burst span.
+    let burst_start = duration / 10;
+    let burst_len_bytes = 250u32;
+    let gap = tx_delay_ns(burst_len_bytes, 4.0);
+    for i in 0..10_000u64 {
+        let t = burst_start + i * gap;
+        if t < duration {
+            arrivals.push(Arrival::new(
+                SimPacket::new(burst, burst_len_bytes, t),
+                port,
+            ));
+        }
+    }
+    let burst_end = burst_start + 10_000 * gap;
+
+    // New TCP flow: 0.5 Gbps, starting shortly after the burst ends.
+    let new_tcp_start = burst_end + (duration / 20);
+    cbr_stream(
+        new_tcp, 1500, 0.5, new_tcp_start, duration, 120, port, &mut rng, &mut arrivals,
+    );
+
+    arrivals.sort_by_key(|a| a.pkt.arrival);
+    CaseStudy {
+        trace: GeneratedTrace { arrivals, flows },
+        roles: CaseStudyFlows {
+            background,
+            burst,
+            new_tcp,
+        },
+        burst_start,
+        new_tcp_start,
+    }
+}
+
+/// Build a microburst: `flows` senders each fire `packets_per_flow` packets
+/// of `pkt_len` bytes within a window of `spread` nanoseconds starting at
+/// `start`.
+pub fn microburst(
+    start: Nanos,
+    spread: Nanos,
+    flows: usize,
+    packets_per_flow: usize,
+    pkt_len: u32,
+    port: u16,
+    seed: u64,
+) -> GeneratedTrace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut table = FlowTable::new();
+    let mut arrivals = Vec::new();
+    for f in 0..flows {
+        let key = FlowKey::tcp(
+            Address::new(10, 1, (f / 250) as u8, (f % 250 + 1) as u8),
+            20_000 + f as u16,
+            Address::new(10, 200, 0, 1),
+            80,
+        );
+        let id = table.intern(key);
+        for _ in 0..packets_per_flow {
+            let t = start + rng.gen_range(0..=spread);
+            arrivals.push(Arrival::new(SimPacket::new(id, pkt_len, t), port));
+        }
+    }
+    arrivals.sort_by_key(|a| a.pkt.arrival);
+    GeneratedTrace {
+        arrivals,
+        flows: table,
+    }
+}
+
+/// Build a TCP incast: `servers` responders each send a `response_bytes`
+/// response starting near `start`, serialized at `sender_rate_gbps`, all
+/// converging on one egress port. This is the §2 scenario whose congestion
+/// regime consists almost entirely of one application's traffic.
+pub fn incast(
+    start: Nanos,
+    servers: usize,
+    response_bytes: u64,
+    sender_rate_gbps: f64,
+    port: u16,
+    seed: u64,
+) -> GeneratedTrace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut table = FlowTable::new();
+    let mut arrivals = Vec::new();
+    for s in 0..servers {
+        let key = FlowKey::tcp(
+            Address::new(10, 2, (s / 250) as u8, (s % 250 + 1) as u8),
+            30_000 + s as u16,
+            Address::new(10, 200, 0, 2),
+            9000,
+        );
+        let id = table.intern(key);
+        let mut remaining = response_bytes;
+        // Responders start within a small sync window (~RTT noise).
+        let mut t = start + rng.gen_range(0..2_000);
+        while remaining > 0 {
+            let len = 1500.min(remaining.max(64) as u32).max(64);
+            arrivals.push(Arrival::new(SimPacket::new(id, len, t), port));
+            remaining = remaining.saturating_sub(u64::from(len));
+            t += tx_delay_ns(len, sender_rate_gbps);
+        }
+    }
+    arrivals.sort_by_key(|a| a.pkt.arrival);
+    GeneratedTrace {
+        arrivals,
+        flows: table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::NanosExt;
+
+    #[test]
+    fn case_study_roles_are_distinct() {
+        let cs = case_study_fig16(100u64.millis(), 1);
+        assert_ne!(cs.roles.background, cs.roles.burst);
+        assert_ne!(cs.roles.burst, cs.roles.new_tcp);
+        assert!(cs.new_tcp_start > cs.burst_start);
+    }
+
+    #[test]
+    fn case_study_rates_are_sane() {
+        let duration = 100u64.millis();
+        let cs = case_study_fig16(duration, 1);
+        let mut by_flow = [0u64; 3];
+        for a in &cs.trace.arrivals {
+            by_flow[a.pkt.flow.0 as usize] += u64::from(a.pkt.len);
+        }
+        let gbps = |bytes: u64| bytes as f64 * 8.0 / duration as f64;
+        // Background ≈ 9 Gbps over the whole run.
+        assert!((8.0..10.0).contains(&gbps(by_flow[cs.roles.background.0 as usize])));
+        // Burst: exactly 10,000 datagrams.
+        let burst_pkts = cs
+            .trace
+            .arrivals
+            .iter()
+            .filter(|a| a.pkt.flow == cs.roles.burst)
+            .count();
+        assert_eq!(burst_pkts, 10_000);
+        // New TCP ≈ 0.5 Gbps while active (less averaged over the full run).
+        assert!(gbps(by_flow[cs.roles.new_tcp.0 as usize]) < 0.6);
+    }
+
+    #[test]
+    fn case_study_burst_is_short() {
+        let cs = case_study_fig16(100u64.millis(), 1);
+        let burst_times: Vec<Nanos> = cs
+            .trace
+            .arrivals
+            .iter()
+            .filter(|a| a.pkt.flow == cs.roles.burst)
+            .map(|a| a.pkt.arrival)
+            .collect();
+        let span = burst_times.last().unwrap() - burst_times.first().unwrap();
+        // ~5 ms, as in Figure 16(a).
+        assert!(
+            (3u64.millis()..8u64.millis()).contains(&span),
+            "burst span {span} ns"
+        );
+    }
+
+    #[test]
+    fn microburst_fits_window() {
+        let tr = microburst(1_000_000, 50_000, 30, 10, 100, 0, 5);
+        assert_eq!(tr.packets(), 300);
+        assert_eq!(tr.flows.len(), 30);
+        for a in &tr.arrivals {
+            assert!((1_000_000..=1_050_000).contains(&a.pkt.arrival));
+        }
+    }
+
+    #[test]
+    fn incast_total_bytes_match() {
+        let tr = incast(0, 8, 64_000, 40.0, 0, 2);
+        assert_eq!(tr.flows.len(), 8);
+        let total: u64 = tr.arrivals.iter().map(|a| u64::from(a.pkt.len)).sum();
+        assert!(total >= 8 * 64_000);
+        assert!(total < 8 * 65_000);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = microburst(0, 1000, 5, 5, 100, 0, 9);
+        let b = microburst(0, 1000, 5, 5, 100, 0, 9);
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+}

@@ -1,0 +1,222 @@
+//! Trace statistics: the summary numbers the paper quotes about its
+//! workloads (packet rate, packet-size profile, flow-size skew, burstiness)
+//! computed for any generated or imported trace.
+//!
+//! Used by `pqsim info`, by the workload tests (to check a synthesized
+//! trace matches the paper's stated properties), and handy when importing
+//! external pcaps.
+
+use crate::workload::GeneratedTrace;
+use pq_packet::{FlowId, Nanos};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of one trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total packets.
+    pub packets: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Span from first to last arrival, ns.
+    pub span: Nanos,
+    /// Mean offered rate over the span, Gbps.
+    pub offered_gbps: f64,
+    /// Mean packet rate, Mpps.
+    pub mpps: f64,
+    /// Packet-size percentiles (p1, p50, p99), bytes.
+    pub pkt_size_p1: u32,
+    pub pkt_size_p50: u32,
+    pub pkt_size_p99: u32,
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Largest flow's packet count.
+    pub top_flow_packets: u64,
+    /// Ratio of the 100th-largest flow's packets to the largest flow's —
+    /// the paper's UW-skew statistic ("less than 1%"). 0 when < 100 flows.
+    pub rank100_to_top_ratio: f64,
+    /// Coefficient of variation of inter-arrival gaps (1 ≈ Poisson,
+    /// > 1 bursty, < 1 paced).
+    pub interarrival_cov: f64,
+}
+
+/// Compute [`TraceStats`] for a trace.
+pub fn analyze(trace: &GeneratedTrace) -> TraceStats {
+    let packets = trace.packets() as u64;
+    let bytes = trace.bytes();
+    let first = trace.arrivals.first().map(|a| a.pkt.arrival).unwrap_or(0);
+    let last = trace.arrivals.last().map(|a| a.pkt.arrival).unwrap_or(0);
+    let span = last.saturating_sub(first).max(1);
+
+    // Packet-size percentiles.
+    let mut sizes: Vec<u32> = trace.arrivals.iter().map(|a| a.pkt.len).collect();
+    sizes.sort_unstable();
+    let pct = |p: f64| -> u32 {
+        if sizes.is_empty() {
+            return 0;
+        }
+        let idx = ((sizes.len() as f64 - 1.0) * p).round() as usize;
+        sizes[idx]
+    };
+
+    // Flow-size order statistics.
+    let mut per_flow: HashMap<FlowId, u64> = HashMap::new();
+    for a in &trace.arrivals {
+        *per_flow.entry(a.pkt.flow).or_insert(0) += 1;
+    }
+    let mut flow_sizes: Vec<u64> = per_flow.values().copied().collect();
+    flow_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let top = flow_sizes.first().copied().unwrap_or(0);
+    let rank100 = flow_sizes.get(99).copied().unwrap_or(0);
+
+    // Inter-arrival coefficient of variation.
+    let mut gaps: Vec<f64> = trace
+        .arrivals
+        .windows(2)
+        .map(|w| (w[1].pkt.arrival - w[0].pkt.arrival) as f64)
+        .collect();
+    let cov = if gaps.len() < 2 {
+        0.0
+    } else {
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            let var = gaps
+                .iter_mut()
+                .map(|g| (*g - mean) * (*g - mean))
+                .sum::<f64>()
+                / gaps.len() as f64;
+            var.sqrt() / mean
+        }
+    };
+
+    TraceStats {
+        packets,
+        bytes,
+        span,
+        offered_gbps: bytes as f64 * 8.0 / span as f64,
+        mpps: packets as f64 / (span as f64 / 1e9) / 1e6,
+        pkt_size_p1: pct(0.01),
+        pkt_size_p50: pct(0.50),
+        pkt_size_p99: pct(0.99),
+        flows: per_flow.len(),
+        top_flow_packets: top,
+        rank100_to_top_ratio: if top == 0 {
+            0.0
+        } else {
+            rank100 as f64 / top as f64
+        },
+        interarrival_cov: cov,
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "packets        : {}", self.packets)?;
+        writeln!(f, "flows          : {}", self.flows)?;
+        writeln!(f, "span           : {:.3} ms", self.span as f64 / 1e6)?;
+        writeln!(f, "offered        : {:.3} Gbps ({:.2} Mpps)", self.offered_gbps, self.mpps)?;
+        writeln!(
+            f,
+            "packet size    : p1 {} / p50 {} / p99 {} B",
+            self.pkt_size_p1, self.pkt_size_p50, self.pkt_size_p99
+        )?;
+        writeln!(
+            f,
+            "flow skew      : top flow {} pkts, rank-100/top {:.4}",
+            self.top_flow_packets, self.rank100_to_top_ratio
+        )?;
+        write!(f, "inter-arrival  : CoV {:.2}", self.interarrival_cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Workload, WorkloadKind};
+    use pq_packet::NanosExt;
+
+    fn trace(kind: WorkloadKind, seed: u64) -> GeneratedTrace {
+        Workload {
+            kind,
+            duration: 20u64.millis(),
+            load: 1.0,
+            port: 0,
+            port_rate_gbps: 10.0,
+            sender_rate_gbps: 40.0,
+            min_flow_rate_gbps: 0.5,
+            warmup: 20u64.millis(),
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn uw_statistics_match_paper_claims() {
+        let stats = analyze(&trace(WorkloadKind::Uw, 11));
+        // ~100 B packets.
+        assert!((64..=146).contains(&stats.pkt_size_p50), "p50 {}", stats.pkt_size_p50);
+        // Mpps in the right decade for ~10 Gbps of small packets.
+        assert!(stats.mpps > 3.0, "mpps {}", stats.mpps);
+        // Extreme skew (paper: rank-100 < 1% of top). Allow slack for the
+        // short horizon.
+        assert!(
+            stats.rank100_to_top_ratio < 0.05,
+            "skew ratio {}",
+            stats.rank100_to_top_ratio
+        );
+    }
+
+    #[test]
+    fn ws_packets_are_mtu() {
+        let stats = analyze(&trace(WorkloadKind::Ws, 3));
+        assert_eq!(stats.pkt_size_p50, 1500);
+        assert!(stats.mpps < 2.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let empty = GeneratedTrace {
+            arrivals: Vec::new(),
+            flows: pq_packet::FlowTable::new(),
+        };
+        let stats = analyze(&empty);
+        assert_eq!(stats.packets, 0);
+        assert_eq!(stats.offered_gbps, 0.0);
+        assert_eq!(stats.interarrival_cov, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let stats = analyze(&trace(WorkloadKind::Dm, 5));
+        let text = stats.to_string();
+        assert!(text.contains("packets"));
+        assert!(text.contains("Gbps"));
+    }
+
+    #[test]
+    fn cov_detects_burstiness() {
+        use pq_packet::{FlowId, SimPacket};
+        use pq_switch::Arrival;
+        // Perfectly paced stream: CoV ≈ 0.
+        let paced = GeneratedTrace {
+            arrivals: (0..100)
+                .map(|i| Arrival::new(SimPacket::new(FlowId(0), 100, i * 1_000), 0))
+                .collect(),
+            flows: pq_packet::FlowTable::new(),
+        };
+        assert!(analyze(&paced).interarrival_cov < 0.01);
+        // Bursty: packets in clumps of 10 with long gaps.
+        let bursty = GeneratedTrace {
+            arrivals: (0..100)
+                .map(|i| {
+                    let t = (i / 10) * 100_000 + (i % 10);
+                    Arrival::new(SimPacket::new(FlowId(0), 100, t), 0)
+                })
+                .collect(),
+            flows: pq_packet::FlowTable::new(),
+        };
+        assert!(analyze(&bursty).interarrival_cov > 2.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Poisson flow/packet workload generation (§7.1 of the paper: "Flows and
+//! packets arrive according to Poisson processes").
+//!
+//! A workload targets one egress port with a configurable mean offered load.
+//! Flows arrive by a Poisson process whose rate is derived from the mean
+//! flow size and target load; each flow's packets are serialized at the
+//! *sender's* line rate (the paper's senders sit on 40 Gbps links feeding
+//! 10 Gbps receivers, which is what makes queues build), with small random
+//! jitter so packets of concurrent flows interleave "near randomly" in the
+//! queue — the property §4.3 relies on for the i.i.d. cell-occupancy
+//! assumption.
+
+use crate::dists::FlowSizeDist;
+use pq_packet::ipv4::Address;
+use pq_packet::time::tx_delay_ns;
+use pq_packet::{FlowKey, FlowTable, Nanos, SimPacket};
+use pq_switch::Arrival;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the paper's three workloads to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// University-of-Wisconsin-like: ~100 B packets, extreme flow-size skew.
+    Uw,
+    /// Web search (DCTCP distribution), near-MTU packets.
+    Ws,
+    /// Data mining (VL2 distribution), near-MTU packets.
+    Dm,
+}
+
+impl WorkloadKind {
+    /// The flow-size distribution for this workload.
+    pub fn flow_sizes(self) -> FlowSizeDist {
+        match self {
+            WorkloadKind::Uw => FlowSizeDist::UwSkew,
+            WorkloadKind::Ws => FlowSizeDist::WebSearch,
+            WorkloadKind::Dm => FlowSizeDist::DataMining,
+        }
+    }
+
+    /// Draw one packet size in bytes. UW packets are "around 100 bytes"
+    /// (§7.1); WS/DM are "near MTU".
+    pub fn packet_size<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
+        match self {
+            WorkloadKind::Uw => rng.gen_range(64..=146),
+            WorkloadKind::Ws | WorkloadKind::Dm => 1500,
+        }
+    }
+
+    /// The paper's time-window parameters for this workload (§7.1: "We
+    /// choose m0 = 10 and a smaller compression factor α = 1 for WS/DM
+    /// while m0 = 6, α = 2 for UW. T = 4 and k = 12 for all.").
+    pub fn paper_params(self) -> (u8, u8, u8, u8) {
+        // (m0, alpha, k, T)
+        match self {
+            WorkloadKind::Uw => (6, 2, 12, 4),
+            WorkloadKind::Ws | WorkloadKind::Dm => (10, 1, 12, 4),
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Uw => "UW",
+            WorkloadKind::Ws => "WS",
+            WorkloadKind::Dm => "DM",
+        }
+    }
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Which trace family to synthesize.
+    pub kind: WorkloadKind,
+    /// Length of the generated trace.
+    pub duration: Nanos,
+    /// Mean offered load relative to the egress port's drain rate
+    /// (1.0 = exactly line rate; >1 builds persistent queues).
+    pub load: f64,
+    /// Egress port index the trace targets.
+    pub port: u16,
+    /// Egress (bottleneck) port rate in Gbps.
+    pub port_rate_gbps: f64,
+    /// Upper bound on a flow's pacing rate in Gbps (the sender NIC's line
+    /// rate — 40 Gbps in the paper's testbed).
+    pub sender_rate_gbps: f64,
+    /// Lower bound on a flow's pacing rate in Gbps. Each flow draws a rate
+    /// log-uniformly from `[min_flow_rate_gbps, sender_rate_gbps]`: real
+    /// data-center flows are paced by TCP dynamics and application
+    /// behaviour, not serialized back-to-back at NIC speed, and that
+    /// pacing is what keeps flows alive across measurement intervals.
+    pub min_flow_rate_gbps: f64,
+    /// Warm-up span: flow arrivals start this long *before* the trace
+    /// window, so long-lived flows from the heavy tail are already mid-
+    /// transfer at t = 0 and the offered load is stationary from the first
+    /// nanosecond. Packets landing in the warm-up are discarded.
+    pub warmup: Nanos,
+    /// RNG seed; every trace is reproducible.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper's testbed shape for a given workload kind: 40 Gbps senders
+    /// into a 10 Gbps egress, load slightly above capacity so queues of all
+    /// depths appear.
+    pub fn paper_testbed(kind: WorkloadKind, duration: Nanos, seed: u64) -> Workload {
+        Workload {
+            kind,
+            duration,
+            load: 1.02,
+            port: 0,
+            port_rate_gbps: 10.0,
+            sender_rate_gbps: 40.0,
+            min_flow_rate_gbps: 0.5,
+            warmup: duration / 2,
+            seed,
+        }
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> GeneratedTrace {
+        assert!(self.load > 0.0, "load must be positive");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut flows = FlowTable::new();
+        let cdf = self.kind.flow_sizes().cdf();
+        let mean_flow_bytes = cdf.mean();
+        // Offered bytes per nanosecond at the target load.
+        let bytes_per_ns = self.load * self.port_rate_gbps / 8.0;
+        // Poisson flow arrival rate (flows per nanosecond).
+        let lambda = bytes_per_ns / mean_flow_bytes;
+
+        // Generate over [0, warmup + duration) in internal time; emit only
+        // packets landing in [warmup, warmup + duration), shifted to start
+        // at zero. Flows born during warm-up contribute their steady-state
+        // middle, so the trace window sees stationary load.
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        let gen_span = (self.warmup + self.duration) as f64;
+        let window = self.warmup..(self.warmup + self.duration);
+        let mut t: f64 = 0.0;
+        loop {
+            // Exponential inter-arrival.
+            t += -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / lambda;
+            if t >= gen_span {
+                break;
+            }
+            let flow_start = t as Nanos;
+            let key = random_flow_key(&mut rng, self.kind);
+            let id = flows.intern(key);
+            let mut remaining = cdf.sample(&mut rng);
+            // Log-uniform pacing rate for this flow.
+            let lo = self.min_flow_rate_gbps.min(self.sender_rate_gbps);
+            let hi = self.sender_rate_gbps;
+            let rate = lo * (hi / lo).powf(rng.gen::<f64>());
+            let mut send_at = flow_start;
+            while remaining > 0 && send_at < window.end {
+                let size = self.kind.packet_size(&mut rng).min(remaining.max(64) as u32);
+                let size = size.max(64);
+                // Small per-packet jitter models end-host/NIC scheduling
+                // noise (§4.3: packets enter the queue "near randomly").
+                let jitter = rng.gen_range(0..64);
+                let at = send_at + jitter;
+                if window.contains(&at) {
+                    arrivals.push(Arrival::new(
+                        SimPacket::new(id, size, at - self.warmup),
+                        self.port,
+                    ));
+                }
+                remaining = remaining.saturating_sub(u64::from(size));
+                send_at += tx_delay_ns(size, rate);
+            }
+        }
+        arrivals.sort_by_key(|a| a.pkt.arrival);
+        GeneratedTrace { arrivals, flows }
+    }
+}
+
+/// Draw a random 5-tuple. UW uses a mixture of TCP and UDP; WS/DM are TCP.
+fn random_flow_key<R: Rng + ?Sized>(rng: &mut R, kind: WorkloadKind) -> FlowKey {
+    let src = Address::new(10, rng.gen(), rng.gen(), rng.gen_range(1..=254));
+    let dst = Address::new(10, 200, rng.gen_range(0..4), rng.gen_range(1..=254));
+    let src_port = rng.gen_range(1024..=65535);
+    let dst_port = *[80u16, 443, 8080, 9000, 50010]
+        .get(rng.gen_range(0..5))
+        .unwrap();
+    match kind {
+        WorkloadKind::Uw if rng.gen_bool(0.3) => FlowKey::udp(src, src_port, dst, dst_port),
+        _ => FlowKey::tcp(src, src_port, dst, dst_port),
+    }
+}
+
+/// A generated trace: time-sorted arrivals plus the flow intern table.
+#[derive(Debug, Clone)]
+pub struct GeneratedTrace {
+    /// Arrivals in non-decreasing time order.
+    pub arrivals: Vec<Arrival>,
+    /// Tuple ↔ id mapping for every flow in the trace.
+    pub flows: FlowTable,
+}
+
+impl GeneratedTrace {
+    /// Total packets.
+    pub fn packets(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Total bytes.
+    pub fn bytes(&self) -> u64 {
+        self.arrivals.iter().map(|a| u64::from(a.pkt.len)).sum()
+    }
+
+    /// Mean offered rate in Gbps over the span of the trace.
+    pub fn offered_gbps(&self, duration: Nanos) -> f64 {
+        if duration == 0 {
+            return 0.0;
+        }
+        self.bytes() as f64 * 8.0 / duration as f64
+    }
+
+    /// Merge two traces (e.g. two senders) into one time-sorted stream.
+    ///
+    /// The other trace's flow ids are re-interned into this trace's table,
+    /// so independently generated traces merge safely.
+    pub fn merge(mut self, mut other: GeneratedTrace) -> GeneratedTrace {
+        // Re-intern the other trace's flows into our table.
+        let mut remap = Vec::with_capacity(other.flows.len());
+        for (_, key) in other.flows.iter() {
+            remap.push(self.flows.intern(*key));
+        }
+        for arrival in &mut other.arrivals {
+            arrival.pkt.flow = remap[arrival.pkt.flow.0 as usize];
+        }
+        self.arrivals.extend(other.arrivals);
+        self.arrivals.sort_by_key(|a| a.pkt.arrival);
+        GeneratedTrace {
+            arrivals: self.arrivals,
+            flows: self.flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_packet::NanosExt;
+
+    fn quick(kind: WorkloadKind) -> Workload {
+        Workload {
+            kind,
+            duration: 10u64.millis(),
+            load: 1.0,
+            port: 0,
+            port_rate_gbps: 10.0,
+            sender_rate_gbps: 40.0,
+            min_flow_rate_gbps: 0.5,
+            warmup: 10u64.millis(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn trace_is_time_sorted() {
+        let trace = quick(WorkloadKind::Ws).generate();
+        assert!(trace
+            .arrivals
+            .windows(2)
+            .all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
+    }
+
+    #[test]
+    fn offered_load_close_to_target() {
+        // A single 10 ms WS trace holds only a few dozen flows whose sizes
+        // span four orders of magnitude, so per-trace load is very noisy;
+        // the *expectation* should still match the 10 Gbps target. Average
+        // across seeds to test the expectation.
+        let mut total = 0.0;
+        let seeds = 8;
+        for seed in 0..seeds {
+            let mut wl = quick(WorkloadKind::Ws);
+            wl.seed = seed;
+            total += wl.generate().offered_gbps(wl.duration);
+        }
+        let mean = total / seeds as f64;
+        assert!(
+            (5.0..=18.0).contains(&mean),
+            "mean offered {mean} Gbps across {seeds} seeds, target 10"
+        );
+    }
+
+    #[test]
+    fn uw_packets_are_small_ws_packets_are_mtu() {
+        let uw = quick(WorkloadKind::Uw).generate();
+        let ws = quick(WorkloadKind::Ws).generate();
+        let uw_mean =
+            uw.arrivals.iter().map(|a| f64::from(a.pkt.len)).sum::<f64>() / uw.packets() as f64;
+        assert!(
+            (64.0..=150.0).contains(&uw_mean),
+            "UW mean packet {uw_mean}"
+        );
+        assert!(ws.arrivals.iter().all(|a| a.pkt.len <= 1500));
+        let ws_full = ws.arrivals.iter().filter(|a| a.pkt.len == 1500).count();
+        assert!(ws_full * 2 > ws.packets(), "WS should be mostly MTU");
+    }
+
+    #[test]
+    fn uw_has_many_more_packets_than_ws() {
+        // §7.1: UW forwards ~9.1 Mpps vs 0.84 Mpps for WS/DM at the same
+        // bit rate — roughly a 10x packet-count gap.
+        let uw = quick(WorkloadKind::Uw).generate().packets();
+        let ws = quick(WorkloadKind::Ws).generate().packets();
+        assert!(
+            uw > 3 * ws,
+            "expected UW ≫ WS packet counts, got {uw} vs {ws}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = quick(WorkloadKind::Dm).generate();
+        let b = quick(WorkloadKind::Dm).generate();
+        assert_eq!(a.packets(), b.packets());
+        assert_eq!(a.arrivals.first(), b.arrivals.first());
+        assert_eq!(a.arrivals.last(), b.arrivals.last());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick(WorkloadKind::Dm).generate();
+        let mut wl = quick(WorkloadKind::Dm);
+        wl.seed = 8;
+        let b = wl.generate();
+        assert_ne!(a.arrivals.first(), b.arrivals.first());
+    }
+
+    #[test]
+    fn merge_reinterns_flows() {
+        let a = quick(WorkloadKind::Ws).generate();
+        let mut wl = quick(WorkloadKind::Ws);
+        wl.seed = 100;
+        let b = wl.generate();
+        let (an, bn) = (a.packets(), b.packets());
+        let (af, bf) = (a.flows.len(), b.flows.len());
+        let merged = a.merge(b);
+        assert_eq!(merged.packets(), an + bn);
+        // Random tuples rarely collide, so the flow count is ~ the sum.
+        assert!(merged.flows.len() <= af + bf);
+        assert!(merged.flows.len() > af.max(bf));
+        // All flow ids resolve.
+        for arrival in &merged.arrivals {
+            assert!(merged.flows.resolve(arrival.pkt.flow).is_some());
+        }
+    }
+}

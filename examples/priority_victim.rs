@@ -1,0 +1,114 @@
+//! Non-FIFO diagnosis: the Figure 1 scenario under strict-priority
+//! scheduling.
+//!
+//! A low-priority packet is starved by a stream of high-priority traffic.
+//! The paper's culprit definitions are "independent of the packet
+//! scheduling algorithm", and the time windows index on dequeue time only —
+//! so the same query machinery names the high-priority flows that were
+//! served instead of the victim, with no FIFO assumption anywhere.
+//!
+//! Run with: `cargo run --release --example priority_victim`
+
+use printqueue::core::metrics;
+use printqueue::packet::ipv4::Address;
+use printqueue::prelude::*;
+use printqueue::switch::SchedulerKind;
+
+fn main() {
+    // Build the scenario by hand: two high-priority flows oversubscribe a
+    // 10 Gbps port (2 × 6 Gbps) while a low-priority flow trickles.
+    let mut flows = printqueue::packet::FlowTable::new();
+    let hp_a = flows.intern(FlowKey::udp(
+        Address::new(10, 0, 0, 1),
+        1111,
+        Address::new(10, 200, 0, 1),
+        443,
+    ));
+    let hp_b = flows.intern(FlowKey::udp(
+        Address::new(10, 0, 0, 2),
+        2222,
+        Address::new(10, 200, 0, 1),
+        443,
+    ));
+    let lp = flows.intern(FlowKey::tcp(
+        Address::new(10, 0, 0, 3),
+        3333,
+        Address::new(10, 200, 0, 1),
+        80,
+    ));
+
+    let mut arrivals = Vec::new();
+    let horizon = 3u64.millis();
+    // High priority: 1500 B every 2000 ns per flow ≈ 6 Gbps each.
+    for (flow, offset) in [(hp_a, 0u64), (hp_b, 1000)] {
+        let mut t = offset;
+        while t < horizon {
+            arrivals.push(Arrival::new(
+                SimPacket::new(flow, 1500, t).with_priority(0),
+                0,
+            ));
+            t += 2000;
+        }
+    }
+    // Low priority: one packet every 50 µs.
+    let mut t = 10_000u64;
+    while t < horizon {
+        arrivals.push(Arrival::new(SimPacket::new(lp, 1500, t).with_priority(1), 0));
+        t += 50_000;
+    }
+    arrivals.sort_by_key(|a| a.pkt.arrival);
+    println!("scenario: {} packets, strict-priority port", arrivals.len());
+
+    // A strict-priority port (2 queues) instead of FIFO.
+    let mut sw_config = SwitchConfig::single_port(10.0, 64_000);
+    sw_config.ports[0].scheduler = SchedulerKind::StrictPriority { queues: 2 };
+    let mut sw = Switch::new(sw_config);
+
+    let tw = TimeWindowConfig::WS_DM;
+    let mut printqueue = PrintQueue::new(PrintQueueConfig::single_port(tw, 1200));
+    let mut sink = TelemetrySink::new();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut printqueue, &mut sink];
+        sw.run(arrivals, &mut hooks, tw.set_period());
+    }
+
+    // The victim: the low-priority packet that starved longest.
+    let victim = sink
+        .records
+        .iter()
+        .filter(|r| r.flow == lp)
+        .max_by_key(|r| r.meta.deq_timedelta)
+        .copied()
+        .expect("low-priority packets transmitted");
+    println!(
+        "victim (low priority) waited {:.1} µs while high-priority traffic was served",
+        f64::from(victim.meta.deq_timedelta) / 1e3
+    );
+
+    // Direct culprits: scheduling-policy agnostic by definition — exactly
+    // the packets dequeued during the victim's wait.
+    let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
+    let est = printqueue.analysis().query_time_windows(0, interval);
+    let oracle = GroundTruth::new(&sink.records, 80);
+    let truth = metrics::to_float_counts(&oracle.direct_culprits(
+        interval.from,
+        interval.to,
+        victim.seqno,
+    ));
+    let pr = metrics::precision_recall(&est.counts, &truth);
+    println!(
+        "diagnosis under strict priority: precision {:.3}, recall {:.3}",
+        pr.precision, pr.recall
+    );
+
+    let ranked = est.ranked();
+    println!("culprit flows:");
+    for (flow, n) in &ranked {
+        println!("  {n:7.1}  {}", flows.resolve(*flow).unwrap());
+    }
+    // Both high-priority flows must dominate the diagnosis.
+    assert!(ranked.len() >= 2);
+    assert!(ranked[0].0 == hp_a || ranked[0].0 == hp_b);
+    assert!(pr.recall > 0.5, "culprits under-identified");
+    println!("non-FIFO culprit attribution works ✓");
+}

@@ -1,0 +1,95 @@
+//! Quickstart: attach PrintQueue to a simulated switch, congest one port,
+//! and diagnose the direct culprits of the most-delayed packet.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use printqueue::prelude::*;
+
+fn main() {
+    // 1. A workload: the paper's web-search traffic at 120% of a 10 Gbps
+    //    port's capacity for 10 ms — queues will build.
+    let workload = Workload {
+        kind: WorkloadKind::Ws,
+        duration: 10u64.millis(),
+        load: 1.2,
+        port: 0,
+        port_rate_gbps: 10.0,
+        sender_rate_gbps: 40.0,
+        min_flow_rate_gbps: 0.5,
+        warmup: 10u64.millis(),
+        seed: 42,
+    };
+    let trace = workload.generate();
+    println!(
+        "workload: {} packets across {} flows, offered {:.2} Gbps",
+        trace.packets(),
+        trace.flows.len(),
+        trace.offered_gbps(workload.duration)
+    );
+
+    // 2. PrintQueue with the paper's WS/DM parameters (m0=10, α=1, k=12,
+    //    T=4), polling once per set period.
+    let tw = TimeWindowConfig::WS_DM;
+    let mut printqueue = PrintQueue::new(PrintQueueConfig::single_port(tw, 1200));
+
+    // 3. A telemetry sink stands in for the paper's DPDK ground-truth
+    //    receiver.
+    let mut sink = TelemetrySink::new();
+
+    // 4. Run the switch.
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut printqueue, &mut sink];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    let stats = sw.port_stats(0);
+    println!(
+        "switch: {} transmitted, {} dropped, max depth {} cells, mean delay {:.1} µs",
+        stats.dequeued,
+        stats.dropped,
+        stats.max_depth_cells,
+        stats.mean_queue_delay() / 1e3,
+    );
+
+    // 5. Pick the victim: the packet that waited longest.
+    let victim = sink
+        .records
+        .iter()
+        .max_by_key(|r| r.meta.deq_timedelta)
+        .copied()
+        .expect("packets were transmitted");
+    println!(
+        "victim: {} queued {:.1} µs at depth {} cells",
+        victim.flow,
+        f64::from(victim.meta.deq_timedelta) / 1e3,
+        victim.meta.enq_qdepth
+    );
+
+    // 6. Ask PrintQueue for the victim's direct culprits and compare with
+    //    ground truth.
+    let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
+    let estimate = printqueue.analysis().query_time_windows(0, interval);
+    let oracle = GroundTruth::new(&sink.records, 80);
+    let truth: std::collections::HashMap<FlowId, f64> = oracle
+        .direct_culprits(interval.from, interval.to, victim.seqno)
+        .into_iter()
+        .map(|(f, n)| (f, n as f64))
+        .collect();
+    let pr = precision_recall(&estimate.counts, &truth);
+    println!(
+        "diagnosis: {} culprit flows, precision {:.3}, recall {:.3}",
+        estimate.counts.len(),
+        pr.precision,
+        pr.recall
+    );
+
+    println!("\ntop culprit flows (estimated packets during the victim's wait):");
+    for (flow, count) in estimate.ranked().into_iter().take(5) {
+        let tuple = trace
+            .flows
+            .resolve(flow)
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| flow.to_string());
+        println!("  {count:8.1}  {tuple}");
+    }
+}

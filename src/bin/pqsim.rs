@@ -1,0 +1,494 @@
+//! `pqsim` — command-line driver for the PrintQueue reproduction.
+//!
+//! Subcommands:
+//!
+//! * `gen   --kind uw|ws|dm --duration-ms N --seed S --out FILE`
+//!   Generate a workload trace and save it as a `.pqtr` file.
+//! * `info  FILE`
+//!   Print a saved trace's summary statistics.
+//! * `run   FILE [--alpha A --k K --t T --m0 M --d NS] [--victims N]`
+//!   Replay a trace through the simulated switch with PrintQueue attached
+//!   and diagnose the N most-delayed packets.
+//! * `case-study [--duration-ms N --seed S]`
+//!   Run the §7.2 queue-monitor case study and print the three culprit
+//!   views.
+//! * `export-pcap FILE.pqtr FILE.pcap` / `import-pcap FILE.pcap FILE.pqtr`
+//!   Convert between the native trace format and standard pcap, for
+//!   interop with tcpdump/wireshark/tcpreplay.
+//! * `depth FILE.pqtr [--step-us N]`
+//!   Replay a trace and print an ASCII queue-depth-over-time plot from the
+//!   data-plane depth sampler.
+//! * `validate [--alpha A --k K --t T --m0 M --rate-gbps G --min-pkt B]`
+//!   Pre-flight a configuration against a deployment profile (§7.1's
+//!   feasibility guidance) without running anything.
+//! * `archive FILE.pqtr OUT.json [--alpha A --k K --t T --m0 M --d NS]`
+//!   Run a trace and archive the analysis program's checkpoints as JSON.
+//! * `replay-query ARCHIVE.json --from NS --to NS [--d NS]`
+//!   Re-run a time-window query against an archived checkpoint store.
+//!
+//! Everything is deterministic given the seed.
+
+use printqueue::core::culprits::GroundTruth;
+use printqueue::core::metrics::{self, precision_recall};
+use printqueue::prelude::*;
+use printqueue::trace::workload::GeneratedTrace;
+use printqueue::trace::{io as trace_io, scenario};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pqsim gen --kind uw|ws|dm [--duration-ms N] [--seed S] --out FILE\n  \
+         pqsim info FILE\n  \
+         pqsim run FILE [--alpha A] [--k K] [--t T] [--m0 M] [--d NS] [--victims N]\n  \
+         pqsim case-study [--duration-ms N] [--seed S]\n  \
+         pqsim export-pcap FILE.pqtr FILE.pcap\n  \
+         pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
+         pqsim depth FILE.pqtr [--step-us N]\n  \
+         pqsim validate [tw flags] [--rate-gbps G] [--min-pkt B]\n  \
+         pqsim archive FILE.pqtr OUT.json [tw flags]\n  \
+         pqsim replay-query ARCHIVE.json --from NS --to NS [--d NS]"
+    );
+    exit(2)
+}
+
+/// Minimal flag parser: `--name value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = raw.next().unwrap_or_else(|| usage());
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flags.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{name}: {v}");
+                exit(2)
+            }),
+            None => default,
+        }
+    }
+
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    let args = Args::parse(argv);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "run" => cmd_run(&args),
+        "case-study" => cmd_case_study(&args),
+        "export-pcap" => cmd_export_pcap(&args),
+        "import-pcap" => cmd_import_pcap(&args),
+        "depth" => cmd_depth(&args),
+        "validate" => cmd_validate(&args),
+        "archive" => cmd_archive(&args),
+        "replay-query" => cmd_replay_query(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_gen(args: &Args) {
+    let kind = match args.get_str("kind") {
+        Some("uw") => WorkloadKind::Uw,
+        Some("ws") => WorkloadKind::Ws,
+        Some("dm") => WorkloadKind::Dm,
+        _ => usage(),
+    };
+    let duration_ms: u64 = args.get("duration-ms", 50);
+    let seed: u64 = args.get("seed", 1);
+    let Some(out) = args.get_str("out") else { usage() };
+    let trace = Workload::paper_testbed(kind, duration_ms.millis(), seed).generate();
+    println!(
+        "generated {} trace: {} packets, {} flows, offered {:.2} Gbps over {duration_ms} ms",
+        kind.label(),
+        trace.packets(),
+        trace.flows.len(),
+        trace.offered_gbps(duration_ms.millis())
+    );
+    if let Err(err) = trace_io::save(&trace, &PathBuf::from(out)) {
+        eprintln!("failed to write {out}: {err}");
+        exit(1);
+    }
+    println!("saved to {out}");
+}
+
+fn load_trace(args: &Args) -> GeneratedTrace {
+    let Some(path) = args.positional.first() else { usage() };
+    match trace_io::load(&PathBuf::from(path)) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("failed to read {path}: {err}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_info(args: &Args) {
+    let trace = load_trace(args);
+    println!("{}", printqueue::trace::stats::analyze(&trace));
+    // Top 5 flows by packets.
+    let mut per_flow = std::collections::HashMap::new();
+    for a in &trace.arrivals {
+        *per_flow.entry(a.pkt.flow).or_insert(0u64) += 1;
+    }
+    let mut ranked: Vec<_> = per_flow.into_iter().collect();
+    ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("top flows:");
+    for (flow, n) in ranked.into_iter().take(5) {
+        let tuple = trace
+            .flows
+            .resolve(flow)
+            .map(|k| k.to_string())
+            .unwrap_or_default();
+        println!("  {n:>8}  {tuple}");
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let trace = load_trace(args);
+    let m0: u8 = args.get("m0", 6);
+    let alpha: u8 = args.get("alpha", 2);
+    let k: u8 = args.get("k", 12);
+    let t: u8 = args.get("t", 4);
+    let d: u64 = args.get("d", 110);
+    let victims_n: usize = args.get("victims", 5);
+
+    let tw = TimeWindowConfig::new(m0, alpha, k, t);
+    println!(
+        "PrintQueue: m0={m0} α={alpha} k={k} T={t}; set period {:.3} ms",
+        tw.set_period() as f64 / 1e6
+    );
+    let pq_config = PrintQueueConfig::single_port(tw, d);
+    // Pre-flight the configuration against the trace's characteristics.
+    {
+        use printqueue::core::validation::{validate, DeploymentProfile};
+        let stats = printqueue::trace::stats::analyze(&trace);
+        let profile = DeploymentProfile {
+            port_rate_gbps: 10.0,
+            min_pkt_bytes: stats.pkt_size_p1.max(64),
+            max_depth_cells: 32_768,
+            max_query_interval: tw.set_period().min(2_000_000),
+        };
+        for f in validate(&pq_config, &profile) {
+            println!("[{:?}] {}: {}", f.severity, f.code, f.message);
+        }
+    }
+    let mut pq = PrintQueue::new(pq_config);
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    let stats = sw.port_stats(0);
+    println!(
+        "switch: {} transmitted, {} dropped, max depth {} cells, mean delay {:.1} µs",
+        stats.dequeued,
+        stats.dropped,
+        stats.max_depth_cells,
+        stats.mean_queue_delay() / 1e3
+    );
+
+    let oracle = GroundTruth::new(&sink.records, 80);
+    let mut by_delay: Vec<_> = sink.records.iter().collect();
+    by_delay.sort_by_key(|r| std::cmp::Reverse(r.meta.deq_timedelta));
+    println!("\ndiagnosing the {victims_n} most-delayed packets:");
+    for victim in by_delay.into_iter().take(victims_n) {
+        let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
+        let est = pq.analysis().query_time_windows(0, interval);
+        let truth = metrics::to_float_counts(&oracle.direct_culprits(
+            interval.from,
+            interval.to,
+            victim.seqno,
+        ));
+        let pr = precision_recall(&est.counts, &truth);
+        let top = est
+            .ranked()
+            .first()
+            .and_then(|(f, n)| trace.flows.resolve(*f).map(|key| (key.to_string(), *n)));
+        println!(
+            "  victim {} waited {:>8.1} µs | {} culprit flows, P {:.2} R {:.2} | top: {}",
+            victim.flow,
+            f64::from(victim.meta.deq_timedelta) / 1e3,
+            est.counts.len(),
+            pr.precision,
+            pr.recall,
+            top.map(|(key, n)| format!("{key} (~{n:.0} pkts)"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn cmd_export_pcap(args: &Args) {
+    let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
+        usage()
+    };
+    let trace = match trace_io::load(&PathBuf::from(src)) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("failed to read {src}: {err}");
+            exit(1)
+        }
+    };
+    let file = match std::fs::File::create(dst) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("failed to create {dst}: {err}");
+            exit(1)
+        }
+    };
+    if let Err(err) = printqueue::trace::pcap::write_pcap(&trace, std::io::BufWriter::new(file)) {
+        eprintln!("pcap write failed: {err}");
+        exit(1);
+    }
+    println!("wrote {} packets to {dst}", trace.packets());
+}
+
+fn cmd_import_pcap(args: &Args) {
+    let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
+        usage()
+    };
+    let port: u16 = args.get("port", 0);
+    let file = match std::fs::File::open(src) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("failed to open {src}: {err}");
+            exit(1)
+        }
+    };
+    let (trace, skipped) =
+        match printqueue::trace::pcap::read_pcap(std::io::BufReader::new(file), port) {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("pcap read failed: {err}");
+                exit(1)
+            }
+        };
+    if skipped > 0 {
+        eprintln!("skipped {skipped} non-IPv4/TCP/UDP frames");
+    }
+    if let Err(err) = trace_io::save(&trace, &PathBuf::from(dst)) {
+        eprintln!("failed to write {dst}: {err}");
+        exit(1);
+    }
+    println!(
+        "imported {} packets across {} flows into {dst}",
+        trace.packets(),
+        trace.flows.len()
+    );
+}
+
+fn cmd_depth(args: &Args) {
+    use printqueue::switch::DepthSampler;
+    let trace = load_trace(args);
+    let step_us: u64 = args.get("step-us", 500);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let mut sampler = DepthSampler::new(0, 80, 1 << 20);
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut sampler];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, step_us * 1_000);
+    }
+    let peak = sampler.peak_cells.max(1);
+    println!("queue depth over time (port 0, peak {peak} cells):");
+    for s in &sampler.samples {
+        let bars = (u64::from(s.depth_cells) * 50 / u64::from(peak)) as usize;
+        println!(
+            "{:>9.2} ms |{}{}",
+            s.at as f64 / 1e6,
+            "#".repeat(bars),
+            if s.depth_cells > 0 && bars == 0 { "." } else { "" }
+        );
+    }
+    if let Some((from, to)) = sampler.longest_busy_span(peak / 10) {
+        println!(
+            "longest span above 10% of peak: {:.2} ms",
+            (to - from) as f64 / 1e6
+        );
+    }
+}
+
+fn cmd_validate(args: &Args) {
+    use printqueue::core::validation::{is_deployable, validate, DeploymentProfile};
+    let m0: u8 = args.get("m0", 6);
+    let alpha: u8 = args.get("alpha", 2);
+    let k: u8 = args.get("k", 12);
+    let t: u8 = args.get("t", 4);
+    let rate: f64 = args.get("rate-gbps", 10.0);
+    let min_pkt: u32 = args.get("min-pkt", 64);
+    let tw = TimeWindowConfig::new(m0, alpha, k, t);
+    let config = PrintQueueConfig::single_port(tw, 64);
+    let profile = DeploymentProfile {
+        port_rate_gbps: rate,
+        min_pkt_bytes: min_pkt,
+        max_depth_cells: 32_768,
+        max_query_interval: 2_000_000,
+    };
+    println!(
+        "config m0={m0} α={alpha} k={k} T={t}: set period {:.3} ms, poll {:.3} ms",
+        tw.set_period() as f64 / 1e6,
+        config.control.poll_period as f64 / 1e6
+    );
+    let findings = validate(&config, &profile);
+    if findings.is_empty() {
+        println!("no findings — deployable ✓");
+        return;
+    }
+    for f in &findings {
+        println!("[{:?}] {}: {}", f.severity, f.code, f.message);
+    }
+    if !is_deployable(&findings) {
+        exit(1);
+    }
+}
+
+fn cmd_archive(args: &Args) {
+    let trace = load_trace(args);
+    let Some(out_path) = args.positional.get(1) else { usage() };
+    let m0: u8 = args.get("m0", 6);
+    let alpha: u8 = args.get("alpha", 2);
+    let k: u8 = args.get("k", 12);
+    let t: u8 = args.get("t", 4);
+    let d: u64 = args.get("d", 110);
+    let tw = TimeWindowConfig::new(m0, alpha, k, t);
+    let mut pq = PrintQueue::new(PrintQueueConfig::single_port(tw, d));
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    let archive = printqueue::core::export::CheckpointArchive::capture(pq.analysis(), 0);
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("failed to create {out_path}: {err}");
+            exit(1)
+        }
+    };
+    if let Err(err) = archive.write_json(std::io::BufWriter::new(file)) {
+        eprintln!("archive write failed: {err}");
+        exit(1);
+    }
+    println!(
+        "archived {} checkpoints ({} transmitted packets) to {out_path}",
+        archive.checkpoints.len(),
+        sink.records.len()
+    );
+}
+
+fn cmd_replay_query(args: &Args) {
+    let Some(path) = args.positional.first() else { usage() };
+    let from: u64 = args.get("from", 0);
+    let to: u64 = args.get("to", u64::MAX);
+    let d: u64 = args.get("d", 110);
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("failed to open {path}: {err}");
+            exit(1)
+        }
+    };
+    let archive =
+        match printqueue::core::export::CheckpointArchive::read_json(std::io::BufReader::new(file))
+        {
+            Ok(a) => a,
+            Err(err) => {
+                eprintln!("archive read failed: {err}");
+                exit(1)
+            }
+        };
+    let coeffs = printqueue::core::coefficient::Coefficients::compute(&archive.tw_config, d);
+    let est = archive.query(QueryInterval::new(from, to), &coeffs);
+    println!(
+        "query [{from}, {to}] over {} checkpoints: {} flows, ~{:.0} packets",
+        archive.checkpoints.len(),
+        est.counts.len(),
+        est.total()
+    );
+    for (flow, n) in est.ranked().into_iter().take(10) {
+        println!("  {n:10.1}  {flow}");
+    }
+}
+
+fn cmd_case_study(args: &Args) {
+    let duration_ms: u64 = args.get("duration-ms", 100);
+    let seed: u64 = args.get("seed", 1);
+    let cs = scenario::case_study_fig16(duration_ms.millis(), seed);
+    let tw = TimeWindowConfig::WS_DM;
+    let mut config = PrintQueueConfig::single_port(tw, 200);
+    config.control.poll_period = 2u64.millis();
+    let mut pq = PrintQueue::new(config);
+    let mut sink = TelemetrySink::new();
+    let mut sw_config = SwitchConfig::single_port(10.0, 40_000);
+    sw_config.ports[0].max_depth_cells = 40_000;
+    let mut sw = Switch::new(sw_config);
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(cs.trace.arrivals.iter().copied(), &mut hooks, 2u64.millis());
+    }
+    let oracle = GroundTruth::new(&sink.records, 80);
+    let victim = oracle
+        .records()
+        .iter()
+        .filter(|r| r.flow == cs.roles.new_tcp)
+        .max_by_key(|r| r.meta.deq_timedelta)
+        .copied()
+        .expect("victim exists");
+    println!(
+        "victim (new TCP flow) waited {:.2} ms behind a queue the burst built",
+        f64::from(victim.meta.deq_timedelta) / 1e6
+    );
+    let label = |flow: FlowId| -> &str {
+        if flow == cs.roles.burst {
+            "burst"
+        } else if flow == cs.roles.background {
+            "background"
+        } else {
+            "new TCP"
+        }
+    };
+    let report = oracle.report(&victim);
+    let show = |name: &str, counts: &std::collections::HashMap<FlowId, u64>| {
+        let total: u64 = counts.values().sum();
+        print!("{name:>9}:");
+        let mut entries: Vec<_> = counts.iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(a.1));
+        for (flow, n) in entries {
+            print!(" {}={n} ({:.0}%)", label(*flow), *n as f64 / total as f64 * 100.0);
+        }
+        println!();
+    };
+    show("direct", &report.direct);
+    show("indirect", &report.indirect);
+    let qm = pq
+        .analysis()
+        .query_queue_monitor(0, victim.deq_timestamp())
+        .expect("queue monitor checkpoint");
+    show("original", &qm.culprit_counts());
+    println!(
+        "\nonly the original-culprit view (queue monitor) implicates the burst,\n\
+         which left the network ~{} ms before the victim arrived",
+        (victim.meta.enq_timestamp.saturating_sub(cs.burst_start)) / 1_000_000
+    );
+}

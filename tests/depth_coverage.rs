@@ -1,0 +1,43 @@
+//! The load-ramp scenario must sweep every depth bucket the §7.1
+//! methodology samples from, making bucket coverage deterministic.
+
+use printqueue::core::culprits::GroundTruth;
+use printqueue::prelude::*;
+use printqueue::trace::ramp::LoadRamp;
+
+#[test]
+fn ramp_covers_all_depth_buckets() {
+    let trace = LoadRamp {
+        kind: WorkloadKind::Uw,
+        duration: 60u64.millis(),
+        start_load: 0.8,
+        end_load: 1.6,
+        port_rate_gbps: 10.0,
+        flows: 128,
+        port: 0,
+        seed: 11,
+    }
+    .generate();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let mut sink = TelemetrySink::new();
+    sw.run(trace.arrivals.iter().copied(), &mut [&mut sink], 0);
+    let truth = GroundTruth::new(&sink.records, 80);
+
+    // Every §7.1 bucket gets victims.
+    let buckets: [(u32, u32); 6] = [
+        (1_000, 2_000),
+        (2_000, 5_000),
+        (5_000, 10_000),
+        (10_000, 15_000),
+        (15_000, 20_000),
+        (20_000, u32::MAX),
+    ];
+    for (lo, hi) in buckets {
+        let n = truth
+            .records()
+            .iter()
+            .filter(|r| r.meta.enq_qdepth >= lo && r.meta.enq_qdepth < hi)
+            .count();
+        assert!(n >= 50, "bucket [{lo}, {hi}) has only {n} victims");
+    }
+}

@@ -1,0 +1,147 @@
+//! Reproduction regression suite: the paper's headline claims, asserted at
+//! reduced scale so `cargo test` guards them. The full-scale versions live
+//! in the `pq-bench` binaries; these tests fail if a change breaks the
+//! *shape* of any headline result.
+
+use pq_bench::eval::{eval_async, eval_baseline, eval_dataplane, overall};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::victims::sample_victims;
+use printqueue::core::culprits::GroundTruth;
+use printqueue::core::printqueue::DataPlaneTrigger;
+use printqueue::prelude::*;
+use printqueue::trace::scenario;
+
+fn ws_run(with_baselines: bool, seed: u64) -> (pq_bench::harness::RunOutput, Vec<pq_bench::victims::Victim>) {
+    let trace = Workload::paper_testbed(WorkloadKind::Ws, 20u64.millis(), seed).generate();
+    let tw = TimeWindowConfig::WS_DM;
+    let config = if with_baselines {
+        RunConfig::new(tw, 1200).with_baselines()
+    } else {
+        RunConfig::new(tw, 1200)
+    };
+    let out = run(&config, &trace);
+    let victims = sample_victims(&out.truth, 15, seed);
+    (out, victims)
+}
+
+/// Headline 1 (§7.1 / Table 2): PrintQueue beats the fixed-interval
+/// baselines on both precision and recall.
+#[test]
+fn printqueue_beats_baselines() {
+    let (mut out, victims) = ws_run(true, 21);
+    assert!(victims.len() >= 20, "too few victims: {}", victims.len());
+    let pq = overall(&eval_async(&mut out, &victims));
+    let b = out.baselines.as_ref().unwrap();
+    let hp = overall(&eval_baseline(&out, &b.hp_periods, &victims));
+    let fr = overall(&eval_baseline(&out, &b.fr_periods, &victims));
+    assert!(
+        pq.precision > hp.precision + 0.1 && pq.recall > hp.recall + 0.1,
+        "PQ {pq:?} vs HashPipe {hp:?}"
+    );
+    assert!(
+        pq.precision > fr.precision + 0.1 && pq.recall > fr.recall + 0.1,
+        "PQ {pq:?} vs FlowRadar {fr:?}"
+    );
+}
+
+/// Headline 2 (Figure 9): data-plane queries are more accurate than
+/// asynchronous queries.
+#[test]
+fn dq_beats_aq() {
+    let trace = Workload::paper_testbed(WorkloadKind::Ws, 20u64.millis(), 5).generate();
+    let tw = TimeWindowConfig::WS_DM;
+    let mut aq_out = run(&RunConfig::new(tw, 1200), &trace);
+    let victims = sample_victims(&aq_out.truth, 15, 5);
+    let aq = overall(&eval_async(&mut aq_out, &victims));
+
+    let trigger = DataPlaneTrigger {
+        min_deq_timedelta: u32::MAX,
+        min_enq_qdepth: 1_000,
+        cooldown: 2_000_000,
+    };
+    let mut dq_out = run(&RunConfig::new(tw, 1200).with_trigger(trigger), &trace);
+    let dq_samples = eval_dataplane(&mut dq_out);
+    assert!(!dq_samples.is_empty(), "no DQ samples");
+    let dq = overall(&dq_samples);
+    assert!(
+        dq.recall > aq.recall && dq.recall > 0.9,
+        "DQ {dq:?} should beat AQ {aq:?}"
+    );
+}
+
+/// Headline 3 (§7.2 / Figure 16): only the queue monitor implicates a burst
+/// whose packets left long before the victim arrived.
+#[test]
+fn queue_monitor_implicates_departed_burst() {
+    let cs = scenario::case_study_fig16(50u64.millis(), 3);
+    let tw = TimeWindowConfig::WS_DM;
+    let mut config = PrintQueueConfig::single_port(tw, 200);
+    config.control.poll_period = 2u64.millis();
+    let mut pq = PrintQueue::new(config);
+    let mut sink = TelemetrySink::new();
+    let mut sw_config = SwitchConfig::single_port(10.0, 40_000);
+    sw_config.ports[0].max_depth_cells = 40_000;
+    let mut sw = Switch::new(sw_config);
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(cs.trace.arrivals.iter().copied(), &mut hooks, 2u64.millis());
+    }
+    let truth = GroundTruth::new(&sink.records, 80);
+    let victim = truth
+        .records()
+        .iter()
+        .filter(|r| r.flow == cs.roles.new_tcp)
+        .max_by_key(|r| r.meta.deq_timedelta)
+        .copied()
+        .expect("victim");
+    // Direct culprits: no burst.
+    let direct = pq.analysis().query_time_windows(
+        0,
+        QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp()),
+    );
+    let burst_direct = direct.counts.get(&cs.roles.burst).copied().unwrap_or(0.0);
+    assert!(burst_direct < 1.0, "burst in direct culprits: {burst_direct}");
+    // Original culprits: burst share comparable to the background's.
+    let qm = pq
+        .analysis()
+        .query_queue_monitor(0, victim.deq_timestamp())
+        .expect("checkpoint");
+    let counts = qm.culprit_counts();
+    let burst = counts.get(&cs.roles.burst).copied().unwrap_or(0) as f64;
+    let background = counts.get(&cs.roles.background).copied().unwrap_or(0) as f64;
+    assert!(
+        burst > 0.5 * background && background > 0.0,
+        "queue monitor shares burst {burst} vs background {background}"
+    );
+}
+
+/// Headline 4 (Figure 11/§7.1): raising α trades accuracy for compression.
+#[test]
+fn larger_alpha_costs_accuracy() {
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, 12u64.millis(), 9).generate();
+    let mut recalls = Vec::new();
+    for alpha in [1u8, 3] {
+        let tw = TimeWindowConfig::new(6, alpha, 12, 4);
+        let mut out = run(&RunConfig::new(tw, 110), &trace);
+        let victims = sample_victims(&out.truth, 10, 9);
+        recalls.push(overall(&eval_async(&mut out, &victims)).recall);
+    }
+    assert!(
+        recalls[0] > recalls[1],
+        "α=1 recall {} should beat α=3 {}",
+        recalls[0],
+        recalls[1]
+    );
+}
+
+/// Headline 5 (§7): SRAM overhead is moderate and the paper's configs are
+/// control-plane feasible.
+#[test]
+fn paper_configs_fit_resources() {
+    use printqueue::core::resources::ResourceModel;
+    for tw in [TimeWindowConfig::UW, TimeWindowConfig::WS_DM] {
+        let m = ResourceModel::new(&tw, 1, 32 * 1024);
+        assert!(m.control_feasible(), "{} infeasible", tw.label());
+        assert!(m.sram_utilization_pct() < 25.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants.
+
+use printqueue::core::coefficient::Coefficients;
+use printqueue::core::metrics::{precision_recall, FlowCounts};
+use printqueue::core::params::TimeWindowConfig;
+use printqueue::core::queue_monitor::QueueMonitor;
+use printqueue::core::snapshot::{QueryInterval, TimeWindowSnapshot};
+use printqueue::core::time_windows::TimeWindowSet;
+use printqueue::packet::packet::{build_frame, parse_frame};
+use printqueue::packet::{FlowId, FlowKey, Protocol, SimPacket};
+use proptest::prelude::*;
+
+fn arb_flow_key() -> impl Strategy<Value = FlowKey> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp)],
+    )
+        .prop_map(|(src, dst, sp, dp, protocol)| FlowKey {
+            src,
+            dst,
+            src_port: sp,
+            dst_port: dp,
+            protocol,
+        })
+}
+
+proptest! {
+    /// Any tuple survives a build → parse round trip through real bytes.
+    #[test]
+    fn frame_roundtrip(key in arb_flow_key(), payload in 0usize..1400) {
+        let bytes = build_frame(&key, payload);
+        let parsed = parse_frame(&bytes).expect("frame must parse");
+        prop_assert_eq!(parsed.flow, key);
+        prop_assert_eq!(parsed.payload_len, payload);
+    }
+
+    /// The telemetry header round-trips any field values.
+    #[test]
+    fn telemetry_roundtrip(enq in any::<u64>(), delta in any::<u32>(),
+                           depth in any::<u16>(), port in any::<u16>()) {
+        use printqueue::packet::telemetry::{TelemetryHeader, HEADER_LEN};
+        let hdr = TelemetryHeader {
+            enq_timestamp: enq,
+            deq_timedelta: delta,
+            enq_qdepth: depth,
+            egress_port: port,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        prop_assert_eq!(TelemetryHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    /// The internet checksum verifies after any emit, and any single-bit
+    /// flip in the header breaks it.
+    #[test]
+    fn ipv4_checksum_detects_bit_flips(key in arb_flow_key(), bit in 0usize..(20 * 8)) {
+        let bytes = build_frame(&key, 64);
+        let ip_start = 14;
+        let mut header: Vec<u8> = bytes[ip_start..ip_start + 20].to_vec();
+        prop_assert!(printqueue::packet::checksum::verify(&header));
+        header[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!printqueue::packet::checksum::verify(&header));
+    }
+
+    /// Time windows never lose the newest packet: immediately after
+    /// recording, the packet's window-0 cell holds it.
+    #[test]
+    fn newest_packet_always_stored(
+        deq_times in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let config = TimeWindowConfig::new(4, 1, 6, 3);
+        let mut set = TimeWindowSet::new(config);
+        for (i, ts) in deq_times.iter().enumerate() {
+            let flow = FlowId(i as u32);
+            set.record(flow, *ts);
+            let tts = ts >> 4;
+            let idx = (tts & 63) as usize;
+            let cell = set.window(0)[idx];
+            prop_assert_eq!(cell.flow, flow);
+            prop_assert_eq!(cell.cycle, tts >> 6);
+        }
+    }
+
+    /// Update-path accounting balances: every recorded packet is either
+    /// still stored, was dropped, or was passed-and-then-dropped; the
+    /// stored count equals recorded − dropped.
+    #[test]
+    fn pass_drop_accounting_balances(
+        deq_times in prop::collection::vec(0u64..500_000, 1..300),
+    ) {
+        let config = TimeWindowConfig::new(4, 1, 5, 3);
+        let mut set = TimeWindowSet::new(config);
+        let mut sorted = deq_times.clone();
+        sorted.sort_unstable();
+        for (i, ts) in sorted.iter().enumerate() {
+            set.record(FlowId(i as u32), *ts);
+        }
+        let stored: usize = (0..3u8)
+            .map(|w| set.window(w).iter().filter(|c| !c.is_empty()).count())
+            .sum();
+        let stats = set.stats();
+        prop_assert_eq!(stored as u64, stats.recorded - stats.dropped);
+    }
+
+    /// A query never reports a flow that was never recorded, and with unit
+    /// coefficients never reports more total packets than were recorded.
+    #[test]
+    fn query_is_conservative_with_unit_coefficients(
+        deq_times in prop::collection::vec(0u64..100_000, 1..300),
+        from in 0u64..100_000,
+        len in 0u64..100_000,
+    ) {
+        let config = TimeWindowConfig::new(4, 1, 6, 3);
+        let mut set = TimeWindowSet::new(config);
+        let mut sorted = deq_times.clone();
+        sorted.sort_unstable();
+        for (i, ts) in sorted.iter().enumerate() {
+            set.record(FlowId((i % 10) as u32), *ts);
+        }
+        let snap = TimeWindowSnapshot::capture(&set);
+        let unit = Coefficients {
+            coefficient: vec![1.0; 3],
+            z: vec![1.0; 3],
+        };
+        let est = snap.query(QueryInterval::new(from, from.saturating_add(len)), &unit);
+        prop_assert!(est.total() <= sorted.len() as f64 + 1e-9);
+        for flow in est.counts.keys() {
+            prop_assert!(flow.0 < 10);
+        }
+    }
+
+    /// Precision and recall always land in [0, 1].
+    #[test]
+    fn precision_recall_bounded(
+        est_pairs in prop::collection::vec((0u32..50, 0.0f64..1e6), 0..30),
+        truth_pairs in prop::collection::vec((0u32..50, 0.0f64..1e6), 0..30),
+    ) {
+        let est: FlowCounts = est_pairs.into_iter().map(|(f, n)| (FlowId(f), n)).collect();
+        let truth: FlowCounts = truth_pairs.into_iter().map(|(f, n)| (FlowId(f), n)).collect();
+        let pr = precision_recall(&est, &truth);
+        prop_assert!((0.0..=1.0).contains(&pr.precision), "precision {}", pr.precision);
+        prop_assert!((0.0..=1.0).contains(&pr.recall), "recall {}", pr.recall);
+    }
+
+    /// Coefficients are in (0, 1] and non-increasing for any valid config.
+    #[test]
+    fn coefficients_valid(m0 in 0u8..12, alpha in 1u8..4, t in 1u8..7, d in 1u64..100_000) {
+        let k = 10u8;
+        if u32::from(m0) + u32::from(alpha) * (u32::from(t) - 1) + u32::from(k) >= 63 {
+            return Ok(());
+        }
+        let config = TimeWindowConfig::new(m0, alpha, k, t);
+        let coeffs = Coefficients::compute(&config, d);
+        let mut prev = 1.0f64;
+        for c in &coeffs.coefficient {
+            prop_assert!(*c > 0.0 && *c <= prev + 1e-12, "coefficient {c} after {prev}");
+            prev = *c;
+        }
+    }
+
+    /// The queue monitor's surviving chain is strictly increasing in both
+    /// level and sequence number, whatever the enqueue/dequeue pattern.
+    #[test]
+    fn queue_monitor_chain_is_monotone(
+        ops in prop::collection::vec((any::<bool>(), 0u32..64, 0u32..200), 1..300),
+    ) {
+        let mut qm = QueueMonitor::new(64, 1);
+        for (is_enq, flow, depth) in &ops {
+            if *is_enq {
+                qm.on_enqueue(FlowId(*flow), *depth, 0);
+            } else {
+                qm.on_dequeue(FlowId(*flow), *depth, 0);
+            }
+        }
+        let culprits = qm.snapshot().original_culprits();
+        for pair in culprits.windows(2) {
+            prop_assert!(pair[0].level < pair[1].level);
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+        // And nothing above the stack top is reported.
+        for c in &culprits {
+            prop_assert!(c.level <= qm.top());
+        }
+    }
+
+    /// FlowKey signatures are deterministic and the signature pair is
+    /// consistent between calls.
+    #[test]
+    fn signatures_deterministic(key in arb_flow_key()) {
+        prop_assert_eq!(key.signature(), key.signature());
+        prop_assert_eq!(key.signature2(), key.signature2());
+    }
+}
+
+/// Non-proptest invariant: interval coverage never double counts — a query
+/// split across two sub-intervals sums to the whole-interval query.
+#[test]
+fn query_splits_sum_to_whole() {
+    let config = TimeWindowConfig::new(4, 1, 6, 3);
+    let mut set = TimeWindowSet::new(config);
+    for i in 0..500u64 {
+        set.record(FlowId((i % 7) as u32), i * 16);
+    }
+    let snap = TimeWindowSnapshot::capture(&set);
+    let unit = Coefficients {
+        coefficient: vec![1.0; 3],
+        z: vec![1.0; 3],
+    };
+    let whole = snap.query(QueryInterval::new(0, 7999), &unit).total();
+    let left = snap.query(QueryInterval::new(0, 3999), &unit).total();
+    let right = snap.query(QueryInterval::new(4000, 7999), &unit).total();
+    assert!(
+        (whole - (left + right)).abs() < 1e-6,
+        "split {left} + {right} != whole {whole}"
+    );
+}
+
+proptest! {
+    /// Differential test of the coverage-deduplicated query: summing a
+    /// query split at arbitrary points equals the whole-interval query (no
+    /// double counting, no gaps), for arbitrary traffic.
+    #[test]
+    fn query_split_invariance(
+        deq_times in prop::collection::vec(0u64..200_000, 1..400),
+        cut in 1u64..199_999,
+    ) {
+        let config = TimeWindowConfig::new(4, 2, 5, 3);
+        let mut set = TimeWindowSet::new(config);
+        let mut sorted = deq_times.clone();
+        sorted.sort_unstable();
+        for (i, ts) in sorted.iter().enumerate() {
+            set.record(FlowId((i % 6) as u32), *ts);
+        }
+        let snap = TimeWindowSnapshot::capture(&set);
+        let unit = Coefficients { coefficient: vec![1.0; 3], z: vec![1.0; 3] };
+        let whole = snap.query(QueryInterval::new(0, 200_000), &unit).total();
+        let left = snap.query(QueryInterval::new(0, cut - 1), &unit).total();
+        let right = snap.query(QueryInterval::new(cut, 200_000), &unit).total();
+        prop_assert!(
+            (whole - (left + right)).abs() < 1e-6,
+            "split at {cut}: {left} + {right} != {whole}"
+        );
+    }
+
+    /// The pcap writer/reader round-trips arbitrary microburst traces.
+    #[test]
+    fn pcap_roundtrip(flows in 1usize..20, pkts in 1usize..20,
+                      len in 64u32..1500, seed in 0u64..1000) {
+        use printqueue::trace::pcap::{read_pcap, write_pcap};
+        use printqueue::trace::scenario::microburst;
+        let trace = microburst(1_000, 100_000, flows, pkts, len, 0, seed);
+        let mut buf = Vec::new();
+        write_pcap(&trace, &mut buf).unwrap();
+        let (back, skipped) = read_pcap(buf.as_slice(), 0).unwrap();
+        prop_assert_eq!(skipped, 0);
+        prop_assert_eq!(back.packets(), trace.packets());
+        for (a, b) in trace.arrivals.iter().zip(&back.arrivals) {
+            prop_assert_eq!(a.pkt.arrival, b.pkt.arrival);
+            prop_assert_eq!(a.pkt.len, b.pkt.len);
+        }
+    }
+
+    /// Trace-format (.pqtr) round trip for arbitrary incast traces.
+    #[test]
+    fn pqtr_roundtrip(servers in 1usize..16, bytes in 64u64..100_000, seed in 0u64..100) {
+        use printqueue::trace::io::{read_trace, write_trace};
+        use printqueue::trace::scenario::incast;
+        let trace = incast(0, servers, bytes, 40.0, 2, seed);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.arrivals, trace.arrivals);
+        prop_assert_eq!(back.flows.len(), trace.flows.len());
+    }
+
+    /// Token-bucket shaping never reorders, never moves a packet earlier,
+    /// and never exceeds the sustained rate over the full stream.
+    #[test]
+    fn shaping_invariants(
+        gaps in prop::collection::vec(0u64..5_000, 2..200),
+        rate_dgbps in 5u64..200,
+    ) {
+        use printqueue::switch::Arrival;
+        use printqueue::trace::shaping::{shape, TokenBucket};
+        let rate = rate_dgbps as f64 / 10.0;
+        let mut t = 0u64;
+        let arrivals: Vec<Arrival> = gaps
+            .iter()
+            .map(|g| {
+                t += g;
+                Arrival::new(SimPacket::new(FlowId(0), 1500, t), 0)
+            })
+            .collect();
+        let shaped = shape(&arrivals, TokenBucket::smooth(rate));
+        for (a, s) in arrivals.iter().zip(&shaped) {
+            prop_assert!(s.pkt.arrival >= a.pkt.arrival, "packet moved earlier");
+        }
+        for w in shaped.windows(2) {
+            prop_assert!(w[0].pkt.arrival <= w[1].pkt.arrival, "reordered");
+        }
+        // Rate check beyond the burst allowance.
+        let span = shaped.last().unwrap().pkt.arrival - shaped[0].pkt.arrival;
+        if span > 0 {
+            let bits = ((shaped.len() - 1) as f64) * 1500.0 * 8.0;
+            let gbps = bits / span as f64;
+            // Burst allowance (8 MTU) can inflate short streams; allow it.
+            let burst_bonus = 8.0 * 1500.0 * 8.0 / span as f64;
+            prop_assert!(
+                gbps <= rate + burst_bonus + 0.15,
+                "shaped rate {gbps} > {rate}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Robustness and failure injection: drop storms, degenerate inputs,
+//! trigger floods, and clock-scale extremes must never corrupt PrintQueue's
+//! state or panic.
+
+use printqueue::core::culprits::GroundTruth;
+use printqueue::prelude::*;
+
+fn pq_with_poll(tw: TimeWindowConfig, d: Nanos, poll: Nanos) -> PrintQueue {
+    let mut config = PrintQueueConfig::single_port(tw, d);
+    config.control.poll_period = poll.min(tw.set_period());
+    PrintQueue::new(config)
+}
+
+#[test]
+fn drop_storm_leaves_state_consistent() {
+    // A tiny buffer under a huge burst: most packets tail-drop. Dropped
+    // packets must not enter any PrintQueue structure, and queries must
+    // still answer from the survivors.
+    let tw = TimeWindowConfig::new(6, 1, 8, 3);
+    let mut pq = pq_with_poll(tw, 1200, 100_000);
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 100)); // ~5 MTU packets
+    let arrivals: Vec<Arrival> = (0..5_000u64)
+        .map(|i| Arrival::new(SimPacket::new(FlowId((i % 7) as u32), 1500, i * 100), 0))
+        .collect();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(arrivals, &mut hooks, 100_000);
+    }
+    assert!(sink.drops > 3_000, "storm should drop most packets");
+    let transmitted = sink.records.len() as f64;
+    let est = pq
+        .analysis()
+        .query_time_windows(0, QueryInterval::new(0, sw.now()));
+    // Estimates reflect only transmitted packets (coefficient recovery can
+    // overshoot, but not by the dropped volume).
+    assert!(
+        est.total() < transmitted * 2.0,
+        "estimate {} vs transmitted {transmitted}",
+        est.total()
+    );
+}
+
+#[test]
+fn empty_and_single_packet_traces() {
+    let tw = TimeWindowConfig::new(6, 1, 8, 3);
+    // Empty run.
+    let mut pq = pq_with_poll(tw, 1200, 100_000);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 1_000));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(Vec::new(), &mut hooks, 100_000);
+    }
+    let est = pq
+        .analysis()
+        .query_time_windows(0, QueryInterval::new(0, 1_000_000));
+    assert!(est.counts.is_empty());
+
+    // Single packet.
+    let mut pq = pq_with_poll(tw, 1200, 100_000);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 1_000));
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(
+            vec![Arrival::new(SimPacket::new(FlowId(1), 64, 500), 0)],
+            &mut hooks,
+            100_000,
+        );
+    }
+    let est = pq
+        .analysis()
+        .query_time_windows(0, QueryInterval::new(0, 1_000));
+    assert_eq!(est.counts.len(), 1);
+}
+
+#[test]
+fn trigger_flood_with_zero_cooldown_is_bounded() {
+    // Every congested packet fires the trigger. The analysis program must
+    // remain correct; checkpoints are bounded by max_snapshots.
+    let tw = TimeWindowConfig::new(6, 1, 8, 3);
+    let mut config = PrintQueueConfig::single_port(tw, 1200).with_trigger(DataPlaneTrigger {
+        min_deq_timedelta: 1,
+        min_enq_qdepth: 1,
+        cooldown: 0,
+    });
+    config.control.max_snapshots = 64;
+    config.control.poll_period = 100_000;
+    let mut pq = PrintQueue::new(config);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let arrivals: Vec<Arrival> = (0..2_000u64)
+        .map(|i| Arrival::new(SimPacket::new(FlowId((i % 5) as u32), 1500, i * 600), 0))
+        .collect();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(arrivals, &mut hooks, 100_000);
+    }
+    assert!(pq.triggers_fired.len() > 100, "flood should fire many triggers");
+    assert!(pq.analysis().checkpoints(0).len() <= 64, "snapshot ring bounded");
+    // Specials are still individually queryable.
+    assert!(pq.analysis().query_special(0, None).is_some());
+}
+
+#[test]
+fn queue_monitor_saturation_clamps_gracefully() {
+    // Queue deeper than the monitor's entry range: everything above clamps
+    // to the last entry; the chain stays valid.
+    let tw = TimeWindowConfig::new(6, 1, 8, 3);
+    let mut config = PrintQueueConfig::single_port(tw, 1200);
+    config.qm_entries = 64; // covers only 64 cells
+    config.control.poll_period = 50_000;
+    let mut pq = PrintQueue::new(config);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let arrivals: Vec<Arrival> = (0..1_000u64)
+        .map(|i| Arrival::new(SimPacket::new(FlowId((i % 3) as u32), 1500, i * 300), 0))
+        .collect();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(arrivals, &mut hooks, 50_000);
+    }
+    let snap = pq
+        .analysis()
+        .query_queue_monitor(0, 150_000)
+        .expect("checkpoint");
+    let culprits = snap.original_culprits();
+    assert!(!culprits.is_empty());
+    assert!(culprits.iter().all(|c| c.level < 64));
+}
+
+#[test]
+fn far_future_timestamps_do_not_overflow() {
+    // Deq timestamps near the top of the 63-bit-safe range must survive TTS
+    // arithmetic. (u64 ns ≈ 584 years; we run at year ~292.)
+    let tw = TimeWindowConfig::UW;
+    let base: Nanos = 1 << 62;
+    let mut set = printqueue::core::time_windows::TimeWindowSet::new(tw);
+    for i in 0..10_000u64 {
+        set.record(FlowId((i % 100) as u32), base + i * 110);
+    }
+    let snap = printqueue::core::snapshot::TimeWindowSnapshot::capture(&set);
+    let coeffs = printqueue::core::coefficient::Coefficients::compute(&tw, 110);
+    let est = snap.query(
+        QueryInterval::new(base, base + 10_000 * 110),
+        &coeffs,
+    );
+    assert!(est.total() > 0.0);
+    assert!(est.total().is_finite());
+}
+
+#[test]
+fn ground_truth_handles_simultaneous_bursts() {
+    // Hundreds of packets with identical arrival nanoseconds: ordering by
+    // seqno must keep the oracle's depth accounting non-negative.
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 100_000));
+    let mut sink = TelemetrySink::new();
+    let arrivals: Vec<Arrival> = (0..500u64)
+        .map(|i| Arrival::new(SimPacket::new(FlowId((i % 9) as u32), 200, 1_000), 0))
+        .collect();
+    sw.run(arrivals, &mut [&mut sink], 0);
+    let oracle = GroundTruth::new(&sink.records, 80);
+    // Must not panic; regime reaches back to the burst instant.
+    let last = sink.records.last().unwrap();
+    let report = oracle.report(last);
+    assert!(report.direct_total() > 400);
+}
+
+#[test]
+fn queries_far_outside_history_return_empty() {
+    let tw = TimeWindowConfig::new(6, 1, 8, 3);
+    let mut pq = pq_with_poll(tw, 1200, 100_000);
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+    let arrivals: Vec<Arrival> = (0..100u64)
+        .map(|i| Arrival::new(SimPacket::new(FlowId(0), 1500, i * 2_000), 0))
+        .collect();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(arrivals, &mut hooks, 100_000);
+    }
+    // Far future beyond every checkpoint.
+    let est = pq
+        .analysis()
+        .query_time_windows(0, QueryInterval::new(1 << 40, (1 << 40) + 1_000_000));
+    assert!(est.counts.is_empty());
+}

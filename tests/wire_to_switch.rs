@@ -1,0 +1,163 @@
+//! Byte-level integration: build real frames, parse them through the
+//! ingress parser, queue the descriptors through the switch, and verify the
+//! telemetry path round-trips — the full `packet` ↔ `switch` seam.
+
+use printqueue::packet::packet::{build_frame, parse_frame};
+use printqueue::packet::telemetry::{TelemetryHeader, HEADER_LEN};
+use printqueue::packet::{ipv4, FlowKey, FlowTable, SimPacket};
+use printqueue::prelude::*;
+
+#[test]
+fn frames_parse_and_queue_end_to_end() {
+    let mut flows = FlowTable::new();
+    let mut arrivals = Vec::new();
+    // Build 100 real Ethernet/IPv4/TCP frames from 4 distinct tuples.
+    for i in 0..100u64 {
+        let key = FlowKey::tcp(
+            ipv4::Address::new(10, 0, 0, (i % 4) as u8 + 1),
+            40_000 + (i % 4) as u16,
+            ipv4::Address::new(10, 0, 1, 1),
+            80,
+        );
+        let bytes = build_frame(&key, 1000);
+        let parsed = parse_frame(&bytes).expect("frame parses");
+        assert_eq!(parsed.flow, key, "ingress parser extracts the 5-tuple");
+        let id = flows.intern(parsed.flow);
+        arrivals.push(Arrival::new(
+            SimPacket::new(id, parsed.frame_len as u32, i * 500),
+            0,
+        ));
+    }
+
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+    let mut sink = TelemetrySink::new();
+    sw.run(arrivals, &mut [&mut sink], 0);
+    assert_eq!(sink.records.len(), 100);
+
+    // Emit each record as the on-wire telemetry header and re-parse it —
+    // the ground-truth receiver path.
+    for r in &sink.records {
+        let hdr = TelemetryHeader {
+            enq_timestamp: r.meta.enq_timestamp,
+            deq_timedelta: r.meta.deq_timedelta,
+            enq_qdepth: r.meta.enq_qdepth as u16,
+            egress_port: r.port,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        let parsed = TelemetryHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.deq_timestamp(), r.deq_timestamp());
+    }
+}
+
+#[test]
+fn drr_scheduler_diagnoses_like_fifo() {
+    // The culprit taxonomy is scheduler-agnostic: under DRR, direct
+    // culprits are still exactly the packets dequeued during the victim's
+    // wait, and PrintQueue's dequeue-indexed windows capture them.
+    use printqueue::core::culprits::GroundTruth;
+    use printqueue::core::metrics::{self, precision_recall};
+    use printqueue::switch::SchedulerKind;
+
+    let mut config = SwitchConfig::single_port(10.0, 32_768);
+    config.ports[0].scheduler = SchedulerKind::Drr {
+        queues: 2,
+        quantum: 1500,
+    };
+    let mut sw = Switch::new(config);
+
+    let mut arrivals = Vec::new();
+    // Two competing classes, both oversubscribing the port.
+    for i in 0..2_000u64 {
+        arrivals.push(Arrival::new(
+            SimPacket::new(FlowId(1), 1500, i * 800).with_priority(0),
+            0,
+        ));
+        arrivals.push(Arrival::new(
+            SimPacket::new(FlowId(2), 1500, i * 800 + 333).with_priority(1),
+            0,
+        ));
+    }
+    arrivals.sort_by_key(|a| a.pkt.arrival);
+
+    let tw = TimeWindowConfig::WS_DM;
+    let mut pq_config = PrintQueueConfig::single_port(tw, 1200);
+    // The run is shorter than the default once-per-set-period poll; poll
+    // every millisecond instead.
+    pq_config.control.poll_period = 1_000_000;
+    let mut pq = PrintQueue::new(pq_config);
+    let mut sink = TelemetrySink::new();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(arrivals, &mut hooks, 1_000_000);
+    }
+    let truth = GroundTruth::new(&sink.records, 80);
+    let victim = sink
+        .records
+        .iter()
+        .max_by_key(|r| r.meta.deq_timedelta)
+        .copied()
+        .unwrap();
+    let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
+    let est = pq.analysis().query_time_windows(0, interval);
+    let gt = metrics::to_float_counts(&truth.direct_culprits(
+        interval.from,
+        interval.to,
+        victim.seqno,
+    ));
+    let pr = precision_recall(&est.counts, &gt);
+    assert!(
+        pr.precision > 0.8 && pr.recall > 0.6,
+        "DRR diagnosis degraded: P {} R {}",
+        pr.precision,
+        pr.recall
+    );
+    // Fairness sanity: neither class is starved (exact byte fairness is
+    // asserted in the scheduler's unit tests; tail drops at the shared
+    // buffer skew absolute counts here).
+    let sent1 = sink.records.iter().filter(|r| r.flow == FlowId(1)).count();
+    let sent2 = sink.records.iter().filter(|r| r.flow == FlowId(2)).count();
+    assert!(sent1 > 500 && sent2 > 500, "starved: {sent1} vs {sent2}");
+}
+
+#[test]
+fn baselines_and_printqueue_agree_on_totals_under_light_load() {
+    // Under light, uncongested traffic every system should recover flow
+    // counts nearly exactly over a full period.
+    use pq_baselines::{FlowRadar, HashPipe};
+    use printqueue::packet::FlowTable;
+
+    let mut flows = FlowTable::new();
+    let mut table_keys = Vec::new();
+    let mut arrivals = Vec::new();
+    for i in 0..1_000u64 {
+        let key = FlowKey::udp(
+            ipv4::Address::new(10, 1, 0, (i % 20) as u8 + 1),
+            9_000 + (i % 20) as u16,
+            ipv4::Address::new(10, 200, 0, 1),
+            53,
+        );
+        let id = flows.intern(key);
+        if id.0 as usize == table_keys.len() {
+            table_keys.push(key);
+        }
+        arrivals.push(Arrival::new(SimPacket::new(id, 200, i * 2_000), 0));
+    }
+
+    let mut hp = HashPipe::new(5, 4096);
+    let mut fr = FlowRadar::paper_parity();
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+    sw.run(arrivals, &mut [&mut sink], 0);
+    for r in &sink.records {
+        let key = table_keys[r.flow.0 as usize];
+        hp.record(r.flow, &key);
+        fr.record(r.flow, &key);
+    }
+    let hp_counts = hp.counts();
+    let fr_counts = fr.decode();
+    for id in 0..20u32 {
+        assert_eq!(hp_counts[&FlowId(id)], 50, "HashPipe exact at light load");
+        assert_eq!(fr_counts[&FlowId(id)], 50, "FlowRadar exact at light load");
+    }
+}

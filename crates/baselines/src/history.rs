@@ -170,13 +170,7 @@ impl PostcardEmitter {
 }
 
 impl pq_switch::QueueHooks for PostcardEmitter {
-    fn on_dequeue(
-        &mut self,
-        pkt: &pq_packet::SimPacket,
-        port: u16,
-        _depth_after: u32,
-        now: Nanos,
-    ) {
+    fn on_dequeue(&mut self, pkt: &pq_packet::SimPacket, port: u16, _depth_after: u32, now: Nanos) {
         self.collector.ingest(Postcard {
             switch: self.switch,
             port,

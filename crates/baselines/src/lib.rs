@@ -18,14 +18,14 @@
 
 pub mod conquest;
 pub mod flowradar;
-pub mod history;
 pub mod hashpipe;
+pub mod history;
 pub mod linear;
 pub mod prorate;
 
 pub use conquest::ConQuest;
 pub use flowradar::FlowRadar;
-pub use history::{HistoryCollector, HistoryFilter, Postcard, PostcardEmitter};
 pub use hashpipe::HashPipe;
+pub use history::{HistoryCollector, HistoryFilter, Postcard, PostcardEmitter};
 pub use linear::LinearStore;
 pub use prorate::ProratedQuerier;

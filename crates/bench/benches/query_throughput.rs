@@ -44,25 +44,19 @@ fn bench_queries(c: &mut Criterion) {
     // A microburst-scale victim interval (~100 µs) in recent history.
     group.bench_function("short_interval", |b| {
         let from = 5 * set_period + 1_000_000;
-        b.iter(|| {
-            black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 100_000)))
-        })
+        b.iter(|| black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 100_000))))
     });
 
     // A deep-queue victim interval (~1.3 ms).
     group.bench_function("long_interval", |b| {
         let from = 4 * set_period + 500_000;
-        b.iter(|| {
-            black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 1_300_000)))
-        })
+        b.iter(|| black_box(ap.query_time_windows(0, QueryInterval::new(from, from + 1_300_000))))
     });
 
     // A whole-regime indirect-culprit query spanning checkpoints.
     group.bench_function("regime_interval", |b| {
         b.iter(|| {
-            black_box(
-                ap.query_time_windows(0, QueryInterval::new(set_period, 4 * set_period)),
-            )
+            black_box(ap.query_time_windows(0, QueryInterval::new(set_period, 4 * set_period)))
         })
     });
 

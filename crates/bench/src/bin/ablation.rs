@@ -84,7 +84,11 @@ fn run_variant(
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        100u64.millis()
+    };
     let per_bucket_n = if args.quick { 20 } else { 60 };
     let tw = TimeWindowConfig::UW;
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
@@ -104,7 +108,14 @@ fn main() {
     ]);
     let mut stats = Vec::new();
     for (name, ablate_passing, unit_coeffs) in variants {
-        let accs = run_variant(&trace, tw, ablate_passing, unit_coeffs, args.seed, per_bucket_n);
+        let accs = run_variant(
+            &trace,
+            tw,
+            ablate_passing,
+            unit_coeffs,
+            args.seed,
+            per_bucket_n,
+        );
         let bucketed = per_bucket(&accs);
         for (b, s) in bucketed.iter().enumerate() {
             rows.push(Row {
@@ -119,9 +130,21 @@ fn main() {
     for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
         table.row(vec![
             bucket.label.to_string(),
-            format!("{}/{}", f3(stats[0][b].mean_precision), f3(stats[0][b].mean_recall)),
-            format!("{}/{}", f3(stats[1][b].mean_precision), f3(stats[1][b].mean_recall)),
-            format!("{}/{}", f3(stats[2][b].mean_precision), f3(stats[2][b].mean_recall)),
+            format!(
+                "{}/{}",
+                f3(stats[0][b].mean_precision),
+                f3(stats[0][b].mean_recall)
+            ),
+            format!(
+                "{}/{}",
+                f3(stats[1][b].mean_precision),
+                f3(stats[1][b].mean_recall)
+            ),
+            format!(
+                "{}/{}",
+                f3(stats[2][b].mean_precision),
+                f3(stats[2][b].mean_recall)
+            ),
         ]);
     }
     table.print("Ablation — AQ accuracy per depth bucket (UW)");

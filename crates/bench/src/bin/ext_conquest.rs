@@ -32,7 +32,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        100u64.millis()
+    };
     let per_bucket_n = if args.quick { 15 } else { 40 };
 
     let tw = TimeWindowConfig::UW;
@@ -52,15 +56,16 @@ fn main() {
     let keys: Vec<FlowKey> = trace.flows.iter().map(|(_, k)| *k).collect();
     let candidates: Vec<(FlowId, FlowKey)> = trace.flows.iter().map(|(i, k)| (i, *k)).collect();
 
-    let mut table = Table::new(vec![
-        "query lag",
-        "PQ P/R",
-        "CQ P/R",
-        "CQ answerable",
-    ]);
+    let mut table = Table::new(vec!["query lag", "PQ P/R", "CQ P/R", "CQ answerable"]);
     let mut rows = Vec::new();
     // Query lags: how long after the victim's dequeue the diagnosis runs.
-    for lag in [0u64, 500.micros(), 2u64.millis(), 10u64.millis(), 50u64.millis()] {
+    for lag in [
+        0u64,
+        500.micros(),
+        2u64.millis(),
+        10u64.millis(),
+        50u64.millis(),
+    ] {
         // PrintQueue: checkpoints make lag irrelevant as long as snapshots
         // exist (they cover the whole run).
         let mut pq_p = Vec::new();

@@ -28,7 +28,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        100u64.millis()
+    };
     let tw = TimeWindowConfig::new(6, 1, 12, 5);
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
     eprintln!("[ext_error_bounds] UW: {} packets", trace.packets());
@@ -50,7 +54,9 @@ fn main() {
         for cp in cps {
             let mut snap = cp.windows.clone();
             snap.filter();
-            let Some((from, to)) = snap.window_span(w) else { continue };
+            let Some((from, to)) = snap.window_span(w) else {
+                continue;
+            };
             let est = snap.query_window(w, QueryInterval::new(from, to - 1), &coeffs);
             let mut truth: FlowCounts = FlowCounts::new();
             for r in out.truth.records() {

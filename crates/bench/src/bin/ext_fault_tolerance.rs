@@ -1,0 +1,170 @@
+//! Extension experiment: diagnosis accuracy under control-plane faults.
+//!
+//! The paper assumes the analysis program freezes and reads every register
+//! set at least once per t_set (§6.2). This binary breaks that assumption
+//! on purpose: it sweeps the per-read failure probability, lets the
+//! retry/backoff machinery fight back, and measures what survives — direct
+//! culprit precision/recall across victims, the fraction of queries the
+//! control plane itself flags as degraded, and the health counters
+//! (retries, coverage gaps, lost history).
+
+use pq_bench::eval::{victim_truth, QueryAccuracy};
+use pq_bench::harness::{run, RunConfig};
+use pq_bench::report::{write_json, CommonArgs, Table};
+use pq_bench::sweep::{sweep_seeds, Aggregate};
+use pq_bench::victims::sample_victims;
+use pq_core::faults::{FaultConfig, FaultProfile, LatencyModel};
+use pq_core::metrics::{self, ControlHealth};
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::NanosExt;
+use pq_trace::workload::{Workload, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    read_failure_prob: f64,
+    precision_mean: f64,
+    precision_std: f64,
+    recall_mean: f64,
+    recall_std: f64,
+    degraded_query_frac: f64,
+    polls_attempted: u64,
+    polls_failed: u64,
+    polls_retried: u64,
+    checkpoints_dropped: u64,
+    coverage_gaps: u64,
+    gap_ms: f64,
+    backoff_ceiling_hits: u64,
+    seeds: usize,
+}
+
+struct SeedOutcome {
+    precision: f64,
+    recall: f64,
+    degraded_frac: f64,
+    health: ControlHealth,
+}
+
+fn run_one(rate: f64, seed: u64, duration: u64, per_bucket: usize) -> SeedOutcome {
+    // Small windows (t_set ≈ 459 µs) so a run spans ~100 set periods and
+    // the once-per-t_set poll cadence is genuinely load-bearing: a failed
+    // poll whose retry lands a full period later is a real coverage gap.
+    let tw = TimeWindowConfig::new(6, 1, 10, 3);
+    let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, seed).generate();
+    let mut config = RunConfig::new(tw, 110);
+    if rate > 0.0 {
+        let profile = FaultProfile {
+            read_failure_prob: rate,
+            // A small fixed read latency keeps the spare-copy occupancy
+            // path exercised without dominating the sweep variable.
+            read_latency: LatencyModel::Fixed(2_000),
+            ..FaultProfile::none()
+        };
+        config = config.with_faults(FaultConfig::new(seed ^ 0x5eed_f417).with_base(profile));
+    }
+    let mut out = run(&config, &trace);
+    let victims = sample_victims(&out.truth, per_bucket, seed);
+    let mut accs = Vec::with_capacity(victims.len());
+    let mut degraded = 0usize;
+    for v in &victims {
+        let truth = victim_truth(&out, v);
+        let interval = QueryInterval::new(v.record.meta.enq_timestamp, v.record.deq_timestamp());
+        let est = out
+            .printqueue
+            .analysis_mut()
+            .query_time_windows(0, interval);
+        if est.degraded {
+            degraded += 1;
+        }
+        accs.push(QueryAccuracy {
+            bucket: v.bucket,
+            pr: metrics::precision_recall(&est.counts, &truth),
+        });
+    }
+    let ps: Vec<f64> = accs.iter().map(|a| a.pr.precision).collect();
+    let rs: Vec<f64> = accs.iter().map(|a| a.pr.recall).collect();
+    SeedOutcome {
+        precision: metrics::mean(&ps),
+        recall: metrics::mean(&rs),
+        degraded_frac: if victims.is_empty() {
+            0.0
+        } else {
+            degraded as f64 / victims.len() as f64
+        },
+        health: *out.printqueue.analysis().health(),
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (duration, n_seeds, per_bucket) = if args.quick {
+        (20u64.millis(), 3usize, 10usize)
+    } else {
+        (60u64.millis(), 6, 30)
+    };
+    let rates: &[f64] = if args.quick {
+        &[0.0, 0.1, 0.2, 0.5]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5]
+    };
+    let seeds: Vec<u64> = (args.seed..args.seed + n_seeds as u64).collect();
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    eprintln!(
+        "[ext_fault_tolerance] UW × {n_seeds} seeds × {} ms × {} failure rates, {workers} workers",
+        duration / 1_000_000,
+        rates.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "p(fail)",
+        "precision",
+        "recall",
+        "degraded",
+        "retries",
+        "gaps",
+        "lost ms",
+    ]);
+    for &rate in rates {
+        let per_seed = sweep_seeds(&seeds, workers, |seed| {
+            run_one(rate, seed, duration, per_bucket)
+        });
+        let p = Aggregate::of(&per_seed.iter().map(|s| s.precision).collect::<Vec<_>>());
+        let r = Aggregate::of(&per_seed.iter().map(|s| s.recall).collect::<Vec<_>>());
+        let degraded_frac =
+            per_seed.iter().map(|s| s.degraded_frac).sum::<f64>() / per_seed.len().max(1) as f64;
+        let mut health = ControlHealth::default();
+        for s in &per_seed {
+            health.merge(&s.health);
+        }
+        let gap_ms = health.gap_ns as f64 / 1e6;
+        table.row(vec![
+            format!("{rate:.2}"),
+            p.display(),
+            r.display(),
+            format!("{:.0}%", degraded_frac * 100.0),
+            format!("{}", health.polls_retried),
+            format!("{}", health.coverage_gaps),
+            format!("{gap_ms:.2}"),
+        ]);
+        rows.push(Row {
+            read_failure_prob: rate,
+            precision_mean: p.mean,
+            precision_std: p.std_dev,
+            recall_mean: r.mean,
+            recall_std: r.std_dev,
+            degraded_query_frac: degraded_frac,
+            polls_attempted: health.polls_attempted,
+            polls_failed: health.polls_failed,
+            polls_retried: health.polls_retried,
+            checkpoints_dropped: health.checkpoints_dropped,
+            coverage_gaps: health.coverage_gaps,
+            gap_ms,
+            backoff_ceiling_hits: health.backoff_ceiling_hits,
+            seeds: seeds.len(),
+        });
+    }
+    table.print("Extension — diagnosis accuracy vs. control-plane read-failure probability (UW)");
+    write_json("ext_fault_tolerance", &rows);
+}

@@ -33,7 +33,11 @@ struct HopRow {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 20u64.millis() } else { 60u64.millis() };
+    let duration = if args.quick {
+        20u64.millis()
+    } else {
+        60u64.millis()
+    };
     let trace = Workload::paper_testbed(WorkloadKind::Ws, duration, args.seed).generate();
     eprintln!("[ext_multihop] WS: {} packets", trace.packets());
 

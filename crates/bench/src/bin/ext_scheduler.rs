@@ -60,7 +60,11 @@ fn run_under(
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 100u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        100u64.millis()
+    };
     let per_bucket_n = if args.quick { 20 } else { 60 };
     let tw = TimeWindowConfig::WS_DM;
     let trace = Workload::paper_testbed(WorkloadKind::Ws, duration, args.seed).generate();
@@ -68,10 +72,25 @@ fn main() {
 
     let schedulers: [(&'static str, SchedulerKind); 3] = [
         ("FIFO", SchedulerKind::Fifo),
-        ("StrictPriority", SchedulerKind::StrictPriority { queues: 2 }),
-        ("DRR", SchedulerKind::Drr { queues: 2, quantum: 1500 }),
+        (
+            "StrictPriority",
+            SchedulerKind::StrictPriority { queues: 2 },
+        ),
+        (
+            "DRR",
+            SchedulerKind::Drr {
+                queues: 2,
+                quantum: 1500,
+            },
+        ),
     ];
-    let mut table = Table::new(vec!["scheduler", "victims", "precision", "recall", "mean delay µs"]);
+    let mut table = Table::new(vec![
+        "scheduler",
+        "victims",
+        "precision",
+        "recall",
+        "mean delay µs",
+    ]);
     let mut rows = Vec::new();
     for (name, kind) in schedulers {
         let (pq, truth, mean_delay) = run_under(kind, &trace, tw);

@@ -61,7 +61,8 @@ fn main() {
     });
 
     let col = |i: usize| -> Vec<f64> { per_seed.iter().map(|r| r[i]).collect() };
-    let systems: [(&'static str, usize); 3] = [("PrintQueue", 0), ("HashPipe", 2), ("FlowRadar", 4)];
+    let systems: [(&'static str, usize); 3] =
+        [("PrintQueue", 0), ("HashPipe", 2), ("FlowRadar", 4)];
     let mut table = Table::new(vec!["system", "precision", "recall"]);
     let mut rows = Vec::new();
     for (name, base) in systems {

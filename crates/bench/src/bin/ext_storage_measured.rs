@@ -32,7 +32,11 @@ struct Output {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let tw = TimeWindowConfig::UW;
     let config = RunConfig::new(tw, 110);
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
@@ -61,11 +65,8 @@ fn main() {
         .copied()
         .expect("congested victim");
     let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
-    let gt = metrics::to_float_counts(&truth.direct_culprits(
-        interval.from,
-        interval.to,
-        victim.seqno,
-    ));
+    let gt =
+        metrics::to_float_counts(&truth.direct_culprits(interval.from, interval.to, victim.seqno));
 
     let ns_counts = metrics::to_float_counts(&emitter.collector.flow_counts(
         1,
@@ -104,7 +105,11 @@ fn main() {
     ]);
     table.row(vec![
         "PrintQueue registers".to_string(),
-        format!("{} ({:.2} MB)", printqueue_bytes, printqueue_bytes as f64 / 1e6),
+        format!(
+            "{} ({:.2} MB)",
+            printqueue_bytes,
+            printqueue_bytes as f64 / 1e6
+        ),
         format!("{:.3}/{:.3}", pq_pr.precision, pq_pr.recall),
     ]);
     table.print("Extension — measured storage: linear postcards vs PrintQueue");

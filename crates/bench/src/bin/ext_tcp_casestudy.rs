@@ -48,7 +48,11 @@ fn congestion_span(truth: &GroundTruth, duration: u64) -> f64 {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 80u64.millis() } else { 200u64.millis() };
+    let duration = if args.quick {
+        80u64.millis()
+    } else {
+        200u64.millis()
+    };
 
     let mut flows = FlowTable::new();
     let background = flows.intern(FlowKey::tcp(
@@ -76,7 +80,10 @@ fn main() {
         "QM burst share",
     ]);
 
-    for (label, closed_loop) in [("CBR 9 Gbps (open loop)", false), ("AIMD TCP (closed loop)", true)] {
+    for (label, closed_loop) in [
+        ("CBR 9 Gbps (open loop)", false),
+        ("AIMD TCP (closed loop)", true),
+    ] {
         let mut pq_config = PrintQueueConfig::single_port(tw, 200);
         pq_config.control.poll_period = 2u64.millis();
         let mut pq = PrintQueue::new(pq_config);
@@ -105,7 +112,15 @@ fn main() {
             let mut rng = SmallRng::seed_from_u64(args.seed);
             let mut arrivals = Vec::new();
             pq_trace::scenario::cbr_stream(
-                background, 1500, 9.0, 0, duration, 120, 0, &mut rng, &mut arrivals,
+                background,
+                1500,
+                9.0,
+                0,
+                duration,
+                120,
+                0,
+                &mut rng,
+                &mut arrivals,
             );
             arrivals.extend(burst_arrivals(burst, burst_start));
             arrivals.sort_by_key(|a| a.pkt.arrival);

@@ -17,8 +17,7 @@ use serde::Serialize;
 
 /// Figure 10's coarser depth classes, as bucket-index ranges over
 /// `DEPTH_BUCKETS` (1–2 & 2–5 → "1k–5k", 5–10 & 10–15 → "5k–15k", rest).
-const CLASSES: [(&str, [usize; 2]); 3] =
-    [("1k-5k", [0, 1]), ("5k-15k", [2, 3]), (">15k", [4, 5])];
+const CLASSES: [(&str, [usize; 2]); 3] = [("1k-5k", [0, 1]), ("5k-15k", [2, 3]), (">15k", [4, 5])];
 
 #[derive(Serialize)]
 struct CdfSeries {
@@ -34,7 +33,11 @@ fn in_class(acc: &QueryAccuracy, class: &[usize; 2]) -> bool {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let per_bucket_n = if args.quick { 25 } else { 100 };
 
     let tw = TimeWindowConfig::UW;
@@ -91,7 +94,9 @@ fn main() {
                 });
             }
         }
-        table.print(&format!("Figure 10 — accuracy CDF quartiles, depth {label}"));
+        table.print(&format!(
+            "Figure 10 — accuracy CDF quartiles, depth {label}"
+        ));
     }
     write_json("fig10_baseline_cdfs", &series);
 }

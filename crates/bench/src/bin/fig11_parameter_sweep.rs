@@ -27,7 +27,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let per_bucket_n = if args.quick { 25 } else { 100 };
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
     eprintln!("[fig11] UW: {} packets", trace.packets());
@@ -46,12 +50,7 @@ fn main() {
         let hp = per_bucket(&eval_baseline(&out, &baselines.hp_periods, &victims));
         let fr = per_bucket(&eval_baseline(&out, &baselines.fr_periods, &victims));
 
-        let mut table = Table::new(vec![
-            "depth(1e3)",
-            "PQ P/R",
-            "HP P/R",
-            "FR P/R",
-        ]);
+        let mut table = Table::new(vec!["depth(1e3)", "PQ P/R", "HP P/R", "FR P/R"]);
         for (b, bucket) in DEPTH_BUCKETS.iter().enumerate() {
             table.row(vec![
                 bucket.label.to_string(),
@@ -59,8 +58,11 @@ fn main() {
                 format!("{}/{}", f3(hp[b].median_precision), f3(hp[b].median_recall)),
                 format!("{}/{}", f3(fr[b].median_precision), f3(fr[b].median_recall)),
             ]);
-            for (system, stats) in [("PrintQueue", &pq[b]), ("HashPipe", &hp[b]), ("FlowRadar", &fr[b])]
-            {
+            for (system, stats) in [
+                ("PrintQueue", &pq[b]),
+                ("HashPipe", &hp[b]),
+                ("FlowRadar", &fr[b]),
+            ] {
                 rows.push(Row {
                     config: tw.label(),
                     bucket: bucket.label,

@@ -46,7 +46,11 @@ fn truth_counts(out: &pq_bench::harness::RunOutput, from: u64, to: u64) -> FlowC
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let tw = TimeWindowConfig::new(6, 1, 12, 5);
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
     eprintln!("[fig12] UW: {} packets, tw {}", trace.packets(), tw.label());
@@ -59,14 +63,30 @@ fn main() {
     assert!(n_checkpoints > 0, "no checkpoints — trace too short?");
 
     let mut rows = Vec::new();
-    let mut table = Table::new(vec!["window", "Top50 P/R", "Top100 P/R", "Top200 P/R", "Top500 P/R", "All P/R"]);
+    let mut table = Table::new(vec![
+        "window",
+        "Top50 P/R",
+        "Top100 P/R",
+        "Top200 P/R",
+        "Top500 P/R",
+        "All P/R",
+    ]);
     // Work on a clone of the snapshot so filtering state stays local.
     let cp_idx = n_checkpoints - 1;
-    let mut snap = out.printqueue.analysis().checkpoints(0)[cp_idx].windows.clone();
+    let mut snap = out.printqueue.analysis().checkpoints(0)[cp_idx]
+        .windows
+        .clone();
     snap.filter();
     for w in 0..tw.t {
         let Some((from, to)) = snap.window_span(w) else {
-            table.row(vec![w.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                w.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let interval = QueryInterval::new(from, to.saturating_sub(1));

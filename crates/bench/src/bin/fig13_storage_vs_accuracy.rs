@@ -27,7 +27,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let per_bucket_n = if args.quick { 20 } else { 60 };
     let trace = Workload::paper_testbed(WorkloadKind::Uw, duration, args.seed).generate();
     eprintln!("[fig13] UW: {} packets", trace.packets());
@@ -57,7 +61,12 @@ fn main() {
         table.row(vec![
             tw.label(),
             format!("{:.2}", model.control_mbps),
-            if model.control_feasible() { "yes" } else { "NO" }.to_string(),
+            if model.control_feasible() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             f3(pr.precision),
             f3(pr.recall),
         ]);

@@ -34,7 +34,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let per_bucket_n = if args.quick { 20 } else { 60 };
     let trace = Workload::paper_testbed(WorkloadKind::Ws, duration, args.seed).generate();
     eprintln!("[fig15] WS: {} packets", trace.packets());

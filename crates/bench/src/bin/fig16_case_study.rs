@@ -46,7 +46,11 @@ fn to_f64(counts: &HashMap<FlowId, u64>) -> HashMap<FlowId, f64> {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 60u64.millis() } else { 150u64.millis() };
+    let duration = if args.quick {
+        60u64.millis()
+    } else {
+        150u64.millis()
+    };
     let cs = case_study_fig16(duration, args.seed);
     eprintln!(
         "[fig16] {} packets; burst at {:.1} ms, new TCP at {:.1} ms",
@@ -98,7 +102,12 @@ fn main() {
         queueing_span as f64 / burst_span as f64);
     for (t, d) in series.iter().step_by(10) {
         let bars = (d / 1_000) as usize;
-        println!("{:>7.1} ms |{}{}", *t as f64 / 1e6, "#".repeat(bars), if *d > 0 && bars == 0 { "." } else { "" });
+        println!(
+            "{:>7.1} ms |{}{}",
+            *t as f64 / 1e6,
+            "#".repeat(bars),
+            if *d > 0 && bars == 0 { "." } else { "" }
+        );
     }
 
     let roles = [
@@ -131,11 +140,17 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
-    let mut table = Table::new(vec!["culprits", "source", "burst %", "background %", "new TCP %"]);
+    let mut table = Table::new(vec![
+        "culprits",
+        "source",
+        "burst %",
+        "background %",
+        "new TCP %",
+    ]);
     let sets: [(&'static str, &'static str, HashMap<FlowId, f64>); 6] = [
-        ("direct", "PrintQueue", direct_est.counts),
+        ("direct", "PrintQueue", direct_est.estimates.counts),
         ("direct", "ground truth", to_f64(&gt.direct)),
-        ("indirect", "PrintQueue", indirect_est.counts),
+        ("indirect", "PrintQueue", indirect_est.estimates.counts),
         ("indirect", "ground truth", to_f64(&gt.indirect)),
         ("original", "PrintQueue", original_est),
         ("original", "ground truth", to_f64(&gt.original)),

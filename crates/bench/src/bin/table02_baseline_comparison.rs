@@ -25,7 +25,11 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let duration = if args.quick { 30u64.millis() } else { 120u64.millis() };
+    let duration = if args.quick {
+        30u64.millis()
+    } else {
+        120u64.millis()
+    };
     let per_bucket_n = if args.quick { 25 } else { 100 };
     let mut rows = Vec::new();
     let mut table = Table::new(vec![

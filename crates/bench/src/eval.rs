@@ -31,11 +31,12 @@ pub fn eval_async(out: &mut RunOutput, victims: &[Victim]) -> Vec<QueryAccuracy>
         .iter()
         .map(|v| {
             let truth = victim_truth(out, v);
-            let interval = QueryInterval::new(
-                v.record.meta.enq_timestamp,
-                v.record.deq_timestamp(),
-            );
-            let est = out.printqueue.analysis_mut().query_time_windows(0, interval);
+            let interval =
+                QueryInterval::new(v.record.meta.enq_timestamp, v.record.deq_timestamp());
+            let est = out
+                .printqueue
+                .analysis_mut()
+                .query_time_windows(0, interval);
             QueryAccuracy {
                 bucket: v.bucket,
                 pr: metrics::precision_recall(&est.counts, &truth),
@@ -64,9 +65,7 @@ pub fn eval_dataplane(out: &mut RunOutput) -> Vec<QueryAccuracy> {
             .truth
             .records()
             .iter()
-            .find(|r| {
-                r.meta.enq_timestamp == interval.from && r.deq_timestamp() == interval.to
-            })
+            .find(|r| r.meta.enq_timestamp == interval.from && r.deq_timestamp() == interval.to)
             .copied()
         else {
             continue;
@@ -165,11 +164,7 @@ mod tests {
 
     #[test]
     fn per_bucket_groups_and_averages() {
-        let accs = vec![
-            acc(0, 1.0, 0.5),
-            acc(0, 0.5, 1.0),
-            acc(3, 0.2, 0.2),
-        ];
+        let accs = vec![acc(0, 1.0, 0.5), acc(0, 0.5, 1.0), acc(3, 0.2, 0.2)];
         let stats = per_bucket(&accs);
         assert_eq!(stats[0].samples, 2);
         assert!((stats[0].mean_precision - 0.75).abs() < 1e-12);

@@ -3,6 +3,7 @@
 
 use pq_baselines::{FlowRadar, HashPipe, ProratedQuerier};
 use pq_core::culprits::GroundTruth;
+use pq_core::faults::FaultConfig;
 use pq_core::params::TimeWindowConfig;
 use pq_core::printqueue::{DataPlaneTrigger, PrintQueue, PrintQueueConfig};
 use pq_packet::{FlowKey, Nanos, SimPacket};
@@ -94,6 +95,9 @@ pub struct RunConfig {
     /// Control-plane poll period override (`None` = once per set period,
     /// the paper's default).
     pub poll_period: Option<Nanos>,
+    /// Fault injection for the control plane (`None` = perfectly reliable
+    /// reads, the historical behaviour).
+    pub faults: Option<FaultConfig>,
 }
 
 impl RunConfig {
@@ -109,6 +113,7 @@ impl RunConfig {
             trigger: None,
             qm_entries: 32 * 1024,
             poll_period: None,
+            faults: None,
         }
     }
 
@@ -121,6 +126,12 @@ impl RunConfig {
     /// Install a data-plane trigger.
     pub fn with_trigger(mut self, trigger: DataPlaneTrigger) -> RunConfig {
         self.trigger = Some(trigger);
+        self
+    }
+
+    /// Inject control-plane faults during the run.
+    pub fn with_faults(mut self, faults: FaultConfig) -> RunConfig {
+        self.faults = Some(faults);
         self
     }
 }
@@ -151,6 +162,9 @@ pub fn run(config: &RunConfig, trace: &GeneratedTrace) -> RunOutput {
     }
     if let Some(trigger) = config.trigger {
         pq_config = pq_config.with_trigger(trigger);
+    }
+    if let Some(faults) = config.faults.clone() {
+        pq_config = pq_config.with_faults(faults);
     }
     // The switch tick drives both the analysis program's polling and the
     // baselines' resets.

@@ -6,8 +6,8 @@
 //! (each run is independent and CPU-bound — the case where threads, not
 //! async, are the right tool) and aggregates mean and standard deviation.
 
-use crossbeam::thread;
 use serde::{Deserialize, Serialize};
+use std::thread;
 
 /// Mean and standard deviation of one metric across runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,9 +59,10 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
 
+    // std::thread::scope propagates worker panics when the scope exits.
     thread::scope(|scope| {
         for _ in 0..workers.min(seeds.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= seeds.len() {
                     break;
@@ -70,8 +71,7 @@ where
                 results_mutex.lock().unwrap()[i] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_iter()

@@ -32,12 +32,36 @@ impl DepthBucket {
 
 /// The paper's six queue-depth groups (×10³ cells).
 pub const DEPTH_BUCKETS: [DepthBucket; 6] = [
-    DepthBucket { lo: 1_000, hi: 2_000, label: "1-2" },
-    DepthBucket { lo: 2_000, hi: 5_000, label: "2-5" },
-    DepthBucket { lo: 5_000, hi: 10_000, label: "5-10" },
-    DepthBucket { lo: 10_000, hi: 15_000, label: "10-15" },
-    DepthBucket { lo: 15_000, hi: 20_000, label: "15-20" },
-    DepthBucket { lo: 20_000, hi: u32::MAX, label: ">20" },
+    DepthBucket {
+        lo: 1_000,
+        hi: 2_000,
+        label: "1-2",
+    },
+    DepthBucket {
+        lo: 2_000,
+        hi: 5_000,
+        label: "2-5",
+    },
+    DepthBucket {
+        lo: 5_000,
+        hi: 10_000,
+        label: "5-10",
+    },
+    DepthBucket {
+        lo: 10_000,
+        hi: 15_000,
+        label: "10-15",
+    },
+    DepthBucket {
+        lo: 15_000,
+        hi: 20_000,
+        label: "15-20",
+    },
+    DepthBucket {
+        lo: 20_000,
+        hi: u32::MAX,
+        label: ">20",
+    },
 ];
 
 /// A sampled victim packet.

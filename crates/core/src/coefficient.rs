@@ -61,10 +61,7 @@ impl Coefficients {
             z = 1.0 - p.powf(two_alpha);
             zs.push(z);
         }
-        Coefficients {
-            coefficient,
-            z: zs,
-        }
+        Coefficients { coefficient, z: zs }
     }
 
     /// Recover the original (window-0-equivalent) count from an observation

@@ -14,13 +14,25 @@
 //! (essentially) every packet and its ring buffers roll continuously —
 //! that continuity is what keeps the deep windows populated.
 //!
-//! In this simulation control-plane reads complete in zero simulated time,
-//! so the flip diverts zero packets: reading reduces to an atomic bulk copy
-//! of the live registers, and the spare copies exist only in the SRAM and
+//! By default control-plane reads complete in zero simulated time, so the
+//! flip diverts zero packets: reading reduces to an atomic bulk copy of the
+//! live registers, and the spare copies exist only in the SRAM and
 //! bandwidth accounting ([`crate::resources`]). The special-set lock is
 //! still modeled (a data-plane query arriving while one is outstanding is
 //! dropped, §6.2), as is the paper's constraint that polls happen at least
 //! once per set period.
+//!
+//! A [`FaultInjector`] (see [`crate::faults`]) lifts the perfect-substrate
+//! assumption: reads can fail, stall, and take real time — during which the
+//! spare copy stays occupied, so a second poll is queued behind it and a
+//! second trigger is rejected per the special-set-lock semantics — and
+//! completed checkpoints can be lost before storage. Failed reads retry
+//! with capped exponential backoff and jitter. Whenever the gap between
+//! stored periodic checkpoints exceeds `t_set`, the rings have wrapped and
+//! history is unrecoverable; the store records a [`CoverageGap`] and
+//! queries overlapping it come back flagged degraded instead of silently
+//! blending stale state. With no injector configured every code path
+//! reduces exactly to the original synchronous, infallible behavior.
 //!
 //! The snapshot store also enforces the paper's feasibility constraint: a
 //! configurable read-rate ceiling models PCIe/analysis-program throughput
@@ -28,12 +40,20 @@
 //! reported so experiments can mark infeasible configurations.
 
 use crate::coefficient::Coefficients;
+use crate::faults::{FaultConfig, FaultInjector, RetryPolicy};
+use crate::metrics::ControlHealth;
 use crate::params::TimeWindowConfig;
 use crate::queue_monitor::{QueueMonitor, QueueMonitorSnapshot};
 use crate::snapshot::{FlowEstimates, QueryInterval, TimeWindowSnapshot};
 use crate::time_windows::TimeWindowSet;
 use pq_packet::{FlowId, Nanos};
 use serde::{Deserialize, Serialize};
+use std::ops::Deref;
+
+/// Bound on stored coverage gaps per port (a safety valve for pathological
+/// runs; at one gap per missed set period this covers hours of simulated
+/// outage before the oldest records rotate out).
+const MAX_STORED_GAPS: usize = 4096;
 
 /// Control-plane configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -55,6 +75,90 @@ impl ControlConfig {
     }
 }
 
+/// A span of time over which the periodic-checkpoint chain lost coverage:
+/// more than `t_set` passed after `from` without a stored checkpoint, so
+/// ring history between the endpoints may have been overwritten unread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageGap {
+    /// The last successfully stored periodic checkpoint before the gap.
+    pub from: Nanos,
+    /// The checkpoint (or query horizon) that closed the gap.
+    pub to: Nanos,
+}
+
+impl CoverageGap {
+    /// Gap length in nanoseconds.
+    pub fn len(&self) -> Nanos {
+        self.to.saturating_sub(self.from)
+    }
+
+    /// True for a degenerate (zero-length) gap.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does this gap overlap the closed query interval?
+    pub fn overlaps(&self, interval: QueryInterval) -> bool {
+        self.from <= interval.to && self.to >= interval.from
+    }
+
+    /// Does `at` fall inside the gap?
+    pub fn contains(&self, at: Nanos) -> bool {
+        self.from <= at && at <= self.to
+    }
+}
+
+/// A time-window query answer annotated with control-plane coverage.
+///
+/// Dereferences to its [`FlowEstimates`], so call sites that only care
+/// about counts keep working unchanged; resilience-aware callers inspect
+/// [`QueryResult::degraded`] and [`QueryResult::gaps`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Per-flow estimated packet counts over the interval.
+    pub estimates: FlowEstimates,
+    /// Coverage gaps overlapping the query interval.
+    pub gaps: Vec<CoverageGap>,
+    /// True when any part of the interval fell in a coverage gap: the
+    /// estimates may silently miss traffic and should be treated as a
+    /// lower-confidence answer.
+    pub degraded: bool,
+}
+
+impl Deref for QueryResult {
+    type Target = FlowEstimates;
+
+    fn deref(&self) -> &FlowEstimates {
+        &self.estimates
+    }
+}
+
+/// A queue-monitor query answer annotated with freshness and coverage.
+///
+/// Dereferences to the underlying [`QueueMonitorSnapshot`].
+#[derive(Debug, Clone)]
+pub struct QueueMonitorAnswer<'a> {
+    /// The stored snapshot closest to the requested instant.
+    pub snapshot: &'a QueueMonitorSnapshot,
+    /// When that snapshot was frozen.
+    pub frozen_at: Nanos,
+    /// Distance between the requested instant and the freeze.
+    pub staleness: Nanos,
+    /// Coverage gaps containing the requested instant.
+    pub gaps: Vec<CoverageGap>,
+    /// True when the requested instant fell in a coverage gap or the
+    /// nearest snapshot is more than `t_set` away.
+    pub degraded: bool,
+}
+
+impl Deref for QueueMonitorAnswer<'_> {
+    type Target = QueueMonitorSnapshot;
+
+    fn deref(&self) -> &QueueMonitorSnapshot {
+        self.snapshot
+    }
+}
+
 /// A stored checkpoint of one port's data-plane state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -72,10 +176,22 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// The first (or only) queue's monitor snapshot.
-    pub fn queue_monitor(&self) -> &QueueMonitorSnapshot {
-        &self.queue_monitors[0]
+    /// The first (or only) queue's monitor snapshot, if any queue was
+    /// monitored.
+    pub fn queue_monitor(&self) -> Option<&QueueMonitorSnapshot> {
+        self.queue_monitors.first()
     }
+}
+
+/// A failed (or deferred) read waiting to run again.
+#[derive(Debug, Clone, Copy)]
+struct PendingRead {
+    /// Earliest instant the next attempt may run.
+    next_attempt_at: Nanos,
+    /// How many attempts have already failed (0 = a deferred first try).
+    attempt: u32,
+    on_demand: bool,
+    trigger: Option<QueryInterval>,
 }
 
 /// One port's data-plane register state.
@@ -89,9 +205,20 @@ struct PortRegisters {
     /// One monitor per egress queue — "multiple queues are tracked
     /// individually" (§5). FIFO ports have exactly one.
     queue_monitors: Vec<QueueMonitor>,
-    /// A data-plane-triggered special read is outstanding (in hardware the
-    /// read takes real time; tests can exercise the lock by holding it).
-    special_locked: bool,
+    /// A data-plane-triggered special read holds its register set until
+    /// this instant; triggers arriving earlier are ignored. With
+    /// zero-latency reads this expires immediately, reproducing the
+    /// original synchronous-release behavior.
+    special_locked_until: Nanos,
+    /// A read (periodic or on-demand) occupies the spare copy until this
+    /// instant; a periodic poll arriving earlier is queued behind it.
+    read_busy_until: Nanos,
+    /// A failed or deferred read awaiting its next attempt.
+    retry: Option<PendingRead>,
+    /// When the last *periodic* checkpoint was stored (for missed-poll
+    /// detection; on-demand reads answer a different question and do not
+    /// extend coverage of the periodic chain).
+    last_checkpoint_at: Option<Nanos>,
 }
 
 impl PortRegisters {
@@ -111,7 +238,10 @@ impl PortRegisters {
             queue_monitors: (0..queues.max(1))
                 .map(|_| QueueMonitor::new(qm_entries, qm_cells_per_entry))
                 .collect(),
-            special_locked: false,
+            special_locked_until: 0,
+            read_busy_until: 0,
+            retry: None,
+            last_checkpoint_at: None,
         }
     }
 
@@ -133,6 +263,15 @@ pub struct AnalysisProgram {
     ports: Vec<(u16, PortRegisters)>,
     /// Stored checkpoints, oldest first, per port (parallel to `ports`).
     checkpoints: Vec<Vec<Checkpoint>>,
+    /// Recorded coverage gaps, oldest first, per port (parallel to `ports`).
+    gaps: Vec<Vec<CoverageGap>>,
+    /// Optional fault injection (`None` = the perfect substrate: reads are
+    /// instantaneous and infallible, exactly the original behavior).
+    faults: Option<FaultInjector>,
+    /// Backoff policy for failed reads.
+    retry_policy: RetryPolicy,
+    /// Control-plane health counters.
+    health: ControlHealth,
     /// Cumulative register entries read by the control plane (for the
     /// bandwidth model).
     pub entries_read: u64,
@@ -155,7 +294,16 @@ impl AnalysisProgram {
         qm_cells_per_entry: u32,
         d: Nanos,
     ) -> AnalysisProgram {
-        Self::with_options(tw_config, control, ports, qm_entries, qm_cells_per_entry, d, 1, true)
+        Self::with_options(
+            tw_config,
+            control,
+            ports,
+            qm_entries,
+            qm_cells_per_entry,
+            d,
+            1,
+            true,
+        )
     }
 
     /// [`AnalysisProgram::new`] with per-port queue count (each queue gets
@@ -197,6 +345,10 @@ impl AnalysisProgram {
                 })
                 .collect(),
             checkpoints: vec![Vec::new(); ports.len()],
+            gaps: vec![Vec::new(); ports.len()],
+            faults: None,
+            retry_policy: RetryPolicy::default(),
+            health: ControlHealth::default(),
             tw_config,
             control,
             entries_read: 0,
@@ -214,6 +366,39 @@ impl AnalysisProgram {
     /// The recovery coefficients in use.
     pub fn coefficients(&self) -> &Coefficients {
         &self.coeffs
+    }
+
+    /// Install a fault injector (see [`crate::faults`]). Reads issued from
+    /// now on are subject to the configured failures, latencies, stalls,
+    /// and checkpoint drops.
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        self.faults = Some(FaultInjector::new(config));
+    }
+
+    /// The installed fault injector, if any.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Replace the retry/backoff policy for failed reads.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The retry/backoff policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry_policy
+    }
+
+    /// Control-plane health counters.
+    pub fn health(&self) -> &ControlHealth {
+        &self.health
+    }
+
+    /// Recorded coverage gaps for `port`, oldest first.
+    pub fn coverage_gaps(&self, port: u16) -> &[CoverageGap] {
+        let i = self.port_index(port).expect("port not activated");
+        &self.gaps[i]
     }
 
     fn port_index(&self, port: u16) -> Option<usize> {
@@ -236,70 +421,210 @@ impl AnalysisProgram {
     /// Data-plane update for queue `queue`'s monitor on enqueue.
     pub fn qm_enqueue(&mut self, port: u16, queue: u8, flow: FlowId, depth_cells: u32, now: Nanos) {
         if let Some(i) = self.port_index(port) {
-            self.ports[i].1.monitor_mut(queue).on_enqueue(flow, depth_cells, now);
+            self.ports[i]
+                .1
+                .monitor_mut(queue)
+                .on_enqueue(flow, depth_cells, now);
         }
     }
 
     /// Data-plane update for queue `queue`'s monitor on dequeue.
     pub fn qm_dequeue(&mut self, port: u16, queue: u8, flow: FlowId, depth_cells: u32, now: Nanos) {
         if let Some(i) = self.port_index(port) {
-            self.ports[i].1.monitor_mut(queue).on_dequeue(flow, depth_cells, now);
+            self.ports[i]
+                .1
+                .monitor_mut(queue)
+                .on_dequeue(flow, depth_cells, now);
         }
     }
 
-    /// Periodic control-plane tick. When a poll period has elapsed, freezes
-    /// and reads every active port's registers (§6.2 "periodic reads").
+    /// Periodic control-plane tick. Services due retries first, then — when
+    /// a poll period has elapsed — freezes and reads every active port's
+    /// registers (§6.2 "periodic reads").
     pub fn on_tick(&mut self, now: Nanos) {
+        let serviced = self.service_retries(now);
         if now < self.last_poll + self.control.poll_period {
             return;
         }
         self.last_poll = now;
-        for i in 0..self.ports.len() {
-            self.freeze_and_read(i, now, false, None);
+        for (i, &just_read) in serviced.iter().enumerate() {
+            // A port serviced by a retry at this very tick was just read;
+            // a port with a pending retry has a read in flight that
+            // subsumes this poll; a port whose spare copy is still occupied
+            // queues the poll behind the in-flight read.
+            if just_read || self.ports[i].1.retry.is_some() {
+                continue;
+            }
+            let busy_until = self.ports[i].1.read_busy_until;
+            if now < busy_until {
+                self.ports[i].1.retry = Some(PendingRead {
+                    next_attempt_at: busy_until,
+                    attempt: 0,
+                    on_demand: false,
+                    trigger: None,
+                });
+                continue;
+            }
+            self.attempt_read(i, now, false, None, 0);
         }
+    }
+
+    /// Run every due pending read; returns which ports were serviced.
+    fn service_retries(&mut self, now: Nanos) -> Vec<bool> {
+        let mut serviced = vec![false; self.ports.len()];
+        for (i, slot) in serviced.iter_mut().enumerate() {
+            let due = matches!(self.ports[i].1.retry, Some(p) if now >= p.next_attempt_at);
+            if !due {
+                continue;
+            }
+            let pending = self.ports[i].1.retry.take().expect("pending read is due");
+            self.attempt_read(i, now, pending.on_demand, pending.trigger, pending.attempt);
+            *slot = true;
+        }
+        serviced
     }
 
     /// A data-plane query trigger fired on `port` for a packet whose
     /// queueing spanned `interval` (§6.2 "on-demand reads"). Returns true
-    /// when the trigger was honored, false when ignored because a special
-    /// read was already in progress.
+    /// when the trigger was honored (possibly completing only after
+    /// retries), false when ignored because a special read was already in
+    /// progress.
     pub fn dp_query(&mut self, port: u16, interval: QueryInterval, now: Nanos) -> bool {
         let Some(i) = self.port_index(port) else {
             return false;
         };
-        if self.ports[i].1.special_locked {
+        let regs = &self.ports[i].1;
+        let special_busy =
+            now < regs.special_locked_until || matches!(regs.retry, Some(p) if p.on_demand);
+        if special_busy {
             // "Concurrent reads will be temporarily ignored until
             // PrintQueue can finish reading the special register set."
             self.dp_queries_ignored += 1;
+            self.health.dp_triggers_rejected += 1;
             return false;
         }
-        self.freeze_and_read(i, now, true, Some(interval));
+        self.attempt_read(i, now, true, Some(interval), 0);
+        true
+    }
+
+    /// One freeze-and-read attempt against port `i`. Succeeds and stores a
+    /// checkpoint, or (under fault injection) fails/stalls and schedules a
+    /// backed-off retry. Returns whether a read completed now.
+    fn attempt_read(
+        &mut self,
+        i: usize,
+        now: Nanos,
+        on_demand: bool,
+        trigger: Option<QueryInterval>,
+        attempt: u32,
+    ) -> bool {
+        self.health.polls_attempted += 1;
+        if attempt > 0 {
+            self.health.polls_retried += 1;
+        }
+        if self.faults.is_none() {
+            // Perfect substrate: the original synchronous, infallible read.
+            self.complete_read(i, now, 0, on_demand, trigger, false);
+            return true;
+        }
+        let port = self.ports[i].0;
+        let injector = self.faults.as_mut().expect("injector present");
+        let failed = if injector.stalled(port, now) {
+            self.health.polls_stalled += 1;
+            true
+        } else if injector.read_fails(port) {
+            self.health.polls_failed += 1;
+            true
+        } else {
+            false
+        };
+        if failed {
+            if self.retry_policy.at_ceiling(attempt) {
+                self.health.backoff_ceiling_hits += 1;
+            }
+            let delay = self
+                .faults
+                .as_mut()
+                .expect("injector present")
+                .backoff(&self.retry_policy, attempt);
+            self.ports[i].1.retry = Some(PendingRead {
+                next_attempt_at: now.saturating_add(delay),
+                attempt: attempt.saturating_add(1),
+                on_demand,
+                trigger,
+            });
+            return false;
+        }
+        let injector = self.faults.as_mut().expect("injector present");
+        let latency = injector.read_latency(port);
+        let dropped = injector.drop_checkpoint(port);
+        self.complete_read(i, now, latency, on_demand, trigger, dropped);
         true
     }
 
     /// Freeze-and-read port `i`'s registers into a checkpoint. The rings
     /// keep rolling (see the module docs on why nothing is flipped or
-    /// cleared in zero-read-time simulation).
-    fn freeze_and_read(&mut self, i: usize, now: Nanos, on_demand: bool, trigger: Option<QueryInterval>) {
+    /// cleared in zero-read-time simulation); the read occupies the spare
+    /// (or special) copy for `latency` nanoseconds.
+    fn complete_read(
+        &mut self,
+        i: usize,
+        now: Nanos,
+        latency: Nanos,
+        on_demand: bool,
+        trigger: Option<QueryInterval>,
+        dropped: bool,
+    ) {
         let regs = &mut self.ports[i].1;
         if on_demand {
-            regs.special_locked = true;
+            // The special set stays locked for the duration of the read;
+            // with zero latency this expires immediately, reproducing the
+            // original synchronous release.
+            regs.special_locked_until = now.saturating_add(latency);
         }
+        regs.read_busy_until = regs.read_busy_until.max(now.saturating_add(latency));
         let windows = TimeWindowSnapshot::capture(&regs.time_windows);
         let queue_monitors: Vec<QueueMonitorSnapshot> =
             regs.queue_monitors.iter().map(|m| m.snapshot()).collect();
 
         // Bandwidth accounting: every cell of every window (8 B) plus every
-        // queue-monitor entry (16 B: two halves of flow+seq).
+        // queue-monitor entry (16 B: two halves of flow+seq). The bytes
+        // crossed PCIe even if the checkpoint is subsequently lost.
         let tw_entries = u64::from(self.tw_config.t) * self.tw_config.cells() as u64;
         let qm_entries: u64 = queue_monitors.iter().map(|m| m.entries.len() as u64).sum();
         self.entries_read += tw_entries + qm_entries;
         self.bytes_read += tw_entries * 8 + qm_entries * 16;
 
-        // Reading completes synchronously: release the special lock.
-        if on_demand {
-            self.ports[i].1.special_locked = false;
+        if dropped {
+            // Lost before storage: the periodic chain keeps its old
+            // `last_checkpoint_at`, so the next successful store sees (and
+            // records) the full gap this loss opened.
+            self.health.checkpoints_dropped += 1;
+            return;
         }
+
+        if !on_demand {
+            // Missed-poll detection: the rings only hold `t_set` of
+            // history, so a longer silence means unrecoverable loss.
+            let t_set = self.tw_config.set_period();
+            if let Some(last) = self.ports[i].1.last_checkpoint_at {
+                if now.saturating_sub(last) > t_set {
+                    let gap = CoverageGap {
+                        from: last,
+                        to: now,
+                    };
+                    self.health.coverage_gaps += 1;
+                    self.health.gap_ns += gap.len();
+                    self.gaps[i].push(gap);
+                    if self.gaps[i].len() > MAX_STORED_GAPS {
+                        let excess = self.gaps[i].len() - MAX_STORED_GAPS;
+                        self.gaps[i].drain(..excess);
+                    }
+                }
+            }
+            self.ports[i].1.last_checkpoint_at = Some(now);
+        }
+        self.health.checkpoints_stored += 1;
 
         let store = &mut self.checkpoints[i];
         store.push(Checkpoint {
@@ -323,8 +648,9 @@ impl AnalysisProgram {
 
     /// §6.3 asynchronous time-window query: per-flow packet counts over
     /// `interval` on `port`, splitting the interval across every stored
-    /// checkpoint that covers part of it.
-    pub fn query_time_windows(&self, port: u16, interval: QueryInterval) -> FlowEstimates {
+    /// checkpoint that covers part of it. The answer is annotated with any
+    /// coverage gaps overlapping the interval.
+    pub fn query_time_windows(&self, port: u16, interval: QueryInterval) -> QueryResult {
         self.query_time_windows_with(port, interval, &self.coeffs)
     }
 
@@ -335,7 +661,7 @@ impl AnalysisProgram {
         port: u16,
         interval: QueryInterval,
         coeffs: &Coefficients,
-    ) -> FlowEstimates {
+    ) -> QueryResult {
         let i = self.port_index(port).expect("port not activated");
         let mut result = FlowEstimates::default();
         let mut prev_frozen_at: Option<Nanos> = None;
@@ -356,7 +682,29 @@ impl AnalysisProgram {
                 .query(QueryInterval::new(slice_from, slice_to), coeffs);
             result.merge(&est);
         }
-        result
+        let mut gaps: Vec<CoverageGap> = self.gaps[i]
+            .iter()
+            .filter(|g| g.overlaps(interval))
+            .copied()
+            .collect();
+        // An interval reaching more than `t_set` past the last stored
+        // periodic checkpoint extends into territory no future poll can
+        // recover — an open-ended gap (e.g. an outage still in progress).
+        let t_set = self.tw_config.set_period();
+        // A program that never stored a checkpoint has covered nothing
+        // since t = 0, so the open gap starts there.
+        let last = self.ports[i].1.last_checkpoint_at.unwrap_or(0);
+        if interval.to > last.saturating_add(t_set) {
+            gaps.push(CoverageGap {
+                from: last,
+                to: interval.to,
+            });
+        }
+        QueryResult {
+            degraded: !gaps.is_empty(),
+            estimates: result,
+            gaps,
+        }
     }
 
     /// Query an on-demand (special) checkpoint directly: the data-plane
@@ -380,8 +728,9 @@ impl AnalysisProgram {
     }
 
     /// §6.3 queue-monitor query: the original culprits at the instant
-    /// closest to `at`, for the port's first queue (FIFO ports).
-    pub fn query_queue_monitor(&self, port: u16, at: Nanos) -> Option<&QueueMonitorSnapshot> {
+    /// closest to `at`, for the port's first queue (FIFO ports). The answer
+    /// carries freshness and coverage annotations.
+    pub fn query_queue_monitor(&self, port: u16, at: Nanos) -> Option<QueueMonitorAnswer<'_>> {
         self.query_queue_monitor_for(port, 0, at)
     }
 
@@ -393,18 +742,33 @@ impl AnalysisProgram {
         port: u16,
         queue: u8,
         at: Nanos,
-    ) -> Option<&QueueMonitorSnapshot> {
+    ) -> Option<QueueMonitorAnswer<'_>> {
         let i = self.port_index(port).expect("port not activated");
-        self.checkpoints[i]
+        let cp = self.checkpoints[i]
             .iter()
-            .min_by_key(|cp| cp.frozen_at.abs_diff(at))
-            .and_then(|cp| cp.queue_monitors.get(usize::from(queue)))
+            .min_by_key(|cp| cp.frozen_at.abs_diff(at))?;
+        let snapshot = cp.queue_monitors.get(usize::from(queue))?;
+        let staleness = cp.frozen_at.abs_diff(at);
+        let gaps: Vec<CoverageGap> = self.gaps[i]
+            .iter()
+            .filter(|g| g.contains(at))
+            .copied()
+            .collect();
+        let degraded = !gaps.is_empty() || staleness > self.tw_config.set_period();
+        Some(QueueMonitorAnswer {
+            snapshot,
+            frozen_at: cp.frozen_at,
+            staleness,
+            gaps,
+            degraded,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultProfile, LatencyModel};
 
     fn program(poll: Nanos) -> AnalysisProgram {
         // Tiny: 64 cells, 2 windows → set period 64 + 128 = 192 ns.
@@ -532,6 +896,9 @@ mod tests {
         let culprits = near_first.original_culprits();
         assert_eq!(culprits.len(), 1);
         assert_eq!(culprits[0].flow, FlowId(1));
+        assert_eq!(near_first.frozen_at, 64);
+        assert_eq!(near_first.staleness, 6);
+        assert!(!near_first.degraded);
         let near_second = ap.query_queue_monitor(0, 127).unwrap();
         assert_eq!(near_second.original_culprits()[0].flow, FlowId(2));
     }
@@ -551,5 +918,145 @@ mod tests {
             1,
             1,
         );
+    }
+
+    #[test]
+    fn zero_fault_injector_matches_no_injector() {
+        // A benign injector must leave every observable identical to the
+        // original path: same checkpoints, same query answers, no health
+        // noise beyond the attempt counter.
+        let mut plain = program(64);
+        let mut injected = program(64);
+        injected.set_faults(FaultConfig::new(3));
+        for t in 0..200u64 {
+            plain.record_dequeue(0, FlowId((t % 3) as u32), t);
+            injected.record_dequeue(0, FlowId((t % 3) as u32), t);
+            if t % 64 == 0 {
+                plain.on_tick(t);
+                injected.on_tick(t);
+            }
+        }
+        assert_eq!(plain.checkpoints(0).len(), injected.checkpoints(0).len());
+        let q = QueryInterval::new(0, 199);
+        let a = plain.query_time_windows(0, q);
+        let b = injected.query_time_windows(0, q);
+        assert_eq!(a.estimates.counts, b.estimates.counts);
+        assert!(!a.degraded && !b.degraded);
+        assert_eq!(injected.health().polls_failed, 0);
+        assert_eq!(injected.health().coverage_gaps, 0);
+        assert_eq!(plain.bytes_read, injected.bytes_read);
+    }
+
+    #[test]
+    fn failed_reads_schedule_backed_off_retries() {
+        let mut ap = program(64);
+        ap.set_retry_policy(RetryPolicy {
+            base_backoff: 16,
+            max_backoff: 64,
+            jitter: 0.0,
+        });
+        ap.set_faults(FaultConfig::new(5).with_base(FaultProfile::read_failures(1.0)));
+        for t in 1..=100u64 {
+            ap.on_tick(t * 4);
+        }
+        let health = ap.health();
+        assert!(health.polls_failed > 0, "injector never failed a read");
+        assert!(health.polls_retried > 0, "failures were not retried");
+        assert_eq!(health.checkpoints_stored, 0, "every read fails");
+        assert!(health.backoff_ceiling_hits > 0, "backoff never hit its cap");
+        assert!(ap.checkpoints(0).is_empty());
+    }
+
+    #[test]
+    fn coverage_gap_recorded_after_outage() {
+        // t_set = 192 ns. A poll at 64, then control-plane silence until
+        // 640 (e.g. the poller was wedged): the next successful poll must
+        // record the > t_set gap, and queries over it must be flagged.
+        let mut ap = program(64);
+        ap.on_tick(64);
+        ap.on_tick(640);
+        assert_eq!(ap.health().coverage_gaps, 1);
+        assert_eq!(ap.coverage_gaps(0), &[CoverageGap { from: 64, to: 640 }]);
+        assert_eq!(ap.health().gap_ns, 576);
+
+        let over_gap = ap.query_time_windows(0, QueryInterval::new(100, 300));
+        assert!(over_gap.degraded, "query across the gap must be degraded");
+        assert_eq!(over_gap.gaps.len(), 1);
+        let qm = ap.query_queue_monitor(0, 300).expect("checkpoint exists");
+        assert!(qm.degraded, "instant inside the gap must be degraded");
+
+        // A query fully before the gap is clean.
+        let before = ap.query_time_windows(0, QueryInterval::new(0, 60));
+        assert!(!before.degraded);
+    }
+
+    #[test]
+    fn open_ended_outage_degrades_future_queries() {
+        let mut ap = program(64);
+        ap.on_tick(64);
+        // No further polls ever happen; a query reaching past 64 + t_set
+        // must carry a synthetic open gap.
+        let est = ap.query_time_windows(0, QueryInterval::new(0, 10_000));
+        assert!(est.degraded);
+        assert_eq!(est.gaps.last().unwrap().from, 64);
+    }
+
+    #[test]
+    fn read_latency_locks_special_set_for_duration() {
+        let mut ap = program(64);
+        ap.set_faults(FaultConfig::new(2).with_base(FaultProfile {
+            read_latency: LatencyModel::Fixed(50),
+            ..FaultProfile::none()
+        }));
+        assert!(ap.dp_query(0, QueryInterval::new(0, 10), 100));
+        // The special set is held for 50 ns: a trigger at 120 is rejected,
+        // one at 160 is honored.
+        assert!(!ap.dp_query(0, QueryInterval::new(0, 10), 120));
+        assert_eq!(ap.dp_queries_ignored, 1);
+        assert_eq!(ap.health().dp_triggers_rejected, 1);
+        assert!(ap.dp_query(0, QueryInterval::new(0, 10), 160));
+        assert_eq!(ap.dp_queries_ignored, 1);
+    }
+
+    #[test]
+    fn poll_queued_behind_inflight_read_completes_later() {
+        let mut ap = program(64);
+        ap.set_faults(FaultConfig::new(4).with_base(FaultProfile {
+            read_latency: LatencyModel::Fixed(100),
+            ..FaultProfile::none()
+        }));
+        ap.on_tick(64); // read occupies the spare copy until 164
+        ap.on_tick(128); // poll due but spare busy → queued
+        assert_eq!(ap.checkpoints(0).len(), 1);
+        ap.on_tick(200); // queued poll drains
+        assert!(ap.checkpoints(0).len() >= 2);
+    }
+
+    #[test]
+    fn dropped_checkpoints_open_gaps() {
+        let mut ap = program(64);
+        ap.set_faults(FaultConfig::new(9).with_base(FaultProfile {
+            drop_checkpoint_prob: 1.0,
+            ..FaultProfile::none()
+        }));
+        for t in 1..=10u64 {
+            ap.on_tick(t * 64);
+        }
+        let health = ap.health();
+        assert_eq!(health.checkpoints_stored, 0);
+        assert_eq!(health.checkpoints_dropped, 10);
+        assert!(ap.checkpoints(0).is_empty());
+        // Every read crossed PCIe even though the checkpoints were lost.
+        assert!(ap.bytes_read > 0);
+    }
+
+    #[test]
+    fn empty_queue_monitor_checkpoint_is_guarded() {
+        let mut ap = program(64);
+        ap.on_tick(64);
+        let cp = &ap.checkpoints(0)[0];
+        assert!(cp.queue_monitor().is_some(), "FIFO ports have one monitor");
+        // Out-of-range queue indices return None instead of panicking.
+        assert!(ap.query_queue_monitor_for(0, 9, 64).is_none());
     }
 }

@@ -293,11 +293,7 @@ mod tests {
 
     /// Three packets back-to-back: A[0,10), B[2,20), victim V[5,30).
     fn simple() -> Vec<TelemetryRecord> {
-        vec![
-            rec(0, 1, 0, 10),
-            rec(1, 2, 2, 20),
-            rec(2, 9, 5, 30),
-        ]
+        vec![rec(0, 1, 0, 10), rec(1, 2, 2, 20), rec(2, 9, 5, 30)]
     }
 
     #[test]

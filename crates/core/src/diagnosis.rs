@@ -10,7 +10,7 @@
 //! congestion pattern heuristically (heavy hitter, synchronized burst,
 //! many-flow convergence) the way §2's motivating examples do.
 
-use crate::control::AnalysisProgram;
+use crate::control::{AnalysisProgram, CoverageGap};
 use crate::snapshot::{FlowEstimates, QueryInterval};
 use pq_packet::{FlowId, Nanos};
 use serde::{Deserialize, Serialize};
@@ -45,6 +45,13 @@ pub struct Diagnosis {
     pub original: Vec<(FlowId, u64)>,
     /// Heuristic pattern classification of the direct culprits.
     pub pattern: CongestionPattern,
+    /// True when any contributing query was answered over a control-plane
+    /// coverage gap: the report is best-effort, not authoritative.
+    #[serde(default)]
+    pub degraded: bool,
+    /// The coverage gaps that intersected the queries, if any.
+    #[serde(default)]
+    pub gaps: Vec<CoverageGap>,
 }
 
 impl Diagnosis {
@@ -108,28 +115,47 @@ pub fn diagnose(
     regime_start: Option<Nanos>,
 ) -> Diagnosis {
     let interval = QueryInterval::new(enq_timestamp, deq_timestamp);
-    let direct = analysis.query_time_windows(port, interval);
-    let indirect = regime_start.map(|start| {
+    let direct_answer = analysis.query_time_windows(port, interval);
+    let indirect_answer = regime_start.map(|start| {
         analysis.query_time_windows(
             port,
             QueryInterval::new(start, enq_timestamp.saturating_sub(1)),
         )
     });
+    let mut degraded = direct_answer.degraded;
+    let mut gaps = direct_answer.gaps.clone();
+    if let Some(ind) = &indirect_answer {
+        degraded |= ind.degraded;
+        for g in &ind.gaps {
+            if !gaps.contains(g) {
+                gaps.push(*g);
+            }
+        }
+    }
     let original = analysis
         .query_queue_monitor(port, deq_timestamp)
-        .map(|snap| {
-            let mut counts: Vec<(FlowId, u64)> = snap.culprit_counts().into_iter().collect();
+        .map(|answer| {
+            degraded |= answer.degraded;
+            for g in &answer.gaps {
+                if !gaps.contains(g) {
+                    gaps.push(*g);
+                }
+            }
+            let mut counts: Vec<(FlowId, u64)> = answer.culprit_counts().into_iter().collect();
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             counts
         })
         .unwrap_or_default();
+    let direct = direct_answer.estimates;
     let pattern = classify(&direct);
     Diagnosis {
         interval,
         direct,
-        indirect,
+        indirect: indirect_answer.map(|q| q.estimates),
         original,
         pattern,
+        degraded,
+        gaps,
     }
 }
 
@@ -170,7 +196,10 @@ mod tests {
 
     #[test]
     fn tiny_evidence_is_unknown() {
-        assert_eq!(classify(&estimates(&[(1, 0.5)])), CongestionPattern::Unknown);
+        assert_eq!(
+            classify(&estimates(&[(1, 0.5)])),
+            CongestionPattern::Unknown
+        );
         assert_eq!(classify(&estimates(&[])), CongestionPattern::Unknown);
     }
 
@@ -182,6 +211,8 @@ mod tests {
             indirect: None,
             original: vec![(FlowId(1), 10), (FlowId(2), 8), (FlowId(3), 6)],
             pattern: CongestionPattern::HeavyHitter,
+            degraded: false,
+            gaps: Vec::new(),
         };
         // Flow 1 is active (direct ≥ 1); flows 2 and 3 are historical-only.
         assert_eq!(diag.historical_only(), vec![FlowId(2), FlowId(3)]);

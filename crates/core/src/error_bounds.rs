@@ -159,7 +159,10 @@ mod tests {
             recovered.push(survivors / c);
         }
         let mean = recovered.iter().sum::<f64>() / trials as f64;
-        let var = recovered.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = recovered
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / trials as f64;
         let model_var = n as f64 * (1.0 - c) / c;
         assert!((mean - n as f64).abs() < 5.0, "mean {mean}");

@@ -7,7 +7,8 @@
 //! (human-inspectable, diffable) so a long run's registers can be archived
 //! and re-queried later without re-simulating.
 
-use crate::control::{AnalysisProgram, Checkpoint};
+use crate::control::{AnalysisProgram, Checkpoint, CoverageGap};
+use crate::metrics::ControlHealth;
 use crate::params::TimeWindowConfig;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -23,6 +24,14 @@ pub struct CheckpointArchive {
     pub port: u16,
     /// The checkpoints, oldest first.
     pub checkpoints: Vec<Checkpoint>,
+    /// Coverage gaps recorded for the port (empty for archives captured
+    /// before fault tracking, via the serde default).
+    #[serde(default)]
+    pub gaps: Vec<CoverageGap>,
+    /// Control-plane health counters at capture time (all-zero for old
+    /// archives, via the serde default).
+    #[serde(default)]
+    pub health: ControlHealth,
 }
 
 impl CheckpointArchive {
@@ -33,6 +42,8 @@ impl CheckpointArchive {
             tw_config: *analysis.tw_config(),
             port,
             checkpoints: analysis.checkpoints(port).to_vec(),
+            gaps: analysis.coverage_gaps(port).to_vec(),
+            health: *analysis.health(),
         }
     }
 
@@ -43,8 +54,7 @@ impl CheckpointArchive {
 
     /// Deserialize from JSON, validating the version.
     pub fn read_json<R: Read>(r: R) -> io::Result<CheckpointArchive> {
-        let archive: CheckpointArchive =
-            serde_json::from_reader(r).map_err(io::Error::other)?;
+        let archive: CheckpointArchive = serde_json::from_reader(r).map_err(io::Error::other)?;
         if archive.version != 1 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -153,7 +163,10 @@ mod tests {
         let mut buf = Vec::new();
         archive.write_json(&mut buf).unwrap();
         let back = CheckpointArchive::read_json(buf.as_slice()).unwrap();
-        let culprits = back.checkpoints[0].queue_monitor().original_culprits();
+        let culprits = back.checkpoints[0]
+            .queue_monitor()
+            .expect("archived checkpoint has a monitor")
+            .original_culprits();
         assert_eq!(culprits.len(), 1);
         assert_eq!(culprits[0].flow, FlowId(7));
     }

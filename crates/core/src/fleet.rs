@@ -13,6 +13,7 @@
 //! deploy the paper's system across a fabric.
 
 use crate::diagnosis::{diagnose, Diagnosis};
+use crate::metrics::ControlHealth;
 use crate::printqueue::{PrintQueue, PrintQueueConfig};
 use pq_packet::{Nanos, SimPacket};
 use pq_switch::QueueHooks;
@@ -63,6 +64,27 @@ pub struct PathDiagnosis {
     pub total_delay: Nanos,
 }
 
+/// Fleet-level rollup of per-switch control-plane health.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Per-switch counters, sorted by switch id for stable output.
+    pub per_switch: Vec<(SwitchId, ControlHealth)>,
+    /// Sum over all switches.
+    pub total: ControlHealth,
+}
+
+impl FleetHealth {
+    /// Switch ids whose control plane has recorded coverage gaps, dropped
+    /// checkpoints, or failed reads — the ones whose answers may be stale.
+    pub fn degraded_switches(&self) -> Vec<SwitchId> {
+        self.per_switch
+            .iter()
+            .filter(|(_, h)| !h.is_healthy())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
 /// A fabric of per-switch PrintQueue instances.
 pub struct Fleet {
     instances: HashMap<SwitchId, PrintQueue>,
@@ -111,6 +133,21 @@ impl Fleet {
                 .get_mut(&switch)
                 .expect("switch not deployed"),
         }
+    }
+
+    /// Roll up every switch's control-plane health counters.
+    pub fn health(&self) -> FleetHealth {
+        let mut per_switch: Vec<(SwitchId, ControlHealth)> = self
+            .instances
+            .iter()
+            .map(|(id, pq)| (*id, *pq.analysis().health()))
+            .collect();
+        per_switch.sort_by_key(|(id, _)| *id);
+        let mut total = ControlHealth::default();
+        for (_, h) in &per_switch {
+            total.merge(h);
+        }
+        FleetHealth { per_switch, total }
     }
 
     /// Diagnose a victim across its path.
@@ -212,7 +249,10 @@ mod tests {
         for i in 0..2_000u64 {
             arrivals.push(Arrival::new(SimPacket::new(FlowId(1), 1500, i * 600), 0));
             if i % 20 == 0 {
-                arrivals.push(Arrival::new(SimPacket::new(FlowId(0), 1500, i * 600 + 1), 0));
+                arrivals.push(Arrival::new(
+                    SimPacket::new(FlowId(0), 1500, i * 600 + 1),
+                    0,
+                ));
             }
         }
         arrivals.sort_by_key(|a| a.pkt.arrival);

@@ -18,6 +18,9 @@
 //!   (Algorithm 3), and query execution over arbitrary intervals (§6.3);
 //! * [`control`] — the analysis program: periodic register freezing and
 //!   polling, on-demand data-plane queries, snapshot storage (§6.1–6.2);
+//! * [`faults`] — deterministic fault injection for the control plane
+//!   (read failures, latency, stalls, dropped checkpoints) plus the
+//!   retry/backoff policy governing recovery;
 //! * [`printqueue`] — the per-switch facade wiring everything to the
 //!   `pq-switch` hook points, with per-port activation;
 //! * [`culprits`] — the §2 culprit taxonomy computed exactly from ground
@@ -28,11 +31,12 @@
 
 pub mod coefficient;
 pub mod control;
+pub mod culprits;
 pub mod diagnosis;
 pub mod error_bounds;
 pub mod export;
+pub mod faults;
 pub mod fleet;
-pub mod culprits;
 pub mod metrics;
 pub mod params;
 pub mod printqueue;
@@ -44,10 +48,11 @@ pub mod time_windows;
 pub mod tts;
 pub mod validation;
 
-pub use control::{AnalysisProgram, ControlConfig};
-pub use diagnosis::{diagnose, CongestionPattern, Diagnosis};
+pub use control::{AnalysisProgram, ControlConfig, CoverageGap, QueryResult, QueueMonitorAnswer};
 pub use culprits::{CulpritReport, GroundTruth};
-pub use metrics::{precision_recall, FlowCounts, PrecisionRecall};
+pub use diagnosis::{diagnose, CongestionPattern, Diagnosis};
+pub use faults::{FaultConfig, FaultInjector, FaultProfile, LatencyModel, RetryPolicy};
+pub use metrics::{precision_recall, ControlHealth, FlowCounts, PrecisionRecall};
 pub use params::TimeWindowConfig;
 pub use printqueue::{PrintQueue, PrintQueueConfig};
 pub use queue_monitor::QueueMonitor;

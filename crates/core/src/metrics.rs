@@ -31,6 +31,65 @@ impl PrecisionRecall {
     }
 }
 
+/// Control-plane health counters: how the analysis program's read loop is
+/// faring under (possibly injected) faults. All counters are cumulative
+/// since construction; with no fault injector only `polls_attempted` and
+/// `checkpoints_stored` move (and stay equal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlHealth {
+    /// Freeze-and-read attempts issued (first tries and retries alike).
+    pub polls_attempted: u64,
+    /// Attempts that failed outright (injected read failure).
+    pub polls_failed: u64,
+    /// Attempts that were retries of earlier failures or deferrals.
+    pub polls_retried: u64,
+    /// Attempts rejected because the control plane was inside an injected
+    /// stall window.
+    pub polls_stalled: u64,
+    /// Checkpoints successfully stored.
+    pub checkpoints_stored: u64,
+    /// Checkpoints read but lost before storage (injected drop).
+    pub checkpoints_dropped: u64,
+    /// Coverage gaps recorded (inter-checkpoint silence exceeded `t_set`).
+    pub coverage_gaps: u64,
+    /// Total nanoseconds covered by recorded gaps.
+    pub gap_ns: u64,
+    /// Failures whose backoff had already reached the policy ceiling.
+    pub backoff_ceiling_hits: u64,
+    /// Data-plane triggers rejected while a special read was outstanding.
+    pub dp_triggers_rejected: u64,
+}
+
+impl ControlHealth {
+    /// Accumulate another instance's counters (fleet rollups).
+    pub fn merge(&mut self, other: &ControlHealth) {
+        self.polls_attempted += other.polls_attempted;
+        self.polls_failed += other.polls_failed;
+        self.polls_retried += other.polls_retried;
+        self.polls_stalled += other.polls_stalled;
+        self.checkpoints_stored += other.checkpoints_stored;
+        self.checkpoints_dropped += other.checkpoints_dropped;
+        self.coverage_gaps += other.coverage_gaps;
+        self.gap_ns += other.gap_ns;
+        self.backoff_ceiling_hits += other.backoff_ceiling_hits;
+        self.dp_triggers_rejected += other.dp_triggers_rejected;
+    }
+
+    /// Fraction of read attempts that failed or stalled (0 when none ran).
+    pub fn poll_failure_rate(&self) -> f64 {
+        if self.polls_attempted == 0 {
+            0.0
+        } else {
+            (self.polls_failed + self.polls_stalled) as f64 / self.polls_attempted as f64
+        }
+    }
+
+    /// A healthy control plane has lost no coverage and dropped nothing.
+    pub fn is_healthy(&self) -> bool {
+        self.coverage_gaps == 0 && self.checkpoints_dropped == 0 && self.polls_failed == 0
+    }
+}
+
 /// Compute per-flow-weighted precision and recall of `estimate` against
 /// `truth` (§7.1).
 ///
@@ -44,8 +103,16 @@ pub fn precision_recall(estimate: &FlowCounts, truth: &FlowCounts) -> PrecisionR
         .map(|(flow, est)| truth.get(flow).copied().unwrap_or(0.0).min(*est))
         .sum();
     PrecisionRecall {
-        precision: if est_total == 0.0 { 1.0 } else { tp / est_total },
-        recall: if truth_total == 0.0 { 1.0 } else { tp / truth_total },
+        precision: if est_total == 0.0 {
+            1.0
+        } else {
+            tp / est_total
+        },
+        recall: if truth_total == 0.0 {
+            1.0
+        } else {
+            tp / truth_total
+        },
     }
 }
 
@@ -179,7 +246,9 @@ mod tests {
     fn cdf_is_monotone_ending_at_one() {
         let points = cdf_points(&[0.5, 0.1, 0.9, 0.1]);
         assert_eq!(points.len(), 4);
-        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert_eq!(points.last().unwrap().1, 1.0);
     }
 }

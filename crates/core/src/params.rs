@@ -53,8 +53,9 @@ impl TimeWindowConfig {
         assert!(self.t >= 1, "need at least one window");
         assert!(self.alpha >= 1, "alpha must be at least 1");
         assert!(self.k >= 1 && self.k <= 24, "k out of range");
-        let max_shift =
-            u32::from(self.m0) + u32::from(self.alpha) * (u32::from(self.t) - 1) + u32::from(self.k);
+        let max_shift = u32::from(self.m0)
+            + u32::from(self.alpha) * (u32::from(self.t) - 1)
+            + u32::from(self.k);
         assert!(max_shift < 63, "periods overflow u64 nanoseconds");
     }
 
@@ -126,8 +127,7 @@ mod tests {
     fn set_period_closed_form() {
         for (m0, alpha, k, t) in [(6, 2, 12, 4), (10, 1, 12, 5), (6, 3, 10, 3)] {
             let c = TimeWindowConfig::new(m0, alpha, k, t);
-            let closed = ((1u64 << (alpha * t)) - 1) / ((1u64 << alpha) - 1)
-                * (1u64 << (m0 + k));
+            let closed = ((1u64 << (alpha * t)) - 1) / ((1u64 << alpha) - 1) * (1u64 << (m0 + k));
             assert_eq!(c.set_period(), closed, "config {c:?}");
         }
     }

@@ -12,6 +12,7 @@
 //! * `on_tick` runs the analysis program's periodic polling.
 
 use crate::control::{AnalysisProgram, ControlConfig};
+use crate::faults::{FaultConfig, RetryPolicy};
 use crate::params::TimeWindowConfig;
 use crate::snapshot::QueryInterval;
 use pq_packet::{Nanos, SimPacket};
@@ -63,6 +64,14 @@ pub struct PrintQueueConfig {
     /// Egress queues per activated port; each gets its own queue monitor
     /// ("multiple queues are tracked individually", §5). 1 for FIFO ports.
     pub queues_per_port: u8,
+    /// Optional control-plane fault injection (see [`crate::faults`]).
+    /// `None` (the default) keeps the perfect substrate.
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff policy for failed control-plane reads. Only exercised
+    /// under fault injection.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl PrintQueueConfig {
@@ -79,12 +88,20 @@ impl PrintQueueConfig {
             trigger: None,
             ablate_passing: false,
             queues_per_port: 1,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Builder-style trigger installation.
     pub fn with_trigger(mut self, trigger: DataPlaneTrigger) -> PrintQueueConfig {
         self.trigger = Some(trigger);
+        self
+    }
+
+    /// Builder-style fault-injection installation.
+    pub fn with_faults(mut self, faults: FaultConfig) -> PrintQueueConfig {
+        self.faults = Some(faults);
         self
     }
 }
@@ -106,7 +123,7 @@ pub struct PrintQueue {
 impl PrintQueue {
     /// Build from configuration.
     pub fn new(config: PrintQueueConfig) -> PrintQueue {
-        let analysis = AnalysisProgram::with_options(
+        let mut analysis = AnalysisProgram::with_options(
             config.time_windows,
             config.control,
             &config.ports,
@@ -116,6 +133,10 @@ impl PrintQueue {
             config.queues_per_port,
             !config.ablate_passing,
         );
+        analysis.set_retry_policy(config.retry);
+        if let Some(faults) = config.faults.clone() {
+            analysis.set_faults(faults);
+        }
         PrintQueue {
             config,
             analysis,
@@ -142,11 +163,13 @@ impl PrintQueue {
 
 impl QueueHooks for PrintQueue {
     fn on_enqueue(&mut self, pkt: &SimPacket, port: u16, depth_after: u32, now: Nanos) {
-        self.analysis.qm_enqueue(port, pkt.meta.queue, pkt.flow, depth_after, now);
+        self.analysis
+            .qm_enqueue(port, pkt.meta.queue, pkt.flow, depth_after, now);
     }
 
     fn on_dequeue(&mut self, pkt: &SimPacket, port: u16, depth_after: u32, now: Nanos) {
-        self.analysis.qm_dequeue(port, pkt.meta.queue, pkt.flow, depth_after, now);
+        self.analysis
+            .qm_dequeue(port, pkt.meta.queue, pkt.flow, depth_after, now);
         // Time windows index on the dequeue timestamp (§4.2).
         let deq_ts = pkt.meta.deq_timestamp();
         debug_assert_eq!(deq_ts, now);
@@ -203,7 +226,12 @@ mod tests {
         assert_eq!(sink.records.len(), 200);
         let cps = printqueue.analysis().checkpoints(0);
         assert!(!cps.is_empty(), "periodic polling produced no checkpoints");
-        let last_deq = sink.records.iter().map(|r| r.deq_timestamp()).max().unwrap();
+        let last_deq = sink
+            .records
+            .iter()
+            .map(|r| r.deq_timestamp())
+            .max()
+            .unwrap();
         let est = printqueue
             .analysis_mut()
             .query_time_windows(0, QueryInterval::new(0, last_deq));
@@ -221,13 +249,13 @@ mod tests {
     #[test]
     fn trigger_fires_on_high_delay() {
         let tw = TimeWindowConfig::new(6, 1, 8, 3);
-        let mut printqueue = PrintQueue::new(
-            PrintQueueConfig::single_port(tw, 64).with_trigger(DataPlaneTrigger {
+        let mut printqueue = PrintQueue::new(PrintQueueConfig::single_port(tw, 64).with_trigger(
+            DataPlaneTrigger {
                 min_deq_timedelta: 50_000,
                 min_enq_qdepth: u32::MAX,
                 cooldown: 0,
-            }),
-        );
+            },
+        ));
         let mut sw = Switch::new(SwitchConfig::single_port(10.0, 100_000));
         {
             let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut printqueue];

@@ -59,7 +59,10 @@ impl PortGateTable {
     /// port is not activated ("If no matching is found, the packet is
     /// ignored", §6.1).
     pub fn prefix_of(&self, egress_port: u16) -> Option<u32> {
-        self.ports.iter().position(|p| *p == egress_port).map(|i| i as u32)
+        self.ports
+            .iter()
+            .position(|p| *p == egress_port)
+            .map(|i| i as u32)
     }
 }
 
@@ -90,7 +93,10 @@ impl RegisterLayout {
     /// Construct, validating the widths fit a 32-bit index with the two
     /// flip bits.
     pub fn new(k: u8, q: u8) -> RegisterLayout {
-        assert!(u32::from(k) + u32::from(q) + 2 <= 32, "index exceeds 32 bits");
+        assert!(
+            u32::from(k) + u32::from(q) + 2 <= 32,
+            "index exceeds 32 bits"
+        );
         RegisterLayout { k, q }
     }
 
@@ -191,9 +197,18 @@ mod tests {
             }
         );
         let special = layout.decompose(layout.flip_special(physical));
-        assert_eq!(special, RegisterIndex { special: true, ..idx });
+        assert_eq!(
+            special,
+            RegisterIndex {
+                special: true,
+                ..idx
+            }
+        );
         // Double flip restores.
-        assert_eq!(layout.flip_periodic(layout.flip_periodic(physical)), physical);
+        assert_eq!(
+            layout.flip_periodic(layout.flip_periodic(physical)),
+            physical
+        );
     }
 
     #[test]

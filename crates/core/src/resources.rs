@@ -226,10 +226,10 @@ mod tests {
         let tw = TimeWindowConfig::new(6, 2, 12, 5);
         let pps = 9.1e6; // UW
         let record = 16u64; // per-packet telemetry record
-        let r_short = linear_storage_bytes(1 << 19, pps, record)
-            / exponential_storage_bytes(&tw, 1 << 19);
-        let r_long = linear_storage_bytes(1 << 23, pps, record)
-            / exponential_storage_bytes(&tw, 1 << 23);
+        let r_short =
+            linear_storage_bytes(1 << 19, pps, record) / exponential_storage_bytes(&tw, 1 << 19);
+        let r_long =
+            linear_storage_bytes(1 << 23, pps, record) / exponential_storage_bytes(&tw, 1 << 23);
         assert!(r_long > r_short, "ratio must grow: {r_short} vs {r_long}");
     }
 

@@ -67,7 +67,9 @@ impl TimeWindowSnapshot {
     pub fn capture(set: &TimeWindowSet) -> TimeWindowSnapshot {
         TimeWindowSnapshot {
             config: *set.config(),
-            windows: (0..set.config().t).map(|i| set.window(i).to_vec()).collect(),
+            windows: (0..set.config().t)
+                .map(|i| set.window(i).to_vec())
+                .collect(),
             filtered: false,
         }
     }
@@ -466,8 +468,10 @@ mod tests {
         snap.filter();
         let s0 = snap.window_span(0).expect("w0 has data");
         let s1 = snap.window_span(1).expect("w1 has data");
-        assert!(s1.1 <= s0.0 + config.cell_period(1), // allow cell-granularity seam
-            "w1 {s1:?} must precede w0 {s0:?}");
+        assert!(
+            s1.1 <= s0.0 + config.cell_period(1), // allow cell-granularity seam
+            "w1 {s1:?} must precede w0 {s0:?}"
+        );
         assert!(s1.0 < s0.0);
     }
 

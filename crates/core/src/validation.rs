@@ -75,8 +75,7 @@ pub fn validate(config: &PrintQueueConfig, profile: &DeploymentProfile) -> Vec<F
     // §4.1: window 0's cell period must not exceed the minimum packet
     // transmission delay, or window 0 gets same-cycle collisions and loses
     // packets without even the chance to pass them.
-    let min_tx =
-        pq_packet::time::tx_delay_ns(profile.min_pkt_bytes, profile.port_rate_gbps);
+    let min_tx = pq_packet::time::tx_delay_ns(profile.min_pkt_bytes, profile.port_rate_gbps);
     if (1u64 << tw.m0) > min_tx {
         findings.push(finding(
             Severity::Warning,
@@ -200,11 +199,7 @@ mod tests {
             } else {
                 findings
             };
-            assert!(
-                is_deployable(&relevant),
-                "{}: {relevant:?}",
-                tw.label()
-            );
+            assert!(is_deployable(&relevant), "{}: {relevant:?}", tw.label());
         }
     }
 

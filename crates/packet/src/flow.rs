@@ -212,10 +212,7 @@ impl FlowTable {
             return id;
         }
         let id = FlowId(self.keys.len() as u32);
-        assert!(
-            id.0 != u32::MAX,
-            "flow table exhausted the 32-bit id space"
-        );
+        assert!(id.0 != u32::MAX, "flow table exhausted the 32-bit id space");
         self.keys.push(key);
         self.ids.insert(key, id);
         id

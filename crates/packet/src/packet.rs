@@ -204,11 +204,21 @@ mod tests {
     use crate::ipv4::Address;
 
     fn tcp_key() -> FlowKey {
-        FlowKey::tcp(Address::new(10, 0, 0, 1), 40000, Address::new(10, 0, 1, 2), 80)
+        FlowKey::tcp(
+            Address::new(10, 0, 0, 1),
+            40000,
+            Address::new(10, 0, 1, 2),
+            80,
+        )
     }
 
     fn udp_key() -> FlowKey {
-        FlowKey::udp(Address::new(10, 0, 0, 9), 5000, Address::new(10, 0, 1, 2), 9999)
+        FlowKey::udp(
+            Address::new(10, 0, 0, 9),
+            5000,
+            Address::new(10, 0, 1, 2),
+            9999,
+        )
     }
 
     #[test]

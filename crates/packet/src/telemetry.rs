@@ -113,6 +113,9 @@ mod tests {
         };
         let mut short = [0u8; HEADER_LEN - 1];
         assert_eq!(hdr.emit(&mut short).unwrap_err(), Error::Truncated);
-        assert_eq!(TelemetryHeader::parse(&short).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            TelemetryHeader::parse(&short).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -202,7 +202,14 @@ mod regime_tests {
     fn last_idle_before_finds_the_regime_start() {
         let mut s = DepthSampler::new(0, 80, 64);
         // Samples: idle at 100 and 200, busy at 300-500, idle at 600.
-        for (t, d) in [(100u64, 0u32), (200, 0), (300, 50), (400, 80), (500, 20), (600, 0)] {
+        for (t, d) in [
+            (100u64, 0u32),
+            (200, 0),
+            (300, 50),
+            (400, 80),
+            (500, 20),
+            (600, 0),
+        ] {
             s.samples.push(DepthSample {
                 at: t,
                 depth_cells: d,

@@ -93,7 +93,11 @@ impl TelemetrySink {
     }
 
     /// Records whose dequeue timestamp falls inside `[from, to]`.
-    pub fn dequeued_between(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &TelemetryRecord> {
+    pub fn dequeued_between(
+        &self,
+        from: Nanos,
+        to: Nanos,
+    ) -> impl Iterator<Item = &TelemetryRecord> {
         self.records
             .iter()
             .filter(move |r| (from..=to).contains(&r.deq_timestamp()))

@@ -130,7 +130,10 @@ mod tests {
         {
             let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut meter];
             // One packet at t=0, then silence until 1 ms.
-            sw.inject(Arrival::new(SimPacket::new(FlowId(0), 1500, 0), 0), &mut hooks);
+            sw.inject(
+                Arrival::new(SimPacket::new(FlowId(0), 1500, 0), 0),
+                &mut hooks,
+            );
             sw.drain_until(1_000_000, &mut hooks);
             meter.on_tick(500_000);
             meter.on_tick(1_000_000);

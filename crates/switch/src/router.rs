@@ -180,8 +180,7 @@ mod tests {
             crate::Arrival::new(SimPacket::new(routable, 100, 0), 0),
             crate::Arrival::new(SimPacket::new(unroutable, 100, 1), 0),
         ];
-        let (routed, dropped) =
-            route_arrivals(arrivals, &r, |id| table.resolve(id).copied());
+        let (routed, dropped) = route_arrivals(arrivals, &r, |id| table.resolve(id).copied());
         assert_eq!(routed.len(), 1);
         assert_eq!(routed[0].port, 4);
         assert_eq!(dropped, 1);

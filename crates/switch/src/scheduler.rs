@@ -181,7 +181,9 @@ impl Scheduler for Drr {
         // head packet of L bytes becomes sendable within ⌈L/quantum⌉
         // sweeps; the bound below is a defensive cap, not the expectation.
         let max_iters = self.queues.len()
-            * (2 + usize::try_from(u32::MAX / self.quantum.max(1)).unwrap_or(usize::MAX).min(1 << 20));
+            * (2 + usize::try_from(u32::MAX / self.quantum.max(1))
+                .unwrap_or(usize::MAX)
+                .min(1 << 20));
         for _ in 0..max_iters {
             let q = self.current;
             if let Some(head) = self.queues[q].front() {
@@ -232,7 +234,9 @@ mod tests {
         s.enqueue(pkt(1, 100, 0));
         s.enqueue(pkt(2, 100, 0));
         s.enqueue(pkt(3, 100, 0));
-        let order: Vec<u32> = std::iter::from_fn(|| s.dequeue()).map(|p| p.flow.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| s.dequeue())
+            .map(|p| p.flow.0)
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -263,7 +267,9 @@ mod tests {
             s.enqueue(pkt(i, 500, 0));
             s.enqueue(pkt(100 + i, 500, 1));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| s.dequeue()).map(|p| p.flow.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| s.dequeue())
+            .map(|p| p.flow.0)
+            .collect();
         // Equal quanta and equal sizes → fair interleave: each round sends
         // two packets per queue (quantum 1000, packet 500).
         let q0_sent: Vec<usize> = order
@@ -274,7 +280,10 @@ mod tests {
             .collect();
         assert_eq!(order.len(), 8);
         // Queue 0's packets must not all come first: fairness interleaves.
-        assert!(*q0_sent.last().unwrap() > 3, "DRR did not interleave: {order:?}");
+        assert!(
+            *q0_sent.last().unwrap() > 3,
+            "DRR did not interleave: {order:?}"
+        );
     }
 
     #[test]

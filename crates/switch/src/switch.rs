@@ -255,11 +255,7 @@ mod tests {
         // 1500 B at 10 Gbps takes 1200 ns; arrivals every 2000 ns never queue.
         let mut sw = Switch::new(SwitchConfig::single_port(10.0, 1000));
         let mut sink = TelemetrySink::new();
-        sw.run(
-            arrivals_back_to_back(10, 1500, 2000),
-            &mut [&mut sink],
-            0,
-        );
+        sw.run(arrivals_back_to_back(10, 1500, 2000), &mut [&mut sink], 0);
         assert_eq!(sink.records.len(), 10);
         for r in &sink.records {
             assert_eq!(r.meta.deq_timedelta, 0, "packet queued unexpectedly");
@@ -358,12 +354,7 @@ mod tests {
         // High-priority packets arriving every 600 ns keep the port busy
         // (each takes 1200 ns to serialize — 2x oversubscribed).
         let mut arrivals: Vec<Arrival> = (0..20u64)
-            .map(|i| {
-                Arrival::new(
-                    SimPacket::new(FlowId(1), 1500, i * 600).with_priority(0),
-                    0,
-                )
-            })
+            .map(|i| Arrival::new(SimPacket::new(FlowId(1), 1500, i * 600).with_priority(0), 0))
             .collect();
         // The victim arrives at t=100, while the first high-priority packet
         // is already serializing and more keep coming.

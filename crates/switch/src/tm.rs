@@ -225,7 +225,10 @@ mod tests {
             p.enqueue(&mut pkt(1, 240), CELL, 0), // 3 cells
             EnqueueOutcome::Stored { .. }
         ));
-        assert_eq!(p.enqueue(&mut pkt(2, 160), CELL, 0), EnqueueOutcome::Dropped); // 2 cells > 1 free
+        assert_eq!(
+            p.enqueue(&mut pkt(2, 160), CELL, 0),
+            EnqueueOutcome::Dropped
+        ); // 2 cells > 1 free
         assert!(matches!(
             p.enqueue(&mut pkt(3, 80), CELL, 0), // exactly fits
             EnqueueOutcome::Stored { depth_after: 4 }

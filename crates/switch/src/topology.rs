@@ -136,7 +136,9 @@ mod tests {
         assert_eq!(tap.len(), 10);
         let arrivals = tap.into_arrivals();
         // Downstream arrivals are sorted and offset by the link delay.
-        assert!(arrivals.windows(2).all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
+        assert!(arrivals
+            .windows(2)
+            .all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
         assert!(arrivals[0].pkt.arrival >= 1_000);
         // Metadata was reset for the next hop.
         assert_eq!(arrivals[0].pkt.meta.enq_qdepth, 0);

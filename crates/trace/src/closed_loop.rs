@@ -174,9 +174,9 @@ pub fn run_closed_loop(
     let mut calendar: BinaryHeap<Reverse<(Nanos, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |cal: &mut BinaryHeap<Reverse<(Nanos, u64, Event)>>,
-                    at: Nanos,
-                    ev: Event,
-                    seq: &mut u64| {
+                at: Nanos,
+                ev: Event,
+                seq: &mut u64| {
         cal.push(Reverse((at, *seq, ev)));
         *seq += 1;
     };
@@ -186,7 +186,11 @@ pub fn run_closed_loop(
     for (i, a) in open_loop.iter().enumerate() {
         push(&mut calendar, a.pkt.arrival, Event::Inject(i), &mut seq);
     }
-    let mut next_tick = if tick_period == 0 { Nanos::MAX } else { tick_period };
+    let mut next_tick = if tick_period == 0 {
+        Nanos::MAX
+    } else {
+        tick_period
+    };
 
     let mut tap = FeedbackTap::default();
     let mut processed_departures = 0usize;

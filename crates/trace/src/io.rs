@@ -88,7 +88,11 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<GeneratedTrace> {
     }
 
     let packet_count = u64::from_le_bytes(read_exact::<8, _>(&mut r)?);
-    let mut arrivals = Vec::with_capacity(usize::try_from(packet_count).unwrap_or(0));
+    // The count is untrusted: cap the preallocation so a corrupt header
+    // cannot demand gigabytes up front (each record is 19 B on the wire,
+    // so a genuine large trace grows the vec incrementally as it reads).
+    let prealloc = usize::try_from(packet_count).unwrap_or(0).min(1 << 20);
+    let mut arrivals = Vec::with_capacity(prealloc);
     let mut prev_arrival = 0u64;
     for _ in 0..packet_count {
         let flow = u32::from_le_bytes(read_exact::<4, _>(&mut r)?);
@@ -170,6 +174,36 @@ mod tests {
         write_trace(&trace, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn absurd_packet_count_does_not_preallocate() {
+        // A header claiming u64::MAX packets with no data must fail with a
+        // clean EOF-style error, not abort on an impossible allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PQTR");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no flows
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd packet count
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn byte_by_byte_truncations_never_panic() {
+        // Every prefix of a valid file must produce Ok or Err — never a
+        // panic or a runaway allocation.
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let probe = buf.len().min(400);
+        for cut in 0..probe {
+            let _ = read_trace(&buf[..cut]);
+        }
+        // And a spread of deeper cuts across the whole file.
+        for cut in (0..buf.len()).step_by(97) {
+            let _ = read_trace(&buf[..cut]);
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@ const MAGIC_USEC: u32 = 0xa1b2_c3d4;
 /// LINKTYPE_ETHERNET.
 const LINKTYPE_ETHERNET: u32 = 1;
 
+/// Upper bound on a single record's captured length. Real link-layer frames
+/// top out at ~64 KiB (the pcap snaplen convention); a larger `incl_len` is
+/// a corrupt or malicious length field, and honoring it would let a tiny
+/// file demand an arbitrarily large allocation.
+const MAX_INCL_LEN: usize = 256 * 1024;
+
 /// Write `trace` as a pcap stream. Packets are synthesized from their flow
 /// tuples; payload bytes are zero-filled to the recorded wire length.
 pub fn write_pcap<W: Write>(trace: &GeneratedTrace, mut w: W) -> io::Result<()> {
@@ -68,6 +74,9 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
 ///
 /// Runs every frame through the byte-level ingress parser; frames that are
 /// not Ethernet/IPv4/{TCP,UDP} are skipped (counted in the returned tally).
+/// A record whose length field exceeds [`MAX_INCL_LEN`] is rejected as
+/// corrupt; a final record truncated mid-stream (an interrupted capture) is
+/// tolerated and counted as skipped rather than failing the whole import.
 pub fn read_pcap<R: Read>(mut r: R, port: u16) -> io::Result<(GeneratedTrace, usize)> {
     let magic = read_u32(&mut r)?;
     let nanos_per_tick = match magic {
@@ -99,11 +108,39 @@ pub fn read_pcap<R: Read>(mut r: R, port: u16) -> io::Result<(GeneratedTrace, us
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e),
         };
-        let ts_frac = read_u32(&mut r)?;
-        let incl_len = read_u32(&mut r)? as usize;
-        let orig_len = read_u32(&mut r)?;
+        // A record header or body cut off mid-way is an interrupted
+        // capture: keep everything read so far and count the remnant.
+        let (ts_frac, incl_len) = match (read_u32(&mut r), read_u32(&mut r)) {
+            (Ok(frac), Ok(len)) => (frac, len as usize),
+            (Err(e), _) | (_, Err(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                skipped += 1;
+                break;
+            }
+            (Err(e), _) | (_, Err(e)) => return Err(e),
+        };
+        let orig_len = match read_u32(&mut r) {
+            Ok(v) => v,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                skipped += 1;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        if incl_len > MAX_INCL_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("pcap record claims {incl_len} captured bytes (corrupt length field)"),
+            ));
+        }
         let mut frame = vec![0u8; incl_len];
-        r.read_exact(&mut frame)?;
+        match r.read_exact(&mut frame) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                skipped += 1;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
         let at = u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_frac) * nanos_per_tick;
         match parse_frame(&frame) {
             Ok(parsed) => {
@@ -146,7 +183,10 @@ mod tests {
         let trace = microburst(0, 1_000, 2, 1, 100, 0, 1);
         let mut buf = Vec::new();
         write_pcap(&trace, &mut buf).unwrap();
-        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), MAGIC_NSEC);
+        assert_eq!(
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            MAGIC_NSEC
+        );
         assert_eq!(u16::from_le_bytes(buf[4..6].try_into().unwrap()), 2);
         assert_eq!(
             u32::from_le_bytes(buf[20..24].try_into().unwrap()),
@@ -185,6 +225,58 @@ mod tests {
         let (back, skipped) = read_pcap(buf.as_slice(), 0).unwrap();
         assert_eq!(back.packets(), 1);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn truncated_record_body_counted_not_fatal() {
+        let trace = microburst(0, 1_000, 2, 2, 200, 0, 6);
+        let mut buf = Vec::new();
+        write_pcap(&trace, &mut buf).unwrap();
+        // Chop the final frame in half: the import must keep the intact
+        // records and count the remnant instead of erroring.
+        let cut = buf.len() - 60;
+        let (back, skipped) = read_pcap(&buf[..cut], 0).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(back.packets(), trace.packets() - 1);
+    }
+
+    #[test]
+    fn truncated_record_header_counted_not_fatal() {
+        let trace = microburst(0, 1_000, 1, 2, 200, 0, 6);
+        let mut buf = Vec::new();
+        write_pcap(&trace, &mut buf).unwrap();
+        // Leave only 6 bytes of the last record's 16-byte header.
+        let last_record = buf.len() - (16 + 200);
+        let (back, skipped) = read_pcap(&buf[..last_record + 6], 0).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(back.packets(), trace.packets() - 1);
+    }
+
+    #[test]
+    fn absurd_incl_len_rejected_without_allocating() {
+        let trace = microburst(0, 1_000, 1, 1, 100, 0, 7);
+        let mut buf = Vec::new();
+        write_pcap(&trace, &mut buf).unwrap();
+        // Append a record claiming a ~4 GiB frame in 8 bytes of file.
+        buf.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&0u32.to_le_bytes()); // ts_frac
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // incl_len
+        buf.extend_from_slice(&100u32.to_le_bytes()); // orig_len
+        let err = read_pcap(buf.as_slice(), 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_and_header_only_streams() {
+        // Zero bytes: clean EOF error (no header at all).
+        assert!(read_pcap(&[][..], 0).is_err());
+        // A bare valid global header parses as an empty trace.
+        let trace = microburst(0, 1_000, 1, 1, 100, 0, 8);
+        let mut buf = Vec::new();
+        write_pcap(&trace, &mut buf).unwrap();
+        let (back, skipped) = read_pcap(&buf[..24], 0).unwrap();
+        assert_eq!(back.packets(), 0);
+        assert_eq!(skipped, 0);
     }
 
     #[test]

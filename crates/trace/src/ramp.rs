@@ -61,8 +61,7 @@ impl LoadRamp {
             WorkloadKind::Uw => 105u32,
             _ => 1500,
         };
-        let peak_pps =
-            self.end_load * self.port_rate_gbps / 8.0 / f64::from(mean_pkt) * 1e9; // packets/s
+        let peak_pps = self.end_load * self.port_rate_gbps / 8.0 / f64::from(mean_pkt) * 1e9; // packets/s
         let peak_rate_ns = peak_pps / 1e9;
         let mut arrivals = Vec::new();
         let mut t = 0.0f64;
@@ -72,8 +71,7 @@ impl LoadRamp {
             if t >= duration {
                 break;
             }
-            let load_t =
-                self.start_load + (self.end_load - self.start_load) * (t / duration);
+            let load_t = self.start_load + (self.end_load - self.start_load) * (t / duration);
             if rng.gen::<f64>() * self.end_load > load_t {
                 continue; // thinned out
             }

@@ -59,7 +59,11 @@ pub fn cbr_stream(
     let gap = tx_delay_ns(pkt_len, rate_gbps);
     let mut t = from;
     while t < until {
-        let j = if jitter == 0 { 0 } else { rng.gen_range(0..=jitter) };
+        let j = if jitter == 0 {
+            0
+        } else {
+            rng.gen_range(0..=jitter)
+        };
         out.push(Arrival::new(SimPacket::new(flow, pkt_len, t + j), port));
         t += gap;
     }
@@ -102,7 +106,15 @@ pub fn case_study_fig16(duration: Nanos, seed: u64) -> CaseStudy {
     let mut arrivals = Vec::new();
     // Background flow: 9 Gbps of MTU packets for the whole run.
     cbr_stream(
-        background, 1500, 9.0, 0, duration, 120, port, &mut rng, &mut arrivals,
+        background,
+        1500,
+        9.0,
+        0,
+        duration,
+        120,
+        port,
+        &mut rng,
+        &mut arrivals,
     );
 
     // Burst: 10,000 datagrams at 4 Gbps. We use 250 B datagrams so the
@@ -124,7 +136,15 @@ pub fn case_study_fig16(duration: Nanos, seed: u64) -> CaseStudy {
     // New TCP flow: 0.5 Gbps, starting shortly after the burst ends.
     let new_tcp_start = burst_end + (duration / 20);
     cbr_stream(
-        new_tcp, 1500, 0.5, new_tcp_start, duration, 120, port, &mut rng, &mut arrivals,
+        new_tcp,
+        1500,
+        0.5,
+        new_tcp_start,
+        duration,
+        120,
+        port,
+        &mut rng,
+        &mut arrivals,
     );
 
     arrivals.sort_by_key(|a| a.pkt.arrival);

@@ -104,7 +104,9 @@ mod tests {
             "shaped rate {gbps:.2} Gbps, want ~9"
         );
         // Order preserved and non-decreasing.
-        assert!(shaped.windows(2).all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
+        assert!(shaped
+            .windows(2)
+            .all(|w| w[0].pkt.arrival <= w[1].pkt.arrival));
     }
 
     #[test]
@@ -123,8 +125,8 @@ mod tests {
     #[test]
     fn long_idle_refills_but_never_overflows() {
         let mut arrivals = stream(8, 1500, 0); // drain the initial bucket
-        // A long gap, then another burst: only `burst_bytes` may pass
-        // unpaced.
+                                               // A long gap, then another burst: only `burst_bytes` may pass
+                                               // unpaced.
         for i in 0..16u64 {
             arrivals.push(Arrival::new(
                 SimPacket::new(FlowId(0), 1500, 1_000_000_000 + i),
@@ -133,10 +135,7 @@ mod tests {
         }
         let shaped = shape(&arrivals, TokenBucket::smooth(1.0));
         let second_burst: Vec<Nanos> = shaped[8..].iter().map(|a| a.pkt.arrival).collect();
-        let unpaced = second_burst
-            .iter()
-            .filter(|t| **t < 1_000_001_000)
-            .count();
+        let unpaced = second_burst.iter().filter(|t| **t < 1_000_001_000).count();
         assert!(unpaced <= 8, "bucket overflowed: {unpaced} unpaced");
     }
 }

@@ -116,7 +116,11 @@ impl std::fmt::Display for TraceStats {
         writeln!(f, "packets        : {}", self.packets)?;
         writeln!(f, "flows          : {}", self.flows)?;
         writeln!(f, "span           : {:.3} ms", self.span as f64 / 1e6)?;
-        writeln!(f, "offered        : {:.3} Gbps ({:.2} Mpps)", self.offered_gbps, self.mpps)?;
+        writeln!(
+            f,
+            "offered        : {:.3} Gbps ({:.2} Mpps)",
+            self.offered_gbps, self.mpps
+        )?;
         writeln!(
             f,
             "packet size    : p1 {} / p50 {} / p99 {} B",
@@ -156,7 +160,11 @@ mod tests {
     fn uw_statistics_match_paper_claims() {
         let stats = analyze(&trace(WorkloadKind::Uw, 11));
         // ~100 B packets.
-        assert!((64..=146).contains(&stats.pkt_size_p50), "p50 {}", stats.pkt_size_p50);
+        assert!(
+            (64..=146).contains(&stats.pkt_size_p50),
+            "p50 {}",
+            stats.pkt_size_p50
+        );
         // Mpps in the right decade for ~10 Gbps of small packets.
         assert!(stats.mpps > 3.0, "mpps {}", stats.mpps);
         // Extreme skew (paper: rank-100 < 1% of top). Allow slack for the

@@ -155,7 +155,10 @@ impl Workload {
             let rate = lo * (hi / lo).powf(rng.gen::<f64>());
             let mut send_at = flow_start;
             while remaining > 0 && send_at < window.end {
-                let size = self.kind.packet_size(&mut rng).min(remaining.max(64) as u32);
+                let size = self
+                    .kind
+                    .packet_size(&mut rng)
+                    .min(remaining.max(64) as u32);
                 let size = size.max(64);
                 // Small per-packet jitter models end-host/NIC scheduling
                 // noise (§4.3: packets enter the queue "near randomly").
@@ -292,8 +295,12 @@ mod tests {
     fn uw_packets_are_small_ws_packets_are_mtu() {
         let uw = quick(WorkloadKind::Uw).generate();
         let ws = quick(WorkloadKind::Ws).generate();
-        let uw_mean =
-            uw.arrivals.iter().map(|a| f64::from(a.pkt.len)).sum::<f64>() / uw.packets() as f64;
+        let uw_mean = uw
+            .arrivals
+            .iter()
+            .map(|a| f64::from(a.pkt.len))
+            .sum::<f64>()
+            / uw.packets() as f64;
         assert!(
             (64.0..=150.0).contains(&uw_mean),
             "UW mean packet {uw_mean}"

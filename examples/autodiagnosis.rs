@@ -72,8 +72,16 @@ fn main() {
         .expect("phase 2 victim");
 
     for (label, victim, expected) in [
-        ("phase 1 (elephant)", phase1_victim, CongestionPattern::HeavyHitter),
-        ("phase 2 (incast)", phase2_victim, CongestionPattern::Synchronized),
+        (
+            "phase 1 (elephant)",
+            phase1_victim,
+            CongestionPattern::HeavyHitter,
+        ),
+        (
+            "phase 2 (incast)",
+            phase2_victim,
+            CongestionPattern::Synchronized,
+        ),
     ] {
         let regime = oracle.regime_start(victim.meta.enq_timestamp);
         let diag = diagnose(

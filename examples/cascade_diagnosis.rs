@@ -43,8 +43,7 @@ fn main() {
     let mut hop1 = Switch::new(SwitchConfig::single_port(40.0, 32_768));
     let mut tap = DepartureTap::new(0, 0, 5_000); // 5 µs link
     {
-        let mut hooks: Vec<&mut dyn QueueHooks> =
-            vec![&mut tap, &mut hop1_pq, &mut hop1_sink];
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut tap, &mut hop1_pq, &mut hop1_sink];
         hop1.run(arrivals, &mut hooks, 1_000_000);
     }
 

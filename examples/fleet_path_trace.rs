@@ -32,7 +32,10 @@ fn main() {
     for i in 0..3_000u64 {
         arrivals.push(Arrival::new(SimPacket::new(FlowId(1), 1500, i * 800), 0));
         if i % 25 == 0 {
-            arrivals.push(Arrival::new(SimPacket::new(FlowId(0), 1500, i * 800 + 3), 0));
+            arrivals.push(Arrival::new(
+                SimPacket::new(FlowId(0), 1500, i * 800 + 3),
+                0,
+            ));
         }
     }
     arrivals.sort_by_key(|a| a.pkt.arrival);
@@ -104,7 +107,10 @@ fn main() {
     ];
 
     let result = fleet.diagnose_path(&path);
-    println!("path diagnosis for flow#0 (total queueing {:.1} µs):", result.total_delay as f64 / 1e3);
+    println!(
+        "path diagnosis for flow#0 (total queueing {:.1} µs):",
+        result.total_delay as f64 / 1e3
+    );
     for (i, hop) in result.hops.iter().enumerate() {
         let top = hop.diagnosis.top_direct(1);
         println!(
@@ -113,7 +119,11 @@ fn main() {
             hop.hop.switch,
             hop.hop.delay() as f64 / 1e3,
             hop.delay_share * 100.0,
-            if i == result.dominant_hop { "  ← dominant" } else { "" },
+            if i == result.dominant_hop {
+                "  ← dominant"
+            } else {
+                ""
+            },
             top.first()
                 .map(|(f, n)| format!("{f} (~{n:.0} pkts)"))
                 .unwrap_or_else(|| "-".into()),

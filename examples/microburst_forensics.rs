@@ -64,11 +64,8 @@ fn main() {
         .iter()
         .find(|r| r.meta.enq_timestamp == interval.from && r.deq_timestamp() == interval.to)
         .expect("trigger packet in telemetry");
-    let truth = metrics::to_float_counts(&oracle.direct_culprits(
-        interval.from,
-        interval.to,
-        victim.seqno,
-    ));
+    let truth =
+        metrics::to_float_counts(&oracle.direct_culprits(interval.from, interval.to, victim.seqno));
     let pr = metrics::precision_recall(&estimate.counts, &truth);
     println!(
         "burst diagnosis: {} culprit flows, precision {:.3}, recall {:.3}",

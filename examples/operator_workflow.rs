@@ -61,8 +61,7 @@ fn main() {
     let trace = Workload::paper_testbed(WorkloadKind::Uw, 40u64.millis(), 7).generate();
     let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
     {
-        let mut hooks: Vec<&mut dyn QueueHooks> =
-            vec![&mut pq, &mut depth, &mut rate, &mut sink];
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut depth, &mut rate, &mut sink];
         sw.run(trace.arrivals.iter().copied(), &mut hooks, 5_000_000);
     }
     println!(

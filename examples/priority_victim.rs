@@ -53,7 +53,10 @@ fn main() {
     // Low priority: one packet every 50 µs.
     let mut t = 10_000u64;
     while t < horizon {
-        arrivals.push(Arrival::new(SimPacket::new(lp, 1500, t).with_priority(1), 0));
+        arrivals.push(Arrival::new(
+            SimPacket::new(lp, 1500, t).with_priority(1),
+            0,
+        ));
         t += 50_000;
     }
     arrivals.sort_by_key(|a| a.pkt.arrival);
@@ -90,11 +93,8 @@ fn main() {
     let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
     let est = printqueue.analysis().query_time_windows(0, interval);
     let oracle = GroundTruth::new(&sink.records, 80);
-    let truth = metrics::to_float_counts(&oracle.direct_culprits(
-        interval.from,
-        interval.to,
-        victim.seqno,
-    ));
+    let truth =
+        metrics::to_float_counts(&oracle.direct_culprits(interval.from, interval.to, victim.seqno));
     let pr = metrics::precision_recall(&est.counts, &truth);
     println!(
         "diagnosis under strict priority: precision {:.3}, recall {:.3}",

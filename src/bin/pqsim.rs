@@ -41,6 +41,7 @@ fn usage() -> ! {
         "usage:\n  pqsim gen --kind uw|ws|dm [--duration-ms N] [--seed S] --out FILE\n  \
          pqsim info FILE\n  \
          pqsim run FILE [--alpha A] [--k K] [--t T] [--m0 M] [--d NS] [--victims N]\n  \
+         \x20         [--fault-rate P] [--fault-seed S] [--read-latency-ns NS]\n  \
          pqsim case-study [--duration-ms N] [--seed S]\n  \
          pqsim export-pcap FILE.pqtr FILE.pcap\n  \
          pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
@@ -117,7 +118,9 @@ fn cmd_gen(args: &Args) {
     };
     let duration_ms: u64 = args.get("duration-ms", 50);
     let seed: u64 = args.get("seed", 1);
-    let Some(out) = args.get_str("out") else { usage() };
+    let Some(out) = args.get_str("out") else {
+        usage()
+    };
     let trace = Workload::paper_testbed(kind, duration_ms.millis(), seed).generate();
     println!(
         "generated {} trace: {} packets, {} flows, offered {:.2} Gbps over {duration_ms} ms",
@@ -134,7 +137,9 @@ fn cmd_gen(args: &Args) {
 }
 
 fn load_trace(args: &Args) -> GeneratedTrace {
-    let Some(path) = args.positional.first() else { usage() };
+    let Some(path) = args.positional.first() else {
+        usage()
+    };
     match trace_io::load(&PathBuf::from(path)) {
         Ok(trace) => trace,
         Err(err) => {
@@ -173,13 +178,35 @@ fn cmd_run(args: &Args) {
     let t: u8 = args.get("t", 4);
     let d: u64 = args.get("d", 110);
     let victims_n: usize = args.get("victims", 5);
+    let fault_rate: f64 = args.get("fault-rate", 0.0);
+    let fault_seed: u64 = args.get("fault-seed", 1);
+    let read_latency_ns: u64 = args.get("read-latency-ns", 0);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        eprintln!("--fault-rate must be within [0, 1], got {fault_rate}");
+        exit(2);
+    }
 
     let tw = TimeWindowConfig::new(m0, alpha, k, t);
     println!(
         "PrintQueue: m0={m0} α={alpha} k={k} T={t}; set period {:.3} ms",
         tw.set_period() as f64 / 1e6
     );
-    let pq_config = PrintQueueConfig::single_port(tw, d);
+    let mut pq_config = PrintQueueConfig::single_port(tw, d);
+    if fault_rate > 0.0 || read_latency_ns > 0 {
+        let profile = FaultProfile {
+            read_failure_prob: fault_rate,
+            read_latency: if read_latency_ns > 0 {
+                LatencyModel::Fixed(read_latency_ns)
+            } else {
+                LatencyModel::Zero
+            },
+            ..FaultProfile::none()
+        };
+        pq_config = pq_config.with_faults(FaultConfig::new(fault_seed).with_base(profile));
+        println!(
+            "fault injection: read failure p={fault_rate}, read latency {read_latency_ns} ns, seed {fault_seed}"
+        );
+    }
     // Pre-flight the configuration against the trace's characteristics.
     {
         use printqueue::core::validation::{validate, DeploymentProfile};
@@ -209,6 +236,20 @@ fn cmd_run(args: &Args) {
         stats.max_depth_cells,
         stats.mean_queue_delay() / 1e3
     );
+    let health = *pq.analysis().health();
+    println!(
+        "control plane: {} polls ({} failed, {} retried, {} stalled), {} checkpoints \
+         ({} dropped), {} coverage gaps ({:.3} ms lost), {} backoff ceiling hits",
+        health.polls_attempted,
+        health.polls_failed,
+        health.polls_retried,
+        health.polls_stalled,
+        health.checkpoints_stored,
+        health.checkpoints_dropped,
+        health.coverage_gaps,
+        health.gap_ns as f64 / 1e6,
+        health.backoff_ceiling_hits,
+    );
 
     let oracle = GroundTruth::new(&sink.records, 80);
     let mut by_delay: Vec<_> = sink.records.iter().collect();
@@ -228,7 +269,7 @@ fn cmd_run(args: &Args) {
             .first()
             .and_then(|(f, n)| trace.flows.resolve(*f).map(|key| (key.to_string(), *n)));
         println!(
-            "  victim {} waited {:>8.1} µs | {} culprit flows, P {:.2} R {:.2} | top: {}",
+            "  victim {} waited {:>8.1} µs | {} culprit flows, P {:.2} R {:.2} | top: {}{}",
             victim.flow,
             f64::from(victim.meta.deq_timedelta) / 1e3,
             est.counts.len(),
@@ -236,6 +277,11 @@ fn cmd_run(args: &Args) {
             pr.recall,
             top.map(|(key, n)| format!("{key} (~{n:.0} pkts)"))
                 .unwrap_or_else(|| "-".into()),
+            if est.degraded {
+                " [degraded: coverage gap]"
+            } else {
+                ""
+            },
         );
     }
 }
@@ -317,7 +363,11 @@ fn cmd_depth(args: &Args) {
             "{:>9.2} ms |{}{}",
             s.at as f64 / 1e6,
             "#".repeat(bars),
-            if s.depth_cells > 0 && bars == 0 { "." } else { "" }
+            if s.depth_cells > 0 && bars == 0 {
+                "."
+            } else {
+                ""
+            }
         );
     }
     if let Some((from, to)) = sampler.longest_busy_span(peak / 10) {
@@ -364,7 +414,9 @@ fn cmd_validate(args: &Args) {
 
 fn cmd_archive(args: &Args) {
     let trace = load_trace(args);
-    let Some(out_path) = args.positional.get(1) else { usage() };
+    let Some(out_path) = args.positional.get(1) else {
+        usage()
+    };
     let m0: u8 = args.get("m0", 6);
     let alpha: u8 = args.get("alpha", 2);
     let k: u8 = args.get("k", 12);
@@ -398,7 +450,9 @@ fn cmd_archive(args: &Args) {
 }
 
 fn cmd_replay_query(args: &Args) {
-    let Some(path) = args.positional.first() else { usage() };
+    let Some(path) = args.positional.first() else {
+        usage()
+    };
     let from: u64 = args.get("from", 0);
     let to: u64 = args.get("to", u64::MAX);
     let d: u64 = args.get("d", 110);
@@ -448,13 +502,19 @@ fn cmd_case_study(args: &Args) {
         sw.run(cs.trace.arrivals.iter().copied(), &mut hooks, 2u64.millis());
     }
     let oracle = GroundTruth::new(&sink.records, 80);
-    let victim = oracle
+    let Some(victim) = oracle
         .records()
         .iter()
         .filter(|r| r.flow == cs.roles.new_tcp)
         .max_by_key(|r| r.meta.deq_timedelta)
         .copied()
-        .expect("victim exists");
+    else {
+        eprintln!(
+            "case study produced no packets for the new TCP flow — try a longer \
+             --duration-ms or a different --seed"
+        );
+        exit(1);
+    };
     println!(
         "victim (new TCP flow) waited {:.2} ms behind a queue the burst built",
         f64::from(victim.meta.deq_timedelta) / 1e6
@@ -475,16 +535,30 @@ fn cmd_case_study(args: &Args) {
         let mut entries: Vec<_> = counts.iter().collect();
         entries.sort_by(|a, b| b.1.cmp(a.1));
         for (flow, n) in entries {
-            print!(" {}={n} ({:.0}%)", label(*flow), *n as f64 / total as f64 * 100.0);
+            print!(
+                " {}={n} ({:.0}%)",
+                label(*flow),
+                *n as f64 / total as f64 * 100.0
+            );
         }
         println!();
     };
     show("direct", &report.direct);
     show("indirect", &report.indirect);
-    let qm = pq
-        .analysis()
-        .query_queue_monitor(0, victim.deq_timestamp())
-        .expect("queue monitor checkpoint");
+    let Some(qm) = pq.analysis().query_queue_monitor(0, victim.deq_timestamp()) else {
+        eprintln!(
+            "no queue-monitor checkpoint near the victim's dequeue — the control \
+             plane stored nothing (shorter poll period or longer run needed)"
+        );
+        exit(1);
+    };
+    if qm.degraded {
+        eprintln!(
+            "warning: queue-monitor answer is degraded (snapshot {:.2} ms away from \
+             the victim, or inside a coverage gap)",
+            qm.staleness as f64 / 1e6
+        );
+    }
     show("original", &qm.culprit_counts());
     println!(
         "\nonly the original-culprit view (queue monitor) implicates the burst,\n\

@@ -58,15 +58,14 @@ pub use pq_trace as trace;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use pq_core::control::AnalysisProgram;
+    pub use pq_core::control::{AnalysisProgram, CoverageGap, QueryResult, QueueMonitorAnswer};
     pub use pq_core::culprits::GroundTruth;
+    pub use pq_core::faults::{FaultConfig, FaultProfile, LatencyModel, RetryPolicy};
     pub use pq_core::metrics::{precision_recall, PrecisionRecall};
     pub use pq_core::params::TimeWindowConfig;
     pub use pq_core::printqueue::{DataPlaneTrigger, PrintQueue, PrintQueueConfig};
     pub use pq_core::snapshot::QueryInterval;
     pub use pq_packet::{FlowId, FlowKey, Nanos, NanosExt, SimPacket};
-    pub use pq_switch::{
-        Arrival, QueueHooks, Switch, SwitchConfig, TelemetrySink,
-    };
+    pub use pq_switch::{Arrival, QueueHooks, Switch, SwitchConfig, TelemetrySink};
     pub use pq_trace::workload::{Workload, WorkloadKind};
 }

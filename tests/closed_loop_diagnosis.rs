@@ -57,11 +57,8 @@ fn printqueue_diagnoses_closed_loop_traffic() {
     );
     let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
     let est = pq.analysis().query_time_windows(0, interval);
-    let gt = metrics::to_float_counts(&truth.direct_culprits(
-        interval.from,
-        interval.to,
-        victim.seqno,
-    ));
+    let gt =
+        metrics::to_float_counts(&truth.direct_culprits(interval.from, interval.to, victim.seqno));
     let pr = precision_recall(&est.counts, &gt);
     assert!(
         pr.precision > 0.8 && pr.recall > 0.6,
@@ -90,7 +87,10 @@ fn aimd_flows_are_self_limiting_under_printqueue() {
         }
         let outcomes = run_closed_loop(
             &mut sw,
-            vec![AimdConfig::bulk(FlowId(0), 0), AimdConfig::bulk(FlowId(1), 0)],
+            vec![
+                AimdConfig::bulk(FlowId(0), 0),
+                AimdConfig::bulk(FlowId(1), 0),
+            ],
             Vec::new(),
             50_000_000,
             &mut sink,

@@ -43,18 +43,18 @@ fn uw_direct_culprit_queries_beat_random_guessing() {
         .take(40)
         .copied()
         .collect();
-    assert!(victims.len() >= 10, "workload produced too little congestion");
+    assert!(
+        victims.len() >= 10,
+        "workload produced too little congestion"
+    );
 
     let mut precisions = Vec::new();
     let mut recalls = Vec::new();
     for v in &victims {
         let interval = QueryInterval::new(v.meta.enq_timestamp, v.deq_timestamp());
         let est = pq.analysis().query_time_windows(0, interval);
-        let gt = metrics::to_float_counts(&truth.direct_culprits(
-            interval.from,
-            interval.to,
-            v.seqno,
-        ));
+        let gt =
+            metrics::to_float_counts(&truth.direct_culprits(interval.from, interval.to, v.seqno));
         let pr = precision_recall(&est.counts, &gt);
         precisions.push(pr.precision);
         recalls.push(pr.recall);
@@ -192,5 +192,8 @@ fn dataplane_triggers_capture_fresh_state() {
         recalls.push(precision_recall(&est.counts, &gt).recall);
     }
     let mr = metrics::mean(&recalls);
-    assert!(mr > 0.9, "data-plane queries should be near-exact, got {mr}");
+    assert!(
+        mr > 0.9,
+        "data-plane queries should be near-exact, got {mr}"
+    );
 }

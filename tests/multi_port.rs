@@ -52,7 +52,10 @@ fn router_spreads_traffic_across_ports() {
     assert_eq!(per_port.iter().sum::<u64>(), 4_000);
     assert_eq!(per_port[0], 1_000);
     assert_eq!(per_port[1], 1_000);
-    assert!(per_port[2] > 200 && per_port[3] > 200, "ECMP skew: {per_port:?}");
+    assert!(
+        per_port[2] > 200 && per_port[3] > 200,
+        "ECMP skew: {per_port:?}"
+    );
     // Flows stay on one path: per-flow port consistency.
     let mut flow_port = std::collections::HashMap::new();
     for r in &sink.records {
@@ -106,7 +109,10 @@ fn printqueue_activates_per_port() {
     let p2 = pq.analysis().query_time_windows(2, horizon);
     assert!(p0.total() > 100.0);
     assert!(p2.total() > 100.0);
-    assert!(p0.counts.keys().all(|f| f.0 < 10), "port 0 saw foreign flows");
+    assert!(
+        p0.counts.keys().all(|f| f.0 < 10),
+        "port 0 saw foreign flows"
+    );
     assert!(
         p2.counts.keys().all(|f| f.0 >= 20),
         "port 2 saw foreign flows"

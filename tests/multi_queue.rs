@@ -64,7 +64,10 @@ fn per_priority_queue_monitors_are_independent() {
         assert!(flow.0 <= 2, "low-priority flow {flow} leaked into queue 0");
     }
     for flow in low_counts.keys() {
-        assert!(flow.0 >= 11, "high-priority flow {flow} leaked into queue 1");
+        assert!(
+            flow.0 >= 11,
+            "high-priority flow {flow} leaked into queue 1"
+        );
     }
 }
 

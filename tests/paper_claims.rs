@@ -11,7 +11,10 @@ use printqueue::core::printqueue::DataPlaneTrigger;
 use printqueue::prelude::*;
 use printqueue::trace::scenario;
 
-fn ws_run(with_baselines: bool, seed: u64) -> (pq_bench::harness::RunOutput, Vec<pq_bench::victims::Victim>) {
+fn ws_run(
+    with_baselines: bool,
+    seed: u64,
+) -> (pq_bench::harness::RunOutput, Vec<pq_bench::victims::Victim>) {
     let trace = Workload::paper_testbed(WorkloadKind::Ws, 20u64.millis(), seed).generate();
     let tw = TimeWindowConfig::WS_DM;
     let config = if with_baselines {
@@ -100,7 +103,10 @@ fn queue_monitor_implicates_departed_burst() {
         QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp()),
     );
     let burst_direct = direct.counts.get(&cs.roles.burst).copied().unwrap_or(0.0);
-    assert!(burst_direct < 1.0, "burst in direct culprits: {burst_direct}");
+    assert!(
+        burst_direct < 1.0,
+        "burst in direct culprits: {burst_direct}"
+    );
     // Original culprits: burst share comparable to the background's.
     let qm = pq
         .analysis()

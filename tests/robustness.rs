@@ -94,8 +94,14 @@ fn trigger_flood_with_zero_cooldown_is_bounded() {
         let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
         sw.run(arrivals, &mut hooks, 100_000);
     }
-    assert!(pq.triggers_fired.len() > 100, "flood should fire many triggers");
-    assert!(pq.analysis().checkpoints(0).len() <= 64, "snapshot ring bounded");
+    assert!(
+        pq.triggers_fired.len() > 100,
+        "flood should fire many triggers"
+    );
+    assert!(
+        pq.analysis().checkpoints(0).len() <= 64,
+        "snapshot ring bounded"
+    );
     // Specials are still individually queryable.
     assert!(pq.analysis().query_special(0, None).is_some());
 }
@@ -138,10 +144,7 @@ fn far_future_timestamps_do_not_overflow() {
     }
     let snap = printqueue::core::snapshot::TimeWindowSnapshot::capture(&set);
     let coeffs = printqueue::core::coefficient::Coefficients::compute(&tw, 110);
-    let est = snap.query(
-        QueryInterval::new(base, base + 10_000 * 110),
-        &coeffs,
-    );
+    let est = snap.query(QueryInterval::new(base, base + 10_000 * 110), &coeffs);
     assert!(est.total() > 0.0);
     assert!(est.total().is_finite());
 }

@@ -10,8 +10,14 @@ fn inject_and_drain_drive_the_switch_manually() {
     let mut sink = TelemetrySink::new();
     {
         let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut sink];
-        sw.inject(Arrival::new(SimPacket::new(FlowId(1), 1500, 100), 0), &mut hooks);
-        sw.inject(Arrival::new(SimPacket::new(FlowId(2), 1500, 200), 0), &mut hooks);
+        sw.inject(
+            Arrival::new(SimPacket::new(FlowId(1), 1500, 100), 0),
+            &mut hooks,
+        );
+        sw.inject(
+            Arrival::new(SimPacket::new(FlowId(2), 1500, 200), 0),
+            &mut hooks,
+        );
         // Nothing beyond the first dequeue has happened yet; drain to 10 µs.
         sw.drain_until(10_000, &mut hooks);
     }
@@ -31,7 +37,10 @@ fn drain_until_stops_at_the_requested_time() {
     {
         let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut sink];
         for i in 0..10u64 {
-            sw.inject(Arrival::new(SimPacket::new(FlowId(0), 1500, i), 0), &mut hooks);
+            sw.inject(
+                Arrival::new(SimPacket::new(FlowId(0), 1500, i), 0),
+                &mut hooks,
+            );
         }
         // Each packet takes 1200 ns; drain only 3 transmissions' worth.
         sw.drain_until(3 * 1200, &mut hooks);
@@ -45,8 +54,14 @@ fn drain_until_stops_at_the_requested_time() {
 fn two_ports_transmit_independently() {
     let config = SwitchConfig {
         ports: vec![
-            PortConfig { rate_gbps: 10.0, ..PortConfig::default() },
-            PortConfig { rate_gbps: 1.0, ..PortConfig::default() },
+            PortConfig {
+                rate_gbps: 10.0,
+                ..PortConfig::default()
+            },
+            PortConfig {
+                rate_gbps: 1.0,
+                ..PortConfig::default()
+            },
         ],
         cell_bytes: 80,
     };
@@ -71,7 +86,12 @@ fn two_ports_transmit_independently() {
             .collect();
         delays.iter().sum::<f64>() / delays.len() as f64
     };
-    assert!(mean(1) > 5.0 * mean(0), "slow port not slower: {} vs {}", mean(1), mean(0));
+    assert!(
+        mean(1) > 5.0 * mean(0),
+        "slow port not slower: {} vs {}",
+        mean(1),
+        mean(0)
+    );
     assert_eq!(sw.port_stats(0).dequeued, 20);
     assert_eq!(sw.port_stats(1).dequeued, 20);
 }

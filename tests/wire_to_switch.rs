@@ -100,11 +100,8 @@ fn drr_scheduler_diagnoses_like_fifo() {
         .unwrap();
     let interval = QueryInterval::new(victim.meta.enq_timestamp, victim.deq_timestamp());
     let est = pq.analysis().query_time_windows(0, interval);
-    let gt = metrics::to_float_counts(&truth.direct_culprits(
-        interval.from,
-        interval.to,
-        victim.seqno,
-    ));
+    let gt =
+        metrics::to_float_counts(&truth.direct_culprits(interval.from, interval.to, victim.seqno));
     let pr = precision_recall(&est.counts, &gt);
     assert!(
         pr.precision > 0.8 && pr.recall > 0.6,

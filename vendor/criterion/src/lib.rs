@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`, `Bencher::iter`,
+//! `black_box` — with a simple wall-clock median-of-batches measurement
+//! instead of criterion's full statistical machinery. Results print as
+//! `name: time/iter (throughput)` lines; there are no HTML reports, no
+//! saved baselines, and no outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work declaration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure how long each benchmark measures (stub honors it
+    /// approximately).
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Ignored in the stub; kept for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (outside any group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let report = run_bench(self.measurement, f);
+        print_report(name, &report, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Ignored in the stub; kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored in the stub; kept for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let report = run_bench(self.criterion.measurement, f);
+        print_report(&format!("{}/{}", self.name, id), &report, self.throughput);
+    }
+
+    /// End the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    ns_per_iter: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(measurement: Duration, mut f: F) -> Report {
+    // Calibrate: grow the iteration count until one batch takes >= ~1 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 8;
+    }
+
+    // Measure: median of batches within the time budget.
+    let mut samples: Vec<f64> = Vec::new();
+    let deadline = Instant::now() + measurement;
+    while samples.len() < 5 || (Instant::now() < deadline && samples.len() < 64) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        ns_per_iter: samples[samples.len() / 2],
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / report.ns_per_iter;
+            format!("  ({:.2} Melem/s)", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / report.ns_per_iter;
+            format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("  {name}: {:.1} ns/iter{rate}", report.ns_per_iter);
+}
+
+/// Group several benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut x = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            })
+        });
+        group.finish();
+        assert!(x > 0);
+    }
+}

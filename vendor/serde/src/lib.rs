@@ -1,0 +1,485 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization facade under the same crate name. It is
+//! API-compatible with the subset of serde this repository uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs (named, newtype,
+//!   generic) and enums (unit and one-field tuple variants);
+//! * the field attributes `#[serde(skip)]`, `#[serde(default)]` and
+//!   `#[serde(default = "path")]`;
+//! * `Serialize`/`Deserialize` bounds on generic functions.
+//!
+//! Instead of serde's visitor architecture, everything funnels through a
+//! self-describing [`Value`] tree; `serde_json` (also vendored) renders and
+//! parses that tree. This trades serde's zero-copy performance for a tiny,
+//! dependency-free implementation — fine for result files and checkpoint
+//! archives, which is all this workspace serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value of `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Look up a field in object entries (used by derived code).
+pub fn value_get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::new(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = u64::from_value(v)?;
+        usize::try_from(n).map_err(|_| DeError::new(format!("integer {n} out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::new(format!("integer {n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::new(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// The value tree owns its strings, so producing `&'static str` must
+    /// leak the allocation. Acceptable for the rare, small identifiers
+    /// (e.g. finding codes) this workspace round-trips.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*s.leak())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected} elements, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Convert a serialized key into the string form JSON objects require.
+fn key_to_string(v: Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::new(format!("unsupported map key {other:?}"))),
+    }
+}
+
+/// Recover a key [`Value`] from its object-key string form.
+fn key_from_string(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        Value::U64(n)
+    } else if let Ok(n) = s.parse::<i64>() {
+        Value::I64(n)
+    } else {
+        Value::Str(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(k.to_value()).expect("unsupported map key type");
+                (key, v.to_value())
+            })
+            .collect();
+        // HashMap iteration order is nondeterministic; sort for stable,
+        // diffable output.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: Default + std::hash::BuildHasher> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected map object"))?;
+        let mut map = HashMap::with_capacity_and_hasher(fields.len(), S::default());
+        for (k, val) in fields {
+            map.insert(K::from_value(&key_from_string(k))?, V::from_value(val)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(k.to_value()).expect("unsupported map key type");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected map object"))?;
+        let mut map = BTreeMap::new();
+        for (k, val) in fields {
+            map.insert(K::from_value(&key_from_string(k))?, V::from_value(val)?);
+        }
+        Ok(map)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = HashMap::new();
+        m.insert(3u32, 1.5f64);
+        m.insert(9u32, -2.0f64);
+        assert_eq!(HashMap::<u32, f64>::from_value(&m.to_value()).unwrap(), m);
+        let arr = [1u8, 2, 3, 4];
+        assert_eq!(<[u8; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let tup = (1u64, 2u64);
+        assert_eq!(<(u64, u64)>::from_value(&tup.to_value()).unwrap(), tup);
+        let opt: Option<(u64, u64)> = Some(tup);
+        assert_eq!(Option::from_value(&opt.to_value()).unwrap(), opt);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

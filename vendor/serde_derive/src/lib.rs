@@ -1,0 +1,627 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored value-tree `serde` facade without depending on `syn`/`quote`
+//! (unavailable offline). The item is parsed directly from the
+//! `proc_macro::TokenTree` stream and the impl is emitted as formatted
+//! source text, then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (the full set this workspace uses):
+//! * named-field structs, including generics with inline bounds;
+//! * tuple structs (single-field newtypes serialize transparently);
+//! * unit structs;
+//! * enums with unit and tuple variants;
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    match code {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive emitted bad code: {e:?}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+/// Per-field `#[serde(...)]` attribute state.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+struct Variant {
+    name: String,
+    /// Number of tuple fields; 0 for a unit variant.
+    arity: usize,
+}
+
+enum Body {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter declarations, e.g. `["T: Copy + Default"]`.
+    generic_decls: Vec<String>,
+    /// Bare generic parameter names, e.g. `["T"]`.
+    generic_names: Vec<String>,
+    where_clause: String,
+    body: Body,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+
+        skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+        };
+        pos += 1;
+        if kind != "struct" && kind != "enum" {
+            return Err(format!("cannot derive for `{kind}` items"));
+        }
+
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected item name, got {other:?}")),
+        };
+        pos += 1;
+
+        let (generic_decls, generic_names) = parse_generics(&tokens, &mut pos)?;
+
+        // Optional `where` clause between generics and the body.
+        let mut where_clause = String::new();
+        if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+            let start = pos;
+            while pos < tokens.len() {
+                if matches!(&tokens[pos], TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis)
+                {
+                    break;
+                }
+                if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ';') {
+                    break;
+                }
+                pos += 1;
+            }
+            where_clause = tokens[start..pos]
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+        }
+
+        let body = match (kind.as_str(), tokens.get(pos)) {
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::Unit,
+            ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            (_, other) => return Err(format!("unsupported item body: {other:?}")),
+        };
+
+        Ok(Item {
+            name,
+            generic_decls,
+            generic_names,
+            where_clause,
+            body,
+        })
+    }
+
+    /// `impl` generics with `bound` appended to every type parameter.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generic_decls.is_empty() {
+            return String::new();
+        }
+        let decls: Vec<String> = self
+            .generic_decls
+            .iter()
+            .map(|d| {
+                if d.starts_with('\'') || d.starts_with("const ") {
+                    d.clone()
+                } else if d.contains(':') {
+                    format!("{d} + {bound}")
+                } else {
+                    format!("{d}: {bound}")
+                }
+            })
+            .collect();
+        format!("<{}>", decls.join(", "))
+    }
+
+    /// `<T, U>` — the bare parameter list for the type position.
+    fn ty_generics(&self) -> String {
+        if self.generic_names.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_names.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Skip `#[...]` attributes starting at `pos`, returning serde attr state.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) else {
+            return Err("malformed attribute".to_string());
+        };
+        parse_serde_attr(group.stream(), &mut attrs)?;
+        *pos += 2;
+    }
+    Ok(attrs)
+}
+
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) {
+    let _ = take_attrs(tokens, pos);
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Merge a `serde(...)` attribute body (if that is what this is) into `attrs`.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < args.len() {
+                match &args[i] {
+                    TokenTree::Ident(id) if id.to_string() == "skip" => {
+                        attrs.skip = true;
+                        i += 1;
+                    }
+                    TokenTree::Ident(id) if id.to_string() == "default" => {
+                        if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                        {
+                            let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                                return Err("expected string after `default =`".to_string());
+                            };
+                            let path = lit.to_string();
+                            let path = path.trim_matches('"').to_string();
+                            attrs.default = Some(Some(path));
+                            i += 3;
+                        } else {
+                            attrs.default = Some(None);
+                            i += 1;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                    other => return Err(format!("unsupported serde attribute: {other}")),
+                }
+            }
+            Ok(())
+        }
+        // A non-serde attribute (doc comment, cfg, ...): ignore.
+        _ => Ok(()),
+    }
+}
+
+/// Parse `<...>` generics at `pos` into (declarations, bare names).
+fn parse_generics(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut decls: Vec<String> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+
+    let mut flush = |current: &mut Vec<TokenTree>| {
+        if current.is_empty() {
+            return;
+        }
+        let text = current
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+            .replace(" : ", ": ");
+        // The bare name is the leading identifier (after `const` if present).
+        let mut name = String::new();
+        for tok in current.iter() {
+            if let TokenTree::Ident(id) = tok {
+                let s = id.to_string();
+                if s != "const" {
+                    name = s;
+                    break;
+                }
+            } else if let TokenTree::Punct(p) = tok {
+                if p.as_char() == '\'' {
+                    // Lifetime: join the tick with the following ident.
+                    continue;
+                }
+            }
+        }
+        decls.push(text);
+        names.push(name);
+        current.clear();
+    };
+
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tokens[*pos].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    flush(&mut current);
+                    return Ok((decls, names));
+                }
+                current.push(tokens[*pos].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                flush(&mut current);
+            }
+            other => current.push(other.clone()),
+        }
+        *pos += 1;
+    }
+    Err("unterminated generics".to_string())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(NamedField { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let arity = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                pos += 1;
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct-style enum variant `{name}` is not supported by the vendored serde"
+                ));
+            }
+            _ => 0,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let impl_generics = item.impl_generics("::serde::Serialize");
+    let ty_generics = item.ty_generics();
+    let where_clause = &item.where_clause;
+
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let entries = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("::serde::Value::Object(vec![\n{entries}\n])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({vq:?}.to_string()),\n",
+                        v = v.name,
+                        vq = v.name
+                    ));
+                } else {
+                    let binds = (0..v.arity)
+                        .map(|i| format!("f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let inner = if v.arity == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items = (0..v.arity)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("::serde::Value::Array(vec![{items}])")
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{v}({binds}) => ::serde::Value::Object(vec![({vq:?}.to_string(), {inner})]),\n",
+                        v = v.name,
+                        vq = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let impl_generics = item.impl_generics("::serde::Deserialize");
+    let ty_generics = item.ty_generics();
+    let where_clause = &item.where_clause;
+
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = match (&f.attrs.skip, &f.attrs.default) {
+                    (_, Some(Some(path))) => format!("{path}()"),
+                    (true, _) | (_, Some(None)) => "Default::default()".to_string(),
+                    (false, None) => format!(
+                        "return Err(::serde::DeError::new(concat!(\"missing field `\", {:?}, \"` in {}\")))",
+                        f.name, name
+                    ),
+                };
+                if f.attrs.skip {
+                    inits.push_str(&format!("{}: {fallback},\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{field}: match ::serde::value_get(fields, {field:?}) {{\n\
+                             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             None => {fallback},\n\
+                         }},\n",
+                        field = f.name
+                    ));
+                }
+            }
+            format!(
+                "let fields = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Body::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(concat!(\"expected array for \", {name:?})))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(\"wrong tuple arity\"));\n\
+                 }}\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Body::Unit => format!("let _ = v; Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "{vq:?} => Ok({name}::{v}),\n",
+                        v = v.name,
+                        vq = v.name
+                    ));
+                } else if v.arity == 1 {
+                    data_arms.push_str(&format!(
+                        "{vq:?} => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name,
+                        vq = v.name
+                    ));
+                } else {
+                    let items = (0..v.arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    data_arms.push_str(&format!(
+                        "{vq:?} => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected array variant payload\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return Err(::serde::DeError::new(\"wrong variant arity\"));\n\
+                             }}\n\
+                             Ok({name}::{v}({items}))\n\
+                         }}\n",
+                        v = v.name,
+                        vq = v.name,
+                        arity = v.arity
+                    ));
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (vname, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match vname.as_str() {{\n\
+                             {data_arms}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::new(format!(\
+                         \"expected variant of {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {where_clause} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    ))
+}

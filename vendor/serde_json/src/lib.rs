@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses JSON against the vendored `serde` facade's
+//! [`Value`] tree. Implements the subset of the real crate's API this
+//! workspace uses: [`to_writer`], [`to_string`], [`to_string_pretty`],
+//! [`from_reader`], [`from_str`], and a compatible [`Error`] type.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string_pretty(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserialize a `T` from a reader producing JSON text.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a short roundtrippable form (`1.5`, `1e300`);
+                // ensure integral floats still read back as floats.
+                let s = format!("{f:?}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no NaN/Infinity; mirror serde_json's lossy mode.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                render_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )));
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: decode exactly one character's worth
+                    // of bytes (validating only that slice, not the rest of
+                    // the input).
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let slice = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push(s.chars().next().unwrap());
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let v: u64 = from_str(&to_string(&42u64).unwrap()).unwrap();
+        assert_eq!(v, 42);
+        let v: f64 = from_str(&to_string(&1.5f64).unwrap()).unwrap();
+        assert_eq!(v, 1.5);
+        let v: f64 = from_str(&to_string(&2.0f64).unwrap()).unwrap();
+        assert_eq!(v, 2.0);
+        let v: String = from_str(&to_string("a\"b\\c\nd").unwrap()).unwrap();
+        assert_eq!(v, "a\"b\\c\nd");
+        let v: i64 = from_str("-12").unwrap();
+        assert_eq!(v, -12);
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let data = vec![vec![1u32, 2], vec![3]];
+        let back: Vec<Vec<u32>> = from_str(&to_string(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+        let back: Vec<Vec<u32>> = from_str(&to_string_pretty(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let text = to_string_pretty(&vec![1u32]).unwrap();
+        assert_eq!(text, "[\n  1\n]");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 troll").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let s = "héllo → wörld";
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

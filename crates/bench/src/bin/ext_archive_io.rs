@@ -1,0 +1,209 @@
+//! Extension experiment: checkpoint archive I/O — JSON vs. the `.pqa`
+//! segmented binary store.
+//!
+//! Sweeps the archive size (number of spilled checkpoints) and measures,
+//! for each format: bytes on disk, encode and full-decode wall time, and
+//! the latency of a narrow time-range replay-query. The `.pqa` path
+//! answers that query from the trailer index by decoding only the
+//! overlapping segments; the JSON path has no index and must parse the
+//! whole archive first. The two headline ratios (size shrink, pruned
+//! query speedup) are the acceptance numbers for the store subsystem.
+
+use pq_bench::report::{write_json, CommonArgs, Table};
+use pq_core::coefficient::Coefficients;
+use pq_core::control::{AnalysisProgram, ControlConfig};
+use pq_core::export::CheckpointArchive;
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::QueryInterval;
+use pq_packet::FlowId;
+use pq_store::{
+    archives_from_json, ArchiveFormat, SegmentPolicy, SharedStoreWriter, StoreReader, StoreWriter,
+};
+use serde::Serialize;
+use std::io::Cursor;
+use std::time::Instant;
+
+const POLL_PERIOD: u64 = 4_096;
+const MIN_PKT_TX_DELAY: u64 = 110;
+
+#[derive(Serialize)]
+struct Row {
+    checkpoints: u64,
+    json_bytes: u64,
+    pqa_bytes: u64,
+    size_ratio: f64,
+    json_encode_ms: f64,
+    pqa_encode_ms: f64,
+    json_decode_ms: f64,
+    pqa_decode_ms: f64,
+    json_full_query_ms: f64,
+    pqa_pruned_query_ms: f64,
+    query_speedup: f64,
+    segments: usize,
+}
+
+fn tw() -> TimeWindowConfig {
+    // The paper's WS/DM data-plane configuration (§7.1).
+    TimeWindowConfig::new(6, 1, 10, 3)
+}
+
+/// Drive the analysis program for `n_checkpoints` polls with a steady
+/// synthetic dequeue mix, spilling into `spill` if given.
+fn drive(n_checkpoints: u64, spill: Option<SharedStoreWriter<Vec<u8>>>) -> AnalysisProgram {
+    let mut ap = AnalysisProgram::new(
+        tw(),
+        ControlConfig {
+            poll_period: POLL_PERIOD,
+            max_snapshots: n_checkpoints as usize + 8,
+        },
+        &[0],
+        64,
+        1,
+        MIN_PKT_TX_DELAY,
+    );
+    if let Some(handle) = spill {
+        ap.set_spill(Box::new(handle));
+    }
+    let mut t = 0u64;
+    for i in 0..n_checkpoints {
+        // ~50 packets per poll period across a rotating flow population.
+        for p in 0..50u64 {
+            let flow = FlowId(((i * 7 + p) % 96) as u32);
+            ap.record_dequeue(0, flow, t + p * (POLL_PERIOD / 64));
+            if p % 5 == 0 {
+                ap.qm_enqueue(0, 0, flow, (p % 24) as u32, t + p);
+            }
+        }
+        t += POLL_PERIOD;
+        ap.on_tick(t);
+    }
+    ap
+}
+
+/// Median-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run_one(n_checkpoints: u64, reps: usize) -> Row {
+    // Encode: spill streaming into an in-memory .pqa while the program
+    // runs, exactly as `pqsim archive --format pqa` does.
+    let pqa_start = Instant::now();
+    let writer = StoreWriter::new(Vec::new(), tw(), SegmentPolicy::default()).unwrap();
+    let handle = SharedStoreWriter::new(writer);
+    let ap = drive(n_checkpoints, Some(handle.clone()));
+    handle.with(|w| w.set_health(0, *ap.health())).unwrap();
+    let pqa_bytes_buf = handle.finish().unwrap();
+    let pqa_encode_ms = pqa_start.elapsed().as_secs_f64() * 1e3;
+
+    let json_start = Instant::now();
+    let archive = CheckpointArchive::capture(&ap, 0);
+    let mut json_bytes_buf = Vec::new();
+    archive.write_json(&mut json_bytes_buf).unwrap();
+    let json_encode_ms = json_start.elapsed().as_secs_f64() * 1e3;
+
+    // Full decode: bytes back to in-RAM archives.
+    let json_text = std::str::from_utf8(&json_bytes_buf).unwrap();
+    let json_decode_ms = time_ms(reps, || {
+        let archives = archives_from_json(json_text).unwrap();
+        assert_eq!(archives[0].checkpoints.len() as u64, n_checkpoints);
+    });
+    let pqa_decode_ms = time_ms(reps, || {
+        let mut reader = StoreReader::open(Cursor::new(pqa_bytes_buf.as_slice())).unwrap();
+        let archives = reader.read_all().unwrap();
+        assert_eq!(archives[0].checkpoints.len() as u64, n_checkpoints);
+    });
+
+    // Replay-query: a narrow interval near the end of the run (the usual
+    // "diagnose this recent victim" shape). JSON must parse everything;
+    // .pqa opens the trailer and decodes only overlapping segments.
+    let t_end = n_checkpoints * POLL_PERIOD;
+    let interval = QueryInterval::new(t_end.saturating_sub(4 * POLL_PERIOD), t_end);
+    let coeffs = Coefficients::compute(&tw(), MIN_PKT_TX_DELAY);
+    let reference = {
+        let mut reader = StoreReader::open(Cursor::new(pqa_bytes_buf.as_slice())).unwrap();
+        reader.query(0, interval, &coeffs).unwrap()
+    };
+    let json_full_query_ms = time_ms(reps, || {
+        let archives = archives_from_json(json_text).unwrap();
+        let result = archives[0].query_result(interval, &coeffs);
+        assert_eq!(result.estimates.counts, reference.estimates.counts);
+    });
+    let pqa_pruned_query_ms = time_ms(reps, || {
+        let mut reader = StoreReader::open(Cursor::new(pqa_bytes_buf.as_slice())).unwrap();
+        let result = reader.query(0, interval, &coeffs).unwrap();
+        assert_eq!(result.estimates.counts, reference.estimates.counts);
+    });
+
+    let segments = StoreReader::open(Cursor::new(pqa_bytes_buf.as_slice()))
+        .unwrap()
+        .segments()
+        .len();
+    assert_eq!(
+        ArchiveFormat::sniff(&pqa_bytes_buf).unwrap(),
+        ArchiveFormat::Pqa
+    );
+    Row {
+        checkpoints: n_checkpoints,
+        json_bytes: json_bytes_buf.len() as u64,
+        pqa_bytes: pqa_bytes_buf.len() as u64,
+        size_ratio: json_bytes_buf.len() as f64 / pqa_bytes_buf.len() as f64,
+        json_encode_ms,
+        pqa_encode_ms,
+        json_decode_ms,
+        pqa_decode_ms,
+        json_full_query_ms,
+        pqa_pruned_query_ms,
+        query_speedup: json_full_query_ms / pqa_pruned_query_ms,
+        segments,
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (counts, reps): (&[u64], usize) = if args.quick {
+        (&[128, 512, 2048], 5)
+    } else {
+        (&[128, 512, 2048, 8192], 9)
+    };
+    eprintln!(
+        "[ext_archive_io] JSON vs .pqa over {:?} checkpoints, median of {reps} reps",
+        counts
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "checkpoints",
+        "json MB",
+        "pqa MB",
+        "shrink",
+        "json query ms",
+        "pqa query ms",
+        "speedup",
+        "segments",
+    ]);
+    for &n in counts {
+        let row = run_one(n, reps);
+        table.row(vec![
+            format!("{n}"),
+            format!("{:.2}", row.json_bytes as f64 / 1e6),
+            format!("{:.3}", row.pqa_bytes as f64 / 1e6),
+            format!("{:.1}x", row.size_ratio),
+            format!("{:.2}", row.json_full_query_ms),
+            format!("{:.3}", row.pqa_pruned_query_ms),
+            format!("{:.0}x", row.query_speedup),
+            format!("{}", row.segments),
+        ]);
+        rows.push(row);
+    }
+    table.print("Extension — archive I/O: JSON vs segmented .pqa store");
+    write_json("ext_archive_io", &rows);
+}

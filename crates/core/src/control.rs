@@ -183,6 +183,26 @@ impl Checkpoint {
     }
 }
 
+/// A destination for completed checkpoints, fed incrementally as the
+/// control plane stores them (the spill hook behind `pq-store`'s streaming
+/// [`StoreWriter`](https://docs.rs/pq-store)).
+///
+/// The in-RAM snapshot ring stays bounded at `max_snapshots`; a sink
+/// observes *every* stored checkpoint before rotation can evict it, so a
+/// long run's full history can live on disk while RAM holds only the
+/// recent working set. Sink errors never disrupt the data plane: the
+/// analysis program counts them in [`ControlHealth::spill_errors`] and
+/// keeps polling.
+pub trait CheckpointSink {
+    /// A checkpoint was stored for `port`.
+    fn on_checkpoint(&mut self, port: u16, cp: &Checkpoint) -> std::io::Result<()>;
+
+    /// A coverage gap was recorded for `port`.
+    fn on_gap(&mut self, _port: u16, _gap: CoverageGap) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 /// A failed (or deferred) read waiting to run again.
 #[derive(Debug, Clone, Copy)]
 struct PendingRead {
@@ -270,6 +290,9 @@ pub struct AnalysisProgram {
     faults: Option<FaultInjector>,
     /// Backoff policy for failed reads.
     retry_policy: RetryPolicy,
+    /// Optional spill destination observing every stored checkpoint (the
+    /// streaming persistence hook; `None` keeps everything in RAM only).
+    spill: Option<Box<dyn CheckpointSink>>,
     /// Control-plane health counters.
     health: ControlHealth,
     /// Cumulative register entries read by the control plane (for the
@@ -348,6 +371,7 @@ impl AnalysisProgram {
             gaps: vec![Vec::new(); ports.len()],
             faults: None,
             retry_policy: RetryPolicy::default(),
+            spill: None,
             health: ControlHealth::default(),
             tw_config,
             control,
@@ -388,6 +412,20 @@ impl AnalysisProgram {
     /// The retry/backoff policy in force.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry_policy
+    }
+
+    /// Install a checkpoint spill sink. Every checkpoint stored (and every
+    /// coverage gap recorded) from now on is also handed to the sink, so
+    /// history survives the in-RAM ring's rotation. Replaces any previous
+    /// sink.
+    pub fn set_spill(&mut self, sink: Box<dyn CheckpointSink>) {
+        self.spill = Some(sink);
+    }
+
+    /// Remove and return the installed spill sink (e.g. to finalize a
+    /// store after the run).
+    pub fn take_spill(&mut self) -> Option<Box<dyn CheckpointSink>> {
+        self.spill.take()
     }
 
     /// Control-plane health counters.
@@ -615,6 +653,11 @@ impl AnalysisProgram {
                     };
                     self.health.coverage_gaps += 1;
                     self.health.gap_ns += gap.len();
+                    if let Some(sink) = self.spill.as_mut() {
+                        if sink.on_gap(self.ports[i].0, gap).is_err() {
+                            self.health.spill_errors += 1;
+                        }
+                    }
                     self.gaps[i].push(gap);
                     if self.gaps[i].len() > MAX_STORED_GAPS {
                         let excess = self.gaps[i].len() - MAX_STORED_GAPS;
@@ -626,14 +669,20 @@ impl AnalysisProgram {
         }
         self.health.checkpoints_stored += 1;
 
-        let store = &mut self.checkpoints[i];
-        store.push(Checkpoint {
+        let cp = Checkpoint {
             frozen_at: now,
             on_demand,
             trigger,
             windows,
             queue_monitors,
-        });
+        };
+        if let Some(sink) = self.spill.as_mut() {
+            if sink.on_checkpoint(self.ports[i].0, &cp).is_err() {
+                self.health.spill_errors += 1;
+            }
+        }
+        let store = &mut self.checkpoints[i];
+        store.push(cp);
         if store.len() > self.control.max_snapshots {
             let excess = store.len() - self.control.max_snapshots;
             store.drain(..excess);

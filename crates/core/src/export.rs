@@ -72,6 +72,18 @@ impl CheckpointArchive {
         interval: crate::snapshot::QueryInterval,
         coeffs: &crate::coefficient::Coefficients,
     ) -> crate::snapshot::FlowEstimates {
+        self.query_result(interval, coeffs).estimates
+    }
+
+    /// [`CheckpointArchive::query`] with the live program's coverage
+    /// annotations: recorded gaps overlapping the interval, plus the
+    /// open-ended gap when the interval reaches more than `t_set` past the
+    /// last archived periodic checkpoint.
+    pub fn query_result(
+        &self,
+        interval: crate::snapshot::QueryInterval,
+        coeffs: &crate::coefficient::Coefficients,
+    ) -> crate::control::QueryResult {
         let mut result = crate::snapshot::FlowEstimates::default();
         let mut prev_frozen_at: Option<u64> = None;
         for cp in &self.checkpoints {
@@ -89,7 +101,25 @@ impl CheckpointArchive {
             );
             result.merge(&est);
         }
-        result
+        let mut gaps: Vec<CoverageGap> = self
+            .gaps
+            .iter()
+            .filter(|g| g.overlaps(interval))
+            .copied()
+            .collect();
+        let t_set = self.tw_config.set_period();
+        let last = prev_frozen_at.unwrap_or(0);
+        if interval.to > last.saturating_add(t_set) {
+            gaps.push(CoverageGap {
+                from: last,
+                to: interval.to,
+            });
+        }
+        crate::control::QueryResult {
+            degraded: !gaps.is_empty(),
+            estimates: result,
+            gaps,
+        }
     }
 }
 

@@ -48,7 +48,10 @@ pub mod time_windows;
 pub mod tts;
 pub mod validation;
 
-pub use control::{AnalysisProgram, ControlConfig, CoverageGap, QueryResult, QueueMonitorAnswer};
+pub use control::{
+    AnalysisProgram, Checkpoint, CheckpointSink, ControlConfig, CoverageGap, QueryResult,
+    QueueMonitorAnswer,
+};
 pub use culprits::{CulpritReport, GroundTruth};
 pub use diagnosis::{diagnose, CongestionPattern, Diagnosis};
 pub use faults::{FaultConfig, FaultInjector, FaultProfile, LatencyModel, RetryPolicy};

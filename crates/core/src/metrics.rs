@@ -58,6 +58,10 @@ pub struct ControlHealth {
     pub backoff_ceiling_hits: u64,
     /// Data-plane triggers rejected while a special read was outstanding.
     pub dp_triggers_rejected: u64,
+    /// Checkpoint-spill sink writes that failed (the checkpoint stays in
+    /// the in-RAM ring; on-disk history has a hole). Zero without a sink.
+    #[serde(default)]
+    pub spill_errors: u64,
 }
 
 impl ControlHealth {
@@ -73,6 +77,7 @@ impl ControlHealth {
         self.gap_ns += other.gap_ns;
         self.backoff_ceiling_hits += other.backoff_ceiling_hits;
         self.dp_triggers_rejected += other.dp_triggers_rejected;
+        self.spill_errors += other.spill_errors;
     }
 
     /// Fraction of read attempts that failed or stalled (0 when none ran).

@@ -157,7 +157,7 @@ impl QueueMonitor {
 
 /// A frozen copy of queue-monitor register state, as read by the analysis
 /// program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueMonitorSnapshot {
     /// The depth entries.
     pub entries: Vec<Entry>,

@@ -74,6 +74,30 @@ impl TimeWindowSnapshot {
         }
     }
 
+    /// Reassemble a snapshot from decoded parts (the deserialization path
+    /// of binary checkpoint stores). `windows` must hold exactly `config.t`
+    /// vectors of `config.cells()` cells each.
+    pub fn from_parts(
+        config: TimeWindowConfig,
+        windows: Vec<Vec<Cell>>,
+        filtered: bool,
+    ) -> TimeWindowSnapshot {
+        assert_eq!(windows.len(), usize::from(config.t), "window count");
+        for w in &windows {
+            assert_eq!(w.len(), config.cells(), "cell count");
+        }
+        TimeWindowSnapshot {
+            config,
+            windows,
+            filtered,
+        }
+    }
+
+    /// Whether [`TimeWindowSnapshot::filter`] has already run.
+    pub fn is_filtered(&self) -> bool {
+        self.filtered
+    }
+
     /// The configuration this snapshot was captured under.
     pub fn config(&self) -> &TimeWindowConfig {
         &self.config

@@ -1,0 +1,478 @@
+//! Checkpoint ⇄ bytes: the sparse, delta-compressed body encoding of a
+//! `.pqa` segment.
+//!
+//! The encoding leans on two structural facts of PrintQueue register
+//! state:
+//!
+//! * time-window cells are *mostly empty* outside congestion epochs, and
+//!   an empty cell has exactly one canonical form
+//!   ([`Cell::EMPTY`]: flow = `FlowId::NONE`, cycle = `u64::MAX`), so
+//!   windows are stored as sorted occupied-index runs;
+//! * a queue-monitor half is empty iff `seq == 0` (with the canonical
+//!   `FlowId::NONE` flow), so the sparse stack is stored the same way.
+//!
+//! Monotone quantities (freeze times, cell indices, cycle IDs, stack
+//! sequence numbers) are delta-coded with zigzag varints. Deltas use
+//! *wrapping* arithmetic so every `u64` value — including the
+//! `u64::MAX` sentinels — round-trips losslessly.
+//!
+//! Decoding never trusts a length from the wire: counts are bounded by
+//! the structure they index into, and bulk allocations are charged
+//! against a [`DecodeBudget`] so an adversarial header cannot balloon
+//! memory.
+
+use crate::format::invalid;
+use crate::varint;
+use pq_core::control::Checkpoint;
+use pq_core::params::TimeWindowConfig;
+use pq_core::queue_monitor::{Entry, Half, QueueMonitorSnapshot};
+use pq_core::snapshot::{QueryInterval, TimeWindowSnapshot};
+use pq_core::time_windows::Cell;
+use pq_packet::FlowId;
+use std::io;
+
+const FLAG_ON_DEMAND: u8 = 1 << 0;
+const FLAG_TRIGGER: u8 = 1 << 1;
+const FLAG_FILTERED: u8 = 1 << 2;
+const HALF_INC: u8 = 1 << 0;
+const HALF_DEC: u8 = 1 << 1;
+
+/// Queue monitors per checkpoint are small (one per egress queue); cap
+/// the count so a corrupt body cannot spin the decoder.
+const MAX_MONITORS: usize = 1024;
+
+/// Allocation budget for decoding untrusted bodies.
+///
+/// Every bulk allocation (window cell arrays, monitor entry arrays) is
+/// charged here *before* the memory is reserved; exceeding the budget is
+/// an `InvalidData` error, not an OOM. The default (64 MiB) comfortably
+/// fits any configuration the simulator produces (a maxed-out k = 24,
+/// T = 4 snapshot is ~1 GiB and is rejected — real deployments keep
+/// k ≤ 16 per §4.1's SRAM budget).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeBudget {
+    remaining: u64,
+}
+
+impl DecodeBudget {
+    /// Budget with `bytes` of allocation headroom.
+    pub fn new(bytes: u64) -> DecodeBudget {
+        DecodeBudget { remaining: bytes }
+    }
+
+    /// Charge `bytes`; fails once the budget is exhausted.
+    pub fn charge(&mut self, bytes: u64) -> io::Result<()> {
+        if bytes > self.remaining {
+            return Err(invalid("decode allocation budget exhausted"));
+        }
+        self.remaining -= bytes;
+        Ok(())
+    }
+}
+
+impl Default for DecodeBudget {
+    fn default() -> Self {
+        DecodeBudget::new(64 << 20)
+    }
+}
+
+/// Shared encoder/decoder state: the freeze-time delta chain within one
+/// segment body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodecState {
+    prev_frozen: Option<u64>,
+}
+
+fn write_delta_u64(out: &mut Vec<u8>, prev: &mut Option<u64>, value: u64) -> io::Result<()> {
+    match *prev {
+        None => varint::write_u64(out, value)?,
+        Some(p) => varint::write_i64(out, value.wrapping_sub(p) as i64)?,
+    }
+    *prev = Some(value);
+    Ok(())
+}
+
+fn read_delta_u64(cursor: &mut &[u8], prev: &mut Option<u64>) -> io::Result<u64> {
+    let value = match *prev {
+        None => varint::read_u64(cursor)?,
+        Some(p) => p.wrapping_add(varint::read_i64(cursor)? as u64),
+    };
+    *prev = Some(value);
+    Ok(value)
+}
+
+/// Append one checkpoint to `out`.
+///
+/// Fails with `InvalidInput` if the checkpoint's window configuration
+/// disagrees with the store's file header — a `.pqa` file holds exactly
+/// one register geometry.
+pub fn encode_checkpoint(
+    out: &mut Vec<u8>,
+    tw: &TimeWindowConfig,
+    state: &mut CodecState,
+    cp: &Checkpoint,
+) -> io::Result<()> {
+    if cp.windows.config() != tw {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "checkpoint window config differs from store header",
+        ));
+    }
+    write_delta_u64(out, &mut state.prev_frozen, cp.frozen_at)?;
+
+    let mut flags = 0u8;
+    if cp.on_demand {
+        flags |= FLAG_ON_DEMAND;
+    }
+    if cp.trigger.is_some() {
+        flags |= FLAG_TRIGGER;
+    }
+    if cp.windows.is_filtered() {
+        flags |= FLAG_FILTERED;
+    }
+    out.push(flags);
+    if let Some(trigger) = cp.trigger {
+        varint::write_u64(out, trigger.from)?;
+        varint::write_u64(out, trigger.to.saturating_sub(trigger.from))?;
+    }
+
+    for w in 0..tw.t {
+        let cells = cp.windows.window(w);
+        let occupied = cells.iter().filter(|c| **c != Cell::EMPTY).count();
+        varint::write_u64(out, occupied as u64)?;
+        let mut prev_idx: Option<u64> = None;
+        let mut prev_cycle: Option<u64> = None;
+        for (idx, cell) in cells.iter().enumerate() {
+            if *cell == Cell::EMPTY {
+                continue;
+            }
+            // Indices are emitted ascending, so deltas are strictly
+            // positive after the first.
+            write_delta_u64(out, &mut prev_idx, idx as u64)?;
+            varint::write_u64(out, u64::from(cell.flow.0))?;
+            write_delta_u64(out, &mut prev_cycle, cell.cycle)?;
+        }
+    }
+
+    varint::write_u64(out, cp.queue_monitors.len() as u64)?;
+    let mut prev_seq: Option<u64> = None;
+    for monitor in &cp.queue_monitors {
+        varint::write_u64(out, monitor.entries.len() as u64)?;
+        varint::write_u64(out, u64::from(monitor.top))?;
+        let occupied = monitor
+            .entries
+            .iter()
+            .filter(|e| **e != Entry::default())
+            .count();
+        varint::write_u64(out, occupied as u64)?;
+        let mut prev_idx: Option<u64> = None;
+        for (idx, entry) in monitor.entries.iter().enumerate() {
+            if *entry == Entry::default() {
+                continue;
+            }
+            write_delta_u64(out, &mut prev_idx, idx as u64)?;
+            let mut halves = 0u8;
+            if entry.inc != Half::default() {
+                halves |= HALF_INC;
+            }
+            if entry.dec != Half::default() {
+                halves |= HALF_DEC;
+            }
+            out.push(halves);
+            for half in [&entry.inc, &entry.dec] {
+                if *half == Half::default() {
+                    continue;
+                }
+                varint::write_u64(out, u64::from(half.flow.0))?;
+                write_delta_u64(out, &mut prev_seq, half.seq)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_flow(cursor: &mut &[u8]) -> io::Result<FlowId> {
+    let raw = varint::read_u64(cursor)?;
+    if raw > u64::from(u32::MAX) {
+        return Err(invalid("flow id out of u32 range"));
+    }
+    Ok(FlowId(raw as u32))
+}
+
+fn read_flags_byte(cursor: &mut &[u8]) -> io::Result<u8> {
+    let Some((&byte, rest)) = cursor.split_first() else {
+        return Err(invalid("truncated flags byte"));
+    };
+    *cursor = rest;
+    Ok(byte)
+}
+
+/// Decode one checkpoint from the cursor.
+pub fn decode_checkpoint(
+    cursor: &mut &[u8],
+    tw: &TimeWindowConfig,
+    state: &mut CodecState,
+    budget: &mut DecodeBudget,
+) -> io::Result<Checkpoint> {
+    let frozen_at = read_delta_u64(cursor, &mut state.prev_frozen)?;
+    let flags = read_flags_byte(cursor)?;
+    if flags & !(FLAG_ON_DEMAND | FLAG_TRIGGER | FLAG_FILTERED) != 0 {
+        return Err(invalid("unknown checkpoint flags"));
+    }
+    let trigger = if flags & FLAG_TRIGGER != 0 {
+        let from = varint::read_u64(cursor)?;
+        let len = varint::read_u64(cursor)?;
+        Some(QueryInterval::new(from, from.saturating_add(len)))
+    } else {
+        None
+    };
+
+    let cells = tw.cells();
+    let t = usize::from(tw.t);
+    budget.charge((t as u64) * (cells as u64) * std::mem::size_of::<Cell>() as u64)?;
+    let mut windows = Vec::with_capacity(t);
+    for _ in 0..t {
+        let mut window = vec![Cell::EMPTY; cells];
+        let occupied = varint::read_len(cursor, cells)?;
+        let mut prev_idx: Option<u64> = None;
+        let mut prev_cycle: Option<u64> = None;
+        let mut last_idx: Option<usize> = None;
+        for _ in 0..occupied {
+            let idx = read_delta_u64(cursor, &mut prev_idx)?;
+            if idx >= cells as u64 || last_idx.is_some_and(|l| idx as usize <= l) {
+                return Err(invalid("cell index out of order or out of range"));
+            }
+            last_idx = Some(idx as usize);
+            let flow = read_flow(cursor)?;
+            let cycle = read_delta_u64(cursor, &mut prev_cycle)?;
+            window[idx as usize] = Cell { flow, cycle };
+        }
+        windows.push(window);
+    }
+    let windows = TimeWindowSnapshot::from_parts(*tw, windows, flags & FLAG_FILTERED != 0);
+
+    let n_monitors = varint::read_len(cursor, MAX_MONITORS)?;
+    let mut queue_monitors = Vec::with_capacity(n_monitors);
+    let mut prev_seq: Option<u64> = None;
+    for _ in 0..n_monitors {
+        // A monitor entry costs at least one wire byte when occupied, but
+        // the array length itself is untrusted — charge it up front.
+        let n_entries = varint::read_len(cursor, u32::MAX as usize)?;
+        budget.charge(n_entries as u64 * std::mem::size_of::<Entry>() as u64)?;
+        let top = varint::read_len(cursor, u32::MAX as usize)? as u32;
+        if n_entries > 0 && u64::from(top) >= n_entries as u64 {
+            return Err(invalid("queue-monitor top beyond entry array"));
+        }
+        let mut entries = vec![Entry::default(); n_entries];
+        let occupied = varint::read_len(cursor, n_entries)?;
+        let mut prev_idx: Option<u64> = None;
+        let mut last_idx: Option<usize> = None;
+        for _ in 0..occupied {
+            let idx = read_delta_u64(cursor, &mut prev_idx)?;
+            if idx >= n_entries as u64 || last_idx.is_some_and(|l| idx as usize <= l) {
+                return Err(invalid("monitor entry index out of order or out of range"));
+            }
+            last_idx = Some(idx as usize);
+            let halves = read_flags_byte(cursor)?;
+            if halves & !(HALF_INC | HALF_DEC) != 0 || halves == 0 {
+                return Err(invalid("invalid monitor half flags"));
+            }
+            let mut entry = Entry::default();
+            if halves & HALF_INC != 0 {
+                entry.inc = Half {
+                    flow: read_flow(cursor)?,
+                    seq: read_delta_u64(cursor, &mut prev_seq)?,
+                };
+            }
+            if halves & HALF_DEC != 0 {
+                entry.dec = Half {
+                    flow: read_flow(cursor)?,
+                    seq: read_delta_u64(cursor, &mut prev_seq)?,
+                };
+            }
+            entries[idx as usize] = entry;
+        }
+        queue_monitors.push(QueueMonitorSnapshot { entries, top });
+    }
+
+    Ok(Checkpoint {
+        frozen_at,
+        on_demand: flags & FLAG_ON_DEMAND != 0,
+        trigger,
+        windows,
+        queue_monitors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint(tw: &TimeWindowConfig, frozen_at: u64) -> Checkpoint {
+        let cells = tw.cells();
+        let mut windows = vec![vec![Cell::EMPTY; cells]; usize::from(tw.t)];
+        windows[0][1] = Cell {
+            flow: FlowId(42),
+            cycle: 7,
+        };
+        windows[0][cells - 1] = Cell {
+            flow: FlowId(9),
+            cycle: 8,
+        };
+        windows[1][0] = Cell {
+            flow: FlowId(1),
+            cycle: 0,
+        };
+        let mut entries = vec![Entry::default(); 8];
+        entries[0] = Entry {
+            inc: Half {
+                flow: FlowId(42),
+                seq: 3,
+            },
+            dec: Half::default(),
+        };
+        entries[5] = Entry {
+            inc: Half {
+                flow: FlowId(7),
+                seq: 10,
+            },
+            dec: Half {
+                flow: FlowId(8),
+                seq: 11,
+            },
+        };
+        Checkpoint {
+            frozen_at,
+            on_demand: frozen_at.is_multiple_of(2),
+            trigger: frozen_at
+                .is_multiple_of(2)
+                .then(|| QueryInterval::new(5, frozen_at)),
+            windows: TimeWindowSnapshot::from_parts(*tw, windows, false),
+            queue_monitors: vec![QueueMonitorSnapshot { entries, top: 5 }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_sequence() {
+        let tw = TimeWindowConfig::new(4, 2, 4, 3);
+        let cps: Vec<_> = [100u64, 250, 260, 1000]
+            .iter()
+            .map(|&t| sample_checkpoint(&tw, t))
+            .collect();
+        let mut buf = Vec::new();
+        let mut enc = CodecState::default();
+        for cp in &cps {
+            encode_checkpoint(&mut buf, &tw, &mut enc, cp).unwrap();
+        }
+        let mut cursor = buf.as_slice();
+        let mut dec = CodecState::default();
+        let mut budget = DecodeBudget::default();
+        for cp in &cps {
+            let back = decode_checkpoint(&mut cursor, &tw, &mut dec, &mut budget).unwrap();
+            assert_eq!(back.frozen_at, cp.frozen_at);
+            assert_eq!(back.on_demand, cp.on_demand);
+            assert_eq!(back.trigger, cp.trigger);
+            assert_eq!(back.queue_monitors, cp.queue_monitors);
+            for w in 0..tw.t {
+                assert_eq!(back.windows.window(w), cp.windows.window(w));
+            }
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn sentinel_values_roundtrip() {
+        // Wrapping deltas must survive u64::MAX cycles and huge seqs.
+        let tw = TimeWindowConfig::new(4, 2, 2, 2);
+        let mut windows = vec![vec![Cell::EMPTY; tw.cells()]; 2];
+        windows[0][0] = Cell {
+            flow: FlowId(0),
+            cycle: u64::MAX - 1,
+        };
+        windows[0][1] = Cell {
+            flow: FlowId(u32::MAX - 1),
+            cycle: 0,
+        };
+        let cp = Checkpoint {
+            frozen_at: u64::MAX / 2,
+            on_demand: false,
+            trigger: None,
+            windows: TimeWindowSnapshot::from_parts(tw, windows, true),
+            queue_monitors: vec![],
+        };
+        let mut buf = Vec::new();
+        let mut enc = CodecState::default();
+        encode_checkpoint(&mut buf, &tw, &mut enc, &cp).unwrap();
+        let mut cursor = buf.as_slice();
+        let back = decode_checkpoint(
+            &mut cursor,
+            &tw,
+            &mut CodecState::default(),
+            &mut DecodeBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(back.windows.window(0), cp.windows.window(0));
+        assert!(back.windows.is_filtered());
+    }
+
+    #[test]
+    fn truncation_and_garbage_never_panic() {
+        let tw = TimeWindowConfig::new(4, 2, 4, 3);
+        let cp = sample_checkpoint(&tw, 500);
+        let mut buf = Vec::new();
+        encode_checkpoint(&mut buf, &tw, &mut CodecState::default(), &cp).unwrap();
+        for cut in 0..buf.len() {
+            let mut cursor = &buf[..cut];
+            let _ = decode_checkpoint(
+                &mut cursor,
+                &tw,
+                &mut CodecState::default(),
+                &mut DecodeBudget::default(),
+            );
+        }
+        for i in 0..buf.len() {
+            let mut flipped = buf.clone();
+            flipped[i] ^= 0x40;
+            let mut cursor = flipped.as_slice();
+            let _ = decode_checkpoint(
+                &mut cursor,
+                &tw,
+                &mut CodecState::default(),
+                &mut DecodeBudget::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn budget_bounds_allocation() {
+        let tw = TimeWindowConfig::new(4, 2, 12, 4);
+        let cp = Checkpoint {
+            frozen_at: 1,
+            on_demand: false,
+            trigger: None,
+            windows: TimeWindowSnapshot::from_parts(
+                tw,
+                vec![vec![Cell::EMPTY; tw.cells()]; 4],
+                false,
+            ),
+            queue_monitors: vec![],
+        };
+        let mut buf = Vec::new();
+        encode_checkpoint(&mut buf, &tw, &mut CodecState::default(), &cp).unwrap();
+        let mut cursor = buf.as_slice();
+        let mut tiny = DecodeBudget::new(1024);
+        let err =
+            decode_checkpoint(&mut cursor, &tw, &mut CodecState::default(), &mut tiny).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn config_mismatch_rejected_on_encode() {
+        let tw = TimeWindowConfig::new(4, 2, 4, 3);
+        let other = TimeWindowConfig::new(4, 2, 5, 3);
+        let cp = sample_checkpoint(&tw, 10);
+        let mut buf = Vec::new();
+        let err = encode_checkpoint(&mut buf, &other, &mut CodecState::default(), &cp).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

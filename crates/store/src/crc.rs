@@ -1,0 +1,97 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-segment
+//! and index integrity check of the `.pqa` format.
+//!
+//! Implemented locally because the build environment vendors no checksum
+//! crate; a byte-at-a-time table walk is plenty for control-plane I/O
+//! rates (the store moves megabytes per run, not gigabytes per second).
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut crc = Crc32::new();
+        crc.update(&data[..10]);
+        crc.update(&data[10..]);
+        assert_eq!(crc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = b"PrintQueue checkpoint segment".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,392 @@
+//! The `.pqa` on-disk layout: magic numbers, file header, segment metadata,
+//! and the trailer index.
+//!
+//! ```text
+//! FILE    := HEADER SEGMENT* [TRAILER]
+//! HEADER  := "PQAR" | version u8 (= 1) | m0 u8 | alpha u8 | k u8 | t u8
+//! SEGMENT := "PQSG" | hdr_len varint | SEGHDR | body_len varint | body
+//!            | crc32(body) u32-LE
+//! SEGHDR  := port varint | count varint | min_t varint | max_t varint
+//!            | prev_periodic varint (0 = none, else value+1)
+//!            | last_periodic varint (0 = none, else value+1)
+//! TRAILER := "PQIX" | index bytes | crc32(index) u32-LE
+//!            | index_len u64-LE | "PQEN"
+//! ```
+//!
+//! Everything after the fixed 9-byte header is append-only. A segment is
+//! written in one `write` burst at seal time, so its header metadata
+//! (span, count, chain seed) is always complete even when the *body* is
+//! torn by a crash. The trailer is written once by
+//! [`StoreWriter::finish`](crate::StoreWriter::finish); a reader that
+//! finds it missing or corrupt falls back to a forward scan of the
+//! segment chain (see [`StoreReader`](crate::StoreReader)).
+//!
+//! The `prev_periodic` seed is what makes time-range pruning exact: §6.3
+//! query slicing clamps each checkpoint's contribution to
+//! `(previous periodic freeze, freeze]`, so a reader that skips whole
+//! segments must know the chain value at the first decoded checkpoint.
+
+use crate::varint;
+use pq_core::control::CoverageGap;
+use pq_core::metrics::ControlHealth;
+use pq_core::params::TimeWindowConfig;
+use pq_packet::Nanos;
+use std::io::{self, Write};
+
+/// File magic: "PQAR" (PrintQueue ARchive).
+pub const FILE_MAGIC: [u8; 4] = *b"PQAR";
+/// Segment magic.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"PQSG";
+/// Trailer-index magic.
+pub const TRAILER_MAGIC: [u8; 4] = *b"PQIX";
+/// End-of-file magic (after the trailer length).
+pub const END_MAGIC: [u8; 4] = *b"PQEN";
+/// Format version.
+pub const VERSION: u8 = 1;
+/// Fixed file-header size in bytes.
+pub const HEADER_LEN: u64 = 9;
+/// Fixed tail size: crc32 (4) + index_len (8) + END_MAGIC (4).
+pub const TRAILER_FIXED: u64 = 16;
+/// Upper bound on an encoded segment header (sanity cap for scans).
+pub const MAX_SEGHDR_LEN: usize = 256;
+
+pub(crate) fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Validate a [`TimeWindowConfig`] decoded from untrusted bytes without
+/// panicking (the library's own `validate` asserts).
+pub fn check_tw_config(tw: &TimeWindowConfig) -> io::Result<()> {
+    if tw.t < 1 || tw.alpha < 1 || tw.k < 1 || tw.k > 24 {
+        return Err(invalid("time-window parameters out of range"));
+    }
+    let max_shift =
+        u32::from(tw.m0) + u32::from(tw.alpha) * (u32::from(tw.t) - 1) + u32::from(tw.k);
+    if max_shift >= 63 {
+        return Err(invalid("time-window periods overflow u64"));
+    }
+    Ok(())
+}
+
+/// Write the 9-byte file header.
+pub fn write_header<W: Write>(w: &mut W, tw: &TimeWindowConfig) -> io::Result<()> {
+    w.write_all(&FILE_MAGIC)?;
+    w.write_all(&[VERSION, tw.m0, tw.alpha, tw.k, tw.t])
+}
+
+/// Parse and validate the 9-byte file header.
+pub fn read_header(bytes: &[u8]) -> io::Result<TimeWindowConfig> {
+    if bytes.len() < HEADER_LEN as usize || bytes[..4] != FILE_MAGIC {
+        return Err(invalid("not a .pqa archive (bad magic)"));
+    }
+    if bytes[4] != VERSION {
+        return Err(invalid(format!("unsupported .pqa version {}", bytes[4])));
+    }
+    let tw = TimeWindowConfig {
+        m0: bytes[5],
+        alpha: bytes[6],
+        k: bytes[7],
+        t: bytes[8],
+    };
+    check_tw_config(&tw)?;
+    Ok(tw)
+}
+
+/// Index entry describing one sealed segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Absolute file offset of the segment magic.
+    pub offset: u64,
+    /// Total on-disk length (magic through trailing CRC).
+    pub len: u64,
+    /// Port the segment's checkpoints belong to.
+    pub port: u16,
+    /// Checkpoints in the segment.
+    pub count: u64,
+    /// Earliest checkpoint freeze time.
+    pub min_t: Nanos,
+    /// Latest checkpoint freeze time.
+    pub max_t: Nanos,
+    /// §6.3 chain seed: the last *periodic* freeze time before this
+    /// segment's first checkpoint (`None` at the head of a port's chain).
+    pub prev_periodic: Option<Nanos>,
+    /// The last periodic freeze time at segment seal (chain value after).
+    pub last_periodic: Option<Nanos>,
+    /// CRC-32 of the segment body.
+    pub body_crc: u32,
+}
+
+fn write_opt_nanos<W: Write>(w: &mut W, v: Option<Nanos>) -> io::Result<()> {
+    // 0 = none; the +1 shift keeps t = 0 representable.
+    varint::write_u64(w, v.map_or(0, |t| t.saturating_add(1)))
+}
+
+fn read_opt_nanos(cursor: &mut &[u8]) -> io::Result<Option<Nanos>> {
+    Ok(match varint::read_u64(cursor)? {
+        0 => None,
+        v => Some(v - 1),
+    })
+}
+
+impl SegmentMeta {
+    /// Encode the in-segment header (everything but offset/len/crc, which
+    /// frame the segment physically).
+    pub fn write_seg_header<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        varint::write_u64(w, u64::from(self.port))?;
+        varint::write_u64(w, self.count)?;
+        varint::write_u64(w, self.min_t)?;
+        varint::write_u64(w, self.max_t)?;
+        write_opt_nanos(w, self.prev_periodic)?;
+        write_opt_nanos(w, self.last_periodic)
+    }
+
+    /// Decode an in-segment header; `offset`/`len`/`body_crc` are filled by
+    /// the caller from the physical framing.
+    pub fn read_seg_header(cursor: &mut &[u8]) -> io::Result<SegmentMeta> {
+        let port = varint::read_len(cursor, u16::MAX as usize)? as u16;
+        let count = varint::read_u64(cursor)?;
+        let min_t = varint::read_u64(cursor)?;
+        let max_t = varint::read_u64(cursor)?;
+        let prev_periodic = read_opt_nanos(cursor)?;
+        let last_periodic = read_opt_nanos(cursor)?;
+        Ok(SegmentMeta {
+            offset: 0,
+            len: 0,
+            port,
+            count,
+            min_t,
+            max_t,
+            prev_periodic,
+            last_periodic,
+            body_crc: 0,
+        })
+    }
+
+    /// Does the segment's checkpoint chain possibly contribute to a query
+    /// over `[from, to]`? (See the module docs on the chain seed.)
+    pub fn overlaps_query(&self, from: Nanos, to: Nanos) -> bool {
+        self.max_t >= from && self.prev_periodic.is_none_or(|p| p <= to)
+    }
+}
+
+/// Per-port metadata carried in the trailer: the recorded coverage gaps,
+/// the control-plane health counters at capture, and the end of the
+/// periodic chain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PortMeta {
+    /// Coverage gaps recorded by the control plane, oldest first.
+    pub gaps: Vec<CoverageGap>,
+    /// Health counters at capture time.
+    pub health: ControlHealth,
+    /// Last periodic freeze time stored for the port.
+    pub last_periodic: Option<Nanos>,
+}
+
+const HEALTH_FIELDS: usize = 11;
+
+fn health_fields(h: &ControlHealth) -> [u64; HEALTH_FIELDS] {
+    [
+        h.polls_attempted,
+        h.polls_failed,
+        h.polls_retried,
+        h.polls_stalled,
+        h.checkpoints_stored,
+        h.checkpoints_dropped,
+        h.coverage_gaps,
+        h.gap_ns,
+        h.backoff_ceiling_hits,
+        h.dp_triggers_rejected,
+        h.spill_errors,
+    ]
+}
+
+fn health_from_fields(f: [u64; HEALTH_FIELDS]) -> ControlHealth {
+    ControlHealth {
+        polls_attempted: f[0],
+        polls_failed: f[1],
+        polls_retried: f[2],
+        polls_stalled: f[3],
+        checkpoints_stored: f[4],
+        checkpoints_dropped: f[5],
+        coverage_gaps: f[6],
+        gap_ns: f[7],
+        backoff_ceiling_hits: f[8],
+        dp_triggers_rejected: f[9],
+        spill_errors: f[10],
+    }
+}
+
+/// Encode the trailer index body (segment table + per-port metadata).
+pub fn write_index<W: Write>(
+    w: &mut W,
+    segments: &[SegmentMeta],
+    ports: &[(u16, &PortMeta)],
+) -> io::Result<()> {
+    varint::write_u64(w, segments.len() as u64)?;
+    for s in segments {
+        varint::write_u64(w, s.offset)?;
+        varint::write_u64(w, s.len)?;
+        varint::write_u64(w, u64::from(s.body_crc))?;
+        s.write_seg_header(w)?;
+    }
+    varint::write_u64(w, ports.len() as u64)?;
+    for (port, meta) in ports {
+        varint::write_u64(w, u64::from(*port))?;
+        write_opt_nanos(w, meta.last_periodic)?;
+        varint::write_u64(w, meta.gaps.len() as u64)?;
+        for g in &meta.gaps {
+            varint::write_u64(w, g.from)?;
+            varint::write_u64(w, g.to.saturating_sub(g.from))?;
+        }
+        for field in health_fields(&meta.health) {
+            varint::write_u64(w, field)?;
+        }
+    }
+    Ok(())
+}
+
+/// A decoded trailer index: every segment's metadata plus per-port
+/// bookkeeping (gaps, health, end-of-chain).
+pub type StoreIndex = (Vec<SegmentMeta>, Vec<(u16, PortMeta)>);
+
+/// Decode the trailer index body. Counts are validated against the byte
+/// budget of the index itself, so a corrupted length can never trigger an
+/// outsized allocation.
+pub fn read_index(mut cursor: &[u8]) -> io::Result<StoreIndex> {
+    let cursor = &mut cursor;
+    // Each segment entry takes ≥ 9 bytes, each gap ≥ 2; cap counts by what
+    // the index could physically hold.
+    let n_segments = varint::read_len(cursor, cursor.len() / 8 + 1)?;
+    let mut segments = Vec::with_capacity(n_segments.min(4096));
+    for _ in 0..n_segments {
+        let offset = varint::read_u64(cursor)?;
+        let len = varint::read_u64(cursor)?;
+        let body_crc = varint::read_u64(cursor)?;
+        if body_crc > u64::from(u32::MAX) {
+            return Err(invalid("index crc out of range"));
+        }
+        let mut meta = SegmentMeta::read_seg_header(cursor)?;
+        meta.offset = offset;
+        meta.len = len;
+        meta.body_crc = body_crc as u32;
+        segments.push(meta);
+    }
+    let n_ports = varint::read_len(cursor, cursor.len() + 1)?;
+    let mut ports = Vec::with_capacity(n_ports.min(4096));
+    for _ in 0..n_ports {
+        let port = varint::read_len(cursor, u16::MAX as usize)? as u16;
+        let last_periodic = read_opt_nanos(cursor)?;
+        let n_gaps = varint::read_len(cursor, cursor.len() / 2 + 1)?;
+        let mut gaps = Vec::with_capacity(n_gaps.min(4096));
+        for _ in 0..n_gaps {
+            let from = varint::read_u64(cursor)?;
+            let len = varint::read_u64(cursor)?;
+            gaps.push(CoverageGap {
+                from,
+                to: from.saturating_add(len),
+            });
+        }
+        let mut fields = [0u64; HEALTH_FIELDS];
+        for f in &mut fields {
+            *f = varint::read_u64(cursor)?;
+        }
+        ports.push((
+            port,
+            PortMeta {
+                gaps,
+                health: health_from_fields(fields),
+                last_periodic,
+            },
+        ));
+    }
+    Ok((segments, ports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let tw = TimeWindowConfig::new(6, 2, 12, 4);
+        let mut buf = Vec::new();
+        write_header(&mut buf, &tw).unwrap();
+        assert_eq!(buf.len() as u64, HEADER_LEN);
+        assert_eq!(read_header(&buf).unwrap(), tw);
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        assert!(read_header(b"PQARx").is_err());
+        assert!(read_header(b"JSON{\"version\":1}").is_err());
+        // Valid magic, absurd k.
+        assert!(read_header(&[b'P', b'Q', b'A', b'R', 1, 6, 2, 60, 4]).is_err());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let segments = vec![
+            SegmentMeta {
+                offset: 9,
+                len: 100,
+                port: 0,
+                count: 3,
+                min_t: 10,
+                max_t: 400,
+                prev_periodic: None,
+                last_periodic: Some(400),
+                body_crc: 0xdead_beef,
+            },
+            SegmentMeta {
+                offset: 109,
+                len: 80,
+                port: 1,
+                count: 2,
+                min_t: 50,
+                max_t: 300,
+                prev_periodic: Some(0),
+                last_periodic: Some(300),
+                body_crc: 7,
+            },
+        ];
+        let meta = PortMeta {
+            gaps: vec![CoverageGap { from: 5, to: 25 }],
+            health: ControlHealth {
+                polls_attempted: 9,
+                checkpoints_stored: 5,
+                ..ControlHealth::default()
+            },
+            last_periodic: Some(400),
+        };
+        let mut buf = Vec::new();
+        write_index(&mut buf, &segments, &[(0, &meta)]).unwrap();
+        let (segs, ports) = read_index(&buf).unwrap();
+        assert_eq!(segs, segments);
+        assert_eq!(ports.len(), 1);
+        assert_eq!(ports[0].0, 0);
+        assert_eq!(ports[0].1, meta);
+    }
+
+    #[test]
+    fn query_overlap_uses_chain_seed() {
+        let seg = SegmentMeta {
+            offset: 0,
+            len: 0,
+            port: 0,
+            count: 1,
+            min_t: 200,
+            max_t: 300,
+            prev_periodic: Some(100),
+            last_periodic: Some(300),
+            body_crc: 0,
+        };
+        // A query ending before the chain seed cannot touch this segment…
+        assert!(!seg.overlaps_query(0, 99));
+        // …but one ending inside (prev_periodic, max_t] can, and so can one
+        // starting below max_t.
+        assert!(seg.overlaps_query(0, 100));
+        assert!(seg.overlaps_query(250, 260));
+        assert!(seg.overlaps_query(300, 900));
+        assert!(!seg.overlaps_query(301, 900));
+    }
+}

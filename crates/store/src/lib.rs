@@ -1,0 +1,44 @@
+//! pq-store: a segmented, indexed, crash-tolerant binary telemetry store
+//! for PrintQueue checkpoint archives.
+//!
+//! PrintQueue's control plane freezes and polls the data-plane registers
+//! continuously (§6.1–6.2); over a long run the checkpoint stream is far
+//! too large to keep in RAM or to re-parse from JSON at query time. This
+//! crate gives the analysis pipeline a durable home for that stream:
+//!
+//! * **`.pqa` format** ([`format`]) — an append-only file of sealed
+//!   segments, each CRC-32-protected and self-describing, closed by a
+//!   trailer index (see the format module docs for the byte layout);
+//! * **codec** ([`codec`]) — sparse, delta-compressed checkpoint bodies
+//!   exploiting the mostly-empty register geometry, with allocation
+//!   budgeting against adversarial input;
+//! * **writer** ([`StoreWriter`]) — streaming, bounded-RAM appends with
+//!   segment rotation and optional retention; [`SharedStoreWriter`]
+//!   plugs into the analysis program's
+//!   [`CheckpointSink`](pq_core::control::CheckpointSink) spill hook so
+//!   checkpoints hit disk as they are polled;
+//! * **reader** ([`StoreReader`]) — trailer-index fast path with
+//!   forward-scan crash recovery; time-range queries decode only the
+//!   segments whose checkpoint chains overlap the interval, and corrupt
+//!   segments degrade to [`CoverageGap`](pq_core::control::CoverageGap)s
+//!   instead of failing the file;
+//! * **migration** ([`json`]) — magic-byte auto-detection and lossless
+//!   conversion between the historical JSON `CheckpointArchive` format
+//!   and `.pqa`, in both directions.
+
+pub mod codec;
+pub mod crc;
+pub mod format;
+pub mod json;
+pub mod reader;
+pub mod varint;
+pub mod writer;
+
+pub use codec::DecodeBudget;
+pub use format::{PortMeta, SegmentMeta};
+pub use json::{
+    archives_from_json, archives_to_json, archives_to_pqa, format_for_path, read_archives,
+    write_archives, ArchiveFormat,
+};
+pub use reader::{Recovery, StoreReader};
+pub use writer::{SegmentPolicy, SharedStoreWriter, StoreWriter};

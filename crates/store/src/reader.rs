@@ -1,0 +1,449 @@
+//! `.pqa` reader: trailer-index fast path, forward-scan crash recovery,
+//! pruned time-range queries, and archive reconstruction.
+//!
+//! Opening a store parses the 9-byte header and then tries the trailer
+//! index (written by a clean [`finish`](crate::StoreWriter::finish)). If
+//! the trailer is missing, torn, or fails its CRC — the crash case — the
+//! reader falls back to a forward scan of the segment chain, recovering
+//! every segment whose framing and body CRC check out. A segment that
+//! fails its CRC is *skipped*, and the span it covered is surfaced as a
+//! [`CoverageGap`] on that port's queries (PR 1's degraded-query
+//! machinery), so corruption costs exactly the damaged segment and is
+//! never silent.
+//!
+//! Queries decode only the segments whose checkpoint chains can overlap
+//! the interval (see [`SegmentMeta::overlaps_query`]); everything else is
+//! pruned via index metadata without touching the segment bytes. The
+//! §6.3 slicing chain is re-seeded from each segment's stored
+//! `prev_periodic`, which keeps pruned results bit-identical to a full
+//! in-RAM replay.
+
+use crate::codec::{decode_checkpoint, CodecState, DecodeBudget};
+use crate::crc::crc32;
+use crate::format::{self, invalid, PortMeta, SegmentMeta};
+use crate::varint;
+use pq_core::coefficient::Coefficients;
+use pq_core::control::{Checkpoint, CoverageGap, QueryResult};
+use pq_core::export::CheckpointArchive;
+use pq_core::params::TimeWindowConfig;
+use pq_core::snapshot::{FlowEstimates, QueryInterval};
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// How the reader located its segment metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Clean file: the trailer index was present and valid.
+    Index,
+    /// The trailer was missing or corrupt; segments were recovered by a
+    /// forward scan.
+    Scan,
+}
+
+/// A reader over a seekable `.pqa` source.
+pub struct StoreReader<R: Read + Seek> {
+    src: R,
+    tw: TimeWindowConfig,
+    segments: Vec<SegmentMeta>,
+    ports: Vec<(u16, PortMeta)>,
+    /// Spans lost to CRC-failing or torn segments, discovered at open
+    /// (scan) or lazily at decode (index path).
+    corrupt: Vec<(u16, CoverageGap)>,
+    recovery: Recovery,
+    /// Whether the scan hit unparseable bytes before end of file.
+    tail_torn: bool,
+    budget_bytes: u64,
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Open a store, validating the header and locating segments via the
+    /// trailer index or, failing that, a forward scan.
+    pub fn open(mut src: R) -> io::Result<StoreReader<R>> {
+        let mut header = [0u8; format::HEADER_LEN as usize];
+        src.seek(SeekFrom::Start(0))?;
+        src.read_exact(&mut header)?;
+        let tw = format::read_header(&header)?;
+        let file_len = src.seek(SeekFrom::End(0))?;
+
+        let mut reader = StoreReader {
+            src,
+            tw,
+            segments: Vec::new(),
+            ports: Vec::new(),
+            corrupt: Vec::new(),
+            recovery: Recovery::Index,
+            tail_torn: false,
+            budget_bytes: 64 << 20,
+        };
+        match reader.try_trailer(file_len)? {
+            Some((segments, ports)) => {
+                reader.segments = segments;
+                reader.ports = ports;
+            }
+            None => {
+                reader.recovery = Recovery::Scan;
+                reader.scan(file_len)?;
+            }
+        }
+        Ok(reader)
+    }
+
+    /// Cap (in bytes) on decoded-checkpoint allocations per segment;
+    /// adversarial inputs that claim more fail with `InvalidData`. The
+    /// cap is per segment, not per call, so legitimately large archives
+    /// (many segments) decode in full while a single corrupt length
+    /// prefix can never trigger an oversized allocation.
+    pub fn set_decode_budget(&mut self, bytes: u64) {
+        self.budget_bytes = bytes;
+    }
+
+    /// The window geometry of the stored checkpoints.
+    pub fn tw_config(&self) -> &TimeWindowConfig {
+        &self.tw
+    }
+
+    /// How segment metadata was located.
+    pub fn recovery(&self) -> Recovery {
+        self.recovery
+    }
+
+    /// True when a scan recovery stopped at unparseable trailing bytes.
+    pub fn tail_torn(&self) -> bool {
+        self.tail_torn
+    }
+
+    /// Segment index entries, in file order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Ports present in the store, ascending.
+    pub fn ports(&self) -> Vec<u16> {
+        let mut ports: Vec<u16> = self
+            .ports
+            .iter()
+            .map(|(p, _)| *p)
+            .chain(self.segments.iter().map(|s| s.port))
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        ports
+    }
+
+    /// Total checkpoints indexed for `port` (without decoding anything).
+    pub fn checkpoint_count(&self, port: u16) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.port == port)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    fn port_meta(&self, port: u16) -> PortMeta {
+        self.ports
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default()
+    }
+
+    /// Trailer fast path: `Ok(None)` means "fall back to scan".
+    fn try_trailer(&mut self, file_len: u64) -> io::Result<Option<format::StoreIndex>> {
+        let min_len = format::HEADER_LEN + format::TRAILER_FIXED + 4;
+        if file_len < min_len {
+            return Ok(None);
+        }
+        let mut tail = [0u8; 12];
+        self.src.seek(SeekFrom::Start(file_len - 12))?;
+        self.src.read_exact(&mut tail)?;
+        if tail[8..12] != format::END_MAGIC {
+            return Ok(None);
+        }
+        let index_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        if index_len > file_len - min_len {
+            return Ok(None);
+        }
+        let trailer_start = file_len - 12 - 4 - index_len - 4;
+        self.src.seek(SeekFrom::Start(trailer_start))?;
+        let mut buf = vec![0u8; (4 + index_len + 4) as usize];
+        self.src.read_exact(&mut buf)?;
+        if buf[..4] != format::TRAILER_MAGIC {
+            return Ok(None);
+        }
+        let index = &buf[4..4 + index_len as usize];
+        let stored_crc = u32::from_le_bytes(buf[4 + index_len as usize..].try_into().unwrap());
+        if crc32(index) != stored_crc {
+            return Ok(None);
+        }
+        let Ok((segments, ports)) = format::read_index(index) else {
+            return Ok(None);
+        };
+        // Reject indexes pointing outside the file (torn rewrite).
+        for s in &segments {
+            if s.offset < format::HEADER_LEN
+                || s.len < 8
+                || s.offset.saturating_add(s.len) > trailer_start
+            {
+                return Ok(None);
+            }
+        }
+        Ok(Some((segments, ports)))
+    }
+
+    /// Forward scan from the first segment: recover every frame whose
+    /// header parses; CRC failures become per-port gaps.
+    fn scan(&mut self, file_len: u64) -> io::Result<()> {
+        let mut pos = format::HEADER_LEN;
+        while pos + 4 <= file_len {
+            self.src.seek(SeekFrom::Start(pos))?;
+            let mut magic = [0u8; 4];
+            self.src.read_exact(&mut magic)?;
+            if magic == format::TRAILER_MAGIC {
+                // A trailer start we already failed to validate: segments
+                // end here.
+                break;
+            }
+            if magic != format::SEGMENT_MAGIC {
+                self.tail_torn = true;
+                break;
+            }
+            // Peek enough for the header varints.
+            let peek_len = ((file_len - pos - 4) as usize).min(format::MAX_SEGHDR_LEN + 24);
+            let mut peek = vec![0u8; peek_len];
+            self.src.read_exact(&mut peek)?;
+            let mut cursor = peek.as_slice();
+            let parsed = (|| -> io::Result<(SegmentMeta, u64, u64)> {
+                let hdr_len = varint::read_len(&mut cursor, format::MAX_SEGHDR_LEN)?;
+                let mut hdr = varint::read_bytes(&mut cursor, hdr_len)?;
+                let meta = SegmentMeta::read_seg_header(&mut hdr)?;
+                let body_len = varint::read_u64(&mut cursor)?;
+                let consumed = 4 + (peek_len - cursor.len()) as u64;
+                Ok((meta, body_len, consumed))
+            })();
+            let Ok((mut meta, body_len, consumed)) = parsed else {
+                self.tail_torn = true;
+                break;
+            };
+            let frame_len = consumed + body_len + 4;
+            if pos + frame_len > file_len {
+                // Torn tail: header is intact (metadata tells us what was
+                // lost), body never made it to disk.
+                self.corrupt.push((
+                    meta.port,
+                    CoverageGap {
+                        from: meta.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                        to: meta.max_t,
+                    },
+                ));
+                self.tail_torn = true;
+                break;
+            }
+            self.src.seek(SeekFrom::Start(pos + consumed))?;
+            let mut body = vec![0u8; body_len as usize];
+            self.src.read_exact(&mut body)?;
+            let mut crc_bytes = [0u8; 4];
+            self.src.read_exact(&mut crc_bytes)?;
+            let stored_crc = u32::from_le_bytes(crc_bytes);
+            meta.offset = pos;
+            meta.len = frame_len;
+            meta.body_crc = stored_crc;
+            if crc32(&body) == stored_crc {
+                self.segments.push(meta);
+            } else {
+                self.corrupt.push((
+                    meta.port,
+                    CoverageGap {
+                        from: meta.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                        to: meta.max_t,
+                    },
+                ));
+            }
+            pos += frame_len;
+        }
+        // Reconstruct per-port chain ends from the recovered segments (the
+        // trailer that would normally carry them is gone).
+        for s in &self.segments {
+            match self.ports.iter_mut().find(|(p, _)| *p == s.port) {
+                Some((_, meta)) => meta.last_periodic = s.last_periodic,
+                None => self.ports.push((
+                    s.port,
+                    PortMeta {
+                        last_periodic: s.last_periodic,
+                        ..PortMeta::default()
+                    },
+                )),
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode one segment's checkpoints, verifying framing and CRC. The
+    /// decode budget is fresh per segment (see [`Self::set_decode_budget`]).
+    fn decode_segment(&mut self, meta: &SegmentMeta) -> io::Result<Vec<Checkpoint>> {
+        let mut budget = DecodeBudget::new(self.budget_bytes);
+        self.src.seek(SeekFrom::Start(meta.offset))?;
+        let mut frame = vec![0u8; meta.len as usize];
+        self.src.read_exact(&mut frame)?;
+        let mut cursor = frame.as_slice();
+        if varint::read_bytes(&mut cursor, 4)? != format::SEGMENT_MAGIC.as_slice() {
+            return Err(invalid("segment magic mismatch"));
+        }
+        let hdr_len = varint::read_len(&mut cursor, format::MAX_SEGHDR_LEN)?;
+        let _hdr = varint::read_bytes(&mut cursor, hdr_len)?;
+        let remaining = cursor.len();
+        let body_len = varint::read_len(&mut cursor, remaining)?;
+        if cursor.len() != body_len + 4 {
+            return Err(invalid("segment framing length mismatch"));
+        }
+        let body = &cursor[..body_len];
+        let stored_crc = u32::from_le_bytes(cursor[body_len..].try_into().unwrap());
+        if crc32(body) != stored_crc {
+            return Err(invalid("segment body CRC mismatch"));
+        }
+        // Each checkpoint is ≥ 2 bytes on the wire; a count claiming more
+        // is framing corruption.
+        if meta.count > (body_len as u64) / 2 + 1 {
+            return Err(invalid("segment count inconsistent with body size"));
+        }
+        let mut cps = Vec::with_capacity(meta.count as usize);
+        let mut state = CodecState::default();
+        let mut body_cursor = body;
+        for _ in 0..meta.count {
+            cps.push(decode_checkpoint(
+                &mut body_cursor,
+                &self.tw,
+                &mut state,
+                &mut budget,
+            )?);
+        }
+        if !body_cursor.is_empty() {
+            return Err(invalid("trailing bytes after last checkpoint"));
+        }
+        Ok(cps)
+    }
+
+    /// Decode everything stored for `port` into a [`CheckpointArchive`]
+    /// (the JSON-compatible in-RAM form). Corrupt segments are skipped and
+    /// appended to the archive's gap list.
+    pub fn read_port(&mut self, port: u16) -> io::Result<CheckpointArchive> {
+        let metas: Vec<SegmentMeta> = self
+            .segments
+            .iter()
+            .filter(|s| s.port == port)
+            .copied()
+            .collect();
+        let mut checkpoints = Vec::new();
+        let meta_info = self.port_meta(port);
+        let mut gaps = meta_info.gaps.clone();
+        for m in &metas {
+            match self.decode_segment(m) {
+                Ok(cps) => checkpoints.extend(cps),
+                Err(_) => gaps.push(CoverageGap {
+                    from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                    to: m.max_t,
+                }),
+            }
+        }
+        gaps.extend(
+            self.corrupt
+                .iter()
+                .filter(|(p, _)| *p == port)
+                .map(|(_, g)| *g),
+        );
+        Ok(CheckpointArchive {
+            version: 1,
+            tw_config: self.tw,
+            port,
+            checkpoints,
+            gaps,
+            health: meta_info.health,
+        })
+    }
+
+    /// Decode every port into archives (ascending port order).
+    pub fn read_all(&mut self) -> io::Result<Vec<CheckpointArchive>> {
+        self.ports()
+            .into_iter()
+            .map(|p| self.read_port(p))
+            .collect()
+    }
+
+    /// Run a §6.3 time-range query for `port`, decoding only segments
+    /// whose checkpoint chains can overlap `interval`.
+    ///
+    /// Results are bit-identical to querying the full in-RAM checkpoint
+    /// sequence: the per-checkpoint slice chain is re-seeded from each
+    /// segment's stored `prev_periodic`, and the open-ended tail gap uses
+    /// the port's recorded end-of-chain.
+    pub fn query(
+        &mut self,
+        port: u16,
+        interval: QueryInterval,
+        coeffs: &Coefficients,
+    ) -> io::Result<QueryResult> {
+        let metas: Vec<SegmentMeta> = self
+            .segments
+            .iter()
+            .filter(|s| s.port == port && s.overlaps_query(interval.from, interval.to))
+            .copied()
+            .collect();
+        let meta_info = self.port_meta(port);
+        let mut estimates = FlowEstimates::default();
+        let mut corrupt_gaps: Vec<CoverageGap> = Vec::new();
+        let mut prev_frozen_at: Option<u64> = None;
+        for m in &metas {
+            let cps = match self.decode_segment(m) {
+                Ok(cps) => cps,
+                Err(_) => {
+                    corrupt_gaps.push(CoverageGap {
+                        from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                        to: m.max_t,
+                    });
+                    continue;
+                }
+            };
+            // Re-seed the slice chain from the segment header so skipped
+            // (pruned or corrupt) predecessors don't shift the clamping.
+            prev_frozen_at = m.prev_periodic.or(prev_frozen_at);
+            for cp in &cps {
+                let slice_from = interval.from.max(prev_frozen_at.map_or(0, |t| t + 1));
+                let slice_to = interval.to.min(cp.frozen_at);
+                if !cp.on_demand {
+                    prev_frozen_at = Some(cp.frozen_at);
+                }
+                if slice_from > slice_to || cp.on_demand {
+                    continue;
+                }
+                let est = cp
+                    .windows
+                    .query(QueryInterval::new(slice_from, slice_to), coeffs);
+                estimates.merge(&est);
+            }
+        }
+        let mut gaps: Vec<CoverageGap> = meta_info
+            .gaps
+            .iter()
+            .filter(|g| g.overlaps(interval))
+            .copied()
+            .collect();
+        gaps.extend(
+            self.corrupt
+                .iter()
+                .filter(|(p, g)| *p == port && g.overlaps(interval))
+                .map(|(_, g)| *g),
+        );
+        gaps.extend(corrupt_gaps.iter().filter(|g| g.overlaps(interval)));
+        let t_set = self.tw.set_period();
+        let last = meta_info.last_periodic.unwrap_or(0);
+        if interval.to > last.saturating_add(t_set) {
+            gaps.push(CoverageGap {
+                from: last,
+                to: interval.to,
+            });
+        }
+        Ok(QueryResult {
+            degraded: !gaps.is_empty(),
+            estimates,
+            gaps,
+        })
+    }
+}

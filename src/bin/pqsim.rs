@@ -21,10 +21,18 @@
 //! * `validate [--alpha A --k K --t T --m0 M --rate-gbps G --min-pkt B]`
 //!   Pre-flight a configuration against a deployment profile (§7.1's
 //!   feasibility guidance) without running anything.
-//! * `archive FILE.pqtr OUT.json [--alpha A --k K --t T --m0 M --d NS]`
-//!   Run a trace and archive the analysis program's checkpoints as JSON.
-//! * `replay-query ARCHIVE.json --from NS --to NS [--d NS]`
+//! * `archive FILE.pqtr OUT [--format json|pqa] [tw flags]`
+//!   Run a trace and archive every active port's checkpoints. The binary
+//!   `.pqa` format streams checkpoints to disk as the control plane polls
+//!   them (bounded RAM); JSON captures the in-RAM snapshot ring. With no
+//!   `--format`, a `.pqa` extension selects binary, anything else JSON.
+//! * `replay-query ARCHIVE --from NS --to NS [--port P] [--d NS]`
 //!   Re-run a time-window query against an archived checkpoint store.
+//!   The format is auto-detected from the file's leading bytes; `.pqa`
+//!   queries decode only the segments overlapping the interval.
+//! * `convert SRC DST [--format json|pqa]`
+//!   Convert an archive between JSON and `.pqa` (either direction),
+//!   auto-detecting the source format.
 //!
 //! Everything is deterministic given the seed.
 
@@ -47,8 +55,9 @@ fn usage() -> ! {
          pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
          pqsim depth FILE.pqtr [--step-us N]\n  \
          pqsim validate [tw flags] [--rate-gbps G] [--min-pkt B]\n  \
-         pqsim archive FILE.pqtr OUT.json [tw flags]\n  \
-         pqsim replay-query ARCHIVE.json --from NS --to NS [--d NS]"
+         pqsim archive FILE.pqtr OUT [--format json|pqa] [tw flags]\n  \
+         pqsim replay-query ARCHIVE --from NS --to NS [--port P] [--d NS]\n  \
+         pqsim convert SRC DST [--format json|pqa]"
     );
     exit(2)
 }
@@ -105,6 +114,7 @@ fn main() {
         "validate" => cmd_validate(&args),
         "archive" => cmd_archive(&args),
         "replay-query" => cmd_replay_query(&args),
+        "convert" => cmd_convert(&args),
         _ => usage(),
     }
 }
@@ -412,77 +422,268 @@ fn cmd_validate(args: &Args) {
     }
 }
 
+fn parse_format_flag(args: &Args, path: &std::path::Path) -> printqueue::store::ArchiveFormat {
+    use printqueue::store::ArchiveFormat;
+    match args.get_str("format") {
+        Some("json") => ArchiveFormat::Json,
+        Some("pqa") => ArchiveFormat::Pqa,
+        Some(other) => {
+            eprintln!("unknown --format {other} (expected json|pqa)");
+            exit(2)
+        }
+        None => printqueue::store::format_for_path(path),
+    }
+}
+
 fn cmd_archive(args: &Args) {
+    use printqueue::store::{ArchiveFormat, SegmentPolicy, SharedStoreWriter, StoreWriter};
+    use printqueue::switch::PortConfig;
     let trace = load_trace(args);
     let Some(out_path) = args.positional.get(1) else {
         usage()
     };
+    let out_path = PathBuf::from(out_path);
     let m0: u8 = args.get("m0", 6);
     let alpha: u8 = args.get("alpha", 2);
     let k: u8 = args.get("k", 12);
     let t: u8 = args.get("t", 4);
     let d: u64 = args.get("d", 110);
     let tw = TimeWindowConfig::new(m0, alpha, k, t);
-    let mut pq = PrintQueue::new(PrintQueueConfig::single_port(tw, d));
+    let format = parse_format_flag(args, &out_path);
+
+    // Archive every port the trace touches, not just port 0.
+    let mut ports: Vec<u16> = trace.arrivals.iter().map(|a| a.port).collect();
+    ports.push(0);
+    ports.sort_unstable();
+    ports.dedup();
+    let port_count = usize::from(*ports.last().unwrap()) + 1;
+
+    let mut pq_config = PrintQueueConfig::single_port(tw, d);
+    pq_config.ports = ports.clone();
+    let mut pq = PrintQueue::new(pq_config);
+
+    // Binary output streams checkpoints to disk as the control plane
+    // polls them (bounded RAM); JSON captures the snapshot ring at end.
+    let mut spill: Option<SharedStoreWriter<std::io::BufWriter<std::fs::File>>> = None;
+    if format == ArchiveFormat::Pqa {
+        let file = match std::fs::File::create(&out_path) {
+            Ok(f) => f,
+            Err(err) => {
+                eprintln!("failed to create {}: {err}", out_path.display());
+                exit(1)
+            }
+        };
+        let writer =
+            match StoreWriter::new(std::io::BufWriter::new(file), tw, SegmentPolicy::default()) {
+                Ok(w) => w,
+                Err(err) => {
+                    eprintln!("failed to start store: {err}");
+                    exit(1)
+                }
+            };
+        let handle = SharedStoreWriter::new(writer);
+        pq.analysis_mut().set_spill(Box::new(handle.clone()));
+        spill = Some(handle);
+    }
+
     let mut sink = TelemetrySink::new();
-    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let mut sw_config = SwitchConfig::single_port(10.0, 32_768);
+    sw_config.ports = vec![
+        PortConfig {
+            rate_gbps: 10.0,
+            max_depth_cells: 32_768,
+            ..PortConfig::default()
+        };
+        port_count
+    ];
+    let mut sw = Switch::new(sw_config);
     {
         let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
         sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
     }
-    let archive = printqueue::core::export::CheckpointArchive::capture(pq.analysis(), 0);
-    let file = match std::fs::File::create(out_path) {
-        Ok(f) => f,
-        Err(err) => {
-            eprintln!("failed to create {out_path}: {err}");
-            exit(1)
+
+    let total_checkpoints: usize = ports
+        .iter()
+        .map(|&p| pq.analysis().checkpoints(p).len())
+        .sum();
+    match spill {
+        Some(handle) => {
+            let health = *pq.analysis().health();
+            for &port in &ports {
+                if handle.with(|w| w.set_health(port, health)).is_err() {
+                    break;
+                }
+            }
+            if let Err(err) = handle.finish() {
+                eprintln!("store finish failed: {err}");
+                exit(1);
+            }
         }
-    };
-    if let Err(err) = archive.write_json(std::io::BufWriter::new(file)) {
-        eprintln!("archive write failed: {err}");
-        exit(1);
+        None => {
+            let archives: Vec<_> = ports
+                .iter()
+                .map(|&p| printqueue::core::export::CheckpointArchive::capture(pq.analysis(), p))
+                .collect();
+            if let Err(err) = printqueue::store::write_archives(
+                &out_path,
+                &archives,
+                ArchiveFormat::Json,
+                SegmentPolicy::default(),
+            ) {
+                eprintln!("archive write failed: {err}");
+                exit(1);
+            }
+        }
     }
     println!(
-        "archived {} checkpoints ({} transmitted packets) to {out_path}",
-        archive.checkpoints.len(),
-        sink.records.len()
+        "archived {} checkpoints across {} port(s) ({} transmitted packets) to {}",
+        total_checkpoints,
+        ports.len(),
+        sink.records.len(),
+        out_path.display()
     );
 }
 
-fn cmd_replay_query(args: &Args) {
-    let Some(path) = args.positional.first() else {
-        usage()
-    };
-    let from: u64 = args.get("from", 0);
-    let to: u64 = args.get("to", u64::MAX);
-    let d: u64 = args.get("d", 110);
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
-        Err(err) => {
-            eprintln!("failed to open {path}: {err}");
-            exit(1)
-        }
-    };
-    let archive =
-        match printqueue::core::export::CheckpointArchive::read_json(std::io::BufReader::new(file))
-        {
-            Ok(a) => a,
-            Err(err) => {
-                eprintln!("archive read failed: {err}");
-                exit(1)
-            }
-        };
-    let coeffs = printqueue::core::coefficient::Coefficients::compute(&archive.tw_config, d);
-    let est = archive.query(QueryInterval::new(from, to), &coeffs);
+fn print_query_result(
+    header: String,
+    est: &printqueue::core::snapshot::FlowEstimates,
+    gaps: &[CoverageGap],
+    degraded: bool,
+) {
     println!(
-        "query [{from}, {to}] over {} checkpoints: {} flows, ~{:.0} packets",
-        archive.checkpoints.len(),
+        "{header}: {} flows, ~{:.0} packets",
         est.counts.len(),
         est.total()
     );
+    if degraded {
+        println!(
+            "degraded: {} coverage gap(s) overlap the interval:",
+            gaps.len()
+        );
+        for g in gaps {
+            println!("  gap [{}, {}]", g.from, g.to);
+        }
+    }
     for (flow, n) in est.ranked().into_iter().take(10) {
         println!("  {n:10.1}  {flow}");
     }
+}
+
+fn cmd_replay_query(args: &Args) {
+    use printqueue::store::{ArchiveFormat, StoreReader};
+    let Some(path) = args.positional.first() else {
+        usage()
+    };
+    let path = PathBuf::from(path);
+    let from: u64 = args.get("from", 0);
+    let to: u64 = args.get("to", u64::MAX);
+    let d: u64 = args.get("d", 110);
+    let interval = QueryInterval::new(from, to);
+    let format = match ArchiveFormat::detect(&path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("failed to detect format of {}: {err}", path.display());
+            exit(1)
+        }
+    };
+    match format {
+        ArchiveFormat::Pqa => {
+            let file = match std::fs::File::open(&path) {
+                Ok(f) => f,
+                Err(err) => {
+                    eprintln!("failed to open {}: {err}", path.display());
+                    exit(1)
+                }
+            };
+            let mut reader = match StoreReader::open(std::io::BufReader::new(file)) {
+                Ok(r) => r,
+                Err(err) => {
+                    eprintln!("store open failed: {err}");
+                    exit(1)
+                }
+            };
+            let ports = reader.ports();
+            let port: u16 = args.get("port", ports.first().copied().unwrap_or(0));
+            let coeffs =
+                printqueue::core::coefficient::Coefficients::compute(reader.tw_config(), d);
+            let result = match reader.query(port, interval, &coeffs) {
+                Ok(r) => r,
+                Err(err) => {
+                    eprintln!("query failed: {err}");
+                    exit(1)
+                }
+            };
+            print_query_result(
+                format!(
+                    "query [{from}, {to}] over {} checkpoints",
+                    reader.checkpoint_count(port)
+                ),
+                &result.estimates,
+                &result.gaps,
+                result.degraded,
+            );
+        }
+        ArchiveFormat::Json => {
+            let archives = match printqueue::store::read_archives(&path) {
+                Ok(a) => a,
+                Err(err) => {
+                    eprintln!("archive read failed: {err}");
+                    exit(1)
+                }
+            };
+            let port: u16 = args.get("port", archives.first().map_or(0, |a| a.port));
+            let Some(archive) = archives.iter().find(|a| a.port == port) else {
+                eprintln!("port {port} not present in archive");
+                exit(1)
+            };
+            let coeffs =
+                printqueue::core::coefficient::Coefficients::compute(&archive.tw_config, d);
+            let result = archive.query_result(interval, &coeffs);
+            print_query_result(
+                format!(
+                    "query [{from}, {to}] over {} checkpoints",
+                    archive.checkpoints.len()
+                ),
+                &result.estimates,
+                &result.gaps,
+                result.degraded,
+            );
+        }
+    }
+}
+
+fn cmd_convert(args: &Args) {
+    use printqueue::store::SegmentPolicy;
+    let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
+        usage()
+    };
+    let src = PathBuf::from(src);
+    let dst = PathBuf::from(dst);
+    let format = parse_format_flag(args, &dst);
+    let archives = match printqueue::store::read_archives(&src) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("failed to read {}: {err}", src.display());
+            exit(1)
+        }
+    };
+    if let Err(err) =
+        printqueue::store::write_archives(&dst, &archives, format, SegmentPolicy::default())
+    {
+        eprintln!("failed to write {}: {err}", dst.display());
+        exit(1);
+    }
+    let checkpoints: usize = archives.iter().map(|a| a.checkpoints.len()).sum();
+    let bytes = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {} checkpoints across {} port(s): {} ({} B) -> {} ({} B)",
+        checkpoints,
+        archives.len(),
+        src.display(),
+        bytes(&src),
+        dst.display(),
+        bytes(&dst)
+    );
 }
 
 fn cmd_case_study(args: &Args) {

@@ -21,7 +21,10 @@
 //!   the queue monitor, the control-plane analysis program, culprit ground
 //!   truth and accuracy metrics;
 //! * [`baselines`] — HashPipe, FlowRadar, and linear per-packet storage,
-//!   the comparison points of the paper's evaluation.
+//!   the comparison points of the paper's evaluation;
+//! * [`store`] — the segmented, indexed, crash-tolerant `.pqa` binary
+//!   store for checkpoint archives, with streaming spill from the
+//!   control plane and time-range-pruned offline queries.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@
 pub use pq_baselines as baselines;
 pub use pq_core as core;
 pub use pq_packet as packet;
+pub use pq_store as store;
 pub use pq_switch as switch;
 pub use pq_trace as trace;
 

@@ -1,0 +1,371 @@
+//! `.pqa` store integration tests: lossless round-trips against the
+//! in-RAM analysis program, time-range pruning, crash/corruption
+//! tolerance, and JSON back-compatibility.
+
+use printqueue::core::coefficient::Coefficients;
+use printqueue::core::control::{AnalysisProgram, ControlConfig};
+use printqueue::core::export::CheckpointArchive;
+use printqueue::core::params::TimeWindowConfig;
+use printqueue::core::snapshot::QueryInterval;
+use printqueue::packet::FlowId;
+use printqueue::store::{
+    archives_to_pqa, ArchiveFormat, Recovery, SegmentPolicy, SharedStoreWriter, StoreReader,
+    StoreWriter,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const PORTS: [u16; 2] = [0, 3];
+
+fn tw_small() -> TimeWindowConfig {
+    // t_set = 64 + 128 = 192 ns: short enough that a modest drive loop
+    // yields dozens of checkpoints.
+    TimeWindowConfig::new(0, 1, 6, 2)
+}
+
+fn tiny_segments() -> SegmentPolicy {
+    SegmentPolicy {
+        checkpoints_per_segment: 4,
+        max_segment_bytes: 1 << 20,
+        retain_segments_per_port: None,
+    }
+}
+
+/// Drive a two-port program for `until` ns with a poll every 64 ns and a
+/// silence window (no polls) in the middle that opens a coverage gap.
+fn drive_program(spill: Option<SharedStoreWriter<Vec<u8>>>, until: u64) -> AnalysisProgram {
+    let tw = tw_small();
+    let mut ap = AnalysisProgram::new(
+        tw,
+        ControlConfig {
+            poll_period: 64,
+            max_snapshots: 10_000,
+        },
+        &PORTS,
+        32,
+        1,
+        1,
+    );
+    if let Some(handle) = spill {
+        ap.set_spill(Box::new(handle));
+    }
+    let silence = 1_000..1_600; // > t_set: forces a recorded gap
+    for t in 0..until {
+        for (i, &port) in PORTS.iter().enumerate() {
+            if t % (i as u64 + 2) == 0 {
+                ap.record_dequeue(port, FlowId((t % 7) as u32 + i as u32 * 100), t);
+            }
+            if t % 5 == 0 {
+                ap.qm_enqueue(port, 0, FlowId((t % 3) as u32), (t % 20) as u32, t);
+            }
+        }
+        if t % 64 == 0 && !silence.contains(&t) {
+            ap.on_tick(t);
+        }
+    }
+    ap
+}
+
+/// Spill a program's checkpoints into an in-memory `.pqa`, mirroring what
+/// `pqsim archive --format pqa` does.
+fn spill_to_store(until: u64, policy: SegmentPolicy) -> (AnalysisProgram, Vec<u8>) {
+    let writer = StoreWriter::new(Vec::new(), tw_small(), policy).unwrap();
+    let handle = SharedStoreWriter::new(writer);
+    let ap = drive_program(Some(handle.clone()), until);
+    for &port in &PORTS {
+        handle.with(|w| w.set_health(port, *ap.health())).unwrap();
+    }
+    let bytes = handle.finish().unwrap();
+    (ap, bytes)
+}
+
+fn sweep_intervals() -> Vec<QueryInterval> {
+    vec![
+        QueryInterval::new(0, 50),
+        QueryInterval::new(100, 300),
+        QueryInterval::new(900, 1_700), // straddles the silence gap
+        QueryInterval::new(500, 1_999),
+        QueryInterval::new(0, 1_999),
+        QueryInterval::new(1_900, 5_000), // reaches past the data
+        QueryInterval::new(3_000, 4_000), // entirely past the data
+    ]
+}
+
+#[test]
+fn spilled_store_queries_match_live_bit_for_bit() {
+    let (ap, bytes) = spill_to_store(2_000, tiny_segments());
+    let mut reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    assert_eq!(reader.recovery(), Recovery::Index);
+    assert!(
+        reader.segments().len() >= 4,
+        "expected several segments, got {}",
+        reader.segments().len()
+    );
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    for &port in &PORTS {
+        assert_eq!(
+            reader.checkpoint_count(port),
+            ap.checkpoints(port).len() as u64
+        );
+        for interval in sweep_intervals() {
+            let live = ap.query_time_windows(port, interval);
+            let stored = reader.query(port, interval, &coeffs).unwrap();
+            // f64 sums accumulate in the same order in both paths, so
+            // exact equality is required, not approximate.
+            assert_eq!(
+                live.estimates.counts, stored.estimates.counts,
+                "port {port} interval {interval:?}"
+            );
+            assert_eq!(live.gaps, stored.gaps, "port {port} interval {interval:?}");
+            assert_eq!(live.degraded, stored.degraded);
+        }
+    }
+}
+
+#[test]
+fn narrow_queries_prune_segments() {
+    let (_ap, bytes) = spill_to_store(4_000, tiny_segments());
+    let reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    let interval = QueryInterval::new(100, 300);
+    let port0: Vec<_> = reader.segments().iter().filter(|s| s.port == 0).collect();
+    let overlapping = port0
+        .iter()
+        .filter(|s| s.overlaps_query(interval.from, interval.to))
+        .count();
+    assert!(
+        overlapping < port0.len(),
+        "narrow interval should prune segments ({overlapping} of {})",
+        port0.len()
+    );
+    assert!(overlapping >= 1);
+}
+
+#[test]
+fn bit_flip_loses_only_that_segment() {
+    let (ap, bytes) = spill_to_store(2_000, tiny_segments());
+    let clean = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+    // Pick a middle segment of port 0 and flip one byte inside its body.
+    let victims: Vec<_> = clean
+        .segments()
+        .iter()
+        .filter(|s| s.port == 0)
+        .copied()
+        .collect();
+    assert!(victims.len() >= 3);
+    let victim = victims[victims.len() / 2];
+    let mut corrupted = bytes.clone();
+    corrupted[(victim.offset + victim.len - 8) as usize] ^= 0x01;
+
+    let mut reader = StoreReader::open(Cursor::new(corrupted)).unwrap();
+    // Trailer untouched: still the indexed fast path.
+    assert_eq!(reader.recovery(), Recovery::Index);
+    let mut clean_reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+
+    // A query ending at the victim's chain predecessor never touches the
+    // victim's checkpoints, so it is identical to the clean store.
+    let before = QueryInterval::new(0, victim.prev_periodic.unwrap());
+    let clean_q = clean_reader.query(0, before, &coeffs).unwrap();
+    let corrupt_q = reader.query(0, before, &coeffs).unwrap();
+    assert_eq!(clean_q.estimates.counts, corrupt_q.estimates.counts);
+    assert_eq!(clean_q.degraded, corrupt_q.degraded);
+
+    // Port 3 is untouched everywhere.
+    for interval in sweep_intervals() {
+        let c = clean_reader.query(3, interval, &coeffs).unwrap();
+        let d = reader.query(3, interval, &coeffs).unwrap();
+        assert_eq!(c.estimates.counts, d.estimates.counts);
+        assert_eq!(c.gaps, d.gaps);
+    }
+
+    // A query overlapping the victim is flagged degraded with a gap
+    // covering the lost span.
+    let over = QueryInterval::new(victim.min_t, victim.max_t);
+    let q = reader.query(0, over, &coeffs).unwrap();
+    assert!(q.degraded, "query over corrupt segment must be degraded");
+    assert!(q.gaps.iter().any(|g| g.to >= victim.max_t));
+
+    // read_port skips exactly the victim's checkpoints.
+    let full = clean_reader.read_port(0).unwrap();
+    let partial = reader.read_port(0).unwrap();
+    assert_eq!(
+        partial.checkpoints.len(),
+        full.checkpoints.len() - victim.count as usize
+    );
+    assert!(partial.gaps.len() > full.gaps.len());
+    // The live program's own queries elsewhere still match.
+    let live = ap.query_time_windows(0, before);
+    assert_eq!(live.estimates.counts, corrupt_q.estimates.counts);
+}
+
+#[test]
+fn torn_trailer_recovers_by_scan() {
+    let (_ap, bytes) = spill_to_store(2_000, tiny_segments());
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let mut clean_reader = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+
+    // Corrupt the end magic: the trailer is unlocatable.
+    let mut torn = bytes.clone();
+    let n = torn.len();
+    torn[n - 2] ^= 0xff;
+    let mut reader = StoreReader::open(Cursor::new(torn)).unwrap();
+    assert_eq!(reader.recovery(), Recovery::Scan);
+    // Every segment is still on disk, so queries match the clean store.
+    for &port in &PORTS {
+        assert_eq!(
+            reader.checkpoint_count(port),
+            clean_reader.checkpoint_count(port)
+        );
+        for interval in sweep_intervals() {
+            let c = clean_reader.query(port, interval, &coeffs).unwrap();
+            let s = reader.query(port, interval, &coeffs).unwrap();
+            assert_eq!(c.estimates.counts, s.estimates.counts);
+        }
+    }
+}
+
+#[test]
+fn truncated_file_recovers_prefix_and_reports_tail() {
+    let (_ap, bytes) = spill_to_store(2_000, tiny_segments());
+    let clean = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+    let last = *clean.segments().last().unwrap();
+    // Cut mid-body of the last segment: trailer gone, body torn.
+    let cut = (last.offset + last.len - 10) as usize;
+    let truncated = bytes[..cut].to_vec();
+
+    let mut reader = StoreReader::open(Cursor::new(truncated)).unwrap();
+    assert_eq!(reader.recovery(), Recovery::Scan);
+    assert!(reader.tail_torn());
+    assert_eq!(reader.segments().len(), clean.segments().len() - 1);
+    // The torn segment's port knows what it lost.
+    let archive = reader.read_port(last.port).unwrap();
+    assert!(
+        archive.gaps.iter().any(|g| g.to >= last.max_t),
+        "torn tail should surface as a gap"
+    );
+    // Earlier data still decodes.
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let early = QueryInterval::new(0, 500);
+    let q = reader.query(0, early, &coeffs).unwrap();
+    assert!(!q.estimates.counts.is_empty());
+}
+
+#[test]
+fn retention_drops_old_segments_and_records_gaps() {
+    let policy = SegmentPolicy {
+        checkpoints_per_segment: 4,
+        max_segment_bytes: 1 << 20,
+        retain_segments_per_port: Some(2),
+    };
+    let (_ap, bytes) = spill_to_store(4_000, policy);
+    let mut reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    let port0 = reader.segments().iter().filter(|s| s.port == 0).count();
+    assert_eq!(port0, 2, "retention should keep exactly 2 segments");
+    // Queries over the dropped prefix come back degraded, not silently
+    // empty.
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let q = reader
+        .query(0, QueryInterval::new(0, 200), &coeffs)
+        .unwrap();
+    assert!(q.degraded);
+}
+
+#[test]
+fn json_archives_convert_losslessly_and_auto_detect() {
+    let ap = drive_program(None, 2_000);
+    let archives: Vec<CheckpointArchive> = PORTS
+        .iter()
+        .map(|&p| CheckpointArchive::capture(&ap, p))
+        .collect();
+
+    // The historical single-object JSON format still loads.
+    let mut legacy = Vec::new();
+    archives[0].write_json(&mut legacy).unwrap();
+    assert_eq!(ArchiveFormat::sniff(&legacy).unwrap(), ArchiveFormat::Json);
+    let parsed =
+        printqueue::store::archives_from_json(std::str::from_utf8(&legacy).unwrap()).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].port, PORTS[0]);
+    assert_eq!(parsed[0].checkpoints.len(), archives[0].checkpoints.len());
+
+    // JSON → .pqa → archives is lossless down to the serialized bytes.
+    let pqa = archives_to_pqa(Vec::new(), &archives, tiny_segments()).unwrap();
+    assert_eq!(ArchiveFormat::sniff(&pqa).unwrap(), ArchiveFormat::Pqa);
+    let mut reader = StoreReader::open(Cursor::new(pqa)).unwrap();
+    for archive in &archives {
+        let back = reader.read_port(archive.port).unwrap();
+        assert_eq!(
+            serde_json::to_string(archive).unwrap(),
+            serde_json::to_string(&back).unwrap(),
+            "port {} archive must round-trip bit-exactly",
+            archive.port
+        );
+    }
+}
+
+#[test]
+fn spilled_store_matches_capture_exactly() {
+    // The streaming spill path and the capture-at-end path must agree
+    // when the snapshot ring never overflows.
+    let (ap, bytes) = spill_to_store(2_000, tiny_segments());
+    let mut reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    for &port in &PORTS {
+        let captured = CheckpointArchive::capture(&ap, port);
+        let stored = reader.read_port(port).unwrap();
+        assert_eq!(
+            serde_json::to_string(&captured).unwrap(),
+            serde_json::to_string(&stored).unwrap()
+        );
+    }
+}
+
+proptest! {
+    /// Random single-byte corruption anywhere in a valid store never
+    /// panics and never allocates past the decode budget: every outcome
+    /// is a clean result or a clean error.
+    #[test]
+    fn corrupted_store_never_panics(byte in 0usize..6_000, flip in 1u8..=255) {
+        let (_ap, bytes) = spill_to_store(1_000, tiny_segments());
+        let mut mutated = bytes.clone();
+        let idx = byte % mutated.len();
+        mutated[idx] ^= flip;
+        if let Ok(mut reader) = StoreReader::open(Cursor::new(mutated)) {
+            reader.set_decode_budget(8 << 20);
+            let coeffs = Coefficients::compute(&tw_small(), 1);
+            for &port in &PORTS {
+                let _ = reader.read_port(port);
+                let _ = reader.query(port, QueryInterval::new(0, 2_000), &coeffs);
+            }
+        }
+    }
+
+    /// Arbitrary bytes behind a valid magic are rejected without panic.
+    #[test]
+    fn garbage_after_magic_never_panics(tail in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut bytes = b"PQAR".to_vec();
+        bytes.extend_from_slice(&tail);
+        if let Ok(mut reader) = StoreReader::open(Cursor::new(bytes)) {
+            let _ = reader.read_all();
+        }
+    }
+
+    /// Random drive durations round-trip losslessly through the store.
+    #[test]
+    fn random_runs_roundtrip(until in 300u64..1_500, per_seg in 1usize..8) {
+        let policy = SegmentPolicy {
+            checkpoints_per_segment: per_seg,
+            max_segment_bytes: 1 << 20,
+            retain_segments_per_port: None,
+        };
+        let (ap, bytes) = spill_to_store(until, policy);
+        let mut reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+        for &port in &PORTS {
+            let captured = CheckpointArchive::capture(&ap, port);
+            let stored = reader.read_port(port).unwrap();
+            prop_assert_eq!(
+                serde_json::to_string(&captured).unwrap(),
+                serde_json::to_string(&stored).unwrap()
+            );
+        }
+    }
+}

@@ -100,7 +100,7 @@ fn run_one(n_checkpoints: u64, reps: usize) -> Row {
     let writer = StoreWriter::new(Vec::new(), tw(), SegmentPolicy::default()).unwrap();
     let handle = SharedStoreWriter::new(writer);
     let ap = drive(n_checkpoints, Some(handle.clone()));
-    handle.with(|w| w.set_health(0, *ap.health())).unwrap();
+    handle.with(|w| w.set_health(0, ap.health())).unwrap();
     let pqa_bytes_buf = handle.finish().unwrap();
     let pqa_encode_ms = pqa_start.elapsed().as_secs_f64() * 1e3;
 

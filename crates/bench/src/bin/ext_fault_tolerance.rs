@@ -92,7 +92,7 @@ fn run_one(rate: f64, seed: u64, duration: u64, per_bucket: usize) -> SeedOutcom
         } else {
             degraded as f64 / victims.len() as f64
         },
-        health: *out.printqueue.analysis().health(),
+        health: out.printqueue.analysis().health(),
     }
 }
 

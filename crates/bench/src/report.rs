@@ -1,6 +1,6 @@
 //! Output formatting: aligned text tables and JSON result files.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -72,21 +72,66 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// The provenance block stamped into every `results/*.json` file: the
+/// git commit the numbers came from, the exact argv, and whether the
+/// observability plane was off during the measured region (span tracing
+/// and registry updates can perturb per-packet timings).
+pub fn run_meta(telemetry_off: bool) -> Value {
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let argv: Vec<Value> = std::env::args().map(Value::Str).collect();
+    Value::Object(vec![
+        ("git_commit".to_string(), Value::Str(git_commit)),
+        ("argv".to_string(), Value::Array(argv)),
+        ("telemetry_off".to_string(), Value::Bool(telemetry_off)),
+    ])
+}
+
 /// Write `value` as pretty JSON to `results/<name>.json` under the
 /// workspace root (best effort — experiments still print to stdout).
+/// A `meta` provenance block (see [`run_meta`]) is injected at the top
+/// of the object; non-object values are wrapped as `{meta, results}`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    write_json_with(name, value, true);
+}
+
+/// [`write_json`] for benches that deliberately run with telemetry
+/// attached (so the `meta.telemetry_off` stamp is honest).
+pub fn write_json_with<T: Serialize>(name: &str, value: &T, telemetry_off: bool) {
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    let root = stamp(value.to_value(), run_meta(telemetry_off));
+    match serde_json::to_string_pretty(&root) {
         Ok(json) => {
             if fs::write(&path, json).is_ok() {
                 println!("[results written to {}]", path.display());
             }
         }
         Err(err) => eprintln!("JSON serialization failed: {err}"),
+    }
+}
+
+/// Inject `meta` as the first key of an object, or wrap a non-object
+/// value as `{meta, results}`.
+fn stamp(mut root: Value, meta: Value) -> Value {
+    match &mut root {
+        Value::Object(fields) => {
+            fields.insert(0, ("meta".to_string(), meta));
+            root
+        }
+        _ => Value::Object(vec![
+            ("meta".to_string(), meta),
+            ("results".to_string(), root),
+        ]),
     }
 }
 
@@ -155,5 +200,29 @@ mod tests {
     fn f3_rounds() {
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(f3(1.0), "1.000");
+    }
+
+    #[test]
+    fn meta_is_first_key_of_objects() {
+        let meta = run_meta(true);
+        let stamped = stamp(Value::Object(vec![("x".into(), Value::U64(1))]), meta);
+        let fields = stamped.as_object().unwrap();
+        assert_eq!(fields[0].0, "meta");
+        assert_eq!(fields[1].0, "x");
+        let meta_fields = fields[0].1.as_object().unwrap();
+        assert!(meta_fields.iter().any(|(k, _)| k == "git_commit"));
+        assert!(meta_fields.iter().any(|(k, _)| k == "argv"));
+        assert!(meta_fields
+            .iter()
+            .any(|(k, v)| k == "telemetry_off" && *v == Value::Bool(true)));
+    }
+
+    #[test]
+    fn non_objects_get_wrapped() {
+        let stamped = stamp(Value::Array(vec![Value::U64(7)]), run_meta(false));
+        let fields = stamped.as_object().unwrap();
+        assert_eq!(fields[0].0, "meta");
+        assert_eq!(fields[1].0, "results");
+        assert_eq!(fields[1].1, Value::Array(vec![Value::U64(7)]));
     }
 }

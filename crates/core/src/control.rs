@@ -41,12 +41,13 @@
 
 use crate::coefficient::Coefficients;
 use crate::faults::{FaultConfig, FaultInjector, RetryPolicy};
-use crate::metrics::ControlHealth;
+use crate::metrics::{ControlCounters, ControlHealth};
 use crate::params::TimeWindowConfig;
 use crate::queue_monitor::{QueueMonitor, QueueMonitorSnapshot};
 use crate::snapshot::{FlowEstimates, QueryInterval, TimeWindowSnapshot};
 use crate::time_windows::TimeWindowSet;
 use pq_packet::{FlowId, Nanos};
+use pq_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::ops::Deref;
 
@@ -239,6 +240,9 @@ struct PortRegisters {
     /// detection; on-demand reads answer a different question and do not
     /// extend coverage of the periodic chain).
     last_checkpoint_at: Option<Nanos>,
+    /// Index of the last set-period boundary a dequeue crossed, for
+    /// window-rotation span tracing.
+    last_rotation: u64,
 }
 
 impl PortRegisters {
@@ -262,6 +266,7 @@ impl PortRegisters {
             read_busy_until: 0,
             retry: None,
             last_checkpoint_at: None,
+            last_rotation: 0,
         }
     }
 
@@ -293,8 +298,12 @@ pub struct AnalysisProgram {
     /// Optional spill destination observing every stored checkpoint (the
     /// streaming persistence hook; `None` keeps everything in RAM only).
     spill: Option<Box<dyn CheckpointSink>>,
-    /// Control-plane health counters.
-    health: ControlHealth,
+    /// The telemetry plane every health counter records into. A private
+    /// default plane until [`AnalysisProgram::set_telemetry`] attaches a
+    /// shared one, so counting never needs a null check.
+    telemetry: Telemetry,
+    /// Pre-resolved control-plane counter handles into `telemetry`.
+    counters: ControlCounters,
     /// Cumulative register entries read by the control plane (for the
     /// bandwidth model).
     pub entries_read: u64,
@@ -350,6 +359,8 @@ impl AnalysisProgram {
             control.poll_period,
             tw_config.set_period()
         );
+        let telemetry = Telemetry::new();
+        let counters = ControlCounters::resolve(&telemetry);
         AnalysisProgram {
             coeffs: Coefficients::compute(&tw_config, d),
             ports: ports
@@ -372,7 +383,8 @@ impl AnalysisProgram {
             faults: None,
             retry_policy: RetryPolicy::default(),
             spill: None,
-            health: ControlHealth::default(),
+            telemetry,
+            counters,
             tw_config,
             control,
             entries_read: 0,
@@ -428,9 +440,29 @@ impl AnalysisProgram {
         self.spill.take()
     }
 
-    /// Control-plane health counters.
-    pub fn health(&self) -> &ControlHealth {
-        &self.health
+    /// Control-plane health counters, read out of the telemetry registry
+    /// (the registry is the source of truth; this struct is a view).
+    pub fn health(&self) -> ControlHealth {
+        self.counters.health()
+    }
+
+    /// Attach a shared telemetry plane. All health counters, the
+    /// freeze-and-read latency histogram, and (when tracing is enabled)
+    /// freeze-and-read / window-rotation spans record into it from now on;
+    /// counts accumulated under the previous plane are carried over so
+    /// totals never regress.
+    pub fn set_telemetry(&mut self, plane: &Telemetry) {
+        let old = self.counters.health();
+        let counters = ControlCounters::resolve(plane);
+        counters.seed(&old, self.entries_read, self.bytes_read);
+        self.counters = counters;
+        self.telemetry = plane.clone();
+    }
+
+    /// The telemetry plane in use (a private default until
+    /// [`AnalysisProgram::set_telemetry`] replaces it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Recorded coverage gaps for `port`, oldest first.
@@ -453,6 +485,23 @@ impl AnalysisProgram {
     pub fn record_dequeue(&mut self, port: u16, flow: FlowId, deq_ts: Nanos) {
         if let Some(i) = self.port_index(port) {
             self.ports[i].1.time_windows.record(flow, deq_ts);
+            if self.telemetry.tracing_enabled() {
+                // One span per completed set period: the rings rotate every
+                // t_set, and a dequeue past the next boundary closes the
+                // previous rotation.
+                let t_set = self.tw_config.set_period();
+                let boundary = deq_ts / t_set;
+                let regs = &mut self.ports[i].1;
+                if boundary > regs.last_rotation {
+                    self.telemetry.spans().record(
+                        names::SPAN_WINDOW_ROTATION,
+                        regs.last_rotation * t_set,
+                        boundary * t_set,
+                        u32::from(port),
+                    );
+                    regs.last_rotation = boundary;
+                }
+            }
         }
     }
 
@@ -538,7 +587,7 @@ impl AnalysisProgram {
             // "Concurrent reads will be temporarily ignored until
             // PrintQueue can finish reading the special register set."
             self.dp_queries_ignored += 1;
-            self.health.dp_triggers_rejected += 1;
+            self.counters.dp_triggers_rejected.inc();
             return false;
         }
         self.attempt_read(i, now, true, Some(interval), 0);
@@ -556,9 +605,9 @@ impl AnalysisProgram {
         trigger: Option<QueryInterval>,
         attempt: u32,
     ) -> bool {
-        self.health.polls_attempted += 1;
+        self.counters.polls_attempted.inc();
         if attempt > 0 {
-            self.health.polls_retried += 1;
+            self.counters.polls_retried.inc();
         }
         if self.faults.is_none() {
             // Perfect substrate: the original synchronous, infallible read.
@@ -568,17 +617,17 @@ impl AnalysisProgram {
         let port = self.ports[i].0;
         let injector = self.faults.as_mut().expect("injector present");
         let failed = if injector.stalled(port, now) {
-            self.health.polls_stalled += 1;
+            self.counters.polls_stalled.inc();
             true
         } else if injector.read_fails(port) {
-            self.health.polls_failed += 1;
+            self.counters.polls_failed.inc();
             true
         } else {
             false
         };
         if failed {
             if self.retry_policy.at_ceiling(attempt) {
-                self.health.backoff_ceiling_hits += 1;
+                self.counters.backoff_ceiling_hits.inc();
             }
             let delay = self
                 .faults
@@ -632,12 +681,25 @@ impl AnalysisProgram {
         let qm_entries: u64 = queue_monitors.iter().map(|m| m.entries.len() as u64).sum();
         self.entries_read += tw_entries + qm_entries;
         self.bytes_read += tw_entries * 8 + qm_entries * 16;
+        self.counters.entries_read.add(tw_entries + qm_entries);
+        self.counters
+            .bytes_read
+            .add(tw_entries * 8 + qm_entries * 16);
+        self.counters.read_ns.record(latency);
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.spans().record(
+                names::SPAN_FREEZE_READ,
+                now,
+                now.saturating_add(latency),
+                u32::from(self.ports[i].0),
+            );
+        }
 
         if dropped {
             // Lost before storage: the periodic chain keeps its old
             // `last_checkpoint_at`, so the next successful store sees (and
             // records) the full gap this loss opened.
-            self.health.checkpoints_dropped += 1;
+            self.counters.checkpoints_dropped.inc();
             return;
         }
 
@@ -651,11 +713,11 @@ impl AnalysisProgram {
                         from: last,
                         to: now,
                     };
-                    self.health.coverage_gaps += 1;
-                    self.health.gap_ns += gap.len();
+                    self.counters.coverage_gaps.inc();
+                    self.counters.gap_ns.add(gap.len());
                     if let Some(sink) = self.spill.as_mut() {
                         if sink.on_gap(self.ports[i].0, gap).is_err() {
-                            self.health.spill_errors += 1;
+                            self.counters.spill_errors.inc();
                         }
                     }
                     self.gaps[i].push(gap);
@@ -667,7 +729,7 @@ impl AnalysisProgram {
             }
             self.ports[i].1.last_checkpoint_at = Some(now);
         }
-        self.health.checkpoints_stored += 1;
+        self.counters.checkpoints_stored.inc();
 
         let cp = Checkpoint {
             frozen_at: now,
@@ -678,7 +740,7 @@ impl AnalysisProgram {
         };
         if let Some(sink) = self.spill.as_mut() {
             if sink.on_checkpoint(self.ports[i].0, &cp).is_err() {
-                self.health.spill_errors += 1;
+                self.counters.spill_errors.inc();
             }
         }
         let store = &mut self.checkpoints[i];

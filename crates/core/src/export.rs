@@ -43,7 +43,7 @@ impl CheckpointArchive {
             port,
             checkpoints: analysis.checkpoints(port).to_vec(),
             gaps: analysis.coverage_gaps(port).to_vec(),
-            health: *analysis.health(),
+            health: analysis.health(),
         }
     }
 

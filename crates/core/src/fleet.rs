@@ -17,6 +17,7 @@ use crate::metrics::ControlHealth;
 use crate::printqueue::{PrintQueue, PrintQueueConfig};
 use pq_packet::{Nanos, SimPacket};
 use pq_switch::QueueHooks;
+use pq_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -135,12 +136,14 @@ impl Fleet {
         }
     }
 
-    /// Roll up every switch's control-plane health counters.
+    /// Roll up every switch's control-plane health counters. Each
+    /// [`ControlHealth`] is read out of that switch's telemetry registry,
+    /// so this rollup and [`Fleet::metrics`] can never disagree.
     pub fn health(&self) -> FleetHealth {
         let mut per_switch: Vec<(SwitchId, ControlHealth)> = self
             .instances
             .iter()
-            .map(|(id, pq)| (*id, *pq.analysis().health()))
+            .map(|(id, pq)| (*id, pq.analysis().health()))
             .collect();
         per_switch.sort_by_key(|(id, _)| *id);
         let mut total = ControlHealth::default();
@@ -148,6 +151,17 @@ impl Fleet {
             total.merge(h);
         }
         FleetHealth { per_switch, total }
+    }
+
+    /// Merge every switch's telemetry registry into one fleet-wide
+    /// snapshot (counters add, gauges take the max, histograms add
+    /// bucket-wise — all associative, so fold order is irrelevant).
+    pub fn metrics(&self) -> RegistrySnapshot {
+        let mut total = RegistrySnapshot::default();
+        for pq in self.instances.values() {
+            total.merge(&pq.analysis().telemetry().snapshot());
+        }
+        total
     }
 
     /// Diagnose a victim across its path.
@@ -335,6 +349,39 @@ mod tests {
         assert_eq!(result.total_delay, 1_100);
         assert!(!fleet.is_empty());
         assert!(fleet.instance(99).is_none());
+    }
+
+    #[test]
+    fn metrics_rollup_agrees_with_health_rollup() {
+        let mut fleet = Fleet::new();
+        fleet.deploy(1, config());
+        fleet.deploy(2, config());
+        fleet
+            .instance_mut(1)
+            .unwrap()
+            .analysis_mut()
+            .on_tick(500_000);
+        fleet
+            .instance_mut(2)
+            .unwrap()
+            .analysis_mut()
+            .on_tick(500_000);
+        fleet
+            .instance_mut(2)
+            .unwrap()
+            .analysis_mut()
+            .on_tick(1_000_000);
+        let health = fleet.health();
+        let metrics = fleet.metrics();
+        assert_eq!(health.total.polls_attempted, 3);
+        assert_eq!(
+            metrics.counter(pq_telemetry::names::CONTROL_POLLS_ATTEMPTED, &[]),
+            Some(health.total.polls_attempted)
+        );
+        assert_eq!(
+            metrics.counter(pq_telemetry::names::CONTROL_CHECKPOINTS_STORED, &[]),
+            Some(health.total.checkpoints_stored)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! true positives are `min(estimate, truth)`.
 
 use pq_packet::FlowId;
+use pq_telemetry::{names, Counter, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -92,6 +93,89 @@ impl ControlHealth {
     /// A healthy control plane has lost no coverage and dropped nothing.
     pub fn is_healthy(&self) -> bool {
         self.coverage_gaps == 0 && self.checkpoints_dropped == 0 && self.polls_failed == 0
+    }
+}
+
+/// Pre-resolved registry handles for every control-plane counter.
+///
+/// The registry is the single source of truth for these numbers;
+/// [`ControlHealth`] is assembled on demand as a back-compat *view* of the
+/// same atomics ([`ControlCounters::health`]), so the struct an experiment
+/// serializes and the exposition `pqsim --telemetry` emits can never
+/// disagree. Handles are resolved once per telemetry plane (registration is
+/// the cold path); incrementing them is a relaxed atomic add.
+pub(crate) struct ControlCounters {
+    pub polls_attempted: Counter,
+    pub polls_failed: Counter,
+    pub polls_retried: Counter,
+    pub polls_stalled: Counter,
+    pub checkpoints_stored: Counter,
+    pub checkpoints_dropped: Counter,
+    pub coverage_gaps: Counter,
+    pub gap_ns: Counter,
+    pub backoff_ceiling_hits: Counter,
+    pub dp_triggers_rejected: Counter,
+    pub spill_errors: Counter,
+    pub entries_read: Counter,
+    pub bytes_read: Counter,
+    pub read_ns: Histogram,
+}
+
+impl ControlCounters {
+    /// Resolve every handle against `plane`'s registry.
+    pub fn resolve(plane: &Telemetry) -> ControlCounters {
+        let reg = plane.registry();
+        ControlCounters {
+            polls_attempted: reg.counter(names::CONTROL_POLLS_ATTEMPTED, &[]),
+            polls_failed: reg.counter(names::CONTROL_POLLS_FAILED, &[]),
+            polls_retried: reg.counter(names::CONTROL_POLLS_RETRIED, &[]),
+            polls_stalled: reg.counter(names::CONTROL_POLLS_STALLED, &[]),
+            checkpoints_stored: reg.counter(names::CONTROL_CHECKPOINTS_STORED, &[]),
+            checkpoints_dropped: reg.counter(names::CONTROL_CHECKPOINTS_DROPPED, &[]),
+            coverage_gaps: reg.counter(names::CONTROL_COVERAGE_GAPS, &[]),
+            gap_ns: reg.counter(names::CONTROL_GAP_NS, &[]),
+            backoff_ceiling_hits: reg.counter(names::CONTROL_BACKOFF_CEILING, &[]),
+            dp_triggers_rejected: reg.counter(names::CONTROL_DP_REJECTED, &[]),
+            spill_errors: reg.counter(names::CONTROL_SPILL_ERRORS, &[]),
+            entries_read: reg.counter(names::CONTROL_ENTRIES_READ, &[]),
+            bytes_read: reg.counter(names::CONTROL_BYTES_READ, &[]),
+            read_ns: reg.histogram(names::CONTROL_READ_NS, &[]),
+        }
+    }
+
+    /// Carry counts accumulated under a previous plane into this one, so
+    /// attaching telemetry mid-run loses nothing.
+    pub fn seed(&self, health: &ControlHealth, entries_read: u64, bytes_read: u64) {
+        self.polls_attempted.add(health.polls_attempted);
+        self.polls_failed.add(health.polls_failed);
+        self.polls_retried.add(health.polls_retried);
+        self.polls_stalled.add(health.polls_stalled);
+        self.checkpoints_stored.add(health.checkpoints_stored);
+        self.checkpoints_dropped.add(health.checkpoints_dropped);
+        self.coverage_gaps.add(health.coverage_gaps);
+        self.gap_ns.add(health.gap_ns);
+        self.backoff_ceiling_hits.add(health.backoff_ceiling_hits);
+        self.dp_triggers_rejected.add(health.dp_triggers_rejected);
+        self.spill_errors.add(health.spill_errors);
+        self.entries_read.add(entries_read);
+        self.bytes_read.add(bytes_read);
+    }
+
+    /// The back-compat view: a [`ControlHealth`] read out of the registry.
+    pub fn health(&self) -> ControlHealth {
+        ControlHealth {
+            polls_attempted: self.polls_attempted.get(),
+            polls_failed: self.polls_failed.get(),
+            polls_retried: self.polls_retried.get(),
+            polls_stalled: self.polls_stalled.get(),
+            checkpoints_stored: self.checkpoints_stored.get(),
+            checkpoints_dropped: self.checkpoints_dropped.get(),
+            coverage_gaps: self.coverage_gaps.get(),
+            gap_ns: self.gap_ns.get(),
+            backoff_ceiling_hits: self.backoff_ceiling_hits.get(),
+            dp_triggers_rejected: self.dp_triggers_rejected.get(),
+            spill_errors: self.spill_errors.get(),
+        }
     }
 }
 

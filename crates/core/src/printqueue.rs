@@ -17,6 +17,7 @@ use crate::params::TimeWindowConfig;
 use crate::snapshot::QueryInterval;
 use pq_packet::{Nanos, SimPacket};
 use pq_switch::QueueHooks;
+use pq_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// When should the data plane trigger an on-demand query?
@@ -158,6 +159,18 @@ impl PrintQueue {
     /// Mutable analysis program (query execution filters lazily).
     pub fn analysis_mut(&mut self) -> &mut AnalysisProgram {
         &mut self.analysis
+    }
+
+    /// Attach a shared telemetry plane (forwarded to the analysis
+    /// program). Pair with [`pq_switch::Switch::set_telemetry`] on the
+    /// same plane so switch and control-plane series share one namespace.
+    pub fn set_telemetry(&mut self, plane: &Telemetry) {
+        self.analysis.set_telemetry(plane);
+    }
+
+    /// The telemetry plane in use.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.analysis.telemetry()
     }
 }
 

@@ -6,7 +6,7 @@
 //! too large to keep in RAM or to re-parse from JSON at query time. This
 //! crate gives the analysis pipeline a durable home for that stream:
 //!
-//! * **`.pqa` format** ([`format`]) — an append-only file of sealed
+//! * **`.pqa` format** ([`format`](mod@format)) — an append-only file of sealed
 //!   segments, each CRC-32-protected and self-describing, closed by a
 //!   trailer index (see the format module docs for the byte layout);
 //! * **codec** ([`codec`]) — sparse, delta-compressed checkpoint bodies

@@ -27,7 +27,9 @@ use pq_core::control::{Checkpoint, CoverageGap, QueryResult};
 use pq_core::export::CheckpointArchive;
 use pq_core::params::TimeWindowConfig;
 use pq_core::snapshot::{FlowEstimates, QueryInterval};
+use pq_telemetry::{names, Counter, Histogram, Telemetry};
 use std::io::{self, Read, Seek, SeekFrom};
+use std::time::Instant;
 
 /// How the reader located its segment metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +39,27 @@ pub enum Recovery {
     /// The trailer was missing or corrupt; segments were recovered by a
     /// forward scan.
     Scan,
+}
+
+/// Pre-resolved registry handles for reader-side metrics, plus the plane
+/// itself for replay-query span tracing.
+struct ReaderInstruments {
+    plane: Telemetry,
+    segments_decoded: Counter,
+    checkpoints_decoded: Counter,
+    replay_query_ns: Histogram,
+}
+
+impl ReaderInstruments {
+    fn resolve(plane: &Telemetry) -> ReaderInstruments {
+        let reg = plane.registry();
+        ReaderInstruments {
+            segments_decoded: reg.counter(names::STORE_SEGMENTS_DECODED, &[]),
+            checkpoints_decoded: reg.counter(names::STORE_CHECKPOINTS_DECODED, &[]),
+            replay_query_ns: reg.histogram(names::STORE_REPLAY_QUERY_NS, &[]),
+            plane: plane.clone(),
+        }
+    }
 }
 
 /// A reader over a seekable `.pqa` source.
@@ -52,6 +75,7 @@ pub struct StoreReader<R: Read + Seek> {
     /// Whether the scan hit unparseable bytes before end of file.
     tail_torn: bool,
     budget_bytes: u64,
+    telemetry: Option<ReaderInstruments>,
 }
 
 impl<R: Read + Seek> StoreReader<R> {
@@ -73,6 +97,7 @@ impl<R: Read + Seek> StoreReader<R> {
             recovery: Recovery::Index,
             tail_torn: false,
             budget_bytes: 64 << 20,
+            telemetry: None,
         };
         match reader.try_trailer(file_len)? {
             Some((segments, ports)) => {
@@ -94,6 +119,14 @@ impl<R: Read + Seek> StoreReader<R> {
     /// prefix can never trigger an oversized allocation.
     pub fn set_decode_budget(&mut self, bytes: u64) {
         self.budget_bytes = bytes;
+    }
+
+    /// Attach a telemetry plane: decoded segments/checkpoints are counted,
+    /// replay-query wall-clock latency goes into a histogram, and (when
+    /// tracing is enabled) each [`query`](Self::query) emits a
+    /// `replay_query` span covering the queried sim-time interval.
+    pub fn set_telemetry(&mut self, plane: &Telemetry) {
+        self.telemetry = Some(ReaderInstruments::resolve(plane));
     }
 
     /// The window geometry of the stored checkpoints.
@@ -318,6 +351,10 @@ impl<R: Read + Seek> StoreReader<R> {
         if !body_cursor.is_empty() {
             return Err(invalid("trailing bytes after last checkpoint"));
         }
+        if let Some(t) = &self.telemetry {
+            t.segments_decoded.inc();
+            t.checkpoints_decoded.add(cps.len() as u64);
+        }
         Ok(cps)
     }
 
@@ -380,6 +417,7 @@ impl<R: Read + Seek> StoreReader<R> {
         interval: QueryInterval,
         coeffs: &Coefficients,
     ) -> io::Result<QueryResult> {
+        let started = Instant::now();
         let metas: Vec<SegmentMeta> = self
             .segments
             .iter()
@@ -439,6 +477,20 @@ impl<R: Read + Seek> StoreReader<R> {
                 from: last,
                 to: interval.to,
             });
+        }
+        if let Some(t) = &self.telemetry {
+            t.replay_query_ns
+                .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if t.plane.tracing_enabled() {
+                // The span covers the queried sim-time interval, not wall
+                // clock — the trace timeline is sim time throughout.
+                t.plane.spans().record(
+                    names::SPAN_REPLAY_QUERY,
+                    interval.from,
+                    interval.to,
+                    u32::from(port),
+                );
+            }
         }
         Ok(QueryResult {
             degraded: !gaps.is_empty(),

@@ -8,7 +8,7 @@
 //! continuously instead of accumulating a whole run in its snapshot ring.
 //!
 //! [`SharedStoreWriter`] adapts the writer to the
-//! [`CheckpointSink`](pq_core::control::CheckpointSink) spill hook of the
+//! [`CheckpointSink`] spill hook of the
 //! analysis program while the caller keeps a handle to `finish()` the
 //! file afterwards.
 
@@ -20,6 +20,7 @@ use pq_core::control::{Checkpoint, CheckpointSink, CoverageGap};
 use pq_core::metrics::ControlHealth;
 use pq_core::params::TimeWindowConfig;
 use pq_packet::Nanos;
+use pq_telemetry::{names, Counter, Histogram, Telemetry};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
@@ -65,6 +66,29 @@ struct PortState {
     meta: PortMeta,
 }
 
+/// Pre-resolved registry handles for writer-side metrics, plus the plane
+/// itself for segment-flush span tracing.
+struct WriterInstruments {
+    plane: Telemetry,
+    checkpoints_written: Counter,
+    segments_sealed: Counter,
+    bytes_written: Counter,
+    segment_bytes: Histogram,
+}
+
+impl WriterInstruments {
+    fn resolve(plane: &Telemetry) -> WriterInstruments {
+        let reg = plane.registry();
+        WriterInstruments {
+            checkpoints_written: reg.counter(names::STORE_CHECKPOINTS_WRITTEN, &[]),
+            segments_sealed: reg.counter(names::STORE_SEGMENTS_SEALED, &[]),
+            bytes_written: reg.counter(names::STORE_BYTES_WRITTEN, &[]),
+            segment_bytes: reg.histogram(names::STORE_SEGMENT_BYTES, &[]),
+            plane: plane.clone(),
+        }
+    }
+}
+
 /// Streaming writer for a `.pqa` archive.
 pub struct StoreWriter<W: Write> {
     out: W,
@@ -73,6 +97,7 @@ pub struct StoreWriter<W: Write> {
     policy: SegmentPolicy,
     segments: Vec<SegmentMeta>,
     ports: BTreeMap<u16, PortState>,
+    telemetry: Option<WriterInstruments>,
 }
 
 impl<W: Write> StoreWriter<W> {
@@ -97,7 +122,17 @@ impl<W: Write> StoreWriter<W> {
             policy,
             segments: Vec::new(),
             ports: BTreeMap::new(),
+            telemetry: None,
         })
+    }
+
+    /// Attach a telemetry plane: appended checkpoints, sealed segments,
+    /// and written bytes are counted, segment sizes go into a histogram,
+    /// and (when tracing is enabled) each sealed segment emits a
+    /// `segment_flush` span covering the sim-time range of the checkpoints
+    /// inside it.
+    pub fn set_telemetry(&mut self, plane: &Telemetry) {
+        self.telemetry = Some(WriterInstruments::resolve(plane));
     }
 
     /// The window geometry this store holds.
@@ -126,6 +161,9 @@ impl<W: Write> StoreWriter<W> {
             prev_periodic: chain,
         });
         encode_checkpoint(&mut open.body, &tw, &mut open.state, cp)?;
+        if let Some(t) = &self.telemetry {
+            t.checkpoints_written.inc();
+        }
         open.count += 1;
         open.min_t = open.min_t.min(cp.frozen_at);
         open.max_t = open.max_t.max(cp.frozen_at);
@@ -183,6 +221,20 @@ impl<W: Write> StoreWriter<W> {
         meta.len = frame.len() as u64;
         self.out.write_all(&frame)?;
         self.pos += meta.len;
+        if let Some(t) = &self.telemetry {
+            t.segments_sealed.inc();
+            t.bytes_written.add(meta.len);
+            t.segment_bytes.record(meta.len);
+            if t.plane.tracing_enabled() {
+                // The span covers the sim-time range the segment holds.
+                t.plane.spans().record(
+                    names::SPAN_SEGMENT_FLUSH,
+                    open.min_t,
+                    open.max_t,
+                    u32::from(port),
+                );
+            }
+        }
         self.segments.push(meta);
         Ok(())
     }

@@ -34,6 +34,7 @@ pub mod router;
 pub mod scheduler;
 pub mod stats;
 pub mod switch;
+mod telemetry;
 pub mod tm;
 pub mod topology;
 

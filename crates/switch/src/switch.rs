@@ -3,8 +3,10 @@
 use crate::event::{Calendar, Event};
 use crate::hooks::QueueHooks;
 use crate::stats::PortStats;
+use crate::telemetry::SwitchTelemetry;
 use crate::tm::{EnqueueOutcome, Port};
 use pq_packet::{Nanos, SimPacket};
+use pq_telemetry::{names, Telemetry};
 
 pub use crate::tm::PortConfig;
 
@@ -71,6 +73,7 @@ pub struct Switch {
     calendar: Calendar,
     now: Nanos,
     next_seqno: u64,
+    telemetry: Option<SwitchTelemetry>,
 }
 
 impl Switch {
@@ -83,7 +86,21 @@ impl Switch {
             calendar: Calendar::new(),
             now: 0,
             next_seqno: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry plane: per-port counters, the residence
+    /// histogram, and (when tracing is enabled on the plane)
+    /// enqueue→dequeue residence spans. Metric handles are resolved here,
+    /// once; counts accumulated before attachment are carried over so
+    /// registry totals always match [`PortStats`].
+    pub fn set_telemetry(&mut self, plane: &Telemetry) {
+        let tel = SwitchTelemetry::new(plane, self.ports.len());
+        for (i, port) in self.ports.iter().enumerate() {
+            tel.seed(i, &port.stats);
+        }
+        self.telemetry = Some(tel);
     }
 
     /// Current simulation time.
@@ -118,12 +135,21 @@ impl Switch {
         let p = &mut self.ports[usize::from(port)];
         match p.enqueue(&mut pkt, cell_bytes, self.now) {
             EnqueueOutcome::Stored { depth_after } => {
+                if let Some(tel) = &self.telemetry {
+                    let inst = &tel.ports[usize::from(port)];
+                    inst.enqueued.inc();
+                    inst.max_depth_cells
+                        .set_max(u64::from(self.ports[usize::from(port)].depth_cells()));
+                }
                 for hook in hooks.iter_mut() {
                     hook.on_enqueue(&pkt, port, depth_after, self.now);
                 }
                 self.maybe_start_tx(port, hooks);
             }
             EnqueueOutcome::Dropped => {
+                if let Some(tel) = &self.telemetry {
+                    tel.ports[usize::from(port)].dropped.inc();
+                }
                 for hook in hooks.iter_mut() {
                     hook.on_drop(&pkt, port, self.now);
                 }
@@ -141,6 +167,20 @@ impl Switch {
             // Hooks observe the departing packet's own queue (equals the
             // port depth on FIFO ports).
             let depth_after = p.queue_depth_cells(pkt.meta.queue);
+            if let Some(tel) = &self.telemetry {
+                let inst = &tel.ports[usize::from(port)];
+                inst.dequeued.inc();
+                inst.tx_bytes.add(u64::from(pkt.len));
+                inst.residence_ns.record(u64::from(pkt.meta.deq_timedelta));
+                if tel.plane.tracing_enabled() {
+                    tel.plane.spans().record(
+                        names::SPAN_RESIDENCE,
+                        pkt.meta.enq_timestamp,
+                        pkt.meta.deq_timestamp(),
+                        u32::from(port),
+                    );
+                }
+            }
             for hook in hooks.iter_mut() {
                 hook.on_dequeue(&pkt, port, depth_after, self.now);
             }
@@ -341,6 +381,76 @@ mod tests {
             sw.run(arrivals_back_to_back(6, 1500, 2000), &mut hooks, 2_500);
         }
         assert!(counter.ticks.starts_with(&[2_500, 5_000, 7_500, 10_000]));
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_port_stats() {
+        let plane = Telemetry::new();
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 19));
+        sw.set_telemetry(&plane);
+        let mut sink = TelemetrySink::new();
+        let arrivals = vec![
+            Arrival::new(SimPacket::new(FlowId(0), 1500, 0), 0),
+            Arrival::new(SimPacket::new(FlowId(1), 1500, 1), 0),
+            Arrival::new(SimPacket::new(FlowId(2), 1500, 2), 0),
+        ];
+        sw.run(arrivals, &mut [&mut sink], 0);
+        let stats = *sw.port_stats(0);
+        let snap = plane.snapshot();
+        let port = [("port", "0")];
+        assert_eq!(
+            snap.counter(names::SWITCH_ENQUEUED, &port),
+            Some(stats.enqueued)
+        );
+        assert_eq!(
+            snap.counter(names::SWITCH_DEQUEUED, &port),
+            Some(stats.dequeued)
+        );
+        assert_eq!(
+            snap.counter(names::SWITCH_DROPPED, &port),
+            Some(stats.dropped)
+        );
+        assert_eq!(
+            snap.counter(names::SWITCH_TX_BYTES, &port),
+            Some(stats.tx_bytes)
+        );
+        let residence = snap.histogram(names::SWITCH_RESIDENCE_NS, &port).unwrap();
+        assert_eq!(residence.count, stats.dequeued);
+        assert_eq!(residence.sum, stats.total_queue_delay);
+    }
+
+    #[test]
+    fn residence_spans_recorded_when_tracing() {
+        let plane = Telemetry::new();
+        plane.set_tracing(true);
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+        sw.set_telemetry(&plane);
+        let mut sink = TelemetrySink::new();
+        sw.run(arrivals_back_to_back(5, 1500, 1), &mut [&mut sink], 0);
+        let spans = plane.spans().snapshot();
+        let residence: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == names::SPAN_RESIDENCE)
+            .collect();
+        assert_eq!(residence.len(), 5);
+        for s in residence {
+            assert!(s.end >= s.start);
+        }
+    }
+
+    #[test]
+    fn late_attach_seeds_existing_counts() {
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 10_000));
+        let mut sink = TelemetrySink::new();
+        sw.run(arrivals_back_to_back(10, 1500, 2000), &mut [&mut sink], 0);
+        let plane = Telemetry::new();
+        sw.set_telemetry(&plane);
+        assert_eq!(
+            plane
+                .snapshot()
+                .counter(names::SWITCH_ENQUEUED, &[("port", "0")]),
+            Some(10)
+        );
     }
 
     #[test]

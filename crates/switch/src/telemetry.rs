@@ -1,0 +1,64 @@
+//! Registry instrumentation for the switch.
+//!
+//! [`SwitchTelemetry`] is resolved once when a [`crate::Switch`] is handed
+//! a [`Telemetry`] plane: every per-port counter, gauge, and histogram
+//! handle is looked up at install time, so the per-packet path touches
+//! only pre-resolved `Arc`-backed atomics — no map lookups, no locks, no
+//! allocation. An uninstrumented switch (the default) pays a single
+//! `Option` check per event.
+
+use pq_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
+
+/// Pre-resolved metric handles for one egress port.
+pub(crate) struct PortInstruments {
+    pub enqueued: Counter,
+    pub dequeued: Counter,
+    pub dropped: Counter,
+    pub tx_bytes: Counter,
+    pub residence_ns: Histogram,
+    pub max_depth_cells: Gauge,
+}
+
+/// Everything the switch needs to record into a telemetry plane.
+pub(crate) struct SwitchTelemetry {
+    pub plane: Telemetry,
+    pub ports: Vec<PortInstruments>,
+}
+
+impl SwitchTelemetry {
+    /// Resolve handles for `num_ports` ports, labelled `port="<i>"`.
+    pub fn new(plane: &Telemetry, num_ports: usize) -> SwitchTelemetry {
+        let reg = plane.registry();
+        let ports = (0..num_ports)
+            .map(|i| {
+                let port = i.to_string();
+                let labels: &[(&str, &str)] = &[("port", &port)];
+                PortInstruments {
+                    enqueued: reg.counter(names::SWITCH_ENQUEUED, labels),
+                    dequeued: reg.counter(names::SWITCH_DEQUEUED, labels),
+                    dropped: reg.counter(names::SWITCH_DROPPED, labels),
+                    tx_bytes: reg.counter(names::SWITCH_TX_BYTES, labels),
+                    residence_ns: reg.histogram(names::SWITCH_RESIDENCE_NS, labels),
+                    max_depth_cells: reg.gauge(names::SWITCH_MAX_DEPTH_CELLS, labels),
+                }
+            })
+            .collect();
+        SwitchTelemetry {
+            plane: plane.clone(),
+            ports,
+        }
+    }
+
+    /// Carry counts accumulated before installation into the registry so
+    /// registry totals always equal [`crate::PortStats`] totals, however
+    /// late the plane is attached.
+    pub fn seed(&self, port: usize, stats: &crate::stats::PortStats) {
+        let inst = &self.ports[port];
+        inst.enqueued.add(stats.enqueued);
+        inst.dequeued.add(stats.dequeued);
+        inst.dropped.add(stats.dropped);
+        inst.tx_bytes.add(stats.tx_bytes);
+        inst.max_depth_cells
+            .set_max(u64::from(stats.max_depth_cells));
+    }
+}

@@ -1,0 +1,205 @@
+//! pq-telemetry: the reproduction's own observability plane.
+//!
+//! PrintQueue diagnoses *other* systems' queues; this crate lets the
+//! reproduction diagnose itself. The design follows the shape of in-switch
+//! histogram monitoring (P4TG-style log-bucketed RTT histograms) and
+//! Rust-native runtime control planes with first-class metrics (RBFRT):
+//! keep the hot path to a handful of relaxed atomic operations, and expose
+//! everything through one uniform registry.
+//!
+//! Three layers:
+//!
+//! * [`registry`] — named counters, gauges, and log2-bucketed histograms.
+//!   Handles are `Arc`-backed atomics: recording never locks, never
+//!   allocates, and is safe from any thread. Registration (cold path)
+//!   takes a mutex. Snapshots are plain data with an **associative**
+//!   [`RegistrySnapshot::merge`], so fleet-level rollups are just folds.
+//! * [`spans`] — nanosecond sim-clock span tracing (enqueue→dequeue
+//!   residence, freeze-and-read, window rotation, segment flush, replay
+//!   query) into a bounded ring buffer. Off by default: a disabled tracer
+//!   costs one relaxed atomic load per call site. Toggle at runtime with
+//!   [`Telemetry::set_tracing`].
+//! * exporters — [`prometheus`] text exposition (plus a parser for
+//!   smoke-testing it) and [`chrome`] trace-event JSON loadable in
+//!   Perfetto or `chrome://tracing`.
+//!
+//! The [`Telemetry`] handle bundles a registry and a tracer and clones
+//! cheaply (it is internally `Arc`-shared), so the switch, the control
+//! plane, and the store can all record into the same namespace. Every
+//! metric name this workspace emits is a constant in [`names`] — one
+//! place to grep, one schema to document (DESIGN.md §9).
+
+pub mod chrome;
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+pub mod spans;
+
+pub use chrome::to_chrome_trace;
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use prometheus::{parse_prometheus, to_prometheus, ParsedMetric};
+pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
+pub use spans::{SpanEvent, SpanTracer};
+
+use std::sync::Arc;
+
+/// Canonical metric and span names — the telemetry schema.
+///
+/// Conventions: every metric is prefixed `pq_<crate>_`; counters end in
+/// `_total`; histograms carry their unit as a suffix (`_ns`, `_bytes`);
+/// per-port series use a `port` label. Span names are verbs describing the
+/// unit of work the span covers.
+pub mod names {
+    // -- pq-switch ---------------------------------------------------------
+    /// Packets admitted to a port's queue (counter, label `port`).
+    pub const SWITCH_ENQUEUED: &str = "pq_switch_enqueued_total";
+    /// Packets transmitted from a port (counter, label `port`).
+    pub const SWITCH_DEQUEUED: &str = "pq_switch_dequeued_total";
+    /// Packets tail-dropped at a port (counter, label `port`).
+    pub const SWITCH_DROPPED: &str = "pq_switch_dropped_total";
+    /// Bytes transmitted from a port (counter, label `port`).
+    pub const SWITCH_TX_BYTES: &str = "pq_switch_tx_bytes_total";
+    /// Per-packet queue residence, enqueue→dequeue (histogram, ns,
+    /// label `port`).
+    pub const SWITCH_RESIDENCE_NS: &str = "pq_switch_residence_ns";
+    /// Highest queue depth observed (gauge, cells, label `port`).
+    pub const SWITCH_MAX_DEPTH_CELLS: &str = "pq_switch_max_depth_cells";
+
+    // -- pq-core control plane --------------------------------------------
+    /// Freeze-and-read attempts, first tries and retries alike (counter).
+    pub const CONTROL_POLLS_ATTEMPTED: &str = "pq_control_polls_attempted_total";
+    /// Attempts that failed outright (counter).
+    pub const CONTROL_POLLS_FAILED: &str = "pq_control_polls_failed_total";
+    /// Attempts that were retries of earlier failures (counter).
+    pub const CONTROL_POLLS_RETRIED: &str = "pq_control_polls_retried_total";
+    /// Attempts rejected inside an injected stall window (counter).
+    pub const CONTROL_POLLS_STALLED: &str = "pq_control_polls_stalled_total";
+    /// Checkpoints successfully stored (counter).
+    pub const CONTROL_CHECKPOINTS_STORED: &str = "pq_control_checkpoints_stored_total";
+    /// Checkpoints read but lost before storage (counter).
+    pub const CONTROL_CHECKPOINTS_DROPPED: &str = "pq_control_checkpoints_dropped_total";
+    /// Coverage gaps recorded (counter).
+    pub const CONTROL_COVERAGE_GAPS: &str = "pq_control_coverage_gaps_total";
+    /// Nanoseconds covered by recorded gaps (counter).
+    pub const CONTROL_GAP_NS: &str = "pq_control_gap_ns_total";
+    /// Failures whose backoff had reached the policy ceiling (counter).
+    pub const CONTROL_BACKOFF_CEILING: &str = "pq_control_backoff_ceiling_total";
+    /// Data-plane triggers rejected while a special read was out (counter).
+    pub const CONTROL_DP_REJECTED: &str = "pq_control_dp_triggers_rejected_total";
+    /// Checkpoint-spill sink writes that failed (counter).
+    pub const CONTROL_SPILL_ERRORS: &str = "pq_control_spill_errors_total";
+    /// Register entries read across PCIe (counter).
+    pub const CONTROL_ENTRIES_READ: &str = "pq_control_entries_read_total";
+    /// Bytes read across PCIe (counter).
+    pub const CONTROL_BYTES_READ: &str = "pq_control_bytes_read_total";
+    /// Freeze-and-read sim-time duration (histogram, ns).
+    pub const CONTROL_READ_NS: &str = "pq_control_read_ns";
+
+    // -- pq-store ----------------------------------------------------------
+    /// Checkpoints appended to a store (counter).
+    pub const STORE_CHECKPOINTS_WRITTEN: &str = "pq_store_checkpoints_written_total";
+    /// Segments sealed to disk (counter).
+    pub const STORE_SEGMENTS_SEALED: &str = "pq_store_segments_sealed_total";
+    /// Encoded segment bytes written, framing included (counter).
+    pub const STORE_BYTES_WRITTEN: &str = "pq_store_bytes_written_total";
+    /// Sealed segment size (histogram, bytes).
+    pub const STORE_SEGMENT_BYTES: &str = "pq_store_segment_bytes";
+    /// Segments decoded by a reader (counter).
+    pub const STORE_SEGMENTS_DECODED: &str = "pq_store_segments_decoded_total";
+    /// Checkpoints decoded by a reader (counter).
+    pub const STORE_CHECKPOINTS_DECODED: &str = "pq_store_checkpoints_decoded_total";
+    /// Replay-query wall-clock latency (histogram, ns).
+    pub const STORE_REPLAY_QUERY_NS: &str = "pq_store_replay_query_ns";
+
+    // -- span names --------------------------------------------------------
+    /// One packet's enqueue→dequeue residence in a queue.
+    pub const SPAN_RESIDENCE: &str = "enqueue_dequeue_residence";
+    /// One control-plane freeze-and-read of a port's registers.
+    pub const SPAN_FREEZE_READ: &str = "freeze_and_read";
+    /// One set-period rotation of a port's time-window rings.
+    pub const SPAN_WINDOW_ROTATION: &str = "window_rotation";
+    /// One store segment sealed and flushed (covers the sim-time span of
+    /// the checkpoints inside it).
+    pub const SPAN_SEGMENT_FLUSH: &str = "segment_flush";
+    /// One offline replay query (covers the queried sim-time interval).
+    pub const SPAN_REPLAY_QUERY: &str = "replay_query";
+}
+
+/// The shared observability handle: one registry plus one span tracer.
+///
+/// Cloning is cheap (both halves are `Arc`-shared) and every clone records
+/// into the same storage, so a single `Telemetry` can be handed to the
+/// switch, the analysis program, and the store writer of one simulation.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    registry: Registry,
+    spans: Arc<SpanTracer>,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry plane with tracing disabled.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn spans(&self) -> &SpanTracer {
+        &self.spans
+    }
+
+    /// Enable or disable span tracing at runtime. Disabled tracing costs
+    /// one relaxed atomic load per instrumentation site.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+    }
+
+    /// Is span tracing currently enabled?
+    pub fn tracing_enabled(&self) -> bool {
+        self.spans.is_enabled()
+    }
+
+    /// Snapshot every metric (plain data; mergeable, exportable).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("metrics", &self.registry.len())
+            .field("tracing", &self.tracing_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        tel.registry().counter(names::SWITCH_ENQUEUED, &[]).inc();
+        other.registry().counter(names::SWITCH_ENQUEUED, &[]).inc();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(names::SWITCH_ENQUEUED, &[]), Some(2));
+    }
+
+    #[test]
+    fn tracing_toggles_through_any_clone() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        assert!(!tel.tracing_enabled());
+        other.set_tracing(true);
+        assert!(tel.tracing_enabled());
+        tel.spans().record(names::SPAN_FREEZE_READ, 10, 20, 0);
+        assert_eq!(other.spans().snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Prometheus text exposition (version 0.0.4) for registry snapshots,
+//! plus a small parser used by tests and the CI smoke step to verify the
+//! exposition round-trips.
+//!
+//! Counters and gauges render as `name{labels} value`. Histograms render
+//! in the standard cumulative form: one `name_bucket{le="..."}` series per
+//! occupied log2 bucket plus `le="+Inf"`, then `name_sum` and
+//! `name_count`. `# TYPE` comment lines are emitted once per metric name.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::registry::{MetricValue, RegistrySnapshot};
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let le = bucket_upper_bound(i).to_string();
+        let _ = write!(out, "{name}_bucket");
+        render_labels(out, labels, Some(("le", &le)));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    let _ = write!(out, "{name}_bucket");
+    render_labels(out, labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, " {}", h.count);
+    let _ = write!(out, "{name}_sum");
+    render_labels(out, labels, None);
+    let _ = writeln!(out, " {}", h.sum);
+    let _ = write!(out, "{name}_count");
+    render_labels(out, labels, None);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<String> = None;
+    for (key, value) in snapshot.iter() {
+        // Keys iterate in name order, so one TYPE line per name suffices.
+        if last_typed.as_deref() != Some(key.name.as_str()) {
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+            last_typed = Some(key.name.clone());
+        }
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                out.push_str(&key.name);
+                render_labels(&mut out, &key.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Histogram(h) => render_histogram(&mut out, &key.name, &key.labels, h),
+        }
+    }
+    out
+}
+
+/// One sample line parsed back out of an exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedMetric {
+    /// Sample name as written (histogram series keep their `_bucket` /
+    /// `_sum` / `_count` suffixes).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text exposition back into its sample lines.
+///
+/// Comment (`#`) and blank lines are skipped. Returns an error describing
+/// the first malformed line, making this usable as a smoke check that
+/// [`to_prometheus`] emitted something well-formed.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedMetric>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = parse_line(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<ParsedMetric, String> {
+    let (series, value_str) = match line.rfind('}') {
+        Some(close) => {
+            let (series, rest) = line.split_at(close + 1);
+            (series, rest.trim())
+        }
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("");
+            (name, parts.next().unwrap_or("").trim())
+        }
+    };
+    let value: f64 = if value_str == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_str
+            .parse()
+            .map_err(|_| format!("bad value {value_str:?}"))?
+    };
+
+    let (name, labels) = match series.find('{') {
+        None => (series.to_string(), Vec::new()),
+        Some(open) => {
+            let name = series[..open].to_string();
+            let body = series[open + 1..]
+                .strip_suffix('}')
+                .ok_or("unterminated label set")?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or("label without '='")?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or("unquoted label value")?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name, labels)
+        }
+    };
+    if name.is_empty() {
+        return Err("empty metric name".to_string());
+    }
+    Ok(ParsedMetric {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        reg.counter("pq_test_hits_total", &[("port", "3")]).add(7);
+        reg.gauge("pq_test_depth", &[]).set(12);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE pq_test_depth gauge"));
+        assert!(text.contains("# TYPE pq_test_hits_total counter"));
+        assert!(text.contains("pq_test_hits_total{port=\"3\"} 7"));
+
+        let parsed = parse_prometheus(&text).unwrap();
+        let hit = parsed
+            .iter()
+            .find(|m| m.name == "pq_test_hits_total")
+            .unwrap();
+        assert_eq!(hit.labels, vec![("port".to_string(), "3".to_string())]);
+        assert_eq!(hit.value, 7.0);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("pq_test_ns", &[]);
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE pq_test_ns histogram"));
+        assert!(text.contains("pq_test_ns_bucket{le=\"1\"} 2"));
+        assert!(text.contains("pq_test_ns_bucket{le=\"127\"} 3"));
+        assert!(text.contains("pq_test_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pq_test_ns_sum 102"));
+        assert!(text.contains("pq_test_ns_count 3"));
+
+        let parsed = parse_prometheus(&text).unwrap();
+        let inf = parsed
+            .iter()
+            .find(|m| {
+                m.name == "pq_test_ns_bucket"
+                    && m.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(parse_prometheus("just_a_name_no_value").is_err());
+        assert!(parse_prometheus("name{unclosed 3").is_err());
+        assert!(parse_prometheus("name notanumber").is_err());
+        assert!(parse_prometheus("# a comment\n\n").unwrap().is_empty());
+    }
+}

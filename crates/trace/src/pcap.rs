@@ -74,7 +74,7 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
 ///
 /// Runs every frame through the byte-level ingress parser; frames that are
 /// not Ethernet/IPv4/{TCP,UDP} are skipped (counted in the returned tally).
-/// A record whose length field exceeds [`MAX_INCL_LEN`] is rejected as
+/// A record whose length field exceeds `MAX_INCL_LEN` (256 KiB) is rejected as
 /// corrupt; a final record truncated mid-stream (an interrupted capture) is
 /// tolerated and counted as skipped rather than failing the whole import.
 pub fn read_pcap<R: Read>(mut r: R, port: u16) -> io::Result<(GeneratedTrace, usize)> {

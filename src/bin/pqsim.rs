@@ -6,9 +6,18 @@
 //!   Generate a workload trace and save it as a `.pqtr` file.
 //! * `info  FILE`
 //!   Print a saved trace's summary statistics.
-//! * `run   FILE [--alpha A --k K --t T --m0 M --d NS] [--victims N]`
+//! * `run   FILE [--alpha A --k K --t T --m0 M --d NS] [--victims N]
+//!   [--telemetry PATH]`
 //!   Replay a trace through the simulated switch with PrintQueue attached
-//!   and diagnose the N most-delayed packets.
+//!   and diagnose the N most-delayed packets. With `--telemetry`, span
+//!   tracing is enabled and two files are written: a Chrome trace-event
+//!   JSON at PATH (loadable in Perfetto / `chrome://tracing`) and a
+//!   Prometheus text exposition at PATH with a `.prom` extension.
+//! * `telemetry FILE [tw flags] [--out PATH] [--require a,b,c]`
+//!   Replay a trace with the full observability plane attached and print
+//!   a summary of every metric and span. `--require` names metrics (or
+//!   span names) that must be present and nonzero — the command exits
+//!   nonzero otherwise, which makes it a one-line smoke test for CI.
 //! * `case-study [--duration-ms N --seed S]`
 //!   Run the §7.2 queue-monitor case study and print the three culprit
 //!   views.
@@ -34,15 +43,34 @@
 //!   Convert an archive between JSON and `.pqa` (either direction),
 //!   auto-detecting the source format.
 //!
+//! Every subcommand accepts `--quiet`, which suppresses progress chatter.
+//! Progress goes to stderr; results go to stdout; errors exit nonzero.
 //! Everything is deterministic given the seed.
 
 use printqueue::core::culprits::GroundTruth;
 use printqueue::core::metrics::{self, precision_recall};
 use printqueue::prelude::*;
+use printqueue::store::{SegmentPolicy, SharedStoreWriter, StoreWriter};
+use printqueue::telemetry::{self, MetricValue, Telemetry};
 use printqueue::trace::workload::GeneratedTrace;
 use printqueue::trace::{io as trace_io, scenario};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Progress chatter: stderr, suppressed by `--quiet`. Results (the thing
+/// a subcommand exists to compute) stay on stdout.
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+type CliResult = Result<(), String>;
 
 fn usage() -> ! {
     eprintln!(
@@ -50,6 +78,8 @@ fn usage() -> ! {
          pqsim info FILE\n  \
          pqsim run FILE [--alpha A] [--k K] [--t T] [--m0 M] [--d NS] [--victims N]\n  \
          \x20         [--fault-rate P] [--fault-seed S] [--read-latency-ns NS]\n  \
+         \x20         [--telemetry PATH]\n  \
+         pqsim telemetry FILE [tw flags] [--out PATH] [--require a,b,c]\n  \
          pqsim case-study [--duration-ms N] [--seed S]\n  \
          pqsim export-pcap FILE.pqtr FILE.pcap\n  \
          pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
@@ -57,12 +87,17 @@ fn usage() -> ! {
          pqsim validate [tw flags] [--rate-gbps G] [--min-pkt B]\n  \
          pqsim archive FILE.pqtr OUT [--format json|pqa] [tw flags]\n  \
          pqsim replay-query ARCHIVE --from NS --to NS [--port P] [--d NS]\n  \
-         pqsim convert SRC DST [--format json|pqa]"
+         pqsim convert SRC DST [--format json|pqa]\n  \
+         (any subcommand: --quiet suppresses progress output)"
     );
     exit(2)
 }
 
-/// Minimal flag parser: `--name value` pairs plus positional arguments.
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["quiet"];
+
+/// Minimal flag parser: `--name value` pairs, boolean `--name` switches,
+/// and positional arguments.
 struct Args {
     positional: Vec<String>,
     flags: std::collections::HashMap<String, String>,
@@ -75,8 +110,12 @@ impl Args {
         let mut raw = raw.peekable();
         while let Some(arg) = raw.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = raw.next().unwrap_or_else(|| usage());
-                flags.insert(name.to_string(), value);
+                if BOOL_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let value = raw.next().unwrap_or_else(|| usage());
+                    flags.insert(name.to_string(), value);
+                }
             } else {
                 positional.push(arg);
             }
@@ -97,16 +136,22 @@ impl Args {
     fn get_str(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
     }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
 }
 
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else { usage() };
     let args = Args::parse(argv);
-    match cmd.as_str() {
+    QUIET.store(args.has("quiet"), Ordering::Relaxed);
+    let result = match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "info" => cmd_info(&args),
         "run" => cmd_run(&args),
+        "telemetry" => cmd_telemetry(&args),
         "case-study" => cmd_case_study(&args),
         "export-pcap" => cmd_export_pcap(&args),
         "import-pcap" => cmd_import_pcap(&args),
@@ -116,10 +161,14 @@ fn main() {
         "replay-query" => cmd_replay_query(&args),
         "convert" => cmd_convert(&args),
         _ => usage(),
+    };
+    if let Err(err) = result {
+        eprintln!("pqsim {cmd}: {err}");
+        exit(1);
     }
 }
 
-fn cmd_gen(args: &Args) {
+fn cmd_gen(args: &Args) -> CliResult {
     let kind = match args.get_str("kind") {
         Some("uw") => WorkloadKind::Uw,
         Some("ws") => WorkloadKind::Ws,
@@ -132,35 +181,27 @@ fn cmd_gen(args: &Args) {
         usage()
     };
     let trace = Workload::paper_testbed(kind, duration_ms.millis(), seed).generate();
-    println!(
+    progress!(
         "generated {} trace: {} packets, {} flows, offered {:.2} Gbps over {duration_ms} ms",
         kind.label(),
         trace.packets(),
         trace.flows.len(),
         trace.offered_gbps(duration_ms.millis())
     );
-    if let Err(err) = trace_io::save(&trace, &PathBuf::from(out)) {
-        eprintln!("failed to write {out}: {err}");
-        exit(1);
-    }
-    println!("saved to {out}");
+    trace_io::save(&trace, &PathBuf::from(out)).map_err(|err| format!("write {out}: {err}"))?;
+    progress!("saved to {out}");
+    Ok(())
 }
 
-fn load_trace(args: &Args) -> GeneratedTrace {
+fn load_trace(args: &Args) -> Result<GeneratedTrace, String> {
     let Some(path) = args.positional.first() else {
         usage()
     };
-    match trace_io::load(&PathBuf::from(path)) {
-        Ok(trace) => trace,
-        Err(err) => {
-            eprintln!("failed to read {path}: {err}");
-            exit(1)
-        }
-    }
+    trace_io::load(&PathBuf::from(path)).map_err(|err| format!("read {path}: {err}"))
 }
 
-fn cmd_info(args: &Args) {
-    let trace = load_trace(args);
+fn cmd_info(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
     println!("{}", printqueue::trace::stats::analyze(&trace));
     // Top 5 flows by packets.
     let mut per_flow = std::collections::HashMap::new();
@@ -178,10 +219,52 @@ fn cmd_info(args: &Args) {
             .unwrap_or_default();
         println!("  {n:>8}  {tuple}");
     }
+    Ok(())
 }
 
-fn cmd_run(args: &Args) {
-    let trace = load_trace(args);
+/// Attach the full observability plane to a PrintQueue + discarding spill
+/// store, so all span sources (switch residence, freeze-and-read, window
+/// rotation, segment flush) are live during a run.
+fn attach_telemetry(
+    pq: &mut PrintQueue,
+    sw: &mut Switch,
+    tw: TimeWindowConfig,
+) -> Result<(Telemetry, SharedStoreWriter<std::io::Sink>), String> {
+    let plane = Telemetry::new();
+    plane.set_tracing(true);
+    pq.set_telemetry(&plane);
+    sw.set_telemetry(&plane);
+    // Stream checkpoints into a discarding store: `run` archives nothing,
+    // but this makes segment-flush metrics and spans observable.
+    let mut writer = StoreWriter::new(std::io::sink(), tw, SegmentPolicy::default())
+        .map_err(|err| format!("telemetry store: {err}"))?;
+    writer.set_telemetry(&plane);
+    let handle = SharedStoreWriter::new(writer);
+    pq.analysis_mut().set_spill(Box::new(handle.clone()));
+    Ok((plane, handle))
+}
+
+/// Write the Chrome trace-event JSON to `path` and the Prometheus text
+/// exposition next to it (same stem, `.prom` extension).
+fn export_telemetry(plane: &Telemetry, path: &std::path::Path) -> CliResult {
+    let spans = plane.spans().snapshot();
+    std::fs::write(path, telemetry::to_chrome_trace(&spans))
+        .map_err(|err| format!("write {}: {err}", path.display()))?;
+    let prom_path = path.with_extension("prom");
+    std::fs::write(&prom_path, telemetry::to_prometheus(&plane.snapshot()))
+        .map_err(|err| format!("write {}: {err}", prom_path.display()))?;
+    progress!(
+        "telemetry: {} spans -> {}, {} metrics -> {}",
+        spans.len(),
+        path.display(),
+        plane.snapshot().len(),
+        prom_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
     let m0: u8 = args.get("m0", 6);
     let alpha: u8 = args.get("alpha", 2);
     let k: u8 = args.get("k", 12);
@@ -191,13 +274,15 @@ fn cmd_run(args: &Args) {
     let fault_rate: f64 = args.get("fault-rate", 0.0);
     let fault_seed: u64 = args.get("fault-seed", 1);
     let read_latency_ns: u64 = args.get("read-latency-ns", 0);
+    let telemetry_path = args.get_str("telemetry").map(PathBuf::from);
     if !(0.0..=1.0).contains(&fault_rate) {
-        eprintln!("--fault-rate must be within [0, 1], got {fault_rate}");
-        exit(2);
+        return Err(format!(
+            "--fault-rate must be within [0, 1], got {fault_rate}"
+        ));
     }
 
     let tw = TimeWindowConfig::new(m0, alpha, k, t);
-    println!(
+    progress!(
         "PrintQueue: m0={m0} α={alpha} k={k} T={t}; set period {:.3} ms",
         tw.set_period() as f64 / 1e6
     );
@@ -213,7 +298,7 @@ fn cmd_run(args: &Args) {
             ..FaultProfile::none()
         };
         pq_config = pq_config.with_faults(FaultConfig::new(fault_seed).with_base(profile));
-        println!(
+        progress!(
             "fault injection: read failure p={fault_rate}, read latency {read_latency_ns} ns, seed {fault_seed}"
         );
     }
@@ -234,6 +319,10 @@ fn cmd_run(args: &Args) {
     let mut pq = PrintQueue::new(pq_config);
     let mut sink = TelemetrySink::new();
     let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let mut observability = None;
+    if telemetry_path.is_some() {
+        observability = Some(attach_telemetry(&mut pq, &mut sw, tw)?);
+    }
     {
         let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
         sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
@@ -246,7 +335,7 @@ fn cmd_run(args: &Args) {
         stats.max_depth_cells,
         stats.mean_queue_delay() / 1e3
     );
-    let health = *pq.analysis().health();
+    let health = pq.analysis().health();
     println!(
         "control plane: {} polls ({} failed, {} retried, {} stalled), {} checkpoints \
          ({} dropped), {} coverage gaps ({:.3} ms lost), {} backoff ceiling hits",
@@ -260,6 +349,12 @@ fn cmd_run(args: &Args) {
         health.gap_ns as f64 / 1e6,
         health.backoff_ceiling_hits,
     );
+    if let (Some(path), Some((plane, handle))) = (&telemetry_path, &observability) {
+        handle
+            .finish()
+            .map_err(|err| format!("telemetry store finish: {err}"))?;
+        export_telemetry(plane, path)?;
+    }
 
     let oracle = GroundTruth::new(&sink.records, 80);
     let mut by_delay: Vec<_> = sink.records.iter().collect();
@@ -294,70 +389,140 @@ fn cmd_run(args: &Args) {
             },
         );
     }
+    Ok(())
 }
 
-fn cmd_export_pcap(args: &Args) {
+fn cmd_telemetry(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
+    let m0: u8 = args.get("m0", 6);
+    let alpha: u8 = args.get("alpha", 2);
+    let k: u8 = args.get("k", 12);
+    let t: u8 = args.get("t", 4);
+    let d: u64 = args.get("d", 110);
+    let tw = TimeWindowConfig::new(m0, alpha, k, t);
+
+    let mut pq = PrintQueue::new(PrintQueueConfig::single_port(tw, d));
+    let mut sink = TelemetrySink::new();
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let (plane, handle) = attach_telemetry(&mut pq, &mut sw, tw)?;
+    progress!(
+        "replaying {} packets with the observability plane attached",
+        trace.packets()
+    );
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq, &mut sink];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    handle
+        .finish()
+        .map_err(|err| format!("telemetry store finish: {err}"))?;
+    if let Some(out) = args.get_str("out") {
+        export_telemetry(&plane, &PathBuf::from(out))?;
+    }
+
+    let snap = plane.snapshot();
+    let spans = plane.spans().snapshot();
+    println!("metrics ({}):", snap.len());
+    for (key, value) in snap.iter() {
+        let labels = if key.labels.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        match value {
+            MetricValue::Counter(v) => println!("  counter   {}{labels} {v}", key.name),
+            MetricValue::Gauge(v) => println!("  gauge     {}{labels} {v}", key.name),
+            MetricValue::Histogram(h) => println!(
+                "  histogram {}{labels} count={} p50={} p90={} p99={} max={}",
+                key.name,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            ),
+        }
+    }
+    let mut per_span: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for s in &spans {
+        *per_span.entry(s.name).or_default() += 1;
+    }
+    println!(
+        "spans ({} recorded, {} dropped):",
+        spans.len(),
+        plane.spans().dropped()
+    );
+    for (name, n) in &per_span {
+        println!("  {n:>8}  {name}");
+    }
+
+    if let Some(required) = args.get_str("require") {
+        let mut missing = Vec::new();
+        for name in required.split(',').filter(|s| !s.is_empty()) {
+            let in_registry = snap.iter().any(|(k, v)| {
+                k.name == name
+                    && match v {
+                        MetricValue::Counter(c) => *c > 0,
+                        MetricValue::Gauge(g) => *g > 0,
+                        MetricValue::Histogram(h) => h.count > 0,
+                    }
+            });
+            let in_spans = per_span.contains_key(name);
+            if !in_registry && !in_spans {
+                missing.push(name);
+            }
+        }
+        if !missing.is_empty() {
+            return Err(format!(
+                "required metrics absent or zero: {}",
+                missing.join(", ")
+            ));
+        }
+        progress!("all required metrics present");
+    }
+    Ok(())
+}
+
+fn cmd_export_pcap(args: &Args) -> CliResult {
     let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
         usage()
     };
-    let trace = match trace_io::load(&PathBuf::from(src)) {
-        Ok(t) => t,
-        Err(err) => {
-            eprintln!("failed to read {src}: {err}");
-            exit(1)
-        }
-    };
-    let file = match std::fs::File::create(dst) {
-        Ok(f) => f,
-        Err(err) => {
-            eprintln!("failed to create {dst}: {err}");
-            exit(1)
-        }
-    };
-    if let Err(err) = printqueue::trace::pcap::write_pcap(&trace, std::io::BufWriter::new(file)) {
-        eprintln!("pcap write failed: {err}");
-        exit(1);
-    }
-    println!("wrote {} packets to {dst}", trace.packets());
+    let trace = trace_io::load(&PathBuf::from(src)).map_err(|err| format!("read {src}: {err}"))?;
+    let file = std::fs::File::create(dst).map_err(|err| format!("create {dst}: {err}"))?;
+    printqueue::trace::pcap::write_pcap(&trace, std::io::BufWriter::new(file))
+        .map_err(|err| format!("pcap write: {err}"))?;
+    progress!("wrote {} packets to {dst}", trace.packets());
+    Ok(())
 }
 
-fn cmd_import_pcap(args: &Args) {
+fn cmd_import_pcap(args: &Args) -> CliResult {
     let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
         usage()
     };
     let port: u16 = args.get("port", 0);
-    let file = match std::fs::File::open(src) {
-        Ok(f) => f,
-        Err(err) => {
-            eprintln!("failed to open {src}: {err}");
-            exit(1)
-        }
-    };
-    let (trace, skipped) =
-        match printqueue::trace::pcap::read_pcap(std::io::BufReader::new(file), port) {
-            Ok(r) => r,
-            Err(err) => {
-                eprintln!("pcap read failed: {err}");
-                exit(1)
-            }
-        };
+    let file = std::fs::File::open(src).map_err(|err| format!("open {src}: {err}"))?;
+    let (trace, skipped) = printqueue::trace::pcap::read_pcap(std::io::BufReader::new(file), port)
+        .map_err(|err| format!("pcap read: {err}"))?;
     if skipped > 0 {
-        eprintln!("skipped {skipped} non-IPv4/TCP/UDP frames");
+        progress!("skipped {skipped} non-IPv4/TCP/UDP frames");
     }
-    if let Err(err) = trace_io::save(&trace, &PathBuf::from(dst)) {
-        eprintln!("failed to write {dst}: {err}");
-        exit(1);
-    }
-    println!(
+    trace_io::save(&trace, &PathBuf::from(dst)).map_err(|err| format!("write {dst}: {err}"))?;
+    progress!(
         "imported {} packets across {} flows into {dst}",
         trace.packets(),
         trace.flows.len()
     );
+    Ok(())
 }
 
-fn cmd_depth(args: &Args) {
+fn cmd_depth(args: &Args) -> CliResult {
     use printqueue::switch::DepthSampler;
-    let trace = load_trace(args);
+    let trace = load_trace(args)?;
     let step_us: u64 = args.get("step-us", 500);
     let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
     let mut sampler = DepthSampler::new(0, 80, 1 << 20);
@@ -386,9 +551,10 @@ fn cmd_depth(args: &Args) {
             (to - from) as f64 / 1e6
         );
     }
+    Ok(())
 }
 
-fn cmd_validate(args: &Args) {
+fn cmd_validate(args: &Args) -> CliResult {
     use printqueue::core::validation::{is_deployable, validate, DeploymentProfile};
     let m0: u8 = args.get("m0", 6);
     let alpha: u8 = args.get("alpha", 2);
@@ -404,7 +570,7 @@ fn cmd_validate(args: &Args) {
         max_depth_cells: 32_768,
         max_query_interval: 2_000_000,
     };
-    println!(
+    progress!(
         "config m0={m0} α={alpha} k={k} T={t}: set period {:.3} ms, poll {:.3} ms",
         tw.set_period() as f64 / 1e6,
         config.control.poll_period as f64 / 1e6
@@ -412,14 +578,15 @@ fn cmd_validate(args: &Args) {
     let findings = validate(&config, &profile);
     if findings.is_empty() {
         println!("no findings — deployable ✓");
-        return;
+        return Ok(());
     }
     for f in &findings {
         println!("[{:?}] {}: {}", f.severity, f.code, f.message);
     }
     if !is_deployable(&findings) {
-        exit(1);
+        return Err("configuration is not deployable".to_string());
     }
+    Ok(())
 }
 
 fn parse_format_flag(args: &Args, path: &std::path::Path) -> printqueue::store::ArchiveFormat {
@@ -435,10 +602,10 @@ fn parse_format_flag(args: &Args, path: &std::path::Path) -> printqueue::store::
     }
 }
 
-fn cmd_archive(args: &Args) {
-    use printqueue::store::{ArchiveFormat, SegmentPolicy, SharedStoreWriter, StoreWriter};
+fn cmd_archive(args: &Args) -> CliResult {
+    use printqueue::store::ArchiveFormat;
     use printqueue::switch::PortConfig;
-    let trace = load_trace(args);
+    let trace = load_trace(args)?;
     let Some(out_path) = args.positional.get(1) else {
         usage()
     };
@@ -466,21 +633,10 @@ fn cmd_archive(args: &Args) {
     // polls them (bounded RAM); JSON captures the snapshot ring at end.
     let mut spill: Option<SharedStoreWriter<std::io::BufWriter<std::fs::File>>> = None;
     if format == ArchiveFormat::Pqa {
-        let file = match std::fs::File::create(&out_path) {
-            Ok(f) => f,
-            Err(err) => {
-                eprintln!("failed to create {}: {err}", out_path.display());
-                exit(1)
-            }
-        };
-        let writer =
-            match StoreWriter::new(std::io::BufWriter::new(file), tw, SegmentPolicy::default()) {
-                Ok(w) => w,
-                Err(err) => {
-                    eprintln!("failed to start store: {err}");
-                    exit(1)
-                }
-            };
+        let file = std::fs::File::create(&out_path)
+            .map_err(|err| format!("create {}: {err}", out_path.display()))?;
+        let writer = StoreWriter::new(std::io::BufWriter::new(file), tw, SegmentPolicy::default())
+            .map_err(|err| format!("start store: {err}"))?;
         let handle = SharedStoreWriter::new(writer);
         pq.analysis_mut().set_spill(Box::new(handle.clone()));
         spill = Some(handle);
@@ -508,40 +664,38 @@ fn cmd_archive(args: &Args) {
         .sum();
     match spill {
         Some(handle) => {
-            let health = *pq.analysis().health();
+            let health = pq.analysis().health();
             for &port in &ports {
                 if handle.with(|w| w.set_health(port, health)).is_err() {
                     break;
                 }
             }
-            if let Err(err) = handle.finish() {
-                eprintln!("store finish failed: {err}");
-                exit(1);
-            }
+            handle
+                .finish()
+                .map_err(|err| format!("store finish: {err}"))?;
         }
         None => {
             let archives: Vec<_> = ports
                 .iter()
                 .map(|&p| printqueue::core::export::CheckpointArchive::capture(pq.analysis(), p))
                 .collect();
-            if let Err(err) = printqueue::store::write_archives(
+            printqueue::store::write_archives(
                 &out_path,
                 &archives,
                 ArchiveFormat::Json,
                 SegmentPolicy::default(),
-            ) {
-                eprintln!("archive write failed: {err}");
-                exit(1);
-            }
+            )
+            .map_err(|err| format!("archive write: {err}"))?;
         }
     }
-    println!(
+    progress!(
         "archived {} checkpoints across {} port(s) ({} transmitted packets) to {}",
         total_checkpoints,
         ports.len(),
         sink.records.len(),
         out_path.display()
     );
+    Ok(())
 }
 
 fn print_query_result(
@@ -569,7 +723,7 @@ fn print_query_result(
     }
 }
 
-fn cmd_replay_query(args: &Args) {
+fn cmd_replay_query(args: &Args) -> CliResult {
     use printqueue::store::{ArchiveFormat, StoreReader};
     let Some(path) = args.positional.first() else {
         usage()
@@ -579,40 +733,21 @@ fn cmd_replay_query(args: &Args) {
     let to: u64 = args.get("to", u64::MAX);
     let d: u64 = args.get("d", 110);
     let interval = QueryInterval::new(from, to);
-    let format = match ArchiveFormat::detect(&path) {
-        Ok(f) => f,
-        Err(err) => {
-            eprintln!("failed to detect format of {}: {err}", path.display());
-            exit(1)
-        }
-    };
+    let format = ArchiveFormat::detect(&path)
+        .map_err(|err| format!("detect format of {}: {err}", path.display()))?;
     match format {
         ArchiveFormat::Pqa => {
-            let file = match std::fs::File::open(&path) {
-                Ok(f) => f,
-                Err(err) => {
-                    eprintln!("failed to open {}: {err}", path.display());
-                    exit(1)
-                }
-            };
-            let mut reader = match StoreReader::open(std::io::BufReader::new(file)) {
-                Ok(r) => r,
-                Err(err) => {
-                    eprintln!("store open failed: {err}");
-                    exit(1)
-                }
-            };
+            let file = std::fs::File::open(&path)
+                .map_err(|err| format!("open {}: {err}", path.display()))?;
+            let mut reader = StoreReader::open(std::io::BufReader::new(file))
+                .map_err(|err| format!("store open: {err}"))?;
             let ports = reader.ports();
             let port: u16 = args.get("port", ports.first().copied().unwrap_or(0));
             let coeffs =
                 printqueue::core::coefficient::Coefficients::compute(reader.tw_config(), d);
-            let result = match reader.query(port, interval, &coeffs) {
-                Ok(r) => r,
-                Err(err) => {
-                    eprintln!("query failed: {err}");
-                    exit(1)
-                }
-            };
+            let result = reader
+                .query(port, interval, &coeffs)
+                .map_err(|err| format!("query: {err}"))?;
             print_query_result(
                 format!(
                     "query [{from}, {to}] over {} checkpoints",
@@ -624,17 +759,11 @@ fn cmd_replay_query(args: &Args) {
             );
         }
         ArchiveFormat::Json => {
-            let archives = match printqueue::store::read_archives(&path) {
-                Ok(a) => a,
-                Err(err) => {
-                    eprintln!("archive read failed: {err}");
-                    exit(1)
-                }
-            };
+            let archives = printqueue::store::read_archives(&path)
+                .map_err(|err| format!("archive read: {err}"))?;
             let port: u16 = args.get("port", archives.first().map_or(0, |a| a.port));
             let Some(archive) = archives.iter().find(|a| a.port == port) else {
-                eprintln!("port {port} not present in archive");
-                exit(1)
+                return Err(format!("port {port} not present in archive"));
             };
             let coeffs =
                 printqueue::core::coefficient::Coefficients::compute(&archive.tw_config, d);
@@ -650,32 +779,23 @@ fn cmd_replay_query(args: &Args) {
             );
         }
     }
+    Ok(())
 }
 
-fn cmd_convert(args: &Args) {
-    use printqueue::store::SegmentPolicy;
+fn cmd_convert(args: &Args) -> CliResult {
     let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
         usage()
     };
     let src = PathBuf::from(src);
     let dst = PathBuf::from(dst);
     let format = parse_format_flag(args, &dst);
-    let archives = match printqueue::store::read_archives(&src) {
-        Ok(a) => a,
-        Err(err) => {
-            eprintln!("failed to read {}: {err}", src.display());
-            exit(1)
-        }
-    };
-    if let Err(err) =
-        printqueue::store::write_archives(&dst, &archives, format, SegmentPolicy::default())
-    {
-        eprintln!("failed to write {}: {err}", dst.display());
-        exit(1);
-    }
+    let archives = printqueue::store::read_archives(&src)
+        .map_err(|err| format!("read {}: {err}", src.display()))?;
+    printqueue::store::write_archives(&dst, &archives, format, SegmentPolicy::default())
+        .map_err(|err| format!("write {}: {err}", dst.display()))?;
     let checkpoints: usize = archives.iter().map(|a| a.checkpoints.len()).sum();
     let bytes = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
-    println!(
+    progress!(
         "converted {} checkpoints across {} port(s): {} ({} B) -> {} ({} B)",
         checkpoints,
         archives.len(),
@@ -684,9 +804,10 @@ fn cmd_convert(args: &Args) {
         dst.display(),
         bytes(&dst)
     );
+    Ok(())
 }
 
-fn cmd_case_study(args: &Args) {
+fn cmd_case_study(args: &Args) -> CliResult {
     let duration_ms: u64 = args.get("duration-ms", 100);
     let seed: u64 = args.get("seed", 1);
     let cs = scenario::case_study_fig16(duration_ms.millis(), seed);
@@ -710,11 +831,11 @@ fn cmd_case_study(args: &Args) {
         .max_by_key(|r| r.meta.deq_timedelta)
         .copied()
     else {
-        eprintln!(
+        return Err(
             "case study produced no packets for the new TCP flow — try a longer \
              --duration-ms or a different --seed"
+                .to_string(),
         );
-        exit(1);
     };
     println!(
         "victim (new TCP flow) waited {:.2} ms behind a queue the burst built",
@@ -747,14 +868,14 @@ fn cmd_case_study(args: &Args) {
     show("direct", &report.direct);
     show("indirect", &report.indirect);
     let Some(qm) = pq.analysis().query_queue_monitor(0, victim.deq_timestamp()) else {
-        eprintln!(
+        return Err(
             "no queue-monitor checkpoint near the victim's dequeue — the control \
              plane stored nothing (shorter poll period or longer run needed)"
+                .to_string(),
         );
-        exit(1);
     };
     if qm.degraded {
-        eprintln!(
+        progress!(
             "warning: queue-monitor answer is degraded (snapshot {:.2} ms away from \
              the victim, or inside a coverage gap)",
             qm.staleness as f64 / 1e6
@@ -766,4 +887,5 @@ fn cmd_case_study(args: &Args) {
          which left the network ~{} ms before the victim arrived",
         (victim.meta.enq_timestamp.saturating_sub(cs.burst_start)) / 1_000_000
     );
+    Ok(())
 }

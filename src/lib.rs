@@ -24,7 +24,11 @@
 //!   the comparison points of the paper's evaluation;
 //! * [`store`] — the segmented, indexed, crash-tolerant `.pqa` binary
 //!   store for checkpoint archives, with streaming spill from the
-//!   control plane and time-range-pruned offline queries.
+//!   control plane and time-range-pruned offline queries;
+//! * [`telemetry`] — the observability plane: a lock-free metrics
+//!   registry (counters, gauges, log2 histograms), sim-clock span
+//!   tracing, and Prometheus / Chrome-trace exporters shared by the
+//!   switch, control plane, and store.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use pq_core as core;
 pub use pq_packet as packet;
 pub use pq_store as store;
 pub use pq_switch as switch;
+pub use pq_telemetry as telemetry;
 pub use pq_trace as trace;
 
 /// The names almost every user of the library needs.

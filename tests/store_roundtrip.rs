@@ -12,6 +12,7 @@ use printqueue::store::{
     archives_to_pqa, ArchiveFormat, Recovery, SegmentPolicy, SharedStoreWriter, StoreReader,
     StoreWriter,
 };
+use printqueue::telemetry::{names, Telemetry};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -73,7 +74,7 @@ fn spill_to_store(until: u64, policy: SegmentPolicy) -> (AnalysisProgram, Vec<u8
     let handle = SharedStoreWriter::new(writer);
     let ap = drive_program(Some(handle.clone()), until);
     for &port in &PORTS {
-        handle.with(|w| w.set_health(port, *ap.health())).unwrap();
+        handle.with(|w| w.set_health(port, ap.health())).unwrap();
     }
     let bytes = handle.finish().unwrap();
     (ap, bytes)
@@ -317,6 +318,64 @@ fn spilled_store_matches_capture_exactly() {
             serde_json::to_string(&stored).unwrap()
         );
     }
+}
+
+#[test]
+fn telemetry_counts_writes_reads_and_spans() {
+    // Writer side: counters mirror what lands on disk, segment seals emit
+    // segment_flush spans when tracing is on.
+    let plane = Telemetry::new();
+    plane.set_tracing(true);
+    let mut writer = StoreWriter::new(Vec::new(), tw_small(), tiny_segments()).unwrap();
+    writer.set_telemetry(&plane);
+    let handle = SharedStoreWriter::new(writer);
+    let ap = drive_program(Some(handle.clone()), 2_000);
+    let bytes = handle.finish().unwrap();
+
+    let snap = plane.snapshot();
+    let pushed: u64 = PORTS.iter().map(|&p| ap.checkpoints(p).len() as u64).sum();
+    assert_eq!(
+        snap.counter(names::STORE_CHECKPOINTS_WRITTEN, &[]),
+        Some(pushed)
+    );
+    let reader = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+    let sealed = reader.segments().len() as u64;
+    assert_eq!(
+        snap.counter(names::STORE_SEGMENTS_SEALED, &[]),
+        Some(sealed)
+    );
+    let seg_bytes: u64 = reader.segments().iter().map(|s| s.len).sum();
+    assert_eq!(
+        snap.counter(names::STORE_BYTES_WRITTEN, &[]),
+        Some(seg_bytes)
+    );
+    let flush_spans = plane
+        .spans()
+        .snapshot()
+        .iter()
+        .filter(|s| s.name == names::SPAN_SEGMENT_FLUSH)
+        .count() as u64;
+    assert_eq!(flush_spans, sealed);
+
+    // Reader side: decode counters and a replay_query span per query.
+    let read_plane = Telemetry::new();
+    read_plane.set_tracing(true);
+    let mut reader = StoreReader::open(Cursor::new(bytes)).unwrap();
+    reader.set_telemetry(&read_plane);
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let interval = QueryInterval::new(0, 1_999);
+    reader.query(0, interval, &coeffs).unwrap();
+    let snap = read_plane.snapshot();
+    assert!(snap.counter(names::STORE_SEGMENTS_DECODED, &[]).unwrap() >= 1);
+    assert!(snap.counter(names::STORE_CHECKPOINTS_DECODED, &[]).unwrap() >= 1);
+    let hist = snap.histogram(names::STORE_REPLAY_QUERY_NS, &[]).unwrap();
+    assert_eq!(hist.count, 1);
+    let spans = read_plane.spans().snapshot();
+    let q = spans
+        .iter()
+        .find(|s| s.name == names::SPAN_REPLAY_QUERY)
+        .expect("replay_query span recorded");
+    assert_eq!((q.start, q.end), (interval.from, interval.to));
 }
 
 proptest! {

@@ -1,0 +1,145 @@
+//! Property tests for the observability plane: histogram quantile error
+//! bounds, merge associativity (the fleet-rollup invariant), and Chrome
+//! trace-event export validity.
+
+use printqueue::telemetry::registry::Registry;
+use printqueue::telemetry::spans::SpanTracer;
+use printqueue::telemetry::{bucket_index, to_chrome_trace, SpanEvent};
+use proptest::prelude::*;
+use serde::Value;
+
+/// The true `q`-quantile under the same rank convention the histogram
+/// uses: the smallest value with cumulative rank >= ceil(q * n).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// Histogram quantile estimates land in the same log2 bucket as the
+    /// true quantile (or an adjacent one): the bucket counts are exact,
+    /// so the only error is intra-bucket interpolation.
+    #[test]
+    fn quantiles_within_one_bucket(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[]);
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = true_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        let (eb, tb) = (bucket_index(est), bucket_index(truth));
+        prop_assert!(
+            eb.abs_diff(tb) <= 1,
+            "q={q}: estimate {est} (bucket {eb}) vs true {truth} (bucket {tb})"
+        );
+        // The estimate never leaves the observed range.
+        prop_assert!(est >= sorted[0] && est <= *sorted.last().unwrap());
+    }
+
+    /// Snapshot merge is associative — so a fleet rollup folded in any
+    /// grouping (per-switch, per-rack, all-at-once) yields one answer.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+        b in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+        c in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+    ) {
+        let names = ["n0", "n1", "n2", "n3"];
+        let build = |entries: &[(usize, u64)]| {
+            let reg = Registry::new();
+            for &(i, v) in entries {
+                // Exercise all three kinds under distinct namespaces.
+                reg.counter(names[i], &[]).add(v);
+                reg.gauge(&format!("g_{}", names[i]), &[]).set_max(v);
+                reg.histogram(&format!("h_{}", names[i]), &[]).record(v);
+            }
+            reg.snapshot()
+        };
+        let (sa, sb, sc) = (build(&a), build(&b), build(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Counter totals across a merge equal the sum of the parts (the
+    /// invariant `Fleet::metrics` relies on).
+    #[test]
+    fn merged_counters_add(
+        a in prop::collection::vec(0u64..1000, 1..8),
+        b in prop::collection::vec(0u64..1000, 1..8),
+    ) {
+        let build = |vals: &[u64]| {
+            let reg = Registry::new();
+            for (i, &v) in vals.iter().enumerate() {
+                reg.counter("pkts", &[("port", &i.to_string())]).add(v);
+            }
+            reg.snapshot()
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let total: u64 = a.iter().sum::<u64>() + b.iter().sum::<u64>();
+        prop_assert_eq!(merged.counter_sum("pkts"), total);
+    }
+
+    /// Chrome trace export is valid JSON, every event carries the
+    /// required keys, and start timestamps are monotone (sorted output),
+    /// regardless of the order spans were recorded in.
+    #[test]
+    fn chrome_trace_is_valid_and_monotone(
+        raw in prop::collection::vec((0u64..1_000_000, 0u64..1_000, 0u32..8), 0..64),
+    ) {
+        let tracer = SpanTracer::default();
+        tracer.set_enabled(true);
+        for &(start, len, track) in &raw {
+            tracer.record("span", start, start + len, track);
+        }
+        let spans: Vec<SpanEvent> = tracer.snapshot();
+        let json = to_chrome_trace(&spans);
+        let value: Value = serde_json::from_str(&json).expect("export must be valid JSON");
+        let Value::Array(events) = value else {
+            return Err(TestCaseError::fail("top level must be an array"));
+        };
+        prop_assert_eq!(events.len(), raw.len());
+        let mut last_ts = f64::NEG_INFINITY;
+        for ev in &events {
+            let fields = ev.as_object().expect("event must be an object");
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                prop_assert!(
+                    fields.iter().any(|(k, _)| k == key),
+                    "missing key {key}"
+                );
+            }
+            let ts = match fields.iter().find(|(k, _)| k == "ts").map(|(_, v)| v) {
+                Some(Value::F64(x)) => *x,
+                Some(Value::U64(x)) => *x as f64,
+                other => return Err(TestCaseError::fail(format!("bad ts: {other:?}"))),
+            };
+            prop_assert!(ts >= last_ts, "timestamps must be monotone");
+            last_ts = ts;
+        }
+    }
+}
+
+#[test]
+fn empty_trace_exports_as_empty_array() {
+    let json = to_chrome_trace(&[]);
+    let value: Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(value, Value::Array(Vec::new()));
+}

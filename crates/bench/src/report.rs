@@ -104,12 +104,28 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 /// [`write_json`] for benches that deliberately run with telemetry
 /// attached (so the `meta.telemetry_off` stamp is honest).
 pub fn write_json_with<T: Serialize>(name: &str, value: &T, telemetry_off: bool) {
+    write_json_with_meta(name, value, telemetry_off, Vec::new());
+}
+
+/// [`write_json_with`] plus experiment-specific provenance appended to
+/// the `meta` block (e.g. a serving bench's observed cache hit-rate and
+/// shed-rate, which qualify every row in the file).
+pub fn write_json_with_meta<T: Serialize>(
+    name: &str,
+    value: &T,
+    telemetry_off: bool,
+    extra_meta: Vec<(String, Value)>,
+) {
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    let root = stamp(value.to_value(), run_meta(telemetry_off));
+    let mut meta = run_meta(telemetry_off);
+    if let Value::Object(fields) = &mut meta {
+        fields.extend(extra_meta);
+    }
+    let root = stamp(value.to_value(), meta);
     match serde_json::to_string_pretty(&root) {
         Ok(json) => {
             if fs::write(&path, json).is_ok() {

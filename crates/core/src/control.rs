@@ -194,7 +194,12 @@ impl Checkpoint {
 /// recent working set. Sink errors never disrupt the data plane: the
 /// analysis program counts them in [`ControlHealth::spill_errors`] and
 /// keeps polling.
-pub trait CheckpointSink {
+///
+/// Sinks must be `Send + Sync`: an [`AnalysisProgram`] is shared
+/// immutably across query-service worker threads (`Arc`), so everything
+/// it owns — including an attached sink — has to be thread-safe at the
+/// type level even though queries never touch the sink.
+pub trait CheckpointSink: Send + Sync {
     /// A checkpoint was stored for `port`.
     fn on_checkpoint(&mut self, port: u16, cp: &Checkpoint) -> std::io::Result<()>;
 
@@ -478,6 +483,11 @@ impl AnalysisProgram {
     /// Is PrintQueue active on `port` (the §6.1 ingress gate table)?
     pub fn is_active(&self, port: u16) -> bool {
         self.port_index(port).is_some()
+    }
+
+    /// Every activated port, in activation order.
+    pub fn ports(&self) -> Vec<u16> {
+        self.ports.iter().map(|(p, _)| *p).collect()
     }
 
     /// Data-plane update: a packet of `flow` dequeued from `port` at

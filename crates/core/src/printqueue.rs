@@ -161,6 +161,13 @@ impl PrintQueue {
         &mut self.analysis
     }
 
+    /// Consume the data-plane wrapper and keep only the analysis program —
+    /// the read-only query state a serving layer shares across workers
+    /// once a run is finished.
+    pub fn into_analysis(self) -> AnalysisProgram {
+        self.analysis
+    }
+
     /// Attach a shared telemetry plane (forwarded to the analysis
     /// program). Pair with [`pq_switch::Switch::set_telemetry`] on the
     /// same plane so switch and control-plane series share one namespace.

@@ -1,0 +1,424 @@
+//! The query client: a thin, blocking connection speaking the §[`wire`]
+//! protocol.
+//!
+//! The client reassembles streamed response frames into the same shapes
+//! the in-process query paths return ([`FlowEstimates`], coverage gaps,
+//! degraded flags), so `pqsim query --remote` can print byte-identical
+//! output through the same formatting code as local queries. Flow values
+//! arrive as raw `f64` bits, so nothing is lost in transit.
+
+use crate::wire::{self, ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use pq_core::control::CoverageGap;
+use pq_core::snapshot::FlowEstimates;
+use pq_packet::FlowId;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything that can go wrong on the client side of a query.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The peer violated framing (bad length prefix, malformed body).
+    Wire(WireError),
+    /// The peer broke the protocol above the framing layer (wrong frame
+    /// order, mismatched request id, inconsistent totals).
+    Protocol(String),
+    /// The server shed this request (or refused the connection); retry
+    /// after the hinted backoff.
+    Busy {
+        /// Server-suggested backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// The server answered with a typed error frame.
+    Remote {
+        /// The typed failure code.
+        code: ErrorCode,
+        /// Human-readable detail (may be empty).
+        message: String,
+        /// Coverage-gap summary for the unanswered interval, so degraded
+        /// -query semantics survive server-side failures.
+        gaps: Vec<CoverageGap>,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms} ms")
+            }
+            ClientError::Remote {
+                code,
+                message,
+                gaps,
+            } => {
+                write!(f, "server error: {code}")?;
+                if !message.is_empty() {
+                    write!(f, ": {message}")?;
+                }
+                if !gaps.is_empty() {
+                    write!(f, " ({} unanswered gap(s))", gaps.len())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A reassembled time-window answer — the remote mirror of the core's
+/// `QueryResult`, plus the server's checkpoint count for the header line.
+#[derive(Debug, Clone)]
+pub struct RemoteResult {
+    /// Per-flow estimated packet counts (bit-identical to local).
+    pub estimates: FlowEstimates,
+    /// Coverage gaps overlapping the queried interval.
+    pub gaps: Vec<CoverageGap>,
+    /// True when any gap overlapped the interval.
+    pub degraded: bool,
+    /// Checkpoints the server holds for the queried port.
+    pub checkpoints: u64,
+}
+
+/// A reassembled queue-monitor answer.
+#[derive(Debug, Clone)]
+pub struct RemoteMonitor {
+    /// When the answering snapshot was frozen.
+    pub frozen_at: u64,
+    /// Distance between the requested instant and the freeze.
+    pub staleness: u64,
+    /// True when the instant fell in a gap or the snapshot is stale.
+    pub degraded: bool,
+    /// Coverage gaps containing the requested instant.
+    pub gaps: Vec<CoverageGap>,
+    /// Original-culprit appearance counts, descending.
+    pub counts: Vec<(FlowId, u64)>,
+}
+
+/// A connected, handshaken query client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: u32,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect and handshake. Returns [`ClientError::Busy`] if the server
+    /// refused the connection at its accept cap.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        wire::write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                max_frame: MAX_FRAME_LEN,
+            },
+        )?;
+        writer.flush()?;
+        let mut client = Client {
+            reader,
+            writer,
+            max_frame: MAX_FRAME_LEN,
+            next_id: 1,
+        };
+        match client.read()? {
+            Frame::HelloAck { version, max_frame } => {
+                if version == 0 || version > PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server negotiated unsupported version {version}"
+                    )));
+                }
+                client.max_frame = max_frame.min(MAX_FRAME_LEN);
+                Ok(client)
+            }
+            Frame::Busy { retry_after_ms, .. } => Err(ClientError::Busy { retry_after_ms }),
+            Frame::Error { code, message, .. } => Err(ClientError::Protocol(format!(
+                "handshake rejected: {code}: {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read(&mut self) -> Result<Frame, ClientError> {
+        Ok(wire::read_frame(&mut self.reader, self.max_frame)?)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        wire::write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Check a response frame's id and unwrap the frames every response
+    /// kind shares (Busy, Error).
+    fn expect_id(&self, got: u64, want: u64) -> Result<(), ClientError> {
+        if got != want {
+            return Err(ClientError::Protocol(format!(
+                "response id {got} does not match request id {want}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run a time-window or replay query and reassemble the streamed
+    /// answer. Queue-monitor requests must use
+    /// [`queue_monitor`](Self::queue_monitor) instead.
+    pub fn query(&mut self, req: Request) -> Result<RemoteResult, ClientError> {
+        if matches!(req, Request::QueueMonitor { .. }) {
+            return Err(ClientError::Protocol(
+                "queue-monitor requests use Client::queue_monitor".into(),
+            ));
+        }
+        let id = self.fresh_id();
+        self.send(&Frame::Request { id, req })?;
+        let (degraded, checkpoints, want_flows, want_gaps) = match self.read()? {
+            Frame::ResultHeader {
+                id: got,
+                degraded,
+                checkpoints,
+                flows,
+                gaps,
+            } => {
+                self.expect_id(got, id)?;
+                (degraded, checkpoints, flows as usize, gaps as usize)
+            }
+            Frame::Busy {
+                id: got,
+                retry_after_ms,
+            } => {
+                if got != 0 {
+                    self.expect_id(got, id)?;
+                }
+                return Err(ClientError::Busy { retry_after_ms });
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected ResultHeader, got {other:?}"
+                )))
+            }
+        };
+        let mut flows: Vec<(FlowId, f64)> = Vec::with_capacity(want_flows.min(1 << 16));
+        let mut gaps: Vec<CoverageGap> = Vec::with_capacity(want_gaps.min(1 << 16));
+        loop {
+            match self.read()? {
+                Frame::ResultFlows { id: got, flows: f } => {
+                    self.expect_id(got, id)?;
+                    flows.extend(f);
+                }
+                Frame::ResultGaps { id: got, gaps: g } => {
+                    self.expect_id(got, id)?;
+                    gaps.extend(g);
+                }
+                Frame::ResultEnd { id: got } => {
+                    self.expect_id(got, id)?;
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected result chunk, got {other:?}"
+                    )))
+                }
+            }
+            if flows.len() > want_flows || gaps.len() > want_gaps {
+                return Err(ClientError::Protocol(
+                    "more chunk entries than the header announced".into(),
+                ));
+            }
+        }
+        if flows.len() != want_flows || gaps.len() != want_gaps {
+            return Err(ClientError::Protocol(format!(
+                "header announced {want_flows} flows / {want_gaps} gaps, got {} / {}",
+                flows.len(),
+                gaps.len()
+            )));
+        }
+        let mut estimates = FlowEstimates::default();
+        for (flow, n) in flows {
+            estimates.counts.insert(flow, n);
+        }
+        Ok(RemoteResult {
+            estimates,
+            gaps,
+            degraded,
+            checkpoints,
+        })
+    }
+
+    /// Run a queue-monitor query and reassemble the streamed answer.
+    pub fn queue_monitor(&mut self, port: u16, at: u64) -> Result<RemoteMonitor, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::Request {
+            id,
+            req: Request::QueueMonitor { port, at },
+        })?;
+        let (degraded, frozen_at, staleness, want_counts, want_gaps) = match self.read()? {
+            Frame::MonitorHeader {
+                id: got,
+                degraded,
+                frozen_at,
+                staleness,
+                counts,
+                gaps,
+            } => {
+                self.expect_id(got, id)?;
+                (
+                    degraded,
+                    frozen_at,
+                    staleness,
+                    counts as usize,
+                    gaps as usize,
+                )
+            }
+            Frame::Busy { retry_after_ms, .. } => return Err(ClientError::Busy { retry_after_ms }),
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected MonitorHeader, got {other:?}"
+                )))
+            }
+        };
+        let mut counts: Vec<(FlowId, u64)> = Vec::with_capacity(want_counts.min(1 << 16));
+        let mut gaps: Vec<CoverageGap> = Vec::with_capacity(want_gaps.min(1 << 16));
+        loop {
+            match self.read()? {
+                Frame::MonitorCounts { id: got, counts: c } => {
+                    self.expect_id(got, id)?;
+                    counts.extend(c);
+                }
+                Frame::ResultGaps { id: got, gaps: g } => {
+                    self.expect_id(got, id)?;
+                    gaps.extend(g);
+                }
+                Frame::ResultEnd { id: got } => {
+                    self.expect_id(got, id)?;
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected monitor chunk, got {other:?}"
+                    )))
+                }
+            }
+            if counts.len() > want_counts || gaps.len() > want_gaps {
+                return Err(ClientError::Protocol(
+                    "more chunk entries than the header announced".into(),
+                ));
+            }
+        }
+        if counts.len() != want_counts || gaps.len() != want_gaps {
+            return Err(ClientError::Protocol(format!(
+                "header announced {want_counts} counts / {want_gaps} gaps, got {} / {}",
+                counts.len(),
+                gaps.len()
+            )));
+        }
+        Ok(RemoteMonitor {
+            frozen_at,
+            staleness,
+            degraded,
+            gaps,
+            counts,
+        })
+    }
+
+    /// Fetch the server's Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::MetricsReq { id })?;
+        match self.read()? {
+            Frame::MetricsText { id: got, text } => {
+                self.expect_id(got, id)?;
+                Ok(text)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected MetricsText, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain and stop. Returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::ShutdownReq { id })?;
+        match self.read()? {
+            Frame::ShutdownAck { id: got } => {
+                self.expect_id(got, id)?;
+                Ok(())
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected ShutdownAck, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # pq-serve — the concurrent diagnosis-query service
+//!
+//! PrintQueue's data plane answers *what was in the queue and why* only
+//! if an operator can actually ask. This crate turns the repository's
+//! in-process query machinery — live [`AnalysisProgram`] register state
+//! and `.pqa` checkpoint archives — into a network service:
+//!
+//! * [`wire`] — a small, versioned, length-prefixed binary protocol.
+//!   Requests name a port, a [`QueryInterval`], and a query kind
+//!   (time-window §6.3, queue-monitor §5, or replay-from-archive);
+//!   answers stream back in bounded frames and always carry the
+//!   degraded flag and [`CoverageGap`]s of the in-process API, so a
+//!   remote answer is exactly as honest as a local one.
+//! * [`server`] — the daemon: a fixed worker pool, sharded archive
+//!   readers, bounded admission queue with explicit `Busy` load
+//!   shedding (never a silent drop), and graceful drain on shutdown.
+//! * [`cache`] — a shared LRU cache of decoded segments keyed by
+//!   `(archive, offset, CRC)`, so hot intervals skip the expensive
+//!   decode path.
+//! * [`client`] — a blocking client that reassembles streamed answers
+//!   into the same shapes local queries return, enabling bit-identical
+//!   output.
+//!
+//! Everything observable is exported under the `pq_serve_*` telemetry
+//! namespace via [`pq_telemetry`].
+//!
+//! [`AnalysisProgram`]: pq_core::control::AnalysisProgram
+//! [`QueryInterval`]: pq_core::snapshot::QueryInterval
+//! [`CoverageGap`]: pq_core::control::CoverageGap
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, DecodeCache};
+pub use client::{Client, ClientError, RemoteMonitor, RemoteResult};
+pub use server::{ServeConfig, Server, ServerHandle, Sources};
+pub use wire::{ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

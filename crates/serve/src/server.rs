@@ -1,0 +1,695 @@
+//! The query daemon: a fixed worker pool behind a bounded admission queue.
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! * one **acceptor** (the thread that called [`Server::run`]) polls the
+//!   listener and enforces the connection cap;
+//! * one lightweight **reader** thread per connection parses frames and
+//!   *admits* requests — admission is where load shedding happens, so a
+//!   slow query can never stall frame parsing;
+//! * a fixed pool of **workers** executes queries. Live register state
+//!   ([`AnalysisProgram`]) is shared immutably (`Arc`, wait-free reads);
+//!   archive access is **sharded per worker** — each worker owns its own
+//!   file handle and [`StoreReader`], so seeks never contend — with the
+//!   [`DecodeCache`] shared across shards.
+//!
+//! Admission control never drops silently: a full admission queue, a
+//! connection over its in-flight cap, or a connection refused at the
+//! accept cap all answer with an explicit `Busy{retry_after}` frame and a
+//! `pq_serve_shed_total` increment. Shutdown (a `ShutdownReq` frame or
+//! [`ServerHandle::shutdown`]) stops accepting, drains queued queries
+//! until a deadline, then answers the remainder with typed
+//! `ShuttingDown` errors — in-flight work is never abandoned mid-write.
+
+use crate::cache::DecodeCache;
+use crate::wire::{
+    self, chunk_counts, chunk_flows, chunk_gaps, ErrorCode, Frame, Request, WireError,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use pq_core::coefficient::Coefficients;
+use pq_core::control::{AnalysisProgram, CoverageGap};
+use pq_core::snapshot::QueryInterval;
+use pq_packet::FlowId;
+use pq_store::StoreReader;
+use pq_telemetry::{names, to_prometheus, Counter, Gauge, Histogram, Telemetry};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the daemon. The defaults suit the test/bench scale;
+/// `pqsim serve` exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Query worker threads (the pool executing queries).
+    pub workers: usize,
+    /// Bound on the admission queue; requests beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-connection cap on queued + executing requests.
+    pub inflight_per_conn: usize,
+    /// Connections beyond this are refused with `Busy` at accept.
+    pub max_conns: usize,
+    /// Decoded-segment cache budget; 0 disables the cache.
+    pub cache_bytes: u64,
+    /// Backoff hint carried in `Busy` frames.
+    pub retry_after_ms: u32,
+    /// How long shutdown keeps draining queued queries before answering
+    /// the rest with `ShuttingDown` errors.
+    pub drain_deadline: Duration,
+    /// Artificial per-query service delay, for load tests and the
+    /// overload bench scenario. Zero in normal operation.
+    pub work_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 128,
+            inflight_per_conn: 8,
+            max_conns: 64,
+            cache_bytes: 64 << 20,
+            retry_after_ms: 50,
+            drain_deadline: Duration::from_secs(5),
+            work_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What the server answers queries from.
+#[derive(Default)]
+pub struct Sources {
+    /// Live analysis-program state (time-window and queue-monitor kinds).
+    pub live: Option<Arc<AnalysisProgram>>,
+    /// A `.pqa` archive path (replay kind). Opened once per worker.
+    pub archive: Option<PathBuf>,
+}
+
+/// Pre-resolved `pq_serve_*` registry handles (one mutex hit at startup,
+/// none per request).
+struct Instruments {
+    req_time_windows: Counter,
+    req_queue_monitor: Counter,
+    req_replay: Counter,
+    req_metrics: Counter,
+    err_time_windows: Counter,
+    err_queue_monitor: Counter,
+    err_replay: Counter,
+    shed: Counter,
+    request_ns: Histogram,
+    queue_depth: Gauge,
+    connections: Counter,
+    plane: Telemetry,
+}
+
+impl Instruments {
+    fn resolve(plane: &Telemetry) -> Instruments {
+        let reg = plane.registry();
+        let req = |kind| reg.counter(names::SERVE_REQUESTS, &[("kind", kind)]);
+        let err = |kind| reg.counter(names::SERVE_ERRORS, &[("kind", kind)]);
+        Instruments {
+            req_time_windows: req("time_windows"),
+            req_queue_monitor: req("queue_monitor"),
+            req_replay: req("replay"),
+            req_metrics: req("metrics"),
+            err_time_windows: err("time_windows"),
+            err_queue_monitor: err("queue_monitor"),
+            err_replay: err("replay"),
+            shed: reg.counter(names::SERVE_SHED, &[]),
+            request_ns: reg.histogram(names::SERVE_REQUEST_NS, &[]),
+            queue_depth: reg.gauge(names::SERVE_QUEUE_DEPTH, &[]),
+            connections: reg.counter(names::SERVE_CONNECTIONS, &[]),
+            plane: plane.clone(),
+        }
+    }
+
+    fn completed(&self, kind: &str) {
+        match kind {
+            "time_windows" => self.req_time_windows.inc(),
+            "queue_monitor" => self.req_queue_monitor.inc(),
+            "replay" => self.req_replay.inc(),
+            _ => self.req_metrics.inc(),
+        }
+    }
+
+    fn errored(&self, kind: &str) {
+        match kind {
+            "time_windows" => self.err_time_windows.inc(),
+            "queue_monitor" => self.err_queue_monitor.inc(),
+            _ => self.err_replay.inc(),
+        }
+    }
+}
+
+/// Per-connection shared state: the write half (serialized so streamed
+/// responses never interleave) and the in-flight count.
+struct Conn {
+    stream: TcpStream,
+    write: Mutex<()>,
+    inflight: AtomicUsize,
+}
+
+impl Conn {
+    /// Encode `frames` into one buffer and write it atomically with
+    /// respect to other responses on this connection.
+    fn send(&self, frames: &[Frame]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(64);
+        for f in frames {
+            let body = wire::encode_body(f);
+            buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&body);
+        }
+        let _guard = self.write.lock().unwrap();
+        use io::Write as _;
+        (&self.stream).write_all(&buf)
+    }
+}
+
+/// One admitted query waiting for (or held by) a worker.
+struct Job {
+    conn: Arc<Conn>,
+    id: u64,
+    req: Request,
+    admitted: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    live: Option<Arc<AnalysisProgram>>,
+    archive: Option<PathBuf>,
+    cache: Option<DecodeCache>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Drain deadline as nanos since `started` (0 = not shutting down).
+    drain_deadline_ns: AtomicU64,
+    active_conns: AtomicUsize,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    instruments: Instruments,
+    started: Instant,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn initiate_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let deadline = self.now_ns().saturating_add(
+                u64::try_from(self.config.drain_deadline.as_nanos()).unwrap_or(u64::MAX),
+            );
+            self.drain_deadline_ns.store(deadline, Ordering::SeqCst);
+        }
+        self.queue_cv.notify_all();
+    }
+
+    fn past_drain_deadline(&self) -> bool {
+        let d = self.drain_deadline_ns.load(Ordering::SeqCst);
+        d != 0 && self.now_ns() > d
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A handle to a server running on a background thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drain and stop the server, blocking until it has exited.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shared.initiate_shutdown();
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Bind `addr` and prepare to serve `sources`. The archive (if any)
+    /// is opened once here so a bad path fails at bind time, not on the
+    /// first query.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        sources: Sources,
+        config: ServeConfig,
+        plane: &Telemetry,
+    ) -> io::Result<Server> {
+        if let Some(path) = &sources.archive {
+            let file = File::open(path)?;
+            StoreReader::open(BufReader::new(file))?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let cache = (config.cache_bytes > 0).then(|| DecodeCache::new(config.cache_bytes, plane));
+        let shared = Arc::new(Shared {
+            live: sources.live,
+            archive: sources.archive,
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            drain_deadline_ns: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            instruments: Instruments::resolve(plane),
+            started: Instant::now(),
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared decode cache, if enabled (benches snapshot its stats).
+    pub fn cache(&self) -> Option<&DecodeCache> {
+        self.shared.cache.as_ref()
+    }
+
+    /// Run the accept loop on this thread until shutdown, then drain.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for w in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("pq-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.instruments.connections.inc();
+                    accept_connection(&shared, stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        // Workers are done; release any reader threads still blocked on
+        // their sockets.
+        for conn in shared.conns.lock().unwrap().drain(..) {
+            if let Some(conn) = conn.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread, returning a shutdown handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let join = thread::Builder::new()
+            .name("pq-serve-acceptor".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { shared, addr, join })
+    }
+}
+
+/// Admit a fresh connection: enforce the connection cap, then hand the
+/// socket to a reader thread.
+fn accept_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Responses are small framed writes; Nagle would stall consecutive
+    // ones behind delayed ACKs.
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(Conn {
+        stream,
+        write: Mutex::new(()),
+        inflight: AtomicUsize::new(0),
+    });
+    if shared.active_conns.load(Ordering::SeqCst) >= shared.config.max_conns {
+        shared.instruments.shed.inc();
+        let _ = conn.send(&[Frame::Busy {
+            id: 0,
+            retry_after_ms: shared.config.retry_after_ms,
+        }]);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return;
+    }
+    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+    shared.conns.lock().unwrap().push(Arc::downgrade(&conn));
+    let shared = Arc::clone(shared);
+    let _ = thread::Builder::new()
+        .name("pq-serve-conn".into())
+        .spawn(move || {
+            let _ = connection_loop(&shared, &conn);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+}
+
+/// Parse and admit frames from one connection until EOF or a protocol
+/// violation. Blocking reads keep this thread cheap; all real work
+/// happens in the pool.
+fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
+    // The socket was set non-blocking by accept() inheritance on some
+    // platforms; force blocking for the reader.
+    conn.stream.set_nonblocking(false)?;
+    let mut read = (&conn.stream).take(u64::MAX); // plain Read adapter
+                                                  // Handshake: the first frame must be Hello.
+    let max_frame = match wire::read_frame(&mut read, MAX_FRAME_LEN) {
+        Ok(Frame::Hello { version, max_frame }) => {
+            if version == 0 {
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Unsupported, "version 0")]);
+                return Ok(());
+            }
+            let version = version.min(PROTOCOL_VERSION);
+            let max_frame = max_frame.clamp(1024, MAX_FRAME_LEN);
+            conn.send(&[Frame::HelloAck { version, max_frame }])?;
+            max_frame
+        }
+        Ok(_) => {
+            let _ = conn.send(&[protocol_error(
+                0,
+                ErrorCode::Protocol,
+                "expected Hello as the first frame",
+            )]);
+            return Ok(());
+        }
+        Err(e) => {
+            let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, &e.to_string())]);
+            return Ok(());
+        }
+    };
+
+    loop {
+        let frame = match wire::read_frame(&mut read, max_frame) {
+            Ok(f) => f,
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(WireError::Io(e)) => return Err(e),
+            Err(e) => {
+                // Malformed or oversized: the stream is no longer framed;
+                // answer (best effort) and close.
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, &e.to_string())]);
+                return Ok(());
+            }
+        };
+        match frame {
+            Frame::Request { id, req } => admit(shared, conn, id, req),
+            Frame::MetricsReq { id } => {
+                shared.instruments.req_metrics.inc();
+                let text = to_prometheus(&shared.instruments.plane.snapshot());
+                let _ = conn.send(&[Frame::MetricsText { id, text }]);
+            }
+            Frame::ShutdownReq { id } => {
+                let _ = conn.send(&[Frame::ShutdownAck { id }]);
+                shared.initiate_shutdown();
+            }
+            Frame::Hello { .. } => {
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, "duplicate Hello")]);
+                return Ok(());
+            }
+            _ => {
+                let _ = conn.send(&[protocol_error(
+                    0,
+                    ErrorCode::Protocol,
+                    "server-to-client frame received from client",
+                )]);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn protocol_error(id: u64, code: ErrorCode, message: &str) -> Frame {
+    Frame::Error {
+        id,
+        code,
+        gaps: Vec::new(),
+        message: message.to_string(),
+    }
+}
+
+/// Admission control: shed (never block, never silently drop) or enqueue.
+fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, req: Request) {
+    let busy = |frame_id| {
+        shared.instruments.shed.inc();
+        let _ = conn.send(&[Frame::Busy {
+            id: frame_id,
+            retry_after_ms: shared.config.retry_after_ms,
+        }]);
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = conn.send(&[protocol_error(id, ErrorCode::ShuttingDown, "draining")]);
+        return;
+    }
+    if conn.inflight.load(Ordering::SeqCst) >= shared.config.inflight_per_conn {
+        busy(id);
+        return;
+    }
+    let mut queue = shared.queue.lock().unwrap();
+    if queue.len() >= shared.config.queue_cap {
+        drop(queue);
+        busy(id);
+        return;
+    }
+    conn.inflight.fetch_add(1, Ordering::SeqCst);
+    queue.push_back(Job {
+        conn: Arc::clone(conn),
+        id,
+        req,
+        admitted: Instant::now(),
+    });
+    shared.instruments.queue_depth.set(queue.len() as u64);
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+/// One worker: pop, execute, respond, repeat. Exits when shutdown is set
+/// and the queue has drained.
+fn worker_loop(shared: &Arc<Shared>) {
+    // This worker's archive shard: its own handle, opened lazily.
+    let mut reader: Option<StoreReader<BufReader<File>>> = None;
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.instruments.queue_depth.set(queue.len() as u64);
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap();
+                queue = q;
+            }
+        };
+        let Some(job) = job else { return };
+        if shared.shutdown.load(Ordering::SeqCst) && shared.past_drain_deadline() {
+            let _ = job.conn.send(&[protocol_error(
+                job.id,
+                ErrorCode::ShuttingDown,
+                "drain deadline passed",
+            )]);
+            job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if !shared.config.work_delay.is_zero() {
+            thread::sleep(shared.config.work_delay);
+        }
+        let started_ns = shared.now_ns();
+        let frames = execute(shared, &mut reader, job.id, job.req);
+        let sent = job.conn.send(&frames);
+        job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.instruments.request_ns.record(latency);
+        let errored = matches!(frames.first(), Some(Frame::Error { .. }));
+        if errored {
+            shared.instruments.errored(job.req.kind());
+        } else {
+            shared.instruments.completed(job.req.kind());
+        }
+        if shared.instruments.plane.tracing_enabled() {
+            shared.instruments.plane.spans().record(
+                names::SPAN_SERVE_REQUEST,
+                started_ns,
+                shared.now_ns(),
+                u32::from(job.req.port()),
+            );
+        }
+        let _ = sent;
+    }
+}
+
+/// Execute one query into its response frame sequence.
+fn execute(
+    shared: &Arc<Shared>,
+    reader: &mut Option<StoreReader<BufReader<File>>>,
+    id: u64,
+    req: Request,
+) -> Vec<Frame> {
+    match req {
+        Request::TimeWindows { port, from, to } => {
+            let Some(live) = &shared.live else {
+                return vec![protocol_error(id, ErrorCode::NoLiveState, "")];
+            };
+            if !live.is_active(port) {
+                return vec![protocol_error(
+                    id,
+                    ErrorCode::UnknownPort,
+                    &format!("port {port} not activated"),
+                )];
+            }
+            let interval = QueryInterval::new(from, to);
+            let result = live.query_time_windows(port, interval);
+            let checkpoints = live.checkpoints(port).len() as u64;
+            result_frames(
+                id,
+                checkpoints,
+                result.estimates.ranked(),
+                result.gaps,
+                result.degraded,
+            )
+        }
+        Request::QueueMonitor { port, at } => {
+            let Some(live) = &shared.live else {
+                return vec![protocol_error(id, ErrorCode::NoLiveState, "")];
+            };
+            if !live.is_active(port) {
+                return vec![protocol_error(
+                    id,
+                    ErrorCode::UnknownPort,
+                    &format!("port {port} not activated"),
+                )];
+            }
+            let Some(ans) = live.query_queue_monitor(port, at) else {
+                return vec![protocol_error(
+                    id,
+                    ErrorCode::NoData,
+                    "no queue-monitor checkpoint stored",
+                )];
+            };
+            let mut counts: Vec<(FlowId, u64)> = ans.culprit_counts().into_iter().collect();
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut frames = vec![Frame::MonitorHeader {
+                id,
+                degraded: ans.degraded,
+                frozen_at: ans.frozen_at,
+                staleness: ans.staleness,
+                counts: counts.len() as u32,
+                gaps: ans.gaps.len() as u32,
+            }];
+            frames.extend(chunk_counts(id, &counts));
+            frames.extend(chunk_gaps(id, &ans.gaps));
+            frames.push(Frame::ResultEnd { id });
+            frames
+        }
+        Request::Replay { port, from, to, d } => {
+            let Some(path) = &shared.archive else {
+                return vec![protocol_error(id, ErrorCode::NoArchive, "")];
+            };
+            // This worker's shard: open on first use, reuse after.
+            if reader.is_none() {
+                match File::open(path).and_then(|f| StoreReader::open(BufReader::new(f))) {
+                    Ok(r) => *reader = Some(r),
+                    Err(e) => return vec![io_error(id, from, to, &e)],
+                }
+            }
+            let r = reader.as_mut().unwrap();
+            if !r.ports().contains(&port) {
+                return vec![protocol_error(
+                    id,
+                    ErrorCode::UnknownPort,
+                    &format!("port {port} not present in archive"),
+                )];
+            }
+            let interval = QueryInterval::new(from, to);
+            let coeffs = Coefficients::compute(r.tw_config(), d);
+            let mut view = shared.cache.as_ref().map(|c| c.for_archive(0));
+            let query = r.query_cached(
+                port,
+                interval,
+                &coeffs,
+                view.as_mut().map(|v| v as &mut dyn pq_store::SegmentCache),
+            );
+            match query {
+                Ok(result) => {
+                    let checkpoints = r.checkpoint_count(port);
+                    result_frames(
+                        id,
+                        checkpoints,
+                        result.estimates.ranked(),
+                        result.gaps,
+                        result.degraded,
+                    )
+                }
+                Err(e) => {
+                    // The reader may now be mid-seek; drop the shard so the
+                    // next query reopens cleanly.
+                    *reader = None;
+                    vec![io_error(id, from, to, &e)]
+                }
+            }
+        }
+    }
+}
+
+/// A typed I/O error frame. The gap summary is the whole queried
+/// interval: from the client's point of view nothing in it was answered,
+/// which is exactly what a coverage gap means — so degraded-query
+/// semantics survive server-side failures.
+fn io_error(id: u64, from: u64, to: u64, e: &io::Error) -> Frame {
+    let interval = QueryInterval::new(from, to);
+    Frame::Error {
+        id,
+        code: ErrorCode::Io,
+        gaps: vec![CoverageGap {
+            from: interval.from,
+            to: interval.to,
+        }],
+        message: e.to_string(),
+    }
+}
+
+/// Assemble a streamed time-window answer: header, bounded chunks, end.
+fn result_frames(
+    id: u64,
+    checkpoints: u64,
+    flows: Vec<(FlowId, f64)>,
+    gaps: Vec<CoverageGap>,
+    degraded: bool,
+) -> Vec<Frame> {
+    let mut frames = vec![Frame::ResultHeader {
+        id,
+        degraded,
+        checkpoints,
+        flows: flows.len() as u32,
+        gaps: gaps.len() as u32,
+    }];
+    frames.extend(chunk_flows(id, &flows));
+    frames.extend(chunk_gaps(id, &gaps));
+    frames.push(Frame::ResultEnd { id });
+    frames
+}

@@ -1,0 +1,750 @@
+//! The `pq-serve` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! u32 len (LE)  — length of what follows: the type byte + payload
+//! u8  type      — frame discriminant (client frames < 0x80, server ≥ 0x80)
+//! …payload      — fixed-width little-endian fields, no padding
+//! ```
+//!
+//! A connection opens with `Hello` / `HelloAck` version negotiation: the
+//! client states the highest protocol version it speaks and its receive
+//! frame cap; the server answers with `min(client, server)` of each. A
+//! server that cannot serve any version the client offered answers with a
+//! typed [`ErrorCode::Unsupported`] error and closes.
+//!
+//! Query responses are **streamed in bounded frames**: a header stating
+//! totals, then flow/gap chunks of at most [`ENTRIES_PER_FRAME`] entries,
+//! then `ResultEnd`. No single frame ever exceeds [`MAX_FRAME_LEN`], so
+//! neither side needs more than one frame of buffer per connection.
+//!
+//! Decoding is adversarial-input-safe in the `pq-store` `DecodeBudget`
+//! tradition: the length prefix is validated against the negotiated cap
+//! *before* any allocation, and every collection count inside a frame is
+//! validated against the bytes actually present before a `Vec` is sized.
+//! Malformed input yields a [`WireError`], never a panic and never an
+//! allocation larger than the input itself.
+//!
+//! Flow estimates travel as raw `f64` bit patterns, so a remote answer is
+//! bit-identical to the local one — the CI smoke test diffs the two.
+
+use pq_core::control::CoverageGap;
+use pq_packet::FlowId;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Highest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on a frame's `len` field (type byte + payload).
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Most collection entries (flows, gaps, monitor counts) per chunk frame.
+pub const ENTRIES_PER_FRAME: usize = 512;
+
+/// Typed failure codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer violated the framing or sent an unknown frame type.
+    Protocol,
+    /// Version negotiation failed.
+    Unsupported,
+    /// The requested port exists in neither the live state nor the archive.
+    UnknownPort,
+    /// A live-state query reached a server with no live registers loaded.
+    NoLiveState,
+    /// A replay query reached a server with no archive loaded.
+    NoArchive,
+    /// The server hit an I/O error executing the query.
+    Io,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The query was well-formed but no stored checkpoint can answer it
+    /// (e.g. a queue-monitor query before the first poll).
+    NoData,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::Unsupported => 2,
+            ErrorCode::UnknownPort => 3,
+            ErrorCode::NoLiveState => 4,
+            ErrorCode::NoArchive => 5,
+            ErrorCode::Io => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::NoData => 8,
+        }
+    }
+
+    /// Decode a wire error-code value.
+    pub fn from_u16(v: u16) -> Result<ErrorCode, WireError> {
+        Ok(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Unsupported,
+            3 => ErrorCode::UnknownPort,
+            4 => ErrorCode::NoLiveState,
+            5 => ErrorCode::NoArchive,
+            6 => ErrorCode::Io,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::NoData,
+            _ => return Err(WireError::malformed("unknown error code")),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Protocol => "protocol violation",
+            ErrorCode::Unsupported => "unsupported protocol version",
+            ErrorCode::UnknownPort => "unknown port",
+            ErrorCode::NoLiveState => "no live state loaded",
+            ErrorCode::NoArchive => "no archive loaded",
+            ErrorCode::Io => "server i/o error",
+            ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::NoData => "no stored checkpoint can answer the query",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A query request, as carried inside [`Frame::Request`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// §6.3 time-window query against the live analysis program.
+    TimeWindows { port: u16, from: u64, to: u64 },
+    /// §5 queue-monitor (original-culprit) query against live state.
+    QueueMonitor { port: u16, at: u64 },
+    /// Time-window query replayed from the `.pqa` archive; `d` is the
+    /// coefficient delay parameter (matches `replay-query --d`).
+    Replay {
+        port: u16,
+        from: u64,
+        to: u64,
+        d: u64,
+    },
+}
+
+impl Request {
+    /// The `kind` label this request reports under in `pq_serve_*` metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::TimeWindows { .. } => "time_windows",
+            Request::QueueMonitor { .. } => "queue_monitor",
+            Request::Replay { .. } => "replay",
+        }
+    }
+
+    /// The port the request targets.
+    pub fn port(&self) -> u16 {
+        match self {
+            Request::TimeWindows { port, .. }
+            | Request::QueueMonitor { port, .. }
+            | Request::Replay { port, .. } => *port,
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // -- client → server ---------------------------------------------------
+    /// Connection opener: highest version spoken, receive frame cap.
+    Hello { version: u16, max_frame: u32 },
+    /// A query; `id` is echoed in every frame of the response.
+    Request { id: u64, req: Request },
+    /// Ask for the server's Prometheus text exposition.
+    MetricsReq { id: u64 },
+    /// Ask the server to drain in-flight queries and exit.
+    ShutdownReq { id: u64 },
+
+    // -- server → client ---------------------------------------------------
+    /// Accepted version and frame cap (`min` of both sides).
+    HelloAck { version: u16, max_frame: u32 },
+    /// Start of a time-window answer: totals for the chunks that follow.
+    ResultHeader {
+        id: u64,
+        degraded: bool,
+        /// Checkpoints the serving side holds for the port (the local
+        /// query path prints this; carrying it keeps output identical).
+        checkpoints: u64,
+        flows: u32,
+        gaps: u32,
+    },
+    /// Up to [`ENTRIES_PER_FRAME`] per-flow estimates (`f64` bits).
+    ResultFlows { id: u64, flows: Vec<(FlowId, f64)> },
+    /// Up to [`ENTRIES_PER_FRAME`] coverage gaps.
+    ResultGaps { id: u64, gaps: Vec<CoverageGap> },
+    /// End of a streamed answer.
+    ResultEnd { id: u64 },
+    /// Start of a queue-monitor answer.
+    MonitorHeader {
+        id: u64,
+        degraded: bool,
+        frozen_at: u64,
+        staleness: u64,
+        counts: u32,
+        gaps: u32,
+    },
+    /// Up to [`ENTRIES_PER_FRAME`] original-culprit counts.
+    MonitorCounts { id: u64, counts: Vec<(FlowId, u64)> },
+    /// Typed failure, with the coverage-gap summary the local path would
+    /// have seen (so degraded-query semantics survive the wire).
+    Error {
+        id: u64,
+        code: ErrorCode,
+        gaps: Vec<CoverageGap>,
+        message: String,
+    },
+    /// Load shed: retry after the given backoff. `id` 0 means the whole
+    /// connection was refused at accept time.
+    Busy { id: u64, retry_after_ms: u32 },
+    /// Prometheus text exposition.
+    MetricsText { id: u64, text: String },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownAck { id: u64 },
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The length prefix exceeded the negotiated frame cap; the frame was
+    /// *not* read (and must not be — honoring the cap is what bounds
+    /// allocation).
+    TooLarge { claimed: u32, cap: u32 },
+    /// The frame body contradicted itself (truncated fields, counts
+    /// exceeding the bytes present, bad UTF-8, unknown discriminants).
+    Malformed(&'static str),
+}
+
+impl WireError {
+    pub(crate) fn malformed(what: &'static str) -> WireError {
+        WireError::Malformed(what)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::TooLarge { claimed, cap } => {
+                write!(f, "frame length {claimed} exceeds cap {cap}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+// -- encoding ---------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a frame body (type byte + payload), without the length prefix.
+pub fn encode_body(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match frame {
+        Frame::Hello { version, max_frame } => {
+            out.push(0x01);
+            put_u16(&mut out, *version);
+            put_u32(&mut out, *max_frame);
+        }
+        Frame::Request { id, req } => {
+            out.push(0x02);
+            put_u64(&mut out, *id);
+            match req {
+                Request::TimeWindows { port, from, to } => {
+                    out.push(0);
+                    put_u16(&mut out, *port);
+                    put_u64(&mut out, *from);
+                    put_u64(&mut out, *to);
+                }
+                Request::QueueMonitor { port, at } => {
+                    out.push(1);
+                    put_u16(&mut out, *port);
+                    put_u64(&mut out, *at);
+                }
+                Request::Replay { port, from, to, d } => {
+                    out.push(2);
+                    put_u16(&mut out, *port);
+                    put_u64(&mut out, *from);
+                    put_u64(&mut out, *to);
+                    put_u64(&mut out, *d);
+                }
+            }
+        }
+        Frame::MetricsReq { id } => {
+            out.push(0x03);
+            put_u64(&mut out, *id);
+        }
+        Frame::ShutdownReq { id } => {
+            out.push(0x04);
+            put_u64(&mut out, *id);
+        }
+        Frame::HelloAck { version, max_frame } => {
+            out.push(0x81);
+            put_u16(&mut out, *version);
+            put_u32(&mut out, *max_frame);
+        }
+        Frame::ResultHeader {
+            id,
+            degraded,
+            checkpoints,
+            flows,
+            gaps,
+        } => {
+            out.push(0x82);
+            put_u64(&mut out, *id);
+            out.push(u8::from(*degraded));
+            put_u64(&mut out, *checkpoints);
+            put_u32(&mut out, *flows);
+            put_u32(&mut out, *gaps);
+        }
+        Frame::ResultFlows { id, flows } => {
+            out.push(0x83);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, flows.len() as u32);
+            for (flow, est) in flows {
+                put_u32(&mut out, flow.0);
+                put_u64(&mut out, est.to_bits());
+            }
+        }
+        Frame::ResultGaps { id, gaps } => {
+            out.push(0x84);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, gaps.len() as u32);
+            for g in gaps {
+                put_u64(&mut out, g.from);
+                put_u64(&mut out, g.to);
+            }
+        }
+        Frame::ResultEnd { id } => {
+            out.push(0x85);
+            put_u64(&mut out, *id);
+        }
+        Frame::MonitorHeader {
+            id,
+            degraded,
+            frozen_at,
+            staleness,
+            counts,
+            gaps,
+        } => {
+            out.push(0x86);
+            put_u64(&mut out, *id);
+            out.push(u8::from(*degraded));
+            put_u64(&mut out, *frozen_at);
+            put_u64(&mut out, *staleness);
+            put_u32(&mut out, *counts);
+            put_u32(&mut out, *gaps);
+        }
+        Frame::MonitorCounts { id, counts } => {
+            out.push(0x87);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, counts.len() as u32);
+            for (flow, n) in counts {
+                put_u32(&mut out, flow.0);
+                put_u64(&mut out, *n);
+            }
+        }
+        Frame::Error {
+            id,
+            code,
+            gaps,
+            message,
+        } => {
+            out.push(0x88);
+            put_u64(&mut out, *id);
+            put_u16(&mut out, code.to_u16());
+            put_u32(&mut out, gaps.len() as u32);
+            for g in gaps {
+                put_u64(&mut out, g.from);
+                put_u64(&mut out, g.to);
+            }
+            put_u32(&mut out, message.len() as u32);
+            out.extend_from_slice(message.as_bytes());
+        }
+        Frame::Busy { id, retry_after_ms } => {
+            out.push(0x89);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *retry_after_ms);
+        }
+        Frame::MetricsText { id, text } => {
+            out.push(0x8A);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, text.len() as u32);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Frame::ShutdownAck { id } => {
+            out.push(0x8B);
+            put_u64(&mut out, *id);
+        }
+    }
+    out
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let body = encode_body(frame);
+    debug_assert!(body.len() as u32 <= MAX_FRAME_LEN, "oversized frame built");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+// -- decoding ---------------------------------------------------------------
+
+fn get_u8(cur: &mut &[u8]) -> Result<u8, WireError> {
+    let (&v, rest) = cur
+        .split_first()
+        .ok_or(WireError::Malformed("truncated u8"))?;
+    *cur = rest;
+    Ok(v)
+}
+
+fn get_u16(cur: &mut &[u8]) -> Result<u16, WireError> {
+    if cur.len() < 2 {
+        return Err(WireError::Malformed("truncated u16"));
+    }
+    let (head, rest) = cur.split_at(2);
+    *cur = rest;
+    Ok(u16::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn get_u32(cur: &mut &[u8]) -> Result<u32, WireError> {
+    if cur.len() < 4 {
+        return Err(WireError::Malformed("truncated u32"));
+    }
+    let (head, rest) = cur.split_at(4);
+    *cur = rest;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn get_u64(cur: &mut &[u8]) -> Result<u64, WireError> {
+    if cur.len() < 8 {
+        return Err(WireError::Malformed("truncated u64"));
+    }
+    let (head, rest) = cur.split_at(8);
+    *cur = rest;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Validate a collection count against the bytes actually present, the
+/// `DecodeBudget` rule: never size an allocation off a claimed count the
+/// input cannot back.
+fn checked_count(cur: &[u8], claimed: u32, entry_bytes: usize) -> Result<usize, WireError> {
+    let n = claimed as usize;
+    if n > ENTRIES_PER_FRAME {
+        return Err(WireError::Malformed("chunk exceeds entries-per-frame cap"));
+    }
+    if n.saturating_mul(entry_bytes) > cur.len() {
+        return Err(WireError::Malformed("count exceeds bytes present"));
+    }
+    Ok(n)
+}
+
+fn get_gaps(cur: &mut &[u8], n: u32) -> Result<Vec<CoverageGap>, WireError> {
+    let n = checked_count(cur, n, 16)?;
+    let mut gaps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let from = get_u64(cur)?;
+        let to = get_u64(cur)?;
+        gaps.push(CoverageGap { from, to });
+    }
+    Ok(gaps)
+}
+
+fn get_string(cur: &mut &[u8], what: &'static str) -> Result<String, WireError> {
+    let len = get_u32(cur)? as usize;
+    if len > cur.len() {
+        return Err(WireError::Malformed("string length exceeds bytes present"));
+    }
+    let (head, rest) = cur.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| WireError::Malformed(what))?
+        .to_string();
+    *cur = rest;
+    Ok(s)
+}
+
+/// Decode a frame body (type byte + payload). Trailing bytes are a
+/// protocol violation — a frame is exactly its declared fields.
+pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
+    let cur = &mut body;
+    let ty = get_u8(cur)?;
+    let frame = match ty {
+        0x01 => Frame::Hello {
+            version: get_u16(cur)?,
+            max_frame: get_u32(cur)?,
+        },
+        0x02 => {
+            let id = get_u64(cur)?;
+            let kind = get_u8(cur)?;
+            let req = match kind {
+                0 => Request::TimeWindows {
+                    port: get_u16(cur)?,
+                    from: get_u64(cur)?,
+                    to: get_u64(cur)?,
+                },
+                1 => Request::QueueMonitor {
+                    port: get_u16(cur)?,
+                    at: get_u64(cur)?,
+                },
+                2 => Request::Replay {
+                    port: get_u16(cur)?,
+                    from: get_u64(cur)?,
+                    to: get_u64(cur)?,
+                    d: get_u64(cur)?,
+                },
+                _ => return Err(WireError::Malformed("unknown request kind")),
+            };
+            Frame::Request { id, req }
+        }
+        0x03 => Frame::MetricsReq { id: get_u64(cur)? },
+        0x04 => Frame::ShutdownReq { id: get_u64(cur)? },
+        0x81 => Frame::HelloAck {
+            version: get_u16(cur)?,
+            max_frame: get_u32(cur)?,
+        },
+        0x82 => Frame::ResultHeader {
+            id: get_u64(cur)?,
+            degraded: get_u8(cur)? != 0,
+            checkpoints: get_u64(cur)?,
+            flows: get_u32(cur)?,
+            gaps: get_u32(cur)?,
+        },
+        0x83 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)?;
+            let n = checked_count(cur, n, 12)?;
+            let mut flows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let flow = FlowId(get_u32(cur)?);
+                let est = f64::from_bits(get_u64(cur)?);
+                flows.push((flow, est));
+            }
+            Frame::ResultFlows { id, flows }
+        }
+        0x84 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)?;
+            Frame::ResultGaps {
+                id,
+                gaps: get_gaps(cur, n)?,
+            }
+        }
+        0x85 => Frame::ResultEnd { id: get_u64(cur)? },
+        0x86 => Frame::MonitorHeader {
+            id: get_u64(cur)?,
+            degraded: get_u8(cur)? != 0,
+            frozen_at: get_u64(cur)?,
+            staleness: get_u64(cur)?,
+            counts: get_u32(cur)?,
+            gaps: get_u32(cur)?,
+        },
+        0x87 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)?;
+            let n = checked_count(cur, n, 12)?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let flow = FlowId(get_u32(cur)?);
+                let count = get_u64(cur)?;
+                counts.push((flow, count));
+            }
+            Frame::MonitorCounts { id, counts }
+        }
+        0x88 => {
+            let id = get_u64(cur)?;
+            let code = ErrorCode::from_u16(get_u16(cur)?)?;
+            let ngaps = get_u32(cur)?;
+            let gaps = get_gaps(cur, ngaps)?;
+            let message = get_string(cur, "error message not utf-8")?;
+            Frame::Error {
+                id,
+                code,
+                gaps,
+                message,
+            }
+        }
+        0x89 => Frame::Busy {
+            id: get_u64(cur)?,
+            retry_after_ms: get_u32(cur)?,
+        },
+        0x8A => {
+            let id = get_u64(cur)?;
+            let text = get_string(cur, "metrics text not utf-8")?;
+            Frame::MetricsText { id, text }
+        }
+        0x8B => Frame::ShutdownAck { id: get_u64(cur)? },
+        _ => return Err(WireError::Malformed("unknown frame type")),
+    };
+    if !cur.is_empty() {
+        return Err(WireError::Malformed("trailing bytes after frame"));
+    }
+    Ok(frame)
+}
+
+/// Read one length-prefixed frame, honoring `max_frame`.
+///
+/// An oversized length prefix fails with [`WireError::TooLarge`] *before*
+/// anything past the prefix is read or allocated; the connection is no
+/// longer framed after that, so callers must close it.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: u32) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length frame"));
+    }
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            claimed: len,
+            cap: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_body(&body)
+}
+
+/// Split per-flow estimates into bounded `ResultFlows` chunks.
+pub fn chunk_flows(id: u64, flows: &[(FlowId, f64)]) -> Vec<Frame> {
+    flows
+        .chunks(ENTRIES_PER_FRAME)
+        .map(|c| Frame::ResultFlows {
+            id,
+            flows: c.to_vec(),
+        })
+        .collect()
+}
+
+/// Split coverage gaps into bounded `ResultGaps` chunks.
+pub fn chunk_gaps(id: u64, gaps: &[CoverageGap]) -> Vec<Frame> {
+    gaps.chunks(ENTRIES_PER_FRAME)
+        .map(|c| Frame::ResultGaps {
+            id,
+            gaps: c.to_vec(),
+        })
+        .collect()
+}
+
+/// Split monitor culprit counts into bounded `MonitorCounts` chunks.
+pub fn chunk_counts(id: u64, counts: &[(FlowId, u64)]) -> Vec<Frame> {
+    counts
+        .chunks(ENTRIES_PER_FRAME)
+        .map(|c| Frame::MonitorCounts {
+            id,
+            counts: c.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &Frame) {
+        let body = encode_body(f);
+        let back = decode_body(&body).expect("decode");
+        // Compare re-encoded bytes, not `PartialEq`: bit-level identity is
+        // the actual contract, and it also holds for NaN flow values.
+        assert_eq!(encode_body(&back), body, "re-encode differs for {f:?}");
+    }
+
+    #[test]
+    fn all_frame_shapes_round_trip() {
+        round_trip(&Frame::Hello {
+            version: 1,
+            max_frame: MAX_FRAME_LEN,
+        });
+        round_trip(&Frame::Request {
+            id: 7,
+            req: Request::Replay {
+                port: 3,
+                from: 10,
+                to: 999,
+                d: 110,
+            },
+        });
+        round_trip(&Frame::ResultFlows {
+            id: 1,
+            flows: vec![
+                (FlowId(4), 1.5),
+                (FlowId(9), f64::from_bits(0x7ff8_dead_beef_0001)),
+            ],
+        });
+        round_trip(&Frame::Error {
+            id: 2,
+            code: ErrorCode::Io,
+            gaps: vec![CoverageGap { from: 5, to: 10 }],
+            message: "read failed".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let body = encode_body(&Frame::MonitorHeader {
+            id: 1,
+            degraded: true,
+            frozen_at: 2,
+            staleness: 3,
+            counts: 4,
+            gaps: 5,
+        });
+        for cut in 0..body.len() {
+            assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn inflated_count_is_rejected_without_allocating() {
+        // A ResultFlows frame claiming u32::MAX entries but carrying none.
+        let mut body = vec![0x83];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cur = buf.as_slice();
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME_LEN),
+            Err(WireError::TooLarge { .. })
+        ));
+        // Nothing past the prefix was consumed.
+        assert_eq!(cur.len(), 16);
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_protocol_error() {
+        let mut body = encode_body(&Frame::ResultEnd { id: 3 });
+        body.push(0);
+        assert!(decode_body(&body).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Adversarial property tests for the wire protocol: every frame type
+//! round-trips bit-exactly, and no sequence of malformed, truncated, or
+//! hostile bytes can panic the decoder or trick it into over-allocating.
+
+use pq_core::control::CoverageGap;
+use pq_packet::FlowId;
+use pq_serve::wire::{
+    decode_body, encode_body, read_frame, ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_gaps() -> impl Strategy<Value = Vec<CoverageGap>> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<u64>()).prop_map(|(from, to)| CoverageGap { from, to }),
+        0..20,
+    )
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    (1u16..=8).prop_map(|v| ErrorCode::from_u16(v).unwrap())
+}
+
+/// Arbitrary UTF-8 strings up to `max` bytes (lossy-converted byte soup,
+/// which covers multi-byte sequences too).
+fn arb_string(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u16>(), any::<u64>(), any::<u64>())
+            .prop_map(|(port, from, to)| Request::TimeWindows { port, from, to })
+            .boxed(),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(port, at)| Request::QueueMonitor { port, at })
+            .boxed(),
+        (any::<u16>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(port, from, to, d)| Request::Replay { port, from, to, d })
+            .boxed(),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u16>(), 0u32..=MAX_FRAME_LEN)
+            .prop_map(|(version, max_frame)| Frame::Hello { version, max_frame })
+            .boxed(),
+        (any::<u16>(), 0u32..=MAX_FRAME_LEN)
+            .prop_map(|(version, max_frame)| Frame::HelloAck { version, max_frame })
+            .boxed(),
+        (any::<u64>(), arb_request())
+            .prop_map(|(id, req)| Frame::Request { id, req })
+            .boxed(),
+        any::<u64>().prop_map(|id| Frame::MetricsReq { id }).boxed(),
+        any::<u64>()
+            .prop_map(|id| Frame::ShutdownReq { id })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|id| Frame::ShutdownAck { id })
+            .boxed(),
+        any::<u64>().prop_map(|id| Frame::ResultEnd { id }).boxed(),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(id, degraded, checkpoints, flows, gaps)| Frame::ResultHeader {
+                    id,
+                    degraded,
+                    checkpoints,
+                    flows,
+                    gaps,
+                }
+            )
+            .boxed(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u32>(), any::<u64>())
+                    .prop_map(|(f, bits)| (FlowId(f), f64::from_bits(bits))),
+                0..50,
+            )
+        )
+            .prop_map(|(id, flows)| Frame::ResultFlows { id, flows })
+            .boxed(),
+        (any::<u64>(), arb_gaps())
+            .prop_map(|(id, gaps)| Frame::ResultGaps { id, gaps })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(id, degraded, frozen_at, staleness, counts, gaps)| {
+                Frame::MonitorHeader {
+                    id,
+                    degraded,
+                    frozen_at,
+                    staleness,
+                    counts,
+                    gaps,
+                }
+            })
+            .boxed(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u32>(), any::<u64>()).prop_map(|(f, n)| (FlowId(f), n)),
+                0..50,
+            )
+        )
+            .prop_map(|(id, counts)| Frame::MonitorCounts { id, counts })
+            .boxed(),
+        (any::<u64>(), arb_error_code(), arb_gaps(), arb_string(80))
+            .prop_map(|(id, code, gaps, message)| Frame::Error {
+                id,
+                code,
+                gaps,
+                message,
+            })
+            .boxed(),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(id, retry_after_ms)| Frame::Busy { id, retry_after_ms })
+            .boxed(),
+        (any::<u64>(), arb_string(200))
+            .prop_map(|(id, text)| Frame::MetricsText { id, text })
+            .boxed(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_frame_round_trips_bit_exactly(frame in arb_frame()) {
+        let body = encode_body(&frame);
+        let back = decode_body(&body).expect("clean encoding must decode");
+        // Bit-level identity (also correct for NaN flow values, where
+        // `PartialEq` would lie).
+        prop_assert_eq!(encode_body(&back), body);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_succeeds(frame in arb_frame()) {
+        let body = encode_body(&frame);
+        // Every strict prefix must decode to an error (the payload is
+        // incomplete) without panicking. Skip len-0: an empty body has no
+        // type byte and is also an error, checked below.
+        for cut in 0..body.len() {
+            prop_assert!(
+                decode_body(&body[..cut]).is_err(),
+                "decode of a {}-byte prefix of a {}-byte body succeeded",
+                cut,
+                body.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(frame in arb_frame(), tail in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let mut body = encode_body(&frame);
+        body.extend_from_slice(&tail);
+        // A frame followed by extra bytes is malformed: accepting it would
+        // let desynchronized streams slip through silently.
+        prop_assert!(decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; reaching it without a panic is the property.
+        let _ = decode_body(&bytes);
+    }
+
+    #[test]
+    fn random_streams_never_panic_read_frame(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut cur = Cursor::new(bytes);
+        let _ = read_frame(&mut cur, MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation(claim in MAX_FRAME_LEN + 1..u32::MAX) {
+        // A stream claiming a huge frame must be refused after the 4-byte
+        // prefix — without reading (or allocating) the claimed body. The
+        // stream holds only the prefix, so any attempt to read the body
+        // would surface as UnexpectedEof instead of TooLarge.
+        let mut stream = Cursor::new(claim.to_le_bytes().to_vec());
+        match read_frame(&mut stream, MAX_FRAME_LEN) {
+            Err(WireError::TooLarge { claimed, cap }) => {
+                assert_eq!(claimed, claim);
+                assert_eq!(cap, MAX_FRAME_LEN);
+                assert_eq!(stream.position(), 4, "nothing past the prefix may be consumed");
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+/// Hand-crafted inflated counts: a chunk frame whose element count claims
+/// more entries than the payload carries must be rejected by the
+/// byte-budget check, not trusted as an allocation size.
+#[test]
+fn inflated_collection_counts_are_rejected() {
+    let frame = Frame::ResultFlows {
+        id: 1,
+        flows: vec![(FlowId(3), 2.5)],
+    };
+    let mut body = encode_body(&frame);
+    // Layout: type(1) id(8) count(4) entries... — inflate the count field.
+    let count_at = 1 + 8;
+    body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+
+    let frame = Frame::ResultGaps {
+        id: 1,
+        gaps: vec![CoverageGap { from: 0, to: 9 }],
+    };
+    let mut body = encode_body(&frame);
+    body[count_at..count_at + 4].copy_from_slice(&1_000_000u32.to_le_bytes());
+    assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+}
+
+/// A truncated length prefix (connection died mid-prefix) is an I/O EOF,
+/// not a panic.
+#[test]
+fn truncated_length_prefix_is_eof() {
+    for n in 0..4 {
+        let mut cur = Cursor::new(vec![0u8; n]);
+        match read_frame(&mut cur, MAX_FRAME_LEN) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected EOF for {n}-byte prefix, got {other:?}"),
+        }
+    }
+}

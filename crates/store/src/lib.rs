@@ -40,5 +40,5 @@ pub use json::{
     archives_from_json, archives_to_json, archives_to_pqa, format_for_path, read_archives,
     write_archives, ArchiveFormat,
 };
-pub use reader::{Recovery, StoreReader};
+pub use reader::{Recovery, SegmentCache, SegmentKey, StoreReader};
 pub use writer::{SegmentPolicy, SharedStoreWriter, StoreWriter};

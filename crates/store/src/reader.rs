@@ -29,7 +29,51 @@ use pq_core::params::TimeWindowConfig;
 use pq_core::snapshot::{FlowEstimates, QueryInterval};
 use pq_telemetry::{names, Counter, Histogram, Telemetry};
 use std::io::{self, Read, Seek, SeekFrom};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Identity of one sealed segment's decoded contents.
+///
+/// Segments are immutable once sealed, so `(offset, body CRC, count)`
+/// uniquely identifies the decode result *within one archive*; a cache
+/// shared across archives must add its own archive id to the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentKey {
+    /// Absolute file offset of the segment magic.
+    pub offset: u64,
+    /// CRC-32 of the segment body.
+    pub body_crc: u32,
+    /// Checkpoints in the segment.
+    pub count: u64,
+}
+
+impl SegmentKey {
+    /// The cache key for a segment index entry.
+    pub fn of(meta: &SegmentMeta) -> SegmentKey {
+        SegmentKey {
+            offset: meta.offset,
+            body_crc: meta.body_crc,
+            count: meta.count,
+        }
+    }
+}
+
+/// A pluggable store for decoded segments, consulted by
+/// [`StoreReader::query_cached`] before paying the decode cost.
+///
+/// Decoded checkpoints are handed around as `Arc<[Checkpoint]>` so a hit
+/// costs one refcount bump, never a deep clone. Implementations own their
+/// eviction policy (the serving layer uses a byte-bounded LRU); the
+/// reader only ever calls `get` then, on a miss that decodes cleanly,
+/// `insert`. Corrupt segments are never inserted — they surface as
+/// [`CoverageGap`]s exactly as on the uncached path.
+pub trait SegmentCache {
+    /// Look up a previously decoded segment.
+    fn get(&mut self, key: SegmentKey) -> Option<Arc<[Checkpoint]>>;
+
+    /// Offer a freshly decoded segment for caching.
+    fn insert(&mut self, key: SegmentKey, checkpoints: Arc<[Checkpoint]>);
+}
 
 /// How the reader located its segment metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -417,6 +461,23 @@ impl<R: Read + Seek> StoreReader<R> {
         interval: QueryInterval,
         coeffs: &Coefficients,
     ) -> io::Result<QueryResult> {
+        self.query_cached(port, interval, coeffs, None)
+    }
+
+    /// [`query`](Self::query) with an optional decoded-segment cache.
+    ///
+    /// Every segment the query needs is first looked up in `cache`; a miss
+    /// decodes from disk (the per-segment [`DecodeBudget`] still applies)
+    /// and offers the result back via [`SegmentCache::insert`]. Results are
+    /// bit-identical with and without a cache: decoded checkpoints are
+    /// immutable, and the merge order over segments is unchanged.
+    pub fn query_cached(
+        &mut self,
+        port: u16,
+        interval: QueryInterval,
+        coeffs: &Coefficients,
+        mut cache: Option<&mut dyn SegmentCache>,
+    ) -> io::Result<QueryResult> {
         let started = Instant::now();
         let metas: Vec<SegmentMeta> = self
             .segments
@@ -429,20 +490,30 @@ impl<R: Read + Seek> StoreReader<R> {
         let mut corrupt_gaps: Vec<CoverageGap> = Vec::new();
         let mut prev_frozen_at: Option<u64> = None;
         for m in &metas {
-            let cps = match self.decode_segment(m) {
-                Ok(cps) => cps,
-                Err(_) => {
-                    corrupt_gaps.push(CoverageGap {
-                        from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
-                        to: m.max_t,
-                    });
-                    continue;
-                }
+            let cached = cache.as_mut().and_then(|c| c.get(SegmentKey::of(m)));
+            let cps: Arc<[Checkpoint]> = match cached {
+                Some(cps) => cps,
+                None => match self.decode_segment(m) {
+                    Ok(cps) => {
+                        let cps: Arc<[Checkpoint]> = cps.into();
+                        if let Some(c) = cache.as_mut() {
+                            c.insert(SegmentKey::of(m), Arc::clone(&cps));
+                        }
+                        cps
+                    }
+                    Err(_) => {
+                        corrupt_gaps.push(CoverageGap {
+                            from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                            to: m.max_t,
+                        });
+                        continue;
+                    }
+                },
             };
             // Re-seed the slice chain from the segment header so skipped
             // (pruned or corrupt) predecessors don't shift the clamping.
             prev_frozen_at = m.prev_periodic.or(prev_frozen_at);
-            for cp in &cps {
+            for cp in cps.iter() {
                 let slice_from = interval.from.max(prev_frozen_at.map_or(0, |t| t + 1));
                 let slice_to = interval.to.min(cp.frozen_at);
                 if !cp.on_demand {

@@ -21,10 +21,9 @@ use pq_core::metrics::ControlHealth;
 use pq_core::params::TimeWindowConfig;
 use pq_packet::Nanos;
 use pq_telemetry::{names, Counter, Histogram, Telemetry};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Segment rotation and retention knobs.
 #[derive(Debug, Clone, Copy)]
@@ -293,17 +292,17 @@ impl<W: Write> StoreWriter<W> {
     }
 }
 
-/// A clonable, `'static` handle to a [`StoreWriter`] usable as the
-/// analysis program's [`CheckpointSink`] while the caller retains the
-/// ability to [`finish`](SharedStoreWriter::finish) the file.
+/// A clonable, `'static`, thread-safe handle to a [`StoreWriter`] usable
+/// as the analysis program's [`CheckpointSink`] while the caller retains
+/// the ability to [`finish`](SharedStoreWriter::finish) the file.
 pub struct SharedStoreWriter<W: Write> {
-    inner: Rc<RefCell<Option<StoreWriter<W>>>>,
+    inner: Arc<Mutex<Option<StoreWriter<W>>>>,
 }
 
 impl<W: Write> Clone for SharedStoreWriter<W> {
     fn clone(&self) -> Self {
         SharedStoreWriter {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
@@ -312,7 +311,7 @@ impl<W: Write> SharedStoreWriter<W> {
     /// Wrap a writer for sharing.
     pub fn new(writer: StoreWriter<W>) -> SharedStoreWriter<W> {
         SharedStoreWriter {
-            inner: Rc::new(RefCell::new(Some(writer))),
+            inner: Arc::new(Mutex::new(Some(writer))),
         }
     }
 
@@ -322,7 +321,7 @@ impl<W: Write> SharedStoreWriter<W> {
 
     /// Run `f` against the writer (errors once finished).
     pub fn with<R>(&self, f: impl FnOnce(&mut StoreWriter<W>) -> R) -> io::Result<R> {
-        match self.inner.borrow_mut().as_mut() {
+        match self.inner.lock().unwrap().as_mut() {
             Some(w) => Ok(f(w)),
             None => Err(Self::closed()),
         }
@@ -330,14 +329,14 @@ impl<W: Write> SharedStoreWriter<W> {
 
     /// Finish the store, consuming the shared writer's interior.
     pub fn finish(&self) -> io::Result<W> {
-        match self.inner.borrow_mut().take() {
+        match self.inner.lock().unwrap().take() {
             Some(w) => w.finish(),
             None => Err(Self::closed()),
         }
     }
 }
 
-impl<W: Write + 'static> CheckpointSink for SharedStoreWriter<W> {
+impl<W: Write + Send + 'static> CheckpointSink for SharedStoreWriter<W> {
     fn on_checkpoint(&mut self, port: u16, cp: &Checkpoint) -> io::Result<()> {
         self.with(|w| w.push(port, cp))?
     }

@@ -111,6 +111,31 @@ pub mod names {
     /// Replay-query wall-clock latency (histogram, ns).
     pub const STORE_REPLAY_QUERY_NS: &str = "pq_store_replay_query_ns";
 
+    // -- pq-serve ----------------------------------------------------------
+    /// Query requests executed to completion, label `kind` ∈
+    /// {`time_windows`, `queue_monitor`, `replay`, `metrics`} (counter).
+    pub const SERVE_REQUESTS: &str = "pq_serve_requests_total";
+    /// Requests that ended in a typed error frame (counter, label `kind`).
+    pub const SERVE_ERRORS: &str = "pq_serve_errors_total";
+    /// Requests shed with a `Busy` frame — admission-queue overflow,
+    /// per-connection in-flight cap, or accept-time connection cap
+    /// (counter).
+    pub const SERVE_SHED: &str = "pq_serve_shed_total";
+    /// Wall-clock latency from admission to response flush (histogram, ns).
+    pub const SERVE_REQUEST_NS: &str = "pq_serve_request_ns";
+    /// Current admission-queue depth (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "pq_serve_queue_depth";
+    /// Connections accepted (counter).
+    pub const SERVE_CONNECTIONS: &str = "pq_serve_connections_total";
+    /// Segment-decode cache hits (counter).
+    pub const SERVE_CACHE_HIT: &str = "pq_serve_cache_hit_total";
+    /// Segment-decode cache misses (counter).
+    pub const SERVE_CACHE_MISS: &str = "pq_serve_cache_miss_total";
+    /// Segments evicted from the decode cache (counter).
+    pub const SERVE_CACHE_EVICTIONS: &str = "pq_serve_cache_evictions_total";
+    /// Approximate bytes of decoded checkpoints held by the cache (gauge).
+    pub const SERVE_CACHE_BYTES: &str = "pq_serve_cache_bytes";
+
     // -- span names --------------------------------------------------------
     /// One packet's enqueue→dequeue residence in a queue.
     pub const SPAN_RESIDENCE: &str = "enqueue_dequeue_residence";
@@ -123,6 +148,9 @@ pub mod names {
     pub const SPAN_SEGMENT_FLUSH: &str = "segment_flush";
     /// One offline replay query (covers the queried sim-time interval).
     pub const SPAN_REPLAY_QUERY: &str = "replay_query";
+    /// One served query, admission to response flush (wall-clock ns since
+    /// server start — the serving plane has no sim clock).
+    pub const SPAN_SERVE_REQUEST: &str = "serve_request";
 }
 
 /// The shared observability handle: one registry plus one span tracer.

@@ -13,11 +13,13 @@
 //!   tracing is enabled and two files are written: a Chrome trace-event
 //!   JSON at PATH (loadable in Perfetto / `chrome://tracing`) and a
 //!   Prometheus text exposition at PATH with a `.prom` extension.
-//! * `telemetry FILE [tw flags] [--out PATH] [--require a,b,c]`
+//! * `telemetry FILE [tw flags] [--out PATH] [--require a,b,c] [--prom F]`
 //!   Replay a trace with the full observability plane attached and print
 //!   a summary of every metric and span. `--require` names metrics (or
 //!   span names) that must be present and nonzero — the command exits
 //!   nonzero otherwise, which makes it a one-line smoke test for CI.
+//!   `--prom` merges the samples of a Prometheus text file (such as the
+//!   exposition `serve --metrics-file` writes) into the check.
 //! * `case-study [--duration-ms N --seed S]`
 //!   Run the §7.2 queue-monitor case study and print the three culprit
 //!   views.
@@ -35,13 +37,29 @@
 //!   `.pqa` format streams checkpoints to disk as the control plane polls
 //!   them (bounded RAM); JSON captures the in-RAM snapshot ring. With no
 //!   `--format`, a `.pqa` extension selects binary, anything else JSON.
-//! * `replay-query ARCHIVE --from NS --to NS [--port P] [--d NS]`
+//! * `replay-query ARCHIVE --from NS --to NS [--port P] [--d NS] [--json]`
 //!   Re-run a time-window query against an archived checkpoint store.
 //!   The format is auto-detected from the file's leading bytes; `.pqa`
 //!   queries decode only the segments overlapping the interval.
 //! * `convert SRC DST [--format json|pqa]`
 //!   Convert an archive between JSON and `.pqa` (either direction),
 //!   auto-detecting the source format.
+//! * `serve [FILE.pqtr] --listen ADDR [--archive FILE.pqa] [tw flags]
+//!   [--workers N --queue-cap N --inflight N --max-conns N --cache-mb MB
+//!   --addr-file PATH --metrics-file PATH]`
+//!   Run the concurrent diagnosis-query daemon. A trace positional builds
+//!   live register state (time-window and queue-monitor queries);
+//!   `--archive` additionally serves replay queries from a `.pqa` file.
+//!   `--addr-file` records the bound address (useful with `:0` ephemeral
+//!   ports); `--metrics-file` writes the server's Prometheus exposition
+//!   at shutdown. Stop it with `pqsim serve-stop ADDR`.
+//! * `query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]
+//!   [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]`
+//!   Run a diagnosis query — against live state built from a trace, or
+//!   against a running `serve` daemon with `--remote`. Local and remote
+//!   answers print byte-identically through the same formatter.
+//! * `serve-stop ADDR`
+//!   Ask a running daemon to drain in-flight queries and exit.
 //!
 //! Every subcommand accepts `--quiet`, which suppresses progress chatter.
 //! Progress goes to stderr; results go to stdout; errors exit nonzero.
@@ -50,6 +68,7 @@
 use printqueue::core::culprits::GroundTruth;
 use printqueue::core::metrics::{self, precision_recall};
 use printqueue::prelude::*;
+use printqueue::queryfmt;
 use printqueue::store::{SegmentPolicy, SharedStoreWriter, StoreWriter};
 use printqueue::telemetry::{self, MetricValue, Telemetry};
 use printqueue::trace::workload::GeneratedTrace;
@@ -79,22 +98,29 @@ fn usage() -> ! {
          pqsim run FILE [--alpha A] [--k K] [--t T] [--m0 M] [--d NS] [--victims N]\n  \
          \x20         [--fault-rate P] [--fault-seed S] [--read-latency-ns NS]\n  \
          \x20         [--telemetry PATH]\n  \
-         pqsim telemetry FILE [tw flags] [--out PATH] [--require a,b,c]\n  \
+         pqsim telemetry FILE [tw flags] [--out PATH] [--require a,b,c] [--prom F]\n  \
          pqsim case-study [--duration-ms N] [--seed S]\n  \
          pqsim export-pcap FILE.pqtr FILE.pcap\n  \
          pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
          pqsim depth FILE.pqtr [--step-us N]\n  \
          pqsim validate [tw flags] [--rate-gbps G] [--min-pkt B]\n  \
          pqsim archive FILE.pqtr OUT [--format json|pqa] [tw flags]\n  \
-         pqsim replay-query ARCHIVE --from NS --to NS [--port P] [--d NS]\n  \
+         pqsim replay-query ARCHIVE --from NS --to NS [--port P] [--d NS] [--json]\n  \
          pqsim convert SRC DST [--format json|pqa]\n  \
+         pqsim serve [FILE.pqtr] --listen ADDR [--archive FILE.pqa] [tw flags]\n  \
+         \x20         [--workers N] [--queue-cap N] [--inflight N] [--max-conns N]\n  \
+         \x20         [--cache-mb MB] [--work-delay-ms N] [--addr-file PATH]\n  \
+         \x20         [--metrics-file PATH]\n  \
+         pqsim query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]\n  \
+         \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]\n  \
+         pqsim serve-stop ADDR\n  \
          (any subcommand: --quiet suppresses progress output)"
     );
     exit(2)
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet"];
+const BOOL_FLAGS: &[&str] = &["quiet", "json"];
 
 /// Minimal flag parser: `--name value` pairs, boolean `--name` switches,
 /// and positional arguments.
@@ -160,6 +186,9 @@ fn main() {
         "archive" => cmd_archive(&args),
         "replay-query" => cmd_replay_query(&args),
         "convert" => cmd_convert(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
+        "serve-stop" => cmd_serve_stop(&args),
         _ => usage(),
     };
     if let Err(err) = result {
@@ -461,6 +490,21 @@ fn cmd_telemetry(args: &Args) -> CliResult {
         println!("  {n:>8}  {name}");
     }
 
+    // Extra metrics from a Prometheus text file (e.g. the exposition a
+    // `pqsim serve --metrics-file` daemon wrote at shutdown) — merged
+    // into the `--require` check so one CI line covers both planes.
+    let prom_metrics = match args.get_str("prom") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("read --prom {path}: {err}"))?;
+            let parsed =
+                telemetry::parse_prometheus(&text).map_err(|err| format!("parse {path}: {err}"))?;
+            progress!("merged {} samples from {path}", parsed.len());
+            parsed
+        }
+        None => Vec::new(),
+    };
+
     if let Some(required) = args.get_str("require") {
         let mut missing = Vec::new();
         for name in required.split(',').filter(|s| !s.is_empty()) {
@@ -473,7 +517,11 @@ fn cmd_telemetry(args: &Args) -> CliResult {
                     }
             });
             let in_spans = per_span.contains_key(name);
-            if !in_registry && !in_spans {
+            // Histogram samples in an exposition carry _count suffixes.
+            let in_prom = prom_metrics
+                .iter()
+                .any(|m| (m.name == name || m.name == format!("{name}_count")) && m.value > 0.0);
+            if !in_registry && !in_spans && !in_prom {
                 missing.push(name);
             }
         }
@@ -698,28 +746,24 @@ fn cmd_archive(args: &Args) -> CliResult {
     Ok(())
 }
 
-fn print_query_result(
-    header: String,
+/// Print a time-window answer through the shared formatter — every query
+/// path (live, replay, remote) funnels here so outputs stay identical.
+fn emit_result(
+    spec: &queryfmt::QuerySpec,
+    checkpoints: u64,
     est: &printqueue::core::snapshot::FlowEstimates,
     gaps: &[CoverageGap],
     degraded: bool,
+    json: bool,
 ) {
-    println!(
-        "{header}: {} flows, ~{:.0} packets",
-        est.counts.len(),
-        est.total()
-    );
-    if degraded {
+    if json {
         println!(
-            "degraded: {} coverage gap(s) overlap the interval:",
-            gaps.len()
+            "{}",
+            queryfmt::result_json(spec, checkpoints, est, gaps, degraded)
         );
-        for g in gaps {
-            println!("  gap [{}, {}]", g.from, g.to);
-        }
-    }
-    for (flow, n) in est.ranked().into_iter().take(10) {
-        println!("  {n:10.1}  {flow}");
+    } else {
+        let header = queryfmt::interval_header(spec.from, spec.to, checkpoints);
+        print!("{}", queryfmt::result_text(&header, est, gaps, degraded));
     }
 }
 
@@ -732,6 +776,7 @@ fn cmd_replay_query(args: &Args) -> CliResult {
     let from: u64 = args.get("from", 0);
     let to: u64 = args.get("to", u64::MAX);
     let d: u64 = args.get("d", 110);
+    let json = args.has("json");
     let interval = QueryInterval::new(from, to);
     let format = ArchiveFormat::detect(&path)
         .map_err(|err| format!("detect format of {}: {err}", path.display()))?;
@@ -748,14 +793,20 @@ fn cmd_replay_query(args: &Args) -> CliResult {
             let result = reader
                 .query(port, interval, &coeffs)
                 .map_err(|err| format!("query: {err}"))?;
-            print_query_result(
-                format!(
-                    "query [{from}, {to}] over {} checkpoints",
-                    reader.checkpoint_count(port)
-                ),
+            let spec = queryfmt::QuerySpec {
+                port,
+                from,
+                to,
+                d,
+                kind: queryfmt::QueryKind::Replay,
+            };
+            emit_result(
+                &spec,
+                reader.checkpoint_count(port),
                 &result.estimates,
                 &result.gaps,
                 result.degraded,
+                json,
             );
         }
         ArchiveFormat::Json => {
@@ -768,17 +819,310 @@ fn cmd_replay_query(args: &Args) -> CliResult {
             let coeffs =
                 printqueue::core::coefficient::Coefficients::compute(&archive.tw_config, d);
             let result = archive.query_result(interval, &coeffs);
-            print_query_result(
-                format!(
-                    "query [{from}, {to}] over {} checkpoints",
-                    archive.checkpoints.len()
-                ),
+            let spec = queryfmt::QuerySpec {
+                port,
+                from,
+                to,
+                d,
+                kind: queryfmt::QueryKind::Replay,
+            };
+            emit_result(
+                &spec,
+                archive.checkpoints.len() as u64,
                 &result.estimates,
                 &result.gaps,
                 result.degraded,
+                json,
             );
         }
     }
+    Ok(())
+}
+
+/// Run `trace` through the simulated switch with PrintQueue attached and
+/// hand back the resulting live analysis-program state, every touched
+/// port activated (shared by `serve` and local `query`).
+fn run_trace_live(
+    trace: &GeneratedTrace,
+    tw: TimeWindowConfig,
+    d: u64,
+) -> printqueue::prelude::AnalysisProgram {
+    use printqueue::switch::PortConfig;
+    let mut ports: Vec<u16> = trace.arrivals.iter().map(|a| a.port).collect();
+    ports.push(0);
+    ports.sort_unstable();
+    ports.dedup();
+    let port_count = usize::from(*ports.last().unwrap()) + 1;
+    let mut pq_config = PrintQueueConfig::single_port(tw, d);
+    pq_config.ports = ports;
+    let mut pq = PrintQueue::new(pq_config);
+    let mut sw_config = SwitchConfig::single_port(10.0, 32_768);
+    sw_config.ports = vec![
+        PortConfig {
+            rate_gbps: 10.0,
+            max_depth_cells: 32_768,
+            ..PortConfig::default()
+        };
+        port_count
+    ];
+    let mut sw = Switch::new(sw_config);
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    pq.into_analysis()
+}
+
+fn tw_from_args(args: &Args) -> TimeWindowConfig {
+    TimeWindowConfig::new(
+        args.get("m0", 6),
+        args.get("alpha", 2),
+        args.get("k", 12),
+        args.get("t", 4),
+    )
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    use printqueue::serve::{ServeConfig, Server, Sources};
+    use std::sync::Arc;
+    let listen = args.get_str("listen").unwrap_or("127.0.0.1:0");
+    let archive = args.get_str("archive").map(PathBuf::from);
+    let tw = tw_from_args(args);
+    let d: u64 = args.get("d", 110);
+
+    let mut live = None;
+    if let Some(path) = args.positional.first() {
+        let trace =
+            trace_io::load(&PathBuf::from(path)).map_err(|err| format!("read {path}: {err}"))?;
+        progress!(
+            "building live register state from {path} ({} packets)",
+            trace.packets()
+        );
+        live = Some(Arc::new(run_trace_live(&trace, tw, d)));
+    }
+    if live.is_none() && archive.is_none() {
+        return Err(
+            "nothing to serve: pass a trace for live queries and/or --archive FILE.pqa".into(),
+        );
+    }
+
+    let config = ServeConfig {
+        workers: args.get("workers", 4),
+        queue_cap: args.get("queue-cap", 128),
+        inflight_per_conn: args.get("inflight", 8),
+        max_conns: args.get("max-conns", 64),
+        cache_bytes: args.get::<u64>("cache-mb", 64) << 20,
+        retry_after_ms: args.get("retry-after-ms", 50),
+        drain_deadline: std::time::Duration::from_millis(args.get("drain-ms", 5_000)),
+        work_delay: std::time::Duration::from_millis(args.get("work-delay-ms", 0)),
+    };
+    let plane = Telemetry::new();
+    let server = Server::bind(listen, Sources { live, archive }, config, &plane)
+        .map_err(|err| format!("bind {listen}: {err}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|err| format!("local addr: {err}"))?;
+    println!("serving on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.get_str("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|err| format!("write {path}: {err}"))?;
+    }
+    server.run().map_err(|err| format!("serve: {err}"))?;
+    progress!("server drained and stopped");
+    if let Some(path) = args.get_str("metrics-file") {
+        std::fs::write(path, telemetry::to_prometheus(&plane.snapshot()))
+            .map_err(|err| format!("write {path}: {err}"))?;
+        progress!("server metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> CliResult {
+    use printqueue::serve::Client;
+    let from: u64 = args.get("from", 0);
+    let to: u64 = args.get("to", u64::MAX);
+    let at: u64 = args.get("at", from);
+    let d: u64 = args.get("d", 110);
+    let port: u16 = args.get("port", 0);
+    let json = args.has("json");
+    let kind = match args.get_str("kind") {
+        None | Some("tw") => queryfmt::QueryKind::TimeWindows,
+        Some("monitor") => queryfmt::QueryKind::Monitor,
+        Some("replay") => queryfmt::QueryKind::Replay,
+        Some(other) => {
+            return Err(format!(
+                "unknown --kind {other} (expected tw|monitor|replay)"
+            ))
+        }
+    };
+    let spec = queryfmt::QuerySpec {
+        port,
+        from: if kind == queryfmt::QueryKind::Monitor {
+            at
+        } else {
+            from
+        },
+        to,
+        d,
+        kind,
+    };
+
+    if let Some(remote) = args.get_str("remote") {
+        let mut client =
+            Client::connect(remote).map_err(|err| format!("connect {remote}: {err}"))?;
+        return match kind {
+            queryfmt::QueryKind::Monitor => {
+                let m = client
+                    .queue_monitor(port, spec.from)
+                    .map_err(remote_error)?;
+                if json {
+                    println!(
+                        "{}",
+                        queryfmt::monitor_json(
+                            &spec,
+                            m.frozen_at,
+                            m.staleness,
+                            &m.counts,
+                            &m.gaps,
+                            m.degraded
+                        )
+                    );
+                } else {
+                    print!(
+                        "{}",
+                        queryfmt::monitor_text(
+                            spec.from,
+                            m.frozen_at,
+                            m.staleness,
+                            &m.counts,
+                            &m.gaps,
+                            m.degraded
+                        )
+                    );
+                }
+                Ok(())
+            }
+            _ => {
+                let r = client.query(spec.to_request()).map_err(remote_error)?;
+                emit_result(
+                    &spec,
+                    r.checkpoints,
+                    &r.estimates,
+                    &r.gaps,
+                    r.degraded,
+                    json,
+                );
+                Ok(())
+            }
+        };
+    }
+
+    // Local: build live state from the trace and run the same query
+    // in-process.
+    if kind == queryfmt::QueryKind::Replay {
+        return Err("local replay queries use `pqsim replay-query ARCHIVE` \
+                    (or `query --remote` against a daemon with --archive)"
+            .into());
+    }
+    let trace = load_trace(args)?;
+    let tw = tw_from_args(args);
+    let ap = run_trace_live(&trace, tw, d);
+    if !ap.is_active(port) {
+        return Err(format!("port {port} not activated by this trace"));
+    }
+    match kind {
+        queryfmt::QueryKind::Monitor => {
+            let Some(ans) = ap.query_queue_monitor(port, spec.from) else {
+                return Err("no queue-monitor checkpoint stored".into());
+            };
+            let mut counts: Vec<(FlowId, u64)> = ans.culprit_counts().into_iter().collect();
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            if json {
+                println!(
+                    "{}",
+                    queryfmt::monitor_json(
+                        &spec,
+                        ans.frozen_at,
+                        ans.staleness,
+                        &counts,
+                        &ans.gaps,
+                        ans.degraded
+                    )
+                );
+            } else {
+                print!(
+                    "{}",
+                    queryfmt::monitor_text(
+                        spec.from,
+                        ans.frozen_at,
+                        ans.staleness,
+                        &counts,
+                        &ans.gaps,
+                        ans.degraded
+                    )
+                );
+            }
+        }
+        _ => {
+            let result = ap.query_time_windows(port, QueryInterval::new(from, to));
+            let checkpoints = ap.checkpoints(port).len() as u64;
+            emit_result(
+                &spec,
+                checkpoints,
+                &result.estimates,
+                &result.gaps,
+                result.degraded,
+                json,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Render a remote failure the way local queries render theirs: the typed
+/// code and message first, then the unanswered interval as gap lines.
+fn remote_error(err: printqueue::serve::ClientError) -> String {
+    use printqueue::serve::ClientError;
+    match err {
+        ClientError::Remote {
+            code,
+            message,
+            gaps,
+        } => {
+            let mut s = format!("remote query failed: {code}");
+            if !message.is_empty() {
+                s.push_str(&format!(": {message}"));
+            }
+            if !gaps.is_empty() {
+                s.push_str(&format!(
+                    "\ndegraded: {} coverage gap(s) left unanswered:",
+                    gaps.len()
+                ));
+                for g in &gaps {
+                    s.push_str(&format!("\n  gap [{}, {}]", g.from, g.to));
+                }
+            }
+            s
+        }
+        ClientError::Busy { retry_after_ms } => {
+            format!("server busy, retry after {retry_after_ms} ms")
+        }
+        other => format!("remote query failed: {other}"),
+    }
+}
+
+fn cmd_serve_stop(args: &Args) -> CliResult {
+    use printqueue::serve::Client;
+    let Some(addr) = args.positional.first() else {
+        usage()
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|err| format!("connect {addr}: {err}"))?;
+    client
+        .shutdown_server()
+        .map_err(|err| format!("shutdown: {err}"))?;
+    progress!("server at {addr} acknowledged shutdown");
     Ok(())
 }
 

@@ -28,7 +28,12 @@
 //! * [`telemetry`] — the observability plane: a lock-free metrics
 //!   registry (counters, gauges, log2 histograms), sim-clock span
 //!   tracing, and Prometheus / Chrome-trace exporters shared by the
-//!   switch, control plane, and store.
+//!   switch, control plane, and store;
+//! * [`serve`] — the concurrent diagnosis-query service: a TCP daemon
+//!   and client speaking a small versioned binary protocol over live
+//!   register state and `.pqa` archives, with a shared LRU decode cache
+//!   and explicit load shedding ([`queryfmt`] renders answers
+//!   identically for local and remote queries).
 //!
 //! ## Quickstart
 //!
@@ -60,10 +65,13 @@
 pub use pq_baselines as baselines;
 pub use pq_core as core;
 pub use pq_packet as packet;
+pub use pq_serve as serve;
 pub use pq_store as store;
 pub use pq_switch as switch;
 pub use pq_telemetry as telemetry;
 pub use pq_trace as trace;
+
+pub mod queryfmt;
 
 /// The names almost every user of the library needs.
 pub mod prelude {

@@ -1,0 +1,499 @@
+//! End-to-end tests for the pq-serve daemon: remote answers must be
+//! bit-identical to in-process queries, degraded-query semantics must
+//! survive the network hop, overload must shed with explicit Busy frames,
+//! and shutdown must drain admitted work.
+
+use printqueue::core::coefficient::Coefficients;
+use printqueue::core::control::{AnalysisProgram, ControlConfig};
+use printqueue::core::params::TimeWindowConfig;
+use printqueue::core::snapshot::QueryInterval;
+use printqueue::packet::FlowId;
+use printqueue::serve::wire::{self, Frame};
+use printqueue::serve::{Client, ClientError, Request, ServeConfig, Server, Sources};
+use printqueue::store::{SegmentPolicy, SharedStoreWriter, StoreReader, StoreWriter};
+use printqueue::telemetry::{parse_prometheus, Telemetry};
+use std::io::Cursor;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const PORTS: [u16; 2] = [0, 3];
+
+fn tw_small() -> TimeWindowConfig {
+    TimeWindowConfig::new(0, 1, 6, 2)
+}
+
+fn tiny_segments() -> SegmentPolicy {
+    SegmentPolicy {
+        checkpoints_per_segment: 4,
+        max_segment_bytes: 1 << 20,
+        retain_segments_per_port: None,
+    }
+}
+
+/// Drive a two-port program for `until` ns with a poll every 64 ns and a
+/// silence window that opens a coverage gap (same shape as the store
+/// round-trip tests, so remote answers exercise gaps too).
+fn drive_program(spill: Option<SharedStoreWriter<Vec<u8>>>, until: u64) -> AnalysisProgram {
+    let tw = tw_small();
+    let mut ap = AnalysisProgram::new(
+        tw,
+        ControlConfig {
+            poll_period: 64,
+            max_snapshots: 10_000,
+        },
+        &PORTS,
+        32,
+        1,
+        1,
+    );
+    if let Some(handle) = spill {
+        ap.set_spill(Box::new(handle));
+    }
+    let silence = 1_000..1_600;
+    for t in 0..until {
+        for (i, &port) in PORTS.iter().enumerate() {
+            if t % (i as u64 + 2) == 0 {
+                ap.record_dequeue(port, FlowId((t % 7) as u32 + i as u32 * 100), t);
+            }
+            if t % 5 == 0 {
+                ap.qm_enqueue(port, 0, FlowId((t % 3) as u32), (t % 20) as u32, t);
+            }
+        }
+        if t % 64 == 0 && !silence.contains(&t) {
+            ap.on_tick(t);
+        }
+    }
+    ap
+}
+
+fn spill_to_store(until: u64) -> (AnalysisProgram, Vec<u8>) {
+    let writer = StoreWriter::new(Vec::new(), tw_small(), tiny_segments()).unwrap();
+    let handle = SharedStoreWriter::new(writer);
+    let ap = drive_program(Some(handle.clone()), until);
+    for &port in &PORTS {
+        handle.with(|w| w.set_health(port, ap.health())).unwrap();
+    }
+    let bytes = handle.finish().unwrap();
+    (ap, bytes)
+}
+
+fn sweep_intervals() -> Vec<QueryInterval> {
+    vec![
+        QueryInterval::new(0, 50),
+        QueryInterval::new(100, 300),
+        QueryInterval::new(900, 1_700),
+        QueryInterval::new(500, 1_999),
+        QueryInterval::new(0, 1_999),
+        QueryInterval::new(1_900, 5_000),
+    ]
+}
+
+/// Write archive bytes to a unique temp file the server can open.
+fn temp_archive(name: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("pq_serve_e2e_{}_{name}.pqa", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+fn serve(sources: Sources, config: ServeConfig) -> (printqueue::serve::ServerHandle, Telemetry) {
+    let plane = Telemetry::new();
+    let server = Server::bind(("127.0.0.1", 0), sources, config, &plane).unwrap();
+    (server.spawn().unwrap(), plane)
+}
+
+#[test]
+fn remote_replay_matches_local_bit_for_bit() {
+    let (_ap, bytes) = spill_to_store(2_000);
+    let path = temp_archive("replay", &bytes);
+    let (handle, _plane) = serve(
+        Sources {
+            live: None,
+            archive: Some(path.clone()),
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut local = StoreReader::open(Cursor::new(bytes)).unwrap();
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    for &port in &PORTS {
+        for interval in sweep_intervals() {
+            let want = local.query(port, interval, &coeffs).unwrap();
+            let got = client
+                .query(Request::Replay {
+                    port,
+                    from: interval.from,
+                    to: interval.to,
+                    d: 1,
+                })
+                .unwrap();
+            // Flow values travel as raw f64 bits: exact equality, not
+            // approximate, is the contract.
+            assert_eq!(
+                want.estimates.counts, got.estimates.counts,
+                "port {port} interval {interval:?}"
+            );
+            assert_eq!(want.gaps, got.gaps, "port {port} interval {interval:?}");
+            assert_eq!(want.degraded, got.degraded);
+            assert_eq!(got.checkpoints, local.checkpoint_count(port));
+        }
+    }
+    // The sweep re-queried the same segments: the shared decode cache
+    // must have observed both misses (first pass) and hits (later ones).
+    let metrics = client.metrics().unwrap();
+    let parsed = parse_prometheus(&metrics).unwrap();
+    let sample = |name: &str| {
+        parsed
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+            .unwrap_or(0.0)
+    };
+    assert!(sample("pq_serve_cache_miss_total") >= 1.0);
+    assert!(
+        sample("pq_serve_cache_hit_total") >= 1.0,
+        "repeated intervals should hit the decode cache"
+    );
+    handle.shutdown().unwrap();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn remote_live_queries_match_in_process() {
+    let ap = Arc::new(drive_program(None, 2_000));
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(Arc::clone(&ap)),
+            archive: None,
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for &port in &PORTS {
+        for interval in sweep_intervals() {
+            let want = ap.query_time_windows(port, interval);
+            let got = client
+                .query(Request::TimeWindows {
+                    port,
+                    from: interval.from,
+                    to: interval.to,
+                })
+                .unwrap();
+            assert_eq!(want.estimates.counts, got.estimates.counts);
+            assert_eq!(want.gaps, got.gaps);
+            assert_eq!(want.degraded, got.degraded);
+            assert_eq!(got.checkpoints, ap.checkpoints(port).len() as u64);
+        }
+        // Queue monitor: counts arrive ranked (count desc, then flow id).
+        let at = 500;
+        let want = ap.query_queue_monitor(port, at).unwrap();
+        let mut want_counts: Vec<(FlowId, u64)> = want.culprit_counts().into_iter().collect();
+        want_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let got = client.queue_monitor(port, at).unwrap();
+        assert_eq!(got.frozen_at, want.frozen_at);
+        assert_eq!(got.staleness, want.staleness);
+        assert_eq!(got.degraded, want.degraded);
+        assert_eq!(got.gaps, want.gaps);
+        assert_eq!(got.counts, want_counts);
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn corrupt_segment_stays_degraded_over_the_wire() {
+    let (_ap, bytes) = spill_to_store(2_000);
+    let clean = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+    let victims: Vec<_> = clean
+        .segments()
+        .iter()
+        .filter(|s| s.port == 0)
+        .copied()
+        .collect();
+    let victim = victims[victims.len() / 2];
+    let mut corrupted = bytes.clone();
+    corrupted[(victim.offset + victim.len - 8) as usize] ^= 0x01;
+
+    let path = temp_archive("corrupt", &corrupted);
+    let (handle, _plane) = serve(
+        Sources {
+            live: None,
+            archive: Some(path.clone()),
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut local = StoreReader::open(Cursor::new(corrupted)).unwrap();
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let over = QueryInterval::new(victim.min_t, victim.max_t);
+    let want = local.query(0, over, &coeffs).unwrap();
+    assert!(want.degraded);
+    let got = client
+        .query(Request::Replay {
+            port: 0,
+            from: over.from,
+            to: over.to,
+            d: 1,
+        })
+        .unwrap();
+    assert!(got.degraded, "corruption must stay visible remotely");
+    assert_eq!(want.gaps, got.gaps);
+    assert_eq!(want.estimates.counts, got.estimates.counts);
+    handle.shutdown().unwrap();
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn remote_errors_carry_typed_codes_and_gaps() {
+    let ap = Arc::new(drive_program(None, 500));
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Unknown port.
+    match client.query(Request::TimeWindows {
+        port: 99,
+        from: 0,
+        to: 100,
+    }) {
+        Err(ClientError::Remote { code, .. }) => {
+            assert_eq!(code, printqueue::serve::ErrorCode::UnknownPort)
+        }
+        other => panic!("expected UnknownPort, got {other:?}"),
+    }
+    // No archive attached.
+    match client.query(Request::Replay {
+        port: 0,
+        from: 0,
+        to: 100,
+        d: 1,
+    }) {
+        Err(ClientError::Remote { code, .. }) => {
+            assert_eq!(code, printqueue::serve::ErrorCode::NoArchive)
+        }
+        other => panic!("expected NoArchive, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn overload_sheds_with_busy_never_silently() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 7,
+        work_delay: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    let addr = handle.addr();
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let threads: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.query(Request::TimeWindows {
+                    port: 0,
+                    from: 0,
+                    to: 400,
+                })
+            })
+        })
+        .collect();
+    let mut ok = 0u32;
+    let mut busy = 0u32;
+    for t in threads {
+        match t.join().unwrap() {
+            Ok(_) => ok += 1,
+            Err(ClientError::Busy { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 7, "Busy must carry the configured backoff");
+                busy += 1;
+            }
+            Err(other) => panic!("unexpected failure under load: {other}"),
+        }
+    }
+    assert_eq!(ok + busy, n as u32, "every request answered — none dropped");
+    assert!(
+        ok >= 1,
+        "the server must still make progress under overload"
+    );
+    assert!(busy >= 1, "with queue_cap=1 and slow work, some must shed");
+    // The shed counter must account for every Busy sent.
+    let mut client = Client::connect(addr).unwrap();
+    let parsed = parse_prometheus(&client.metrics().unwrap()).unwrap();
+    let shed = parsed
+        .iter()
+        .find(|m| m.name == "pq_serve_shed_total")
+        .map(|m| m.value)
+        .unwrap_or(0.0);
+    assert!(shed >= f64::from(busy));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn per_connection_inflight_cap_sheds_pipelined_requests() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        workers: 1,
+        inflight_per_conn: 2,
+        queue_cap: 64,
+        work_delay: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    // Raw pipelining (the Client API is strictly request-response).
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    wire::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: wire::PROTOCOL_VERSION,
+            max_frame: wire::MAX_FRAME_LEN,
+        },
+    )
+    .unwrap();
+    let ack = wire::read_frame(&mut stream, wire::MAX_FRAME_LEN).unwrap();
+    assert!(matches!(ack, Frame::HelloAck { .. }));
+    let total = 8u64;
+    for id in 1..=total {
+        wire::write_frame(
+            &mut stream,
+            &Frame::Request {
+                id,
+                req: Request::TimeWindows {
+                    port: 0,
+                    from: 0,
+                    to: 400,
+                },
+            },
+        )
+        .unwrap();
+    }
+    // Read until every request is accounted for: each id ends in either
+    // ResultEnd (admitted and answered) or Busy (shed at the cap).
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    while answered + shed < total {
+        match wire::read_frame(&mut stream, wire::MAX_FRAME_LEN).unwrap() {
+            Frame::ResultEnd { .. } => answered += 1,
+            Frame::Busy { .. } => shed += 1,
+            Frame::ResultHeader { .. } | Frame::ResultFlows { .. } | Frame::ResultGaps { .. } => {}
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert!(shed >= 1, "pipelining past inflight_per_conn=2 must shed");
+    assert!(answered >= 2, "admitted requests must still complete");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        workers: 1,
+        work_delay: Duration::from_millis(60),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    // Pipeline three queries, then ask a second connection for shutdown
+    // while they are still queued. Nagle would hold the small pipelined
+    // writes in the kernel past the shutdown, so disable it.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    wire::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: wire::PROTOCOL_VERSION,
+            max_frame: wire::MAX_FRAME_LEN,
+        },
+    )
+    .unwrap();
+    let _ack = wire::read_frame(&mut stream, wire::MAX_FRAME_LEN).unwrap();
+    for id in 1..=3u64 {
+        wire::write_frame(
+            &mut stream,
+            &Frame::Request {
+                id,
+                req: Request::TimeWindows {
+                    port: 0,
+                    from: 0,
+                    to: 400,
+                },
+            },
+        )
+        .unwrap();
+    }
+    // Give the connection's reader thread time to admit all three (the
+    // single worker is still sleeping through job 1's work_delay), then
+    // initiate shutdown while jobs 2 and 3 sit in the queue.
+    std::thread::sleep(Duration::from_millis(40));
+    let mut stopper = Client::connect(handle.addr()).unwrap();
+    stopper.shutdown_server().unwrap();
+    // All three admitted queries must still be answered in full.
+    let mut seen: Vec<String> = Vec::new();
+    let mut ends = 0;
+    while ends < 3 {
+        match wire::read_frame(&mut stream, wire::MAX_FRAME_LEN) {
+            Ok(Frame::ResultEnd { id }) => {
+                seen.push(format!("End({id})"));
+                ends += 1;
+            }
+            Ok(Frame::ResultHeader { id, .. }) => seen.push(format!("Hdr({id})")),
+            Ok(Frame::ResultFlows { id, .. }) => seen.push(format!("Flows({id})")),
+            Ok(Frame::ResultGaps { id, .. }) => seen.push(format!("Gaps({id})")),
+            Ok(other) => panic!("unexpected frame during drain: {other:?} after {seen:?}"),
+            Err(e) => panic!("read failed: {e:?} after {seen:?}"),
+        }
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn connection_cap_refuses_with_busy_at_accept() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        max_conns: 0,
+        retry_after_ms: 11,
+        ..ServeConfig::default()
+    };
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    match Client::connect(handle.addr()) {
+        Err(ClientError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, 11),
+        Err(other) => panic!("expected Busy at accept, got {other}"),
+        Ok(_) => panic!("expected Busy at accept, got a connection"),
+    }
+    handle.shutdown().unwrap();
+}

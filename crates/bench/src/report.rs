@@ -77,14 +77,7 @@ pub fn f3(x: f64) -> String {
 /// observability plane was off during the measured region (span tracing
 /// and registry updates can perturb per-packet timings).
 pub fn run_meta(telemetry_off: bool) -> Value {
-    let git_commit = std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string());
+    let git_commit = pq_telemetry::provenance::git_commit();
     let argv: Vec<Value> = std::env::args().map(Value::Str).collect();
     Value::Object(vec![
         ("git_commit".to_string(), Value::Str(git_commit)),

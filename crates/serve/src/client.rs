@@ -7,10 +7,14 @@
 //! output through the same formatting code as local queries. Flow values
 //! arrive as raw `f64` bits, so nothing is lost in transit.
 
-use crate::wire::{self, ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use crate::wire::{
+    self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, WireError, WireSample,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
 use pq_packet::FlowId;
+use pq_telemetry::RegistrySnapshot;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -116,12 +120,29 @@ pub struct RemoteMonitor {
     pub counts: Vec<(FlowId, u64)>,
 }
 
+/// One reassembled metrics update (from `MetricsGet` or a subscription).
+#[derive(Debug, Clone)]
+pub struct MetricsUpdate {
+    /// Update ordinal within its subscription (0 = the full baseline).
+    pub seq: u64,
+    /// Server clock (nanos since server start) when the update was cut.
+    pub t_ns: u64,
+    /// True when the server will send no further updates for this stream.
+    pub last: bool,
+    /// The carried series, as absolute values. For `seq > 0` this holds
+    /// only series that changed; fold onto the baseline with
+    /// [`RegistrySnapshot::apply`].
+    pub changed: RegistrySnapshot,
+}
+
 /// A connected, handshaken query client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     max_frame: u32,
     next_id: u64,
+    /// Request id of the active metrics subscription, if any.
+    sub_id: Option<u64>,
 }
 
 impl Client {
@@ -145,6 +166,7 @@ impl Client {
             writer,
             max_frame: MAX_FRAME_LEN,
             next_id: 1,
+            sub_id: None,
         };
         match client.read()? {
             Frame::HelloAck { version, max_frame } => {
@@ -405,6 +427,156 @@ impl Client {
                 "expected MetricsText, got {other:?}"
             ))),
         }
+    }
+
+    /// Fetch the server's health summary (answered inline by the server's
+    /// reader thread, so it works even when the worker pool is saturated).
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::HealthReq { id })?;
+        match self.read()? {
+            Frame::HealthAck { id: got, health } => {
+                self.expect_id(got, id)?;
+                Ok(health)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected HealthAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch one full structured metrics snapshot.
+    pub fn metrics_snapshot(&mut self) -> Result<MetricsUpdate, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::MetricsGet { id })?;
+        self.read_update(id)
+    }
+
+    /// Start a metrics subscription and return its first (full-snapshot)
+    /// update. `interval_ms` is clamped server-side to [10, 60000];
+    /// `max_updates == 0` means unbounded. Fetch later updates with
+    /// [`next_update`](Self::next_update); the stream ends when an update
+    /// arrives with `last == true`.
+    pub fn subscribe(
+        &mut self,
+        interval_ms: u32,
+        max_updates: u32,
+    ) -> Result<MetricsUpdate, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::MetricsSubscribe {
+            id,
+            interval_ms,
+            max_updates,
+        })?;
+        let update = self.read_update(id)?;
+        self.sub_id = (!update.last).then_some(id);
+        Ok(update)
+    }
+
+    /// Block for the next update of the active subscription.
+    pub fn next_update(&mut self) -> Result<MetricsUpdate, ClientError> {
+        let Some(id) = self.sub_id else {
+            return Err(ClientError::Protocol("no active subscription".into()));
+        };
+        let update = self.read_update(id)?;
+        if update.last {
+            self.sub_id = None;
+        }
+        Ok(update)
+    }
+
+    /// Read one `MetricsHeader` + chunks + `ResultEnd` sequence for `id`.
+    fn read_update(&mut self, id: u64) -> Result<MetricsUpdate, ClientError> {
+        let (seq, t_ns, total, last) = match self.read()? {
+            Frame::MetricsHeader {
+                id: got,
+                seq,
+                t_ns,
+                total,
+                last,
+            } => {
+                self.expect_id(got, id)?;
+                (seq, t_ns, total as usize, last)
+            }
+            Frame::Busy {
+                id: got,
+                retry_after_ms,
+            } => {
+                if got != 0 {
+                    self.expect_id(got, id)?;
+                }
+                return Err(ClientError::Busy { retry_after_ms });
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected MetricsHeader, got {other:?}"
+                )))
+            }
+        };
+        let mut samples: Vec<WireSample> = Vec::with_capacity(total.min(1 << 16));
+        loop {
+            match self.read()? {
+                Frame::MetricsChunk {
+                    id: got,
+                    samples: s,
+                } => {
+                    self.expect_id(got, id)?;
+                    samples.extend(s);
+                }
+                Frame::ResultEnd { id: got } => {
+                    self.expect_id(got, id)?;
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected metrics chunk, got {other:?}"
+                    )))
+                }
+            }
+            if samples.len() > total {
+                return Err(ClientError::Protocol(
+                    "more samples than the header announced".into(),
+                ));
+            }
+        }
+        if samples.len() != total {
+            return Err(ClientError::Protocol(format!(
+                "header announced {total} samples, got {}",
+                samples.len()
+            )));
+        }
+        Ok(MetricsUpdate {
+            seq,
+            t_ns,
+            last,
+            changed: samples_to_snapshot(&samples),
+        })
     }
 
     /// Ask the server to drain and stop. Returns once acknowledged.

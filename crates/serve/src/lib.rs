@@ -22,7 +22,12 @@
 //!   output.
 //!
 //! Everything observable is exported under the `pq_serve_*` telemetry
-//! namespace via [`pq_telemetry`].
+//! namespace via [`pq_telemetry`] — and the wire carries that
+//! observability too: `HealthReq` answers a health summary inline (it
+//! works even when the pool is saturated), `MetricsGet` returns one
+//! structured snapshot, and `MetricsSubscribe` streams periodic
+//! changed-series updates that `pqsim watch` folds into a live
+//! dashboard and alert evaluation.
 //!
 //! [`AnalysisProgram`]: pq_core::control::AnalysisProgram
 //! [`QueryInterval`]: pq_core::snapshot::QueryInterval
@@ -34,6 +39,9 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, DecodeCache};
-pub use client::{Client, ClientError, RemoteMonitor, RemoteResult};
+pub use client::{Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult};
 pub use server::{ServeConfig, Server, ServerHandle, Sources};
-pub use wire::{ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{
+    samples_to_snapshot, snapshot_to_samples, ErrorCode, Frame, HealthInfo, Request, WireError,
+    WireSample, WireValue, MAX_FRAME_LEN, METRIC_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
+};

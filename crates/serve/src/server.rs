@@ -23,15 +23,17 @@
 
 use crate::cache::DecodeCache;
 use crate::wire::{
-    self, chunk_counts, chunk_flows, chunk_gaps, ErrorCode, Frame, Request, WireError,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
+    ErrorCode, Frame, HealthInfo, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_core::coefficient::Coefficients;
 use pq_core::control::{AnalysisProgram, CoverageGap};
 use pq_core::snapshot::QueryInterval;
 use pq_packet::FlowId;
 use pq_store::StoreReader;
-use pq_telemetry::{names, to_prometheus, Counter, Gauge, Histogram, Telemetry};
+use pq_telemetry::{
+    delta, names, provenance, to_prometheus, Counter, Gauge, Histogram, RegistrySnapshot, Telemetry,
+};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufReader, Read};
@@ -64,6 +66,9 @@ pub struct ServeConfig {
     /// Artificial per-query service delay, for load tests and the
     /// overload bench scenario. Zero in normal operation.
     pub work_delay: Duration,
+    /// Cap on concurrent metrics subscriptions; further `MetricsSubscribe`
+    /// requests are shed with `Busy`, like any other overload.
+    pub max_subs: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             drain_deadline: Duration::from_secs(5),
             work_delay: Duration::ZERO,
+            max_subs: 16,
         }
     }
 }
@@ -97,6 +103,8 @@ struct Instruments {
     req_queue_monitor: Counter,
     req_replay: Counter,
     req_metrics: Counter,
+    req_health: Counter,
+    req_subscribe: Counter,
     err_time_windows: Counter,
     err_queue_monitor: Counter,
     err_replay: Counter,
@@ -104,6 +112,9 @@ struct Instruments {
     request_ns: Histogram,
     queue_depth: Gauge,
     connections: Counter,
+    uptime_secs: Gauge,
+    subscribers: Gauge,
+    metric_updates: Counter,
     plane: Telemetry,
 }
 
@@ -117,6 +128,8 @@ impl Instruments {
             req_queue_monitor: req("queue_monitor"),
             req_replay: req("replay"),
             req_metrics: req("metrics"),
+            req_health: req("health"),
+            req_subscribe: req("subscribe"),
             err_time_windows: err("time_windows"),
             err_queue_monitor: err("queue_monitor"),
             err_replay: err("replay"),
@@ -124,6 +137,9 @@ impl Instruments {
             request_ns: reg.histogram(names::SERVE_REQUEST_NS, &[]),
             queue_depth: reg.gauge(names::SERVE_QUEUE_DEPTH, &[]),
             connections: reg.counter(names::SERVE_CONNECTIONS, &[]),
+            uptime_secs: reg.gauge(names::SERVE_UPTIME, &[]),
+            subscribers: reg.gauge(names::SERVE_SUBSCRIBERS, &[]),
+            metric_updates: reg.counter(names::SERVE_METRIC_UPDATES, &[]),
             plane: plane.clone(),
         }
     }
@@ -133,6 +149,8 @@ impl Instruments {
             "time_windows" => self.req_time_windows.inc(),
             "queue_monitor" => self.req_queue_monitor.inc(),
             "replay" => self.req_replay.inc(),
+            "subscribe" => self.req_subscribe.inc(),
+            "health" => self.req_health.inc(),
             _ => self.req_metrics.inc(),
         }
     }
@@ -170,12 +188,52 @@ impl Conn {
     }
 }
 
+/// What a worker is being asked to do. Queries and metrics requests ride
+/// the same admission queue so overload sheds them uniformly.
+enum Work {
+    /// A diagnosis query (time-windows, queue-monitor, replay).
+    Query(Request),
+    /// One-shot full metrics snapshot over the wire.
+    MetricsGet,
+    /// Start a periodic metrics subscription on this connection.
+    Subscribe {
+        interval: Duration,
+        max_updates: u32,
+    },
+}
+
+impl Work {
+    /// Instrumentation kind label (matches [`Instruments::completed`]).
+    fn kind(&self) -> &'static str {
+        match self {
+            Work::Query(req) => req.kind(),
+            Work::MetricsGet => "metrics",
+            Work::Subscribe { .. } => "subscribe",
+        }
+    }
+}
+
 /// One admitted query waiting for (or held by) a worker.
 struct Job {
     conn: Arc<Conn>,
     id: u64,
-    req: Request,
+    work: Work,
     admitted: Instant,
+}
+
+/// One live metrics subscription, owned by the publisher thread.
+struct Sub {
+    conn: Arc<Conn>,
+    id: u64,
+    interval: Duration,
+    /// Next due time as nanos since `Shared::started`.
+    next_due_ns: u64,
+    /// Updates left to send (`None` = unbounded).
+    remaining: Option<u32>,
+    seq: u64,
+    /// Snapshot the previous update was computed against; updates carry
+    /// only series that changed since, as absolute values.
+    prev: RegistrySnapshot,
 }
 
 struct Shared {
@@ -189,7 +247,11 @@ struct Shared {
     /// Drain deadline as nanos since `started` (0 = not shutting down).
     drain_deadline_ns: AtomicU64,
     active_conns: AtomicUsize,
+    /// Workers currently executing a job (not waiting on the queue).
+    busy_workers: AtomicUsize,
     conns: Mutex<Vec<Weak<Conn>>>,
+    /// Live metrics subscriptions, serviced by the publisher thread.
+    subs: Mutex<Vec<Sub>>,
     instruments: Instruments,
     started: Instant,
 }
@@ -212,6 +274,36 @@ impl Shared {
     fn past_drain_deadline(&self) -> bool {
         let d = self.drain_deadline_ns.load(Ordering::SeqCst);
         d != 0 && self.now_ns() > d
+    }
+
+    /// Refresh the uptime gauge so snapshots and expositions always carry
+    /// a current value without a dedicated ticker.
+    fn touch_uptime(&self) {
+        self.instruments
+            .uptime_secs
+            .set(self.started.elapsed().as_secs());
+    }
+
+    /// Assemble the health answer from live counters — cheap enough to
+    /// run inline on the reader thread, so health stays answerable even
+    /// when every worker is wedged.
+    fn health_info(&self) -> HealthInfo {
+        let snap = self.instruments.plane.snapshot();
+        let (version, commit) = provenance::build_info(&snap)
+            .unwrap_or_else(|| ("unknown".to_string(), "unknown".to_string()));
+        HealthInfo {
+            uptime_ns: self.now_ns(),
+            workers: self.config.workers.max(1) as u32,
+            busy_workers: self.busy_workers.load(Ordering::SeqCst) as u32,
+            queue_depth: self.queue.lock().unwrap().len() as u32,
+            queue_cap: self.config.queue_cap as u32,
+            active_conns: self.active_conns.load(Ordering::SeqCst) as u32,
+            max_conns: self.config.max_conns as u32,
+            subscribers: self.subs.lock().unwrap().len() as u32,
+            draining: self.shutdown.load(Ordering::SeqCst),
+            version,
+            commit,
+        }
     }
 }
 
@@ -267,7 +359,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             drain_deadline_ns: AtomicU64::new(0),
             active_conns: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            subs: Mutex::new(Vec::new()),
             instruments: Instruments::resolve(plane),
             started: Instant::now(),
             config,
@@ -297,6 +391,12 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let publisher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pq-serve-publisher".into())
+                .spawn(move || publisher_loop(&shared))?
+        };
         while !shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -313,6 +413,11 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        let _ = publisher.join();
+        // Queries are drained; close every subscription with one final
+        // `last` update so watchers see the post-drain counter values
+        // instead of a dropped stream.
+        drain_subscribers(&shared);
         // Workers are done; release any reader threads still blocked on
         // their sockets.
         for conn in shared.conns.lock().unwrap().drain(..) {
@@ -413,11 +518,37 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
             }
         };
         match frame {
-            Frame::Request { id, req } => admit(shared, conn, id, req),
+            Frame::Request { id, req } => admit(shared, conn, id, Work::Query(req)),
             Frame::MetricsReq { id } => {
                 shared.instruments.req_metrics.inc();
+                shared.touch_uptime();
                 let text = to_prometheus(&shared.instruments.plane.snapshot());
                 let _ = conn.send(&[Frame::MetricsText { id, text }]);
+            }
+            Frame::HealthReq { id } => {
+                // Answered inline on the reader thread: health must keep
+                // working when the pool is saturated or draining.
+                shared.instruments.req_health.inc();
+                shared.touch_uptime();
+                let health = shared.health_info();
+                let _ = conn.send(&[Frame::HealthAck { id, health }]);
+            }
+            Frame::MetricsGet { id } => admit(shared, conn, id, Work::MetricsGet),
+            Frame::MetricsSubscribe {
+                id,
+                interval_ms,
+                max_updates,
+            } => {
+                let interval = Duration::from_millis(u64::from(interval_ms.clamp(10, 60_000)));
+                admit(
+                    shared,
+                    conn,
+                    id,
+                    Work::Subscribe {
+                        interval,
+                        max_updates,
+                    },
+                );
             }
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);
@@ -449,7 +580,7 @@ fn protocol_error(id: u64, code: ErrorCode, message: &str) -> Frame {
 }
 
 /// Admission control: shed (never block, never silently drop) or enqueue.
-fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, req: Request) {
+fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, work: Work) {
     let busy = |frame_id| {
         shared.instruments.shed.inc();
         let _ = conn.send(&[Frame::Busy {
@@ -465,6 +596,14 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, req: Request) {
         busy(id);
         return;
     }
+    // Subscriptions hold server-side state, so they carry their own cap
+    // on top of the queue bound.
+    if matches!(work, Work::Subscribe { .. })
+        && shared.subs.lock().unwrap().len() >= shared.config.max_subs
+    {
+        busy(id);
+        return;
+    }
     let mut queue = shared.queue.lock().unwrap();
     if queue.len() >= shared.config.queue_cap {
         drop(queue);
@@ -475,7 +614,7 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, req: Request) {
     queue.push_back(Job {
         conn: Arc::clone(conn),
         id,
-        req,
+        work,
         admitted: Instant::now(),
     });
     shared.instruments.queue_depth.set(queue.len() as u64);
@@ -516,31 +655,153 @@ fn worker_loop(shared: &Arc<Shared>) {
             job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
         if !shared.config.work_delay.is_zero() {
             thread::sleep(shared.config.work_delay);
         }
-        let started_ns = shared.now_ns();
-        let frames = execute(shared, &mut reader, job.id, job.req);
-        let sent = job.conn.send(&frames);
-        job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
-        let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        shared.instruments.request_ns.record(latency);
-        let errored = matches!(frames.first(), Some(Frame::Error { .. }));
-        if errored {
-            shared.instruments.errored(job.req.kind());
-        } else {
-            shared.instruments.completed(job.req.kind());
+        let kind = job.work.kind();
+        match job.work {
+            Work::Query(req) => {
+                let started_ns = shared.now_ns();
+                let port = req.port();
+                let frames = execute(shared, &mut reader, job.id, req);
+                let sent = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                shared.instruments.request_ns.record(latency);
+                let errored = matches!(frames.first(), Some(Frame::Error { .. }));
+                if errored {
+                    shared.instruments.errored(kind);
+                } else {
+                    shared.instruments.completed(kind);
+                }
+                if shared.instruments.plane.tracing_enabled() {
+                    shared.instruments.plane.spans().record(
+                        names::SPAN_SERVE_REQUEST,
+                        started_ns,
+                        shared.now_ns(),
+                        u32::from(port),
+                    );
+                }
+                let _ = sent;
+            }
+            Work::MetricsGet => {
+                shared.touch_uptime();
+                let snap = shared.instruments.plane.snapshot();
+                let frames = metrics_update_frames(
+                    job.id,
+                    0,
+                    shared.now_ns(),
+                    true,
+                    &snapshot_to_samples(&snap),
+                );
+                let _ = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                shared.instruments.request_ns.record(latency);
+                shared.instruments.completed(kind);
+            }
+            Work::Subscribe {
+                interval,
+                max_updates,
+            } => {
+                // The first update carries the full snapshot so the client
+                // can fold later deltas onto a complete baseline.
+                shared.touch_uptime();
+                let snap = shared.instruments.plane.snapshot();
+                let now = shared.now_ns();
+                let last = max_updates == 1;
+                let frames =
+                    metrics_update_frames(job.id, 0, now, last, &snapshot_to_samples(&snap));
+                let sent = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                shared.instruments.metric_updates.inc();
+                shared.instruments.completed(kind);
+                if sent.is_ok() && !last {
+                    let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+                    let mut subs = shared.subs.lock().unwrap();
+                    subs.push(Sub {
+                        conn: job.conn,
+                        id: job.id,
+                        interval,
+                        next_due_ns: now.saturating_add(interval_ns),
+                        // `checked_sub` maps the 0 = unbounded sentinel to
+                        // `None` in one step.
+                        remaining: max_updates.checked_sub(1),
+                        seq: 1,
+                        prev: snap,
+                    });
+                    shared.instruments.subscribers.set(subs.len() as u64);
+                }
+            }
         }
-        if shared.instruments.plane.tracing_enabled() {
-            shared.instruments.plane.spans().record(
-                names::SPAN_SERVE_REQUEST,
-                started_ns,
-                shared.now_ns(),
-                u32::from(job.req.port()),
-            );
-        }
-        let _ = sent;
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// The publisher thread: wakes every few milliseconds, and for each due
+/// subscription sends the series that changed since its previous update
+/// (absolute values, so a missed frame self-heals on the next one).
+/// Exits when shutdown is initiated; `drain_subscribers` then closes the
+/// streams.
+fn publisher_loop(shared: &Arc<Shared>) {
+    const TICK: Duration = Duration::from_millis(10);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(TICK);
+        let now = shared.now_ns();
+        {
+            let subs = shared.subs.lock().unwrap();
+            if !subs.iter().any(|s| s.next_due_ns <= now) {
+                continue;
+            }
+        }
+        shared.touch_uptime();
+        let snap = shared.instruments.plane.snapshot();
+        let mut subs = shared.subs.lock().unwrap();
+        subs.retain_mut(|sub| {
+            if sub.next_due_ns > now {
+                return true;
+            }
+            let changed = delta::changed(&sub.prev, &snap);
+            let last = sub.remaining == Some(1);
+            let frames =
+                metrics_update_frames(sub.id, sub.seq, now, last, &snapshot_to_samples(&changed));
+            if sub.conn.send(&frames).is_err() {
+                return false;
+            }
+            shared.instruments.metric_updates.inc();
+            sub.prev = snap.clone();
+            sub.seq += 1;
+            if let Some(r) = &mut sub.remaining {
+                *r -= 1;
+                if *r == 0 {
+                    return false;
+                }
+            }
+            let interval_ns = u64::try_from(sub.interval.as_nanos()).unwrap_or(u64::MAX);
+            sub.next_due_ns = now.saturating_add(interval_ns);
+            true
+        });
+        shared.instruments.subscribers.set(subs.len() as u64);
+    }
+}
+
+/// Send every remaining subscription one final `last` update carrying the
+/// post-drain counter values, then forget them all.
+fn drain_subscribers(shared: &Arc<Shared>) {
+    shared.touch_uptime();
+    let snap = shared.instruments.plane.snapshot();
+    let now = shared.now_ns();
+    let mut subs = shared.subs.lock().unwrap();
+    for sub in subs.drain(..) {
+        let changed = delta::changed(&sub.prev, &snap);
+        let frames =
+            metrics_update_frames(sub.id, sub.seq, now, true, &snapshot_to_samples(&changed));
+        if sub.conn.send(&frames).is_ok() {
+            shared.instruments.metric_updates.inc();
+        }
+    }
+    shared.instruments.subscribers.set(0);
 }
 
 /// Execute one query into its response frame sequence.

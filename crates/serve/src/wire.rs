@@ -31,6 +31,7 @@
 
 use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
+use pq_telemetry::{HistogramSnapshot, MetricKey, MetricValue, RegistrySnapshot, NUM_BUCKETS};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -42,6 +43,15 @@ pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
 /// Most collection entries (flows, gaps, monitor counts) per chunk frame.
 pub const ENTRIES_PER_FRAME: usize = 512;
+
+/// Most metric samples per `MetricsChunk` frame. Lower than
+/// [`ENTRIES_PER_FRAME`] because one sample can carry a full histogram
+/// (65 buckets); the worst-case chunk still stays far under
+/// [`MAX_FRAME_LEN`].
+pub const METRIC_SAMPLES_PER_FRAME: usize = 128;
+
+/// Most label pairs one metric sample may carry on the wire.
+pub const MAX_LABELS_PER_SAMPLE: usize = 16;
 
 /// Typed failure codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +158,67 @@ impl Request {
     }
 }
 
+/// A server's health self-report, carried by [`Frame::HealthAck`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthInfo {
+    /// Nanoseconds since the daemon started.
+    pub uptime_ns: u64,
+    /// Configured worker-pool size.
+    pub workers: u32,
+    /// Workers currently executing a job (utilization numerator).
+    pub busy_workers: u32,
+    /// Current admission-queue depth.
+    pub queue_depth: u32,
+    /// Admission-queue capacity.
+    pub queue_cap: u32,
+    /// Connections currently open.
+    pub active_conns: u32,
+    /// Connection cap.
+    pub max_conns: u32,
+    /// Metrics subscriptions currently attached.
+    pub subscribers: u32,
+    /// True once shutdown has been initiated (draining).
+    pub draining: bool,
+    /// Build version (`pq_build_info` label; `unknown` if unstamped).
+    pub version: String,
+    /// Build git commit (`pq_build_info` label; `unknown` if unstamped).
+    pub commit: String,
+}
+
+/// One metric sample inside a [`Frame::MetricsChunk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs (sorted, as snapshots store them).
+    pub labels: Vec<(String, String)>,
+    /// The value, tagged by kind.
+    pub value: WireValue,
+}
+
+/// The value half of a [`WireSample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// Monotonic counter value (absolute).
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state; `buckets` holds only occupied `(index, count)`
+    /// pairs.
+    Histogram {
+        /// Total samples recorded.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+        /// Smallest sample (`u64::MAX` when empty).
+        min: u64,
+        /// Largest sample (0 when empty).
+        max: u64,
+        /// Occupied `(bucket index, count)` pairs, index-ascending.
+        buckets: Vec<(u8, u64)>,
+    },
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -160,6 +231,18 @@ pub enum Frame {
     MetricsReq { id: u64 },
     /// Ask the server to drain in-flight queries and exit.
     ShutdownReq { id: u64 },
+    /// Ask for the server's health self-report.
+    HealthReq { id: u64 },
+    /// Ask for one structured metrics snapshot (streamed like a
+    /// subscription update with `seq` 0 and `last` set).
+    MetricsGet { id: u64 },
+    /// Subscribe to periodic metrics updates every `interval_ms`;
+    /// `max_updates` 0 means unbounded (until shutdown or disconnect).
+    MetricsSubscribe {
+        id: u64,
+        interval_ms: u32,
+        max_updates: u32,
+    },
 
     // -- server → client ---------------------------------------------------
     /// Accepted version and frame cap (`min` of both sides).
@@ -206,6 +289,22 @@ pub enum Frame {
     MetricsText { id: u64, text: String },
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownAck { id: u64 },
+    /// Health self-report.
+    HealthAck { id: u64, health: HealthInfo },
+    /// Start of one metrics update: `seq` counts updates on this
+    /// subscription, `t_ns` is the server clock, `total` the sample count
+    /// across the chunks that follow, `last` marks the final update of a
+    /// subscription (shutdown drain or `max_updates` reached).
+    MetricsHeader {
+        id: u64,
+        seq: u64,
+        t_ns: u64,
+        total: u32,
+        last: bool,
+    },
+    /// Up to [`METRIC_SAMPLES_PER_FRAME`] metric samples. Terminated by
+    /// `ResultEnd`, like every streamed answer.
+    MetricsChunk { id: u64, samples: Vec<WireSample> },
 }
 
 /// Why a frame failed to decode.
@@ -262,6 +361,50 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_sample(out: &mut Vec<u8>, sample: &WireSample) {
+    put_string(out, &sample.name);
+    debug_assert!(sample.labels.len() <= MAX_LABELS_PER_SAMPLE);
+    out.push(sample.labels.len() as u8);
+    for (k, v) in &sample.labels {
+        put_string(out, k);
+        put_string(out, v);
+    }
+    match &sample.value {
+        WireValue::Counter(v) => {
+            out.push(0);
+            put_u64(out, *v);
+        }
+        WireValue::Gauge(v) => {
+            out.push(1);
+            put_u64(out, *v);
+        }
+        WireValue::Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        } => {
+            out.push(2);
+            put_u64(out, *count);
+            put_u64(out, *sum);
+            put_u64(out, *min);
+            put_u64(out, *max);
+            debug_assert!(buckets.len() <= NUM_BUCKETS);
+            out.push(buckets.len() as u8);
+            for (i, n) in buckets {
+                out.push(*i);
+                put_u64(out, *n);
+            }
+        }
+    }
+}
+
 /// Encode a frame body (type byte + payload), without the length prefix.
 pub fn encode_body(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
@@ -302,6 +445,24 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
         Frame::ShutdownReq { id } => {
             out.push(0x04);
             put_u64(&mut out, *id);
+        }
+        Frame::HealthReq { id } => {
+            out.push(0x05);
+            put_u64(&mut out, *id);
+        }
+        Frame::MetricsGet { id } => {
+            out.push(0x06);
+            put_u64(&mut out, *id);
+        }
+        Frame::MetricsSubscribe {
+            id,
+            interval_ms,
+            max_updates,
+        } => {
+            out.push(0x07);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *interval_ms);
+            put_u32(&mut out, *max_updates);
         }
         Frame::HelloAck { version, max_frame } => {
             out.push(0x81);
@@ -401,6 +562,43 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             out.push(0x8B);
             put_u64(&mut out, *id);
         }
+        Frame::HealthAck { id, health } => {
+            out.push(0x8C);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, health.uptime_ns);
+            put_u32(&mut out, health.workers);
+            put_u32(&mut out, health.busy_workers);
+            put_u32(&mut out, health.queue_depth);
+            put_u32(&mut out, health.queue_cap);
+            put_u32(&mut out, health.active_conns);
+            put_u32(&mut out, health.max_conns);
+            put_u32(&mut out, health.subscribers);
+            out.push(u8::from(health.draining));
+            put_string(&mut out, &health.version);
+            put_string(&mut out, &health.commit);
+        }
+        Frame::MetricsHeader {
+            id,
+            seq,
+            t_ns,
+            total,
+            last,
+        } => {
+            out.push(0x8D);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *t_ns);
+            put_u32(&mut out, *total);
+            out.push(u8::from(*last));
+        }
+        Frame::MetricsChunk { id, samples } => {
+            out.push(0x8E);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, samples.len() as u32);
+            for s in samples {
+                put_sample(&mut out, s);
+            }
+        }
     }
     out
 }
@@ -488,6 +686,64 @@ fn get_string(cur: &mut &[u8], what: &'static str) -> Result<String, WireError> 
     Ok(s)
 }
 
+fn get_sample(cur: &mut &[u8]) -> Result<WireSample, WireError> {
+    let name = get_string(cur, "metric name not utf-8")?;
+    if name.is_empty() {
+        return Err(WireError::Malformed("empty metric name"));
+    }
+    let nlabels = get_u8(cur)? as usize;
+    if nlabels > MAX_LABELS_PER_SAMPLE {
+        return Err(WireError::Malformed("too many labels on a sample"));
+    }
+    let mut labels = Vec::with_capacity(nlabels);
+    for _ in 0..nlabels {
+        let k = get_string(cur, "label name not utf-8")?;
+        let v = get_string(cur, "label value not utf-8")?;
+        labels.push((k, v));
+    }
+    let value = match get_u8(cur)? {
+        0 => WireValue::Counter(get_u64(cur)?),
+        1 => WireValue::Gauge(get_u64(cur)?),
+        2 => {
+            let count = get_u64(cur)?;
+            let sum = get_u64(cur)?;
+            let min = get_u64(cur)?;
+            let max = get_u64(cur)?;
+            let nbuckets = get_u8(cur)? as usize;
+            if nbuckets > NUM_BUCKETS {
+                return Err(WireError::Malformed(
+                    "histogram bucket count exceeds schema",
+                ));
+            }
+            if nbuckets.saturating_mul(9) > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let mut buckets = Vec::with_capacity(nbuckets);
+            for _ in 0..nbuckets {
+                let i = get_u8(cur)?;
+                if i as usize >= NUM_BUCKETS {
+                    return Err(WireError::Malformed("histogram bucket index out of range"));
+                }
+                let n = get_u64(cur)?;
+                buckets.push((i, n));
+            }
+            WireValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            }
+        }
+        _ => return Err(WireError::Malformed("unknown metric value kind")),
+    };
+    Ok(WireSample {
+        name,
+        labels,
+        value,
+    })
+}
+
 /// Decode a frame body (type byte + payload). Trailing bytes are a
 /// protocol violation — a frame is exactly its declared fields.
 pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
@@ -523,6 +779,13 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
         }
         0x03 => Frame::MetricsReq { id: get_u64(cur)? },
         0x04 => Frame::ShutdownReq { id: get_u64(cur)? },
+        0x05 => Frame::HealthReq { id: get_u64(cur)? },
+        0x06 => Frame::MetricsGet { id: get_u64(cur)? },
+        0x07 => Frame::MetricsSubscribe {
+            id: get_u64(cur)?,
+            interval_ms: get_u32(cur)?,
+            max_updates: get_u32(cur)?,
+        },
         0x81 => Frame::HelloAck {
             version: get_u16(cur)?,
             max_frame: get_u32(cur)?,
@@ -598,6 +861,60 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             Frame::MetricsText { id, text }
         }
         0x8B => Frame::ShutdownAck { id: get_u64(cur)? },
+        0x8C => {
+            let id = get_u64(cur)?;
+            let uptime_ns = get_u64(cur)?;
+            let workers = get_u32(cur)?;
+            let busy_workers = get_u32(cur)?;
+            let queue_depth = get_u32(cur)?;
+            let queue_cap = get_u32(cur)?;
+            let active_conns = get_u32(cur)?;
+            let max_conns = get_u32(cur)?;
+            let subscribers = get_u32(cur)?;
+            let draining = get_u8(cur)? != 0;
+            let version = get_string(cur, "health version not utf-8")?;
+            let commit = get_string(cur, "health commit not utf-8")?;
+            Frame::HealthAck {
+                id,
+                health: HealthInfo {
+                    uptime_ns,
+                    workers,
+                    busy_workers,
+                    queue_depth,
+                    queue_cap,
+                    active_conns,
+                    max_conns,
+                    subscribers,
+                    draining,
+                    version,
+                    commit,
+                },
+            }
+        }
+        0x8D => Frame::MetricsHeader {
+            id: get_u64(cur)?,
+            seq: get_u64(cur)?,
+            t_ns: get_u64(cur)?,
+            total: get_u32(cur)?,
+            last: get_u8(cur)? != 0,
+        },
+        0x8E => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)? as usize;
+            if n > METRIC_SAMPLES_PER_FRAME {
+                return Err(WireError::Malformed("chunk exceeds samples-per-frame cap"));
+            }
+            // Minimum encoded sample: empty name (4) + label count (1) +
+            // kind (1) + scalar (8).
+            if n.saturating_mul(14) > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(get_sample(cur)?);
+            }
+            Frame::MetricsChunk { id, samples }
+        }
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
     if !cur.is_empty() {
@@ -661,6 +978,101 @@ pub fn chunk_counts(id: u64, counts: &[(FlowId, u64)]) -> Vec<Frame> {
         .collect()
 }
 
+/// Flatten a registry snapshot into wire samples (key order preserved).
+pub fn snapshot_to_samples(snap: &RegistrySnapshot) -> Vec<WireSample> {
+    snap.iter()
+        .map(|(key, value)| WireSample {
+            name: key.name.clone(),
+            labels: key.labels.clone(),
+            value: match value {
+                MetricValue::Counter(v) => WireValue::Counter(*v),
+                MetricValue::Gauge(v) => WireValue::Gauge(*v),
+                MetricValue::Histogram(h) => WireValue::Histogram {
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n != 0)
+                        .map(|(i, &n)| (i as u8, n))
+                        .collect(),
+                },
+            },
+        })
+        .collect()
+}
+
+/// Rebuild a registry snapshot from wire samples. Labels are
+/// re-canonicalized and duplicate keys last-write-win, so a hostile peer
+/// cannot construct a snapshot a local registry could not.
+pub fn samples_to_snapshot(samples: &[WireSample]) -> RegistrySnapshot {
+    let mut snap = RegistrySnapshot::default();
+    for s in samples {
+        let borrowed: Vec<(&str, &str)> = s
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let key = MetricKey::new(&s.name, &borrowed);
+        let value = match &s.value {
+            WireValue::Counter(v) => MetricValue::Counter(*v),
+            WireValue::Gauge(v) => MetricValue::Gauge(*v),
+            WireValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                let mut h = HistogramSnapshot {
+                    count: *count,
+                    sum: *sum,
+                    min: *min,
+                    max: *max,
+                    ..HistogramSnapshot::default()
+                };
+                for (i, n) in buckets {
+                    h.buckets[*i as usize] = *n;
+                }
+                MetricValue::Histogram(Box::new(h))
+            }
+        };
+        snap.insert(key, value);
+    }
+    snap
+}
+
+/// Split metric samples into one `MetricsHeader` + bounded
+/// `MetricsChunk`s + `ResultEnd`: a complete streamed update.
+pub fn metrics_update_frames(
+    id: u64,
+    seq: u64,
+    t_ns: u64,
+    last: bool,
+    samples: &[WireSample],
+) -> Vec<Frame> {
+    let mut frames = vec![Frame::MetricsHeader {
+        id,
+        seq,
+        t_ns,
+        total: samples.len() as u32,
+        last,
+    }];
+    frames.extend(
+        samples
+            .chunks(METRIC_SAMPLES_PER_FRAME)
+            .map(|c| Frame::MetricsChunk {
+                id,
+                samples: c.to_vec(),
+            }),
+    );
+    frames.push(Frame::ResultEnd { id });
+    frames
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +1113,123 @@ mod tests {
             gaps: vec![CoverageGap { from: 5, to: 10 }],
             message: "read failed".into(),
         });
+        round_trip(&Frame::HealthReq { id: 11 });
+        round_trip(&Frame::MetricsGet { id: 12 });
+        round_trip(&Frame::MetricsSubscribe {
+            id: 13,
+            interval_ms: 250,
+            max_updates: 4,
+        });
+        round_trip(&Frame::HealthAck {
+            id: 14,
+            health: HealthInfo {
+                uptime_ns: 1_000_000,
+                workers: 4,
+                busy_workers: 2,
+                queue_depth: 3,
+                queue_cap: 128,
+                active_conns: 1,
+                max_conns: 64,
+                subscribers: 1,
+                draining: true,
+                version: "0.1.0".into(),
+                commit: "abc123".into(),
+            },
+        });
+        round_trip(&Frame::MetricsHeader {
+            id: 15,
+            seq: 9,
+            t_ns: 77,
+            total: 2,
+            last: false,
+        });
+        round_trip(&Frame::MetricsChunk {
+            id: 16,
+            samples: vec![
+                WireSample {
+                    name: "pq_serve_shed_total".into(),
+                    labels: vec![],
+                    value: WireValue::Counter(7),
+                },
+                WireSample {
+                    name: "pq_serve_request_ns".into(),
+                    labels: vec![("kind".into(), "replay".into())],
+                    value: WireValue::Histogram {
+                        count: 2,
+                        sum: 300,
+                        min: 100,
+                        max: 200,
+                        buckets: vec![(7, 1), (8, 1)],
+                    },
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn snapshot_survives_the_wire_bit_exactly() {
+        use pq_telemetry::Registry;
+        let reg = Registry::new();
+        reg.counter("pq_serve_requests_total", &[("kind", "replay")])
+            .add(9);
+        reg.gauge("pq_serve_queue_depth", &[]).set(4);
+        let h = reg.histogram("pq_serve_request_ns", &[]);
+        h.record(0);
+        h.record(1000);
+        h.record(u64::MAX);
+        let snap = reg.snapshot();
+        let samples = snapshot_to_samples(&snap);
+        let frames = metrics_update_frames(5, 0, 42, true, &samples);
+        // Through encode/decode and back into a snapshot.
+        let mut decoded = Vec::new();
+        for f in &frames {
+            let back = decode_body(&encode_body(f)).expect("decode");
+            if let Frame::MetricsChunk { samples, .. } = back {
+                decoded.extend(samples);
+            }
+        }
+        assert_eq!(samples_to_snapshot(&decoded), snap);
+    }
+
+    #[test]
+    fn hostile_metric_samples_are_rejected() {
+        // Inflated sample count.
+        let mut body = vec![0x8E];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Out-of-range histogram bucket index.
+        let frame = Frame::MetricsChunk {
+            id: 1,
+            samples: vec![WireSample {
+                name: "m".into(),
+                labels: vec![],
+                value: WireValue::Histogram {
+                    count: 1,
+                    sum: 1,
+                    min: 1,
+                    max: 1,
+                    buckets: vec![(64, 1)],
+                },
+            }],
+        };
+        let mut body = encode_body(&frame);
+        let idx_at = body.len() - 9; // bucket index byte precedes its u64
+        body[idx_at] = 65;
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Empty metric name.
+        let frame = Frame::MetricsChunk {
+            id: 1,
+            samples: vec![WireSample {
+                name: String::new(),
+                labels: vec![],
+                value: WireValue::Counter(1),
+            }],
+        };
+        assert!(matches!(
+            decode_body(&encode_body(&frame)),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
 use pq_serve::wire::{
-    decode_body, encode_body, read_frame, ErrorCode, Frame, Request, WireError, MAX_FRAME_LEN,
+    decode_body, encode_body, read_frame, ErrorCode, Frame, HealthInfo, Request, WireError,
+    WireSample, WireValue, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -26,6 +27,82 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
 fn arb_string(max: usize) -> impl Strategy<Value = String> {
     proptest::collection::vec(any::<u8>(), 0..max)
         .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Arbitrary non-empty strings (the decoder rejects empty sample names).
+fn arb_nonempty_string(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 1..max)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_wire_value() -> impl Strategy<Value = WireValue> {
+    prop_oneof![
+        any::<u64>().prop_map(WireValue::Counter).boxed(),
+        any::<u64>().prop_map(WireValue::Gauge).boxed(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec((0u8..65, any::<u64>()), 0..10),
+        )
+            .prop_map(|(count, sum, min, max, buckets)| WireValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            })
+            .boxed(),
+    ]
+}
+
+fn arb_sample() -> impl Strategy<Value = WireSample> {
+    (
+        arb_nonempty_string(20),
+        proptest::collection::vec((arb_string(10), arb_string(10)), 0..8),
+        arb_wire_value(),
+    )
+        .prop_map(|(name, labels, value)| WireSample {
+            name,
+            labels,
+            value,
+        })
+}
+
+fn arb_health() -> impl Strategy<Value = HealthInfo> {
+    (
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()),
+        arb_string(16),
+        arb_string(48),
+    )
+        .prop_map(
+            |(
+                (uptime_ns, workers, busy_workers, queue_depth, queue_cap),
+                (active_conns, max_conns, subscribers, draining),
+                version,
+                commit,
+            )| HealthInfo {
+                uptime_ns,
+                workers,
+                busy_workers,
+                queue_depth,
+                queue_cap,
+                active_conns,
+                max_conns,
+                subscribers,
+                draining,
+                version,
+                commit,
+            },
+        )
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -132,6 +209,36 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .boxed(),
         (any::<u64>(), arb_string(200))
             .prop_map(|(id, text)| Frame::MetricsText { id, text })
+            .boxed(),
+        any::<u64>().prop_map(|id| Frame::HealthReq { id }).boxed(),
+        any::<u64>().prop_map(|id| Frame::MetricsGet { id }).boxed(),
+        (any::<u64>(), any::<u32>(), any::<u32>())
+            .prop_map(|(id, interval_ms, max_updates)| Frame::MetricsSubscribe {
+                id,
+                interval_ms,
+                max_updates,
+            })
+            .boxed(),
+        (any::<u64>(), arb_health())
+            .prop_map(|(id, health)| Frame::HealthAck { id, health })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(id, seq, t_ns, total, last)| Frame::MetricsHeader {
+                id,
+                seq,
+                t_ns,
+                total,
+                last,
+            })
+            .boxed(),
+        (any::<u64>(), proptest::collection::vec(arb_sample(), 0..5))
+            .prop_map(|(id, samples)| Frame::MetricsChunk { id, samples })
             .boxed(),
     ]
 }

@@ -1,0 +1,913 @@
+//! A declarative alert-rule engine over registry snapshots.
+//!
+//! Rules are data, not code: each names a `pq_*` metric (optionally
+//! narrowed by labels), a statistic to extract, and one of three
+//! predicate kinds —
+//!
+//! * **threshold** — compare the statistic against a constant;
+//! * **rate** — compare the reset-safe per-second rate of a counter
+//!   (derived between consecutive evaluations via [`mod@crate::delta`])
+//!   against a constant;
+//! * **absence** — fire when no matching series exists at all, the
+//!   "is the thing even reporting?" rule.
+//!
+//! The engine is a per-rule state machine with two operational guards
+//! borrowed from production alerting:
+//!
+//! * **`for`-duration debouncing** — a breach must persist across
+//!   evaluations for `for_ns` before the rule fires, so a one-tick blip
+//!   never pages;
+//! * **hysteresis** — a firing rule only resolves once the value has
+//!   crossed back past the threshold by a configurable fraction, so a
+//!   value oscillating at the threshold cannot flap fire/resolve on
+//!   every tick.
+//!
+//! [`AlertEngine::evaluate`] consumes timestamped snapshots and returns
+//! the *transitions* ([`AlertEvent`]: firing / resolved, each carrying a
+//! structured reason); [`AlertEngine::statuses`] reports current state
+//! for dashboards. Rules parse from a small TOML-subset file format
+//! ([`parse_rules`]), documented in DESIGN.md §11.
+
+use crate::registry::{MetricValue, RegistrySnapshot};
+
+/// Comparison direction for threshold and rate predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Breach when the observed value is strictly greater.
+    Gt,
+    /// Breach when the observed value is strictly smaller.
+    Lt,
+}
+
+impl Op {
+    fn breached(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Op::Gt => value > threshold,
+            Op::Lt => value < threshold,
+        }
+    }
+
+    /// With the rule firing, is the value still inside the hysteresis
+    /// band (i.e. not yet resolved)?
+    fn holds(self, value: f64, threshold: f64, hysteresis: f64) -> bool {
+        let h = hysteresis.clamp(0.0, 1.0);
+        match self {
+            Op::Gt => value > threshold * (1.0 - h),
+            Op::Lt => value < threshold * (1.0 + h),
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            Op::Gt => ">",
+            Op::Lt => "<",
+        }
+    }
+}
+
+/// The statistic a rule extracts from its matching series.
+///
+/// For counters and gauges every statistic reduces to the value (summed
+/// across matching series). For histograms the matching series are merged
+/// bucket-wise first, then the statistic is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stat {
+    /// Counter/gauge value; histogram sample count.
+    Value,
+    /// Histogram sample count.
+    Count,
+    /// Histogram sum (counter/gauge value).
+    Sum,
+    /// Histogram mean.
+    Mean,
+    /// Histogram median estimate.
+    P50,
+    /// Histogram 90th-percentile estimate.
+    P90,
+    /// Histogram 99th-percentile estimate.
+    P99,
+    /// Histogram maximum.
+    Max,
+}
+
+impl Stat {
+    fn name(self) -> &'static str {
+        match self {
+            Stat::Value => "value",
+            Stat::Count => "count",
+            Stat::Sum => "sum",
+            Stat::Mean => "mean",
+            Stat::P50 => "p50",
+            Stat::P90 => "p90",
+            Stat::P99 => "p99",
+            Stat::Max => "max",
+        }
+    }
+}
+
+/// What makes the rule breach.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// The extracted statistic compared against a constant.
+    Threshold {
+        /// Comparison direction.
+        op: Op,
+        /// The constant to compare against.
+        value: f64,
+    },
+    /// The reset-safe per-second rate of the metric (counters and
+    /// histogram counts) compared against a constant.
+    Rate {
+        /// Comparison direction.
+        op: Op,
+        /// Threshold in events per second.
+        per_second: f64,
+    },
+    /// Breach when no matching series exists in the snapshot.
+    Absence,
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Rule name, unique within an engine.
+    pub name: String,
+    /// Metric name the rule watches.
+    pub metric: String,
+    /// Label pairs a series must carry to match (subset match; empty
+    /// matches every series of the metric).
+    pub labels: Vec<(String, String)>,
+    /// Statistic extracted from the matching series.
+    pub stat: Stat,
+    /// The breach predicate.
+    pub predicate: Predicate,
+    /// How long a breach must persist before the rule fires (0 = fire on
+    /// the first breaching evaluation).
+    pub for_ns: u64,
+    /// Fractional resolve hysteresis (0.1 = the value must retreat 10%
+    /// past the threshold before the rule resolves).
+    pub hysteresis: f64,
+}
+
+impl AlertRule {
+    /// A threshold rule with no debounce and no hysteresis; builder-style
+    /// setters below refine it.
+    pub fn threshold(name: &str, metric: &str, op: Op, value: f64) -> AlertRule {
+        AlertRule {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            labels: Vec::new(),
+            stat: Stat::Value,
+            predicate: Predicate::Threshold { op, value },
+            for_ns: 0,
+            hysteresis: 0.0,
+        }
+    }
+
+    /// A rate rule (events per second, reset-safe).
+    pub fn rate(name: &str, metric: &str, op: Op, per_second: f64) -> AlertRule {
+        AlertRule {
+            predicate: Predicate::Rate { op, per_second },
+            ..AlertRule::threshold(name, metric, op, per_second)
+        }
+    }
+
+    /// An absence rule: fires when the metric has no matching series.
+    pub fn absence(name: &str, metric: &str) -> AlertRule {
+        AlertRule {
+            predicate: Predicate::Absence,
+            ..AlertRule::threshold(name, metric, Op::Gt, 0.0)
+        }
+    }
+
+    /// Require a label pair on matching series.
+    pub fn with_label(mut self, key: &str, value: &str) -> AlertRule {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Set the statistic to extract.
+    pub fn with_stat(mut self, stat: Stat) -> AlertRule {
+        self.stat = stat;
+        self
+    }
+
+    /// Set the `for`-duration debounce.
+    pub fn with_for_ns(mut self, for_ns: u64) -> AlertRule {
+        self.for_ns = for_ns;
+        self
+    }
+
+    /// Set the resolve hysteresis fraction.
+    pub fn with_hysteresis(mut self, hysteresis: f64) -> AlertRule {
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    fn matches(&self, key: &crate::registry::MetricKey) -> bool {
+        key.name == self.metric
+            && self
+                .labels
+                .iter()
+                .all(|(k, v)| key.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+
+    /// Extract the observed value from a snapshot: `None` when no series
+    /// matches. Counters and gauges sum across matching series;
+    /// histograms merge bucket-wise first.
+    fn observe(&self, snap: &RegistrySnapshot) -> Option<f64> {
+        let mut scalar: Option<u64> = None;
+        let mut hist: Option<crate::histogram::HistogramSnapshot> = None;
+        for (key, value) in snap.iter() {
+            if !self.matches(key) {
+                continue;
+            }
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    scalar = Some(scalar.unwrap_or(0).saturating_add(*v));
+                }
+                MetricValue::Histogram(h) => match &mut hist {
+                    Some(acc) => acc.merge(h),
+                    None => hist = Some((**h).clone()),
+                },
+            }
+        }
+        if let Some(h) = hist {
+            let v = match self.stat {
+                Stat::Value | Stat::Count => h.count as f64,
+                Stat::Sum => h.sum as f64,
+                Stat::Mean => h.mean(),
+                Stat::P50 => h.p50() as f64,
+                Stat::P90 => h.p90() as f64,
+                Stat::P99 => h.p99() as f64,
+                Stat::Max => {
+                    if h.is_empty() {
+                        0.0
+                    } else {
+                        h.max as f64
+                    }
+                }
+            };
+            return Some(v);
+        }
+        scalar.map(|v| v as f64)
+    }
+
+    fn describe_target(&self) -> String {
+        let mut s = self.metric.clone();
+        if !self.labels.is_empty() {
+            s.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{k}=\"{v}\""));
+            }
+            s.push('}');
+        }
+        s
+    }
+}
+
+/// An alert transition emitted by [`AlertEngine::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// The rule's name.
+    pub rule: String,
+    /// Transition direction.
+    pub kind: AlertKind,
+    /// Evaluation timestamp the transition happened at.
+    pub at_ns: u64,
+    /// The observed value at the transition (`None` for absence).
+    pub value: Option<f64>,
+    /// The rule's threshold (0 for absence).
+    pub threshold: f64,
+    /// Human-readable structured reason, e.g.
+    /// `rate(pq_serve_shed_total) 12.50/s > 10/s for 5.0s`.
+    pub reason: String,
+}
+
+/// Transition direction of an [`AlertEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// The rule began firing.
+    Firing,
+    /// The rule stopped firing.
+    Resolved,
+}
+
+/// Current state of one rule, for dashboards and `--once` reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertStatus {
+    /// The rule's name.
+    pub rule: String,
+    /// `"ok"`, `"pending"`, or `"firing"`.
+    pub state: &'static str,
+    /// Last observed value (`None` before the first evaluation or when
+    /// no series matched).
+    pub value: Option<f64>,
+    /// The rule's threshold (0 for absence rules).
+    pub threshold: f64,
+    /// Reason line for the current state (empty while ok).
+    pub reason: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Ok,
+    Pending { since_ns: u64 },
+    Firing,
+}
+
+struct Runtime {
+    rule: AlertRule,
+    state: State,
+    last_value: Option<f64>,
+    last_reason: String,
+}
+
+/// Evaluates a rule set against a stream of timestamped snapshots.
+pub struct AlertEngine {
+    rules: Vec<Runtime>,
+    prev: Option<(u64, RegistrySnapshot)>,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`, all starting in the ok state.
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        AlertEngine {
+            rules: rules
+                .into_iter()
+                .map(|rule| Runtime {
+                    rule,
+                    state: State::Ok,
+                    last_value: None,
+                    last_reason: String::new(),
+                })
+                .collect(),
+            prev: None,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> impl Iterator<Item = &AlertRule> {
+        self.rules.iter().map(|r| &r.rule)
+    }
+
+    /// Evaluate every rule against `snap` taken at `t_ns`, returning the
+    /// transitions (newly firing / newly resolved). Rate predicates need
+    /// two evaluations before they can breach — the first call only
+    /// primes the previous snapshot.
+    pub fn evaluate(&mut self, t_ns: u64, snap: &RegistrySnapshot) -> Vec<AlertEvent> {
+        let mut events = Vec::new();
+        for rt in &mut self.rules {
+            let (observed, breached, threshold, describe) =
+                judge(&rt.rule, snap, self.prev.as_ref(), t_ns);
+            rt.last_value = observed;
+            let still_holds = match (&rt.rule.predicate, observed) {
+                // Absence "holds" while still absent; any appearance resolves.
+                (Predicate::Absence, _) => breached,
+                (_, Some(v)) => {
+                    let op = match rt.rule.predicate {
+                        Predicate::Threshold { op, .. } | Predicate::Rate { op, .. } => op,
+                        Predicate::Absence => unreachable!(),
+                    };
+                    breached || op.holds(v, threshold, rt.rule.hysteresis)
+                }
+                // No observation (series vanished): a firing
+                // threshold/rate rule resolves.
+                (_, None) => false,
+            };
+            match rt.state {
+                State::Ok if breached => {
+                    if rt.rule.for_ns == 0 {
+                        rt.state = State::Firing;
+                        rt.last_reason = describe.clone();
+                        events.push(AlertEvent {
+                            rule: rt.rule.name.clone(),
+                            kind: AlertKind::Firing,
+                            at_ns: t_ns,
+                            value: observed,
+                            threshold,
+                            reason: describe,
+                        });
+                    } else {
+                        rt.state = State::Pending { since_ns: t_ns };
+                        rt.last_reason = format!("{describe} (pending)");
+                    }
+                }
+                State::Pending { since_ns } if breached => {
+                    if t_ns.saturating_sub(since_ns) >= rt.rule.for_ns {
+                        rt.state = State::Firing;
+                        let reason = format!(
+                            "{describe} for {:.1}s",
+                            t_ns.saturating_sub(since_ns) as f64 / 1e9
+                        );
+                        rt.last_reason = reason.clone();
+                        events.push(AlertEvent {
+                            rule: rt.rule.name.clone(),
+                            kind: AlertKind::Firing,
+                            at_ns: t_ns,
+                            value: observed,
+                            threshold,
+                            reason,
+                        });
+                    } else {
+                        rt.last_reason = format!("{describe} (pending)");
+                    }
+                }
+                State::Pending { .. } => {
+                    // Breach did not persist: back to ok, no event (the
+                    // rule never fired).
+                    rt.state = State::Ok;
+                    rt.last_reason = String::new();
+                }
+                State::Firing if !still_holds => {
+                    rt.state = State::Ok;
+                    let reason = format!("{describe} (resolved)");
+                    rt.last_reason = String::new();
+                    events.push(AlertEvent {
+                        rule: rt.rule.name.clone(),
+                        kind: AlertKind::Resolved,
+                        at_ns: t_ns,
+                        value: observed,
+                        threshold,
+                        reason,
+                    });
+                }
+                State::Firing => {
+                    rt.last_reason = describe;
+                }
+                State::Ok => {
+                    rt.last_reason = String::new();
+                }
+            }
+        }
+        self.prev = Some((t_ns, snap.clone()));
+        events
+    }
+
+    /// Current per-rule state, in rule order.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.rules
+            .iter()
+            .map(|rt| AlertStatus {
+                rule: rt.rule.name.clone(),
+                state: match rt.state {
+                    State::Ok => "ok",
+                    State::Pending { .. } => "pending",
+                    State::Firing => "firing",
+                },
+                value: rt.last_value,
+                threshold: match rt.rule.predicate {
+                    Predicate::Threshold { value, .. } => value,
+                    Predicate::Rate { per_second, .. } => per_second,
+                    Predicate::Absence => 0.0,
+                },
+                reason: rt.last_reason.clone(),
+            })
+            .collect()
+    }
+
+    /// Names of the rules currently firing.
+    pub fn firing(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .filter(|rt| rt.state == State::Firing)
+            .map(|rt| rt.rule.name.clone())
+            .collect()
+    }
+}
+
+/// One rule's verdict against one snapshot: observed value, whether the
+/// predicate breached, the threshold, and the reason line.
+fn judge(
+    rule: &AlertRule,
+    snap: &RegistrySnapshot,
+    prev: Option<&(u64, RegistrySnapshot)>,
+    t_ns: u64,
+) -> (Option<f64>, bool, f64, String) {
+    let target = rule.describe_target();
+    match &rule.predicate {
+        Predicate::Absence => {
+            let observed = rule.observe(snap);
+            let breached = observed.is_none();
+            let reason = if breached {
+                format!("{target} absent from snapshot")
+            } else {
+                format!("{target} present")
+            };
+            (observed, breached, 0.0, reason)
+        }
+        Predicate::Threshold { op, value } => {
+            let observed = rule.observe(snap);
+            let breached = observed.is_some_and(|v| op.breached(v, *value));
+            let reason = format!(
+                "{stat}({target}) {observed} {op} {value}",
+                stat = rule.stat.name(),
+                observed = observed.map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                op = op.symbol(),
+            );
+            (observed, breached, *value, reason)
+        }
+        Predicate::Rate { op, per_second } => {
+            let rate = prev.and_then(|(prev_t, prev_snap)| {
+                let elapsed = t_ns.saturating_sub(*prev_t);
+                if elapsed == 0 {
+                    return None;
+                }
+                let (a, b) = (rule.observe(prev_snap), rule.observe(snap));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        Some(crate::delta::rate_per_sec(a as u64, b as u64, elapsed))
+                    }
+                    (None, Some(b)) => Some(b * 1e9 / elapsed as f64),
+                    _ => None,
+                }
+            });
+            let breached = rate.is_some_and(|r| op.breached(r, *per_second));
+            let reason = format!(
+                "rate({target}) {rate}/s {op} {per_second}/s",
+                rate = rate.map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                op = op.symbol(),
+            );
+            (rate, breached, *per_second, reason)
+        }
+    }
+}
+
+// -- rule-file parsing ------------------------------------------------------
+
+/// Parse a rules file (TOML subset): `[[rule]]` blocks of `key = value`
+/// lines.
+///
+/// ```toml
+/// [[rule]]
+/// name = "shed-storm"
+/// metric = "pq_serve_shed_total"
+/// kind = "rate"           # threshold | rate | absence (default threshold)
+/// op = ">"                # ">" | "<" (default ">")
+/// value = 10.0            # threshold, or events/s for rate
+/// stat = "value"          # value|count|sum|mean|p50|p90|p99|max
+/// labels = "kind=replay"  # optional, comma-separated k=v pairs
+/// for = "5s"              # optional debounce: ns/us/ms/s/m suffix
+/// hysteresis = 0.1        # optional resolve fraction
+/// ```
+///
+/// Comments (`#`) and blank lines are skipped; unknown keys are errors so
+/// typos cannot silently disable a rule.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    #[derive(Default)]
+    struct Block {
+        lineno: usize,
+        fields: Vec<(String, String)>,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            // An even number of quotes before the '#' means it sits
+            // outside any quoted value and starts a comment.
+            Some(cut) if raw[..cut].matches('"').count() % 2 == 0 => raw[..cut].trim(),
+            _ => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[rule]]" {
+            blocks.push(Block {
+                lineno,
+                fields: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section {line:?}"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected key = value, got {line:?}"))?;
+        let block = blocks
+            .last_mut()
+            .ok_or_else(|| format!("line {lineno}: field before the first [[rule]]"))?;
+        block
+            .fields
+            .push((key.trim().to_string(), unquote(value.trim())));
+    }
+
+    let mut rules = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        rules.push(rule_from_fields(block.lineno, &block.fields)?);
+    }
+    Ok(rules)
+}
+
+fn unquote(v: &str) -> String {
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .unwrap_or(v)
+        .to_string()
+}
+
+fn parse_duration_ns(s: &str) -> Result<u64, String> {
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1_000_000_000) // bare numbers are seconds
+    };
+    let num: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration {s:?}"))?;
+    if num < 0.0 {
+        return Err(format!("negative duration {s:?}"));
+    }
+    Ok((num * mult as f64) as u64)
+}
+
+fn rule_from_fields(lineno: usize, fields: &[(String, String)]) -> Result<AlertRule, String> {
+    let get = |want: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == want)
+            .map(|(_, v)| v.as_str())
+    };
+    let ctx = |msg: String| format!("rule at line {lineno}: {msg}");
+    let name = get("name").ok_or_else(|| ctx("missing name".into()))?;
+    let metric = get("metric").ok_or_else(|| ctx("missing metric".into()))?;
+    let kind = get("kind").unwrap_or("threshold");
+    let op = match get("op").unwrap_or(">") {
+        ">" | "gt" => Op::Gt,
+        "<" | "lt" => Op::Lt,
+        other => return Err(ctx(format!("unknown op {other:?}"))),
+    };
+    let value = match get("value") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| ctx(format!("bad value {v:?}")))?,
+        ),
+        None => None,
+    };
+    let predicate = match kind {
+        "threshold" => Predicate::Threshold {
+            op,
+            value: value.ok_or_else(|| ctx("threshold rule needs value".into()))?,
+        },
+        "rate" => Predicate::Rate {
+            op,
+            per_second: value.ok_or_else(|| ctx("rate rule needs value".into()))?,
+        },
+        "absence" => Predicate::Absence,
+        other => return Err(ctx(format!("unknown kind {other:?}"))),
+    };
+    let stat = match get("stat").unwrap_or("value") {
+        "value" => Stat::Value,
+        "count" => Stat::Count,
+        "sum" => Stat::Sum,
+        "mean" => Stat::Mean,
+        "p50" => Stat::P50,
+        "p90" => Stat::P90,
+        "p99" => Stat::P99,
+        "max" => Stat::Max,
+        other => return Err(ctx(format!("unknown stat {other:?}"))),
+    };
+    let mut labels = Vec::new();
+    if let Some(spec) = get("labels") {
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| ctx(format!("label without '=': {pair:?}")))?;
+            labels.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let for_ns = match get("for") {
+        Some(d) => parse_duration_ns(d).map_err(ctx)?,
+        None => 0,
+    };
+    let hysteresis = match get("hysteresis") {
+        Some(h) => h
+            .parse::<f64>()
+            .map_err(|_| ctx(format!("bad hysteresis {h:?}")))?,
+        None => 0.0,
+    };
+    for (key, _) in fields {
+        if !matches!(
+            key.as_str(),
+            "name" | "metric" | "kind" | "op" | "value" | "stat" | "labels" | "for" | "hysteresis"
+        ) {
+            return Err(ctx(format!("unknown key {key:?}")));
+        }
+    }
+    Ok(AlertRule {
+        name: name.to_string(),
+        metric: metric.to_string(),
+        labels,
+        stat,
+        predicate,
+        for_ns,
+        hysteresis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn threshold_fires_and_resolves() {
+        let reg = Registry::new();
+        let g = reg.gauge("pq_serve_queue_depth", &[]);
+        let mut eng = AlertEngine::new(vec![AlertRule::threshold(
+            "deep-queue",
+            "pq_serve_queue_depth",
+            Op::Gt,
+            10.0,
+        )]);
+        g.set(5);
+        assert!(eng.evaluate(0, &reg.snapshot()).is_empty());
+        g.set(20);
+        let events = eng.evaluate(1, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Firing);
+        assert!(events[0].reason.contains("pq_serve_queue_depth"));
+        assert_eq!(eng.firing(), vec!["deep-queue".to_string()]);
+        g.set(3);
+        let events = eng.evaluate(2, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Resolved);
+        assert!(eng.firing().is_empty());
+    }
+
+    #[test]
+    fn for_duration_debounces() {
+        let reg = Registry::new();
+        let g = reg.gauge("g", &[]);
+        let mut eng = AlertEngine::new(vec![
+            AlertRule::threshold("blip", "g", Op::Gt, 10.0).with_for_ns(5)
+        ]);
+        g.set(20);
+        assert!(eng.evaluate(0, &reg.snapshot()).is_empty()); // pending
+        assert_eq!(eng.statuses()[0].state, "pending");
+        g.set(1);
+        assert!(eng.evaluate(2, &reg.snapshot()).is_empty()); // blip: back to ok
+        assert_eq!(eng.statuses()[0].state, "ok");
+        g.set(20);
+        assert!(eng.evaluate(3, &reg.snapshot()).is_empty()); // pending again
+        let events = eng.evaluate(9, &reg.snapshot()); // persisted >= 5ns
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Firing);
+        assert!(events[0].reason.contains("for"));
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let reg = Registry::new();
+        let g = reg.gauge("g", &[]);
+        let mut eng = AlertEngine::new(vec![
+            AlertRule::threshold("h", "g", Op::Gt, 100.0).with_hysteresis(0.2)
+        ]);
+        g.set(150);
+        assert_eq!(eng.evaluate(0, &reg.snapshot()).len(), 1);
+        // Dips below the threshold but inside the hysteresis band: holds.
+        g.set(90);
+        assert!(eng.evaluate(1, &reg.snapshot()).is_empty());
+        assert_eq!(eng.statuses()[0].state, "firing");
+        // Retreats past threshold*(1-h): resolves.
+        g.set(79);
+        let events = eng.evaluate(2, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Resolved);
+    }
+
+    #[test]
+    fn rate_rule_is_reset_safe() {
+        let reg = Registry::new();
+        let c = reg.counter("c", &[]);
+        let mut eng = AlertEngine::new(vec![AlertRule::rate("fast", "c", Op::Gt, 5.0)]);
+        c.add(3);
+        // First evaluation only primes the previous snapshot.
+        assert!(eng.evaluate(0, &reg.snapshot()).is_empty());
+        c.add(20);
+        // 20 events over 1s = 20/s > 5/s.
+        let events = eng.evaluate(1_000_000_000, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert!(events[0].reason.contains("rate(c)"));
+        // A counter reset must not produce a negative (or huge) rate: a
+        // fresh registry restarts the counter at 2 → rate 2/s, resolves.
+        let fresh = Registry::new();
+        fresh.counter("c", &[]).add(2);
+        let events = eng.evaluate(2_000_000_000, &fresh.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Resolved);
+    }
+
+    #[test]
+    fn absence_rule_fires_until_series_appears() {
+        let reg = Registry::new();
+        let mut eng = AlertEngine::new(vec![AlertRule::absence("silent", "pq_thing_total")]);
+        let events = eng.evaluate(0, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Firing);
+        assert!(events[0].reason.contains("absent"));
+        reg.counter("pq_thing_total", &[]).inc();
+        let events = eng.evaluate(1, &reg.snapshot());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertKind::Resolved);
+    }
+
+    #[test]
+    fn histogram_stats_and_label_narrowing() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[("kind", "replay")]);
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let rule = AlertRule::threshold("p99", "lat", Op::Gt, 100.0)
+            .with_stat(Stat::P99)
+            .with_label("kind", "replay");
+        let mut eng = AlertEngine::new(vec![rule]);
+        let events = eng.evaluate(0, &reg.snapshot());
+        assert_eq!(events.len(), 1, "p99 ~1000 > 100 must fire");
+        // A rule narrowed to a label no series carries sees nothing.
+        let other = AlertRule::threshold("none", "lat", Op::Gt, 0.0).with_label("kind", "live");
+        let mut eng = AlertEngine::new(vec![other]);
+        assert!(eng.evaluate(0, &reg.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn rules_file_parses() {
+        let text = r#"
+# watch rules
+[[rule]]
+name = "shed-storm"
+metric = "pq_serve_shed_total"
+kind = "rate"
+op = ">"
+value = 10.5
+for = "5s"
+hysteresis = 0.1
+
+[[rule]]
+name = "no-requests"
+metric = "pq_serve_requests_total"
+kind = "absence"
+labels = "kind=replay"
+
+[[rule]]
+name = "slow-p99"
+metric = "pq_serve_request_ns"
+stat = "p99"
+value = 50000000
+"#;
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(
+            rules[0].predicate,
+            Predicate::Rate {
+                op: Op::Gt,
+                per_second: 10.5
+            }
+        );
+        assert_eq!(rules[0].for_ns, 5_000_000_000);
+        assert_eq!(rules[0].hysteresis, 0.1);
+        assert_eq!(rules[1].predicate, Predicate::Absence);
+        assert_eq!(
+            rules[1].labels,
+            vec![("kind".to_string(), "replay".to_string())]
+        );
+        assert_eq!(rules[2].stat, Stat::P99);
+        assert!(matches!(
+            rules[2].predicate,
+            Predicate::Threshold { op: Op::Gt, .. }
+        ));
+    }
+
+    #[test]
+    fn rules_file_rejects_typos() {
+        assert!(parse_rules("[[rule]]\nname = \"x\"\nmetrics = \"y\"").is_err());
+        assert!(parse_rules("[[rule]]\nname = \"x\"\nmetric = \"y\"\nkind = \"ratio\"").is_err());
+        assert!(parse_rules("name = \"orphan\"").is_err());
+        assert!(parse_rules("[[rule]]\nname = \"x\"\nmetric = \"y\"\nfor = \"-1s\"").is_err());
+        // Threshold without a value is an error, not a silent 0.
+        assert!(parse_rules("[[rule]]\nname = \"x\"\nmetric = \"y\"").is_err());
+    }
+
+    #[test]
+    fn durations_parse_with_suffixes() {
+        assert_eq!(parse_duration_ns("250ms").unwrap(), 250_000_000);
+        assert_eq!(parse_duration_ns("5s").unwrap(), 5_000_000_000);
+        assert_eq!(parse_duration_ns("2m").unwrap(), 120_000_000_000);
+        assert_eq!(parse_duration_ns("100ns").unwrap(), 100);
+        assert_eq!(parse_duration_ns("3").unwrap(), 3_000_000_000);
+        assert!(parse_duration_ns("fast").is_err());
+    }
+}

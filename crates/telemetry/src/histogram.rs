@@ -156,6 +156,9 @@ impl HistogramSnapshot {
         // Rank of the target order statistic, 1-based: ceil(q * count),
         // at least 1 (the paper-side convention for p0 = min).
         let target = ((q * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -166,9 +169,18 @@ impl HistogramSnapshot {
                 // this bucket (uniform-within-bucket assumption).
                 let lo = bucket_lower_bound(i);
                 let hi = bucket_upper_bound(i);
-                let into = (target - cumulative - 1) as f64; // 0-based
-                let frac = if n > 1 { into / (n - 1) as f64 } else { 0.0 };
-                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = if i + 1 == NUM_BUCKETS {
+                    // Overflow bucket [2^63, u64::MAX]: its upper bound is
+                    // astronomically far from any plausible sample, so
+                    // interpolating toward it overestimates by up to 2x.
+                    // Clamp to the bucket's lower bound instead — still
+                    // within the one-bucket error contract.
+                    lo as f64
+                } else {
+                    let into = (target - cumulative - 1) as f64; // 0-based
+                    let frac = if n > 1 { into / (n - 1) as f64 } else { 0.0 };
+                    lo as f64 + frac * (hi - lo) as f64
+                };
                 return (est as u64).clamp(self.min, self.max);
             }
             cumulative += n;
@@ -269,6 +281,25 @@ mod tests {
         // 5 and 7 share the [4, 7] bucket; 100 sits alone in [64, 127].
         assert_eq!(m.buckets[bucket_index(5)], 2);
         assert_eq!(m.buckets[bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_lower_bound() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1u64 << 63);
+        }
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        // All samples sit in the overflow bucket [2^63, u64::MAX]. The
+        // true p99 is 2^63; interpolating toward the bucket's upper bound
+        // used to report ~1.8e19. The estimate must pin to the bucket's
+        // lower bound.
+        assert_eq!(snap.p99(), 1u64 << 63);
+        assert_eq!(snap.p50(), 1u64 << 63);
+        // The exactness contracts survive the clamp.
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+        assert_eq!(snap.quantile(0.0), 1u64 << 63);
     }
 
     #[test]

@@ -29,16 +29,27 @@
 //! metric name this workspace emits is a constant in [`names`] — one
 //! place to grep, one schema to document (DESIGN.md §9).
 
+pub mod alerts;
 pub mod chrome;
+pub mod delta;
 pub mod histogram;
 pub mod prometheus;
+pub mod provenance;
 pub mod registry;
 pub mod spans;
 
+pub use alerts::{
+    parse_rules, AlertEngine, AlertEvent, AlertKind, AlertRule, AlertStatus, Op, Predicate, Stat,
+};
 pub use chrome::to_chrome_trace;
-pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
-pub use prometheus::{parse_prometheus, to_prometheus, ParsedMetric};
-pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
+pub use delta::{changed, counter_delta, delta, rate_per_sec, GaugeHistory};
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS,
+};
+pub use prometheus::{
+    parse_exposition, parse_prometheus, to_prometheus, MetricMeta, ParsedExposition, ParsedMetric,
+};
+pub use registry::{Counter, Gauge, MetricKey, MetricValue, Registry, RegistrySnapshot};
 pub use spans::{SpanEvent, SpanTracer};
 
 use std::sync::Arc;
@@ -135,6 +146,80 @@ pub mod names {
     pub const SERVE_CACHE_EVICTIONS: &str = "pq_serve_cache_evictions_total";
     /// Approximate bytes of decoded checkpoints held by the cache (gauge).
     pub const SERVE_CACHE_BYTES: &str = "pq_serve_cache_bytes";
+    /// Seconds since the serve daemon started (gauge).
+    pub const SERVE_UPTIME: &str = "pq_serve_uptime_seconds";
+    /// Metrics subscriptions currently attached to the daemon (gauge).
+    pub const SERVE_SUBSCRIBERS: &str = "pq_serve_subscribers";
+    /// Subscription snapshot updates pushed to watchers (counter).
+    pub const SERVE_METRIC_UPDATES: &str = "pq_serve_metric_updates_total";
+
+    // -- cross-crate -------------------------------------------------------
+    /// Build provenance carrier: constant 1, labels `version`, `commit`.
+    pub const BUILD_INFO: &str = "pq_build_info";
+
+    // -- pqsim watch (client side) -----------------------------------------
+    /// Subscription updates applied by a watch client (counter).
+    pub const WATCH_UPDATES: &str = "pq_watch_updates_total";
+    /// Metric series changed across applied updates (counter).
+    pub const WATCH_SERIES_CHANGED: &str = "pq_watch_series_changed_total";
+    /// Alert rules currently firing as seen by the watch client (gauge).
+    pub const WATCH_ALERTS_FIRING: &str = "pq_watch_alerts_firing";
+    /// Alert transitions observed (counter, label `kind` ∈ {`firing`,
+    /// `resolved`}).
+    pub const WATCH_ALERT_EVENTS: &str = "pq_watch_alert_events_total";
+
+    /// One-line `# HELP` text for a metric name; a generic line for
+    /// names outside the schema (exposition must never lack HELP).
+    pub fn help(name: &str) -> &'static str {
+        match name {
+            SWITCH_ENQUEUED => "Packets admitted to a port's queue.",
+            SWITCH_DEQUEUED => "Packets transmitted from a port.",
+            SWITCH_DROPPED => "Packets tail-dropped at a port.",
+            SWITCH_TX_BYTES => "Bytes transmitted from a port.",
+            SWITCH_RESIDENCE_NS => "Per-packet queue residence, enqueue to dequeue, in ns.",
+            SWITCH_MAX_DEPTH_CELLS => "Highest queue depth observed, in cells.",
+            CONTROL_POLLS_ATTEMPTED => "Freeze-and-read attempts, first tries and retries alike.",
+            CONTROL_POLLS_FAILED => "Freeze-and-read attempts that failed outright.",
+            CONTROL_POLLS_RETRIED => "Attempts that were retries of earlier failures.",
+            CONTROL_POLLS_STALLED => "Attempts rejected inside an injected stall window.",
+            CONTROL_CHECKPOINTS_STORED => "Checkpoints successfully stored.",
+            CONTROL_CHECKPOINTS_DROPPED => "Checkpoints read but lost before storage.",
+            CONTROL_COVERAGE_GAPS => "Coverage gaps recorded.",
+            CONTROL_GAP_NS => "Nanoseconds covered by recorded gaps.",
+            CONTROL_BACKOFF_CEILING => "Failures whose backoff had reached the policy ceiling.",
+            CONTROL_DP_REJECTED => "Data-plane triggers rejected while a special read was out.",
+            CONTROL_SPILL_ERRORS => "Checkpoint-spill sink writes that failed.",
+            CONTROL_ENTRIES_READ => "Register entries read across PCIe.",
+            CONTROL_BYTES_READ => "Bytes read across PCIe.",
+            CONTROL_READ_NS => "Freeze-and-read sim-time duration in ns.",
+            STORE_CHECKPOINTS_WRITTEN => "Checkpoints appended to a store.",
+            STORE_SEGMENTS_SEALED => "Segments sealed to disk.",
+            STORE_BYTES_WRITTEN => "Encoded segment bytes written, framing included.",
+            STORE_SEGMENT_BYTES => "Sealed segment size in bytes.",
+            STORE_SEGMENTS_DECODED => "Segments decoded by a reader.",
+            STORE_CHECKPOINTS_DECODED => "Checkpoints decoded by a reader.",
+            STORE_REPLAY_QUERY_NS => "Replay-query wall-clock latency in ns.",
+            SERVE_REQUESTS => "Query requests executed to completion, by kind.",
+            SERVE_ERRORS => "Requests that ended in a typed error frame, by kind.",
+            SERVE_SHED => "Requests shed with a Busy frame.",
+            SERVE_REQUEST_NS => "Wall-clock latency from admission to response flush, in ns.",
+            SERVE_QUEUE_DEPTH => "Current admission-queue depth.",
+            SERVE_CONNECTIONS => "Connections accepted.",
+            SERVE_CACHE_HIT => "Segment-decode cache hits.",
+            SERVE_CACHE_MISS => "Segment-decode cache misses.",
+            SERVE_CACHE_EVICTIONS => "Segments evicted from the decode cache.",
+            SERVE_CACHE_BYTES => "Approximate bytes of decoded checkpoints held by the cache.",
+            SERVE_UPTIME => "Seconds since the serve daemon started.",
+            SERVE_SUBSCRIBERS => "Metrics subscriptions currently attached.",
+            SERVE_METRIC_UPDATES => "Subscription snapshot updates pushed to watchers.",
+            BUILD_INFO => "Build provenance: constant 1 with version and commit labels.",
+            WATCH_UPDATES => "Subscription updates applied by this watch client.",
+            WATCH_SERIES_CHANGED => "Metric series changed across applied updates.",
+            WATCH_ALERTS_FIRING => "Alert rules currently firing.",
+            WATCH_ALERT_EVENTS => "Alert transitions observed, by kind.",
+            _ => "PrintQueue reproduction metric.",
+        }
+    }
 
     // -- span names --------------------------------------------------------
     /// One packet's enqueue→dequeue residence in a queue.

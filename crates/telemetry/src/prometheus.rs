@@ -5,11 +5,15 @@
 //! Counters and gauges render as `name{labels} value`. Histograms render
 //! in the standard cumulative form: one `name_bucket{le="..."}` series per
 //! occupied log2 bucket plus `le="+Inf"`, then `name_sum` and
-//! `name_count`. `# TYPE` comment lines are emitted once per metric name.
+//! `name_count`. `# HELP` (from the [`crate::names`] schema) and `# TYPE`
+//! comment lines are emitted once per metric name;
+//! [`parse_exposition`] round-trips them alongside the samples.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::names;
 use crate::registry::{MetricValue, RegistrySnapshot};
 
 fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
@@ -67,13 +71,15 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
     let mut last_typed: Option<String> = None;
     for (key, value) in snapshot.iter() {
-        // Keys iterate in name order, so one TYPE line per name suffices.
+        // Keys iterate in name order, so one HELP/TYPE pair per name
+        // suffices.
         if last_typed.as_deref() != Some(key.name.as_str()) {
             let kind = match value {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
             };
+            let _ = writeln!(out, "# HELP {} {}", key.name, names::help(&key.name));
             let _ = writeln!(out, "# TYPE {} {kind}", key.name);
             last_typed = Some(key.name.clone());
         }
@@ -101,20 +107,75 @@ pub struct ParsedMetric {
     pub value: f64,
 }
 
+/// Per-metric-name metadata parsed from `# HELP` / `# TYPE` lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricMeta {
+    /// Declared kind (`counter`, `gauge`, `histogram`), empty if no
+    /// `# TYPE` line was seen.
+    pub kind: String,
+    /// Declared help text, empty if no `# HELP` line was seen.
+    pub help: String,
+}
+
+/// A fully parsed exposition: sample lines plus the HELP/TYPE metadata,
+/// so tests can verify the comment lines round-trip, not just the values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedExposition {
+    /// Sample lines in written order.
+    pub samples: Vec<ParsedMetric>,
+    /// Metadata keyed by base metric name.
+    pub meta: BTreeMap<String, MetricMeta>,
+}
+
 /// Parse a Prometheus text exposition back into its sample lines.
 ///
 /// Comment (`#`) and blank lines are skipped. Returns an error describing
 /// the first malformed line, making this usable as a smoke check that
-/// [`to_prometheus`] emitted something well-formed.
+/// [`to_prometheus`] emitted something well-formed. Use
+/// [`parse_exposition`] to also recover the `# HELP`/`# TYPE` metadata.
 pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedMetric>, String> {
-    let mut out = Vec::new();
+    parse_exposition(text).map(|e| e.samples)
+}
+
+/// Parse an exposition including its `# HELP` and `# TYPE` comment lines.
+///
+/// A malformed `HELP`/`TYPE` line (missing metric name, unknown kind) is
+/// an error — the whole point of round-tripping metadata is catching an
+/// exporter that emits broken comments.
+pub fn parse_exposition(text: &str) -> Result<ParsedExposition, String> {
+    let mut out = ParsedExposition::default();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(spec) = rest.strip_prefix("HELP ") {
+                let (name, help) = spec
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| format!("line {}: HELP without text: {line:?}", lineno + 1))?;
+                out.meta.entry(name.to_string()).or_default().help = help.trim().to_string();
+            } else if let Some(spec) = rest.strip_prefix("TYPE ") {
+                let (name, kind) = spec
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| format!("line {}: TYPE without kind: {line:?}", lineno + 1))?;
+                let kind = kind.trim();
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {}: unknown TYPE {kind:?}", lineno + 1));
+                }
+                out.meta.entry(name.to_string()).or_default().kind = kind.to_string();
+            }
+            // Other comments are free text; skip.
             continue;
         }
         let parsed = parse_line(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
-        out.push(parsed);
+        out.samples.push(parsed);
     }
     Ok(out)
 }
@@ -216,6 +277,46 @@ mod tests {
             })
             .unwrap();
         assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn help_and_type_lines_round_trip() {
+        use crate::names;
+        let reg = Registry::new();
+        reg.counter(names::SERVE_SHED, &[]).add(2);
+        reg.gauge(names::SERVE_QUEUE_DEPTH, &[]).set(3);
+        reg.histogram(names::SERVE_REQUEST_NS, &[]).record(100);
+        let text = to_prometheus(&reg.snapshot());
+        let parsed = parse_exposition(&text).unwrap();
+        // Every emitted metric name carries both HELP and TYPE, and they
+        // survive the parse intact.
+        for (name, kind) in [
+            (names::SERVE_SHED, "counter"),
+            (names::SERVE_QUEUE_DEPTH, "gauge"),
+            (names::SERVE_REQUEST_NS, "histogram"),
+        ] {
+            let meta = parsed
+                .meta
+                .get(name)
+                .unwrap_or_else(|| panic!("no meta for {name}"));
+            assert_eq!(meta.kind, kind, "{name}");
+            assert_eq!(meta.help, names::help(name), "{name}");
+            assert!(!meta.help.is_empty());
+        }
+        // The sample lines still parse identically through the old entry
+        // point (HELP must not perturb value parsing).
+        assert_eq!(parse_prometheus(&text).unwrap(), parsed.samples);
+    }
+
+    #[test]
+    fn broken_metadata_lines_are_errors() {
+        assert!(parse_exposition("# HELP lonely_name").is_err());
+        assert!(parse_exposition("# TYPE x flute").is_err());
+        // Free-text comments stay legal.
+        assert!(parse_exposition("# a plain comment")
+            .unwrap()
+            .samples
+            .is_empty());
     }
 
     #[test]

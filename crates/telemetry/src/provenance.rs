@@ -1,0 +1,80 @@
+//! Build provenance: git-commit discovery and the `pq_build_info` gauge.
+//!
+//! Every results file the bench harness writes and every health answer
+//! the serve daemon gives should say *which build* produced it. The
+//! convention is the Prometheus `build_info` idiom: a gauge pinned to 1
+//! whose labels carry the interesting strings, so provenance rides the
+//! same exposition, snapshot, and subscription machinery as every other
+//! metric.
+
+use crate::names;
+use crate::registry::{Registry, RegistrySnapshot};
+
+/// Best-effort git commit of the current working tree; `"unknown"`
+/// outside a repository (install trees, extracted results tarballs).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Stamp `pq_build_info{version, commit} = 1` into `registry`.
+pub fn set_build_info(registry: &Registry, version: &str, commit: &str) {
+    registry
+        .gauge(
+            names::BUILD_INFO,
+            &[("version", version), ("commit", commit)],
+        )
+        .set(1);
+}
+
+/// Read back the `(version, commit)` labels of `pq_build_info`, if a
+/// build-info gauge was stamped into the snapshotted registry.
+pub fn build_info(snapshot: &RegistrySnapshot) -> Option<(String, String)> {
+    snapshot
+        .iter()
+        .find(|(key, _)| key.name == names::BUILD_INFO)
+        .map(|(key, _)| {
+            let label = |want: &str| {
+                key.labels
+                    .iter()
+                    .find(|(k, _)| k == want)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| "unknown".to_string())
+            };
+            (label("version"), label("commit"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_round_trips_through_a_snapshot() {
+        let reg = Registry::new();
+        set_build_info(&reg, "0.1.0", "abc123");
+        let snap = reg.snapshot();
+        assert_eq!(
+            build_info(&snap),
+            Some(("0.1.0".to_string(), "abc123".to_string()))
+        );
+        assert_eq!(
+            snap.gauge(
+                names::BUILD_INFO,
+                &[("version", "0.1.0"), ("commit", "abc123")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn missing_build_info_is_none() {
+        assert_eq!(build_info(&RegistrySnapshot::default()), None);
+    }
+}

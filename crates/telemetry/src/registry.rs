@@ -27,7 +27,9 @@ pub struct MetricKey {
 }
 
 impl MetricKey {
-    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    /// Build a key from a name and unsorted label pairs (labels are
+    /// canonicalized by sorting, so construction order never matters).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
         let mut labels: Vec<(String, String)> = labels
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -214,6 +216,31 @@ impl RegistrySnapshot {
     /// Iterate `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
         self.metrics.iter()
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &MetricKey) -> Option<&MetricValue> {
+        self.metrics.get(key)
+    }
+
+    /// Insert (or overwrite) one series. Snapshots are plain data; this
+    /// is how deserializers and delta producers build them.
+    pub fn insert(&mut self, key: MetricKey, value: MetricValue) {
+        self.metrics.insert(key, value);
+    }
+
+    /// Overwrite every series present in `update` with `update`'s value,
+    /// leaving other series untouched.
+    ///
+    /// This is the client-side fold for subscription updates carrying
+    /// *absolute* values for changed series: applying the same update
+    /// twice is a no-op, and a skipped update is healed by the next one —
+    /// which is what makes the wire format safe under reconnects and
+    /// counter resets.
+    pub fn apply(&mut self, update: &RegistrySnapshot) {
+        for (key, value) in &update.metrics {
+            self.metrics.insert(key.clone(), value.clone());
+        }
     }
 
     /// Number of metric series in the snapshot.

@@ -58,6 +58,16 @@
 //!   Run a diagnosis query — against live state built from a trace, or
 //!   against a running `serve` daemon with `--remote`. Local and remote
 //!   answers print byte-identically through the same formatter.
+//! * `watch ADDR [--interval-ms N] [--updates N] [--rules FILE] [--once]
+//!   [--json]`
+//!   Watch a running `serve` daemon live: subscribe to its metrics
+//!   stream, fold the changed-series updates into a local snapshot, and
+//!   render a plaintext dashboard (qps, queue depth, cache hit rate,
+//!   shed rate, alert states). `--rules FILE` loads declarative alert
+//!   rules (threshold / rate / absence, with debounce and hysteresis)
+//!   evaluated against every update. `--once --json` takes two updates
+//!   an interval apart (so rates are defined), prints one JSON document,
+//!   and exits nonzero when any rule fires — a CI gate in one line.
 //! * `serve-stop ADDR`
 //!   Ask a running daemon to drain in-flight queries and exit.
 //!
@@ -113,6 +123,8 @@ fn usage() -> ! {
          \x20         [--metrics-file PATH]\n  \
          pqsim query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]\n  \
          \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]\n  \
+         pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
+         \x20         [--once] [--json]\n  \
          pqsim serve-stop ADDR\n  \
          (any subcommand: --quiet suppresses progress output)"
     );
@@ -120,7 +132,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet", "json"];
+const BOOL_FLAGS: &[&str] = &["quiet", "json", "once"];
 
 /// Minimal flag parser: `--name value` pairs, boolean `--name` switches,
 /// and positional arguments.
@@ -188,6 +200,7 @@ fn main() {
         "convert" => cmd_convert(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
+        "watch" => cmd_watch(&args),
         "serve-stop" => cmd_serve_stop(&args),
         _ => usage(),
     };
@@ -915,8 +928,14 @@ fn cmd_serve(args: &Args) -> CliResult {
         retry_after_ms: args.get("retry-after-ms", 50),
         drain_deadline: std::time::Duration::from_millis(args.get("drain-ms", 5_000)),
         work_delay: std::time::Duration::from_millis(args.get("work-delay-ms", 0)),
+        max_subs: args.get("max-subs", 16),
     };
     let plane = Telemetry::new();
+    printqueue::telemetry::provenance::set_build_info(
+        plane.registry(),
+        env!("CARGO_PKG_VERSION"),
+        &printqueue::telemetry::provenance::git_commit(),
+    );
     let server = Server::bind(listen, Sources { live, archive }, config, &plane)
         .map_err(|err| format!("bind {listen}: {err}"))?;
     let addr = server
@@ -1110,6 +1129,371 @@ fn remote_error(err: printqueue::serve::ClientError) -> String {
         }
         other => format!("remote query failed: {other}"),
     }
+}
+
+fn cmd_watch(args: &Args) -> CliResult {
+    use printqueue::serve::Client;
+    use printqueue::telemetry::{names, AlertEngine, GaugeHistory};
+    let Some(addr) = args.positional.first().cloned() else {
+        usage()
+    };
+    let interval_ms: u32 = args.get("interval-ms", 1_000);
+    let json = args.has("json");
+    let once = args.has("once");
+    let max_updates: u32 = args.get("updates", 0);
+
+    let mut rules = Vec::new();
+    if let Some(path) = args.get_str("rules") {
+        let text = std::fs::read_to_string(path).map_err(|err| format!("read {path}: {err}"))?;
+        rules = telemetry::parse_rules(&text).map_err(|err| format!("{path}: {err}"))?;
+    }
+    if once {
+        // A single evaluation pair must be able to fire: drop debounce
+        // holds so `--once` is a usable CI gate.
+        for r in &mut rules {
+            r.for_ns = 0;
+        }
+    }
+    let mut engine = AlertEngine::new(rules);
+
+    // The watch client's own observability rides the same registry type
+    // as everything else, so it prints and asserts uniformly.
+    let plane = Telemetry::new();
+    let reg = plane.registry();
+    let updates_ctr = reg.counter(names::WATCH_UPDATES, &[]);
+    let changed_ctr = reg.counter(names::WATCH_SERIES_CHANGED, &[]);
+    let firing_gauge = reg.gauge(names::WATCH_ALERTS_FIRING, &[]);
+    let events_ctr = reg.counter(names::WATCH_ALERT_EVENTS, &[]);
+
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|err| format!("connect {addr}: {err}"))?;
+    let sub_updates = if once { 2 } else { max_updates };
+    let first = client
+        .subscribe(interval_ms, sub_updates)
+        .map_err(|err| format!("subscribe: {err}"))?;
+    // Update 0 is the full baseline; later updates carry only changed
+    // series (absolute values), folded in with `apply`.
+    let mut folded = first.changed.clone();
+    let mut last_seen = first.last;
+    updates_ctr.inc();
+    changed_ctr.add(first.changed.iter().count() as u64);
+    let baseline_events = engine.evaluate(first.t_ns, &folded);
+    events_ctr.add(baseline_events.len() as u64);
+    firing_gauge.set(engine.firing().len() as u64);
+    let mut prev = (first.t_ns, folded.clone());
+
+    let mut qps_hist = GaugeHistory::new(60);
+    let mut depth_hist = GaugeHistory::new(60);
+
+    loop {
+        if last_seen {
+            break;
+        }
+        let update = client
+            .next_update()
+            .map_err(|err| format!("update: {err}"))?;
+        last_seen = update.last;
+        folded.apply(&update.changed);
+        updates_ctr.inc();
+        changed_ctr.add(update.changed.iter().count() as u64);
+        let fresh_events = engine.evaluate(update.t_ns, &folded);
+        events_ctr.add(fresh_events.len() as u64);
+        firing_gauge.set(engine.firing().len() as u64);
+
+        let (prev_t, prev_snap) = &prev;
+        let elapsed = update.t_ns.saturating_sub(*prev_t);
+        let qps = telemetry::rate_per_sec(
+            sum_counter(prev_snap, names::SERVE_REQUESTS),
+            sum_counter(&folded, names::SERVE_REQUESTS),
+            elapsed,
+        );
+        qps_hist.push(update.t_ns, qps);
+        depth_hist.push(
+            update.t_ns,
+            sum_gauge(&folded, names::SERVE_QUEUE_DEPTH) as f64,
+        );
+        if once {
+            break;
+        }
+        let health = client.health().map_err(|err| format!("health: {err}"))?;
+        render_watch_frame(
+            &addr,
+            &health,
+            &folded,
+            qps,
+            &qps_hist,
+            &depth_hist,
+            &engine,
+            &fresh_events,
+        );
+        prev = (update.t_ns, folded.clone());
+    }
+
+    // Final (or only, with --once) report.
+    let health = client.health().map_err(|err| format!("health: {err}"))?;
+    let firing = engine.firing();
+    if json {
+        println!(
+            "{}",
+            watch_json(&addr, &health, &folded, &plane.snapshot(), &engine)
+        );
+    } else {
+        print!(
+            "{}",
+            watch_text(&addr, &health, &folded, &qps_hist, &engine)
+        );
+    }
+    if !firing.is_empty() {
+        let reasons: Vec<String> = engine
+            .statuses()
+            .into_iter()
+            .filter(|s| s.state == "firing")
+            .map(|s| format!("{}: {}", s.rule, s.reason))
+            .collect();
+        return Err(format!(
+            "{} alert rule(s) firing: {}",
+            firing.len(),
+            reasons.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+/// Sum a counter's value across all of its label sets.
+fn sum_counter(snap: &telemetry::RegistrySnapshot, name: &str) -> u64 {
+    snap.iter()
+        .filter(|(k, _)| k.name == name)
+        .map(|(_, v)| match v {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => *n,
+            MetricValue::Histogram(h) => h.count,
+        })
+        .sum()
+}
+
+/// Sum a gauge's value across all of its label sets.
+fn sum_gauge(snap: &telemetry::RegistrySnapshot, name: &str) -> u64 {
+    sum_counter(snap, name)
+}
+
+/// `name` or `name{k="v",...}` — the Prometheus sample-key spelling, so
+/// watch output and `.prom` expositions are directly comparable.
+fn sample_key(key: &telemetry::MetricKey, suffix: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{}{}", key.name, suffix);
+    if !key.labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in key.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot as a flat JSON object of sample keys to numbers
+/// (histograms contribute `_count` / `_sum` / `_p99` entries).
+fn snapshot_json(snap: &telemetry::RegistrySnapshot) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    let mut entry = |key: String, value: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{}", json_escape(&key), value));
+    };
+    for (key, value) in snap.iter() {
+        match value {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => {
+                entry(sample_key(key, ""), n.to_string(), &mut out);
+            }
+            MetricValue::Histogram(h) => {
+                entry(sample_key(key, "_count"), h.count.to_string(), &mut out);
+                entry(sample_key(key, "_sum"), h.sum.to_string(), &mut out);
+                entry(
+                    sample_key(key, "_p99"),
+                    h.quantile(0.99).to_string(),
+                    &mut out,
+                );
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn health_json(health: &printqueue::serve::HealthInfo) -> String {
+    format!(
+        "{{\"uptime_ns\":{},\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\
+         \"queue_cap\":{},\"active_conns\":{},\"max_conns\":{},\"subscribers\":{},\
+         \"draining\":{},\"version\":\"{}\",\"commit\":\"{}\"}}",
+        health.uptime_ns,
+        health.workers,
+        health.busy_workers,
+        health.queue_depth,
+        health.queue_cap,
+        health.active_conns,
+        health.max_conns,
+        health.subscribers,
+        health.draining,
+        json_escape(&health.version),
+        json_escape(&health.commit),
+    )
+}
+
+fn alerts_json(engine: &printqueue::telemetry::AlertEngine) -> String {
+    let mut out = String::from("[");
+    for (i, s) in engine.statuses().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let value = match s.value {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"state\":\"{}\",\"value\":{},\"threshold\":{},\"reason\":\"{}\"}}",
+            json_escape(&s.rule),
+            s.state,
+            value,
+            s.threshold,
+            json_escape(&s.reason),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// The `--json` document: health, the folded server metrics, the watch
+/// client's own metrics, and every rule's status.
+fn watch_json(
+    addr: &str,
+    health: &printqueue::serve::HealthInfo,
+    server: &telemetry::RegistrySnapshot,
+    watch: &telemetry::RegistrySnapshot,
+    engine: &printqueue::telemetry::AlertEngine,
+) -> String {
+    let firing = engine.firing();
+    let firing_list: Vec<String> = firing
+        .iter()
+        .map(|name| format!("\"{}\"", json_escape(name)))
+        .collect();
+    format!(
+        "{{\"addr\":\"{}\",\"health\":{},\"metrics\":{},\"watch\":{},\"alerts\":{},\"firing\":[{}]}}",
+        json_escape(addr),
+        health_json(health),
+        snapshot_json(server),
+        snapshot_json(watch),
+        alerts_json(engine),
+        firing_list.join(","),
+    )
+}
+
+/// The plaintext summary printed by `--once` (and at stream end).
+fn watch_text(
+    addr: &str,
+    health: &printqueue::serve::HealthInfo,
+    server: &telemetry::RegistrySnapshot,
+    qps_hist: &printqueue::telemetry::GaugeHistory,
+    engine: &printqueue::telemetry::AlertEngine,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "watch {addr}: up {}s, version {} ({}), {}/{} workers busy, \
+         queue {}/{}, conns {}/{}, subscribers {}{}",
+        health.uptime_ns / 1_000_000_000,
+        health.version,
+        &health.commit[..health.commit.len().min(12)],
+        health.busy_workers,
+        health.workers,
+        health.queue_depth,
+        health.queue_cap,
+        health.active_conns,
+        health.max_conns,
+        health.subscribers,
+        if health.draining { ", DRAINING" } else { "" },
+    );
+    let requests = sum_counter(server, telemetry::names::SERVE_REQUESTS);
+    let shed = sum_counter(server, telemetry::names::SERVE_SHED);
+    let hits = sum_counter(server, telemetry::names::SERVE_CACHE_HIT);
+    let misses = sum_counter(server, telemetry::names::SERVE_CACHE_MISS);
+    let hit_rate = if hits + misses > 0 {
+        format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+    } else {
+        "n/a".to_string()
+    };
+    let qps = qps_hist.latest().map(|(_, v)| v).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  requests {requests} ({qps:.1}/s), shed {shed}, cache hit rate {hit_rate}"
+    );
+    if qps_hist.len() > 1 {
+        let _ = writeln!(out, "  qps {}", qps_hist.sparkline(40));
+    }
+    let statuses = engine.statuses();
+    if statuses.is_empty() {
+        let _ = writeln!(out, "  alerts: no rules loaded");
+    }
+    for s in statuses {
+        let _ = writeln!(out, "  alert {:8} {}: {}", s.state, s.rule, s.reason);
+    }
+    out
+}
+
+/// One live-dashboard frame. On a terminal the screen is redrawn in
+/// place; when piped, frames are separated by blank lines so the stream
+/// stays greppable.
+#[allow(clippy::too_many_arguments)]
+fn render_watch_frame(
+    addr: &str,
+    health: &printqueue::serve::HealthInfo,
+    server: &telemetry::RegistrySnapshot,
+    qps: f64,
+    qps_hist: &printqueue::telemetry::GaugeHistory,
+    depth_hist: &printqueue::telemetry::GaugeHistory,
+    engine: &printqueue::telemetry::AlertEngine,
+    fresh_events: &[printqueue::telemetry::AlertEvent],
+) {
+    use std::io::IsTerminal as _;
+    let mut out = String::new();
+    if std::io::stdout().is_terminal() {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    out.push_str(&watch_text(addr, health, server, qps_hist, engine));
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "  qps now {qps:.1}, queue depth {}",
+        depth_hist.latest().map(|(_, v)| v as u64).unwrap_or(0)
+    );
+    if depth_hist.len() > 1 {
+        let _ = writeln!(out, "  depth {}", depth_hist.sparkline(40));
+    }
+    for e in fresh_events {
+        let _ = writeln!(out, "  event {:?} {}: {}", e.kind, e.rule, e.reason);
+    }
+    println!("{out}");
 }
 
 fn cmd_serve_stop(args: &Args) -> CliResult {

@@ -476,6 +476,214 @@ fn shutdown_drains_admitted_requests() {
 }
 
 #[test]
+fn health_answers_inline_and_reflects_config() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        workers: 3,
+        queue_cap: 17,
+        max_conns: 9,
+        ..ServeConfig::default()
+    };
+    let (handle, plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    printqueue::telemetry::provenance::set_build_info(plane.registry(), "9.9.9", "cafe1234");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.workers, 3);
+    assert_eq!(health.queue_cap, 17);
+    assert_eq!(health.max_conns, 9);
+    assert_eq!(health.active_conns, 1);
+    assert_eq!(health.subscribers, 0);
+    assert!(!health.draining);
+    assert_eq!(health.version, "9.9.9");
+    assert_eq!(health.commit, "cafe1234");
+    // Health requests are themselves observable, and uptime is stamped.
+    let snap = plane.snapshot();
+    assert_eq!(
+        snap.counter(
+            printqueue::telemetry::names::SERVE_REQUESTS,
+            &[("kind", "health")]
+        ),
+        Some(1)
+    );
+    assert!(snap
+        .gauge(printqueue::telemetry::names::SERVE_UPTIME, &[])
+        .is_some());
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_get_matches_prometheus_exposition() {
+    let ap = Arc::new(drive_program(None, 2_000));
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..5 {
+        client
+            .query(Request::TimeWindows {
+                port: 0,
+                from: 0,
+                to: 1_999,
+            })
+            .unwrap();
+    }
+    // The text exposition and the structured snapshot must agree on every
+    // stable counter (nothing else is running, so only the metrics
+    // requests themselves move between the two reads).
+    let text = client.metrics().unwrap();
+    let parsed = parse_prometheus(&text).unwrap();
+    let update = client.metrics_snapshot().unwrap();
+    assert_eq!(update.seq, 0);
+    assert!(update.last);
+    let tw = update
+        .changed
+        .counter(
+            printqueue::telemetry::names::SERVE_REQUESTS,
+            &[("kind", "time_windows")],
+        )
+        .unwrap();
+    assert_eq!(tw, 5);
+    let prom_tw = parsed
+        .iter()
+        .find(|m| {
+            m.name == printqueue::telemetry::names::SERVE_REQUESTS
+                && m.labels
+                    .iter()
+                    .any(|(k, v)| k == "kind" && v == "time_windows")
+        })
+        .map(|m| m.value)
+        .unwrap();
+    assert_eq!(prom_tw, tw as f64);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn subscription_deltas_fold_to_server_state() {
+    let ap = Arc::new(drive_program(None, 2_000));
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let first = client.subscribe(100, 4).unwrap();
+    assert_eq!(first.seq, 0);
+    assert!(!first.last);
+    // The baseline must be a full snapshot: core serve series present.
+    assert!(first
+        .changed
+        .counter(printqueue::telemetry::names::SERVE_SHED, &[])
+        .is_some());
+    let mut folded = first.changed.clone();
+
+    // Work a second connection while updates stream so deltas are
+    // non-trivial.
+    let mut worker = Client::connect(handle.addr()).unwrap();
+    for _ in 0..3 {
+        worker
+            .query(Request::TimeWindows {
+                port: 0,
+                from: 0,
+                to: 1_999,
+            })
+            .unwrap();
+    }
+    let mut seq = first.seq;
+    loop {
+        let update = client.next_update().unwrap();
+        assert_eq!(update.seq, seq + 1, "updates must arrive in order");
+        seq = update.seq;
+        folded.apply(&update.changed);
+        if update.last {
+            break;
+        }
+    }
+    // All three queries finished before the last delta was cut, so the
+    // folded client-side view matches the server's own count exactly.
+    assert_eq!(
+        folded.counter(
+            printqueue::telemetry::names::SERVE_REQUESTS,
+            &[("kind", "time_windows")]
+        ),
+        Some(3)
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn subscriptions_beyond_cap_shed_busy() {
+    let ap = Arc::new(drive_program(None, 500));
+    let config = ServeConfig {
+        max_subs: 1,
+        retry_after_ms: 23,
+        ..ServeConfig::default()
+    };
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        config,
+    );
+    let mut first = Client::connect(handle.addr()).unwrap();
+    first.subscribe(1_000, 0).unwrap();
+    // The worker registers the subscription just after sending the
+    // initial update the subscribe() call returns on; give it a beat.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut second = Client::connect(handle.addr()).unwrap();
+    match second.subscribe(1_000, 0) {
+        Err(ClientError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, 23),
+        other => panic!("expected Busy beyond the subscription cap, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_sends_subscribers_a_final_update() {
+    let ap = Arc::new(drive_program(None, 500));
+    let (handle, _plane) = serve(
+        Sources {
+            live: Some(ap),
+            archive: None,
+        },
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let first = client.subscribe(60_000, 0).unwrap();
+    assert!(!first.last);
+    // Initiate shutdown from another connection; the blocking shutdown()
+    // returns only after the drain, which must have closed the stream
+    // with one final `last` update (not a dropped socket).
+    let mut stopper = Client::connect(handle.addr()).unwrap();
+    stopper.shutdown_server().unwrap();
+    handle.shutdown().unwrap();
+    let mut saw_last = false;
+    for _ in 0..8 {
+        let update = client.next_update().unwrap();
+        if update.last {
+            saw_last = true;
+            break;
+        }
+    }
+    assert!(
+        saw_last,
+        "drain must close subscriptions with a last update"
+    );
+}
+
+#[test]
 fn connection_cap_refuses_with_busy_at_accept() {
     let ap = Arc::new(drive_program(None, 500));
     let config = ServeConfig {

@@ -98,6 +98,73 @@ proptest! {
         prop_assert_eq!(merged.counter_sum("pkts"), total);
     }
 
+    /// Reset-safe rates: no pair of counter readings — monotone or
+    /// reset-riddled — over any elapsed interval may yield a negative or
+    /// non-finite rate. This is the invariant the watch dashboard and the
+    /// alert engine's `rate` predicate lean on.
+    #[test]
+    fn rates_are_never_negative(
+        values in prop::collection::vec(any::<u64>(), 2..50),
+        elapsed in prop::collection::vec(0u64..10_000_000_000, 1..8),
+    ) {
+        use printqueue::telemetry::{counter_delta, rate_per_sec};
+        for (w, &e) in values.windows(2).zip(elapsed.iter().cycle()) {
+            let r = rate_per_sec(w[0], w[1], e);
+            prop_assert!(r >= 0.0 && r.is_finite(), "rate {r} from {w:?} over {e} ns");
+        }
+        // On monotone sequences the delta is the plain difference, and
+        // the rate still never dips below zero.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            prop_assert_eq!(counter_delta(w[0], w[1]), w[1] - w[0]);
+            prop_assert!(rate_per_sec(w[0], w[1], 1_000_000_000) >= 0.0);
+        }
+    }
+
+    /// Delta-then-merge equals merge-then-delta on monotone (no-reset)
+    /// inputs: summing per-shard activity gives the same answer as
+    /// diffing the fleet rollups. Registries only ever add/record, so
+    /// phased snapshots of live registries are monotone by construction.
+    #[test]
+    fn delta_commutes_with_merge_on_monotone_inputs(
+        a1 in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+        a2 in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+        b1 in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+        b2 in prop::collection::vec((0usize..4, 0u64..1000), 0..12),
+    ) {
+        use printqueue::telemetry::delta;
+        let phased = |p1: &[(usize, u64)], p2: &[(usize, u64)]| {
+            let names = ["m0", "m1", "m2", "m3"];
+            let reg = Registry::new();
+            let record = |entries: &[(usize, u64)]| {
+                for &(i, v) in entries {
+                    reg.counter(names[i], &[]).add(v);
+                    reg.gauge(&format!("g_{}", names[i]), &[]).set_max(v);
+                    reg.histogram(&format!("h_{}", names[i]), &[]).record(v);
+                }
+            };
+            record(p1);
+            let prev = reg.snapshot();
+            record(p2);
+            (prev, reg.snapshot())
+        };
+        let (ap, an) = phased(&a1, &a2);
+        let (bp, bn) = phased(&b1, &b2);
+
+        // delta then merge...
+        let mut left = delta(&ap, &an);
+        left.merge(&delta(&bp, &bn));
+        // ...vs merge then delta.
+        let mut mp = ap.clone();
+        mp.merge(&bp);
+        let mut mn = an.clone();
+        mn.merge(&bn);
+        let right = delta(&mp, &mn);
+
+        prop_assert_eq!(left, right);
+    }
+
     /// Chrome trace export is valid JSON, every event carries the
     /// required keys, and start timestamps are monotone (sorted output),
     /// regardless of the order spans were recorded in.

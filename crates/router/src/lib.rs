@@ -1,0 +1,33 @@
+//! # pq-router — the sharded, replicated query tier
+//!
+//! One `pq-serve` daemon answers diagnosis queries for one switch's
+//! archive; a fleet needs a front door. This crate is that door: a
+//! thin scatter-gather router that speaks the *same* wire protocol as
+//! the backends, so every existing client points at it unchanged.
+//!
+//! * [`shard`] — rendezvous (highest-random-weight) hashing assigns
+//!   every `(port, epoch)` shard to `replication` backends by hashing
+//!   their *names*; removing a backend moves only its own shards, and
+//!   readdressing one moves nothing.
+//! * [`merge`] — order-independent rollup of per-shard partials
+//!   (gap union + canonicalization, degraded OR, per-flow sums,
+//!   checkpoint max), with a single-partial passthrough that keeps
+//!   routed answers bit-identical to a lone backend's.
+//! * [`router`] — the daemon: sequential per-shard failover on
+//!   transient errors (timeouts, resets, exhausted `Busy` budgets,
+//!   draining backends), quarantine after repeated failures, and a
+//!   `HealthReq` probe loop that readmits a backend once it answers
+//!   again. Authoritative errors are forwarded, never failed over.
+//!
+//! Everything observable exports under the `pq_router_*` telemetry
+//! namespace: fan-out width, per-backend latency, failovers, retries,
+//! quarantines and readmissions, and shard-unavailable terminal
+//! failures.
+
+pub mod merge;
+pub mod router;
+pub mod shard;
+
+pub use merge::{merge_results, normalize_gaps};
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use shard::{epoch_of, epochs, rendezvous_rank, shard_score, BackendSpec, EpochSlice};

@@ -1,0 +1,139 @@
+//! Scatter-gather answer merging.
+//!
+//! The router reuses the associative-rollup idiom the fleet metrics
+//! path proved out: each shard's partial answer is folded into one
+//! response where every field has a merge that cannot depend on
+//! arrival order — gaps are unioned then canonicalized, degraded flags
+//! are OR-ed, per-flow estimates are summed (epoch slices are
+//! disjoint), and the checkpoint count takes the max (replicas of the
+//! same data must not double-count).
+//!
+//! The single-partial case — always, under the default port-only
+//! sharding — passes the backend's answer through **unchanged**, gap
+//! list and all, so a routed answer is bit-identical to what the
+//! backend itself would have sent.
+
+use pq_core::control::CoverageGap;
+use pq_serve::RemoteResult;
+
+/// Canonicalize a gap list: sort by `(from, to)` and coalesce every
+/// overlapping or touching pair (`next.from <= cur.to + 1`).
+///
+/// Union-then-canonicalize makes the merge associative *and*
+/// commutative: any grouping or ordering of partials unions to the
+/// same set of covered instants, and canonicalization maps equal sets
+/// to equal lists. The property tests in `tests/properties.rs` pin
+/// this down.
+pub fn normalize_gaps(mut gaps: Vec<CoverageGap>) -> Vec<CoverageGap> {
+    gaps.sort_by_key(|g| (g.from, g.to));
+    let mut out: Vec<CoverageGap> = Vec::with_capacity(gaps.len());
+    for g in gaps {
+        if let Some(last) = out.last_mut() {
+            if g.from <= last.to.saturating_add(1) {
+                last.to = last.to.max(g.to);
+                continue;
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// Fold per-shard partial answers into one response.
+///
+/// Returns `None` for an empty input (the router never produces that:
+/// an unanswerable shard becomes an error, not a missing partial). A
+/// single partial is returned untouched — the bit-identity fast path.
+pub fn merge_results(partials: Vec<RemoteResult>) -> Option<RemoteResult> {
+    let mut it = partials.into_iter();
+    let first = it.next()?;
+    let mut rest = it.peekable();
+    if rest.peek().is_none() {
+        return Some(first);
+    }
+    let mut estimates = first.estimates;
+    let mut gaps = first.gaps;
+    let mut degraded = first.degraded;
+    let mut checkpoints = first.checkpoints;
+    for p in rest {
+        estimates.merge(&p.estimates);
+        gaps.extend(p.gaps);
+        degraded |= p.degraded;
+        // Replicated slices of one archive report the same store; max,
+        // not sum, keeps the header honest.
+        checkpoints = checkpoints.max(p.checkpoints);
+    }
+    Some(RemoteResult {
+        estimates,
+        gaps: normalize_gaps(gaps),
+        degraded,
+        checkpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_core::snapshot::FlowEstimates;
+    use pq_packet::FlowId;
+
+    fn gap(from: u64, to: u64) -> CoverageGap {
+        CoverageGap { from, to }
+    }
+
+    #[test]
+    fn touching_and_overlapping_gaps_coalesce() {
+        let got = normalize_gaps(vec![gap(10, 20), gap(21, 30), gap(5, 12), gap(50, 60)]);
+        assert_eq!(got, vec![gap(5, 30), gap(50, 60)]);
+    }
+
+    #[test]
+    fn single_partial_passes_through_unnormalized() {
+        // A lone backend's gap list may be unsorted/overlapping; the
+        // router must not editorialize it, or bit-identity dies.
+        let raw = vec![gap(30, 40), gap(10, 35)];
+        let partial = RemoteResult {
+            estimates: FlowEstimates::default(),
+            gaps: raw.clone(),
+            degraded: true,
+            checkpoints: 7,
+        };
+        let merged = merge_results(vec![partial]).unwrap();
+        assert_eq!(merged.gaps, raw);
+        assert_eq!(merged.checkpoints, 7);
+    }
+
+    #[test]
+    fn multi_partial_merge_sums_flows_and_maxes_checkpoints() {
+        let mut a = FlowEstimates::default();
+        a.counts.insert(FlowId(1), 2.0);
+        a.counts.insert(FlowId(2), 1.0);
+        let mut b = FlowEstimates::default();
+        b.counts.insert(FlowId(2), 3.5);
+        let merged = merge_results(vec![
+            RemoteResult {
+                estimates: a,
+                gaps: vec![gap(0, 5)],
+                degraded: false,
+                checkpoints: 4,
+            },
+            RemoteResult {
+                estimates: b,
+                gaps: vec![gap(6, 9)],
+                degraded: true,
+                checkpoints: 9,
+            },
+        ])
+        .unwrap();
+        assert_eq!(merged.estimates.counts[&FlowId(1)], 2.0);
+        assert_eq!(merged.estimates.counts[&FlowId(2)], 4.5);
+        assert_eq!(merged.gaps, vec![gap(0, 9)]);
+        assert!(merged.degraded);
+        assert_eq!(merged.checkpoints, 9);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(merge_results(Vec::new()).is_none());
+    }
+}

@@ -1,0 +1,836 @@
+//! The scatter-gather router daemon.
+//!
+//! A thin tier speaking the same wire protocol as `pq-serve`, so every
+//! existing client — `pqsim query --remote`, `pqsim watch`, the bench
+//! harness — can point at a router unchanged. Per query the router:
+//!
+//! 1. splits the interval into epoch slices ([`crate::shard::epochs`];
+//!    one slice under the default port-only sharding),
+//! 2. ranks each slice's owners by rendezvous hashing and tries them
+//!    **in order** — healthy owners first, quarantined ones as a last
+//!    resort. Sequential per-shard failover (not hedged fan-out) is
+//!    deliberate: hedging would burn `replication`× backend capacity
+//!    per query and flatten aggregate throughput scaling,
+//! 3. fails over transparently on transient errors (timeout, reset,
+//!    `Busy` past the retry budget, a backend answering `ShuttingDown`)
+//!    and quarantines a backend after repeated failures; a probe loop
+//!    readmits it once `HealthReq` passes again,
+//! 4. merges partials with the order-independent rollup in
+//!    [`crate::merge`] — a single-owner answer passes through
+//!    bit-identical to the backend's own.
+//!
+//! Authoritative errors (unknown port, no archive, no data) are *not*
+//! failed over: every replica would answer the same, so the first
+//! answer is forwarded as-is.
+
+use crate::merge::merge_results;
+use crate::shard::{epoch_of, epochs, rendezvous_rank, BackendSpec, EpochSlice};
+use pq_core::control::CoverageGap;
+use pq_core::snapshot::QueryInterval;
+use pq_serve::wire::{
+    self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
+    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use pq_serve::{Client, ClientError, RetryPolicy};
+use pq_telemetry::{names, provenance, to_prometheus, Counter, Gauge, Histogram, Telemetry};
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the router tier. `pqsim router` exposes each as a
+/// flag.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Owners per `(port, epoch)` shard. 2 tolerates any single backend
+    /// loss with zero lost answers.
+    pub replication: u32,
+    /// Time-axis shard width in nanoseconds; 0 (the default) shards by
+    /// port only, which keeps every answer on the single-partial
+    /// bit-identity fast path.
+    pub epoch_ns: u64,
+    /// Bound on establishing a backend connection.
+    pub connect_timeout: Duration,
+    /// Bound on every backend read/write; a wedged backend surfaces as
+    /// a transient failure instead of hanging the query.
+    pub io_timeout: Duration,
+    /// Busy-retry policy applied per sub-query (honors the backend's
+    /// `retry_after` hint, jittered and capped).
+    pub retry: RetryPolicy,
+    /// Consecutive sub-query failures before a backend is quarantined.
+    pub quarantine_after: u32,
+    /// How often the probe loop health-checks quarantined backends.
+    pub probe_interval: Duration,
+    /// Client connections beyond this are refused with `Busy`.
+    pub max_conns: usize,
+    /// Backoff hint carried in the router's own `Busy` frames.
+    pub retry_after_ms: u32,
+    /// Idle pooled connections kept per backend.
+    pub pool_per_backend: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            replication: 2,
+            epoch_ns: 0,
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            quarantine_after: 2,
+            probe_interval: Duration::from_millis(100),
+            max_conns: 64,
+            retry_after_ms: 50,
+            pool_per_backend: 8,
+        }
+    }
+}
+
+/// Pre-resolved `pq_router_*` registry handles.
+struct Instruments {
+    req_time_windows: Counter,
+    req_queue_monitor: Counter,
+    req_replay: Counter,
+    errors: Counter,
+    fanout: Histogram,
+    failovers: Counter,
+    retries: Counter,
+    quarantines: Counter,
+    readmissions: Counter,
+    quarantined: Gauge,
+    shard_unavailable: Counter,
+    plane: Telemetry,
+}
+
+impl Instruments {
+    fn resolve(plane: &Telemetry) -> Instruments {
+        let reg = plane.registry();
+        let req = |kind| reg.counter(names::ROUTER_REQUESTS, &[("kind", kind)]);
+        Instruments {
+            req_time_windows: req("time_windows"),
+            req_queue_monitor: req("queue_monitor"),
+            req_replay: req("replay"),
+            errors: reg.counter(names::ROUTER_ERRORS, &[]),
+            fanout: reg.histogram(names::ROUTER_FANOUT, &[]),
+            failovers: reg.counter(names::ROUTER_FAILOVERS, &[]),
+            retries: reg.counter(names::ROUTER_RETRIES, &[]),
+            quarantines: reg.counter(names::ROUTER_QUARANTINES, &[]),
+            readmissions: reg.counter(names::ROUTER_READMISSIONS, &[]),
+            quarantined: reg.gauge(names::ROUTER_QUARANTINED, &[]),
+            shard_unavailable: reg.counter(names::ROUTER_SHARD_UNAVAILABLE, &[]),
+            plane: plane.clone(),
+        }
+    }
+
+    fn completed(&self, kind: &str) {
+        match kind {
+            "time_windows" => self.req_time_windows.inc(),
+            "queue_monitor" => self.req_queue_monitor.inc(),
+            _ => self.req_replay.inc(),
+        }
+    }
+}
+
+/// One routed backend plus its failover state.
+struct Backend {
+    spec: BackendSpec,
+    /// Consecutive transient sub-query failures; reset by any success
+    /// or an authoritative answer.
+    failures: AtomicU32,
+    quarantined: AtomicBool,
+    /// Idle pooled client connections.
+    pool: Mutex<Vec<Client>>,
+    /// `pq_router_backend_ns{backend=<name>}`.
+    latency: Histogram,
+}
+
+/// Per-client-connection state (same write-atomicity contract as the
+/// serve daemon: streamed responses never interleave).
+struct Conn {
+    stream: TcpStream,
+    write: Mutex<()>,
+}
+
+impl Conn {
+    fn send(&self, frames: &[Frame]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(64);
+        for f in frames {
+            let body = wire::encode_body(f);
+            buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&body);
+        }
+        let _guard = self.write.lock().unwrap();
+        use io::Write as _;
+        (&self.stream).write_all(&buf)
+    }
+}
+
+struct Shared {
+    config: RouterConfig,
+    backends: Vec<Backend>,
+    /// Bumped on every quarantine/readmission; carried in `ShardMapAck`
+    /// so watchers can cheaply detect topology churn.
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    instruments: Instruments,
+    started: Instant,
+}
+
+/// Transient failures fail over to a replica; authoritative ones do not
+/// (every replica holds the same data and would answer identically).
+fn transient(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_)
+        | ClientError::Wire(_)
+        | ClientError::Protocol(_)
+        | ClientError::Busy { .. } => true,
+        ClientError::Remote { code, .. } => {
+            matches!(code, ErrorCode::Io | ErrorCode::ShuttingDown)
+        }
+    }
+}
+
+/// Render a terminal sub-query failure for the caller. Authoritative
+/// remote errors forward code/gaps/message untouched (bit-identical to
+/// the backend's own frame); transport-level exhaustion becomes a typed
+/// `Io` error whose gap summary covers the whole unanswered slice —
+/// the same honesty contract the serve daemon keeps.
+fn error_frame(id: u64, slice: &EpochSlice, err: ClientError) -> Frame {
+    match err {
+        ClientError::Remote {
+            code,
+            message,
+            gaps,
+        } => Frame::Error {
+            id,
+            code,
+            gaps,
+            message,
+        },
+        other => {
+            let interval = QueryInterval::new(slice.from, slice.to);
+            Frame::Error {
+                id,
+                code: ErrorCode::Io,
+                gaps: vec![CoverageGap {
+                    from: interval.from,
+                    to: interval.to,
+                }],
+                message: format!("shard unavailable: {other}"),
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn refresh_quarantined_gauge(&self) {
+        let n = self
+            .backends
+            .iter()
+            .filter(|b| b.quarantined.load(Ordering::SeqCst))
+            .count();
+        self.instruments.quarantined.set(n as u64);
+    }
+
+    /// Shard owners for `(port, epoch)`, healthy first (stable within
+    /// each class, so rendezvous order still decides).
+    fn owners(&self, port: u16, epoch: u64) -> Vec<usize> {
+        let ranked = rendezvous_rank(&self.backends_specs(), port, epoch);
+        let r = (self.config.replication.max(1) as usize).min(self.backends.len());
+        let mut owners: Vec<usize> = ranked.into_iter().take(r).collect();
+        owners.sort_by_key(|&i| self.backends[i].quarantined.load(Ordering::SeqCst));
+        owners
+    }
+
+    fn backends_specs(&self) -> Vec<BackendSpec> {
+        self.backends.iter().map(|b| b.spec.clone()).collect()
+    }
+
+    /// Pop a pooled connection or dial a fresh one. The bool says which
+    /// (a stale pooled socket earns one same-backend retry).
+    fn checkout(&self, backend: &Backend) -> Result<(Client, bool), ClientError> {
+        if let Some(client) = backend.pool.lock().unwrap().pop() {
+            return Ok((client, true));
+        }
+        let addr: SocketAddr = backend.spec.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                format!(
+                    "backend address {:?} resolves to nothing",
+                    backend.spec.addr
+                ),
+            ))
+        })?;
+        let client =
+            Client::connect_timeout(&addr, self.config.connect_timeout, self.config.io_timeout)?;
+        Ok((client, false))
+    }
+
+    fn checkin(&self, backend: &Backend, client: Client) {
+        let mut pool = backend.pool.lock().unwrap();
+        if pool.len() < self.config.pool_per_backend {
+            pool.push(client);
+        }
+    }
+
+    fn note_failure(&self, bi: usize) {
+        let backend = &self.backends[bi];
+        let failures = backend.failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= self.config.quarantine_after
+            && !backend.quarantined.swap(true, Ordering::SeqCst)
+        {
+            self.instruments.quarantines.inc();
+            self.refresh_quarantined_gauge();
+            self.generation.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn note_success(&self, bi: usize) {
+        self.backends[bi].failures.store(0, Ordering::SeqCst);
+    }
+
+    /// One sub-query against one backend, with the stale-pooled-socket
+    /// retry and per-backend latency accounting.
+    fn sub_call<T>(
+        &self,
+        bi: usize,
+        mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let backend = &self.backends[bi];
+        let started = Instant::now();
+        let mut retried_stale = false;
+        let out = loop {
+            let (mut client, reused) = match self.checkout(backend) {
+                Ok(c) => c,
+                Err(e) => break Err(e),
+            };
+            match call(&mut client) {
+                Ok(v) => {
+                    self.checkin(backend, client);
+                    break Ok(v);
+                }
+                Err(e) if reused && transient(&e) && !retried_stale => {
+                    // The pooled socket may have died while idle (backend
+                    // restart); one fresh dial before blaming the backend.
+                    retried_stale = true;
+                    self.instruments.retries.inc();
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        backend
+            .latency
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        match &out {
+            Ok(_) => self.note_success(bi),
+            Err(e) if transient(e) => self.note_failure(bi),
+            // Authoritative answers prove the backend alive.
+            Err(_) => self.note_success(bi),
+        }
+        out
+    }
+
+    /// Scatter one epoch slice: owners in rendezvous order, failing
+    /// over on transient errors, quarantined owners as last resort.
+    fn shard_call<T>(
+        &self,
+        port: u16,
+        epoch: u64,
+        contacted: &mut BTreeSet<usize>,
+        mut call: impl FnMut(&Self, usize) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let owners = self.owners(port, epoch);
+        let mut last_err = None;
+        for (attempt, &bi) in owners.iter().enumerate() {
+            if attempt > 0 {
+                self.instruments.failovers.inc();
+            }
+            contacted.insert(bi);
+            match call(self, bi) {
+                Ok(v) => return Ok(v),
+                Err(e) if transient(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        self.instruments.shard_unavailable.inc();
+        Err(last_err.unwrap_or_else(|| ClientError::Protocol("no backends configured".into())))
+    }
+
+    /// Route a time-windows or replay query: slice, scatter, merge.
+    fn route_query(&self, id: u64, req: Request) -> Vec<Frame> {
+        let (port, from, to, replay_d) = match req {
+            Request::TimeWindows { port, from, to } => (port, from, to, None),
+            Request::Replay { port, from, to, d } => (port, from, to, Some(d)),
+            Request::QueueMonitor { .. } => unreachable!("monitor has its own path"),
+        };
+        let slices = epochs(from, to, self.config.epoch_ns);
+        let mut contacted = BTreeSet::new();
+        let mut partials = Vec::with_capacity(slices.len());
+        for slice in &slices {
+            let sub_req = match replay_d {
+                None => Request::TimeWindows {
+                    port,
+                    from: slice.from,
+                    to: slice.to,
+                },
+                Some(d) => Request::Replay {
+                    port,
+                    from: slice.from,
+                    to: slice.to,
+                    d,
+                },
+            };
+            let got = self.shard_call(port, slice.epoch, &mut contacted, |shared, bi| {
+                shared.sub_call(bi, |client| {
+                    client.query_retry(sub_req, &shared.config.retry)
+                })
+            });
+            match got {
+                Ok(partial) => partials.push(partial),
+                Err(e) => {
+                    self.instruments.fanout.record(contacted.len() as u64);
+                    self.instruments.errors.inc();
+                    return vec![error_frame(id, slice, e)];
+                }
+            }
+        }
+        self.instruments.fanout.record(contacted.len() as u64);
+        let merged = merge_results(partials).expect("epochs() never returns zero slices");
+        self.instruments.completed(if replay_d.is_some() {
+            "replay"
+        } else {
+            "time_windows"
+        });
+        result_frames(
+            id,
+            merged.checkpoints,
+            merged.estimates.ranked(),
+            merged.gaps,
+            merged.degraded,
+        )
+    }
+
+    /// Route a queue-monitor query: a single instant lives in a single
+    /// epoch, so this is pure failover with passthrough.
+    fn route_monitor(&self, id: u64, port: u16, at: u64) -> Vec<Frame> {
+        let epoch = epoch_of(at, self.config.epoch_ns);
+        let mut contacted = BTreeSet::new();
+        let got = self.shard_call(port, epoch, &mut contacted, |shared, bi| {
+            shared.sub_call(bi, |client| {
+                client.queue_monitor_retry(port, at, &shared.config.retry)
+            })
+        });
+        self.instruments.fanout.record(contacted.len() as u64);
+        match got {
+            Ok(mon) => {
+                self.instruments.completed("queue_monitor");
+                let mut frames = vec![Frame::MonitorHeader {
+                    id,
+                    degraded: mon.degraded,
+                    frozen_at: mon.frozen_at,
+                    staleness: mon.staleness,
+                    counts: mon.counts.len() as u32,
+                    gaps: mon.gaps.len() as u32,
+                }];
+                frames.extend(chunk_counts(id, &mon.counts));
+                frames.extend(chunk_gaps(id, &mon.gaps));
+                frames.push(Frame::ResultEnd { id });
+                frames
+            }
+            Err(e) => {
+                self.instruments.errors.inc();
+                let slice = EpochSlice {
+                    epoch,
+                    from: at,
+                    to: at,
+                };
+                vec![error_frame(id, &slice, e)]
+            }
+        }
+    }
+
+    /// The router's own health. `workers` is repurposed as the backend
+    /// count and `busy_workers` as the quarantined count — the two
+    /// numbers an operator watching a router actually needs.
+    fn health_info(&self) -> HealthInfo {
+        let snap = self.instruments.plane.snapshot();
+        let (version, commit) = provenance::build_info(&snap)
+            .unwrap_or_else(|| ("unknown".to_string(), "unknown".to_string()));
+        let quarantined = self
+            .backends
+            .iter()
+            .filter(|b| b.quarantined.load(Ordering::SeqCst))
+            .count();
+        HealthInfo {
+            uptime_ns: self.now_ns(),
+            workers: self.backends.len() as u32,
+            busy_workers: quarantined as u32,
+            queue_depth: 0,
+            queue_cap: 0,
+            active_conns: self.active_conns.load(Ordering::SeqCst) as u32,
+            max_conns: self.config.max_conns as u32,
+            subscribers: 0,
+            draining: self.shutdown.load(Ordering::SeqCst),
+            version,
+            commit,
+            shard: "router".to_string(),
+        }
+    }
+
+    fn shard_map(&self) -> ShardMap {
+        ShardMap {
+            generation: self.generation.load(Ordering::SeqCst),
+            replication: self.config.replication,
+            epoch_ns: self.config.epoch_ns,
+            backends: self
+                .backends
+                .iter()
+                .map(|b| ShardMapEntry {
+                    shard: b.spec.name.clone(),
+                    addr: b.spec.addr.clone(),
+                    healthy: !b.quarantined.load(Ordering::SeqCst),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Assemble a streamed time-window answer (same shape as the serve
+/// daemon's, so clients cannot tell a router from a backend).
+fn result_frames(
+    id: u64,
+    checkpoints: u64,
+    flows: Vec<(pq_packet::FlowId, f64)>,
+    gaps: Vec<CoverageGap>,
+    degraded: bool,
+) -> Vec<Frame> {
+    let mut frames = vec![Frame::ResultHeader {
+        id,
+        degraded,
+        checkpoints,
+        flows: flows.len() as u32,
+        gaps: gaps.len() as u32,
+    }];
+    frames.extend(chunk_flows(id, &flows));
+    frames.extend(chunk_gaps(id, &gaps));
+    frames.push(Frame::ResultEnd { id });
+    frames
+}
+
+fn protocol_error(id: u64, code: ErrorCode, message: &str) -> Frame {
+    Frame::Error {
+        id,
+        code,
+        gaps: Vec::new(),
+        message: message.to_string(),
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A handle to a router running on a background thread.
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the router, blocking until it has exited.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            if let Some(conn) = conn.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.join.join().expect("router thread panicked")
+    }
+}
+
+impl Router {
+    /// Bind `addr` in front of `backends`. Fails fast on an empty or
+    /// duplicate-named fleet — rendezvous scores hash names, so
+    /// duplicates would silently halve the replica set.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        backends: Vec<BackendSpec>,
+        config: RouterConfig,
+        plane: &Telemetry,
+    ) -> io::Result<Router> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let mut names: Vec<&str> = backends.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != backends.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "backend names must be unique (they are the shard identities)",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let instruments = Instruments::resolve(plane);
+        let reg = plane.registry();
+        let backends = backends
+            .into_iter()
+            .map(|spec| Backend {
+                latency: reg.histogram(names::ROUTER_BACKEND_NS, &[("backend", &spec.name)]),
+                spec,
+                failures: AtomicU32::new(0),
+                quarantined: AtomicBool::new(false),
+                pool: Mutex::new(Vec::new()),
+            })
+            .collect();
+        Ok(Router {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                backends,
+                generation: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                active_conns: AtomicUsize::new(0),
+                conns: Mutex::new(Vec::new()),
+                instruments,
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on this thread until shutdown.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pq-router-probe".into())
+                .spawn(move || probe_loop(&shared))?
+        };
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => accept_connection(&shared, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let _ = prober.join();
+        for conn in shared.conns.lock().unwrap().drain(..) {
+            if let Some(conn) = conn.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread, returning a shutdown handle.
+    pub fn spawn(self) -> io::Result<RouterHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let join = thread::Builder::new()
+            .name("pq-router-acceptor".into())
+            .spawn(move || self.run())?;
+        Ok(RouterHandle { shared, addr, join })
+    }
+}
+
+/// The probe loop: health-check quarantined backends and readmit the
+/// ones that answer again. Uses the same inline `HealthReq` the serve
+/// daemon guarantees to answer even under full load, so a merely-busy
+/// backend comes back as soon as it can speak.
+fn probe_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(shared.config.probe_interval);
+        for backend in &shared.backends {
+            if !backend.quarantined.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst)
+            {
+                continue;
+            }
+            let alive = probe(shared, backend);
+            if alive && backend.quarantined.swap(false, Ordering::SeqCst) {
+                backend.failures.store(0, Ordering::SeqCst);
+                shared.instruments.readmissions.inc();
+                shared.refresh_quarantined_gauge();
+                shared.generation.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn probe(shared: &Arc<Shared>, backend: &Backend) -> bool {
+    let Ok(addr) = backend.spec.addr.to_socket_addrs().map(|mut a| a.next()) else {
+        return false;
+    };
+    let Some(addr) = addr else { return false };
+    let Ok(mut client) = Client::connect_timeout(
+        &addr,
+        shared.config.connect_timeout,
+        shared.config.io_timeout,
+    ) else {
+        return false;
+    };
+    match client.health() {
+        Ok(health) => !health.draining,
+        Err(_) => false,
+    }
+}
+
+/// Admit a fresh client connection (connection cap, then a reader
+/// thread that handles requests synchronously — the scatter-gather for
+/// one query runs on its connection's thread).
+fn accept_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(Conn {
+        stream,
+        write: Mutex::new(()),
+    });
+    if shared.active_conns.load(Ordering::SeqCst) >= shared.config.max_conns {
+        let _ = conn.send(&[Frame::Busy {
+            id: 0,
+            retry_after_ms: shared.config.retry_after_ms,
+        }]);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return;
+    }
+    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+    shared.conns.lock().unwrap().push(Arc::downgrade(&conn));
+    let shared = Arc::clone(shared);
+    let _ = thread::Builder::new()
+        .name("pq-router-conn".into())
+        .spawn(move || {
+            let _ = connection_loop(&shared, &conn);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+}
+
+fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
+    conn.stream.set_nonblocking(false)?;
+    let mut read = (&conn.stream).take(u64::MAX);
+    let max_frame = match wire::read_frame(&mut read, MAX_FRAME_LEN) {
+        Ok(Frame::Hello { version, max_frame }) => {
+            if version == 0 {
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Unsupported, "version 0")]);
+                return Ok(());
+            }
+            let version = version.min(PROTOCOL_VERSION);
+            let max_frame = max_frame.clamp(1024, MAX_FRAME_LEN);
+            conn.send(&[Frame::HelloAck { version, max_frame }])?;
+            max_frame
+        }
+        Ok(_) => {
+            let _ = conn.send(&[protocol_error(
+                0,
+                ErrorCode::Protocol,
+                "expected Hello as the first frame",
+            )]);
+            return Ok(());
+        }
+        Err(e) => {
+            let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, &e.to_string())]);
+            return Ok(());
+        }
+    };
+    use std::io::Read as _;
+    loop {
+        let frame = match wire::read_frame(&mut read, max_frame) {
+            Ok(f) => f,
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(WireError::Io(e)) => return Err(e),
+            Err(e) => {
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, &e.to_string())]);
+                return Ok(());
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = conn.send(&[protocol_error(
+                0,
+                ErrorCode::ShuttingDown,
+                "router stopping",
+            )]);
+            return Ok(());
+        }
+        match frame {
+            Frame::Request { id, req } => {
+                let frames = match req {
+                    Request::QueueMonitor { port, at } => shared.route_monitor(id, port, at),
+                    other => shared.route_query(id, other),
+                };
+                let _ = conn.send(&frames);
+            }
+            Frame::HealthReq { id } => {
+                let health = shared.health_info();
+                let _ = conn.send(&[Frame::HealthAck { id, health }]);
+            }
+            Frame::ShardMapReq { id } => {
+                let map = shared.shard_map();
+                let _ = conn.send(&[Frame::ShardMapAck { id, map }]);
+            }
+            Frame::MetricsReq { id } => {
+                let text = to_prometheus(&shared.instruments.plane.snapshot());
+                let _ = conn.send(&[Frame::MetricsText { id, text }]);
+            }
+            Frame::MetricsGet { id } | Frame::MetricsSubscribe { id, .. } => {
+                // The router has no publisher thread; a subscription is
+                // answered with one full snapshot marked `last`, which
+                // the protocol allows (`max_updates == 1` semantics).
+                let snap = shared.instruments.plane.snapshot();
+                let frames = metrics_update_frames(
+                    id,
+                    0,
+                    shared.now_ns(),
+                    true,
+                    &snapshot_to_samples(&snap),
+                );
+                let _ = conn.send(&frames);
+            }
+            Frame::ShutdownReq { id } => {
+                let _ = conn.send(&[Frame::ShutdownAck { id }]);
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            Frame::Hello { .. } => {
+                let _ = conn.send(&[protocol_error(0, ErrorCode::Protocol, "duplicate Hello")]);
+                return Ok(());
+            }
+            _ => {
+                let _ = conn.send(&[protocol_error(
+                    0,
+                    ErrorCode::Protocol,
+                    "server-to-client frame received from client",
+                )]);
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the scatter-gather merge: the fold over partial
+//! answers must be associative and commutative, or answers would
+//! depend on which replica responded first and in what order the
+//! epoch-slice sub-queries completed.
+//!
+//! Flow estimates are summed f64s, which are only associative when the
+//! values are exactly representable — the generators therefore use
+//! small-integer-valued counts, where IEEE addition *is* exact. The
+//! wire carries raw f64 bits either way, so exactness there is the
+//! backends' contract, not the merge's.
+
+use pq_core::control::CoverageGap;
+use pq_core::snapshot::FlowEstimates;
+use pq_packet::FlowId;
+use pq_router::{merge_results, normalize_gaps};
+use pq_serve::RemoteResult;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_gap() -> impl Strategy<Value = CoverageGap> {
+    (0u64..500, 0u64..60).prop_map(|(from, len)| CoverageGap {
+        from,
+        to: from + len,
+    })
+}
+
+fn arb_gaps() -> impl Strategy<Value = Vec<CoverageGap>> {
+    vec(arb_gap(), 0..8)
+}
+
+fn arb_partial() -> impl Strategy<Value = RemoteResult> {
+    (
+        vec((0u32..16, 0u16..200), 0..8),
+        arb_gaps(),
+        any::<bool>(),
+        0u64..100,
+    )
+        .prop_map(|(flows, gaps, degraded, checkpoints)| {
+            let mut estimates = FlowEstimates::default();
+            for (flow, count) in flows {
+                // Integer-valued f64s: summation is exact, so the
+                // associativity assertion below is legitimate.
+                *estimates.counts.entry(FlowId(flow)).or_insert(0.0) += f64::from(count);
+            }
+            RemoteResult {
+                estimates,
+                gaps,
+                degraded,
+                checkpoints,
+            }
+        })
+}
+
+/// Canonical instants covered by a gap list — the semantic content the
+/// canonical form must preserve.
+fn covered(gaps: &[CoverageGap]) -> Vec<u64> {
+    let mut points: Vec<u64> = gaps.iter().flat_map(|g| g.from..=g.to).collect();
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+fn merge2(a: RemoteResult, b: RemoteResult) -> RemoteResult {
+    merge_results(vec![a, b]).unwrap()
+}
+
+/// Field-wise equality; `FlowEstimates` holds a HashMap, so no derived
+/// `PartialEq` on `RemoteResult` itself.
+fn same(a: &RemoteResult, b: &RemoteResult) -> bool {
+    a.estimates.counts == b.estimates.counts
+        && a.gaps == b.gaps
+        && a.degraded == b.degraded
+        && a.checkpoints == b.checkpoints
+}
+
+proptest! {
+    /// normalize(a ∪ b) is order-independent.
+    #[test]
+    fn gap_union_is_commutative(a in arb_gaps(), b in arb_gaps()) {
+        let mut ab = a.clone();
+        ab.extend(b.clone());
+        let mut ba = b;
+        ba.extend(a);
+        prop_assert_eq!(normalize_gaps(ab), normalize_gaps(ba));
+    }
+
+    /// Grouping does not matter: normalizing an intermediate union and
+    /// unioning again lands on the same canonical list.
+    #[test]
+    fn gap_union_is_associative(a in arb_gaps(), b in arb_gaps(), c in arb_gaps()) {
+        let left = {
+            let mut ab = a.clone();
+            ab.extend(b.clone());
+            let mut abc = normalize_gaps(ab);
+            abc.extend(c.clone());
+            normalize_gaps(abc)
+        };
+        let right = {
+            let mut bc = b;
+            bc.extend(c);
+            let mut abc = a;
+            abc.extend(normalize_gaps(bc));
+            normalize_gaps(abc)
+        };
+        prop_assert_eq!(left, right);
+    }
+
+    /// Canonicalization is lossless (same covered instants), idempotent,
+    /// and emits sorted, disjoint, non-touching runs.
+    #[test]
+    fn normalization_is_canonical(a in arb_gaps()) {
+        let norm = normalize_gaps(a.clone());
+        prop_assert_eq!(covered(&norm), covered(&a));
+        prop_assert_eq!(normalize_gaps(norm.clone()), norm.clone());
+        for w in norm.windows(2) {
+            prop_assert!(w[0].to.saturating_add(1) < w[1].from,
+                "adjacent canonical gaps must not touch: {:?}", w);
+        }
+    }
+
+    /// The full answer merge commutes: flows, gaps, the degraded flag,
+    /// and the checkpoint count all land identically either way round.
+    #[test]
+    fn answer_merge_is_commutative(a in arb_partial(), b in arb_partial()) {
+        prop_assert!(same(&merge2(a.clone(), b.clone()), &merge2(b, a)));
+    }
+
+    /// And associates: merging pairwise in any grouping equals merging
+    /// the whole batch at once.
+    #[test]
+    fn answer_merge_is_associative(
+        a in arb_partial(),
+        b in arb_partial(),
+        c in arb_partial(),
+    ) {
+        let left = merge2(merge2(a.clone(), b.clone()), c.clone());
+        let right = merge2(a.clone(), merge2(b.clone(), c.clone()));
+        let batch = merge_results(vec![a, b, c]).unwrap();
+        prop_assert!(same(&left, &right));
+        prop_assert!(same(&left, &batch));
+    }
+
+    /// The degraded flag is a pure OR over partials.
+    #[test]
+    fn degraded_flag_is_an_or(parts in vec(arb_partial(), 2..6)) {
+        let want = parts.iter().any(|p| p.degraded);
+        let merged = merge_results(parts).unwrap();
+        prop_assert_eq!(merged.degraded, want);
+    }
+}

@@ -8,16 +8,72 @@
 //! arrive as raw `f64` bits, so nothing is lost in transit.
 
 use crate::wire::{
-    self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, WireError, WireSample,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, ShardMap, WireError,
+    WireSample, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
 use pq_packet::FlowId;
 use pq_telemetry::RegistrySnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Bounded retry with full jitter for `Busy{retry_after}` responses.
+///
+/// A server sheds load with an explicit backoff hint; honoring it is the
+/// difference between a retry storm and a polite client. The policy is
+/// opt-in: [`Client::query`] still surfaces [`ClientError::Busy`] raw,
+/// while [`Client::query_retry`] (and the router's failover path) sleep a
+/// jittered, capped backoff and try again a bounded number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = behave like no policy).
+    pub max_retries: u32,
+    /// Floor for the backoff base when the server's hint is 0 (ms).
+    pub base_ms: u64,
+    /// Backoff ceiling per attempt (ms).
+    pub cap_ms: u64,
+    /// Jitter rng seed, so tests are deterministic.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_ms: 10,
+            cap_ms: 500,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): full jitter in
+    /// `[0, min(cap, max(hint, base) << (attempt-1))]`.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u32, rng: &mut SmallRng) -> u64 {
+        let base = u64::from(hint_ms).max(self.base_ms);
+        let ceiling = base
+            .saturating_shl(attempt.saturating_sub(1).min(16))
+            .min(self.cap_ms);
+        rng.gen_range(0..=ceiling)
+    }
+}
+
+/// `u64::checked_shl` with saturation instead of `None`.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
 
 /// Everything that can go wrong on the client side of a query.
 #[derive(Debug)]
@@ -149,7 +205,26 @@ impl Client {
     /// Connect and handshake. Returns [`ClientError::Busy`] if the server
     /// refused the connection at its accept cap.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::handshake(TcpStream::connect(addr)?)
+    }
+
+    /// Like [`connect`](Self::connect), but with a bound on connection
+    /// establishment and on every subsequent read/write. A dead or
+    /// wedged peer surfaces as [`ClientError::Io`] (`TimedOut`/
+    /// `WouldBlock`) instead of hanging the caller — the property the
+    /// router's failover path depends on.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        connect: Duration,
+        io: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, connect)?;
+        stream.set_read_timeout(Some(io))?;
+        stream.set_write_timeout(Some(io))?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(stream: TcpStream) -> Result<Client, ClientError> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
@@ -577,6 +652,100 @@ impl Client {
             last,
             changed: samples_to_snapshot(&samples),
         })
+    }
+
+    /// Like [`query`](Self::query), but on `Busy{retry_after}` sleep a
+    /// jittered, capped backoff (honoring the server's hint) and retry up
+    /// to `policy.max_retries` times. Any other error is returned
+    /// immediately; exhausting the budget returns the final `Busy`.
+    pub fn query_retry(
+        &mut self,
+        req: Request,
+        policy: &RetryPolicy,
+    ) -> Result<RemoteResult, ClientError> {
+        let mut rng = SmallRng::seed_from_u64(policy.seed ^ self.next_id);
+        let mut attempt = 0;
+        loop {
+            match self.query(req) {
+                Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Like [`queue_monitor`](Self::queue_monitor), with the same
+    /// bounded jittered retry on `Busy` as [`query_retry`](Self::query_retry).
+    pub fn queue_monitor_retry(
+        &mut self,
+        port: u16,
+        at: u64,
+        policy: &RetryPolicy,
+    ) -> Result<RemoteMonitor, ClientError> {
+        let mut rng = SmallRng::seed_from_u64(policy.seed ^ self.next_id);
+        let mut attempt = 0;
+        loop {
+            match self.queue_monitor(port, at) {
+                Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Connect with the same bounded-retry treatment for accept-time
+    /// `Busy` refusals (the connection cap sheds before the handshake, so
+    /// retrying means reconnecting).
+    pub fn connect_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut rng = SmallRng::seed_from_u64(policy.seed);
+        let mut attempt = 0;
+        loop {
+            match Client::connect(addr) {
+                Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Fetch the serving topology (answered inline, like health).
+    pub fn shard_map(&mut self) -> Result<ShardMap, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::ShardMapReq { id })?;
+        match self.read()? {
+            Frame::ShardMapAck { id: got, map } => {
+                self.expect_id(got, id)?;
+                Ok(map)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected ShardMapAck, got {other:?}"
+            ))),
+        }
     }
 
     /// Ask the server to drain and stop. Returns once acknowledged.

@@ -39,9 +39,10 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, DecodeCache};
-pub use client::{Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult};
+pub use client::{Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult, RetryPolicy};
 pub use server::{ServeConfig, Server, ServerHandle, Sources};
 pub use wire::{
-    samples_to_snapshot, snapshot_to_samples, ErrorCode, Frame, HealthInfo, Request, WireError,
-    WireSample, WireValue, MAX_FRAME_LEN, METRIC_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
+    samples_to_snapshot, snapshot_to_samples, ErrorCode, Frame, HealthInfo, Request, ShardMap,
+    ShardMapEntry, WireError, WireSample, WireValue, MAX_BACKENDS_PER_MAP, MAX_FRAME_LEN,
+    METRIC_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
 };

@@ -24,7 +24,8 @@
 use crate::cache::DecodeCache;
 use crate::wire::{
     self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
-    ErrorCode, Frame, HealthInfo, Request, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use pq_core::coefficient::Coefficients;
 use pq_core::control::{AnalysisProgram, CoverageGap};
@@ -69,6 +70,10 @@ pub struct ServeConfig {
     /// Cap on concurrent metrics subscriptions; further `MetricsSubscribe`
     /// requests are shed with `Busy`, like any other overload.
     pub max_subs: usize,
+    /// Shard identity this daemon serves under (empty when unsharded).
+    /// Carried in `HealthAck` and `ShardMapAck` so a router — or an
+    /// operator watching a mixed fleet — can tell backends apart.
+    pub shard: String,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +88,7 @@ impl Default for ServeConfig {
             drain_deadline: Duration::from_secs(5),
             work_delay: Duration::ZERO,
             max_subs: 16,
+            shard: String::new(),
         }
     }
 }
@@ -238,6 +244,8 @@ struct Sub {
 
 struct Shared {
     config: ServeConfig,
+    /// The bound listen address, rendered for `ShardMapAck`.
+    local_addr: String,
     live: Option<Arc<AnalysisProgram>>,
     archive: Option<PathBuf>,
     cache: Option<DecodeCache>,
@@ -303,6 +311,21 @@ impl Shared {
             draining: self.shutdown.load(Ordering::SeqCst),
             version,
             commit,
+            shard: self.config.shard.clone(),
+        }
+    }
+
+    /// A lone daemon's topology: a one-entry map describing itself.
+    fn shard_map(&self) -> ShardMap {
+        ShardMap {
+            generation: 0,
+            replication: 1,
+            epoch_ns: 0,
+            backends: vec![ShardMapEntry {
+                shard: self.config.shard.clone(),
+                addr: self.local_addr.clone(),
+                healthy: !self.shutdown.load(Ordering::SeqCst),
+            }],
         }
     }
 }
@@ -331,6 +354,26 @@ impl ServerHandle {
         self.shared.initiate_shutdown();
         self.join.join().expect("server thread panicked")
     }
+
+    /// Abruptly terminate the server — the in-process analog of `SIGKILL`
+    /// for chaos tests. No drain, no final subscriber updates: every
+    /// connection socket is torn down immediately (peers see EOF/reset,
+    /// exactly what a killed process's kernel would send), queued work is
+    /// abandoned, and the acceptor exits.
+    pub fn kill(self) -> io::Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // A deadline already in the past: any queued job a worker still
+        // pops is answered with ShuttingDown into a dead socket.
+        self.shared.drain_deadline_ns.store(1, Ordering::SeqCst);
+        self.shared.subs.lock().unwrap().clear();
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            if let Some(conn) = conn.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.shared.queue_cv.notify_all();
+        self.join.join().expect("server thread panicked")
+    }
 }
 
 impl Server {
@@ -349,8 +392,13 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let local_addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
         let cache = (config.cache_bytes > 0).then(|| DecodeCache::new(config.cache_bytes, plane));
         let shared = Arc::new(Shared {
+            local_addr,
             live: sources.live,
             archive: sources.archive,
             cache,
@@ -533,6 +581,12 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 let health = shared.health_info();
                 let _ = conn.send(&[Frame::HealthAck { id, health }]);
             }
+            Frame::ShardMapReq { id } => {
+                // Inline like health: topology must stay answerable under
+                // load so a router's probe loop never starves.
+                let map = shared.shard_map();
+                let _ = conn.send(&[Frame::ShardMapAck { id, map }]);
+            }
             Frame::MetricsGet { id } => admit(shared, conn, id, Work::MetricsGet),
             Frame::MetricsSubscribe {
                 id,
@@ -665,8 +719,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let started_ns = shared.now_ns();
                 let port = req.port();
                 let frames = execute(shared, &mut reader, job.id, req);
-                let sent = job.conn.send(&frames);
-                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                // Count before answering: a synchronous client that reads
+                // its result and immediately asks for metrics must see its
+                // own query in the counters (read-your-writes; the
+                // get-vs-prom consistency test relies on it).
                 let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 shared.instruments.request_ns.record(latency);
                 let errored = matches!(frames.first(), Some(Frame::Error { .. }));
@@ -675,6 +731,8 @@ fn worker_loop(shared: &Arc<Shared>) {
                 } else {
                     shared.instruments.completed(kind);
                 }
+                let sent = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
                 if shared.instruments.plane.tracing_enabled() {
                     shared.instruments.plane.spans().record(
                         names::SPAN_SERVE_REQUEST,
@@ -695,11 +753,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                     true,
                     &snapshot_to_samples(&snap),
                 );
-                let _ = job.conn.send(&frames);
-                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
                 let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 shared.instruments.request_ns.record(latency);
                 shared.instruments.completed(kind);
+                let _ = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
             }
             Work::Subscribe {
                 interval,
@@ -713,10 +771,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let last = max_updates == 1;
                 let frames =
                     metrics_update_frames(job.id, 0, now, last, &snapshot_to_samples(&snap));
-                let sent = job.conn.send(&frames);
-                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
                 shared.instruments.metric_updates.inc();
                 shared.instruments.completed(kind);
+                let sent = job.conn.send(&frames);
+                job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
                 if sent.is_ok() && !last {
                     let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
                     let mut subs = shared.subs.lock().unwrap();

@@ -53,6 +53,9 @@ pub const METRIC_SAMPLES_PER_FRAME: usize = 128;
 /// Most label pairs one metric sample may carry on the wire.
 pub const MAX_LABELS_PER_SAMPLE: usize = 16;
 
+/// Most backend entries one `ShardMapAck` may carry.
+pub const MAX_BACKENDS_PER_MAP: usize = 64;
+
 /// Typed failure codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -183,6 +186,34 @@ pub struct HealthInfo {
     pub version: String,
     /// Build git commit (`pq_build_info` label; `unknown` if unstamped).
     pub commit: String,
+    /// Shard identity this daemon serves under (empty when unsharded).
+    pub shard: String,
+}
+
+/// One backend entry in a [`ShardMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMapEntry {
+    /// Shard identity the backend serves under.
+    pub shard: String,
+    /// Address the backend listens on.
+    pub addr: String,
+    /// False while the router holds the backend in quarantine.
+    pub healthy: bool,
+}
+
+/// The topology a router (or a lone daemon, for itself) answers to a
+/// [`Frame::ShardMapReq`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardMap {
+    /// Monotone map generation; bumps on quarantine/readmission.
+    pub generation: u64,
+    /// Owners per shard key.
+    pub replication: u32,
+    /// Time-epoch width for (port, epoch) shard keys; 0 means a single
+    /// epoch, i.e. port-only sharding.
+    pub epoch_ns: u64,
+    /// The backend set.
+    pub backends: Vec<ShardMapEntry>,
 }
 
 /// One metric sample inside a [`Frame::MetricsChunk`].
@@ -243,6 +274,9 @@ pub enum Frame {
         interval_ms: u32,
         max_updates: u32,
     },
+    /// Ask for the serving topology: a router answers with its backend
+    /// set, a lone daemon with a one-entry map describing itself.
+    ShardMapReq { id: u64 },
 
     // -- server → client ---------------------------------------------------
     /// Accepted version and frame cap (`min` of both sides).
@@ -305,6 +339,8 @@ pub enum Frame {
     /// Up to [`METRIC_SAMPLES_PER_FRAME`] metric samples. Terminated by
     /// `ResultEnd`, like every streamed answer.
     MetricsChunk { id: u64, samples: Vec<WireSample> },
+    /// The serving topology (answer to `ShardMapReq`).
+    ShardMapAck { id: u64, map: ShardMap },
 }
 
 /// Why a frame failed to decode.
@@ -464,6 +500,10 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, *interval_ms);
             put_u32(&mut out, *max_updates);
         }
+        Frame::ShardMapReq { id } => {
+            out.push(0x08);
+            put_u64(&mut out, *id);
+        }
         Frame::HelloAck { version, max_frame } => {
             out.push(0x81);
             put_u16(&mut out, *version);
@@ -576,6 +616,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             out.push(u8::from(health.draining));
             put_string(&mut out, &health.version);
             put_string(&mut out, &health.commit);
+            put_string(&mut out, &health.shard);
         }
         Frame::MetricsHeader {
             id,
@@ -597,6 +638,20 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, samples.len() as u32);
             for s in samples {
                 put_sample(&mut out, s);
+            }
+        }
+        Frame::ShardMapAck { id, map } => {
+            out.push(0x8F);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, map.generation);
+            put_u32(&mut out, map.replication);
+            put_u64(&mut out, map.epoch_ns);
+            debug_assert!(map.backends.len() <= MAX_BACKENDS_PER_MAP);
+            put_u32(&mut out, map.backends.len() as u32);
+            for b in &map.backends {
+                put_string(&mut out, &b.shard);
+                put_string(&mut out, &b.addr);
+                out.push(u8::from(b.healthy));
             }
         }
     }
@@ -786,6 +841,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             interval_ms: get_u32(cur)?,
             max_updates: get_u32(cur)?,
         },
+        0x08 => Frame::ShardMapReq { id: get_u64(cur)? },
         0x81 => Frame::HelloAck {
             version: get_u16(cur)?,
             max_frame: get_u32(cur)?,
@@ -874,6 +930,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             let draining = get_u8(cur)? != 0;
             let version = get_string(cur, "health version not utf-8")?;
             let commit = get_string(cur, "health commit not utf-8")?;
+            let shard = get_string(cur, "health shard not utf-8")?;
             Frame::HealthAck {
                 id,
                 health: HealthInfo {
@@ -888,6 +945,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                     draining,
                     version,
                     commit,
+                    shard,
                 },
             }
         }
@@ -914,6 +972,40 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                 samples.push(get_sample(cur)?);
             }
             Frame::MetricsChunk { id, samples }
+        }
+        0x8F => {
+            let id = get_u64(cur)?;
+            let generation = get_u64(cur)?;
+            let replication = get_u32(cur)?;
+            let epoch_ns = get_u64(cur)?;
+            let n = get_u32(cur)? as usize;
+            if n > MAX_BACKENDS_PER_MAP {
+                return Err(WireError::Malformed("shard map exceeds backend cap"));
+            }
+            // Minimum encoded entry: two empty strings (4+4) + healthy (1).
+            if n.saturating_mul(9) > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let mut backends = Vec::with_capacity(n);
+            for _ in 0..n {
+                let shard = get_string(cur, "shard id not utf-8")?;
+                let addr = get_string(cur, "backend addr not utf-8")?;
+                let healthy = get_u8(cur)? != 0;
+                backends.push(ShardMapEntry {
+                    shard,
+                    addr,
+                    healthy,
+                });
+            }
+            Frame::ShardMapAck {
+                id,
+                map: ShardMap {
+                    generation,
+                    replication,
+                    epoch_ns,
+                    backends,
+                },
+            }
         }
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
@@ -1134,6 +1226,28 @@ mod tests {
                 draining: true,
                 version: "0.1.0".into(),
                 commit: "abc123".into(),
+                shard: "shard-1".into(),
+            },
+        });
+        round_trip(&Frame::ShardMapReq { id: 21 });
+        round_trip(&Frame::ShardMapAck {
+            id: 22,
+            map: ShardMap {
+                generation: 3,
+                replication: 2,
+                epoch_ns: 0,
+                backends: vec![
+                    ShardMapEntry {
+                        shard: "a".into(),
+                        addr: "127.0.0.1:4000".into(),
+                        healthy: true,
+                    },
+                    ShardMapEntry {
+                        shard: "b".into(),
+                        addr: "127.0.0.1:4001".into(),
+                        healthy: false,
+                    },
+                ],
             },
         });
         round_trip(&Frame::MetricsHeader {
@@ -1252,6 +1366,14 @@ mod tests {
         // A ResultFlows frame claiming u32::MAX entries but carrying none.
         let mut body = vec![0x83];
         body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // A ShardMapAck claiming u32::MAX backends but carrying none.
+        let mut body = vec![0x8F];
+        body.extend_from_slice(&1u64.to_le_bytes()); // id
+        body.extend_from_slice(&0u64.to_le_bytes()); // generation
+        body.extend_from_slice(&2u32.to_le_bytes()); // replication
+        body.extend_from_slice(&0u64.to_le_bytes()); // epoch_ns
         body.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
     }

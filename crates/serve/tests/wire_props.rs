@@ -5,8 +5,8 @@
 use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
 use pq_serve::wire::{
-    decode_body, encode_body, read_frame, ErrorCode, Frame, HealthInfo, Request, WireError,
-    WireSample, WireValue, MAX_FRAME_LEN,
+    decode_body, encode_body, read_frame, ErrorCode, Frame, HealthInfo, Request, ShardMap,
+    ShardMapEntry, WireError, WireSample, WireValue, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -82,6 +82,7 @@ fn arb_health() -> impl Strategy<Value = HealthInfo> {
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()),
         arb_string(16),
         arb_string(48),
+        arb_string(24),
     )
         .prop_map(
             |(
@@ -89,6 +90,7 @@ fn arb_health() -> impl Strategy<Value = HealthInfo> {
                 (active_conns, max_conns, subscribers, draining),
                 version,
                 commit,
+                shard,
             )| HealthInfo {
                 uptime_ns,
                 workers,
@@ -101,8 +103,33 @@ fn arb_health() -> impl Strategy<Value = HealthInfo> {
                 draining,
                 version,
                 commit,
+                shard,
             },
         )
+}
+
+fn arb_shard_map() -> impl Strategy<Value = ShardMap> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (arb_string(16), arb_string(24), any::<bool>()).prop_map(|(shard, addr, healthy)| {
+                ShardMapEntry {
+                    shard,
+                    addr,
+                    healthy,
+                }
+            }),
+            0..8,
+        ),
+    )
+        .prop_map(|(generation, replication, epoch_ns, backends)| ShardMap {
+            generation,
+            replication,
+            epoch_ns,
+            backends,
+        })
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -239,6 +266,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .boxed(),
         (any::<u64>(), proptest::collection::vec(arb_sample(), 0..5))
             .prop_map(|(id, samples)| Frame::MetricsChunk { id, samples })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|id| Frame::ShardMapReq { id })
+            .boxed(),
+        (any::<u64>(), arb_shard_map())
+            .prop_map(|(id, map)| Frame::ShardMapAck { id, map })
             .boxed(),
     ]
 }

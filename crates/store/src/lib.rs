@@ -24,13 +24,18 @@
 //!   instead of failing the file;
 //! * **migration** ([`json`]) — magic-byte auto-detection and lossless
 //!   conversion between the historical JSON `CheckpointArchive` format
-//!   and `.pqa`, in both directions.
+//!   and `.pqa`, in both directions;
+//! * **replication** ([`replication`]) — CRC-verified seal-and-ship of a
+//!   sealed archive to a replica peer with atomic publish, plus a
+//!   segment-level audit that proves two replicas equivalent, backing
+//!   the scale-out query tier's any-owner-can-answer contract.
 
 pub mod codec;
 pub mod crc;
 pub mod format;
 pub mod json;
 pub mod reader;
+pub mod replication;
 pub mod varint;
 pub mod writer;
 
@@ -41,4 +46,5 @@ pub use json::{
     write_archives, ArchiveFormat,
 };
 pub use reader::{Recovery, SegmentCache, SegmentKey, StoreReader};
+pub use replication::{ship_archive, verify_replica, ReplicaDivergence, ShipReport};
 pub use writer::{SegmentPolicy, SharedStoreWriter, StoreWriter};

@@ -153,6 +153,33 @@ pub mod names {
     /// Subscription snapshot updates pushed to watchers (counter).
     pub const SERVE_METRIC_UPDATES: &str = "pq_serve_metric_updates_total";
 
+    // -- pq-router ---------------------------------------------------------
+    /// Queries routed to completion, label `kind` ∈ {`time_windows`,
+    /// `queue_monitor`, `replay`} (counter).
+    pub const ROUTER_REQUESTS: &str = "pq_router_requests_total";
+    /// Routed queries that ended in an error frame to the caller (counter).
+    pub const ROUTER_ERRORS: &str = "pq_router_errors_total";
+    /// Backends a routed query fanned out to (histogram, count).
+    pub const ROUTER_FANOUT: &str = "pq_router_fanout_backends";
+    /// Per-backend sub-query wall-clock latency (histogram, ns, label
+    /// `backend`).
+    pub const ROUTER_BACKEND_NS: &str = "pq_router_backend_ns";
+    /// Sub-queries that failed on one owner and were retried on a replica
+    /// (counter).
+    pub const ROUTER_FAILOVERS: &str = "pq_router_failovers_total";
+    /// Sub-query retries against the same backend after `Busy` or a
+    /// transient error (counter).
+    pub const ROUTER_RETRIES: &str = "pq_router_retries_total";
+    /// Backends moved into quarantine after repeated failures (counter).
+    pub const ROUTER_QUARANTINES: &str = "pq_router_quarantines_total";
+    /// Backends readmitted from quarantine by a health probe (counter).
+    pub const ROUTER_READMISSIONS: &str = "pq_router_readmissions_total";
+    /// Backends currently quarantined (gauge).
+    pub const ROUTER_QUARANTINED: &str = "pq_router_quarantined_backends";
+    /// Routed queries answered degraded because every owner of some shard
+    /// was down (counter).
+    pub const ROUTER_SHARD_UNAVAILABLE: &str = "pq_router_shard_unavailable_total";
+
     // -- cross-crate -------------------------------------------------------
     /// Build provenance carrier: constant 1, labels `version`, `commit`.
     pub const BUILD_INFO: &str = "pq_build_info";
@@ -212,6 +239,18 @@ pub mod names {
             SERVE_UPTIME => "Seconds since the serve daemon started.",
             SERVE_SUBSCRIBERS => "Metrics subscriptions currently attached.",
             SERVE_METRIC_UPDATES => "Subscription snapshot updates pushed to watchers.",
+            ROUTER_REQUESTS => "Queries routed to completion, by kind.",
+            ROUTER_ERRORS => "Routed queries that ended in an error frame to the caller.",
+            ROUTER_FANOUT => "Backends a routed query fanned out to.",
+            ROUTER_BACKEND_NS => "Per-backend sub-query wall-clock latency in ns.",
+            ROUTER_FAILOVERS => "Sub-queries retried on a replica after an owner failed.",
+            ROUTER_RETRIES => "Sub-query retries against the same backend.",
+            ROUTER_QUARANTINES => "Backends moved into quarantine after repeated failures.",
+            ROUTER_READMISSIONS => "Backends readmitted from quarantine by a health probe.",
+            ROUTER_QUARANTINED => "Backends currently quarantined.",
+            ROUTER_SHARD_UNAVAILABLE => {
+                "Routed queries degraded because every owner of a shard was down."
+            }
             BUILD_INFO => "Build provenance: constant 1 with version and commit labels.",
             WATCH_UPDATES => "Subscription updates applied by this watch client.",
             WATCH_SERIES_CHANGED => "Metric series changed across applied updates.",

@@ -52,7 +52,21 @@
 //!   `--archive` additionally serves replay queries from a `.pqa` file.
 //!   `--addr-file` records the bound address (useful with `:0` ephemeral
 //!   ports); `--metrics-file` writes the server's Prometheus exposition
-//!   at shutdown. Stop it with `pqsim serve-stop ADDR`.
+//!   at shutdown; `--shard NAME` stamps the daemon's shard identity into
+//!   its `HealthAck` and `ShardMapAck`. Stop it with `pqsim serve-stop
+//!   ADDR`.
+//! * `router --backends name=addr[,name=addr...] [--listen ADDR]
+//!   [--replication N] [--epoch-ns N] [--quarantine-after N] [--probe-ms N]`
+//!   Run the scatter-gather router tier in front of N serve daemons.
+//!   Speaks the same wire protocol, so `query --remote`, `watch`, and
+//!   `serve-stop` all work against it unchanged. Each `(port, epoch)`
+//!   shard is owned by `--replication` backends via rendezvous hashing;
+//!   transient backend failures fail over to the replica and repeated
+//!   ones quarantine the backend until a health probe readmits it.
+//! * `replicate SRC.pqa DST.pqa`
+//!   Seal-and-ship an archive to a replica path: every segment is
+//!   CRC-verified before the copy, the publish is atomic, and the
+//!   replica is audited segment-by-segment afterwards.
 //! * `query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]
 //!   [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]`
 //!   Run a diagnosis query — against live state built from a trace, or
@@ -119,8 +133,13 @@ fn usage() -> ! {
          pqsim convert SRC DST [--format json|pqa]\n  \
          pqsim serve [FILE.pqtr] --listen ADDR [--archive FILE.pqa] [tw flags]\n  \
          \x20         [--workers N] [--queue-cap N] [--inflight N] [--max-conns N]\n  \
-         \x20         [--cache-mb MB] [--work-delay-ms N] [--addr-file PATH]\n  \
-         \x20         [--metrics-file PATH]\n  \
+         \x20         [--cache-mb MB] [--work-delay-ms N] [--shard NAME]\n  \
+         \x20         [--addr-file PATH] [--metrics-file PATH]\n  \
+         pqsim router --backends name=addr[,name=addr...] [--listen ADDR]\n  \
+         \x20         [--replication N] [--epoch-ns N] [--quarantine-after N]\n  \
+         \x20         [--probe-ms N] [--connect-ms N] [--io-ms N] [--max-conns N]\n  \
+         \x20         [--addr-file PATH] [--metrics-file PATH]\n  \
+         pqsim replicate SRC.pqa DST.pqa\n  \
          pqsim query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]\n  \
          \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]\n  \
          pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
@@ -199,6 +218,8 @@ fn main() {
         "replay-query" => cmd_replay_query(&args),
         "convert" => cmd_convert(&args),
         "serve" => cmd_serve(&args),
+        "router" => cmd_router(&args),
+        "replicate" => cmd_replicate(&args),
         "query" => cmd_query(&args),
         "watch" => cmd_watch(&args),
         "serve-stop" => cmd_serve_stop(&args),
@@ -929,6 +950,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         drain_deadline: std::time::Duration::from_millis(args.get("drain-ms", 5_000)),
         work_delay: std::time::Duration::from_millis(args.get("work-delay-ms", 0)),
         max_subs: args.get("max-subs", 16),
+        shard: args.get_str("shard").unwrap_or_default().to_string(),
     };
     let plane = Telemetry::new();
     printqueue::telemetry::provenance::set_build_info(
@@ -955,6 +977,92 @@ fn cmd_serve(args: &Args) -> CliResult {
         progress!("server metrics written to {path}");
     }
     Ok(())
+}
+
+fn cmd_router(args: &Args) -> CliResult {
+    use printqueue::router::{BackendSpec, Router, RouterConfig};
+    let listen = args.get_str("listen").unwrap_or("127.0.0.1:0");
+    let Some(backends_raw) = args.get_str("backends") else {
+        return Err("--backends name=addr[,name=addr...] is required".into());
+    };
+    let mut backends = Vec::new();
+    for (i, entry) in backends_raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .enumerate()
+    {
+        let (name, addr) = match entry.split_once('=') {
+            Some((name, addr)) => (name.to_string(), addr.to_string()),
+            None => (format!("shard-{i}"), entry.to_string()),
+        };
+        backends.push(BackendSpec { name, addr });
+    }
+    let config = RouterConfig {
+        replication: args.get("replication", 2),
+        epoch_ns: args.get("epoch-ns", 0),
+        connect_timeout: std::time::Duration::from_millis(args.get("connect-ms", 250)),
+        io_timeout: std::time::Duration::from_millis(args.get("io-ms", 2_000)),
+        retry: printqueue::serve::RetryPolicy::default(),
+        quarantine_after: args.get("quarantine-after", 2),
+        probe_interval: std::time::Duration::from_millis(args.get("probe-ms", 100)),
+        max_conns: args.get("max-conns", 64),
+        retry_after_ms: args.get("retry-after-ms", 50),
+        pool_per_backend: args.get("pool", 8),
+    };
+    let plane = Telemetry::new();
+    printqueue::telemetry::provenance::set_build_info(
+        plane.registry(),
+        env!("CARGO_PKG_VERSION"),
+        &printqueue::telemetry::provenance::git_commit(),
+    );
+    progress!(
+        "routing across {} backend(s), replication {}",
+        backends.len(),
+        config.replication
+    );
+    let router = Router::bind(listen, backends, config, &plane)
+        .map_err(|err| format!("bind {listen}: {err}"))?;
+    let addr = router
+        .local_addr()
+        .map_err(|err| format!("local addr: {err}"))?;
+    println!("routing on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.get_str("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|err| format!("write {path}: {err}"))?;
+    }
+    router.run().map_err(|err| format!("router: {err}"))?;
+    progress!("router stopped");
+    if let Some(path) = args.get_str("metrics-file") {
+        std::fs::write(path, telemetry::to_prometheus(&plane.snapshot()))
+            .map_err(|err| format!("write {path}: {err}"))?;
+        progress!("router metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replicate(args: &Args) -> CliResult {
+    let (Some(src), Some(dst)) = (args.positional.first(), args.positional.get(1)) else {
+        usage()
+    };
+    let src = PathBuf::from(src);
+    let dst = PathBuf::from(dst);
+    let report = printqueue::store::ship_archive(&src, &dst)
+        .map_err(|err| format!("ship {} -> {}: {err}", src.display(), dst.display()))?;
+    progress!(
+        "shipped {} segment(s) / {} checkpoint(s) across {} port(s), {} B",
+        report.segments,
+        report.checkpoints,
+        report.ports,
+        report.bytes
+    );
+    match printqueue::store::verify_replica(&src, &dst).map_err(|err| format!("verify: {err}"))? {
+        None => {
+            progress!("replica verified: segment-identical to source");
+            Ok(())
+        }
+        Some(div) => Err(format!("replica diverges from source: {div}")),
+    }
 }
 
 fn cmd_query(args: &Args) -> CliResult {
@@ -1345,7 +1453,7 @@ fn health_json(health: &printqueue::serve::HealthInfo) -> String {
     format!(
         "{{\"uptime_ns\":{},\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\
          \"queue_cap\":{},\"active_conns\":{},\"max_conns\":{},\"subscribers\":{},\
-         \"draining\":{},\"version\":\"{}\",\"commit\":\"{}\"}}",
+         \"draining\":{},\"version\":\"{}\",\"commit\":\"{}\",\"shard\":\"{}\"}}",
         health.uptime_ns,
         health.workers,
         health.busy_workers,
@@ -1357,6 +1465,7 @@ fn health_json(health: &printqueue::serve::HealthInfo) -> String {
         health.draining,
         json_escape(&health.version),
         json_escape(&health.commit),
+        json_escape(&health.shard),
     )
 }
 
@@ -1418,9 +1527,17 @@ fn watch_text(
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    // The shard identity the backend advertises in its HealthAck, so a
+    // watcher pointed at one member of a sharded fleet (or at the
+    // router itself) sees who is answering.
+    let shard = if health.shard.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", health.shard)
+    };
     let _ = writeln!(
         out,
-        "watch {addr}: up {}s, version {} ({}), {}/{} workers busy, \
+        "watch {addr}{shard}: up {}s, version {} ({}), {}/{} workers busy, \
          queue {}/{}, conns {}/{}, subscribers {}{}",
         health.uptime_ns / 1_000_000_000,
         health.version,

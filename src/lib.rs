@@ -33,7 +33,11 @@
 //!   and client speaking a small versioned binary protocol over live
 //!   register state and `.pqa` archives, with a shared LRU decode cache
 //!   and explicit load shedding ([`queryfmt`] renders answers
-//!   identically for local and remote queries).
+//!   identically for local and remote queries);
+//! * [`router`] — the scale-out tier in front of N serve daemons:
+//!   rendezvous-sharded, replicated scatter-gather with transparent
+//!   failover, quarantine-with-probe, and bit-identical single-shard
+//!   answers (same wire protocol, so clients point at it unchanged).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +69,7 @@
 pub use pq_baselines as baselines;
 pub use pq_core as core;
 pub use pq_packet as packet;
+pub use pq_router as router;
 pub use pq_serve as serve;
 pub use pq_store as store;
 pub use pq_switch as switch;

@@ -23,18 +23,20 @@
 //! failed over: every replica would answer the same, so the first
 //! answer is forwarded as-is.
 
-use crate::merge::merge_results;
+use crate::merge::{merge_results, normalize_gaps};
 use crate::shard::{epoch_of, epochs, rendezvous_rank, BackendSpec, EpochSlice};
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::QueryInterval;
+use pq_packet::FlowId;
 use pq_serve::wire::{
     self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
-    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, WireError, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, StreamResult, WireError,
+    ENTRIES_PER_FRAME, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_serve::{Client, ClientError, RetryPolicy};
+use pq_stream::{DepthAgg, Emit, TopKSummary};
 use pq_telemetry::{names, provenance, to_prometheus, Counter, Gauge, Histogram, Telemetry};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -95,6 +97,7 @@ struct Instruments {
     req_time_windows: Counter,
     req_queue_monitor: Counter,
     req_replay: Counter,
+    req_standing: Counter,
     errors: Counter,
     fanout: Histogram,
     failovers: Counter,
@@ -114,6 +117,7 @@ impl Instruments {
             req_time_windows: req("time_windows"),
             req_queue_monitor: req("queue_monitor"),
             req_replay: req("replay"),
+            req_standing: req("standing"),
             errors: reg.counter(names::ROUTER_ERRORS, &[]),
             fanout: reg.histogram(names::ROUTER_FANOUT, &[]),
             failovers: reg.counter(names::ROUTER_FAILOVERS, &[]),
@@ -169,6 +173,16 @@ impl Conn {
     }
 }
 
+/// Cancel bookkeeping for a standing subscription whose fan-in already
+/// completed (the merged results were emitted at registration; only the
+/// final `last` frame remains owed).
+struct StandingEntry {
+    conn: Weak<Conn>,
+    id: u64,
+    seq: u64,
+    watermark: u64,
+}
+
 struct Shared {
     config: RouterConfig,
     backends: Vec<Backend>,
@@ -178,8 +192,21 @@ struct Shared {
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
     conns: Mutex<Vec<Weak<Conn>>>,
+    /// Open routed standing subscriptions awaiting cancel.
+    standing: Mutex<Vec<StandingEntry>>,
     instruments: Instruments,
     started: Instant,
+}
+
+/// One backend's contribution to a routed standing query: its closed
+/// windows keyed `(port, from, to)` and its final watermark.
+#[derive(Default)]
+struct StandingPartial {
+    windows: BTreeMap<(u16, u64, u64), StreamResult>,
+    watermark: u64,
+    /// The backend failed mid-stream; its windows may be missing, so
+    /// every merged window it should have contributed to is degraded.
+    dead: bool,
 }
 
 /// Transient failures fail over to a replica; authoritative ones do not
@@ -459,6 +486,274 @@ impl Shared {
         }
     }
 
+    /// Route a standing query: fan a *stripped* copy (no predicate, no
+    /// top-k) to **every** backend, merge each window's partials
+    /// associatively, and evaluate the predicate on the merged
+    /// aggregate. Stripping is what makes the answer correct — a
+    /// shard-local predicate would miss hotspots only the union crosses
+    /// the threshold on. And unlike one-shot queries there is no
+    /// replica dedupe: live register state is per-daemon, so every
+    /// backend is an independent data owner whose partial the merge
+    /// needs.
+    fn route_standing(
+        &self,
+        conn: &Arc<Conn>,
+        id: u64,
+        cap: u32,
+        max_windows: u32,
+        stop_after_seal: bool,
+        query: &str,
+    ) {
+        let parsed = match pq_stream::parse(query) {
+            Ok(q) => q,
+            Err(e) => {
+                let _ = conn.send(&[protocol_error(id, ErrorCode::BadQuery, &e.to_string())]);
+                return;
+            }
+        };
+        let cap = cap.clamp(1, ENTRIES_PER_FRAME as u32);
+        if conn
+            .send(&[Frame::StandingQueryAck {
+                id,
+                cap,
+                query: parsed.to_string(),
+            }])
+            .is_err()
+        {
+            return;
+        }
+        self.instruments.req_standing.inc();
+        let mut stripped = parsed.clone();
+        stripped.predicate = None;
+        stripped.top_k = None;
+        let stripped_text = stripped.to_string();
+        let stripped_text = stripped_text.as_str();
+        let partials: Vec<StandingPartial> = thread::scope(|s| {
+            let handles: Vec<_> = (0..self.backends.len())
+                .map(|bi| s.spawn(move || self.fan_standing(bi, stripped_text)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        self.instruments.fanout.record(self.backends.len() as u64);
+        let any_dead = partials.iter().any(|p| p.dead);
+        if any_dead {
+            self.instruments.errors.inc();
+        }
+        // Watermark gate: a merged window may be emitted only once every
+        // live backend's watermark has passed its end — the routed
+        // mirror of the single-node close rule. Backends seal their
+        // bounded source, so the gate is terminal in practice; dead
+        // backends are excluded (their windows emit degraded instead of
+        // never).
+        let gate = partials
+            .iter()
+            .filter(|p| !p.dead)
+            .map(|p| p.watermark)
+            .min()
+            .unwrap_or(0);
+        let summary_cap = match (parsed.emit, parsed.top_k) {
+            (Emit::Depth, _) => 1,
+            (Emit::Flows, Some(k)) => (k as usize).min(cap as usize).max(1),
+            (Emit::Flows, None) => cap as usize,
+        };
+        let mut keys: Vec<(u16, u64, u64)> = partials
+            .iter()
+            .filter(|p| !p.dead)
+            .flat_map(|p| p.windows.keys().copied())
+            .collect();
+        keys.sort_by_key(|&(port, from, to)| (to, from, port));
+        keys.dedup();
+        let mut frames = Vec::new();
+        let mut seq = 0u64;
+        let mut fired_left = (max_windows > 0).then(|| u64::from(max_windows));
+        let mut ended = false;
+        for key in keys {
+            let (port, from, to) = key;
+            if to > gate {
+                continue;
+            }
+            let mut agg = DepthAgg::default();
+            let mut summary = TopKSummary::new(summary_cap);
+            let mut evictions = 0u64;
+            let mut evicted_weight = 0.0f64;
+            let mut gaps = Vec::new();
+            let mut degraded = any_dead;
+            let mut forced = false;
+            for p in partials.iter().filter(|p| !p.dead) {
+                let Some(w) = p.windows.get(&key) else {
+                    continue;
+                };
+                agg.merge(&DepthAgg {
+                    max: w.max,
+                    min: w.min,
+                    sum: w.sum,
+                    count: w.count,
+                    last_t: w.last_t,
+                    last_depth: w.last_depth,
+                });
+                let mut part = TopKSummary::new(summary_cap);
+                for (f, c) in &w.flows {
+                    part.offer(f.0, *c);
+                }
+                summary.merge(&part);
+                evictions += w.evictions + part.evictions;
+                evicted_weight += w.evicted_weight + part.evicted_weight;
+                degraded |= w.degraded;
+                forced |= w.forced;
+                gaps.extend(w.gaps.iter().cloned());
+            }
+            evictions += summary.evictions;
+            evicted_weight += summary.evicted_weight;
+            if evictions > 0 {
+                degraded = true;
+            }
+            let fired = match &parsed.predicate {
+                None => true,
+                Some(p) => p.cmp.eval(agg.stat(p.stat), p.value),
+            };
+            let flows: Vec<(FlowId, f64)> = if fired && parsed.emit == Emit::Flows {
+                summary
+                    .ranked(parsed.top_k)
+                    .into_iter()
+                    .map(|(f, c)| (FlowId(f), c))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            seq += 1;
+            let mut result = StreamResult {
+                seq,
+                watermark_ns: gate,
+                port,
+                from,
+                to,
+                fired,
+                forced,
+                degraded,
+                last: false,
+                max: agg.max,
+                min: agg.min,
+                sum: agg.sum,
+                count: agg.count,
+                last_t: agg.last_t,
+                last_depth: agg.last_depth,
+                flows,
+                evictions,
+                evicted_weight,
+                gaps: normalize_gaps(gaps),
+            };
+            if fired {
+                if let Some(r) = &mut fired_left {
+                    *r -= 1;
+                    if *r == 0 {
+                        result.last = true;
+                        ended = true;
+                    }
+                }
+            }
+            frames.push(Frame::StandingQueryResult { id, result });
+            if ended {
+                break;
+            }
+        }
+        if !ended && stop_after_seal {
+            seq += 1;
+            frames.push(Frame::StandingQueryResult {
+                id,
+                result: standing_progress(id, seq, gate, true).1,
+            });
+            ended = true;
+        }
+        if conn.send(&frames).is_err() || ended {
+            return;
+        }
+        // Keep the subscription addressable for a later cancel; dead
+        // entries (dropped connections) are purged opportunistically.
+        let mut standing = self.standing.lock().unwrap();
+        standing.retain(|e| e.conn.strong_count() > 0);
+        standing.push(StandingEntry {
+            conn: Arc::downgrade(conn),
+            id,
+            seq,
+            watermark: gate,
+        });
+    }
+
+    /// One backend's leg of a routed standing query: a dedicated
+    /// connection (subscriptions are stateful, so the pool is not
+    /// used), registered with `stop_after_seal` so the stream ends once
+    /// the backend's bounded source is exhausted. The io timeout bounds
+    /// every read, so a wedged backend surfaces as a dead partial
+    /// instead of hanging the fan-in.
+    fn fan_standing(&self, bi: usize, query: &str) -> StandingPartial {
+        let mut partial = StandingPartial::default();
+        let backend = &self.backends[bi];
+        let run = |partial: &mut StandingPartial| -> Result<(), ClientError> {
+            let addr: SocketAddr =
+                backend.spec.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    ClientError::Io(io::Error::new(
+                        io::ErrorKind::AddrNotAvailable,
+                        format!(
+                            "backend address {:?} resolves to nothing",
+                            backend.spec.addr
+                        ),
+                    ))
+                })?;
+            let mut client = Client::connect_timeout(
+                &addr,
+                self.config.connect_timeout,
+                self.config.io_timeout,
+            )?;
+            let ack = client.standing(query, ENTRIES_PER_FRAME as u32, 0, true)?;
+            loop {
+                let r = client.next_stream_result(ack.sub)?;
+                partial.watermark = partial.watermark.max(r.watermark_ns);
+                let last = r.last;
+                if r.to != 0 {
+                    partial.windows.insert((r.port, r.from, r.to), r);
+                }
+                if last {
+                    return Ok(());
+                }
+            }
+        };
+        match run(&mut partial) {
+            Ok(()) => self.note_success(bi),
+            Err(e) => {
+                partial.dead = true;
+                if transient(&e) {
+                    self.note_failure(bi);
+                }
+            }
+        }
+        partial
+    }
+
+    /// Answer a standing-subscription cancel: emit the final `last`
+    /// frame if the subscription is known on this connection.
+    fn cancel_standing(&self, conn: &Arc<Conn>, id: u64, sub: u64) {
+        let mut standing = self.standing.lock().unwrap();
+        let Some(pos) = standing
+            .iter()
+            .position(|e| e.id == sub && e.conn.upgrade().is_some_and(|c| Arc::ptr_eq(&c, conn)))
+        else {
+            drop(standing);
+            let _ = conn.send(&[protocol_error(
+                id,
+                ErrorCode::Protocol,
+                "unknown standing subscription",
+            )]);
+            return;
+        };
+        let entry = standing.remove(pos);
+        drop(standing);
+        let (sub_id, result) = standing_progress(entry.id, entry.seq + 1, entry.watermark, true);
+        let _ = conn.send(&[Frame::StandingQueryResult { id: sub_id, result }]);
+    }
+
     /// The router's own health. `workers` is repurposed as the backend
     /// count and `busy_workers` as the quarantined count — the two
     /// numbers an operator watching a router actually needs.
@@ -525,6 +820,35 @@ fn result_frames(
     frames.extend(chunk_gaps(id, &gaps));
     frames.push(Frame::ResultEnd { id });
     frames
+}
+
+/// A window-less progress result (`to == 0`): watermark only, optionally
+/// marking the end of the stream. Mirrors the serve daemon's shape.
+fn standing_progress(id: u64, seq: u64, watermark: u64, last: bool) -> (u64, StreamResult) {
+    (
+        id,
+        StreamResult {
+            seq,
+            watermark_ns: watermark,
+            port: 0,
+            from: 0,
+            to: 0,
+            fired: false,
+            forced: false,
+            degraded: false,
+            last,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+            count: 0,
+            last_t: 0,
+            last_depth: 0,
+            flows: Vec::new(),
+            evictions: 0,
+            evicted_weight: 0.0,
+            gaps: Vec::new(),
+        },
+    )
 }
 
 fn protocol_error(id: u64, code: ErrorCode, message: &str) -> Frame {
@@ -615,6 +939,7 @@ impl Router {
                 shutdown: AtomicBool::new(false),
                 active_conns: AtomicUsize::new(0),
                 conns: Mutex::new(Vec::new()),
+                standing: Mutex::new(Vec::new()),
                 instruments,
                 started: Instant::now(),
             }),
@@ -801,10 +1126,7 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 let text = to_prometheus(&shared.instruments.plane.snapshot());
                 let _ = conn.send(&[Frame::MetricsText { id, text }]);
             }
-            Frame::MetricsGet { id } | Frame::MetricsSubscribe { id, .. } => {
-                // The router has no publisher thread; a subscription is
-                // answered with one full snapshot marked `last`, which
-                // the protocol allows (`max_updates == 1` semantics).
+            Frame::MetricsGet { id } => {
                 let snap = shared.instruments.plane.snapshot();
                 let frames = metrics_update_frames(
                     id,
@@ -815,6 +1137,38 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 );
                 let _ = conn.send(&frames);
             }
+            Frame::MetricsSubscribe {
+                id,
+                interval_ms,
+                max_updates,
+            } => {
+                // The router has no publisher thread; a subscription is
+                // acked (echoing the clamp the serve daemon applies) and
+                // answered with one full snapshot marked `last`, which
+                // the protocol allows (`max_updates == 1` semantics).
+                let _ = conn.send(&[Frame::SubscribeAck {
+                    id,
+                    interval_ms: interval_ms.clamp(10, 60_000),
+                    max_updates,
+                }]);
+                let snap = shared.instruments.plane.snapshot();
+                let frames = metrics_update_frames(
+                    id,
+                    0,
+                    shared.now_ns(),
+                    true,
+                    &snapshot_to_samples(&snap),
+                );
+                let _ = conn.send(&frames);
+            }
+            Frame::StandingQueryReq {
+                id,
+                cap,
+                max_windows,
+                stop_after_seal,
+                query,
+            } => shared.route_standing(conn, id, cap, max_windows, stop_after_seal, &query),
+            Frame::StandingQueryCancel { id, sub } => shared.cancel_standing(conn, id, sub),
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);
                 shared.shutdown.store(true, Ordering::SeqCst);

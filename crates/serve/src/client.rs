@@ -8,8 +8,8 @@
 //! arrive as raw `f64` bits, so nothing is lost in transit.
 
 use crate::wire::{
-    self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, ShardMap, WireError,
-    WireSample, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, ShardMap, StreamResult,
+    WireError, WireSample, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
@@ -191,6 +191,17 @@ pub struct MetricsUpdate {
     pub changed: RegistrySnapshot,
 }
 
+/// The server's acknowledgment of a standing-query registration.
+#[derive(Debug, Clone)]
+pub struct StandingAck {
+    /// Subscription id; every result frame arrives tagged with it.
+    pub sub: u64,
+    /// Effective per-window flow cap after server-side clamping.
+    pub cap: u32,
+    /// Canonical rendering of the query as the server parsed it.
+    pub query: String,
+}
+
 /// A connected, handshaken query client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -199,6 +210,9 @@ pub struct Client {
     next_id: u64,
     /// Request id of the active metrics subscription, if any.
     sub_id: Option<u64>,
+    /// Effective cadence of the active subscription, as echoed by the
+    /// server's `SubscribeAck` after clamping.
+    sub_interval_ms: Option<u32>,
 }
 
 impl Client {
@@ -242,6 +256,7 @@ impl Client {
             max_frame: MAX_FRAME_LEN,
             next_id: 1,
             sub_id: None,
+            sub_interval_ms: None,
         };
         match client.read()? {
             Frame::HelloAck { version, max_frame } => {
@@ -541,7 +556,9 @@ impl Client {
     }
 
     /// Start a metrics subscription and return its first (full-snapshot)
-    /// update. `interval_ms` is clamped server-side to [10, 60000];
+    /// update. `interval_ms` is clamped server-side to [10, 60000]; the
+    /// effective cadence the server acked is readable afterwards via
+    /// [`subscribed_interval_ms`](Self::subscribed_interval_ms).
     /// `max_updates == 0` means unbounded. Fetch later updates with
     /// [`next_update`](Self::next_update); the stream ends when an update
     /// arrives with `last == true`.
@@ -556,9 +573,49 @@ impl Client {
             interval_ms,
             max_updates,
         })?;
+        // The ack always precedes the first update (both go through the
+        // server's serialized writer); an admission shed still arrives
+        // as `Busy` right after it and surfaces from `read_update`.
+        match self.read()? {
+            Frame::SubscribeAck {
+                id: got,
+                interval_ms: effective,
+                ..
+            } => {
+                self.expect_id(got, id)?;
+                self.sub_interval_ms = Some(effective);
+            }
+            Frame::Busy { retry_after_ms, .. } => return Err(ClientError::Busy { retry_after_ms }),
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected SubscribeAck, got {other:?}"
+                )))
+            }
+        }
         let update = self.read_update(id)?;
         self.sub_id = (!update.last).then_some(id);
         Ok(update)
+    }
+
+    /// The effective update cadence of the most recent subscription, as
+    /// echoed by the server after clamping (`None` before any
+    /// subscribe). A watcher that asked for 1ms learns here that it is
+    /// actually getting 10ms.
+    pub fn subscribed_interval_ms(&self) -> Option<u32> {
+        self.sub_interval_ms
     }
 
     /// Block for the next update of the active subscription.
@@ -745,6 +802,127 @@ impl Client {
             other => Err(ClientError::Protocol(format!(
                 "expected ShardMapAck, got {other:?}"
             ))),
+        }
+    }
+
+    /// Register a standing continuous query. `query` is the `pq-stream`
+    /// text form; `cap` bounds per-window flow state (clamped
+    /// server-side); `max_windows == 0` means unbounded, otherwise the
+    /// stream ends after that many *fired* windows; `stop_after_seal`
+    /// ends it once the source is exhausted and every window has closed.
+    /// Fetch results with [`next_stream_result`](Self::next_stream_result)
+    /// until one arrives with `last == true`.
+    pub fn standing(
+        &mut self,
+        query: &str,
+        cap: u32,
+        max_windows: u32,
+        stop_after_seal: bool,
+    ) -> Result<StandingAck, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::StandingQueryReq {
+            id,
+            cap,
+            max_windows,
+            stop_after_seal,
+            query: query.to_string(),
+        })?;
+        match self.read()? {
+            Frame::StandingQueryAck {
+                id: got,
+                cap,
+                query,
+            } => {
+                self.expect_id(got, id)?;
+                Ok(StandingAck {
+                    sub: id,
+                    cap,
+                    query,
+                })
+            }
+            Frame::Busy { retry_after_ms, .. } => Err(ClientError::Busy { retry_after_ms }),
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected StandingQueryAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Block for the next result on standing subscription `sub`. A
+    /// result with `to == 0` is a window-less progress frame (watermark
+    /// only); one with `last == true` ends the stream.
+    pub fn next_stream_result(&mut self, sub: u64) -> Result<StreamResult, ClientError> {
+        match self.read()? {
+            Frame::StandingQueryResult { id: got, result } => {
+                self.expect_id(got, sub)?;
+                Ok(result)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, sub)?;
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected StandingQueryResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancel standing subscription `sub` and drain the stream to its
+    /// final `last == true` frame (results already in flight may precede
+    /// it), leaving the connection cleanly framed for further requests.
+    pub fn cancel_standing(&mut self, sub: u64) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::StandingQueryCancel { id, sub })?;
+        loop {
+            match self.read()? {
+                Frame::StandingQueryResult { id: got, result } => {
+                    self.expect_id(got, sub)?;
+                    if result.last {
+                        return Ok(());
+                    }
+                }
+                Frame::Error {
+                    id: got,
+                    code,
+                    gaps,
+                    message,
+                } => {
+                    if got != id {
+                        self.expect_id(got, sub)?;
+                    }
+                    return Err(ClientError::Remote {
+                        code,
+                        message,
+                        gaps,
+                    });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected StandingQueryResult, got {other:?}"
+                    )))
+                }
+            }
         }
     }
 

@@ -29,6 +29,12 @@
 //! changed-series updates that `pqsim watch` folds into a live
 //! dashboard and alert evaluation.
 //!
+//! The daemon also evaluates **standing continuous queries**
+//! (`StandingQueryReq`): a dedicated evaluator thread runs `pq-stream`
+//! window operators over the checkpoint stream and pushes each closed
+//! window's answer — culprit flows included — as it materializes,
+//! under the `pq_stream_*` telemetry namespace.
+//!
 //! [`AnalysisProgram`]: pq_core::control::AnalysisProgram
 //! [`QueryInterval`]: pq_core::snapshot::QueryInterval
 //! [`CoverageGap`]: pq_core::control::CoverageGap
@@ -39,10 +45,12 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, DecodeCache};
-pub use client::{Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult, RetryPolicy};
+pub use client::{
+    Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult, RetryPolicy, StandingAck,
+};
 pub use server::{ServeConfig, Server, ServerHandle, Sources};
 pub use wire::{
     samples_to_snapshot, snapshot_to_samples, ErrorCode, Frame, HealthInfo, Request, ShardMap,
-    ShardMapEntry, WireError, WireSample, WireValue, MAX_BACKENDS_PER_MAP, MAX_FRAME_LEN,
-    METRIC_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
+    ShardMapEntry, StreamResult, WireError, WireSample, WireValue, MAX_BACKENDS_PER_MAP,
+    MAX_FRAME_LEN, METRIC_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
 };

@@ -24,18 +24,19 @@
 use crate::cache::DecodeCache;
 use crate::wire::{
     self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
-    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, WireError, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, StreamResult, WireError,
+    ENTRIES_PER_FRAME, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_core::coefficient::Coefficients;
 use pq_core::control::{AnalysisProgram, CoverageGap};
 use pq_core::snapshot::QueryInterval;
 use pq_packet::FlowId;
 use pq_store::StoreReader;
+use pq_stream::{Closed, Emit, Record as StreamRecord, Standing, TopKSummary};
 use pq_telemetry::{
     delta, names, provenance, to_prometheus, Counter, Gauge, Histogram, RegistrySnapshot, Telemetry,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -111,6 +112,7 @@ struct Instruments {
     req_metrics: Counter,
     req_health: Counter,
     req_subscribe: Counter,
+    req_standing: Counter,
     err_time_windows: Counter,
     err_queue_monitor: Counter,
     err_replay: Counter,
@@ -121,6 +123,12 @@ struct Instruments {
     uptime_secs: Gauge,
     subscribers: Gauge,
     metric_updates: Counter,
+    stream_subs: Gauge,
+    stream_windows_closed: Counter,
+    stream_late: Counter,
+    stream_evictions_topk: Counter,
+    stream_evictions_window: Counter,
+    stream_results: Counter,
     plane: Telemetry,
 }
 
@@ -136,6 +144,7 @@ impl Instruments {
             req_metrics: req("metrics"),
             req_health: req("health"),
             req_subscribe: req("subscribe"),
+            req_standing: req("standing"),
             err_time_windows: err("time_windows"),
             err_queue_monitor: err("queue_monitor"),
             err_replay: err("replay"),
@@ -146,6 +155,12 @@ impl Instruments {
             uptime_secs: reg.gauge(names::SERVE_UPTIME, &[]),
             subscribers: reg.gauge(names::SERVE_SUBSCRIBERS, &[]),
             metric_updates: reg.counter(names::SERVE_METRIC_UPDATES, &[]),
+            stream_subs: reg.gauge(names::STREAM_SUBSCRIPTIONS, &[]),
+            stream_windows_closed: reg.counter(names::STREAM_WINDOWS_CLOSED, &[]),
+            stream_late: reg.counter(names::STREAM_LATE_RECORDS, &[]),
+            stream_evictions_topk: reg.counter(names::STREAM_EVICTIONS, &[("kind", "topk")]),
+            stream_evictions_window: reg.counter(names::STREAM_EVICTIONS, &[("kind", "window")]),
+            stream_results: reg.counter(names::STREAM_RESULTS, &[]),
             plane: plane.clone(),
         }
     }
@@ -156,6 +171,7 @@ impl Instruments {
             "queue_monitor" => self.req_queue_monitor.inc(),
             "replay" => self.req_replay.inc(),
             "subscribe" => self.req_subscribe.inc(),
+            "standing" => self.req_standing.inc(),
             "health" => self.req_health.inc(),
             _ => self.req_metrics.inc(),
         }
@@ -242,6 +258,30 @@ struct Sub {
     prev: RegistrySnapshot,
 }
 
+/// Bound on simultaneously open windows per standing subscription; the
+/// oldest window is force-closed (and flagged `forced`) past it, so a
+/// pathological sliding query cannot grow server state without bound.
+const MAX_OPEN_WINDOWS: usize = 4096;
+
+/// One live standing-query subscription, owned by the evaluator thread.
+struct StreamSub {
+    conn: Arc<Conn>,
+    /// The registering request's id; every result frame echoes it.
+    id: u64,
+    /// Window operator state (watermark, open aggregates, accounting).
+    state: Standing,
+    /// Per-port read position into the live checkpoint log.
+    cursors: HashMap<u16, usize>,
+    /// Flow cap per result frame (clamped to [`ENTRIES_PER_FRAME`]).
+    cap: usize,
+    /// Fired windows left before the subscription ends (`None` =
+    /// unbounded).
+    remaining_windows: Option<u64>,
+    /// End once the source is sealed and every window has closed.
+    stop_after_seal: bool,
+    seq: u64,
+}
+
 struct Shared {
     config: ServeConfig,
     /// The bound listen address, rendered for `ShardMapAck`.
@@ -260,6 +300,8 @@ struct Shared {
     conns: Mutex<Vec<Weak<Conn>>>,
     /// Live metrics subscriptions, serviced by the publisher thread.
     subs: Mutex<Vec<Sub>>,
+    /// Standing-query subscriptions, serviced by the evaluator thread.
+    streams: Mutex<Vec<StreamSub>>,
     instruments: Instruments,
     started: Instant,
 }
@@ -366,6 +408,7 @@ impl ServerHandle {
         // pops is answered with ShuttingDown into a dead socket.
         self.shared.drain_deadline_ns.store(1, Ordering::SeqCst);
         self.shared.subs.lock().unwrap().clear();
+        self.shared.streams.lock().unwrap().clear();
         for conn in self.shared.conns.lock().unwrap().drain(..) {
             if let Some(conn) = conn.upgrade() {
                 let _ = conn.stream.shutdown(Shutdown::Both);
@@ -410,6 +453,7 @@ impl Server {
             busy_workers: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             subs: Mutex::new(Vec::new()),
+            streams: Mutex::new(Vec::new()),
             instruments: Instruments::resolve(plane),
             started: Instant::now(),
             config,
@@ -445,6 +489,12 @@ impl Server {
                 .name("pq-serve-publisher".into())
                 .spawn(move || publisher_loop(&shared))?
         };
+        let evaluator = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pq-serve-stream".into())
+                .spawn(move || stream_loop(&shared))?
+        };
         while !shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -462,10 +512,12 @@ impl Server {
             let _ = w.join();
         }
         let _ = publisher.join();
+        let _ = evaluator.join();
         // Queries are drained; close every subscription with one final
         // `last` update so watchers see the post-drain counter values
         // instead of a dropped stream.
         drain_subscribers(&shared);
+        drain_stream_subs(&shared);
         // Workers are done; release any reader threads still blocked on
         // their sockets.
         for conn in shared.conns.lock().unwrap().drain(..) {
@@ -593,7 +645,18 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 interval_ms,
                 max_updates,
             } => {
-                let interval = Duration::from_millis(u64::from(interval_ms.clamp(10, 60_000)));
+                // Echo the *effective* cadence before any update — the
+                // clamp below used to be silent, so a watcher asking for
+                // 1ms believed it was getting 1ms while the server sent
+                // 10ms. The ack precedes the first update because both
+                // are sent through the connection's serialized writer.
+                let effective_ms = interval_ms.clamp(10, 60_000);
+                let _ = conn.send(&[Frame::SubscribeAck {
+                    id,
+                    interval_ms: effective_ms,
+                    max_updates,
+                }]);
+                let interval = Duration::from_millis(u64::from(effective_ms));
                 admit(
                     shared,
                     conn,
@@ -604,6 +667,14 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                     },
                 );
             }
+            Frame::StandingQueryReq {
+                id,
+                cap,
+                max_windows,
+                stop_after_seal,
+                query,
+            } => register_standing(shared, conn, id, cap, max_windows, stop_after_seal, &query),
+            Frame::StandingQueryCancel { id, sub } => cancel_standing(shared, conn, id, sub),
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);
                 shared.initiate_shutdown();
@@ -860,6 +931,307 @@ fn drain_subscribers(shared: &Arc<Shared>) {
         }
     }
     shared.instruments.subscribers.set(0);
+}
+
+/// Register a standing continuous query on this connection. Runs inline
+/// on the reader thread — parsing and validation are cheap, and the ack
+/// must be on the wire before the evaluator can emit the first result
+/// (it only sees the subscription after this function pushes it).
+fn register_standing(
+    shared: &Arc<Shared>,
+    conn: &Arc<Conn>,
+    id: u64,
+    cap: u32,
+    max_windows: u32,
+    stop_after_seal: bool,
+    query: &str,
+) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = conn.send(&[protocol_error(id, ErrorCode::ShuttingDown, "draining")]);
+        return;
+    }
+    let Some(live) = &shared.live else {
+        let _ = conn.send(&[protocol_error(
+            id,
+            ErrorCode::NoLiveState,
+            "standing queries evaluate over live state",
+        )]);
+        return;
+    };
+    let parsed = match pq_stream::parse(query) {
+        Ok(q) => q,
+        Err(e) => {
+            let _ = conn.send(&[protocol_error(id, ErrorCode::BadQuery, &e.to_string())]);
+            return;
+        }
+    };
+    if let pq_stream::PortSel::One(port) = parsed.port {
+        if !live.is_active(port) {
+            let _ = conn.send(&[protocol_error(
+                id,
+                ErrorCode::UnknownPort,
+                &format!("port {port} not activated"),
+            )]);
+            return;
+        }
+    }
+    let mut streams = shared.streams.lock().unwrap();
+    // Standing subscriptions hold evaluator state, so they share the
+    // metrics-subscription cap and shed with Busy beyond it.
+    if streams.len() >= shared.config.max_subs {
+        shared.instruments.shed.inc();
+        let _ = conn.send(&[Frame::Busy {
+            id,
+            retry_after_ms: shared.config.retry_after_ms,
+        }]);
+        return;
+    }
+    let cap = (cap as usize).clamp(1, ENTRIES_PER_FRAME);
+    // The ack echoes the canonical rendering of the parsed query and the
+    // effective cap, so the client knows exactly what was registered.
+    if conn
+        .send(&[Frame::StandingQueryAck {
+            id,
+            cap: cap as u32,
+            query: parsed.to_string(),
+        }])
+        .is_err()
+    {
+        return;
+    }
+    shared.instruments.completed("standing");
+    streams.push(StreamSub {
+        conn: Arc::clone(conn),
+        id,
+        state: Standing::new(parsed, MAX_OPEN_WINDOWS),
+        cursors: HashMap::new(),
+        cap,
+        remaining_windows: (max_windows > 0).then(|| u64::from(max_windows)),
+        stop_after_seal,
+        seq: 0,
+    });
+    shared.instruments.stream_subs.set(streams.len() as u64);
+}
+
+/// Cancel a standing subscription: unregister it and answer with a final
+/// `last=true` progress frame so the client's stream ends cleanly.
+fn cancel_standing(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, sub_id: u64) {
+    let mut streams = shared.streams.lock().unwrap();
+    let Some(pos) = streams
+        .iter()
+        .position(|s| s.id == sub_id && Arc::ptr_eq(&s.conn, conn))
+    else {
+        let _ = conn.send(&[protocol_error(
+            id,
+            ErrorCode::Protocol,
+            "unknown standing subscription",
+        )]);
+        return;
+    };
+    let mut sub = streams.remove(pos);
+    shared.instruments.stream_subs.set(streams.len() as u64);
+    drop(streams);
+    let frame = progress_frame(&mut sub, true);
+    let _ = sub.conn.send(&[frame]);
+}
+
+/// A window-less progress frame: carries the subscription's watermark
+/// (and the `last` flag when the stream is ending). `to == 0` marks it —
+/// real windows always have `to > 0` because sizes are positive.
+fn progress_frame(sub: &mut StreamSub, last: bool) -> Frame {
+    sub.seq += 1;
+    Frame::StandingQueryResult {
+        id: sub.id,
+        result: StreamResult {
+            seq: sub.seq,
+            watermark_ns: sub.state.watermark(),
+            port: 0,
+            from: 0,
+            to: 0,
+            fired: false,
+            forced: false,
+            degraded: false,
+            last,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+            count: 0,
+            last_t: 0,
+            last_depth: 0,
+            flows: Vec::new(),
+            evictions: 0,
+            evicted_weight: 0.0,
+            gaps: Vec::new(),
+        },
+    }
+}
+
+/// The standing-query evaluator: one thread servicing every stream
+/// subscription, mirroring the publisher's cadence. Each tick feeds new
+/// checkpoint records through the window operators, advances watermarks,
+/// and pushes closed windows to their clients.
+fn stream_loop(shared: &Arc<Shared>) {
+    const TICK: Duration = Duration::from_millis(10);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(TICK);
+        let Some(live) = &shared.live else { continue };
+        let mut streams = shared.streams.lock().unwrap();
+        if streams.is_empty() {
+            continue;
+        }
+        streams.retain_mut(|sub| service_stream_sub(shared, live, sub));
+        shared.instruments.stream_subs.set(streams.len() as u64);
+    }
+}
+
+/// Service one subscription for one tick. Returns whether to keep it.
+fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut StreamSub) -> bool {
+    // Gather every checkpoint past this subscription's cursors, then
+    // feed them through the window operator in global timestamp order:
+    // each port's log is time-sorted, but draining whole ports one
+    // after another would present a multi-port subscription with a
+    // wildly out-of-order stream and spuriously drop the later ports'
+    // history as late.
+    let ports = match sub.state.pinned_port() {
+        Some(p) => vec![p],
+        None => live.ports(),
+    };
+    let mut batch = Vec::new();
+    for port in ports {
+        let cps = live.checkpoints(port);
+        let cur = sub.cursors.entry(port).or_insert(0);
+        while *cur < cps.len() {
+            let cp = &cps[*cur];
+            *cur += 1;
+            let depth = cp.queue_monitor().map(|q| u64::from(q.top)).unwrap_or(0);
+            batch.push(StreamRecord {
+                t_ns: cp.frozen_at,
+                port,
+                depth,
+            });
+        }
+    }
+    batch.sort_by_key(|r| (r.t_ns, r.port, r.depth));
+    for record in batch {
+        if !sub.state.push(record) {
+            shared.instruments.stream_late.inc();
+        }
+    }
+    // The live program is immutable while serving (the trace ran before
+    // bind), so with every cursor at the end of its checkpoint log the
+    // source is proven exhausted: emit the bounded-source final
+    // watermark, closing all remaining windows.
+    if !sub.state.sealed() {
+        sub.state.seal();
+    }
+    let mut frames = Vec::new();
+    let mut ended = false;
+    for close in sub.state.drain() {
+        shared.instruments.stream_windows_closed.inc();
+        if close.forced {
+            shared.instruments.stream_evictions_window.inc();
+        }
+        let mut result = close_to_result(shared, live, sub, &close);
+        if close.fired {
+            shared.instruments.stream_results.inc();
+            if let Some(r) = &mut sub.remaining_windows {
+                *r -= 1;
+                if *r == 0 {
+                    result.last = true;
+                    ended = true;
+                }
+            }
+        }
+        frames.push(Frame::StandingQueryResult { id: sub.id, result });
+        if ended {
+            break;
+        }
+    }
+    if !ended && sub.state.sealed() && sub.stop_after_seal {
+        frames.push(progress_frame(sub, true));
+        ended = true;
+    }
+    if frames.is_empty() {
+        return true;
+    }
+    if sub.conn.send(&frames).is_err() {
+        return false;
+    }
+    !ended
+}
+
+/// Materialize one closed window into its wire result. Fired windows
+/// with `emit flows` run the *same* time-window query the one-shot path
+/// runs — `[from, to)` maps to the inclusive interval `[from, to-1]` —
+/// so a standing answer is bit-identical to an offline query over the
+/// same closed window.
+fn close_to_result(
+    shared: &Arc<Shared>,
+    live: &AnalysisProgram,
+    sub: &mut StreamSub,
+    close: &Closed,
+) -> StreamResult {
+    sub.seq += 1;
+    let mut flows = Vec::new();
+    let mut gaps = Vec::new();
+    let mut degraded = close.forced;
+    let mut evictions = 0u64;
+    let mut evicted_weight = 0.0f64;
+    if close.fired && sub.state.query.emit == Emit::Flows {
+        let interval = QueryInterval::new(close.key.from, close.key.to - 1);
+        let answer = live.query_time_windows(close.key.port, interval);
+        degraded |= answer.degraded;
+        gaps = answer.gaps;
+        let mut topk = TopKSummary::new(sub.state.summary_cap(sub.cap));
+        for (flow, est) in answer.estimates.ranked() {
+            topk.offer(flow.0, est);
+        }
+        evictions = topk.evictions;
+        evicted_weight = topk.evicted_weight;
+        if evictions > 0 {
+            // The summary no longer holds every flow: an honest answer
+            // must say so, like any other coverage caveat.
+            degraded = true;
+            shared.instruments.stream_evictions_topk.add(evictions);
+        }
+        flows = topk
+            .ranked(sub.state.query.top_k)
+            .into_iter()
+            .map(|(f, c)| (FlowId(f), c))
+            .collect();
+    }
+    StreamResult {
+        seq: sub.seq,
+        watermark_ns: sub.state.watermark(),
+        port: close.key.port,
+        from: close.key.from,
+        to: close.key.to,
+        fired: close.fired,
+        forced: close.forced,
+        degraded,
+        last: false,
+        max: close.agg.max,
+        min: close.agg.min,
+        sum: close.agg.sum,
+        count: close.agg.count,
+        last_t: close.agg.last_t,
+        last_depth: close.agg.last_depth,
+        flows,
+        evictions,
+        evicted_weight,
+        gaps,
+    }
+}
+
+/// Close every standing subscription with a final `last` progress frame,
+/// mirroring [`drain_subscribers`].
+fn drain_stream_subs(shared: &Arc<Shared>) {
+    let mut streams = shared.streams.lock().unwrap();
+    for mut sub in streams.drain(..) {
+        let frame = progress_frame(&mut sub, true);
+        let _ = sub.conn.send(&[frame]);
+    }
+    shared.instruments.stream_subs.set(0);
 }
 
 /// Execute one query into its response frame sequence.

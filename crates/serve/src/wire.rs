@@ -76,6 +76,9 @@ pub enum ErrorCode {
     /// The query was well-formed but no stored checkpoint can answer it
     /// (e.g. a queue-monitor query before the first poll).
     NoData,
+    /// A standing-query text failed to parse or validate; the message
+    /// carries the parser's diagnosis.
+    BadQuery,
 }
 
 impl ErrorCode {
@@ -89,6 +92,7 @@ impl ErrorCode {
             ErrorCode::Io => 6,
             ErrorCode::ShuttingDown => 7,
             ErrorCode::NoData => 8,
+            ErrorCode::BadQuery => 9,
         }
     }
 
@@ -103,6 +107,7 @@ impl ErrorCode {
             6 => ErrorCode::Io,
             7 => ErrorCode::ShuttingDown,
             8 => ErrorCode::NoData,
+            9 => ErrorCode::BadQuery,
             _ => return Err(WireError::malformed("unknown error code")),
         })
     }
@@ -119,6 +124,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Io => "server i/o error",
             ErrorCode::ShuttingDown => "server shutting down",
             ErrorCode::NoData => "no stored checkpoint can answer the query",
+            ErrorCode::BadQuery => "bad standing query",
         };
         f.write_str(s)
     }
@@ -250,6 +256,54 @@ pub enum WireValue {
     },
 }
 
+/// One closed-window answer on a standing-query subscription, carried
+/// by [`Frame::StandingQueryResult`]. The depth aggregate travels as
+/// the raw `(max, min, sum, count, last_t, last_depth)` integers the
+/// window operator maintains — order-independent and mergeable — and
+/// flow estimates as raw `f64` bits, keeping the bit-identity contract
+/// the one-shot query path already honors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResult {
+    /// Update ordinal on this subscription.
+    pub seq: u64,
+    /// The subscription's watermark after this close.
+    pub watermark_ns: u64,
+    pub port: u16,
+    /// Window span `[from, to)` in sim nanoseconds.
+    pub from: u64,
+    pub to: u64,
+    /// The query predicate held (or the query has none). Non-fired
+    /// closes still travel — the router needs every shard's aggregate
+    /// to evaluate the predicate on the merged window — but clients
+    /// only print fired ones.
+    pub fired: bool,
+    /// Closed early by the open-window cap, not the watermark.
+    pub forced: bool,
+    /// The flow query behind this window saw coverage gaps or the
+    /// routed merge lost a shard.
+    pub degraded: bool,
+    /// Final frame of this subscription (cancel, drain, or the
+    /// requested window budget being reached).
+    pub last: bool,
+    /// Depth aggregate over the window's checkpoint records.
+    pub max: u64,
+    pub min: u64,
+    pub sum: u64,
+    pub count: u64,
+    pub last_t: u64,
+    pub last_depth: u64,
+    /// Ranked culprit flows (empty for `emit depth` or non-fired
+    /// closes); bounded by the subscription cap, itself capped at
+    /// [`ENTRIES_PER_FRAME`].
+    pub flows: Vec<(FlowId, f64)>,
+    /// Bounded-state evictions this window's summary performed.
+    pub evictions: u64,
+    /// Upper bound on the flow weight those evictions displaced.
+    pub evicted_weight: f64,
+    /// Coverage gaps overlapping the window span.
+    pub gaps: Vec<CoverageGap>,
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -277,6 +331,22 @@ pub enum Frame {
     /// Ask for the serving topology: a router answers with its backend
     /// set, a lone daemon with a one-entry map describing itself.
     ShardMapReq { id: u64 },
+    /// Register a standing continuous query. `query` is the text form
+    /// parsed by `pq-stream`; `cap` bounds per-window summary state
+    /// (clamped to [`ENTRIES_PER_FRAME`]); `max_windows` 0 means
+    /// unbounded, otherwise the subscription ends after that many
+    /// *fired* windows; `stop_after_seal` ends it once the source is
+    /// exhausted and every window has closed (CI one-shot mode).
+    StandingQueryReq {
+        id: u64,
+        cap: u32,
+        max_windows: u32,
+        stop_after_seal: bool,
+        query: String,
+    },
+    /// Cancel the standing subscription registered under `sub`; the
+    /// server answers with a final `last=true` result frame on `sub`.
+    StandingQueryCancel { id: u64, sub: u64 },
 
     // -- server → client ---------------------------------------------------
     /// Accepted version and frame cap (`min` of both sides).
@@ -341,6 +411,21 @@ pub enum Frame {
     MetricsChunk { id: u64, samples: Vec<WireSample> },
     /// The serving topology (answer to `ShardMapReq`).
     ShardMapAck { id: u64, map: ShardMap },
+    /// Standing query admitted: `query` echoes the canonical form the
+    /// evaluator actually runs, `cap` the effective (clamped) summary
+    /// cap. Results follow asynchronously under the same `id`.
+    StandingQueryAck { id: u64, cap: u32, query: String },
+    /// One closed window on a standing subscription (`id` is the
+    /// registering request's id).
+    StandingQueryResult { id: u64, result: StreamResult },
+    /// Acknowledges a `MetricsSubscribe` with the *effective* interval
+    /// and update budget after server-side clamping, so operators are
+    /// never misled about the cadence they actually get.
+    SubscribeAck {
+        id: u64,
+        interval_ms: u32,
+        max_updates: u32,
+    },
 }
 
 /// Why a frame failed to decode.
@@ -504,6 +589,25 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             out.push(0x08);
             put_u64(&mut out, *id);
         }
+        Frame::StandingQueryReq {
+            id,
+            cap,
+            max_windows,
+            stop_after_seal,
+            query,
+        } => {
+            out.push(0x09);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *cap);
+            put_u32(&mut out, *max_windows);
+            out.push(u8::from(*stop_after_seal));
+            put_string(&mut out, query);
+        }
+        Frame::StandingQueryCancel { id, sub } => {
+            out.push(0x0A);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *sub);
+        }
         Frame::HelloAck { version, max_frame } => {
             out.push(0x81);
             put_u16(&mut out, *version);
@@ -653,6 +757,55 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                 put_string(&mut out, &b.addr);
                 out.push(u8::from(b.healthy));
             }
+        }
+        Frame::StandingQueryAck { id, cap, query } => {
+            out.push(0x90);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *cap);
+            put_string(&mut out, query);
+        }
+        Frame::StandingQueryResult { id, result } => {
+            out.push(0x91);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, result.seq);
+            put_u64(&mut out, result.watermark_ns);
+            put_u16(&mut out, result.port);
+            put_u64(&mut out, result.from);
+            put_u64(&mut out, result.to);
+            let flags = u8::from(result.fired)
+                | u8::from(result.forced) << 1
+                | u8::from(result.degraded) << 2
+                | u8::from(result.last) << 3;
+            out.push(flags);
+            put_u64(&mut out, result.max);
+            put_u64(&mut out, result.min);
+            put_u64(&mut out, result.sum);
+            put_u64(&mut out, result.count);
+            put_u64(&mut out, result.last_t);
+            put_u64(&mut out, result.last_depth);
+            debug_assert!(result.flows.len() <= ENTRIES_PER_FRAME);
+            put_u32(&mut out, result.flows.len() as u32);
+            for (flow, est) in &result.flows {
+                put_u32(&mut out, flow.0);
+                put_u64(&mut out, est.to_bits());
+            }
+            put_u64(&mut out, result.evictions);
+            put_u64(&mut out, result.evicted_weight.to_bits());
+            put_u32(&mut out, result.gaps.len() as u32);
+            for g in &result.gaps {
+                put_u64(&mut out, g.from);
+                put_u64(&mut out, g.to);
+            }
+        }
+        Frame::SubscribeAck {
+            id,
+            interval_ms,
+            max_updates,
+        } => {
+            out.push(0x92);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *interval_ms);
+            put_u32(&mut out, *max_updates);
         }
     }
     out
@@ -842,6 +995,17 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             max_updates: get_u32(cur)?,
         },
         0x08 => Frame::ShardMapReq { id: get_u64(cur)? },
+        0x09 => Frame::StandingQueryReq {
+            id: get_u64(cur)?,
+            cap: get_u32(cur)?,
+            max_windows: get_u32(cur)?,
+            stop_after_seal: get_u8(cur)? != 0,
+            query: get_string(cur, "standing query not utf-8")?,
+        },
+        0x0A => Frame::StandingQueryCancel {
+            id: get_u64(cur)?,
+            sub: get_u64(cur)?,
+        },
         0x81 => Frame::HelloAck {
             version: get_u16(cur)?,
             max_frame: get_u32(cur)?,
@@ -1007,6 +1171,67 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                 },
             }
         }
+        0x90 => Frame::StandingQueryAck {
+            id: get_u64(cur)?,
+            cap: get_u32(cur)?,
+            query: get_string(cur, "standing query echo not utf-8")?,
+        },
+        0x91 => {
+            let id = get_u64(cur)?;
+            let seq = get_u64(cur)?;
+            let watermark_ns = get_u64(cur)?;
+            let port = get_u16(cur)?;
+            let from = get_u64(cur)?;
+            let to = get_u64(cur)?;
+            let flags = get_u8(cur)?;
+            let max = get_u64(cur)?;
+            let min = get_u64(cur)?;
+            let sum = get_u64(cur)?;
+            let count = get_u64(cur)?;
+            let last_t = get_u64(cur)?;
+            let last_depth = get_u64(cur)?;
+            let nflows = get_u32(cur)?;
+            let nflows = checked_count(cur, nflows, 12)?;
+            let mut flows = Vec::with_capacity(nflows);
+            for _ in 0..nflows {
+                let flow = FlowId(get_u32(cur)?);
+                let est = f64::from_bits(get_u64(cur)?);
+                flows.push((flow, est));
+            }
+            let evictions = get_u64(cur)?;
+            let evicted_weight = f64::from_bits(get_u64(cur)?);
+            let ngaps = get_u32(cur)?;
+            let gaps = get_gaps(cur, ngaps)?;
+            Frame::StandingQueryResult {
+                id,
+                result: StreamResult {
+                    seq,
+                    watermark_ns,
+                    port,
+                    from,
+                    to,
+                    fired: flags & 1 != 0,
+                    forced: flags & 2 != 0,
+                    degraded: flags & 4 != 0,
+                    last: flags & 8 != 0,
+                    max,
+                    min,
+                    sum,
+                    count,
+                    last_t,
+                    last_depth,
+                    flows,
+                    evictions,
+                    evicted_weight,
+                    gaps,
+                },
+            }
+        }
+        0x92 => Frame::SubscribeAck {
+            id: get_u64(cur)?,
+            interval_ms: get_u32(cur)?,
+            max_updates: get_u32(cur)?,
+        },
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
     if !cur.is_empty() {
@@ -1278,6 +1503,135 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn standing_query_frames_round_trip() {
+        round_trip(&Frame::StandingQueryReq {
+            id: 31,
+            cap: 64,
+            max_windows: 0,
+            stop_after_seal: true,
+            query: "port 3 window tumbling 1ms where max(depth) > 5 topk 8 emit flows".into(),
+        });
+        round_trip(&Frame::StandingQueryCancel { id: 32, sub: 31 });
+        round_trip(&Frame::StandingQueryAck {
+            id: 31,
+            cap: 64,
+            query: "port 3 window tumbling 1ms emit flows".into(),
+        });
+        round_trip(&Frame::StandingQueryResult {
+            id: 31,
+            result: StreamResult {
+                seq: 2,
+                watermark_ns: 5_000_000,
+                port: 3,
+                from: 1_000_000,
+                to: 2_000_000,
+                fired: true,
+                forced: false,
+                degraded: true,
+                last: false,
+                max: 12,
+                min: 1,
+                sum: 40,
+                count: 7,
+                last_t: 1_900_000,
+                last_depth: 9,
+                flows: vec![
+                    (FlowId(4), 1.5),
+                    (FlowId(9), f64::from_bits(0x7ff8_dead_beef_0001)),
+                ],
+                evictions: 3,
+                evicted_weight: 2.25,
+                gaps: vec![CoverageGap {
+                    from: 1_100_000,
+                    to: 1_200_000,
+                }],
+            },
+        });
+        // An empty progress close (no flows, no gaps, watermark only).
+        round_trip(&Frame::StandingQueryResult {
+            id: 31,
+            result: StreamResult {
+                seq: 0,
+                watermark_ns: u64::MAX,
+                port: 0,
+                from: 0,
+                to: 0,
+                fired: false,
+                forced: false,
+                degraded: false,
+                last: true,
+                max: 0,
+                min: u64::MAX,
+                sum: 0,
+                count: 0,
+                last_t: 0,
+                last_depth: 0,
+                flows: vec![],
+                evictions: 0,
+                evicted_weight: 0.0,
+                gaps: vec![],
+            },
+        });
+        round_trip(&Frame::SubscribeAck {
+            id: 33,
+            interval_ms: 10,
+            max_updates: 4,
+        });
+    }
+
+    #[test]
+    fn hostile_standing_query_frames_are_rejected() {
+        // Inflated flow count on a result frame.
+        let frame = Frame::StandingQueryResult {
+            id: 1,
+            result: StreamResult {
+                seq: 0,
+                watermark_ns: 0,
+                port: 0,
+                from: 0,
+                to: 0,
+                fired: false,
+                forced: false,
+                degraded: false,
+                last: false,
+                max: 0,
+                min: 0,
+                sum: 0,
+                count: 0,
+                last_t: 0,
+                last_depth: 0,
+                flows: vec![(FlowId(1), 1.0)],
+                evictions: 0,
+                evicted_weight: 0.0,
+                gaps: vec![],
+            },
+        };
+        let mut body = encode_body(&frame);
+        // The flow-count u32 sits right before the single 12-byte flow
+        // entry and the trailing 20 bytes (evictions + weight + gap count).
+        let count_at = body.len() - 12 - 20 - 4;
+        body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Non-UTF-8 query text.
+        let mut body = encode_body(&Frame::StandingQueryReq {
+            id: 1,
+            cap: 8,
+            max_windows: 0,
+            stop_after_seal: false,
+            query: "pq".into(),
+        });
+        let n = body.len();
+        body[n - 1] = 0xFF;
+        body[n - 2] = 0xFE;
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Truncation at every cut never panics.
+        let body = encode_body(&frame);
+        for cut in 0..body.len() {
+            assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

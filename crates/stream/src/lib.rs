@@ -1,0 +1,43 @@
+//! Standing continuous queries over PrintQueue's checkpoint stream.
+//!
+//! The offline query path answers "who filled port 3's queue between
+//! t₀ and t₁?" after the operator thinks to ask. This crate turns that
+//! around: a client registers a *standing* query — "emit the top-k
+//! culprit flows for every 1 ms tumbling window where the port-3 queue
+//! exceeded depth 5" — and the daemon evaluates it continuously,
+//! pushing each window's answer as it materializes.
+//!
+//! The design follows the streams-vs-tables split from streaming SQL
+//! (see SNIPPETS.md, bpfquery's streaming design): the checkpoint
+//! stream is an unbounded, append-only relation keyed by sim time, so
+//! "the answer" is only well-defined per *window*, and a window's
+//! answer may only be emitted once a **watermark** proves no more
+//! records for it will arrive. Three pieces:
+//!
+//! - [`query`]: a small typed AST plus a text parser for the standing
+//!   query language (`port 3 window tumbling 1ms where max(depth) > 5
+//!   topk 8 emit flows`). The canonical [`std::fmt::Display`] rendering
+//!   round-trips through the parser, so servers can echo the query they
+//!   actually run.
+//! - [`window`]: tumbling/sliding window assignment, order-independent
+//!   per-window depth aggregates, and the watermark state machine.
+//!   Window closes are deterministic under out-of-order arrival: a
+//!   record later than the watermark is counted and dropped, never
+//!   silently folded into an already-emitted window.
+//! - [`topk`]: a fixed-capacity space-saving summary for per-window
+//!   flow rankings. Memory is bounded by the configured cap no matter
+//!   how many distinct flows appear; evictions are counted and their
+//!   displaced weight accounted, surfaced to clients as a coverage
+//!   caveat rather than hidden.
+//!
+//! The crate is engine-only — std, no I/O, no threads — so the serve
+//! daemon, the router, and the property tests all drive the exact same
+//! state machines.
+
+pub mod query;
+pub mod topk;
+pub mod window;
+
+pub use query::{parse, Cmp, Emit, ParseError, PortSel, Predicate, Query, Stat, WindowKind};
+pub use topk::TopKSummary;
+pub use window::{Closed, DepthAgg, Record, Standing, WindowKey};

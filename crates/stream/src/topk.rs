@@ -1,0 +1,243 @@
+//! Bounded top-k flow summaries (space-saving).
+//!
+//! A standing subscription must not grow with the number of distinct
+//! flows it observes — that is the memory discipline that makes a
+//! fleet of subscriptions deployable. `TopKSummary` is a fixed-capacity
+//! space-saving summary (Metwally et al.): at most `cap` slots, each
+//! holding an over-estimating count and the error bound inherited from
+//! the slot it displaced. Two invariants make it honest:
+//!
+//! - `count >= true weight` and `count - err <= true weight` for every
+//!   retained flow, so rankings never silently *lose* a heavy flow to
+//!   an eviction without the displaced weight showing up in the error.
+//! - every eviction is **accounted**: `evictions` counts them and
+//!   `evicted_weight` accumulates the displaced slots' counts (an
+//!   upper bound on the unrepresented mass), which the wire surfaces
+//!   to clients as a coverage caveat.
+//!
+//! Merging (the router's per-window shard rollup) is union-sum of
+//! counts and errors followed by a trim back to capacity. When the
+//! union fits within `cap` — the regime the scale-out acceptance tests
+//! pin — no trim occurs, the summary is exact, and the merge is
+//! associative and commutative; the property tests assert this with
+//! integer-valued weights where f64 summation is exact.
+//!
+//! Determinism everywhere: the backing map is a `BTreeMap`, the evicted
+//! slot is the `(count, flow)`-lexicographic minimum by count with the
+//! *largest* flow id breaking ties (so smaller ids survive, matching
+//! the ranking's tie-break), and `ranked()` sorts by count descending
+//! then flow ascending — the same order `FlowEstimates::ranked` uses.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    count: f64,
+    /// Maximum over-estimation: the count of the slot this one evicted
+    /// (0 for flows admitted into free capacity).
+    err: f64,
+}
+
+/// A fixed-capacity space-saving summary over `(flow, weight)` offers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSummary {
+    cap: usize,
+    slots: BTreeMap<u32, Slot>,
+    /// Slots displaced since creation (offer evictions + merge trims).
+    pub evictions: u64,
+    /// Upper bound on the total weight the displaced slots carried.
+    pub evicted_weight: f64,
+}
+
+impl TopKSummary {
+    /// A summary holding at most `cap` flows; `cap` is clamped to at
+    /// least 1 so an offer always lands somewhere.
+    pub fn new(cap: usize) -> TopKSummary {
+        TopKSummary {
+            cap: cap.max(1),
+            slots: BTreeMap::new(),
+            evictions: 0,
+            evicted_weight: 0.0,
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The deterministic eviction victim: minimum count, ties broken
+    /// toward the largest flow id.
+    fn victim(&self) -> Option<u32> {
+        self.slots
+            .iter()
+            .min_by(|(fa, a), (fb, b)| {
+                a.count
+                    .partial_cmp(&b.count)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(fb.cmp(fa))
+            })
+            .map(|(&flow, _)| flow)
+    }
+
+    /// Fold `weight` for `flow` into the summary.
+    pub fn offer(&mut self, flow: u32, weight: f64) {
+        if let Some(slot) = self.slots.get_mut(&flow) {
+            slot.count += weight;
+            return;
+        }
+        if self.slots.len() < self.cap {
+            self.slots.insert(
+                flow,
+                Slot {
+                    count: weight,
+                    err: 0.0,
+                },
+            );
+            return;
+        }
+        let victim = self.victim().expect("cap >= 1, so a victim exists");
+        let displaced = self
+            .slots
+            .remove(&victim)
+            .expect("victim came from the map");
+        self.evictions += 1;
+        self.evicted_weight += displaced.count;
+        self.slots.insert(
+            flow,
+            Slot {
+                count: displaced.count + weight,
+                err: displaced.count,
+            },
+        );
+    }
+
+    /// Union another summary in (counts and error bounds sum per flow),
+    /// then trim back to this summary's capacity with the same
+    /// accounted eviction rule. Exact — and associative — whenever the
+    /// union fits within `cap`.
+    pub fn merge(&mut self, other: &TopKSummary) {
+        for (&flow, o) in &other.slots {
+            match self.slots.get_mut(&flow) {
+                Some(slot) => {
+                    slot.count += o.count;
+                    slot.err += o.err;
+                }
+                None => {
+                    self.slots.insert(flow, *o);
+                }
+            }
+        }
+        self.evictions += other.evictions;
+        self.evicted_weight += other.evicted_weight;
+        while self.slots.len() > self.cap {
+            let victim = self.victim().expect("len > cap >= 1");
+            let displaced = self
+                .slots
+                .remove(&victim)
+                .expect("victim came from the map");
+            self.evictions += 1;
+            self.evicted_weight += displaced.count;
+        }
+    }
+
+    /// Retained flows, heaviest first (count descending, flow id
+    /// ascending on ties), trimmed to `k` when given.
+    pub fn ranked(&self, k: Option<u32>) -> Vec<(u32, f64)> {
+        let mut out: Vec<(u32, f64)> = self
+            .slots
+            .iter()
+            .map(|(&flow, slot)| (flow, slot.count))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        if let Some(k) = k {
+            out.truncate(k as usize);
+        }
+        out
+    }
+
+    /// The error bound for a retained flow (how far `count` may
+    /// overestimate its true weight).
+    pub fn err_of(&self, flow: u32) -> Option<f64> {
+        self.slots.get(&flow).map(|s| s.err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_within_capacity() {
+        let mut s = TopKSummary::new(4);
+        s.offer(1, 10.0);
+        s.offer(2, 5.0);
+        s.offer(1, 2.0);
+        assert_eq!(s.ranked(None), vec![(1, 12.0), (2, 5.0)]);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.evicted_weight, 0.0);
+        assert_eq!(s.err_of(1), Some(0.0));
+    }
+
+    #[test]
+    fn eviction_is_accounted_and_bounded() {
+        let mut s = TopKSummary::new(2);
+        s.offer(1, 10.0);
+        s.offer(2, 3.0);
+        s.offer(3, 1.0); // displaces flow 2 (count 3)
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_weight, 3.0);
+        // Space-saving invariant: new slot overestimates by the
+        // displaced count, and err records exactly that.
+        assert_eq!(s.ranked(None), vec![(1, 10.0), (3, 4.0)]);
+        assert_eq!(s.err_of(3), Some(3.0));
+    }
+
+    #[test]
+    fn victim_tie_breaks_toward_larger_flow_id() {
+        let mut s = TopKSummary::new(2);
+        s.offer(7, 1.0);
+        s.offer(2, 1.0);
+        s.offer(9, 5.0); // equal-count victims 7 and 2: 7 goes
+        let flows: Vec<u32> = s.ranked(None).into_iter().map(|(f, _)| f).collect();
+        assert!(flows.contains(&2) && !flows.contains(&7));
+    }
+
+    #[test]
+    fn merge_unions_and_trims_with_accounting() {
+        let mut a = TopKSummary::new(2);
+        a.offer(1, 4.0);
+        a.offer(2, 2.0);
+        let mut b = TopKSummary::new(2);
+        b.offer(3, 3.0);
+        b.offer(2, 1.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        // Union was {1:4, 2:3, 3:3}; the trim victim is the count-3
+        // slot with the larger flow id.
+        assert_eq!(a.ranked(None), vec![(1, 4.0), (2, 3.0)]);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(a.evicted_weight, 3.0);
+    }
+
+    #[test]
+    fn ranked_truncates_to_k() {
+        let mut s = TopKSummary::new(8);
+        for f in 0..5u32 {
+            s.offer(f, f64::from(f + 1));
+        }
+        assert_eq!(s.ranked(Some(2)), vec![(4, 5.0), (3, 4.0)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the standing-query operators. Three claims carry
+//! the whole subsystem (mirroring `crates/router/tests/properties.rs`):
+//!
+//! 1. the watermark is monotone under arbitrary record streams — a
+//!    closed window can never reopen;
+//! 2. window closes are deterministic under shuffled arrival order
+//!    whenever the lateness bound covers the skew — the emitted
+//!    `(key, aggregate, fired)` list is a function of the record *set*,
+//!    not the record *sequence*;
+//! 3. the bounded top-k merge is commutative and associative in the
+//!    exact regime (union fits capacity) — with integer-valued f64
+//!    weights, where IEEE summation is exact, so the assertion is
+//!    legitimate — and capacity plus eviction accounting hold under
+//!    any offer/merge sequence.
+
+use pq_stream::{parse, Closed, Record, Standing, TopKSummary};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (0u64..2_000, 0u16..4, 0u64..50).prop_map(|(t_ns, port, depth)| Record { t_ns, port, depth })
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    let window = prop_oneof![
+        (1u64..300)
+            .prop_map(|s| format!("window tumbling {s}"))
+            .boxed(),
+        (1u64..300, 1u64..300)
+            .prop_map(|(a, b)| {
+                let (size, slide) = (a.max(b), a.min(b));
+                format!("window sliding {size} slide {slide}")
+            })
+            .boxed(),
+    ];
+    let pred = prop_oneof![
+        Just(String::new()).boxed(),
+        (0u64..40)
+            .prop_map(|v| format!(" where max(depth) > {v}"))
+            .boxed(),
+        (0u64..40)
+            .prop_map(|v| format!(" where avg(depth) <= {v}"))
+            .boxed(),
+        (0u64..20)
+            .prop_map(|v| format!(" where count(depth) >= {v}"))
+            .boxed(),
+    ];
+    (window, pred).prop_map(|(w, p)| format!("port * {w}{p}"))
+}
+
+/// Canonical emission transcript: every close (watermark-driven and
+/// end-of-stream), in emission order.
+fn transcript(query: &str, records: &[Record], max_open: usize) -> Vec<Closed> {
+    let mut s = Standing::new(parse(query).unwrap(), max_open);
+    let mut out = Vec::new();
+    for &r in records {
+        s.push(r);
+        out.extend(s.drain());
+    }
+    s.seal();
+    out.extend(s.drain());
+    out
+}
+
+proptest! {
+    /// The watermark never decreases, no matter the record stream.
+    #[test]
+    fn watermark_is_monotone(
+        query in arb_query(),
+        records in vec(arb_record(), 0..64),
+        lateness in 0u64..500,
+    ) {
+        let q = parse(&format!("{query} lateness {lateness}")).unwrap();
+        let mut s = Standing::new(q, 16);
+        let mut wm = s.watermark();
+        for r in records {
+            s.push(r);
+            s.drain();
+            prop_assert!(s.watermark() >= wm, "watermark moved backwards");
+            wm = s.watermark();
+        }
+        s.seal();
+        prop_assert!(s.watermark() >= wm);
+    }
+
+    /// With lateness covering the full skew (so nothing is dropped) and
+    /// capacity for every window, the close transcript is a function of
+    /// the record set: any shuffle emits identical keys, aggregates,
+    /// and fired flags.
+    #[test]
+    fn closes_are_deterministic_under_shuffled_arrival(
+        query in arb_query(),
+        records in vec(arb_record(), 0..48),
+        shuffle in vec(any::<u64>(), 0..48),
+    ) {
+        let q = format!("{query} lateness 2000");
+        let mut shuffled = records.clone();
+        // A deterministic shuffle keyed by the generated permutation
+        // weights (no RNG in tests: failures must replay exactly).
+        shuffled.sort_by_key(|r| {
+            let i = records.iter().position(|x| x == r).unwrap_or(0);
+            shuffle.get(i).copied().unwrap_or(0)
+        });
+        let a = transcript(&q, &records, usize::MAX);
+        let b = transcript(&q, &shuffled, usize::MAX);
+        // Emission *timing* differs (closes happen when the watermark
+        // passes), but the final sorted transcript must be identical.
+        let canon = |mut v: Vec<Closed>| {
+            v.sort_by_key(|c| (c.key.to, c.key.from, c.key.port));
+            v
+        };
+        prop_assert_eq!(canon(a), canon(b));
+    }
+
+    /// Late records never mutate already-closed windows: a transcript's
+    /// closes are unique per window key.
+    #[test]
+    fn closed_windows_never_reopen(
+        query in arb_query(),
+        records in vec(arb_record(), 0..64),
+    ) {
+        let closes = transcript(&query, &records, 16);
+        let mut keys: Vec<_> = closes.iter().map(|c| c.key).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), n);
+    }
+
+    /// Open-window state stays under the configured cap at every step,
+    /// and every early close is accounted as forced.
+    #[test]
+    fn open_windows_respect_the_cap(
+        query in arb_query(),
+        records in vec(arb_record(), 0..64),
+        cap in 1usize..8,
+    ) {
+        let mut s = Standing::new(parse(&query).unwrap(), cap);
+        let mut forced_seen = 0u64;
+        for r in records {
+            s.push(r);
+            prop_assert!(s.open_windows() <= cap);
+            forced_seen += s.drain().iter().filter(|c| c.forced).count() as u64;
+        }
+        s.seal();
+        forced_seen += s.drain().iter().filter(|c| c.forced).count() as u64;
+        prop_assert_eq!(forced_seen, s.forced_closes);
+    }
+
+    /// Exact-regime merge associativity/commutativity: integer weights,
+    /// distinct flows within capacity — the shard-rollup contract.
+    #[test]
+    fn topk_merge_is_associative_when_exact(
+        a in vec((0u32..12, 1u16..100), 0..6),
+        b in vec((0u32..12, 1u16..100), 0..6),
+        c in vec((0u32..12, 1u16..100), 0..6),
+    ) {
+        let fill = |offers: &[(u32, u16)]| {
+            let mut s = TopKSummary::new(12);
+            for &(flow, w) in offers {
+                // Integer-valued f64s: summation is exact, so the
+                // associativity assertion below is legitimate.
+                s.offer(flow, f64::from(w));
+            }
+            s
+        };
+        let (sa, sb, sc) = (fill(&a), fill(&b), fill(&c));
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.ranked(None), a_bc.ranked(None));
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(ab.ranked(None), ba.ranked(None));
+        prop_assert_eq!(ab.evictions, 0);
+    }
+
+    /// Capacity and accounting invariants hold in the inexact regime
+    /// too: len <= cap always, and retained+evicted weight conserves
+    /// the total offered mass as an upper bound.
+    #[test]
+    fn topk_bounds_memory_and_accounts_evictions(
+        offers in vec((0u32..64, 1u16..50), 0..64),
+        cap in 1usize..8,
+    ) {
+        let mut s = TopKSummary::new(cap);
+        let mut total = 0.0;
+        for &(flow, w) in &offers {
+            s.offer(flow, f64::from(w));
+            total += f64::from(w);
+            prop_assert!(s.len() <= cap);
+        }
+        let retained: f64 = s.ranked(None).iter().map(|(_, c)| c).sum();
+        // Space-saving counts over-estimate, so retained + evicted
+        // covers the true mass.
+        prop_assert!(retained + s.evicted_weight >= total - 1e-6);
+        if s.evictions == 0 {
+            prop_assert_eq!(s.evicted_weight, 0.0);
+            prop_assert!((retained - total).abs() < 1e-6);
+        }
+    }
+}

@@ -180,6 +180,20 @@ pub mod names {
     /// was down (counter).
     pub const ROUTER_SHARD_UNAVAILABLE: &str = "pq_router_shard_unavailable_total";
 
+    // -- pq-stream (standing-query evaluator, serve & router side) ---------
+    /// Standing-query subscriptions currently registered (gauge).
+    pub const STREAM_SUBSCRIPTIONS: &str = "pq_stream_subscriptions";
+    /// Windows closed across all standing subscriptions (counter).
+    pub const STREAM_WINDOWS_CLOSED: &str = "pq_stream_windows_closed_total";
+    /// Records that arrived behind the watermark and were dropped
+    /// (counter).
+    pub const STREAM_LATE_RECORDS: &str = "pq_stream_late_records_total";
+    /// Bounded-state evictions (counter, label `kind` ∈ {`topk`,
+    /// `window`}).
+    pub const STREAM_EVICTIONS: &str = "pq_stream_evictions_total";
+    /// Fired window results pushed to standing-query clients (counter).
+    pub const STREAM_RESULTS: &str = "pq_stream_results_total";
+
     // -- cross-crate -------------------------------------------------------
     /// Build provenance carrier: constant 1, labels `version`, `commit`.
     pub const BUILD_INFO: &str = "pq_build_info";
@@ -251,6 +265,11 @@ pub mod names {
             ROUTER_SHARD_UNAVAILABLE => {
                 "Routed queries degraded because every owner of a shard was down."
             }
+            STREAM_SUBSCRIPTIONS => "Standing-query subscriptions currently registered.",
+            STREAM_WINDOWS_CLOSED => "Windows closed across all standing subscriptions.",
+            STREAM_LATE_RECORDS => "Stream records dropped for arriving behind the watermark.",
+            STREAM_EVICTIONS => "Bounded-state evictions in standing subscriptions, by kind.",
+            STREAM_RESULTS => "Fired window results pushed to standing-query clients.",
             BUILD_INFO => "Build provenance: constant 1 with version and commit labels.",
             WATCH_UPDATES => "Subscription updates applied by this watch client.",
             WATCH_SERIES_CHANGED => "Metric series changed across applied updates.",

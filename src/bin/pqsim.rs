@@ -144,6 +144,7 @@ fn usage() -> ! {
          \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]\n  \
          pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
          \x20         [--once] [--json]\n  \
+         pqsim stream ADDR --query Q [--cap N] [--windows N] [--once] [--json]\n  \
          pqsim serve-stop ADDR\n  \
          (any subcommand: --quiet suppresses progress output)"
     );
@@ -222,6 +223,7 @@ fn main() {
         "replicate" => cmd_replicate(&args),
         "query" => cmd_query(&args),
         "watch" => cmd_watch(&args),
+        "stream" => cmd_stream(&args),
         "serve-stop" => cmd_serve_stop(&args),
         _ => usage(),
     };
@@ -1279,6 +1281,13 @@ fn cmd_watch(args: &Args) -> CliResult {
     let first = client
         .subscribe(interval_ms, sub_updates)
         .map_err(|err| format!("subscribe: {err}"))?;
+    // The server clamps the publisher tick to its supported range and
+    // echoes the effective value in the subscribe ack; surface it so an
+    // operator asking for 1ms is not silently misled about cadence.
+    let effective_ms = client.subscribed_interval_ms().unwrap_or(interval_ms);
+    if effective_ms != interval_ms {
+        progress!("watch {addr}: interval clamped to {effective_ms}ms (requested {interval_ms}ms)");
+    }
     // Update 0 is the full baseline; later updates carry only changed
     // series (absolute values), folded in with `apply`.
     let mut folded = first.changed.clone();
@@ -1327,6 +1336,7 @@ fn cmd_watch(args: &Args) -> CliResult {
         render_watch_frame(
             &addr,
             &health,
+            effective_ms,
             &folded,
             qps,
             &qps_hist,
@@ -1343,12 +1353,19 @@ fn cmd_watch(args: &Args) -> CliResult {
     if json {
         println!(
             "{}",
-            watch_json(&addr, &health, &folded, &plane.snapshot(), &engine)
+            watch_json(
+                &addr,
+                &health,
+                effective_ms,
+                &folded,
+                &plane.snapshot(),
+                &engine
+            )
         );
     } else {
         print!(
             "{}",
-            watch_text(&addr, &health, &folded, &qps_hist, &engine)
+            watch_text(&addr, &health, effective_ms, &folded, &qps_hist, &engine)
         );
     }
     if !firing.is_empty() {
@@ -1365,6 +1382,161 @@ fn cmd_watch(args: &Args) -> CliResult {
         ));
     }
     Ok(())
+}
+
+/// Register a standing continuous query and print window results as they
+/// materialize. `--once` asks the server to end the stream once the
+/// bounded source is sealed (one full pass over the live registers), so
+/// the command terminates and is usable as a CI gate; `--json` prints
+/// one object per closed window live, or a single summary document under
+/// `--once`.
+fn cmd_stream(args: &Args) -> CliResult {
+    use printqueue::serve::Client;
+    let Some(addr) = args.positional.first().cloned() else {
+        usage()
+    };
+    let Some(query) = args.get_str("query") else {
+        usage()
+    };
+    let cap: u32 = args.get("cap", 512);
+    let windows: u32 = args.get("windows", 0);
+    let json = args.has("json");
+    let once = args.has("once");
+
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|err| format!("connect {addr}: {err}"))?;
+    let ack = client
+        .standing(query, cap, windows, once)
+        .map_err(|err| format!("standing query: {err}"))?;
+    progress!(
+        "stream {addr}: sub {} cap {} — {}",
+        ack.sub,
+        ack.cap,
+        ack.query
+    );
+
+    let mut closed = 0u64;
+    let mut fired = 0u64;
+    let mut results = Vec::new();
+    loop {
+        let r = client
+            .next_stream_result(ack.sub)
+            .map_err(|err| format!("stream result: {err}"))?;
+        let last = r.last;
+        // Frames with `to == 0` carry only watermark progress.
+        if r.to != 0 {
+            closed += 1;
+            if r.fired {
+                fired += 1;
+            }
+            if json && once {
+                results.push(r);
+            } else if json {
+                println!("{}", stream_result_json(&r));
+            } else {
+                println!("{}", stream_result_text(&r));
+            }
+        }
+        if last {
+            break;
+        }
+    }
+    if json && once {
+        let body: Vec<String> = results.iter().map(stream_result_json).collect();
+        println!(
+            "{{\"addr\":\"{}\",\"query\":\"{}\",\"closed\":{closed},\"fired\":{fired},\
+             \"results\":[{}]}}",
+            json_escape(&addr),
+            json_escape(&ack.query),
+            body.join(","),
+        );
+    } else {
+        progress!("stream {addr}: {closed} window(s) closed, {fired} fired");
+    }
+    Ok(())
+}
+
+/// One closed window as a human-readable line.
+fn stream_result_text(r: &printqueue::serve::StreamResult) -> String {
+    use std::fmt::Write as _;
+    let min = if r.min == u64::MAX { 0 } else { r.min };
+    let avg = if r.count > 0 {
+        r.sum as f64 / r.count as f64
+    } else {
+        0.0
+    };
+    let mut out = format!(
+        "window port {} [{}ns, {}ns) {}: depth max {} min {min} avg {avg:.1} last {} \
+         ({} checkpoints)",
+        r.port,
+        r.from,
+        r.to,
+        if r.fired { "FIRED" } else { "quiet" },
+        r.max,
+        r.last_depth,
+        r.count,
+    );
+    for (flow, est) in &r.flows {
+        let _ = write!(out, " {}={est:.0}", flow.0);
+    }
+    if r.evictions > 0 {
+        let _ = write!(
+            out,
+            " [{} evicted, weight {:.0}]",
+            r.evictions, r.evicted_weight
+        );
+    }
+    if r.forced {
+        out.push_str(" [forced]");
+    }
+    if r.degraded {
+        out.push_str(" [degraded]");
+    }
+    out
+}
+
+/// One closed window as a JSON object (shared by the live `--json`
+/// stream and the `--once` summary document).
+fn stream_result_json(r: &printqueue::serve::StreamResult) -> String {
+    use std::fmt::Write as _;
+    let mut flows = String::from("[");
+    for (i, (flow, est)) in r.flows.iter().enumerate() {
+        if i > 0 {
+            flows.push(',');
+        }
+        let _ = write!(flows, "{{\"flow\":{},\"est\":{est}}}", flow.0);
+    }
+    flows.push(']');
+    let mut gaps = String::from("[");
+    for (i, g) in r.gaps.iter().enumerate() {
+        if i > 0 {
+            gaps.push(',');
+        }
+        let _ = write!(gaps, "{{\"from\":{},\"to\":{}}}", g.from, g.to);
+    }
+    gaps.push(']');
+    format!(
+        "{{\"seq\":{},\"watermark_ns\":{},\"port\":{},\"from\":{},\"to\":{},\"fired\":{},\
+         \"forced\":{},\"degraded\":{},\"max\":{},\"min\":{},\"sum\":{},\"count\":{},\
+         \"last_t\":{},\"last_depth\":{},\"evictions\":{},\"evicted_weight\":{},\
+         \"flows\":{flows},\"gaps\":{gaps}}}",
+        r.seq,
+        r.watermark_ns,
+        r.port,
+        r.from,
+        r.to,
+        r.fired,
+        r.forced,
+        r.degraded,
+        r.max,
+        if r.min == u64::MAX { 0 } else { r.min },
+        r.sum,
+        r.count,
+        r.last_t,
+        r.last_depth,
+        r.evictions,
+        r.evicted_weight,
+    )
 }
 
 /// Sum a counter's value across all of its label sets.
@@ -1497,6 +1669,7 @@ fn alerts_json(engine: &printqueue::telemetry::AlertEngine) -> String {
 fn watch_json(
     addr: &str,
     health: &printqueue::serve::HealthInfo,
+    interval_ms: u32,
     server: &telemetry::RegistrySnapshot,
     watch: &telemetry::RegistrySnapshot,
     engine: &printqueue::telemetry::AlertEngine,
@@ -1506,9 +1679,15 @@ fn watch_json(
         .iter()
         .map(|name| format!("\"{}\"", json_escape(name)))
         .collect();
+    // Shard identity rides at the top level (not only inside "health") so
+    // CI scripts pointed at a fleet member can assert who answered with a
+    // one-key lookup.
     format!(
-        "{{\"addr\":\"{}\",\"health\":{},\"metrics\":{},\"watch\":{},\"alerts\":{},\"firing\":[{}]}}",
+        "{{\"addr\":\"{}\",\"shard\":\"{}\",\"interval_ms\":{},\"health\":{},\"metrics\":{},\
+         \"watch\":{},\"alerts\":{},\"firing\":[{}]}}",
         json_escape(addr),
+        json_escape(&health.shard),
+        interval_ms,
         health_json(health),
         snapshot_json(server),
         snapshot_json(watch),
@@ -1521,6 +1700,7 @@ fn watch_json(
 fn watch_text(
     addr: &str,
     health: &printqueue::serve::HealthInfo,
+    interval_ms: u32,
     server: &telemetry::RegistrySnapshot,
     qps_hist: &printqueue::telemetry::GaugeHistory,
     engine: &printqueue::telemetry::AlertEngine,
@@ -1537,8 +1717,8 @@ fn watch_text(
     };
     let _ = writeln!(
         out,
-        "watch {addr}{shard}: up {}s, version {} ({}), {}/{} workers busy, \
-         queue {}/{}, conns {}/{}, subscribers {}{}",
+        "watch {addr}{shard}: every {interval_ms}ms, up {}s, version {} ({}), \
+         {}/{} workers busy, queue {}/{}, conns {}/{}, subscribers {}{}",
         health.uptime_ns / 1_000_000_000,
         health.version,
         &health.commit[..health.commit.len().min(12)],
@@ -1585,6 +1765,7 @@ fn watch_text(
 fn render_watch_frame(
     addr: &str,
     health: &printqueue::serve::HealthInfo,
+    interval_ms: u32,
     server: &telemetry::RegistrySnapshot,
     qps: f64,
     qps_hist: &printqueue::telemetry::GaugeHistory,
@@ -1597,7 +1778,14 @@ fn render_watch_frame(
     if std::io::stdout().is_terminal() {
         out.push_str("\x1b[2J\x1b[H");
     }
-    out.push_str(&watch_text(addr, health, server, qps_hist, engine));
+    out.push_str(&watch_text(
+        addr,
+        health,
+        interval_ms,
+        server,
+        qps_hist,
+        engine,
+    ));
     use std::fmt::Write as _;
     let _ = writeln!(
         out,

@@ -37,7 +37,15 @@
 //! * [`router`] — the scale-out tier in front of N serve daemons:
 //!   rendezvous-sharded, replicated scatter-gather with transparent
 //!   failover, quarantine-with-probe, and bit-identical single-shard
-//!   answers (same wire protocol, so clients point at it unchanged).
+//!   answers (same wire protocol, so clients point at it unchanged);
+//! * [`stream`] — standing continuous queries: a typed query language
+//!   (predicate / window / top-k / emit clauses), tumbling and sliding
+//!   window operators with watermark-driven deterministic closes under
+//!   out-of-order arrival, and bounded per-subscription state via a
+//!   space-saving top-k summary with explicit eviction accounting. The
+//!   daemon evaluates subscriptions on a dedicated thread and pushes
+//!   `StandingQueryResult` frames; the router fans a standing query to
+//!   every shard and merges per-window partials associatively.
 //!
 //! ## Quickstart
 //!
@@ -72,6 +80,7 @@ pub use pq_packet as packet;
 pub use pq_router as router;
 pub use pq_serve as serve;
 pub use pq_store as store;
+pub use pq_stream as stream;
 pub use pq_switch as switch;
 pub use pq_telemetry as telemetry;
 pub use pq_trace as trace;

@@ -68,6 +68,9 @@ pub fn merge_results(partials: Vec<RemoteResult>) -> Option<RemoteResult> {
         gaps: normalize_gaps(gaps),
         degraded,
         checkpoints,
+        // A merged answer spans backends; the router's own header echo
+        // carries the caller's context instead.
+        trace: None,
     })
 }
 
@@ -97,6 +100,7 @@ mod tests {
             gaps: raw.clone(),
             degraded: true,
             checkpoints: 7,
+            trace: None,
         };
         let merged = merge_results(vec![partial]).unwrap();
         assert_eq!(merged.gaps, raw);
@@ -116,12 +120,14 @@ mod tests {
                 gaps: vec![gap(0, 5)],
                 degraded: false,
                 checkpoints: 4,
+                trace: None,
             },
             RemoteResult {
                 estimates: b,
                 gaps: vec![gap(6, 9)],
                 degraded: true,
                 checkpoints: 9,
+                trace: None,
             },
         ])
         .unwrap();

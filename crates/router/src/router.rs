@@ -35,7 +35,10 @@ use pq_serve::wire::{
 };
 use pq_serve::{Client, ClientError, RetryPolicy};
 use pq_stream::{DepthAgg, Emit, TopKSummary};
-use pq_telemetry::{names, provenance, to_prometheus, Counter, Gauge, Histogram, Telemetry};
+use pq_telemetry::{
+    names, new_trace_id, provenance, to_prometheus, ActiveTrace, Counter, Gauge, Histogram,
+    Telemetry, Trace, TraceClock, TraceContext,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -196,6 +199,9 @@ struct Shared {
     standing: Mutex<Vec<StandingEntry>>,
     instruments: Instruments,
     started: Instant,
+    /// Unix-epoch-anchored span clock, comparable across processes so a
+    /// stitched timeline lines router spans up with backend spans.
+    trace_clock: TraceClock,
 }
 
 /// One backend's contribution to a routed standing query: its closed
@@ -393,17 +399,71 @@ impl Shared {
         Err(last_err.unwrap_or_else(|| ClientError::Protocol("no backends configured".into())))
     }
 
+    /// Start an [`ActiveTrace`] for one routed request when tracing is
+    /// enabled: continue the propagated context, or originate a root here
+    /// so router-edge queries are traceable too.
+    fn start_trace(&self, trace: Option<TraceContext>) -> Option<ActiveTrace> {
+        let traces = self.instruments.plane.traces();
+        if !traces.is_enabled() {
+            return None;
+        }
+        let ctx = trace.unwrap_or_else(|| {
+            let tid = new_trace_id();
+            TraceContext::root(tid, traces.should_sample(tid))
+        });
+        Some(ActiveTrace::new(ctx, "router"))
+    }
+
+    /// Close a routed request's `route` span and commit the trace when it
+    /// is sampled (originally, or `upgraded` by a Busy shed downstream)
+    /// or slow.
+    fn finish_trace(
+        &self,
+        tracer: Option<ActiveTrace>,
+        route_span: u64,
+        route_start: u64,
+        upgraded: bool,
+        errored: bool,
+    ) {
+        let Some(mut t) = tracer else { return };
+        let end = self.trace_clock.now_ns();
+        let ctx = t.ctx();
+        t.record_with_id(
+            route_span,
+            names::SPAN_ROUTE,
+            ctx.parent_span,
+            route_start,
+            end,
+            if errored { "error" } else { "ok" },
+        );
+        let traces = self.instruments.plane.traces();
+        let duration = end.saturating_sub(route_start);
+        let slow = traces.is_slow(duration);
+        if ctx.sampled || upgraded || slow {
+            traces.commit(t.finish(route_span, duration, slow));
+        }
+    }
+
     /// Route a time-windows or replay query: slice, scatter, merge.
-    fn route_query(&self, id: u64, req: Request) -> Vec<Frame> {
+    fn route_query(&self, id: u64, req: Request, trace: Option<TraceContext>) -> Vec<Frame> {
         let (port, from, to, replay_d) = match req {
             Request::TimeWindows { port, from, to } => (port, from, to, None),
             Request::Replay { port, from, to, d } => (port, from, to, Some(d)),
             Request::QueueMonitor { .. } => unreachable!("monitor has its own path"),
         };
+        let route_start = self.trace_clock.now_ns();
+        let mut tracer = self.start_trace(trace);
+        let route_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+        // Backends continue the trace as children of the route span; a
+        // backend that sheds with Busy force-samples the retried context,
+        // and the flag surfaces back here through the pooled client.
+        let child = tracer.as_ref().map(|t| t.ctx().child(route_span));
+        let mut upgraded = false;
         let slices = epochs(from, to, self.config.epoch_ns);
         let mut contacted = BTreeSet::new();
         let mut partials = Vec::with_capacity(slices.len());
-        for slice in &slices {
+        let mut failed: Option<(usize, ClientError)> = None;
+        for (si, slice) in slices.iter().enumerate() {
             let sub_req = match replay_d {
                 None => Request::TimeWindows {
                     port,
@@ -417,48 +477,124 @@ impl Shared {
                     d,
                 },
             };
+            let mut attempt = 0u32;
             let got = self.shard_call(port, slice.epoch, &mut contacted, |shared, bi| {
-                shared.sub_call(bi, |client| {
-                    client.query_retry(sub_req, &shared.config.retry)
-                })
+                let attempt_start = shared.trace_clock.now_ns();
+                let failed_over = attempt > 0;
+                attempt += 1;
+                let out = shared.sub_call(bi, |client| {
+                    client.set_trace_context(child);
+                    let r = client.query_retry(sub_req, &shared.config.retry);
+                    if let Some(c) = client.trace_context() {
+                        upgraded |= c.sampled;
+                    }
+                    client.set_trace_context(None);
+                    r
+                });
+                if failed_over {
+                    if let Some(t) = tracer.as_mut() {
+                        t.record(
+                            names::SPAN_FAILOVER,
+                            route_span,
+                            attempt_start,
+                            shared.trace_clock.now_ns(),
+                            &shared.backends[bi].spec.name,
+                        );
+                    }
+                }
+                out
             });
             match got {
                 Ok(partial) => partials.push(partial),
                 Err(e) => {
-                    self.instruments.fanout.record(contacted.len() as u64);
-                    self.instruments.errors.inc();
-                    return vec![error_frame(id, slice, e)];
+                    failed = Some((si, e));
+                    break;
                 }
             }
         }
         self.instruments.fanout.record(contacted.len() as u64);
-        let merged = merge_results(partials).expect("epochs() never returns zero slices");
-        self.instruments.completed(if replay_d.is_some() {
-            "replay"
-        } else {
-            "time_windows"
-        });
-        result_frames(
-            id,
-            merged.checkpoints,
-            merged.estimates.ranked(),
-            merged.gaps,
-            merged.degraded,
-        )
+        let frames = match failed {
+            Some((si, e)) => {
+                self.instruments.errors.inc();
+                vec![error_frame(id, &slices[si], e)]
+            }
+            None => {
+                let merge_start = self.trace_clock.now_ns();
+                let merged = merge_results(partials).expect("epochs() never returns zero slices");
+                if let Some(t) = tracer.as_mut() {
+                    t.record(
+                        names::SPAN_MERGE,
+                        route_span,
+                        merge_start,
+                        self.trace_clock.now_ns(),
+                        &slices.len().to_string(),
+                    );
+                }
+                self.instruments.completed(if replay_d.is_some() {
+                    "replay"
+                } else {
+                    "time_windows"
+                });
+                result_frames(
+                    id,
+                    merged.checkpoints,
+                    merged.estimates.ranked(),
+                    merged.gaps,
+                    merged.degraded,
+                    trace,
+                )
+            }
+        };
+        let errored = matches!(frames.first(), Some(Frame::Error { .. }));
+        self.finish_trace(tracer, route_span, route_start, upgraded, errored);
+        frames
     }
 
     /// Route a queue-monitor query: a single instant lives in a single
     /// epoch, so this is pure failover with passthrough.
-    fn route_monitor(&self, id: u64, port: u16, at: u64) -> Vec<Frame> {
+    fn route_monitor(
+        &self,
+        id: u64,
+        port: u16,
+        at: u64,
+        trace: Option<TraceContext>,
+    ) -> Vec<Frame> {
+        let route_start = self.trace_clock.now_ns();
+        let mut tracer = self.start_trace(trace);
+        let route_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+        let child = tracer.as_ref().map(|t| t.ctx().child(route_span));
+        let mut upgraded = false;
         let epoch = epoch_of(at, self.config.epoch_ns);
         let mut contacted = BTreeSet::new();
+        let mut attempt = 0u32;
         let got = self.shard_call(port, epoch, &mut contacted, |shared, bi| {
-            shared.sub_call(bi, |client| {
-                client.queue_monitor_retry(port, at, &shared.config.retry)
-            })
+            let attempt_start = shared.trace_clock.now_ns();
+            let failed_over = attempt > 0;
+            attempt += 1;
+            let out = shared.sub_call(bi, |client| {
+                client.set_trace_context(child);
+                let r = client.queue_monitor_retry(port, at, &shared.config.retry);
+                if let Some(c) = client.trace_context() {
+                    upgraded |= c.sampled;
+                }
+                client.set_trace_context(None);
+                r
+            });
+            if failed_over {
+                if let Some(t) = tracer.as_mut() {
+                    t.record(
+                        names::SPAN_FAILOVER,
+                        route_span,
+                        attempt_start,
+                        shared.trace_clock.now_ns(),
+                        &shared.backends[bi].spec.name,
+                    );
+                }
+            }
+            out
         });
         self.instruments.fanout.record(contacted.len() as u64);
-        match got {
+        let frames = match got {
             Ok(mon) => {
                 self.instruments.completed("queue_monitor");
                 let mut frames = vec![Frame::MonitorHeader {
@@ -468,6 +604,7 @@ impl Shared {
                     staleness: mon.staleness,
                     counts: mon.counts.len() as u32,
                     gaps: mon.gaps.len() as u32,
+                    trace,
                 }];
                 frames.extend(chunk_counts(id, &mon.counts));
                 frames.extend(chunk_gaps(id, &mon.gaps));
@@ -483,7 +620,10 @@ impl Shared {
                 };
                 vec![error_frame(id, &slice, e)]
             }
-        }
+        };
+        let errored = matches!(frames.first(), Some(Frame::Error { .. }));
+        self.finish_trace(tracer, route_span, route_start, upgraded, errored);
+        frames
     }
 
     /// Route a standing query: fan a *stripped* copy (no predicate, no
@@ -495,6 +635,7 @@ impl Shared {
     /// replica dedupe: live register state is per-daemon, so every
     /// backend is an independent data owner whose partial the merge
     /// needs.
+    #[allow(clippy::too_many_arguments)]
     fn route_standing(
         &self,
         conn: &Arc<Conn>,
@@ -503,6 +644,7 @@ impl Shared {
         max_windows: u32,
         stop_after_seal: bool,
         query: &str,
+        trace: Option<TraceContext>,
     ) {
         let parsed = match pq_stream::parse(query) {
             Ok(q) => q,
@@ -517,12 +659,17 @@ impl Shared {
                 id,
                 cap,
                 query: parsed.to_string(),
+                trace,
             }])
             .is_err()
         {
             return;
         }
         self.instruments.req_standing.inc();
+        let route_start = self.trace_clock.now_ns();
+        let mut tracer = self.start_trace(trace);
+        let route_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+        let child = tracer.as_ref().map(|t| t.ctx().child(route_span));
         let mut stripped = parsed.clone();
         stripped.predicate = None;
         stripped.top_k = None;
@@ -530,7 +677,7 @@ impl Shared {
         let stripped_text = stripped_text.as_str();
         let partials: Vec<StandingPartial> = thread::scope(|s| {
             let handles: Vec<_> = (0..self.backends.len())
-                .map(|bi| s.spawn(move || self.fan_standing(bi, stripped_text)))
+                .map(|bi| s.spawn(move || self.fan_standing(bi, stripped_text, child)))
                 .collect();
             handles
                 .into_iter()
@@ -538,6 +685,7 @@ impl Shared {
                 .collect()
         });
         self.instruments.fanout.record(self.backends.len() as u64);
+        let merge_start = self.trace_clock.now_ns();
         let any_dead = partials.iter().any(|p| p.dead);
         if any_dead {
             self.instruments.errors.inc();
@@ -667,6 +815,16 @@ impl Shared {
             });
             ended = true;
         }
+        if let Some(t) = tracer.as_mut() {
+            t.record(
+                names::SPAN_MERGE,
+                route_span,
+                merge_start,
+                self.trace_clock.now_ns(),
+                &frames.len().to_string(),
+            );
+        }
+        self.finish_trace(tracer, route_span, route_start, false, any_dead);
         if conn.send(&frames).is_err() || ended {
             return;
         }
@@ -688,7 +846,7 @@ impl Shared {
     /// the backend's bounded source is exhausted. The io timeout bounds
     /// every read, so a wedged backend surfaces as a dead partial
     /// instead of hanging the fan-in.
-    fn fan_standing(&self, bi: usize, query: &str) -> StandingPartial {
+    fn fan_standing(&self, bi: usize, query: &str, trace: Option<TraceContext>) -> StandingPartial {
         let mut partial = StandingPartial::default();
         let backend = &self.backends[bi];
         let run = |partial: &mut StandingPartial| -> Result<(), ClientError> {
@@ -707,6 +865,7 @@ impl Shared {
                 self.config.connect_timeout,
                 self.config.io_timeout,
             )?;
+            client.set_trace_context(trace);
             let ack = client.standing(query, ENTRIES_PER_FRAME as u32, 0, true)?;
             loop {
                 let r = client.next_stream_result(ack.sub)?;
@@ -808,6 +967,7 @@ fn result_frames(
     flows: Vec<(pq_packet::FlowId, f64)>,
     gaps: Vec<CoverageGap>,
     degraded: bool,
+    trace: Option<TraceContext>,
 ) -> Vec<Frame> {
     let mut frames = vec![Frame::ResultHeader {
         id,
@@ -815,6 +975,7 @@ fn result_frames(
         checkpoints,
         flows: flows.len() as u32,
         gaps: gaps.len() as u32,
+        trace,
     }];
     frames.extend(chunk_flows(id, &flows));
     frames.extend(chunk_gaps(id, &gaps));
@@ -942,6 +1103,7 @@ impl Router {
                 standing: Mutex::new(Vec::new()),
                 instruments,
                 started: Instant::now(),
+                trace_clock: TraceClock::new(),
             }),
         })
     }
@@ -1107,12 +1269,31 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
             return Ok(());
         }
         match frame {
-            Frame::Request { id, req } => {
+            Frame::Request { id, req, trace } => {
                 let frames = match req {
-                    Request::QueueMonitor { port, at } => shared.route_monitor(id, port, at),
-                    other => shared.route_query(id, other),
+                    Request::QueueMonitor { port, at } => shared.route_monitor(id, port, at, trace),
+                    other => shared.route_query(id, other, trace),
                 };
                 let _ = conn.send(&frames);
+            }
+            Frame::TraceDumpReq { id, max, slow_only } => {
+                // The router's own committed traces (route/failover/merge
+                // spans); stitch with each backend's dump for the full
+                // cross-process timeline.
+                let traces = shared.instruments.plane.traces();
+                let max = (max as usize).clamp(1, wire::MAX_TRACES_PER_DUMP);
+                let mut out: Vec<Trace> = if slow_only {
+                    traces.slowest(max)
+                } else {
+                    let mut recent = traces.recent();
+                    recent.reverse();
+                    recent.truncate(max);
+                    recent
+                };
+                for t in &mut out {
+                    t.spans.truncate(wire::MAX_SPANS_PER_TRACE);
+                }
+                let _ = conn.send(&[Frame::TraceDumpAck { id, traces: out }]);
             }
             Frame::HealthReq { id } => {
                 let health = shared.health_info();
@@ -1167,7 +1348,8 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 max_windows,
                 stop_after_seal,
                 query,
-            } => shared.route_standing(conn, id, cap, max_windows, stop_after_seal, &query),
+                trace,
+            } => shared.route_standing(conn, id, cap, max_windows, stop_after_seal, &query, trace),
             Frame::StandingQueryCancel { id, sub } => shared.cancel_standing(conn, id, sub),
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);

@@ -47,6 +47,7 @@ fn arb_partial() -> impl Strategy<Value = RemoteResult> {
                 gaps,
                 degraded,
                 checkpoints,
+                trace: None,
             }
         })
 }

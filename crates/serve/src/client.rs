@@ -14,7 +14,7 @@ use crate::wire::{
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
 use pq_packet::FlowId;
-use pq_telemetry::RegistrySnapshot;
+use pq_telemetry::{RegistrySnapshot, Trace, TraceContext};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -159,6 +159,9 @@ pub struct RemoteResult {
     pub degraded: bool,
     /// Checkpoints the server holds for the queried port.
     pub checkpoints: u64,
+    /// The trace context echoed by the server — present iff the request
+    /// carried one, so the caller can match the answer to its trace.
+    pub trace: Option<TraceContext>,
 }
 
 /// A reassembled queue-monitor answer.
@@ -174,6 +177,8 @@ pub struct RemoteMonitor {
     pub gaps: Vec<CoverageGap>,
     /// Original-culprit appearance counts, descending.
     pub counts: Vec<(FlowId, u64)>,
+    /// The trace context echoed by the server (iff the request carried one).
+    pub trace: Option<TraceContext>,
 }
 
 /// One reassembled metrics update (from `MetricsGet` or a subscription).
@@ -200,6 +205,9 @@ pub struct StandingAck {
     pub cap: u32,
     /// Canonical rendering of the query as the server parsed it.
     pub query: String,
+    /// The trace context echoed by the server (iff the request carried
+    /// one); a sampled context makes the evaluator emit per-tick spans.
+    pub trace: Option<TraceContext>,
 }
 
 /// A connected, handshaken query client.
@@ -213,6 +221,12 @@ pub struct Client {
     /// Effective cadence of the active subscription, as echoed by the
     /// server's `SubscribeAck` after clamping.
     sub_interval_ms: Option<u32>,
+    /// The protocol version the handshake settled on; the trace-context
+    /// extension is only attached when the peer negotiated v2+.
+    version: u16,
+    /// Trace context attached to outgoing requests (see
+    /// [`set_trace_context`](Self::set_trace_context)).
+    trace: Option<TraceContext>,
 }
 
 impl Client {
@@ -238,14 +252,29 @@ impl Client {
         Client::handshake(stream)
     }
 
+    /// Connect offering a specific protocol version. Primarily a
+    /// compatibility hook: a client that offers version 1 behaves exactly
+    /// like a pre-tracing build — the negotiated version gates the trace
+    /// extension off, so its requests are bit-identical to v1 frames.
+    pub fn connect_with_version<A: ToSocketAddrs>(
+        addr: A,
+        version: u16,
+    ) -> Result<Client, ClientError> {
+        Client::handshake_version(TcpStream::connect(addr)?, version)
+    }
+
     fn handshake(stream: TcpStream) -> Result<Client, ClientError> {
+        Client::handshake_version(stream, PROTOCOL_VERSION)
+    }
+
+    fn handshake_version(stream: TcpStream, offered: u16) -> Result<Client, ClientError> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
         wire::write_frame(
             &mut writer,
             &Frame::Hello {
-                version: PROTOCOL_VERSION,
+                version: offered,
                 max_frame: MAX_FRAME_LEN,
             },
         )?;
@@ -257,15 +286,18 @@ impl Client {
             next_id: 1,
             sub_id: None,
             sub_interval_ms: None,
+            version: offered,
+            trace: None,
         };
         match client.read()? {
             Frame::HelloAck { version, max_frame } => {
-                if version == 0 || version > PROTOCOL_VERSION {
+                if version == 0 || version > offered {
                     return Err(ClientError::Protocol(format!(
                         "server negotiated unsupported version {version}"
                     )));
                 }
                 client.max_frame = max_frame.min(MAX_FRAME_LEN);
+                client.version = version;
                 Ok(client)
             }
             Frame::Busy { retry_after_ms, .. } => Err(ClientError::Busy { retry_after_ms }),
@@ -294,6 +326,32 @@ impl Client {
         id
     }
 
+    /// The protocol version the handshake settled on.
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Attach a trace context to every subsequent request (`None` stops
+    /// attaching). On a connection that negotiated v1 the context is
+    /// silently withheld — the wire bytes stay pre-tracing-compatible.
+    pub fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
+    }
+
+    /// The trace context currently attached to outgoing requests.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    /// The context to put on the wire: gated on the negotiated version.
+    fn attach(&self) -> Option<TraceContext> {
+        if self.version >= 2 {
+            self.trace
+        } else {
+            None
+        }
+    }
+
     /// Check a response frame's id and unwrap the frames every response
     /// kind shares (Busy, Error).
     fn expect_id(&self, got: u64, want: u64) -> Result<(), ClientError> {
@@ -315,17 +373,19 @@ impl Client {
             ));
         }
         let id = self.fresh_id();
-        self.send(&Frame::Request { id, req })?;
-        let (degraded, checkpoints, want_flows, want_gaps) = match self.read()? {
+        let trace = self.attach();
+        self.send(&Frame::Request { id, req, trace })?;
+        let (degraded, checkpoints, want_flows, want_gaps, echo) = match self.read()? {
             Frame::ResultHeader {
                 id: got,
                 degraded,
                 checkpoints,
                 flows,
                 gaps,
+                trace,
             } => {
                 self.expect_id(got, id)?;
-                (degraded, checkpoints, flows as usize, gaps as usize)
+                (degraded, checkpoints, flows as usize, gaps as usize, trace)
             }
             Frame::Busy {
                 id: got,
@@ -399,17 +459,20 @@ impl Client {
             gaps,
             degraded,
             checkpoints,
+            trace: echo,
         })
     }
 
     /// Run a queue-monitor query and reassemble the streamed answer.
     pub fn queue_monitor(&mut self, port: u16, at: u64) -> Result<RemoteMonitor, ClientError> {
         let id = self.fresh_id();
+        let trace = self.attach();
         self.send(&Frame::Request {
             id,
             req: Request::QueueMonitor { port, at },
+            trace,
         })?;
-        let (degraded, frozen_at, staleness, want_counts, want_gaps) = match self.read()? {
+        let (degraded, frozen_at, staleness, want_counts, want_gaps, echo) = match self.read()? {
             Frame::MonitorHeader {
                 id: got,
                 degraded,
@@ -417,6 +480,7 @@ impl Client {
                 staleness,
                 counts,
                 gaps,
+                trace,
             } => {
                 self.expect_id(got, id)?;
                 (
@@ -425,6 +489,7 @@ impl Client {
                     staleness,
                     counts as usize,
                     gaps as usize,
+                    trace,
                 )
             }
             Frame::Busy { retry_after_ms, .. } => return Err(ClientError::Busy { retry_after_ms }),
@@ -488,6 +553,7 @@ impl Client {
             degraded,
             gaps,
             counts,
+            trace: echo,
         })
     }
 
@@ -715,6 +781,12 @@ impl Client {
     /// jittered, capped backoff (honoring the server's hint) and retry up
     /// to `policy.max_retries` times. Any other error is returned
     /// immediately; exhausting the budget returns the final `Busy`.
+    ///
+    /// A `Busy` shed also force-samples the attached trace context: a
+    /// request that had to queue behind an overloaded server is exactly
+    /// the tail this instrumentation exists to explain, so the retried
+    /// attempt (and every downstream hop) records spans regardless of the
+    /// probabilistic sampling decision.
     pub fn query_retry(
         &mut self,
         req: Request,
@@ -726,6 +798,9 @@ impl Client {
             match self.query(req) {
                 Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
                     attempt += 1;
+                    if let Some(ctx) = &mut self.trace {
+                        ctx.sampled = true;
+                    }
                     let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
                     std::thread::sleep(Duration::from_millis(ms));
                 }
@@ -735,7 +810,8 @@ impl Client {
     }
 
     /// Like [`queue_monitor`](Self::queue_monitor), with the same
-    /// bounded jittered retry on `Busy` as [`query_retry`](Self::query_retry).
+    /// bounded jittered retry (and force-sampling) on `Busy` as
+    /// [`query_retry`](Self::query_retry).
     pub fn queue_monitor_retry(
         &mut self,
         port: u16,
@@ -748,11 +824,47 @@ impl Client {
             match self.queue_monitor(port, at) {
                 Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
                     attempt += 1;
+                    if let Some(ctx) = &mut self.trace {
+                        ctx.sampled = true;
+                    }
                     let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
                     std::thread::sleep(Duration::from_millis(ms));
                 }
                 other => return other,
             }
+        }
+    }
+
+    /// Fetch the peer's recently committed traces (newest first), or only
+    /// its slowest when `slow_only`. `max` is clamped server-side. A v1
+    /// peer answers with a protocol error, surfaced as
+    /// [`ClientError::Remote`].
+    pub fn trace_dump(&mut self, max: u32, slow_only: bool) -> Result<Vec<Trace>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::TraceDumpReq { id, max, slow_only })?;
+        match self.read()? {
+            Frame::TraceDumpAck { id: got, traces } => {
+                self.expect_id(got, id)?;
+                Ok(traces)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                if got != 0 {
+                    self.expect_id(got, id)?;
+                }
+                Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected TraceDumpAck, got {other:?}"
+            ))),
         }
     }
 
@@ -820,24 +932,28 @@ impl Client {
         stop_after_seal: bool,
     ) -> Result<StandingAck, ClientError> {
         let id = self.fresh_id();
+        let trace = self.attach();
         self.send(&Frame::StandingQueryReq {
             id,
             cap,
             max_windows,
             stop_after_seal,
             query: query.to_string(),
+            trace,
         })?;
         match self.read()? {
             Frame::StandingQueryAck {
                 id: got,
                 cap,
                 query,
+                trace,
             } => {
                 self.expect_id(got, id)?;
                 Ok(StandingAck {
                     sub: id,
                     cap,
                     query,
+                    trace,
                 })
             }
             Frame::Busy { retry_after_ms, .. } => Err(ClientError::Busy { retry_after_ms }),

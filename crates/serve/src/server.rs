@@ -25,7 +25,7 @@ use crate::cache::DecodeCache;
 use crate::wire::{
     self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
     ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, StreamResult, WireError,
-    ENTRIES_PER_FRAME, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ENTRIES_PER_FRAME, MAX_FRAME_LEN, MAX_SPANS_PER_TRACE, MAX_TRACES_PER_DUMP, PROTOCOL_VERSION,
 };
 use pq_core::coefficient::Coefficients;
 use pq_core::control::{AnalysisProgram, CoverageGap};
@@ -34,7 +34,8 @@ use pq_packet::FlowId;
 use pq_store::StoreReader;
 use pq_stream::{Closed, Emit, Record as StreamRecord, Standing, TopKSummary};
 use pq_telemetry::{
-    delta, names, provenance, to_prometheus, Counter, Gauge, Histogram, RegistrySnapshot, Telemetry,
+    delta, names, new_trace_id, provenance, to_prometheus, ActiveTrace, Counter, Gauge, Histogram,
+    RegistrySnapshot, Telemetry, Trace, TraceClock, TraceContext,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
@@ -213,8 +214,9 @@ impl Conn {
 /// What a worker is being asked to do. Queries and metrics requests ride
 /// the same admission queue so overload sheds them uniformly.
 enum Work {
-    /// A diagnosis query (time-windows, queue-monitor, replay).
-    Query(Request),
+    /// A diagnosis query (time-windows, queue-monitor, replay), with the
+    /// trace context the request carried (if any).
+    Query(Request, Option<TraceContext>),
     /// One-shot full metrics snapshot over the wire.
     MetricsGet,
     /// Start a periodic metrics subscription on this connection.
@@ -228,7 +230,7 @@ impl Work {
     /// Instrumentation kind label (matches [`Instruments::completed`]).
     fn kind(&self) -> &'static str {
         match self {
-            Work::Query(req) => req.kind(),
+            Work::Query(req, _) => req.kind(),
             Work::MetricsGet => "metrics",
             Work::Subscribe { .. } => "subscribe",
         }
@@ -280,6 +282,9 @@ struct StreamSub {
     /// End once the source is sealed and every window has closed.
     stop_after_seal: bool,
     seq: u64,
+    /// Trace context the registration carried; sampled contexts get
+    /// `window_close` / `emit` spans per serviced tick.
+    trace: Option<TraceContext>,
 }
 
 struct Shared {
@@ -304,6 +309,11 @@ struct Shared {
     streams: Mutex<Vec<StreamSub>>,
     instruments: Instruments,
     started: Instant,
+    /// Unix-epoch-anchored monotonic clock for trace-span timestamps —
+    /// comparable across processes, so stitched timelines line up.
+    trace_clock: TraceClock,
+    /// Process name stamped on trace spans (`serve` or `serve:<shard>`).
+    process: String,
 }
 
 impl Shared {
@@ -440,6 +450,11 @@ impl Server {
             .map(|a| a.to_string())
             .unwrap_or_default();
         let cache = (config.cache_bytes > 0).then(|| DecodeCache::new(config.cache_bytes, plane));
+        let process = if config.shard.is_empty() {
+            "serve".to_string()
+        } else {
+            format!("serve:{}", config.shard)
+        };
         let shared = Arc::new(Shared {
             local_addr,
             live: sources.live,
@@ -456,6 +471,8 @@ impl Server {
             streams: Mutex::new(Vec::new()),
             instruments: Instruments::resolve(plane),
             started: Instant::now(),
+            trace_clock: TraceClock::new(),
+            process,
             config,
         });
         Ok(Server { listener, shared })
@@ -618,7 +635,7 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
             }
         };
         match frame {
-            Frame::Request { id, req } => admit(shared, conn, id, Work::Query(req)),
+            Frame::Request { id, req, trace } => admit(shared, conn, id, Work::Query(req, trace)),
             Frame::MetricsReq { id } => {
                 shared.instruments.req_metrics.inc();
                 shared.touch_uptime();
@@ -673,7 +690,36 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 max_windows,
                 stop_after_seal,
                 query,
-            } => register_standing(shared, conn, id, cap, max_windows, stop_after_seal, &query),
+                trace,
+            } => register_standing(
+                shared,
+                conn,
+                id,
+                cap,
+                max_windows,
+                stop_after_seal,
+                &query,
+                trace,
+            ),
+            Frame::TraceDumpReq { id, max, slow_only } => {
+                // Inline like health: a trace dump is a diagnostic read and
+                // must keep working when the worker pool is saturated — that
+                // saturation is usually exactly what the caller is debugging.
+                let traces = shared.instruments.plane.traces();
+                let max = (max as usize).clamp(1, MAX_TRACES_PER_DUMP);
+                let mut out: Vec<Trace> = if slow_only {
+                    traces.slowest(max)
+                } else {
+                    let mut recent = traces.recent();
+                    recent.reverse(); // newest first
+                    recent.truncate(max);
+                    recent
+                };
+                for t in &mut out {
+                    t.spans.truncate(MAX_SPANS_PER_TRACE);
+                }
+                let _ = conn.send(&[Frame::TraceDumpAck { id, traces: out }]);
+            }
             Frame::StandingQueryCancel { id, sub } => cancel_standing(shared, conn, id, sub),
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);
@@ -781,26 +827,98 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        // Mark the queue→worker handoff before the simulated work delay so
+        // the delay is attributed to execution, not admission wait.
+        let picked_ns = shared.trace_clock.now_ns();
+        let wait_ns = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if !shared.config.work_delay.is_zero() {
             thread::sleep(shared.config.work_delay);
         }
         let kind = job.work.kind();
         match job.work {
-            Work::Query(req) => {
+            Work::Query(req, trace) => {
                 let started_ns = shared.now_ns();
                 let port = req.port();
-                let frames = execute(shared, &mut reader, job.id, req);
+                let traces = shared.instruments.plane.traces();
+                // Continue the propagated context, or originate a root here
+                // so locally-issued queries are traceable too. The echo is
+                // the context exactly as the request carried it — old
+                // clients that sent none get none back.
+                let echo = trace;
+                let mut tracer = if traces.is_enabled() {
+                    let ctx = trace.unwrap_or_else(|| {
+                        let tid = new_trace_id();
+                        TraceContext::root(tid, traces.should_sample(tid))
+                    });
+                    Some(ActiveTrace::new(ctx, &shared.process))
+                } else {
+                    None
+                };
+                // Reserve ids up front: execute() parents segment_decode
+                // under worker_exec before either interval is closed.
+                let root_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+                let exec_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+                let frames = execute(
+                    shared,
+                    &mut reader,
+                    job.id,
+                    req,
+                    echo,
+                    tracer.as_mut(),
+                    exec_span,
+                );
+                let exec_end_ns = shared.trace_clock.now_ns();
                 // Count before answering: a synchronous client that reads
                 // its result and immediately asks for metrics must see its
                 // own query in the counters (read-your-writes; the
                 // get-vs-prom consistency test relies on it).
                 let latency = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                shared.instruments.request_ns.record(latency);
+                let slow = traces.is_slow(latency);
+                let committed = tracer
+                    .as_ref()
+                    .map(|t| t.ctx().sampled || slow)
+                    .unwrap_or(false);
+                if committed {
+                    let tid = tracer.as_ref().map(|t| t.ctx().trace_id).unwrap_or(0);
+                    shared.instruments.request_ns.record_exemplar(latency, tid);
+                } else {
+                    shared.instruments.request_ns.record(latency);
+                }
                 let errored = matches!(frames.first(), Some(Frame::Error { .. }));
                 if errored {
                     shared.instruments.errored(kind);
                 } else {
                     shared.instruments.completed(kind);
+                }
+                if let Some(mut t) = tracer {
+                    let ctx = t.ctx();
+                    let admit_ns = picked_ns.saturating_sub(wait_ns);
+                    t.record(
+                        names::SPAN_ADMISSION_WAIT,
+                        root_span,
+                        admit_ns,
+                        picked_ns,
+                        "",
+                    );
+                    t.record_with_id(
+                        exec_span,
+                        names::SPAN_WORKER_EXEC,
+                        root_span,
+                        picked_ns,
+                        exec_end_ns,
+                        if errored { "error" } else { "ok" },
+                    );
+                    t.record_with_id(
+                        root_span,
+                        names::SPAN_SERVE_REQUEST,
+                        ctx.parent_span,
+                        admit_ns,
+                        exec_end_ns,
+                        kind,
+                    );
+                    if committed {
+                        traces.commit(t.finish(root_span, latency, slow));
+                    }
                 }
                 let sent = job.conn.send(&frames);
                 job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -937,6 +1055,7 @@ fn drain_subscribers(shared: &Arc<Shared>) {
 /// on the reader thread — parsing and validation are cheap, and the ack
 /// must be on the wire before the evaluator can emit the first result
 /// (it only sees the subscription after this function pushes it).
+#[allow(clippy::too_many_arguments)]
 fn register_standing(
     shared: &Arc<Shared>,
     conn: &Arc<Conn>,
@@ -945,6 +1064,7 @@ fn register_standing(
     max_windows: u32,
     stop_after_seal: bool,
     query: &str,
+    trace: Option<TraceContext>,
 ) {
     if shared.shutdown.load(Ordering::SeqCst) {
         let _ = conn.send(&[protocol_error(id, ErrorCode::ShuttingDown, "draining")]);
@@ -994,6 +1114,7 @@ fn register_standing(
             id,
             cap: cap as u32,
             query: parsed.to_string(),
+            trace,
         }])
         .is_err()
     {
@@ -1009,6 +1130,7 @@ fn register_standing(
         remaining_windows: (max_windows > 0).then(|| u64::from(max_windows)),
         stop_after_seal,
         seq: 0,
+        trace,
     });
     shared.instruments.stream_subs.set(streams.len() as u64);
 }
@@ -1124,10 +1246,23 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
     if !sub.state.sealed() {
         sub.state.seal();
     }
+    // A sampled standing query gets per-tick spans: `window_close` around
+    // materialization, `emit` around the send. Only ticks that produced
+    // frames commit a trace, so an idle subscription stays silent.
+    let traces = shared.instruments.plane.traces();
+    let mut tracer = match sub.trace {
+        Some(ctx) if ctx.sampled && traces.is_enabled() => {
+            Some(ActiveTrace::new(ctx, &shared.process))
+        }
+        _ => None,
+    };
+    let close_start_ns = shared.trace_clock.now_ns();
     let mut frames = Vec::new();
     let mut ended = false;
+    let mut closed = 0u64;
     for close in sub.state.drain() {
         shared.instruments.stream_windows_closed.inc();
+        closed += 1;
         if close.forced {
             shared.instruments.stream_evictions_window.inc();
         }
@@ -1154,7 +1289,29 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
     if frames.is_empty() {
         return true;
     }
-    if sub.conn.send(&frames).is_err() {
+    let emit_start_ns = shared.trace_clock.now_ns();
+    let sent = sub.conn.send(&frames);
+    if let Some(mut t) = tracer.take() {
+        let ctx = t.ctx();
+        let end_ns = shared.trace_clock.now_ns();
+        let root = t.record(
+            names::SPAN_WINDOW_CLOSE,
+            ctx.parent_span,
+            close_start_ns,
+            emit_start_ns,
+            &closed.to_string(),
+        );
+        t.record(
+            names::SPAN_EMIT,
+            ctx.parent_span,
+            emit_start_ns,
+            end_ns,
+            &frames.len().to_string(),
+        );
+        let duration = end_ns.saturating_sub(close_start_ns);
+        traces.commit(t.finish(root, duration, false));
+    }
+    if sent.is_err() {
         return false;
     }
     !ended
@@ -1235,11 +1392,19 @@ fn drain_stream_subs(shared: &Arc<Shared>) {
 }
 
 /// Execute one query into its response frame sequence.
+///
+/// `echo` is the trace context exactly as the request carried it — it is
+/// reflected on the answer header so the caller can match answers to the
+/// trace it started. `tracer`/`exec_span` let the archive path attribute
+/// segment-decode time as a child of the worker-exec span.
 fn execute(
     shared: &Arc<Shared>,
     reader: &mut Option<StoreReader<BufReader<File>>>,
     id: u64,
     req: Request,
+    echo: Option<TraceContext>,
+    tracer: Option<&mut ActiveTrace>,
+    exec_span: u64,
 ) -> Vec<Frame> {
     match req {
         Request::TimeWindows { port, from, to } => {
@@ -1262,6 +1427,7 @@ fn execute(
                 result.estimates.ranked(),
                 result.gaps,
                 result.degraded,
+                echo,
             )
         }
         Request::QueueMonitor { port, at } => {
@@ -1291,6 +1457,7 @@ fn execute(
                 staleness: ans.staleness,
                 counts: counts.len() as u32,
                 gaps: ans.gaps.len() as u32,
+                trace: echo,
             }];
             frames.extend(chunk_counts(id, &counts));
             frames.extend(chunk_gaps(id, &ans.gaps));
@@ -1325,6 +1492,22 @@ fn execute(
                 &coeffs,
                 view.as_mut().map(|v| v as &mut dyn pq_store::SegmentCache),
             );
+            if let Some(t) = tracer {
+                // The reader's per-query stats carry decode time and cache
+                // disposition; anchor the span so it *ends* now (the decode
+                // happened somewhere inside query_cached).
+                let stats = r.last_query_stats();
+                if stats.segments > 0 {
+                    let end_ns = shared.trace_clock.now_ns();
+                    t.record(
+                        names::SPAN_SEGMENT_DECODE,
+                        exec_span,
+                        end_ns.saturating_sub(stats.decode_ns),
+                        end_ns,
+                        stats.cache_tag(),
+                    );
+                }
+            }
             match query {
                 Ok(result) => {
                     let checkpoints = r.checkpoint_count(port);
@@ -1334,6 +1517,7 @@ fn execute(
                         result.estimates.ranked(),
                         result.gaps,
                         result.degraded,
+                        echo,
                     )
                 }
                 Err(e) => {
@@ -1371,6 +1555,7 @@ fn result_frames(
     flows: Vec<(FlowId, f64)>,
     gaps: Vec<CoverageGap>,
     degraded: bool,
+    trace: Option<TraceContext>,
 ) -> Vec<Frame> {
     let mut frames = vec![Frame::ResultHeader {
         id,
@@ -1378,6 +1563,7 @@ fn result_frames(
         checkpoints,
         flows: flows.len() as u32,
         gaps: gaps.len() as u32,
+        trace,
     }];
     frames.extend(chunk_flows(id, &flows));
     frames.extend(chunk_gaps(id, &gaps));

@@ -31,12 +31,21 @@
 
 use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
-use pq_telemetry::{HistogramSnapshot, MetricKey, MetricValue, RegistrySnapshot, NUM_BUCKETS};
+use pq_telemetry::{
+    BucketExemplar, HistogramSnapshot, MetricKey, MetricValue, RegistrySnapshot, Trace,
+    TraceContext, TraceSpan, NUM_BUCKETS,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Highest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 adds the optional trace-context extension on query frames (and its
+/// echo on answer headers), the `TraceDump` message pair, and histogram
+/// exemplars inside metric samples. A v2 peer never sends the extension
+/// to a v1 peer — the negotiated version gates it — so v1 byte layouts
+/// are unchanged.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on a frame's `len` field (type byte + payload).
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
@@ -55,6 +64,24 @@ pub const MAX_LABELS_PER_SAMPLE: usize = 16;
 
 /// Most backend entries one `ShardMapAck` may carry.
 pub const MAX_BACKENDS_PER_MAP: usize = 64;
+
+/// First byte of the optional trace-context extension block.
+///
+/// The extension is a fixed [`TRACE_EXT_LEN`]-byte trailer after a
+/// frame's declared fields: magic, flags (bit 0 = sampled, all other
+/// bits must be zero), `trace_id` (u128 LE), parent `span_id` (u64 LE).
+/// A frame without the extension encodes zero extra bytes, which is
+/// exactly the v1 layout.
+pub const TRACE_EXT_MAGIC: u8 = 0x7C;
+
+/// Encoded size of the trace-context extension block.
+pub const TRACE_EXT_LEN: usize = 26;
+
+/// Most traces one `TraceDumpAck` may carry.
+pub const MAX_TRACES_PER_DUMP: usize = 32;
+
+/// Most spans one dumped trace may carry.
+pub const MAX_SPANS_PER_TRACE: usize = 128;
 
 /// Typed failure codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,6 +280,9 @@ pub enum WireValue {
         max: u64,
         /// Occupied `(bucket index, count)` pairs, index-ascending.
         buckets: Vec<(u8, u64)>,
+        /// Per-bucket exemplars: the last `trace_id` observed per
+        /// occupied bucket, for alert → trace linkage.
+        exemplars: Vec<BucketExemplar>,
     },
 }
 
@@ -310,8 +340,14 @@ pub enum Frame {
     // -- client → server ---------------------------------------------------
     /// Connection opener: highest version spoken, receive frame cap.
     Hello { version: u16, max_frame: u32 },
-    /// A query; `id` is echoed in every frame of the response.
-    Request { id: u64, req: Request },
+    /// A query; `id` is echoed in every frame of the response. `trace`
+    /// carries the caller's trace context when tracing is on and the
+    /// negotiated version is ≥ 2; `None` encodes zero extra bytes.
+    Request {
+        id: u64,
+        req: Request,
+        trace: Option<TraceContext>,
+    },
     /// Ask for the server's Prometheus text exposition.
     MetricsReq { id: u64 },
     /// Ask the server to drain in-flight queries and exit.
@@ -343,15 +379,20 @@ pub enum Frame {
         max_windows: u32,
         stop_after_seal: bool,
         query: String,
+        trace: Option<TraceContext>,
     },
     /// Cancel the standing subscription registered under `sub`; the
     /// server answers with a final `last=true` result frame on `sub`.
     StandingQueryCancel { id: u64, sub: u64 },
+    /// Ask for the server's recent completed traces (newest first),
+    /// `max`-bounded; `slow_only` restricts to the slow-query log.
+    TraceDumpReq { id: u64, max: u32, slow_only: bool },
 
     // -- server → client ---------------------------------------------------
     /// Accepted version and frame cap (`min` of both sides).
     HelloAck { version: u16, max_frame: u32 },
     /// Start of a time-window answer: totals for the chunks that follow.
+    /// `trace` echoes the request's context iff the request carried one.
     ResultHeader {
         id: u64,
         degraded: bool,
@@ -360,6 +401,7 @@ pub enum Frame {
         checkpoints: u64,
         flows: u32,
         gaps: u32,
+        trace: Option<TraceContext>,
     },
     /// Up to [`ENTRIES_PER_FRAME`] per-flow estimates (`f64` bits).
     ResultFlows { id: u64, flows: Vec<(FlowId, f64)> },
@@ -367,7 +409,8 @@ pub enum Frame {
     ResultGaps { id: u64, gaps: Vec<CoverageGap> },
     /// End of a streamed answer.
     ResultEnd { id: u64 },
-    /// Start of a queue-monitor answer.
+    /// Start of a queue-monitor answer. `trace` echoes the request's
+    /// context iff the request carried one.
     MonitorHeader {
         id: u64,
         degraded: bool,
@@ -375,6 +418,7 @@ pub enum Frame {
         staleness: u64,
         counts: u32,
         gaps: u32,
+        trace: Option<TraceContext>,
     },
     /// Up to [`ENTRIES_PER_FRAME`] original-culprit counts.
     MonitorCounts { id: u64, counts: Vec<(FlowId, u64)> },
@@ -413,8 +457,14 @@ pub enum Frame {
     ShardMapAck { id: u64, map: ShardMap },
     /// Standing query admitted: `query` echoes the canonical form the
     /// evaluator actually runs, `cap` the effective (clamped) summary
-    /// cap. Results follow asynchronously under the same `id`.
-    StandingQueryAck { id: u64, cap: u32, query: String },
+    /// cap. Results follow asynchronously under the same `id`. `trace`
+    /// echoes the registration's context iff it carried one.
+    StandingQueryAck {
+        id: u64,
+        cap: u32,
+        query: String,
+        trace: Option<TraceContext>,
+    },
     /// One closed window on a standing subscription (`id` is the
     /// registering request's id).
     StandingQueryResult { id: u64, result: StreamResult },
@@ -426,6 +476,10 @@ pub enum Frame {
         interval_ms: u32,
         max_updates: u32,
     },
+    /// Recent completed traces, newest first (answer to `TraceDumpReq`).
+    /// Per-process: a router answers with its own traces, not its
+    /// backends' — `pqsim trace` stitches dumps from several addresses.
+    TraceDumpAck { id: u64, traces: Vec<Trace> },
 }
 
 /// Why a frame failed to decode.
@@ -482,6 +536,21 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append the optional trace-context extension: nothing for `None`
+/// (the v1 layout), the fixed [`TRACE_EXT_LEN`]-byte block for `Some`.
+fn put_trace_ext(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    if let Some(ctx) = trace {
+        out.push(TRACE_EXT_MAGIC);
+        out.push(u8::from(ctx.sampled));
+        put_u128(out, ctx.trace_id);
+        put_u64(out, ctx.parent_span);
+    }
+}
+
 fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
@@ -510,6 +579,7 @@ fn put_sample(out: &mut Vec<u8>, sample: &WireSample) {
             min,
             max,
             buckets,
+            exemplars,
         } => {
             out.push(2);
             put_u64(out, *count);
@@ -521,6 +591,13 @@ fn put_sample(out: &mut Vec<u8>, sample: &WireSample) {
             for (i, n) in buckets {
                 out.push(*i);
                 put_u64(out, *n);
+            }
+            debug_assert!(exemplars.len() <= NUM_BUCKETS);
+            out.push(exemplars.len() as u8);
+            for e in exemplars {
+                out.push(e.bucket);
+                put_u128(out, e.trace_id);
+                put_u64(out, e.value);
             }
         }
     }
@@ -535,7 +612,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u16(&mut out, *version);
             put_u32(&mut out, *max_frame);
         }
-        Frame::Request { id, req } => {
+        Frame::Request { id, req, trace } => {
             out.push(0x02);
             put_u64(&mut out, *id);
             match req {
@@ -558,6 +635,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                     put_u64(&mut out, *d);
                 }
             }
+            put_trace_ext(&mut out, trace);
         }
         Frame::MetricsReq { id } => {
             out.push(0x03);
@@ -595,6 +673,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             max_windows,
             stop_after_seal,
             query,
+            trace,
         } => {
             out.push(0x09);
             put_u64(&mut out, *id);
@@ -602,11 +681,18 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, *max_windows);
             out.push(u8::from(*stop_after_seal));
             put_string(&mut out, query);
+            put_trace_ext(&mut out, trace);
         }
         Frame::StandingQueryCancel { id, sub } => {
             out.push(0x0A);
             put_u64(&mut out, *id);
             put_u64(&mut out, *sub);
+        }
+        Frame::TraceDumpReq { id, max, slow_only } => {
+            out.push(0x0B);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *max);
+            out.push(u8::from(*slow_only));
         }
         Frame::HelloAck { version, max_frame } => {
             out.push(0x81);
@@ -619,6 +705,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             checkpoints,
             flows,
             gaps,
+            trace,
         } => {
             out.push(0x82);
             put_u64(&mut out, *id);
@@ -626,6 +713,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u64(&mut out, *checkpoints);
             put_u32(&mut out, *flows);
             put_u32(&mut out, *gaps);
+            put_trace_ext(&mut out, trace);
         }
         Frame::ResultFlows { id, flows } => {
             out.push(0x83);
@@ -656,6 +744,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             staleness,
             counts,
             gaps,
+            trace,
         } => {
             out.push(0x86);
             put_u64(&mut out, *id);
@@ -664,6 +753,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u64(&mut out, *staleness);
             put_u32(&mut out, *counts);
             put_u32(&mut out, *gaps);
+            put_trace_ext(&mut out, trace);
         }
         Frame::MonitorCounts { id, counts } => {
             out.push(0x87);
@@ -758,11 +848,17 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                 out.push(u8::from(b.healthy));
             }
         }
-        Frame::StandingQueryAck { id, cap, query } => {
+        Frame::StandingQueryAck {
+            id,
+            cap,
+            query,
+            trace,
+        } => {
             out.push(0x90);
             put_u64(&mut out, *id);
             put_u32(&mut out, *cap);
             put_string(&mut out, query);
+            put_trace_ext(&mut out, trace);
         }
         Frame::StandingQueryResult { id, result } => {
             out.push(0x91);
@@ -806,6 +902,29 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u64(&mut out, *id);
             put_u32(&mut out, *interval_ms);
             put_u32(&mut out, *max_updates);
+        }
+        Frame::TraceDumpAck { id, traces } => {
+            out.push(0x93);
+            put_u64(&mut out, *id);
+            debug_assert!(traces.len() <= MAX_TRACES_PER_DUMP);
+            put_u32(&mut out, traces.len() as u32);
+            for t in traces {
+                put_u128(&mut out, t.trace_id);
+                put_u64(&mut out, t.root_span);
+                put_u64(&mut out, t.duration_ns);
+                out.push(u8::from(t.slow));
+                debug_assert!(t.spans.len() <= MAX_SPANS_PER_TRACE);
+                put_u32(&mut out, t.spans.len() as u32);
+                for s in &t.spans {
+                    put_u64(&mut out, s.span_id);
+                    put_u64(&mut out, s.parent_span);
+                    put_u64(&mut out, s.start_ns);
+                    put_u64(&mut out, s.end_ns);
+                    put_string(&mut out, &s.name);
+                    put_string(&mut out, &s.process);
+                    put_string(&mut out, &s.tag);
+                }
+            }
         }
     }
     out
@@ -854,6 +973,40 @@ fn get_u64(cur: &mut &[u8]) -> Result<u64, WireError> {
     let (head, rest) = cur.split_at(8);
     *cur = rest;
     Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn get_u128(cur: &mut &[u8]) -> Result<u128, WireError> {
+    if cur.len() < 16 {
+        return Err(WireError::Malformed("truncated u128"));
+    }
+    let (head, rest) = cur.split_at(16);
+    *cur = rest;
+    Ok(u128::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Parse the optional trace-context extension at the end of a frame.
+///
+/// All-or-nothing: either the remaining bytes are empty (`None`), or they
+/// are exactly one well-formed extension block. Anything else is left in
+/// the cursor for the trailing-bytes check to reject, except a magic-led
+/// block with unknown flag bits, which fails here — accepting it would
+/// break re-encode bit-identity.
+fn get_trace_ext(cur: &mut &[u8]) -> Result<Option<TraceContext>, WireError> {
+    if cur.len() != TRACE_EXT_LEN || cur[0] != TRACE_EXT_MAGIC {
+        return Ok(None);
+    }
+    let _magic = get_u8(cur)?;
+    let flags = get_u8(cur)?;
+    if flags & !0x01 != 0 {
+        return Err(WireError::Malformed("unknown trace-context flags"));
+    }
+    let trace_id = get_u128(cur)?;
+    let parent_span = get_u64(cur)?;
+    Ok(Some(TraceContext {
+        trace_id,
+        parent_span,
+        sampled: flags & 1 != 0,
+    }))
 }
 
 /// Validate a collection count against the bytes actually present, the
@@ -935,12 +1088,36 @@ fn get_sample(cur: &mut &[u8]) -> Result<WireSample, WireError> {
                 let n = get_u64(cur)?;
                 buckets.push((i, n));
             }
+            let nex = get_u8(cur)? as usize;
+            if nex > NUM_BUCKETS {
+                return Err(WireError::Malformed(
+                    "histogram exemplar count exceeds schema",
+                ));
+            }
+            if nex.saturating_mul(25) > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let mut exemplars = Vec::with_capacity(nex);
+            for _ in 0..nex {
+                let bucket = get_u8(cur)?;
+                if bucket as usize >= NUM_BUCKETS {
+                    return Err(WireError::Malformed("exemplar bucket index out of range"));
+                }
+                let trace_id = get_u128(cur)?;
+                let value = get_u64(cur)?;
+                exemplars.push(BucketExemplar {
+                    bucket,
+                    trace_id,
+                    value,
+                });
+            }
             WireValue::Histogram {
                 count,
                 sum,
                 min,
                 max,
                 buckets,
+                exemplars,
             }
         }
         _ => return Err(WireError::Malformed("unknown metric value kind")),
@@ -983,7 +1160,8 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                 },
                 _ => return Err(WireError::Malformed("unknown request kind")),
             };
-            Frame::Request { id, req }
+            let trace = get_trace_ext(cur)?;
+            Frame::Request { id, req, trace }
         }
         0x03 => Frame::MetricsReq { id: get_u64(cur)? },
         0x04 => Frame::ShutdownReq { id: get_u64(cur)? },
@@ -1001,10 +1179,16 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             max_windows: get_u32(cur)?,
             stop_after_seal: get_u8(cur)? != 0,
             query: get_string(cur, "standing query not utf-8")?,
+            trace: get_trace_ext(cur)?,
         },
         0x0A => Frame::StandingQueryCancel {
             id: get_u64(cur)?,
             sub: get_u64(cur)?,
+        },
+        0x0B => Frame::TraceDumpReq {
+            id: get_u64(cur)?,
+            max: get_u32(cur)?,
+            slow_only: get_u8(cur)? != 0,
         },
         0x81 => Frame::HelloAck {
             version: get_u16(cur)?,
@@ -1016,6 +1200,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             checkpoints: get_u64(cur)?,
             flows: get_u32(cur)?,
             gaps: get_u32(cur)?,
+            trace: get_trace_ext(cur)?,
         },
         0x83 => {
             let id = get_u64(cur)?;
@@ -1045,6 +1230,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             staleness: get_u64(cur)?,
             counts: get_u32(cur)?,
             gaps: get_u32(cur)?,
+            trace: get_trace_ext(cur)?,
         },
         0x87 => {
             let id = get_u64(cur)?;
@@ -1175,6 +1361,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             id: get_u64(cur)?,
             cap: get_u32(cur)?,
             query: get_string(cur, "standing query echo not utf-8")?,
+            trace: get_trace_ext(cur)?,
         },
         0x91 => {
             let id = get_u64(cur)?;
@@ -1232,6 +1419,61 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             interval_ms: get_u32(cur)?,
             max_updates: get_u32(cur)?,
         },
+        0x93 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)? as usize;
+            if n > MAX_TRACES_PER_DUMP {
+                return Err(WireError::Malformed("trace dump exceeds trace cap"));
+            }
+            // Minimum encoded trace: trace_id (16) + root span (8) +
+            // duration (8) + slow (1) + span count (4).
+            if n.saturating_mul(37) > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let mut traces = Vec::with_capacity(n);
+            for _ in 0..n {
+                let trace_id = get_u128(cur)?;
+                let root_span = get_u64(cur)?;
+                let duration_ns = get_u64(cur)?;
+                let slow = get_u8(cur)? != 0;
+                let nspans = get_u32(cur)? as usize;
+                if nspans > MAX_SPANS_PER_TRACE {
+                    return Err(WireError::Malformed("trace exceeds span cap"));
+                }
+                // Minimum encoded span: four u64 (32) + three empty
+                // strings (12).
+                if nspans.saturating_mul(44) > cur.len() {
+                    return Err(WireError::Malformed("count exceeds bytes present"));
+                }
+                let mut spans = Vec::with_capacity(nspans);
+                for _ in 0..nspans {
+                    let span_id = get_u64(cur)?;
+                    let parent_span = get_u64(cur)?;
+                    let start_ns = get_u64(cur)?;
+                    let end_ns = get_u64(cur)?;
+                    let name = get_string(cur, "span name not utf-8")?;
+                    let process = get_string(cur, "span process not utf-8")?;
+                    let tag = get_string(cur, "span tag not utf-8")?;
+                    spans.push(TraceSpan {
+                        span_id,
+                        parent_span,
+                        name,
+                        process,
+                        tag,
+                        start_ns,
+                        end_ns,
+                    });
+                }
+                traces.push(Trace {
+                    trace_id,
+                    root_span,
+                    duration_ns,
+                    slow,
+                    spans,
+                });
+            }
+            Frame::TraceDumpAck { id, traces }
+        }
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
     if !cur.is_empty() {
@@ -1316,6 +1558,7 @@ pub fn snapshot_to_samples(snap: &RegistrySnapshot) -> Vec<WireSample> {
                         .filter(|(_, &n)| n != 0)
                         .map(|(i, &n)| (i as u8, n))
                         .collect(),
+                    exemplars: h.exemplars.clone(),
                 },
             },
         })
@@ -1343,6 +1586,7 @@ pub fn samples_to_snapshot(samples: &[WireSample]) -> RegistrySnapshot {
                 min,
                 max,
                 buckets,
+                exemplars,
             } => {
                 let mut h = HistogramSnapshot {
                     count: *count,
@@ -1354,6 +1598,15 @@ pub fn samples_to_snapshot(samples: &[WireSample]) -> RegistrySnapshot {
                 for (i, n) in buckets {
                     h.buckets[*i as usize] = *n;
                 }
+                // Re-canonicalize: snapshot exemplars are bucket-sorted
+                // and unique per bucket (last write wins), a hostile
+                // peer's ordering notwithstanding.
+                let mut ex = exemplars.clone();
+                ex.sort_by_key(|e| e.bucket);
+                ex.reverse();
+                ex.dedup_by_key(|e| e.bucket);
+                ex.reverse();
+                h.exemplars = ex;
                 MetricValue::Histogram(Box::new(h))
             }
         };
@@ -1416,6 +1669,20 @@ mod tests {
                 to: 999,
                 d: 110,
             },
+            trace: None,
+        });
+        round_trip(&Frame::Request {
+            id: 7,
+            req: Request::TimeWindows {
+                port: 3,
+                from: 10,
+                to: 999,
+            },
+            trace: Some(TraceContext {
+                trace_id: 0xdead_beef_cafe_f00d_0123_4567_89ab_cdef,
+                parent_span: 0x1122_3344_5566_7788,
+                sampled: true,
+            }),
         });
         round_trip(&Frame::ResultFlows {
             id: 1,
@@ -1499,9 +1766,66 @@ mod tests {
                         min: 100,
                         max: 200,
                         buckets: vec![(7, 1), (8, 1)],
+                        exemplars: vec![BucketExemplar {
+                            bucket: 8,
+                            trace_id: 0xabcd,
+                            value: 200,
+                        }],
                     },
                 },
             ],
+        });
+        round_trip(&Frame::ResultHeader {
+            id: 17,
+            degraded: false,
+            checkpoints: 40,
+            flows: 2,
+            gaps: 0,
+            trace: Some(TraceContext {
+                trace_id: 1,
+                parent_span: 2,
+                sampled: false,
+            }),
+        });
+        round_trip(&Frame::MonitorHeader {
+            id: 18,
+            degraded: true,
+            frozen_at: 7,
+            staleness: 9,
+            counts: 3,
+            gaps: 1,
+            trace: Some(TraceContext {
+                trace_id: u128::MAX,
+                parent_span: u64::MAX,
+                sampled: true,
+            }),
+        });
+        round_trip(&Frame::TraceDumpReq {
+            id: 19,
+            max: 16,
+            slow_only: true,
+        });
+        round_trip(&Frame::TraceDumpAck {
+            id: 19,
+            traces: vec![Trace {
+                trace_id: 0xfeed,
+                root_span: 5,
+                duration_ns: 1_000_000,
+                slow: true,
+                spans: vec![TraceSpan {
+                    span_id: 5,
+                    parent_span: 0,
+                    name: "worker_exec".into(),
+                    process: "serve:a".into(),
+                    tag: "cache=miss".into(),
+                    start_ns: 100,
+                    end_ns: 900,
+                }],
+            }],
+        });
+        round_trip(&Frame::TraceDumpAck {
+            id: 20,
+            traces: vec![],
         });
     }
 
@@ -1513,12 +1837,36 @@ mod tests {
             max_windows: 0,
             stop_after_seal: true,
             query: "port 3 window tumbling 1ms where max(depth) > 5 topk 8 emit flows".into(),
+            trace: None,
+        });
+        round_trip(&Frame::StandingQueryReq {
+            id: 31,
+            cap: 64,
+            max_windows: 0,
+            stop_after_seal: false,
+            query: "port 3 window tumbling 1ms emit depth".into(),
+            trace: Some(TraceContext {
+                trace_id: 77,
+                parent_span: 88,
+                sampled: true,
+            }),
         });
         round_trip(&Frame::StandingQueryCancel { id: 32, sub: 31 });
         round_trip(&Frame::StandingQueryAck {
             id: 31,
             cap: 64,
             query: "port 3 window tumbling 1ms emit flows".into(),
+            trace: None,
+        });
+        round_trip(&Frame::StandingQueryAck {
+            id: 31,
+            cap: 64,
+            query: "port 3 window tumbling 1ms emit flows".into(),
+            trace: Some(TraceContext {
+                trace_id: 77,
+                parent_span: 99,
+                sampled: false,
+            }),
         });
         round_trip(&Frame::StandingQueryResult {
             id: 31,
@@ -1622,6 +1970,7 @@ mod tests {
             max_windows: 0,
             stop_after_seal: false,
             query: "pq".into(),
+            trace: None,
         });
         let n = body.len();
         body[n - 1] = 0xFF;
@@ -1644,7 +1993,7 @@ mod tests {
         let h = reg.histogram("pq_serve_request_ns", &[]);
         h.record(0);
         h.record(1000);
-        h.record(u64::MAX);
+        h.record_exemplar(u64::MAX, 0x0123_4567_89ab_cdef);
         let snap = reg.snapshot();
         let samples = snapshot_to_samples(&snap);
         let frames = metrics_update_frames(5, 0, 42, true, &samples);
@@ -1678,11 +2027,39 @@ mod tests {
                     min: 1,
                     max: 1,
                     buckets: vec![(64, 1)],
+                    exemplars: vec![],
                 },
             }],
         };
         let mut body = encode_body(&frame);
-        let idx_at = body.len() - 9; // bucket index byte precedes its u64
+        // The bucket index byte precedes its u64 count and the trailing
+        // (empty) exemplar-count byte.
+        let idx_at = body.len() - 10;
+        body[idx_at] = 65;
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Out-of-range exemplar bucket index.
+        let frame = Frame::MetricsChunk {
+            id: 1,
+            samples: vec![WireSample {
+                name: "m".into(),
+                labels: vec![],
+                value: WireValue::Histogram {
+                    count: 1,
+                    sum: 1,
+                    min: 1,
+                    max: 1,
+                    buckets: vec![],
+                    exemplars: vec![BucketExemplar {
+                        bucket: 63,
+                        trace_id: 1,
+                        value: 1,
+                    }],
+                },
+            }],
+        };
+        let mut body = encode_body(&frame);
+        // The exemplar bucket byte precedes its u128 id and u64 value.
+        let idx_at = body.len() - 25;
         body[idx_at] = 65;
         assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
         // Empty metric name.
@@ -1709,10 +2086,95 @@ mod tests {
             staleness: 3,
             counts: 4,
             gaps: 5,
+            trace: None,
         });
         for cut in 0..body.len() {
             assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn absent_trace_context_is_the_v1_layout() {
+        let bare = encode_body(&Frame::Request {
+            id: 9,
+            req: Request::QueueMonitor { port: 2, at: 500 },
+            trace: None,
+        });
+        let traced = encode_body(&Frame::Request {
+            id: 9,
+            req: Request::QueueMonitor { port: 2, at: 500 },
+            trace: Some(TraceContext {
+                trace_id: 42,
+                parent_span: 7,
+                sampled: true,
+            }),
+        });
+        // The extension is a pure suffix: same prefix, exactly
+        // TRACE_EXT_LEN extra bytes, led by the magic.
+        assert_eq!(traced.len(), bare.len() + TRACE_EXT_LEN);
+        assert_eq!(&traced[..bare.len()], &bare[..]);
+        assert_eq!(traced[bare.len()], TRACE_EXT_MAGIC);
+    }
+
+    #[test]
+    fn hostile_trace_extensions_are_rejected() {
+        let bare = encode_body(&Frame::Request {
+            id: 9,
+            req: Request::QueueMonitor { port: 2, at: 500 },
+            trace: None,
+        });
+        let traced = encode_body(&Frame::Request {
+            id: 9,
+            req: Request::QueueMonitor { port: 2, at: 500 },
+            trace: Some(TraceContext {
+                trace_id: 42,
+                parent_span: 7,
+                sampled: true,
+            }),
+        });
+        // Unknown flag bits.
+        let mut body = traced.clone();
+        let flags_at = bare.len() + 1;
+        body[flags_at] = 0x03;
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Wrong magic: the block is not an extension, so it is trailing
+        // garbage.
+        let mut body = traced.clone();
+        body[bare.len()] = 0x7D;
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // A truncated extension is never parsed as one.
+        for cut in bare.len() + 1..traced.len() {
+            assert!(decode_body(&traced[..cut]).is_err(), "cut at {cut}");
+        }
+        // An over-long tail (extension + extra byte) is rejected too.
+        let mut body = traced.clone();
+        body.push(0);
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_trace_dumps_are_rejected() {
+        // Inflated trace count with no bytes behind it.
+        let mut body = vec![0x93];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Inflated span count inside an otherwise valid trace.
+        let frame = Frame::TraceDumpAck {
+            id: 1,
+            traces: vec![Trace {
+                trace_id: 1,
+                root_span: 1,
+                duration_ns: 1,
+                slow: false,
+                spans: vec![],
+            }],
+        };
+        let mut body = encode_body(&frame);
+        // The span-count u32 is the last field of the only trace.
+        let at = body.len() - 4;
+        body[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -6,8 +6,9 @@ use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
 use pq_serve::wire::{
     decode_body, encode_body, read_frame, ErrorCode, Frame, HealthInfo, Request, ShardMap,
-    ShardMapEntry, WireError, WireSample, WireValue, MAX_FRAME_LEN,
+    ShardMapEntry, WireError, WireSample, WireValue, MAX_FRAME_LEN, TRACE_EXT_LEN,
 };
+use pq_telemetry::{BucketExemplar, Trace, TraceContext, TraceSpan, NUM_BUCKETS};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -19,7 +20,54 @@ fn arb_gaps() -> impl Strategy<Value = Vec<CoverageGap>> {
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
-    (1u16..=8).prop_map(|v| ErrorCode::from_u16(v).unwrap())
+    (1u16..=9).prop_map(|v| ErrorCode::from_u16(v).unwrap())
+}
+
+fn arb_trace_ctx() -> impl Strategy<Value = TraceContext> {
+    (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(trace_id, parent_span, sampled)| {
+        TraceContext {
+            trace_id,
+            parent_span,
+            sampled,
+        }
+    })
+}
+
+fn arb_span() -> impl Strategy<Value = TraceSpan> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_string(12),
+        arb_string(12),
+        arb_string(12),
+    )
+        .prop_map(
+            |((span_id, parent_span, start_ns, end_ns), name, process, tag)| TraceSpan {
+                span_id,
+                parent_span,
+                name,
+                process,
+                tag,
+                start_ns,
+                end_ns,
+            },
+        )
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        any::<u128>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_span(), 0..4),
+    )
+        .prop_map(|(trace_id, root_span, duration_ns, slow, spans)| Trace {
+            trace_id,
+            root_span,
+            duration_ns,
+            slow,
+            spans,
+        })
 }
 
 /// Arbitrary UTF-8 strings up to `max` bytes (lossy-converted byte soup,
@@ -45,14 +93,27 @@ fn arb_wire_value() -> impl Strategy<Value = WireValue> {
             any::<u64>(),
             any::<u64>(),
             proptest::collection::vec((0u8..65, any::<u64>()), 0..10),
+            proptest::collection::vec(
+                (0u8..NUM_BUCKETS as u8, any::<u128>(), any::<u64>()).prop_map(
+                    |(bucket, trace_id, value)| BucketExemplar {
+                        bucket,
+                        trace_id,
+                        value,
+                    }
+                ),
+                0..6,
+            ),
         )
-            .prop_map(|(count, sum, min, max, buckets)| WireValue::Histogram {
-                count,
-                sum,
-                min,
-                max,
-                buckets,
-            })
+            .prop_map(
+                |(count, sum, min, max, buckets, exemplars)| WireValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                    exemplars,
+                }
+            )
             .boxed(),
     ]
 }
@@ -155,7 +216,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(version, max_frame)| Frame::HelloAck { version, max_frame })
             .boxed(),
         (any::<u64>(), arb_request())
-            .prop_map(|(id, req)| Frame::Request { id, req })
+            .prop_map(|(id, req)| Frame::Request {
+                id,
+                req,
+                trace: None,
+            })
             .boxed(),
         any::<u64>().prop_map(|id| Frame::MetricsReq { id }).boxed(),
         any::<u64>()
@@ -179,6 +244,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     checkpoints,
                     flows,
                     gaps,
+                    trace: None,
                 }
             )
             .boxed(),
@@ -211,6 +277,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     staleness,
                     counts,
                     gaps,
+                    trace: None,
                 }
             })
             .boxed(),
@@ -273,7 +340,111 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (any::<u64>(), arb_shard_map())
             .prop_map(|(id, map)| Frame::ShardMapAck { id, map })
             .boxed(),
+        (any::<u64>(), any::<u32>(), any::<bool>())
+            .prop_map(|(id, max, slow_only)| Frame::TraceDumpReq { id, max, slow_only })
+            .boxed(),
+        (any::<u64>(), proptest::collection::vec(arb_trace(), 0..3))
+            .prop_map(|(id, traces)| Frame::TraceDumpAck { id, traces })
+            .boxed(),
     ]
+}
+
+/// Frames that can carry the optional trace-context extension, with the
+/// extension present. Kept OUT of [`arb_frame`]: truncating a traced
+/// frame by exactly its extension yields a *valid* untraced frame, so the
+/// every-prefix-errors property only holds for extension-free bodies
+/// (the aliasing itself is pinned down in `traced_prefixes` below).
+fn arb_traced_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), arb_request(), arb_trace_ctx())
+            .prop_map(|(id, req, ctx)| Frame::Request {
+                id,
+                req,
+                trace: Some(ctx),
+            })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            arb_trace_ctx()
+        )
+            .prop_map(
+                |(id, degraded, checkpoints, flows, gaps, ctx)| Frame::ResultHeader {
+                    id,
+                    degraded,
+                    checkpoints,
+                    flows,
+                    gaps,
+                    trace: Some(ctx),
+                }
+            )
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            arb_trace_ctx()
+        )
+            .prop_map(|(id, degraded, frozen_at, staleness, counts, gaps, ctx)| {
+                Frame::MonitorHeader {
+                    id,
+                    degraded,
+                    frozen_at,
+                    staleness,
+                    counts,
+                    gaps,
+                    trace: Some(ctx),
+                }
+            })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            arb_string(40),
+            arb_trace_ctx()
+        )
+            .prop_map(|(id, cap, max_windows, stop_after_seal, query, ctx)| {
+                Frame::StandingQueryReq {
+                    id,
+                    cap,
+                    max_windows,
+                    stop_after_seal,
+                    query,
+                    trace: Some(ctx),
+                }
+            })
+            .boxed(),
+        (any::<u64>(), any::<u32>(), arb_string(40), arb_trace_ctx())
+            .prop_map(|(id, cap, query, ctx)| Frame::StandingQueryAck {
+                id,
+                cap,
+                query,
+                trace: Some(ctx),
+            })
+            .boxed(),
+    ]
+}
+
+/// The same frame with its trace context removed.
+fn strip_trace(frame: &Frame) -> Frame {
+    let mut bare = frame.clone();
+    match &mut bare {
+        Frame::Request { trace, .. }
+        | Frame::ResultHeader { trace, .. }
+        | Frame::MonitorHeader { trace, .. }
+        | Frame::StandingQueryReq { trace, .. }
+        | Frame::StandingQueryAck { trace, .. } => *trace = None,
+        _ => unreachable!("arb_traced_frame only yields extension carriers"),
+    }
+    bare
 }
 
 proptest! {
@@ -308,6 +479,64 @@ proptest! {
         body.extend_from_slice(&tail);
         // A frame followed by extra bytes is malformed: accepting it would
         // let desynchronized streams slip through silently.
+        prop_assert!(decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn traced_frames_round_trip_bit_exactly(frame in arb_traced_frame()) {
+        let body = encode_body(&frame);
+        let back = decode_body(&body).expect("traced encoding must decode");
+        prop_assert_eq!(encode_body(&back), body);
+    }
+
+    #[test]
+    fn absent_trace_context_is_a_strict_prefix(frame in arb_traced_frame()) {
+        // `None` encodes zero bytes: the untraced body is bit-identical to
+        // the v1 layout, and the traced body is exactly it plus the
+        // fixed-width extension. This is the wire-level back-compat
+        // contract: an old peer decoding an untraced frame sees v1 bytes.
+        let traced = encode_body(&frame);
+        let bare = encode_body(&strip_trace(&frame));
+        prop_assert_eq!(traced.len(), bare.len() + TRACE_EXT_LEN);
+        prop_assert_eq!(&traced[..bare.len()], &bare[..]);
+    }
+
+    #[test]
+    fn traced_prefixes_alias_only_the_bare_frame(frame in arb_traced_frame()) {
+        // Every strict prefix of a traced body errors, EXCEPT the one that
+        // drops exactly the extension — which must decode to the same
+        // frame without its context (how an old build reads new bytes
+        // after the length prefix is adjusted). No prefix may panic.
+        let body = encode_body(&frame);
+        let bare_len = body.len() - TRACE_EXT_LEN;
+        for cut in 0..body.len() {
+            match decode_body(&body[..cut]) {
+                Ok(decoded) => {
+                    prop_assert!(cut == bare_len, "only the extension-free cut may decode");
+                    prop_assert_eq!(decoded, strip_trace(&frame));
+                }
+                Err(_) => prop_assert!(cut != bare_len, "the extension-free cut must decode"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_trace_flags_are_rejected(frame in arb_traced_frame(), bad_bits in 1u8..=127) {
+        // flags is the second-to-last-25th byte: magic(1) flags(1)
+        // trace_id(16) parent(8) from the tail. Any bit beyond bit 0 must
+        // refuse the frame rather than round-trip lossily.
+        let mut body = encode_body(&frame);
+        let flags_at = body.len() - TRACE_EXT_LEN + 1;
+        body[flags_at] |= bad_bits << 1;
+        prop_assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn traced_trailing_garbage_is_rejected(frame in arb_traced_frame(), tail in proptest::collection::vec(any::<u8>(), 1..16)) {
+        // A tail after the extension shifts the remaining-length check off
+        // the exact extension size, so the whole frame is refused.
+        let mut body = encode_body(&frame);
+        body.extend_from_slice(&tail);
         prop_assert!(decode_body(&body).is_err());
     }
 

@@ -45,6 +45,6 @@ pub use json::{
     archives_from_json, archives_to_json, archives_to_pqa, format_for_path, read_archives,
     write_archives, ArchiveFormat,
 };
-pub use reader::{Recovery, SegmentCache, SegmentKey, StoreReader};
+pub use reader::{QueryStats, Recovery, SegmentCache, SegmentKey, StoreReader};
 pub use replication::{ship_archive, verify_replica, ReplicaDivergence, ShipReport};
 pub use writer::{SegmentPolicy, SharedStoreWriter, StoreWriter};

@@ -106,6 +106,34 @@ impl ReaderInstruments {
     }
 }
 
+/// Per-call accounting for the most recent
+/// [`query_cached`](StoreReader::query_cached), letting callers tag
+/// trace spans with how the segments were actually sourced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Segments the query's interval selected.
+    pub segments: u64,
+    /// Of those, how many were served from the decoded-segment cache.
+    pub from_cache: u64,
+    /// How many were decoded from disk (misses that decoded cleanly).
+    pub decoded: u64,
+    /// Wall-clock nanoseconds spent inside segment decode.
+    pub decode_ns: u64,
+}
+
+impl QueryStats {
+    /// `hit` / `miss` / `mixed` / `none` — the cache-disposition tag a
+    /// trace span carries.
+    pub fn cache_tag(&self) -> &'static str {
+        match (self.from_cache, self.decoded) {
+            (0, 0) => "none",
+            (_, 0) => "hit",
+            (0, _) => "miss",
+            _ => "mixed",
+        }
+    }
+}
+
 /// A reader over a seekable `.pqa` source.
 pub struct StoreReader<R: Read + Seek> {
     src: R,
@@ -120,6 +148,7 @@ pub struct StoreReader<R: Read + Seek> {
     tail_torn: bool,
     budget_bytes: u64,
     telemetry: Option<ReaderInstruments>,
+    last_stats: QueryStats,
 }
 
 impl<R: Read + Seek> StoreReader<R> {
@@ -142,6 +171,7 @@ impl<R: Read + Seek> StoreReader<R> {
             tail_torn: false,
             budget_bytes: 64 << 20,
             telemetry: None,
+            last_stats: QueryStats::default(),
         };
         match reader.try_trailer(file_len)? {
             Some((segments, ports)) => {
@@ -485,6 +515,10 @@ impl<R: Read + Seek> StoreReader<R> {
             .filter(|s| s.port == port && s.overlaps_query(interval.from, interval.to))
             .copied()
             .collect();
+        let mut stats = QueryStats {
+            segments: metas.len() as u64,
+            ..QueryStats::default()
+        };
         let meta_info = self.port_meta(port);
         let mut estimates = FlowEstimates::default();
         let mut corrupt_gaps: Vec<CoverageGap> = Vec::new();
@@ -492,23 +526,34 @@ impl<R: Read + Seek> StoreReader<R> {
         for m in &metas {
             let cached = cache.as_mut().and_then(|c| c.get(SegmentKey::of(m)));
             let cps: Arc<[Checkpoint]> = match cached {
-                Some(cps) => cps,
-                None => match self.decode_segment(m) {
-                    Ok(cps) => {
-                        let cps: Arc<[Checkpoint]> = cps.into();
-                        if let Some(c) = cache.as_mut() {
-                            c.insert(SegmentKey::of(m), Arc::clone(&cps));
+                Some(cps) => {
+                    stats.from_cache += 1;
+                    cps
+                }
+                None => {
+                    let decode_started = Instant::now();
+                    let decoded = self.decode_segment(m);
+                    stats.decode_ns = stats.decode_ns.saturating_add(
+                        u64::try_from(decode_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                    match decoded {
+                        Ok(cps) => {
+                            stats.decoded += 1;
+                            let cps: Arc<[Checkpoint]> = cps.into();
+                            if let Some(c) = cache.as_mut() {
+                                c.insert(SegmentKey::of(m), Arc::clone(&cps));
+                            }
+                            cps
                         }
-                        cps
+                        Err(_) => {
+                            corrupt_gaps.push(CoverageGap {
+                                from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
+                                to: m.max_t,
+                            });
+                            continue;
+                        }
                     }
-                    Err(_) => {
-                        corrupt_gaps.push(CoverageGap {
-                            from: m.prev_periodic.map_or(0, |p| p.saturating_add(1)),
-                            to: m.max_t,
-                        });
-                        continue;
-                    }
-                },
+                }
             };
             // Re-seed the slice chain from the segment header so skipped
             // (pruned or corrupt) predecessors don't shift the clamping.
@@ -563,10 +608,17 @@ impl<R: Read + Seek> StoreReader<R> {
                 );
             }
         }
+        self.last_stats = stats;
         Ok(QueryResult {
             degraded: !gaps.is_empty(),
             estimates,
             gaps,
         })
+    }
+
+    /// Accounting for the most recent [`query_cached`](Self::query_cached)
+    /// call (zeroed until the first query).
+    pub fn last_query_stats(&self) -> QueryStats {
+        self.last_stats
     }
 }

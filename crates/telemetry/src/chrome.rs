@@ -43,6 +43,95 @@ pub fn to_chrome_trace(spans: &[SpanEvent]) -> String {
     out
 }
 
+/// Stitch request traces — possibly collected from several processes —
+/// into one Chrome trace-event JSON timeline.
+///
+/// Each distinct span `process` becomes a Chrome `pid` (with a
+/// `process_name` metadata event so viewers label the row group), and
+/// within a process, overlapping spans are laid out greedily on separate
+/// `tid` lanes. Timestamps are the spans' Unix-epoch nanoseconds rebased
+/// to the earliest span in the input, so the timeline starts at zero and
+/// cross-process causality reads left to right.
+pub fn traces_to_chrome(traces: &[crate::trace::Trace]) -> String {
+    let mut spans: Vec<(u128, &crate::trace::TraceSpan)> = traces
+        .iter()
+        .flat_map(|t| t.spans.iter().map(move |s| (t.trace_id, s)))
+        .collect();
+    spans.sort_by(|(_, a), (_, b)| {
+        (a.start_ns, a.end_ns, a.process.as_str(), a.span_id).cmp(&(
+            b.start_ns,
+            b.end_ns,
+            b.process.as_str(),
+            b.span_id,
+        ))
+    });
+    let base = spans.first().map_or(0, |(_, s)| s.start_ns);
+
+    let mut processes: Vec<&str> = spans.iter().map(|(_, s)| s.process.as_str()).collect();
+    processes.sort_unstable();
+    processes.dedup();
+    let pid_of = |p: &str| processes.iter().position(|q| *q == p).unwrap_or(0) as u32 + 1;
+
+    // Greedy lane assignment per process: a span takes the first lane
+    // whose previous occupant has already ended.
+    let mut lanes: std::collections::HashMap<&str, Vec<u64>> = std::collections::HashMap::new();
+
+    let mut out = String::from("[");
+    let mut first = true;
+    for p in &processes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"args\": {{\"name\": \"{}\"}}}}",
+            pid_of(p),
+            escape(p)
+        );
+    }
+    for (trace_id, span) in &spans {
+        let ends = lanes.entry(span.process.as_str()).or_default();
+        let lane = match ends.iter().position(|&end| end <= span.start_ns) {
+            Some(i) => {
+                ends[i] = span.end_ns;
+                i
+            }
+            None => {
+                ends.push(span.end_ns);
+                ends.len() - 1
+            }
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let label = if span.tag.is_empty() {
+            escape(&span.name)
+        } else {
+            format!("{} [{}]", escape(&span.name), escape(&span.tag))
+        };
+        let _ = write!(
+            out,
+            "\n  {{\"name\": \"{}\", \"cat\": \"pq-trace\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}, \"args\": {{\"trace_id\": \"{:032x}\", \"span_id\": \"{:016x}\", \"parent_span\": \"{:016x}\"}}}}",
+            label,
+            micros(span.start_ns - base),
+            micros(span.duration_ns()),
+            pid_of(&span.process),
+            lane + 1,
+            trace_id,
+            span.span_id,
+            span.parent_span,
+        );
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
 /// Nanoseconds as fractional microseconds, with trailing zeros trimmed so
 /// whole-microsecond values print as integers.
 fn micros(ns: u64) -> String {
@@ -122,6 +211,49 @@ mod tests {
     fn serde_json_parse_smoke(text: &str) -> bool {
         let t = text.trim();
         t.starts_with('[') && t.ends_with(']') && t.matches('{').count() == t.matches('}').count()
+    }
+
+    #[test]
+    fn stitched_traces_get_per_process_pids_and_lanes() {
+        use crate::trace::{Trace, TraceSpan};
+        let ts = |name: &str, process: &str, start: u64, end: u64| TraceSpan {
+            span_id: start + 1,
+            parent_span: 0,
+            name: name.to_string(),
+            process: process.to_string(),
+            tag: String::new(),
+            start_ns: start,
+            end_ns: end,
+        };
+        let traces = vec![Trace {
+            trace_id: 0xabc,
+            root_span: 1,
+            duration_ns: 100,
+            slow: false,
+            spans: vec![
+                ts("route", "router", 1_000, 1_100),
+                // Two overlapping serve spans: must land on distinct lanes.
+                ts("worker_exec", "serve:a", 1_010, 1_090),
+                ts("segment_decode", "serve:a", 1_020, 1_080),
+            ],
+        }];
+        let text = traces_to_chrome(&traces);
+        // Two processes → two process_name metadata events + pids 1 and 2.
+        assert_eq!(text.matches("process_name").count(), 2);
+        assert!(text.contains("\"name\": \"router\""));
+        assert!(text.contains("\"name\": \"serve:a\""));
+        // Overlap within serve:a forces lane 2.
+        assert!(text.contains("\"tid\": 2"));
+        // Timeline is rebased to the earliest span.
+        assert!(text.contains("\"ts\": 0,"));
+        // The trace id rides along for alert → trace linkage.
+        assert!(text.contains(&format!("{:032x}", 0xabcu128)));
+        assert!(serde_json_parse_smoke(&text));
+    }
+
+    #[test]
+    fn stitching_no_traces_is_valid_json() {
+        assert_eq!(traces_to_chrome(&[]).trim(), "[]");
     }
 
     #[test]

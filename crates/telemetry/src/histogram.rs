@@ -16,9 +16,23 @@
 //! one bucket everywhere else (property-tested in `tests/telemetry.rs`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Number of log2 buckets: one for zero plus one per bit of `u64`.
 pub const NUM_BUCKETS: usize = 65;
+
+/// An OpenMetrics-style exemplar: the last traced sample observed in one
+/// bucket, so an alert on a histogram links straight to a representative
+/// request trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketExemplar {
+    /// Bucket index (see [`bucket_index`]).
+    pub bucket: u8,
+    /// Trace id of the request that recorded the sample (never 0).
+    pub trace_id: u128,
+    /// The observed sample value.
+    pub value: u64,
+}
 
 /// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`.
 #[inline]
@@ -52,6 +66,11 @@ pub(crate) struct HistogramCore {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Last `(trace_id, value)` observed per bucket; trace_id 0 = none.
+    /// Behind a mutex, but only touched by [`Histogram::record_exemplar`]
+    /// — the per-sampled-trace path, orders of magnitude rarer than
+    /// [`Histogram::record`], which stays lock-free.
+    exemplars: Mutex<Box<[(u128, u64); NUM_BUCKETS]>>,
 }
 
 impl Default for HistogramCore {
@@ -62,6 +81,7 @@ impl Default for HistogramCore {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new(Box::new([(0, 0); NUM_BUCKETS])),
         }
     }
 }
@@ -86,15 +106,40 @@ impl Histogram {
         core.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// [`record`](Self::record) a sample and stamp its bucket's exemplar
+    /// with the trace id of the request that produced it. A `trace_id` of
+    /// 0 (the "no trace" sentinel) records the sample without an exemplar.
+    pub fn record_exemplar(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        let mut ex = self.0.exemplars.lock().unwrap();
+        ex[bucket_index(v)] = (trace_id, v);
+    }
+
     /// A plain-data copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let core = &*self.0;
+        let exemplars = {
+            let ex = core.exemplars.lock().unwrap();
+            ex.iter()
+                .enumerate()
+                .filter(|(_, (id, _))| *id != 0)
+                .map(|(i, (id, v))| BucketExemplar {
+                    bucket: i as u8,
+                    trace_id: *id,
+                    value: *v,
+                })
+                .collect()
+        };
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| core.buckets[i].load(Ordering::Relaxed)),
             count: core.count.load(Ordering::Relaxed),
             sum: core.sum.load(Ordering::Relaxed),
             min: core.min.load(Ordering::Relaxed),
             max: core.max.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -112,6 +157,9 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
+    /// Per-bucket exemplars (sparse, ascending bucket order): the last
+    /// traced sample seen in each occupied bucket.
+    pub exemplars: Vec<BucketExemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -122,6 +170,7 @@ impl Default for HistogramSnapshot {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -213,6 +262,32 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        // Exemplars are representatives, not measures: per bucket the
+        // incoming side wins (any representative is as good as another,
+        // and "latest snapshot folded in" matches operator expectation).
+        for ex in &other.exemplars {
+            match self
+                .exemplars
+                .binary_search_by_key(&ex.bucket, |e| e.bucket)
+            {
+                Ok(i) => self.exemplars[i] = *ex,
+                Err(i) => self.exemplars.insert(i, *ex),
+            }
+        }
+    }
+
+    /// The exemplar stamped on bucket `bucket`, if any.
+    pub fn exemplar(&self, bucket: usize) -> Option<BucketExemplar> {
+        self.exemplars
+            .iter()
+            .find(|e| usize::from(e.bucket) == bucket)
+            .copied()
+    }
+
+    /// The exemplar of the highest occupied bucket — the natural "show me
+    /// a slow one" pick for alert → trace linkage.
+    pub fn worst_exemplar(&self) -> Option<BucketExemplar> {
+        self.exemplars.last().copied()
     }
 }
 
@@ -300,6 +375,41 @@ mod tests {
         // The exactness contracts survive the clamp.
         assert_eq!(snap.quantile(1.0), u64::MAX);
         assert_eq!(snap.quantile(0.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn exemplars_stamp_last_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record(100); // untraced: no exemplar
+        h.record_exemplar(5, 0xaa);
+        h.record_exemplar(6, 0xbb); // same bucket [4,7]: overwrites
+        h.record_exemplar(1000, 0xcc);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        let ex = snap.exemplar(bucket_index(5)).unwrap();
+        assert_eq!((ex.trace_id, ex.value), (0xbb, 6));
+        assert!(snap.exemplar(bucket_index(100)).is_none());
+        let worst = snap.worst_exemplar().unwrap();
+        assert_eq!(worst.trace_id, 0xcc);
+        // Zero trace id is the "no trace" sentinel: counted, not stamped.
+        h.record_exemplar(7, 0);
+        assert_eq!(
+            h.snapshot().exemplar(bucket_index(7)).unwrap().trace_id,
+            0xbb
+        );
+    }
+
+    #[test]
+    fn merge_prefers_incoming_exemplars() {
+        let a = Histogram::new();
+        a.record_exemplar(5, 0x1);
+        a.record_exemplar(1000, 0x2);
+        let b = Histogram::new();
+        b.record_exemplar(5, 0x3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.exemplar(bucket_index(5)).unwrap().trace_id, 0x3);
+        assert_eq!(m.exemplar(bucket_index(1000)).unwrap().trace_id, 0x2);
     }
 
     #[test]

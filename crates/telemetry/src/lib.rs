@@ -37,20 +37,26 @@ pub mod prometheus;
 pub mod provenance;
 pub mod registry;
 pub mod spans;
+pub mod trace;
 
 pub use alerts::{
     parse_rules, AlertEngine, AlertEvent, AlertKind, AlertRule, AlertStatus, Op, Predicate, Stat,
 };
-pub use chrome::to_chrome_trace;
+pub use chrome::{to_chrome_trace, traces_to_chrome};
 pub use delta::{changed, counter_delta, delta, rate_per_sec, GaugeHistory};
 pub use histogram::{
-    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS,
+    bucket_index, bucket_lower_bound, bucket_upper_bound, BucketExemplar, Histogram,
+    HistogramSnapshot, NUM_BUCKETS,
 };
 pub use prometheus::{
     parse_exposition, parse_prometheus, to_prometheus, MetricMeta, ParsedExposition, ParsedMetric,
 };
 pub use registry::{Counter, Gauge, MetricKey, MetricValue, Registry, RegistrySnapshot};
 pub use spans::{SpanEvent, SpanTracer};
+pub use trace::{
+    new_trace_id, trace_from_json, trace_to_json, traces_from_jsonl, ActiveTrace, Trace,
+    TraceClock, TraceContext, TraceSink, TraceSpan, TraceStore, SAMPLE_ALWAYS_PPM,
+};
 
 use std::sync::Arc;
 
@@ -194,6 +200,15 @@ pub mod names {
     /// Fired window results pushed to standing-query clients (counter).
     pub const STREAM_RESULTS: &str = "pq_stream_results_total";
 
+    // -- pq-trace (request-scoped distributed tracing) ---------------------
+    /// Anonymous ring-buffer spans overwritten because the ring was full
+    /// (counter; surfaces silent span loss so it is `--require`-gateable).
+    pub const TRACE_SPANS_DROPPED: &str = "pq_trace_spans_dropped_total";
+    /// Request traces committed to the per-process trace store (counter).
+    pub const TRACE_COMMITTED: &str = "pq_trace_committed_total";
+    /// Committed traces evicted from the recent ring (counter).
+    pub const TRACE_DROPPED: &str = "pq_trace_dropped_total";
+
     // -- cross-crate -------------------------------------------------------
     /// Build provenance carrier: constant 1, labels `version`, `commit`.
     pub const BUILD_INFO: &str = "pq_build_info";
@@ -270,6 +285,9 @@ pub mod names {
             STREAM_LATE_RECORDS => "Stream records dropped for arriving behind the watermark.",
             STREAM_EVICTIONS => "Bounded-state evictions in standing subscriptions, by kind.",
             STREAM_RESULTS => "Fired window results pushed to standing-query clients.",
+            TRACE_SPANS_DROPPED => "Ring-buffer spans overwritten because the ring was full.",
+            TRACE_COMMITTED => "Request traces committed to the per-process trace store.",
+            TRACE_DROPPED => "Committed traces evicted from the recent-trace ring.",
             BUILD_INFO => "Build provenance: constant 1 with version and commit labels.",
             WATCH_UPDATES => "Subscription updates applied by this watch client.",
             WATCH_SERIES_CHANGED => "Metric series changed across applied updates.",
@@ -294,17 +312,40 @@ pub mod names {
     /// One served query, admission to response flush (wall-clock ns since
     /// server start — the serving plane has no sim clock).
     pub const SPAN_SERVE_REQUEST: &str = "serve_request";
+
+    // -- distributed-trace span names (request-scoped, Unix-epoch ns) ------
+    /// Router: one routed query end to end.
+    pub const SPAN_ROUTE: &str = "route";
+    /// Router: one failover retry of a shard sub-query on a replica.
+    pub const SPAN_FAILOVER: &str = "failover";
+    /// Router: merging per-shard partial results into the answer.
+    pub const SPAN_MERGE: &str = "merge";
+    /// Serve: time a request sat in the admission queue before a worker
+    /// picked it up.
+    pub const SPAN_ADMISSION_WAIT: &str = "admission_wait";
+    /// Serve: worker execution, dequeue to response flush.
+    pub const SPAN_WORKER_EXEC: &str = "worker_exec";
+    /// Serve/store: decoding (or cache-fetching) the segments a replay
+    /// query needs; tagged `cache=hit|miss|mixed`.
+    pub const SPAN_SEGMENT_DECODE: &str = "segment_decode";
+    /// Stream evaluator: closing fired windows for one subscription tick.
+    pub const SPAN_WINDOW_CLOSE: &str = "window_close";
+    /// Stream evaluator: pushing fired-window results to the subscriber.
+    pub const SPAN_EMIT: &str = "emit";
 }
 
-/// The shared observability handle: one registry plus one span tracer.
+/// The shared observability handle: one registry, one span tracer, and
+/// one request-trace store.
 ///
-/// Cloning is cheap (both halves are `Arc`-shared) and every clone records
-/// into the same storage, so a single `Telemetry` can be handed to the
-/// switch, the analysis program, and the store writer of one simulation.
+/// Cloning is cheap (all three halves are `Arc`-shared) and every clone
+/// records into the same storage, so a single `Telemetry` can be handed to
+/// the switch, the analysis program, and the store writer of one
+/// simulation.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     registry: Registry,
     spans: Arc<SpanTracer>,
+    traces: Arc<trace::TraceStore>,
 }
 
 impl Telemetry {
@@ -323,6 +364,11 @@ impl Telemetry {
         &self.spans
     }
 
+    /// The request-scoped distributed-trace store.
+    pub fn traces(&self) -> &trace::TraceStore {
+        &self.traces
+    }
+
     /// Enable or disable span tracing at runtime. Disabled tracing costs
     /// one relaxed atomic load per instrumentation site.
     pub fn set_tracing(&self, enabled: bool) {
@@ -335,8 +381,28 @@ impl Telemetry {
     }
 
     /// Snapshot every metric (plain data; mergeable, exportable).
+    ///
+    /// The snapshot also carries the tracing loss counters
+    /// (`pq_trace_spans_dropped_total`, `pq_trace_committed_total`,
+    /// `pq_trace_dropped_total`) derived from the span ring and trace
+    /// store, so silent span loss is visible in every exposition path —
+    /// wire, Prometheus text, and `pqsim telemetry --require` alike.
+    /// Counters merge by addition, so fleet rollups stay correct.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        self.registry.snapshot()
+        let mut snap = self.registry.snapshot();
+        snap.insert(
+            MetricKey::new(names::TRACE_SPANS_DROPPED, &[]),
+            MetricValue::Counter(self.spans.dropped()),
+        );
+        snap.insert(
+            MetricKey::new(names::TRACE_COMMITTED, &[]),
+            MetricValue::Counter(self.traces.committed()),
+        );
+        snap.insert(
+            MetricKey::new(names::TRACE_DROPPED, &[]),
+            MetricValue::Counter(self.traces.dropped()),
+        );
+        snap
     }
 }
 
@@ -361,6 +427,30 @@ mod tests {
         other.registry().counter(names::SWITCH_ENQUEUED, &[]).inc();
         let snap = tel.snapshot();
         assert_eq!(snap.counter(names::SWITCH_ENQUEUED, &[]), Some(2));
+    }
+
+    #[test]
+    fn snapshot_carries_trace_loss_counters() {
+        let tel = Telemetry::new();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(names::TRACE_SPANS_DROPPED, &[]), Some(0));
+        assert_eq!(snap.counter(names::TRACE_COMMITTED, &[]), Some(0));
+        // Ring overwrites surface in the next snapshot.
+        let small = SpanTracer::with_capacity(1);
+        small.set_enabled(true);
+        small.record("a", 0, 1, 0);
+        small.record("b", 1, 2, 0);
+        assert_eq!(small.dropped(), 1);
+        // And trace commits do too, through any clone.
+        tel.traces().commit(trace::Trace {
+            trace_id: 1,
+            root_span: 1,
+            duration_ns: 5,
+            slow: false,
+            spans: Vec::new(),
+        });
+        let snap = tel.clone().snapshot();
+        assert_eq!(snap.counter(names::TRACE_COMMITTED, &[]), Some(1));
     }
 
     #[test]

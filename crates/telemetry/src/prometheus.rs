@@ -53,7 +53,20 @@ fn render_histogram(
         let le = bucket_upper_bound(i).to_string();
         let _ = write!(out, "{name}_bucket");
         render_labels(out, labels, Some(("le", &le)));
-        let _ = writeln!(out, " {cumulative}");
+        // OpenMetrics-style exemplar: the last trace that landed in this
+        // bucket, linking an alert on the series to a concrete trace.
+        match h.exemplar(i) {
+            Some(e) => {
+                let _ = writeln!(
+                    out,
+                    " {cumulative} # {{trace_id=\"{:032x}\"}} {}",
+                    e.trace_id, e.value
+                );
+            }
+            None => {
+                let _ = writeln!(out, " {cumulative}");
+            }
+        }
     }
     let _ = write!(out, "{name}_bucket");
     render_labels(out, labels, Some(("le", "+Inf")));
@@ -105,6 +118,9 @@ pub struct ParsedMetric {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
+    /// OpenMetrics-style exemplar suffix, if present: the exemplar's
+    /// `trace_id` label and observed value.
+    pub exemplar: Option<(String, f64)>,
 }
 
 /// Per-metric-name metadata parsed from `# HELP` / `# TYPE` lines.
@@ -181,6 +197,16 @@ pub fn parse_exposition(text: &str) -> Result<ParsedExposition, String> {
 }
 
 fn parse_line(line: &str) -> Result<ParsedMetric, String> {
+    // Split off an OpenMetrics exemplar suffix (` # {labels} value`)
+    // before looking for the label-set close brace, or the exemplar's own
+    // brace would be mistaken for it.
+    let (line, exemplar) = match line.find(" # ") {
+        Some(at) => {
+            let (head, tail) = line.split_at(at);
+            (head.trim_end(), Some(parse_exemplar(tail[3..].trim())?))
+        }
+        None => (line, None),
+    };
     let (series, value_str) = match line.rfind('}') {
         Some(close) => {
             let (series, rest) = line.split_at(close + 1);
@@ -226,7 +252,27 @@ fn parse_line(line: &str) -> Result<ParsedMetric, String> {
         name,
         labels,
         value,
+        exemplar,
     })
+}
+
+/// Parse the `{trace_id="..."} value` tail of an exemplar suffix.
+fn parse_exemplar(tail: &str) -> Result<(String, f64), String> {
+    let body = tail.strip_prefix('{').ok_or("exemplar without label set")?;
+    let (labels, value_str) = body.split_once('}').ok_or("unterminated exemplar labels")?;
+    let (k, v) = labels.split_once('=').ok_or("exemplar label without '='")?;
+    if k != "trace_id" {
+        return Err(format!("unexpected exemplar label {k:?}"));
+    }
+    let v = v
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or("unquoted exemplar value")?;
+    let value: f64 = value_str
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad exemplar value {value_str:?}"))?;
+    Ok((v.to_string(), value))
 }
 
 #[cfg(test)]
@@ -306,6 +352,30 @@ mod tests {
         // The sample lines still parse identically through the old entry
         // point (HELP must not perturb value parsing).
         assert_eq!(parse_prometheus(&text).unwrap(), parsed.samples);
+    }
+
+    #[test]
+    fn bucket_exemplars_render_and_parse() {
+        let reg = Registry::new();
+        let h = reg.histogram("pq_test_ns", &[]);
+        h.record(1);
+        h.record_exemplar(100, 0xabc);
+        let text = to_prometheus(&reg.snapshot());
+        let suffix = format!("# {{trace_id=\"{:032x}\"}} 100", 0xabcu128);
+        assert!(text.contains(&suffix), "no exemplar in: {text}");
+
+        let parsed = parse_prometheus(&text).unwrap();
+        let with_ex = parsed
+            .iter()
+            .find(|m| m.name == "pq_test_ns_bucket" && m.exemplar.is_some())
+            .expect("one bucket line carries the exemplar");
+        let (trace_id, value) = with_ex.exemplar.clone().unwrap();
+        assert_eq!(trace_id, format!("{:032x}", 0xabcu128));
+        assert_eq!(value, 100.0);
+        // The bucket without an exemplar parses with none.
+        assert!(parsed
+            .iter()
+            .any(|m| m.name == "pq_test_ns_bucket" && m.exemplar.is_none()));
     }
 
     #[test]

@@ -13,13 +13,15 @@
 //!   tracing is enabled and two files are written: a Chrome trace-event
 //!   JSON at PATH (loadable in Perfetto / `chrome://tracing`) and a
 //!   Prometheus text exposition at PATH with a `.prom` extension.
-//! * `telemetry FILE [tw flags] [--out PATH] [--require a,b,c] [--prom F]`
+//! * `telemetry FILE [tw flags] [--out PATH] [--require a,b<=N,c] [--prom F]`
 //!   Replay a trace with the full observability plane attached and print
 //!   a summary of every metric and span. `--require` names metrics (or
-//!   span names) that must be present and nonzero — the command exits
-//!   nonzero otherwise, which makes it a one-line smoke test for CI.
-//!   `--prom` merges the samples of a Prometheus text file (such as the
-//!   exposition `serve --metrics-file` writes) into the check.
+//!   span names) that must be present and nonzero — or, with a `<=N`
+//!   suffix, that must not exceed an upper bound (absent observes 0) —
+//!   the command exits nonzero otherwise, which makes it a one-line
+//!   smoke test for CI. `--prom` merges the samples of a Prometheus
+//!   text file (such as the exposition `serve --metrics-file` writes)
+//!   into the check.
 //! * `case-study [--duration-ms N --seed S]`
 //!   Run the §7.2 queue-monitor case study and print the three culprit
 //!   views.
@@ -46,17 +48,22 @@
 //!   auto-detecting the source format.
 //! * `serve [FILE.pqtr] --listen ADDR [--archive FILE.pqa] [tw flags]
 //!   [--workers N --queue-cap N --inflight N --max-conns N --cache-mb MB
-//!   --addr-file PATH --metrics-file PATH]`
+//!   --addr-file PATH --metrics-file PATH] [trace flags]`
 //!   Run the concurrent diagnosis-query daemon. A trace positional builds
 //!   live register state (time-window and queue-monitor queries);
 //!   `--archive` additionally serves replay queries from a `.pqa` file.
 //!   `--addr-file` records the bound address (useful with `:0` ephemeral
 //!   ports); `--metrics-file` writes the server's Prometheus exposition
 //!   at shutdown; `--shard NAME` stamps the daemon's shard identity into
-//!   its `HealthAck` and `ShardMapAck`. Stop it with `pqsim serve-stop
-//!   ADDR`.
+//!   its `HealthAck` and `ShardMapAck`. The trace flags — shared with
+//!   `router` — turn on distributed request tracing: `--trace` samples
+//!   every request, `--trace-sample P` head-samples a fraction,
+//!   `--trace-slow-ms N` commits anything slower regardless (default
+//!   100), `--trace-out FILE.jsonl` spills committed traces as JSON
+//!   lines. Stop it with `pqsim serve-stop ADDR`.
 //! * `router --backends name=addr[,name=addr...] [--listen ADDR]
-//!   [--replication N] [--epoch-ns N] [--quarantine-after N] [--probe-ms N]`
+//!   [--replication N] [--epoch-ns N] [--quarantine-after N] [--probe-ms N]
+//!   [trace flags]`
 //!   Run the scatter-gather router tier in front of N serve daemons.
 //!   Speaks the same wire protocol, so `query --remote`, `watch`, and
 //!   `serve-stop` all work against it unchanged. Each `(port, epoch)`
@@ -68,10 +75,12 @@
 //!   CRC-verified before the copy, the publish is atomic, and the
 //!   replica is audited segment-by-segment afterwards.
 //! * `query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]
-//!   [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]`
+//!   [--kind tw|monitor|replay] [--at NS] [--d NS] [--json] [--trace]`
 //!   Run a diagnosis query — against live state built from a trace, or
 //!   against a running `serve` daemon with `--remote`. Local and remote
 //!   answers print byte-identically through the same formatter.
+//!   `--trace` (remote only) plants a fresh always-sampled trace id on
+//!   the request and prints it, ready to pull with `pqsim trace`.
 //! * `watch ADDR [--interval-ms N] [--updates N] [--rules FILE] [--once]
 //!   [--json]`
 //!   Watch a running `serve` daemon live: subscribe to its metrics
@@ -82,6 +91,19 @@
 //!   evaluated against every update. `--once --json` takes two updates
 //!   an interval apart (so rates are defined), prints one JSON document,
 //!   and exits nonzero when any rule fires — a CI gate in one line.
+//! * `stream ADDR --query Q [--cap N] [--windows N] [--once] [--json]`
+//!   Register a standing continuous query (DESIGN.md §13's one-line
+//!   grammar) against a running daemon or router and print each fired
+//!   window as it closes. `--once` ends the stream when the bounded
+//!   source seals; `--json` emits one document per window.
+//! * `trace --from ADDR[,ADDR...]|--files F.jsonl[,...] [--top N]
+//!   [--slow] [--out chrome.json] [--json]`
+//!   Pull buffered request traces from running daemons (and/or read
+//!   `--trace-out` spill files), stitch the records of each request
+//!   across processes, and print per-request span timelines, slowest
+//!   first. `--slow` keeps only slow-threshold traces (the slow-query
+//!   log), `--json` prints one JSON document per trace, and `--out`
+//!   writes a Chrome/Perfetto trace with one lane per process.
 //! * `serve-stop ADDR`
 //!   Ask a running daemon to drain in-flight queries and exit.
 //!
@@ -122,7 +144,7 @@ fn usage() -> ! {
          pqsim run FILE [--alpha A] [--k K] [--t T] [--m0 M] [--d NS] [--victims N]\n  \
          \x20         [--fault-rate P] [--fault-seed S] [--read-latency-ns NS]\n  \
          \x20         [--telemetry PATH]\n  \
-         pqsim telemetry FILE [tw flags] [--out PATH] [--require a,b,c] [--prom F]\n  \
+         pqsim telemetry FILE [tw flags] [--out PATH] [--require a,b<=N,c] [--prom F]\n  \
          pqsim case-study [--duration-ms N] [--seed S]\n  \
          pqsim export-pcap FILE.pqtr FILE.pcap\n  \
          pqsim import-pcap FILE.pcap FILE.pqtr [--port P]\n  \
@@ -134,14 +156,18 @@ fn usage() -> ! {
          pqsim serve [FILE.pqtr] --listen ADDR [--archive FILE.pqa] [tw flags]\n  \
          \x20         [--workers N] [--queue-cap N] [--inflight N] [--max-conns N]\n  \
          \x20         [--cache-mb MB] [--work-delay-ms N] [--shard NAME]\n  \
-         \x20         [--addr-file PATH] [--metrics-file PATH]\n  \
+         \x20         [--addr-file PATH] [--metrics-file PATH] [trace flags]\n  \
          pqsim router --backends name=addr[,name=addr...] [--listen ADDR]\n  \
          \x20         [--replication N] [--epoch-ns N] [--quarantine-after N]\n  \
          \x20         [--probe-ms N] [--connect-ms N] [--io-ms N] [--max-conns N]\n  \
-         \x20         [--addr-file PATH] [--metrics-file PATH]\n  \
+         \x20         [--addr-file PATH] [--metrics-file PATH] [trace flags]\n  \
+         \x20         (trace flags: --trace | --trace-sample P | --trace-slow-ms N\n  \
+         \x20          | --trace-out FILE.jsonl)\n  \
          pqsim replicate SRC.pqa DST.pqa\n  \
          pqsim query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]\n  \
-         \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json]\n  \
+         \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json] [--trace]\n  \
+         pqsim trace --from ADDR[,ADDR...]|--files F.jsonl[,...] [--top N]\n  \
+         \x20         [--slow] [--out chrome.json] [--json]\n  \
          pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
          \x20         [--once] [--json]\n  \
          pqsim stream ADDR --query Q [--cap N] [--windows N] [--once] [--json]\n  \
@@ -152,7 +178,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet", "json", "once"];
+const BOOL_FLAGS: &[&str] = &["quiet", "json", "once", "trace", "slow"];
 
 /// Minimal flag parser: `--name value` pairs, boolean `--name` switches,
 /// and positional arguments.
@@ -222,6 +248,7 @@ fn main() {
         "router" => cmd_router(&args),
         "replicate" => cmd_replicate(&args),
         "query" => cmd_query(&args),
+        "trace" => cmd_trace(&args),
         "watch" => cmd_watch(&args),
         "stream" => cmd_stream(&args),
         "serve-stop" => cmd_serve_stop(&args),
@@ -542,34 +569,74 @@ fn cmd_telemetry(args: &Args) -> CliResult {
     };
 
     if let Some(required) = args.get_str("require") {
-        let mut missing = Vec::new();
-        for name in required.split(',').filter(|s| !s.is_empty()) {
-            let in_registry = snap.iter().any(|(k, v)| {
-                k.name == name
-                    && match v {
-                        MetricValue::Counter(c) => *c > 0,
-                        MetricValue::Gauge(g) => *g > 0,
-                        MetricValue::Histogram(h) => h.count > 0,
-                    }
-            });
-            let in_spans = per_span.contains_key(name);
-            // Histogram samples in an exposition carry _count suffixes.
-            let in_prom = prom_metrics
-                .iter()
-                .any(|m| (m.name == name || m.name == format!("{name}_count")) && m.value > 0.0);
-            if !in_registry && !in_spans && !in_prom {
-                missing.push(name);
+        let mut failures = Vec::new();
+        for spec in required.split(',').filter(|s| !s.is_empty()) {
+            // Two spellings: a bare `name` must be present and nonzero in
+            // some source; `name<=N` bounds the observed value from above
+            // (an absent metric observes 0, so `pq_x_total<=0` asserts
+            // "never happened" even before the counter exists).
+            if let Some((name, bound)) = spec.split_once("<=") {
+                let name = name.trim();
+                let bound: f64 = bound
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad bound in --require entry `{spec}`"))?;
+                let observed = metric_sources(name, &snap, &per_span, &prom_metrics)
+                    .into_iter()
+                    .fold(0.0_f64, f64::max);
+                if observed > bound {
+                    failures.push(format!("{name} = {observed} exceeds bound {bound}"));
+                }
+            } else {
+                let nonzero = metric_sources(spec, &snap, &per_span, &prom_metrics)
+                    .into_iter()
+                    .any(|v| v > 0.0);
+                if !nonzero {
+                    failures.push(format!("{spec} absent or zero"));
+                }
             }
         }
-        if !missing.is_empty() {
-            return Err(format!(
-                "required metrics absent or zero: {}",
-                missing.join(", ")
-            ));
+        if !failures.is_empty() {
+            return Err(format!("required-metric check: {}", failures.join("; ")));
         }
-        progress!("all required metrics present");
+        progress!("all required metrics present and within bounds");
     }
     Ok(())
+}
+
+/// The per-source observations of metric `name`: the registry sum over
+/// its label sets (histograms observe their sample count), the recorded
+/// span count, and the `--prom` exposition sum (`_count` covers
+/// histogram samples there). One entry per source that knows the name at
+/// all, so callers can distinguish "absent" from "present at zero".
+fn metric_sources(
+    name: &str,
+    snap: &telemetry::RegistrySnapshot,
+    per_span: &std::collections::BTreeMap<&str, usize>,
+    prom: &[telemetry::ParsedMetric],
+) -> Vec<f64> {
+    let mut sources = Vec::new();
+    let mut reg = None;
+    for (_, value) in snap.iter().filter(|(k, _)| k.name == name) {
+        let v = match value {
+            MetricValue::Counter(c) | MetricValue::Gauge(c) => *c as f64,
+            MetricValue::Histogram(h) => h.count as f64,
+        };
+        *reg.get_or_insert(0.0) += v;
+    }
+    sources.extend(reg);
+    if let Some(n) = per_span.get(name) {
+        sources.push(*n as f64);
+    }
+    let mut p = None;
+    for m in prom
+        .iter()
+        .filter(|m| m.name == name || m.name == format!("{name}_count"))
+    {
+        *p.get_or_insert(0.0) += m.value;
+    }
+    sources.extend(p);
+    sources
 }
 
 fn cmd_export_pcap(args: &Args) -> CliResult {
@@ -918,6 +985,45 @@ fn tw_from_args(args: &Args) -> TimeWindowConfig {
     )
 }
 
+/// Apply the shared `--trace*` daemon flags to a telemetry plane's trace
+/// store. Tracing stays compiled in but disabled unless one of the flags
+/// is present, so the default daemon pays only the `is_enabled` check.
+///
+/// `--trace` alone turns collection on with head sampling off — only
+/// slow (or `Busy`-retried) requests are captured. `--trace-sample P`
+/// adds probabilistic head sampling at rate `P` in [0, 1].
+fn configure_tracing(args: &Args, plane: &Telemetry) -> CliResult {
+    let requested = args.has("trace")
+        || args.has("trace-sample")
+        || args.has("trace-slow-ms")
+        || args.has("trace-out");
+    if !requested {
+        return Ok(());
+    }
+    let traces = plane.traces();
+    traces.set_enabled(true);
+    let sample: f64 = args.get("trace-sample", 0.0);
+    if !(0.0..=1.0).contains(&sample) {
+        return Err(format!("--trace-sample {sample} out of range [0, 1]"));
+    }
+    traces.set_sample_ppm((sample * 1_000_000.0).round() as u32);
+    let slow_ms: u64 = args.get("trace-slow-ms", 100);
+    traces.set_slow_ns(slow_ms.saturating_mul(1_000_000));
+    if let Some(path) = args.get_str("trace-out") {
+        let sink = printqueue::telemetry::TraceSink::to_file(std::path::Path::new(path))
+            .map_err(|err| format!("open --trace-out {path}: {err}"))?;
+        traces.set_sink(sink);
+    }
+    progress!(
+        "tracing on: sample {:.4}, slow >= {slow_ms}ms{}",
+        sample,
+        args.get_str("trace-out")
+            .map(|p| format!(", spilling to {p}"))
+            .unwrap_or_default()
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> CliResult {
     use printqueue::serve::{ServeConfig, Server, Sources};
     use std::sync::Arc;
@@ -960,6 +1066,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         env!("CARGO_PKG_VERSION"),
         &printqueue::telemetry::provenance::git_commit(),
     );
+    configure_tracing(args, &plane)?;
     let server = Server::bind(listen, Sources { live, archive }, config, &plane)
         .map_err(|err| format!("bind {listen}: {err}"))?;
     let addr = server
@@ -1017,6 +1124,7 @@ fn cmd_router(args: &Args) -> CliResult {
         env!("CARGO_PKG_VERSION"),
         &printqueue::telemetry::provenance::git_commit(),
     );
+    configure_tracing(args, &plane)?;
     progress!(
         "routing across {} backend(s), replication {}",
         backends.len(),
@@ -1100,6 +1208,14 @@ fn cmd_query(args: &Args) -> CliResult {
     if let Some(remote) = args.get_str("remote") {
         let mut client =
             Client::connect(remote).map_err(|err| format!("connect {remote}: {err}"))?;
+        if args.has("trace") {
+            // Force-sample this one request end to end and tell the
+            // operator the id to pull: the daemon keeps the full span
+            // tree under it, retrievable with `pqsim trace --from`.
+            let tid = telemetry::new_trace_id();
+            client.set_trace_context(Some(telemetry::TraceContext::root(tid, true)));
+            progress!("trace id {tid:032x} (pull with `pqsim trace --from {remote}`)");
+        }
         return match kind {
             queryfmt::QueryKind::Monitor => {
                 let m = client
@@ -1239,6 +1355,138 @@ fn remote_error(err: printqueue::serve::ClientError) -> String {
         }
         other => format!("remote query failed: {other}"),
     }
+}
+
+/// Pull committed traces out of running daemons (`--from`, the
+/// `TraceDump` wire message) and/or spilled JSON-lines files (`--files`,
+/// what `--trace-out` writes), print the slow-query log, and optionally
+/// stitch every process's records into one cross-process Chrome
+/// trace-event timeline (`--out`, loadable in Perfetto or
+/// `chrome://tracing`). Records from different processes that share a
+/// trace id — the router's and each backend's view of one request — are
+/// grouped into a single entry.
+fn cmd_trace(args: &Args) -> CliResult {
+    use printqueue::serve::Client;
+    let top: usize = args.get("top", 16);
+    let slow_only = args.has("slow");
+    let json = args.has("json");
+    if args.get_str("from").is_none() && args.get_str("files").is_none() {
+        return Err(
+            "nothing to read: pass --from ADDR[,ADDR...] and/or --files F.jsonl[,...]".into(),
+        );
+    }
+
+    let mut records: Vec<telemetry::Trace> = Vec::new();
+    for addr in args
+        .get_str("from")
+        .unwrap_or_default()
+        .split(',')
+        .filter(|s| !s.is_empty())
+    {
+        let mut client = Client::connect(addr).map_err(|err| format!("connect {addr}: {err}"))?;
+        let got = client
+            .trace_dump(top as u32, slow_only)
+            .map_err(|err| format!("trace dump from {addr}: {err}"))?;
+        progress!("{addr}: {} trace record(s)", got.len());
+        records.extend(got);
+    }
+    for path in args
+        .get_str("files")
+        .unwrap_or_default()
+        .split(',')
+        .filter(|s| !s.is_empty())
+    {
+        let text = std::fs::read_to_string(path).map_err(|err| format!("read {path}: {err}"))?;
+        let got = telemetry::traces_from_jsonl(&text);
+        progress!("{path}: {} trace record(s)", got.len());
+        records.extend(got);
+    }
+
+    // Stitch: every per-process record of one request shares a trace id.
+    // Order requests slowest-first (by their longest per-process root) and
+    // keep the top N.
+    let mut by_id: std::collections::BTreeMap<u128, Vec<telemetry::Trace>> = Default::default();
+    for r in records {
+        by_id.entry(r.trace_id).or_default().push(r);
+    }
+    let mut grouped: Vec<(u128, Vec<telemetry::Trace>)> = by_id.into_iter().collect();
+    grouped.sort_by_key(|(_, parts)| {
+        std::cmp::Reverse(parts.iter().map(|p| p.duration_ns).max().unwrap_or(0))
+    });
+    grouped.truncate(top.max(1));
+
+    if let Some(out) = args.get_str("out") {
+        let flat: Vec<telemetry::Trace> = grouped
+            .iter()
+            .flat_map(|(_, parts)| parts.iter().cloned())
+            .collect();
+        std::fs::write(out, telemetry::traces_to_chrome(&flat))
+            .map_err(|err| format!("write {out}: {err}"))?;
+        progress!(
+            "chrome timeline ({} request(s), {} record(s)) written to {out}",
+            grouped.len(),
+            flat.len()
+        );
+    }
+
+    if json {
+        for (_, parts) in &grouped {
+            for p in parts {
+                println!("{}", telemetry::trace_to_json(p));
+            }
+        }
+        return Ok(());
+    }
+
+    println!(
+        "{} request(s){}:",
+        grouped.len(),
+        if slow_only { " (slow log)" } else { "" }
+    );
+    for (tid, parts) in &grouped {
+        let worst = parts.iter().map(|p| p.duration_ns).max().unwrap_or(0);
+        let slow = parts.iter().any(|p| p.slow);
+        let procs: Vec<&str> = {
+            let mut seen: Vec<&str> = parts
+                .iter()
+                .flat_map(|p| p.spans.iter().map(|s| s.process.as_str()))
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen
+        };
+        println!(
+            "trace {tid:032x}  {:.3}ms{}  [{}]",
+            worst as f64 / 1e6,
+            if slow { "  SLOW" } else { "" },
+            procs.join(", "),
+        );
+        // One flat line per span, offset from the request's earliest
+        // start so cross-process skew reads directly.
+        let t0 = parts
+            .iter()
+            .flat_map(|p| p.spans.iter().map(|s| s.start_ns))
+            .min()
+            .unwrap_or(0);
+        let mut spans: Vec<&telemetry::TraceSpan> =
+            parts.iter().flat_map(|p| p.spans.iter()).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns));
+        for s in spans {
+            println!(
+                "  +{:>9.3}ms {:>9.3}ms  {}/{}{}",
+                s.start_ns.saturating_sub(t0) as f64 / 1e6,
+                s.duration_ns() as f64 / 1e6,
+                s.process,
+                s.name,
+                if s.tag.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", s.tag)
+                },
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_watch(args: &Args) -> CliResult {
@@ -1664,6 +1912,38 @@ fn alerts_json(engine: &printqueue::telemetry::AlertEngine) -> String {
     out
 }
 
+/// The worst (highest-valued) exemplar across every histogram in a
+/// snapshot, with the sample key it came from. When an alert fires,
+/// this is the trace id to pull first: the slowest traced request the
+/// server has seen in the offending distribution.
+fn worst_snapshot_exemplar(
+    snap: &telemetry::RegistrySnapshot,
+) -> Option<(String, telemetry::BucketExemplar)> {
+    let mut best: Option<(String, telemetry::BucketExemplar)> = None;
+    for (key, value) in snap.iter() {
+        if let MetricValue::Histogram(h) = value {
+            if let Some(ex) = h.worst_exemplar() {
+                if best.as_ref().is_none_or(|(_, b)| ex.value > b.value) {
+                    best = Some((sample_key(key, ""), ex));
+                }
+            }
+        }
+    }
+    best
+}
+
+fn exemplar_json(snap: &telemetry::RegistrySnapshot) -> String {
+    match worst_snapshot_exemplar(snap) {
+        Some((metric, ex)) => format!(
+            "{{\"metric\":\"{}\",\"trace_id\":\"{:032x}\",\"value\":{}}}",
+            json_escape(&metric),
+            ex.trace_id,
+            ex.value,
+        ),
+        None => "null".to_string(),
+    }
+}
+
 /// The `--json` document: health, the folded server metrics, the watch
 /// client's own metrics, and every rule's status.
 fn watch_json(
@@ -1684,7 +1964,7 @@ fn watch_json(
     // one-key lookup.
     format!(
         "{{\"addr\":\"{}\",\"shard\":\"{}\",\"interval_ms\":{},\"health\":{},\"metrics\":{},\
-         \"watch\":{},\"alerts\":{},\"firing\":[{}]}}",
+         \"watch\":{},\"alerts\":{},\"firing\":[{}],\"exemplar\":{}}}",
         json_escape(addr),
         json_escape(&health.shard),
         interval_ms,
@@ -1693,6 +1973,10 @@ fn watch_json(
         snapshot_json(watch),
         alerts_json(engine),
         firing_list.join(","),
+        // The histogram exemplar linking the numbers to a concrete
+        // request: an alert consumer can jump straight from this
+        // document to `pqsim trace` with the trace id.
+        exemplar_json(server),
     )
 }
 
@@ -1754,6 +2038,13 @@ fn watch_text(
     }
     for s in statuses {
         let _ = writeln!(out, "  alert {:8} {}: {}", s.state, s.rule, s.reason);
+    }
+    if let Some((metric, ex)) = worst_snapshot_exemplar(server) {
+        let _ = writeln!(
+            out,
+            "  exemplar {metric}: trace {:032x} at {} (pull with `pqsim trace --from {addr}`)",
+            ex.trace_id, ex.value,
+        );
     }
     out
 }

@@ -385,6 +385,7 @@ fn per_connection_inflight_cap_sheds_pipelined_requests() {
                     from: 0,
                     to: 400,
                 },
+                trace: None,
             },
         )
         .unwrap();
@@ -446,6 +447,7 @@ fn shutdown_drains_admitted_requests() {
                     from: 0,
                     to: 400,
                 },
+                trace: None,
             },
         )
         .unwrap();

@@ -202,7 +202,7 @@ macro_rules! impl_arbitrary {
         }
     )*};
 }
-impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+impl_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64);
 
 impl<const N: usize> Arbitrary for [u8; N] {
     fn arbitrary(rng: &mut TestRng) -> Self {
@@ -240,7 +240,9 @@ impl_tuple_strategy!(
     (A: 0, B: 1, C: 2),
     (A: 0, B: 1, C: 2, D: 3),
     (A: 0, B: 1, C: 2, D: 3, E: 4),
-    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
 );
 
 // ---------------------------------------------------------------------------

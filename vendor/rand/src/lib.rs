@@ -50,6 +50,12 @@ macro_rules! impl_standard_int {
 }
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Standard for u128 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
 impl Standard for bool {
     fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1

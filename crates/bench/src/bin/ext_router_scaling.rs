@@ -135,6 +135,7 @@ fn spawn_fleet(
             Sources {
                 live: None,
                 archive: Some(replica.clone()),
+                rtt: Vec::new(),
             },
             cfg,
             &Telemetry::new(),

@@ -115,6 +115,7 @@ fn run_scenario(
         Sources {
             live: None,
             archive: Some(archive.clone()),
+            rtt: Vec::new(),
         },
         config,
         &plane,

@@ -87,6 +87,7 @@ fn spawn_server(ap: Arc<AnalysisProgram>) -> (pq_serve::ServerHandle, Telemetry)
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
         &plane,

@@ -116,6 +116,7 @@ fn run_scenario(
         Sources {
             live: None,
             archive: Some(archive.clone()),
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
         &plane,

@@ -28,13 +28,14 @@ use crate::shard::{epoch_of, epochs, rendezvous_rank, BackendSpec, EpochSlice};
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::QueryInterval;
 use pq_packet::FlowId;
+use pq_rtt::RttReport;
 use pq_serve::wire::{
     self, chunk_counts, chunk_flows, chunk_gaps, metrics_update_frames, snapshot_to_samples,
     ErrorCode, Frame, HealthInfo, Request, ShardMap, ShardMapEntry, StreamResult, WireError,
     ENTRIES_PER_FRAME, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use pq_serve::{Client, ClientError, RetryPolicy};
-use pq_stream::{DepthAgg, Emit, TopKSummary};
+use pq_stream::{DepthAgg, Emit, RttAgg, Target, TopKSummary};
 use pq_telemetry::{
     names, new_trace_id, provenance, to_prometheus, ActiveTrace, Counter, Gauge, Histogram,
     Telemetry, Trace, TraceClock, TraceContext,
@@ -100,7 +101,9 @@ struct Instruments {
     req_time_windows: Counter,
     req_queue_monitor: Counter,
     req_replay: Counter,
+    req_rtt: Counter,
     req_standing: Counter,
+    rtt_merges: Counter,
     errors: Counter,
     fanout: Histogram,
     failovers: Counter,
@@ -120,7 +123,9 @@ impl Instruments {
             req_time_windows: req("time_windows"),
             req_queue_monitor: req("queue_monitor"),
             req_replay: req("replay"),
+            req_rtt: req("rtt"),
             req_standing: req("standing"),
+            rtt_merges: reg.counter(names::RTT_MERGES, &[]),
             errors: reg.counter(names::ROUTER_ERRORS, &[]),
             fanout: reg.histogram(names::ROUTER_FANOUT, &[]),
             failovers: reg.counter(names::ROUTER_FAILOVERS, &[]),
@@ -137,6 +142,7 @@ impl Instruments {
         match kind {
             "time_windows" => self.req_time_windows.inc(),
             "queue_monitor" => self.req_queue_monitor.inc(),
+            "rtt" => self.req_rtt.inc(),
             _ => self.req_replay.inc(),
         }
     }
@@ -450,6 +456,7 @@ impl Shared {
             Request::TimeWindows { port, from, to } => (port, from, to, None),
             Request::Replay { port, from, to, d } => (port, from, to, Some(d)),
             Request::QueueMonitor { .. } => unreachable!("monitor has its own path"),
+            Request::Rtt { .. } => unreachable!("rtt has its own path"),
         };
         let route_start = self.trace_clock.now_ns();
         let mut tracer = self.start_trace(trace);
@@ -626,6 +633,101 @@ impl Shared {
         frames
     }
 
+    /// Route an RTT query: slice, scatter, merge. Backends are asked for
+    /// *untruncated* reports (`max_flows: 0`) so the per-flow cap is
+    /// applied exactly once, here, after the merge — otherwise a flow
+    /// that is slow in aggregate but below the cut on every individual
+    /// shard would vanish from the routed answer. The canonical,
+    /// order-independent [`RttReport::merge`] keeps the single-partial
+    /// path bit-identical to the backend's own encoding.
+    fn route_rtt(
+        &self,
+        id: u64,
+        port: u16,
+        from: u64,
+        to: u64,
+        max_flows: u32,
+        trace: Option<TraceContext>,
+    ) -> Vec<Frame> {
+        let route_start = self.trace_clock.now_ns();
+        let mut tracer = self.start_trace(trace);
+        let route_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
+        let child = tracer.as_ref().map(|t| t.ctx().child(route_span));
+        let mut upgraded = false;
+        let slices = epochs(from, to, self.config.epoch_ns);
+        let mut contacted = BTreeSet::new();
+        let mut partials = Vec::with_capacity(slices.len());
+        let mut failed: Option<(usize, ClientError)> = None;
+        for (si, slice) in slices.iter().enumerate() {
+            let (sub_from, sub_to) = (slice.from, slice.to);
+            let mut attempt = 0u32;
+            let got = self.shard_call(port, slice.epoch, &mut contacted, |shared, bi| {
+                let attempt_start = shared.trace_clock.now_ns();
+                let failed_over = attempt > 0;
+                attempt += 1;
+                let out = shared.sub_call(bi, |client| {
+                    client.set_trace_context(child);
+                    let r = client.rtt_retry(port, sub_from, sub_to, 0, &shared.config.retry);
+                    if let Some(c) = client.trace_context() {
+                        upgraded |= c.sampled;
+                    }
+                    client.set_trace_context(None);
+                    r
+                });
+                if failed_over {
+                    if let Some(t) = tracer.as_mut() {
+                        t.record(
+                            names::SPAN_FAILOVER,
+                            route_span,
+                            attempt_start,
+                            shared.trace_clock.now_ns(),
+                            &shared.backends[bi].spec.name,
+                        );
+                    }
+                }
+                out
+            });
+            match got {
+                Ok(partial) => partials.push(partial),
+                Err(e) => {
+                    failed = Some((si, e));
+                    break;
+                }
+            }
+        }
+        self.instruments.fanout.record(contacted.len() as u64);
+        let frames = match failed {
+            Some((si, e)) => {
+                self.instruments.errors.inc();
+                vec![error_frame(id, &slices[si], e)]
+            }
+            None => {
+                let merge_start = self.trace_clock.now_ns();
+                let mut merged = RttReport::empty(port);
+                for p in &partials {
+                    merged.merge(&p.report);
+                }
+                self.instruments.rtt_merges.inc();
+                let dropped = merged.truncate_flows(max_flows as usize);
+                let degraded = merged.degraded() || dropped > 0;
+                if let Some(t) = tracer.as_mut() {
+                    t.record(
+                        names::SPAN_RTT_MERGE,
+                        route_span,
+                        merge_start,
+                        self.trace_clock.now_ns(),
+                        &partials.len().to_string(),
+                    );
+                }
+                self.instruments.completed("rtt");
+                wire::rtt_result_frames(id, degraded, &merged.encode(), trace)
+            }
+        };
+        let errored = matches!(frames.first(), Some(Frame::Error { .. }));
+        self.finish_trace(tracer, route_span, route_start, upgraded, errored);
+        frames
+    }
+
     /// Route a standing query: fan a *stripped* copy (no predicate, no
     /// top-k) to **every** backend, merge each window's partials
     /// associatively, and evaluate the predicate on the merged
@@ -724,6 +826,7 @@ impl Shared {
                 continue;
             }
             let mut agg = DepthAgg::default();
+            let mut rtt = RttAgg::default();
             let mut summary = TopKSummary::new(summary_cap);
             let mut evictions = 0u64;
             let mut evicted_weight = 0.0f64;
@@ -742,6 +845,7 @@ impl Shared {
                     last_t: w.last_t,
                     last_depth: w.last_depth,
                 });
+                rtt.merge(&w.rtt);
                 let mut part = TopKSummary::new(summary_cap);
                 for (f, c) in &w.flows {
                     part.offer(f.0, *c);
@@ -760,7 +864,15 @@ impl Shared {
             }
             let fired = match &parsed.predicate {
                 None => true,
-                Some(p) => p.cmp.eval(agg.stat(p.stat), p.value),
+                // Same dispatch the single-node evaluator runs: the
+                // predicate reads the merged aggregate for its target.
+                Some(p) => {
+                    let lhs = match p.target {
+                        Target::Depth => agg.stat(p.stat),
+                        Target::Rtt => rtt.stat(p.stat),
+                    };
+                    p.cmp.eval(lhs, p.value)
+                }
             };
             let flows: Vec<(FlowId, f64)> = if fired && parsed.emit == Emit::Flows {
                 summary
@@ -792,6 +904,7 @@ impl Shared {
                 evictions,
                 evicted_weight,
                 gaps: normalize_gaps(gaps),
+                rtt,
             };
             if fired {
                 if let Some(r) = &mut fired_left {
@@ -802,7 +915,10 @@ impl Shared {
                     }
                 }
             }
-            frames.push(Frame::StandingQueryResult { id, result });
+            frames.push(Frame::StandingQueryResult {
+                id,
+                result: Box::new(result),
+            });
             if ended {
                 break;
             }
@@ -811,7 +927,7 @@ impl Shared {
             seq += 1;
             frames.push(Frame::StandingQueryResult {
                 id,
-                result: standing_progress(id, seq, gate, true).1,
+                result: Box::new(standing_progress(id, seq, gate, true).1),
             });
             ended = true;
         }
@@ -910,7 +1026,10 @@ impl Shared {
         let entry = standing.remove(pos);
         drop(standing);
         let (sub_id, result) = standing_progress(entry.id, entry.seq + 1, entry.watermark, true);
-        let _ = conn.send(&[Frame::StandingQueryResult { id: sub_id, result }]);
+        let _ = conn.send(&[Frame::StandingQueryResult {
+            id: sub_id,
+            result: Box::new(result),
+        }]);
     }
 
     /// The router's own health. `workers` is repurposed as the backend
@@ -1008,6 +1127,7 @@ fn standing_progress(id: u64, seq: u64, watermark: u64, last: bool) -> (u64, Str
             evictions: 0,
             evicted_weight: 0.0,
             gaps: Vec::new(),
+            rtt: RttAgg::default(),
         },
     )
 }
@@ -1272,6 +1392,12 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
             Frame::Request { id, req, trace } => {
                 let frames = match req {
                     Request::QueueMonitor { port, at } => shared.route_monitor(id, port, at, trace),
+                    Request::Rtt {
+                        port,
+                        from,
+                        to,
+                        max_flows,
+                    } => shared.route_rtt(id, port, from, to, max_flows, trace),
                     other => shared.route_query(id, other, trace),
                 };
                 let _ = conn.send(&frames);

@@ -1,0 +1,215 @@
+//! Bounded-memory log-scale RTT histogram.
+//!
+//! The data-plane budget for a flow slot is fixed: 64 power-of-two buckets
+//! plus exact `count`/`sum`/`min`/`max` moments. The moments make the mean
+//! exact (the per-flow RTT point estimate the precision experiment grades),
+//! while the buckets answer quantile queries with at most one-octave
+//! resolution error — the same trade P4TG's histogram enhancement makes on
+//! real hardware, where per-flow sample lists are unaffordable.
+//!
+//! Merge is a plain element-wise sum (plus min/max folds), so partial
+//! histograms composed across segments, epochs, or shards commute and
+//! associate — the property the router's scatter-gather relies on.
+
+/// Number of log2 buckets per histogram.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A mergeable log2-bucketed histogram of RTT samples in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RttHist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (mean = `sum / count`).
+    pub sum: u64,
+    /// Smallest sample, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample, `0` when empty.
+    pub max: u64,
+    /// Log2 buckets: bucket 0 holds 0, bucket `i` holds `[2^(i-1), 2^i)`.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for RttHist {
+    fn default() -> RttHist {
+        RttHist::new()
+    }
+}
+
+impl RttHist {
+    /// An empty histogram.
+    pub fn new() -> RttHist {
+        RttHist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    /// Bucket index for a sample: 0 for 0, otherwise one plus the position
+    /// of the highest set bit, clamped to the last bucket.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of a bucket — the value `quantile` reports.
+    pub fn bucket_bound(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Record one RTT sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Fold another histogram in. Element-wise, so merge order never
+    /// changes the result.
+    pub fn merge(&mut self, other: &RttHist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded samples, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ≤ q ≤ 1.0`), clamped to the exact observed `max`. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(RttHist::bucket_of(0), 0);
+        assert_eq!(RttHist::bucket_of(1), 1);
+        assert_eq!(RttHist::bucket_of(2), 2);
+        assert_eq!(RttHist::bucket_of(3), 2);
+        assert_eq!(RttHist::bucket_of(4), 3);
+        assert_eq!(RttHist::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        for v in [0u64, 1, 2, 3, 7, 8, 1_000_000, u64::MAX / 2] {
+            let idx = RttHist::bucket_of(v);
+            assert!(v <= RttHist::bucket_bound(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(v > RttHist::bucket_bound(idx - 1), "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_are_exact() {
+        let mut h = RttHist::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1000);
+        assert_eq!(h.mean(), 250);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 400);
+    }
+
+    #[test]
+    fn quantile_reports_a_covering_bound() {
+        let mut h = RttHist::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        let p50 = h.p50();
+        // True median is 500_500 ns; the bound must cover it within one
+        // octave.
+        assert!(p50 >= 500_500, "p50 bound {p50} below true median");
+        assert!(
+            p50 < 2 * 524_288,
+            "p50 bound {p50} more than one octave out"
+        );
+        assert!(h.p99() <= h.max);
+        assert_eq!(
+            h.quantile(0.0),
+            RttHist::bucket_bound(RttHist::bucket_of(1000))
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = RttHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        let mut a = RttHist::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&h);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = RttHist::new();
+        let mut b = RttHist::new();
+        let mut whole = RttHist::new();
+        for (i, v) in [5u64, 9, 130, 4096, 77, 0, 1].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            whole.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

@@ -1,0 +1,51 @@
+//! Transport-layer observations the RTT engines consume.
+//!
+//! The simulator's `SimPacket` deliberately carries no transport payload —
+//! queues only care about bytes. RTT measurement needs sequence numbers,
+//! ACKs, and spin bits, so the workload generator emits a side table of
+//! [`RttObs`] records and stamps each packet's `seqno` with its index. The
+//! switch hook resolves `seqno → RttObs` at enqueue time, exactly where a
+//! hardware parser would extract the same header fields.
+
+/// Direction of a packet relative to the flow's client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum Dir {
+    /// Client → server (data packets, spin-carrying short-header packets).
+    ToServer,
+    /// Server → client (ACKs).
+    ToClient,
+}
+
+/// The transport fields one packet exposes to the measurement engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsKind {
+    /// TCP-style data (or SYN) carrying bytes through `expect_ack - 1`;
+    /// the matching ACK closes the RTT sample.
+    Data {
+        /// Cumulative ACK number that acknowledges this packet.
+        expect_ack: u64,
+    },
+    /// TCP-style cumulative ACK.
+    Ack {
+        /// ACK number carried.
+        ack: u64,
+    },
+    /// QUIC-style short-header packet exposing the spin bit.
+    Spin {
+        /// Packet number (monotone at the sender; reordering observed).
+        pkt_num: u64,
+        /// Spin-bit value.
+        spin: bool,
+    },
+}
+
+/// One packet's observation record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RttObs {
+    /// Interned flow id the packet belongs to.
+    pub flow: u32,
+    /// Direction relative to the client.
+    pub dir: Dir,
+    /// Transport fields exposed.
+    pub kind: ObsKind,
+}

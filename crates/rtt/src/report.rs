@@ -1,0 +1,556 @@
+//! Mergeable, wire-encodable RTT reports.
+//!
+//! A report is the unit that leaves the data plane: everything one port's
+//! RTT table measured over `[min_t, max_t]` — per-flow histograms, the
+//! port-wide aggregate, degradation counters, and a bounded list of
+//! timestamped samples for standing queries.
+//!
+//! **Canonical form.** Flows are sorted by id and unique; samples are
+//! sorted by `(t_ns, flow, rtt_ns)` and clipped to the *first*
+//! [`MERGE_SAMPLE_CAP`] in that order. Keeping the smallest-`cap` elements
+//! of a sorted union is associative and commutative (an element beyond the
+//! cap of a sub-merge is beyond the cap of any super-merge), which is what
+//! makes routed scatter-gather answers bit-identical to a single-daemon
+//! oracle regardless of merge order. Clipping sets a `clipped` flag that
+//! ORs across merges, so degradation is never silent.
+//!
+//! The byte codec here is used both as the `.pqa` RTT-segment body
+//! (segment kind 1) and inside serve's wire frames.
+
+use crate::hist::{RttHist, NUM_BUCKETS};
+use crate::table::{FlowRttTable, RttSample, TableCounters};
+use pq_packet::Nanos;
+
+/// Samples a report retains after merge; beyond this, clipped (flagged).
+pub const MERGE_SAMPLE_CAP: usize = 65_536;
+
+/// Codec version for encoded reports.
+pub const REPORT_VERSION: u8 = 1;
+
+/// Hard decode ceilings so a hostile body cannot force huge allocations.
+const MAX_FLOWS_DECODE: u64 = 1 << 20;
+const MAX_SAMPLES_DECODE: u64 = MERGE_SAMPLE_CAP as u64;
+
+/// One flow's merged RTT histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowRtt {
+    /// Interned flow id.
+    pub flow: u32,
+    /// The flow's RTT histogram.
+    pub hist: RttHist,
+}
+
+/// Everything one port's RTT table measured over a time span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RttReport {
+    /// Egress port the measurements belong to.
+    pub port: u16,
+    /// Earliest sim time covered.
+    pub min_t: Nanos,
+    /// Latest sim time covered.
+    pub max_t: Nanos,
+    /// Port-wide histogram over all samples.
+    pub agg: RttHist,
+    /// Per-flow histograms, sorted by flow id, unique.
+    pub flows: Vec<FlowRtt>,
+    /// Degradation counters from the data-plane table.
+    pub counters: TableCounters,
+    /// True when the sample list was clipped by a merge.
+    pub clipped: bool,
+    /// Timestamped samples, sorted by `(t_ns, flow, rtt_ns)`.
+    pub samples: Vec<RttSample>,
+}
+
+impl RttReport {
+    /// An empty report for `port`.
+    pub fn empty(port: u16) -> RttReport {
+        RttReport {
+            port,
+            min_t: Nanos::MAX,
+            max_t: 0,
+            agg: RttHist::new(),
+            flows: Vec::new(),
+            counters: TableCounters::default(),
+            clipped: false,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Snapshot a table into a report covering `[min_t, max_t]`.
+    pub fn from_table(port: u16, min_t: Nanos, max_t: Nanos, table: &FlowRttTable) -> RttReport {
+        let mut agg = RttHist::new();
+        let flows: Vec<FlowRtt> = table
+            .flow_hists()
+            .into_iter()
+            .map(|(flow, hist)| {
+                agg.merge(&hist);
+                FlowRtt { flow, hist }
+            })
+            .collect();
+        let mut samples = table.samples().to_vec();
+        samples.sort_unstable();
+        let clipped = samples.len() > MERGE_SAMPLE_CAP;
+        samples.truncate(MERGE_SAMPLE_CAP);
+        RttReport {
+            port,
+            min_t,
+            max_t,
+            agg,
+            flows,
+            counters: *table.counters(),
+            clipped,
+            samples,
+        }
+    }
+
+    /// Total samples across the report.
+    pub fn sample_count(&self) -> u64 {
+        self.agg.count
+    }
+
+    /// True when any bounded-memory loss occurred anywhere in the lineage.
+    pub fn degraded(&self) -> bool {
+        self.counters.degraded() || self.clipped
+    }
+
+    /// Keep only the `max` slowest flows (by mean RTT, ties broken by
+    /// flow id ascending), returning how many were dropped. `max == 0`
+    /// keeps everything. The survivors stay sorted by flow id, so the
+    /// result is still canonical; the port-wide aggregate and sample
+    /// list are untouched — truncation caps the per-flow listing, not
+    /// the measurement. This is a terminal, presentation-layer step:
+    /// whoever answers the client applies it *after* every merge, which
+    /// is what keeps routed scatter-gather answers bit-identical to a
+    /// single daemon's.
+    pub fn truncate_flows(&mut self, max: usize) -> usize {
+        if max == 0 || self.flows.len() <= max {
+            return 0;
+        }
+        let dropped = self.flows.len() - max;
+        // Exact mean comparison via cross-multiplication — no float
+        // rounding, so the selection is deterministic everywhere.
+        self.flows.sort_by(|a, b| {
+            let lhs = u128::from(b.hist.sum) * u128::from(a.hist.count.max(1));
+            let rhs = u128::from(a.hist.sum) * u128::from(b.hist.count.max(1));
+            lhs.cmp(&rhs).then(a.flow.cmp(&b.flow))
+        });
+        self.flows.truncate(max);
+        self.flows.sort_by_key(|f| f.flow);
+        dropped
+    }
+
+    /// Fold `other` in. Associative and commutative over canonical-form
+    /// reports; the port must match.
+    pub fn merge(&mut self, other: &RttReport) {
+        debug_assert_eq!(self.port, other.port, "merging reports across ports");
+        self.min_t = self.min_t.min(other.min_t);
+        self.max_t = self.max_t.max(other.max_t);
+        self.agg.merge(&other.agg);
+        // Merge-join the sorted flow lists.
+        let mut merged = Vec::with_capacity(self.flows.len() + other.flows.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.flows.len() || j < other.flows.len() {
+            let take_self = match (self.flows.get(i), other.flows.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a.flow == b.flow {
+                        let mut hist = a.hist.clone();
+                        hist.merge(&b.hist);
+                        merged.push(FlowRtt { flow: a.flow, hist });
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a.flow < b.flow
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_self {
+                merged.push(self.flows[i].clone());
+                i += 1;
+            } else {
+                merged.push(other.flows[j].clone());
+                j += 1;
+            }
+        }
+        self.flows = merged;
+        self.counters.seq_samples += other.counters.seq_samples;
+        self.counters.spin_edges += other.counters.spin_edges;
+        self.counters.collisions += other.counters.collisions;
+        self.counters.evictions += other.counters.evictions;
+        self.counters.sample_drops += other.counters.sample_drops;
+        self.clipped |= other.clipped;
+        let mut samples = Vec::with_capacity(self.samples.len() + other.samples.len());
+        samples.extend_from_slice(&self.samples);
+        samples.extend_from_slice(&other.samples);
+        samples.sort_unstable();
+        if samples.len() > MERGE_SAMPLE_CAP {
+            samples.truncate(MERGE_SAMPLE_CAP);
+            self.clipped = true;
+        }
+        self.samples = samples;
+    }
+
+    /// Encode to the canonical byte form (segment body / wire payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.flows.len() * 32 + self.samples.len() * 6);
+        out.push(REPORT_VERSION);
+        put_varint(&mut out, self.port as u64);
+        put_varint(&mut out, self.min_t);
+        put_varint(&mut out, self.max_t);
+        put_varint(&mut out, self.counters.seq_samples);
+        put_varint(&mut out, self.counters.spin_edges);
+        put_varint(&mut out, self.counters.collisions);
+        put_varint(&mut out, self.counters.evictions);
+        put_varint(&mut out, self.counters.sample_drops);
+        out.push(self.clipped as u8);
+        put_hist(&mut out, &self.agg);
+        put_varint(&mut out, self.flows.len() as u64);
+        for f in &self.flows {
+            put_varint(&mut out, f.flow as u64);
+            put_hist(&mut out, &f.hist);
+        }
+        put_varint(&mut out, self.samples.len() as u64);
+        let mut prev_t = 0u64;
+        for s in &self.samples {
+            put_varint(&mut out, s.t_ns - prev_t);
+            put_varint(&mut out, s.flow as u64);
+            put_varint(&mut out, s.rtt_ns);
+            prev_t = s.t_ns;
+        }
+        out
+    }
+
+    /// Decode a canonical byte form, rejecting malformed or hostile input.
+    pub fn decode(bytes: &[u8]) -> Result<RttReport, CodecError> {
+        let mut cur = bytes;
+        let version = get_u8(&mut cur)?;
+        if version != REPORT_VERSION {
+            return Err(CodecError("unsupported rtt report version"));
+        }
+        let port = get_varint(&mut cur)?;
+        if port > u16::MAX as u64 {
+            return Err(CodecError("port out of range"));
+        }
+        let min_t = get_varint(&mut cur)?;
+        let max_t = get_varint(&mut cur)?;
+        let counters = TableCounters {
+            seq_samples: get_varint(&mut cur)?,
+            spin_edges: get_varint(&mut cur)?,
+            collisions: get_varint(&mut cur)?,
+            evictions: get_varint(&mut cur)?,
+            sample_drops: get_varint(&mut cur)?,
+        };
+        let flags = get_u8(&mut cur)?;
+        if flags > 1 {
+            return Err(CodecError("unknown rtt report flags"));
+        }
+        let agg = get_hist(&mut cur)?;
+        let n_flows = get_varint(&mut cur)?;
+        if n_flows > MAX_FLOWS_DECODE {
+            return Err(CodecError("rtt flow count exceeds decode budget"));
+        }
+        let mut flows = Vec::with_capacity(n_flows as usize);
+        let mut prev_flow: Option<u64> = None;
+        for _ in 0..n_flows {
+            let flow = get_varint(&mut cur)?;
+            if flow > u32::MAX as u64 {
+                return Err(CodecError("flow id out of range"));
+            }
+            if let Some(p) = prev_flow {
+                if flow <= p {
+                    return Err(CodecError("rtt flows not sorted unique"));
+                }
+            }
+            prev_flow = Some(flow);
+            flows.push(FlowRtt {
+                flow: flow as u32,
+                hist: get_hist(&mut cur)?,
+            });
+        }
+        let n_samples = get_varint(&mut cur)?;
+        if n_samples > MAX_SAMPLES_DECODE {
+            return Err(CodecError("rtt sample count exceeds decode budget"));
+        }
+        let mut samples = Vec::with_capacity(n_samples as usize);
+        let mut prev_t = 0u64;
+        for _ in 0..n_samples {
+            let dt = get_varint(&mut cur)?;
+            let t_ns = prev_t
+                .checked_add(dt)
+                .ok_or(CodecError("sample time overflow"))?;
+            let flow = get_varint(&mut cur)?;
+            if flow > u32::MAX as u64 {
+                return Err(CodecError("sample flow id out of range"));
+            }
+            let rtt_ns = get_varint(&mut cur)?;
+            samples.push(RttSample {
+                t_ns,
+                flow: flow as u32,
+                rtt_ns,
+            });
+            prev_t = t_ns;
+        }
+        if !cur.is_empty() {
+            return Err(CodecError("trailing bytes after rtt report"));
+        }
+        Ok(RttReport {
+            port: port as u16,
+            min_t,
+            max_t,
+            agg,
+            flows,
+            counters,
+            clipped: flags == 1,
+            samples,
+        })
+    }
+}
+
+/// Decode failure with a static reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rtt codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---- primitive codec -----------------------------------------------------
+
+/// LEB128-encode `v`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128-decode from the front of `cur`, advancing it.
+pub fn get_varint(cur: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = get_u8(cur)?;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            if shift == 63 && byte > 1 {
+                return Err(CodecError("varint overflows u64"));
+            }
+            return Ok(v);
+        }
+    }
+    Err(CodecError("varint too long"))
+}
+
+fn get_u8(cur: &mut &[u8]) -> Result<u8, CodecError> {
+    let (&b, rest) = cur
+        .split_first()
+        .ok_or(CodecError("truncated rtt report"))?;
+    *cur = rest;
+    Ok(b)
+}
+
+/// Encode a histogram: moments, then only the non-empty buckets.
+pub fn put_hist(out: &mut Vec<u8>, h: &RttHist) {
+    put_varint(out, h.count);
+    if h.count == 0 {
+        return;
+    }
+    put_varint(out, h.sum);
+    put_varint(out, h.min);
+    put_varint(out, h.max);
+    let nonzero = h.buckets.iter().filter(|&&n| n > 0).count() as u64;
+    put_varint(out, nonzero);
+    for (idx, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            out.push(idx as u8);
+            put_varint(out, n);
+        }
+    }
+}
+
+/// Decode a histogram, validating internal consistency.
+pub fn get_hist(cur: &mut &[u8]) -> Result<RttHist, CodecError> {
+    let count = get_varint(cur)?;
+    let mut h = RttHist::new();
+    h.count = count;
+    if count == 0 {
+        return Ok(h);
+    }
+    h.sum = get_varint(cur)?;
+    h.min = get_varint(cur)?;
+    h.max = get_varint(cur)?;
+    if h.min > h.max {
+        return Err(CodecError("hist min above max"));
+    }
+    let nonzero = get_varint(cur)?;
+    if nonzero > NUM_BUCKETS as u64 {
+        return Err(CodecError("hist bucket count out of range"));
+    }
+    let mut total = 0u64;
+    let mut prev: Option<u8> = None;
+    for _ in 0..nonzero {
+        let idx = get_u8(cur)?;
+        if idx as usize >= NUM_BUCKETS {
+            return Err(CodecError("hist bucket index out of range"));
+        }
+        if let Some(p) = prev {
+            if idx <= p {
+                return Err(CodecError("hist buckets not sorted unique"));
+            }
+        }
+        prev = Some(idx);
+        let n = get_varint(cur)?;
+        if n == 0 {
+            return Err(CodecError("hist empty bucket encoded"));
+        }
+        total = total
+            .checked_add(n)
+            .ok_or(CodecError("hist bucket overflow"))?;
+        h.buckets[idx as usize] = n;
+    }
+    if total != count {
+        return Err(CodecError("hist bucket sum mismatches count"));
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{Dir, ObsKind, RttObs};
+    use crate::table::{FlowRttTable, TableConfig};
+
+    fn sample_report(port: u16, seed: u64) -> RttReport {
+        let mut t = FlowRttTable::new(TableConfig::default());
+        for i in 0..20u64 {
+            let flow = ((seed + i) % 5) as u32;
+            let send = seed * 1000 + i * 100;
+            t.observe(
+                &RttObs {
+                    flow,
+                    dir: Dir::ToServer,
+                    kind: ObsKind::Data { expect_ack: i },
+                },
+                send,
+            );
+            t.observe(
+                &RttObs {
+                    flow,
+                    dir: Dir::ToClient,
+                    kind: ObsKind::Ack { ack: i },
+                },
+                send + 50 + seed * 7 + i,
+            );
+        }
+        RttReport::from_table(port, seed * 1000, seed * 1000 + 3000, &t)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = sample_report(3, 2);
+        let bytes = r.encode();
+        let back = RttReport::decode(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = RttReport::empty(9);
+        let back = RttReport::decode(&r.encode()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_cut() {
+        let bytes = sample_report(1, 5).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RttReport::decode(&bytes[..cut]).is_err(),
+                "decode accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = sample_report(1, 5).encode();
+        bytes.push(0);
+        assert!(RttReport::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_inflated_counts() {
+        let r = sample_report(1, 5);
+        let mut bytes = Vec::new();
+        bytes.push(REPORT_VERSION);
+        put_varint(&mut bytes, r.port as u64);
+        put_varint(&mut bytes, r.min_t);
+        put_varint(&mut bytes, r.max_t);
+        for _ in 0..5 {
+            put_varint(&mut bytes, 0);
+        }
+        bytes.push(0);
+        put_hist(&mut bytes, &r.agg);
+        put_varint(&mut bytes, MAX_FLOWS_DECODE + 1); // hostile flow count
+        assert!(RttReport::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn merge_combines_flows_and_counters() {
+        let mut a = sample_report(2, 1);
+        let b = sample_report(2, 9);
+        let n = a.sample_count() + b.sample_count();
+        a.merge(&b);
+        assert_eq!(a.sample_count(), n);
+        assert!(a.flows.windows(2).all(|w| w[0].flow < w[1].flow));
+        assert!(a.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.min_t, 1000);
+        assert_eq!(a.max_t, 12_000);
+    }
+
+    #[test]
+    fn truncate_keeps_slowest_flows_in_canonical_order() {
+        let mut r = RttReport::empty(7);
+        // Means: flow 1 → 100, flow 2 → 900, flow 3 → 500, flow 4 → 900
+        // (tie with flow 2, broken toward the lower flow id).
+        for (flow, rtts) in [
+            (1u32, vec![100u64]),
+            (2, vec![800, 1000]),
+            (3, vec![500]),
+            (4, vec![900]),
+        ] {
+            let mut hist = RttHist::new();
+            for v in rtts {
+                hist.record(v);
+            }
+            r.flows.push(FlowRtt { flow, hist });
+        }
+        assert_eq!(r.clone().truncate_flows(0), 0);
+        assert_eq!(r.clone().truncate_flows(4), 0);
+        let dropped = r.truncate_flows(2);
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            r.flows.iter().map(|f| f.flow).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn merge_identity_is_empty() {
+        let mut a = sample_report(4, 3);
+        let before = a.clone();
+        a.merge(&RttReport::empty(4));
+        assert_eq!(a, before);
+    }
+}

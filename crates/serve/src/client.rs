@@ -9,11 +9,12 @@
 
 use crate::wire::{
     self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, ShardMap, StreamResult,
-    WireError, WireSample, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    WireError, WireSample, MAX_FRAME_LEN, MAX_RTT_REPORT_LEN, PROTOCOL_VERSION,
 };
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
 use pq_packet::FlowId;
+use pq_rtt::RttReport;
 use pq_telemetry::{RegistrySnapshot, Trace, TraceContext};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -177,6 +178,20 @@ pub struct RemoteMonitor {
     pub gaps: Vec<CoverageGap>,
     /// Original-culprit appearance counts, descending.
     pub counts: Vec<(FlowId, u64)>,
+    /// The trace context echoed by the server (iff the request carried one).
+    pub trace: Option<TraceContext>,
+}
+
+/// A reassembled RTT answer: the decoded canonical report plus the
+/// server's degraded verdict (report-level degradation OR a `max_flows`
+/// truncation the report itself cannot express).
+#[derive(Debug, Clone)]
+pub struct RemoteRtt {
+    /// The decoded report (codec-validated canonical form).
+    pub report: RttReport,
+    /// Bounded-memory loss anywhere in the lineage, or flows dropped by
+    /// the requested `max_flows` cap.
+    pub degraded: bool,
     /// The trace context echoed by the server (iff the request carried one).
     pub trace: Option<TraceContext>,
 }
@@ -371,6 +386,9 @@ impl Client {
             return Err(ClientError::Protocol(
                 "queue-monitor requests use Client::queue_monitor".into(),
             ));
+        }
+        if matches!(req, Request::Rtt { .. }) {
+            return Err(ClientError::Protocol("rtt requests use Client::rtt".into()));
         }
         let id = self.fresh_id();
         let trace = self.attach();
@@ -809,6 +827,140 @@ impl Client {
         }
     }
 
+    /// Run an RTT query and reassemble + decode the chunked report.
+    ///
+    /// The payload is the `pq-rtt` canonical encoding; all structural
+    /// validation happens in that codec, so a hostile or truncated
+    /// payload surfaces as a protocol error, never a panic. Every length
+    /// is checked against the header's announcement as chunks arrive, so
+    /// a lying server cannot force unbounded buffering.
+    pub fn rtt(
+        &mut self,
+        port: u16,
+        from: u64,
+        to: u64,
+        max_flows: u32,
+    ) -> Result<RemoteRtt, ClientError> {
+        let id = self.fresh_id();
+        let trace = self.attach();
+        self.send(&Frame::Request {
+            id,
+            req: Request::Rtt {
+                port,
+                from,
+                to,
+                max_flows,
+            },
+            trace,
+        })?;
+        let (degraded, total, echo) = match self.read()? {
+            Frame::RttHeader {
+                id: got,
+                degraded,
+                total,
+                trace,
+            } => {
+                self.expect_id(got, id)?;
+                (degraded, total as usize, trace)
+            }
+            Frame::Busy {
+                id: got,
+                retry_after_ms,
+            } => {
+                if got != 0 {
+                    self.expect_id(got, id)?;
+                }
+                return Err(ClientError::Busy { retry_after_ms });
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                self.expect_id(got, id)?;
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected RttHeader, got {other:?}"
+                )))
+            }
+        };
+        if total > MAX_RTT_REPORT_LEN as usize {
+            return Err(ClientError::Protocol(
+                "rtt report length exceeds cap".into(),
+            ));
+        }
+        let mut bytes: Vec<u8> = Vec::with_capacity(total);
+        loop {
+            match self.read()? {
+                Frame::RttChunk { id: got, bytes: b } => {
+                    self.expect_id(got, id)?;
+                    if bytes.len() + b.len() > total {
+                        return Err(ClientError::Protocol(
+                            "more chunk bytes than the header announced".into(),
+                        ));
+                    }
+                    bytes.extend_from_slice(&b);
+                }
+                Frame::ResultEnd { id: got } => {
+                    self.expect_id(got, id)?;
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected rtt chunk, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if bytes.len() != total {
+            return Err(ClientError::Protocol(format!(
+                "header announced {total} report bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let report = RttReport::decode(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("rtt report: {e}")))?;
+        Ok(RemoteRtt {
+            report,
+            degraded,
+            trace: echo,
+        })
+    }
+
+    /// Like [`rtt`](Self::rtt), with the same bounded jittered retry
+    /// (and force-sampling) on `Busy` as [`query_retry`](Self::query_retry).
+    pub fn rtt_retry(
+        &mut self,
+        port: u16,
+        from: u64,
+        to: u64,
+        max_flows: u32,
+        policy: &RetryPolicy,
+    ) -> Result<RemoteRtt, ClientError> {
+        let mut rng = SmallRng::seed_from_u64(policy.seed ^ self.next_id);
+        let mut attempt = 0;
+        loop {
+            match self.rtt(port, from, to, max_flows) {
+                Err(ClientError::Busy { retry_after_ms }) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    if let Some(ctx) = &mut self.trace {
+                        ctx.sampled = true;
+                    }
+                    let ms = policy.backoff_ms(attempt, retry_after_ms, &mut rng);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Like [`queue_monitor`](Self::queue_monitor), with the same
     /// bounded jittered retry (and force-sampling) on `Busy` as
     /// [`query_retry`](Self::query_retry).
@@ -983,7 +1135,7 @@ impl Client {
         match self.read()? {
             Frame::StandingQueryResult { id: got, result } => {
                 self.expect_id(got, sub)?;
-                Ok(result)
+                Ok(*result)
             }
             Frame::Error {
                 id: got,

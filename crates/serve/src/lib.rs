@@ -46,7 +46,8 @@ pub mod wire;
 
 pub use cache::{CacheStats, DecodeCache};
 pub use client::{
-    Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult, RetryPolicy, StandingAck,
+    Client, ClientError, MetricsUpdate, RemoteMonitor, RemoteResult, RemoteRtt, RetryPolicy,
+    StandingAck,
 };
 pub use server::{ServeConfig, Server, ServerHandle, Sources};
 pub use wire::{

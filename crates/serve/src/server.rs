@@ -31,8 +31,9 @@ use pq_core::coefficient::Coefficients;
 use pq_core::control::{AnalysisProgram, CoverageGap};
 use pq_core::snapshot::QueryInterval;
 use pq_packet::FlowId;
+use pq_rtt::{RttReport, RTT_SEGMENT_KIND};
 use pq_store::StoreReader;
-use pq_stream::{Closed, Emit, Record as StreamRecord, Standing, TopKSummary};
+use pq_stream::{Closed, Emit, Record as StreamRecord, RttAgg, Standing, TopKSummary};
 use pq_telemetry::{
     delta, names, new_trace_id, provenance, to_prometheus, ActiveTrace, Counter, Gauge, Histogram,
     RegistrySnapshot, Telemetry, Trace, TraceClock, TraceContext,
@@ -102,6 +103,10 @@ pub struct Sources {
     pub live: Option<Arc<AnalysisProgram>>,
     /// A `.pqa` archive path (replay kind). Opened once per worker.
     pub archive: Option<PathBuf>,
+    /// Live RTT reports (the `rtt` query kind), typically one per port
+    /// from an `RttHook` drain. RTT spill segments found in `archive`
+    /// are loaded at bind time and served alongside these.
+    pub rtt: Vec<RttReport>,
 }
 
 /// Pre-resolved `pq_serve_*` registry handles (one mutex hit at startup,
@@ -110,6 +115,7 @@ struct Instruments {
     req_time_windows: Counter,
     req_queue_monitor: Counter,
     req_replay: Counter,
+    req_rtt: Counter,
     req_metrics: Counter,
     req_health: Counter,
     req_subscribe: Counter,
@@ -117,6 +123,8 @@ struct Instruments {
     err_time_windows: Counter,
     err_queue_monitor: Counter,
     err_replay: Counter,
+    err_rtt: Counter,
+    rtt_queries: Counter,
     shed: Counter,
     request_ns: Histogram,
     queue_depth: Gauge,
@@ -142,6 +150,7 @@ impl Instruments {
             req_time_windows: req("time_windows"),
             req_queue_monitor: req("queue_monitor"),
             req_replay: req("replay"),
+            req_rtt: req("rtt"),
             req_metrics: req("metrics"),
             req_health: req("health"),
             req_subscribe: req("subscribe"),
@@ -149,6 +158,8 @@ impl Instruments {
             err_time_windows: err("time_windows"),
             err_queue_monitor: err("queue_monitor"),
             err_replay: err("replay"),
+            err_rtt: err("rtt"),
+            rtt_queries: reg.counter(names::RTT_QUERIES, &[]),
             shed: reg.counter(names::SERVE_SHED, &[]),
             request_ns: reg.histogram(names::SERVE_REQUEST_NS, &[]),
             queue_depth: reg.gauge(names::SERVE_QUEUE_DEPTH, &[]),
@@ -171,6 +182,7 @@ impl Instruments {
             "time_windows" => self.req_time_windows.inc(),
             "queue_monitor" => self.req_queue_monitor.inc(),
             "replay" => self.req_replay.inc(),
+            "rtt" => self.req_rtt.inc(),
             "subscribe" => self.req_subscribe.inc(),
             "standing" => self.req_standing.inc(),
             "health" => self.req_health.inc(),
@@ -182,6 +194,7 @@ impl Instruments {
         match kind {
             "time_windows" => self.err_time_windows.inc(),
             "queue_monitor" => self.err_queue_monitor.inc(),
+            "rtt" => self.err_rtt.inc(),
             _ => self.err_replay.inc(),
         }
     }
@@ -274,6 +287,8 @@ struct StreamSub {
     state: Standing,
     /// Per-port read position into the live checkpoint log.
     cursors: HashMap<u16, usize>,
+    /// Read position into the shared time-sorted RTT sample list.
+    rtt_cursor: usize,
     /// Flow cap per result frame (clamped to [`ENTRIES_PER_FRAME`]).
     cap: usize,
     /// Fired windows left before the subscription ends (`None` =
@@ -307,6 +322,13 @@ struct Shared {
     subs: Mutex<Vec<Sub>>,
     /// Standing-query subscriptions, serviced by the evaluator thread.
     streams: Mutex<Vec<StreamSub>>,
+    /// Canonical RTT reports (live hook output plus archive spill),
+    /// the source for `rtt` queries. Immutable while serving.
+    rtt: Vec<RttReport>,
+    /// The reports' timestamped samples flattened into one
+    /// `(t_ns, port, rtt_ns)` list, time-sorted: the RTT feed for the
+    /// standing-query evaluator.
+    rtt_samples: Vec<(u64, u16, u64)>,
     instruments: Instruments,
     started: Instant,
     /// Unix-epoch-anchored monotonic clock for trace-span timestamps —
@@ -439,9 +461,52 @@ impl Server {
         config: ServeConfig,
         plane: &Telemetry,
     ) -> io::Result<Server> {
+        let mut rtt = sources.rtt;
         if let Some(path) = &sources.archive {
             let file = File::open(path)?;
-            StoreReader::open(BufReader::new(file))?;
+            let mut reader = StoreReader::open(BufReader::new(file))?;
+            // Harvest RTT spill segments now: a corrupt spill fails at
+            // bind time, like a bad archive path.
+            let metas: Vec<_> = reader
+                .segments()
+                .iter()
+                .filter(|s| s.kind == RTT_SEGMENT_KIND)
+                .copied()
+                .collect();
+            for m in &metas {
+                let body = reader.read_raw_body(m)?;
+                let report = RttReport::decode(&body).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("port {} rtt segment: {e}", m.port),
+                    )
+                })?;
+                rtt.push(report);
+            }
+        }
+        let mut rtt_samples: Vec<(u64, u16, u64)> = rtt
+            .iter()
+            .flat_map(|r| r.samples.iter().map(|s| (s.t_ns, r.port, s.rtt_ns)))
+            .collect();
+        rtt_samples.sort_unstable();
+        // Surface the RTT data this daemon serves, in the same shape the
+        // measuring hook publishes: the CI gate requires a
+        // `pq_rtt_samples_total` floor, and watch alert rules evaluate
+        // quantile predicates (`stat = "p99"`) over `pq_rtt_sample_ns`,
+        // with the flow id as each sample's exemplar.
+        for r in &rtt {
+            if r.samples.is_empty() {
+                continue;
+            }
+            let port_label = r.port.to_string();
+            let labels = [("port", port_label.as_str())];
+            let reg = plane.registry();
+            let hist = reg.histogram(names::RTT_SAMPLE_NS, &labels);
+            for s in &r.samples {
+                hist.record_exemplar(s.rtt_ns, u128::from(s.flow));
+            }
+            reg.counter(names::RTT_SAMPLES, &labels)
+                .add(r.samples.len() as u64);
         }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -469,6 +534,8 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             subs: Mutex::new(Vec::new()),
             streams: Mutex::new(Vec::new()),
+            rtt,
+            rtt_samples,
             instruments: Instruments::resolve(plane),
             started: Instant::now(),
             trace_clock: TraceClock::new(),
@@ -1126,6 +1193,7 @@ fn register_standing(
         id,
         state: Standing::new(parsed, MAX_OPEN_WINDOWS),
         cursors: HashMap::new(),
+        rtt_cursor: 0,
         cap,
         remaining_windows: (max_windows > 0).then(|| u64::from(max_windows)),
         stop_after_seal,
@@ -1164,7 +1232,7 @@ fn progress_frame(sub: &mut StreamSub, last: bool) -> Frame {
     sub.seq += 1;
     Frame::StandingQueryResult {
         id: sub.id,
-        result: StreamResult {
+        result: Box::new(StreamResult {
             seq: sub.seq,
             watermark_ns: sub.state.watermark(),
             port: 0,
@@ -1184,7 +1252,8 @@ fn progress_frame(sub: &mut StreamSub, last: bool) -> Frame {
             evictions: 0,
             evicted_weight: 0.0,
             gaps: Vec::new(),
-        },
+            rtt: RttAgg::default(),
+        }),
     }
 }
 
@@ -1218,7 +1287,10 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
         Some(p) => vec![p],
         None => live.ports(),
     };
-    let mut batch = Vec::new();
+    // Each entry: `(t_ns, port, rtt_sample, depth)` — depth records and
+    // RTT samples share one time-ordered stream so a single watermark
+    // governs both.
+    let mut batch: Vec<(u64, u16, Option<u64>, u64)> = Vec::new();
     for port in ports {
         let cps = live.checkpoints(port);
         let cur = sub.cursors.entry(port).or_insert(0);
@@ -1226,16 +1298,21 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
             let cp = &cps[*cur];
             *cur += 1;
             let depth = cp.queue_monitor().map(|q| u64::from(q.top)).unwrap_or(0);
-            batch.push(StreamRecord {
-                t_ns: cp.frozen_at,
-                port,
-                depth,
-            });
+            batch.push((cp.frozen_at, port, None, depth));
         }
     }
-    batch.sort_by_key(|r| (r.t_ns, r.port, r.depth));
-    for record in batch {
-        if !sub.state.push(record) {
+    while sub.rtt_cursor < shared.rtt_samples.len() {
+        let (t_ns, port, rtt_ns) = shared.rtt_samples[sub.rtt_cursor];
+        sub.rtt_cursor += 1;
+        batch.push((t_ns, port, Some(rtt_ns), 0));
+    }
+    batch.sort_by_key(|&(t_ns, port, rtt, depth)| (t_ns, port, rtt.is_some(), depth, rtt));
+    for (t_ns, port, rtt, depth) in batch {
+        let on_time = match rtt {
+            Some(v) => sub.state.push_rtt(t_ns, port, v),
+            None => sub.state.push(StreamRecord { t_ns, port, depth }),
+        };
+        if !on_time {
             shared.instruments.stream_late.inc();
         }
     }
@@ -1277,7 +1354,10 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
                 }
             }
         }
-        frames.push(Frame::StandingQueryResult { id: sub.id, result });
+        frames.push(Frame::StandingQueryResult {
+            id: sub.id,
+            result: Box::new(result),
+        });
         if ended {
             break;
         }
@@ -1377,6 +1457,7 @@ fn close_to_result(
         evictions,
         evicted_weight,
         gaps,
+        rtt: close.rtt,
     }
 }
 
@@ -1527,6 +1608,48 @@ fn execute(
                     vec![io_error(id, from, to, &e)]
                 }
             }
+        }
+        Request::Rtt {
+            port,
+            from,
+            to,
+            max_flows,
+        } => {
+            shared.instruments.rtt_queries.inc();
+            let measure_start = shared.trace_clock.now_ns();
+            // Report-granular selection keyed by each report's start
+            // time, like replay's checkpoint-timestamp keying: a report
+            // belongs to the interval containing `min_t`. Keying (rather
+            // than span intersection) partitions reports across disjoint
+            // intervals, so a router slicing [from, to] by epoch merges
+            // each report exactly once and stays bit-identical to a
+            // single daemon answering the whole range. "No samples" is a
+            // valid measurement, so the answer is an (empty) report,
+            // never an error — which also keeps routed merges uniform.
+            let mut merged = RttReport::empty(port);
+            for r in shared
+                .rtt
+                .iter()
+                .filter(|r| r.port == port && from <= r.min_t && r.min_t <= to)
+            {
+                merged.merge(r);
+            }
+            // Truncation happens here, at the answering hop, after every
+            // merge — a router asking on a client's behalf sends
+            // max_flows 0 and truncates its own merged answer instead.
+            let dropped = merged.truncate_flows(max_flows as usize);
+            let degraded = merged.degraded() || dropped > 0;
+            let bytes = merged.encode();
+            if let Some(t) = tracer {
+                t.record(
+                    names::SPAN_RTT_MEASURE,
+                    exec_span,
+                    measure_start,
+                    shared.trace_clock.now_ns(),
+                    &merged.sample_count().to_string(),
+                );
+            }
+            wire::rtt_result_frames(id, degraded, &bytes, echo)
         }
     }
 }

@@ -31,6 +31,7 @@
 
 use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
+use pq_stream::{RttAgg, RTT_BUCKETS};
 use pq_telemetry::{
     BucketExemplar, HistogramSnapshot, MetricKey, MetricValue, RegistrySnapshot, Trace,
     TraceContext, TraceSpan, NUM_BUCKETS,
@@ -79,6 +80,23 @@ pub const TRACE_EXT_LEN: usize = 26;
 
 /// Most traces one `TraceDumpAck` may carry.
 pub const MAX_TRACES_PER_DUMP: usize = 32;
+
+/// Most payload bytes one `RttChunk` frame may carry. An encoded
+/// `pq-rtt` report travels as an opaque byte blob split into chunks of
+/// at most this size, keeping every frame far under [`MAX_FRAME_LEN`].
+pub const RTT_BYTES_PER_FRAME: usize = 64 * 1024;
+
+/// Cap on the total encoded-report length an [`Frame::RttHeader`] may
+/// announce. Bounds the client-side reassembly buffer before any chunk
+/// is accepted; a genuine report (flow/sample caps enforced by the
+/// `pq-rtt` codec) stays far below this.
+pub const MAX_RTT_REPORT_LEN: u32 = 16 << 20;
+
+/// First byte of the optional RTT-aggregate suffix on a
+/// [`Frame::StandingQueryResult`]. Like the trace extension, absence
+/// encodes zero bytes — a result from a window that saw no RTT samples
+/// is byte-identical to the pre-RTT layout.
+pub const RTT_SUFFIX_MAGIC: u8 = 0x7E;
 
 /// Most spans one dumped trace may carry.
 pub const MAX_SPANS_PER_TRACE: usize = 128;
@@ -172,6 +190,19 @@ pub enum Request {
         to: u64,
         d: u64,
     },
+    /// Per-flow RTT report over `[from, to]`, merged from the server's
+    /// RTT measurements (live hook reports and/or archive spill
+    /// segments). `max_flows` bounds the per-flow list in the answer
+    /// (0 = unlimited); truncation is applied only by the hop that
+    /// answers the client, so a router scatters with 0 and truncates
+    /// after its merge — keeping routed answers bit-identical to a
+    /// single daemon holding all the data.
+    Rtt {
+        port: u16,
+        from: u64,
+        to: u64,
+        max_flows: u32,
+    },
 }
 
 impl Request {
@@ -181,6 +212,7 @@ impl Request {
             Request::TimeWindows { .. } => "time_windows",
             Request::QueueMonitor { .. } => "queue_monitor",
             Request::Replay { .. } => "replay",
+            Request::Rtt { .. } => "rtt",
         }
     }
 
@@ -189,7 +221,8 @@ impl Request {
         match self {
             Request::TimeWindows { port, .. }
             | Request::QueueMonitor { port, .. }
-            | Request::Replay { port, .. } => *port,
+            | Request::Replay { port, .. }
+            | Request::Rtt { port, .. } => *port,
         }
     }
 }
@@ -332,6 +365,11 @@ pub struct StreamResult {
     pub evicted_weight: f64,
     /// Coverage gaps overlapping the window span.
     pub gaps: Vec<CoverageGap>,
+    /// Passive RTT aggregate over the window (empty unless the source
+    /// feeds RTT samples). Travels as an optional magic-led suffix —
+    /// an empty aggregate encodes zero extra bytes, so results without
+    /// RTT data keep the pre-RTT byte layout.
+    pub rtt: RttAgg,
 }
 
 /// One protocol frame.
@@ -467,7 +505,7 @@ pub enum Frame {
     },
     /// One closed window on a standing subscription (`id` is the
     /// registering request's id).
-    StandingQueryResult { id: u64, result: StreamResult },
+    StandingQueryResult { id: u64, result: Box<StreamResult> },
     /// Acknowledges a `MetricsSubscribe` with the *effective* interval
     /// and update budget after server-side clamping, so operators are
     /// never misled about the cadence they actually get.
@@ -480,6 +518,23 @@ pub enum Frame {
     /// Per-process: a router answers with its own traces, not its
     /// backends' — `pqsim trace` stitches dumps from several addresses.
     TraceDumpAck { id: u64, traces: Vec<Trace> },
+    /// Start of an RTT answer: the report travels as the `pq-rtt`
+    /// canonical encoding, split into [`Frame::RttChunk`] blobs of at
+    /// most [`RTT_BYTES_PER_FRAME`] bytes and terminated by
+    /// `ResultEnd`. `total` is the byte length of the full encoding
+    /// (capped by [`MAX_RTT_REPORT_LEN`]); `degraded` reports
+    /// bounded-memory loss (collisions, evictions, sample clips) or a
+    /// `max_flows` truncation. Validation of the payload itself lives
+    /// in the `pq-rtt` codec, which the client runs on the reassembled
+    /// bytes. `trace` echoes the request's context iff it carried one.
+    RttHeader {
+        id: u64,
+        degraded: bool,
+        total: u32,
+        trace: Option<TraceContext>,
+    },
+    /// One bounded slice of an encoded RTT report.
+    RttChunk { id: u64, bytes: Vec<u8> },
 }
 
 /// Why a frame failed to decode.
@@ -554,6 +609,34 @@ fn put_trace_ext(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
 fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Append the optional RTT-aggregate suffix: nothing for an empty
+/// aggregate (the pre-RTT layout), otherwise magic + the aggregate's
+/// scalar fields + occupied `(bucket, count)` pairs, index-ascending.
+fn put_rtt_suffix(out: &mut Vec<u8>, rtt: &RttAgg) {
+    if rtt.count == 0 {
+        return;
+    }
+    out.push(RTT_SUFFIX_MAGIC);
+    put_u64(out, rtt.count);
+    put_u64(out, rtt.sum);
+    put_u64(out, rtt.min);
+    put_u64(out, rtt.max);
+    put_u64(out, rtt.last_t);
+    put_u64(out, rtt.last_rtt);
+    let occupied: Vec<(u8, u64)> = rtt
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n != 0)
+        .map(|(i, &n)| (i as u8, n))
+        .collect();
+    out.push(occupied.len() as u8);
+    for (i, n) in occupied {
+        out.push(i);
+        put_u64(out, n);
+    }
 }
 
 fn put_sample(out: &mut Vec<u8>, sample: &WireSample) {
@@ -633,6 +716,18 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                     put_u64(&mut out, *from);
                     put_u64(&mut out, *to);
                     put_u64(&mut out, *d);
+                }
+                Request::Rtt {
+                    port,
+                    from,
+                    to,
+                    max_flows,
+                } => {
+                    out.push(3);
+                    put_u16(&mut out, *port);
+                    put_u64(&mut out, *from);
+                    put_u64(&mut out, *to);
+                    put_u32(&mut out, *max_flows);
                 }
             }
             put_trace_ext(&mut out, trace);
@@ -892,6 +987,7 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                 put_u64(&mut out, g.from);
                 put_u64(&mut out, g.to);
             }
+            put_rtt_suffix(&mut out, &result.rtt);
         }
         Frame::SubscribeAck {
             id,
@@ -925,6 +1021,26 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
                     put_string(&mut out, &s.tag);
                 }
             }
+        }
+        Frame::RttHeader {
+            id,
+            degraded,
+            total,
+            trace,
+        } => {
+            out.push(0x94);
+            put_u64(&mut out, *id);
+            out.push(u8::from(*degraded));
+            debug_assert!(*total <= MAX_RTT_REPORT_LEN);
+            put_u32(&mut out, *total);
+            put_trace_ext(&mut out, trace);
+        }
+        Frame::RttChunk { id, bytes } => {
+            out.push(0x95);
+            put_u64(&mut out, *id);
+            debug_assert!(bytes.len() <= RTT_BYTES_PER_FRAME);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
         }
     }
     out
@@ -1032,6 +1148,76 @@ fn get_gaps(cur: &mut &[u8], n: u32) -> Result<Vec<CoverageGap>, WireError> {
         gaps.push(CoverageGap { from, to });
     }
     Ok(gaps)
+}
+
+/// Parse the optional RTT-aggregate suffix.
+///
+/// All-or-nothing, like [`get_trace_ext`]: an absent suffix decodes as
+/// the empty aggregate with nothing consumed (bytes that don't start
+/// with the magic are left for the trailing-bytes check to reject); a
+/// magic-led suffix must be fully well-formed. Every invariant the
+/// encoder maintains is enforced — nonzero count, `min ≤ max`, bucket
+/// indices strictly ascending with nonzero counts summing to `count` —
+/// so a decoded suffix always re-encodes bit-identically.
+fn get_rtt_suffix(cur: &mut &[u8]) -> Result<RttAgg, WireError> {
+    if cur.first() != Some(&RTT_SUFFIX_MAGIC) {
+        return Ok(RttAgg::default());
+    }
+    let _magic = get_u8(cur)?;
+    let count = get_u64(cur)?;
+    if count == 0 {
+        return Err(WireError::Malformed("empty rtt suffix must be absent"));
+    }
+    let sum = get_u64(cur)?;
+    let min = get_u64(cur)?;
+    let max = get_u64(cur)?;
+    if min > max {
+        return Err(WireError::Malformed("rtt suffix min exceeds max"));
+    }
+    let last_t = get_u64(cur)?;
+    let last_rtt = get_u64(cur)?;
+    let nbuckets = get_u8(cur)? as usize;
+    if nbuckets == 0 || nbuckets > RTT_BUCKETS {
+        return Err(WireError::Malformed("rtt suffix bucket count out of range"));
+    }
+    if nbuckets.saturating_mul(9) > cur.len() {
+        return Err(WireError::Malformed("count exceeds bytes present"));
+    }
+    let mut buckets = [0u64; RTT_BUCKETS];
+    let mut total = 0u64;
+    let mut prev: Option<u8> = None;
+    for _ in 0..nbuckets {
+        let i = get_u8(cur)?;
+        if i as usize >= RTT_BUCKETS {
+            return Err(WireError::Malformed("rtt suffix bucket index out of range"));
+        }
+        if prev.is_some_and(|p| i <= p) {
+            return Err(WireError::Malformed("rtt suffix buckets not ascending"));
+        }
+        prev = Some(i);
+        let n = get_u64(cur)?;
+        if n == 0 {
+            return Err(WireError::Malformed("rtt suffix carries an empty bucket"));
+        }
+        buckets[i as usize] = n;
+        total = total
+            .checked_add(n)
+            .ok_or(WireError::Malformed("rtt suffix bucket counts overflow"))?;
+    }
+    if total != count {
+        return Err(WireError::Malformed(
+            "rtt suffix bucket counts disagree with count",
+        ));
+    }
+    Ok(RttAgg {
+        count,
+        sum,
+        min,
+        max,
+        last_t,
+        last_rtt,
+        buckets,
+    })
 }
 
 fn get_string(cur: &mut &[u8], what: &'static str) -> Result<String, WireError> {
@@ -1157,6 +1343,12 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                     from: get_u64(cur)?,
                     to: get_u64(cur)?,
                     d: get_u64(cur)?,
+                },
+                3 => Request::Rtt {
+                    port: get_u16(cur)?,
+                    from: get_u64(cur)?,
+                    to: get_u64(cur)?,
+                    max_flows: get_u32(cur)?,
                 },
                 _ => return Err(WireError::Malformed("unknown request kind")),
             };
@@ -1389,9 +1581,10 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             let evicted_weight = f64::from_bits(get_u64(cur)?);
             let ngaps = get_u32(cur)?;
             let gaps = get_gaps(cur, ngaps)?;
+            let rtt = get_rtt_suffix(cur)?;
             Frame::StandingQueryResult {
                 id,
-                result: StreamResult {
+                result: Box::new(StreamResult {
                     seq,
                     watermark_ns,
                     port,
@@ -1411,7 +1604,8 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
                     evictions,
                     evicted_weight,
                     gaps,
-                },
+                    rtt,
+                }),
             }
         }
         0x92 => Frame::SubscribeAck {
@@ -1474,6 +1668,37 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             }
             Frame::TraceDumpAck { id, traces }
         }
+        0x94 => {
+            let id = get_u64(cur)?;
+            let degraded = get_u8(cur)? != 0;
+            let total = get_u32(cur)?;
+            if total > MAX_RTT_REPORT_LEN {
+                return Err(WireError::Malformed("rtt report length exceeds cap"));
+            }
+            let trace = get_trace_ext(cur)?;
+            Frame::RttHeader {
+                id,
+                degraded,
+                total,
+                trace,
+            }
+        }
+        0x95 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)? as usize;
+            if n > RTT_BYTES_PER_FRAME {
+                return Err(WireError::Malformed(
+                    "rtt chunk exceeds bytes-per-frame cap",
+                ));
+            }
+            if n > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let (head, rest) = cur.split_at(n);
+            let bytes = head.to_vec();
+            *cur = rest;
+            Frame::RttChunk { id, bytes }
+        }
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
     if !cur.is_empty() {
@@ -1535,6 +1760,38 @@ pub fn chunk_counts(id: u64, counts: &[(FlowId, u64)]) -> Vec<Frame> {
             counts: c.to_vec(),
         })
         .collect()
+}
+
+/// Split an encoded RTT report into bounded `RttChunk` frames.
+pub fn chunk_rtt(id: u64, bytes: &[u8]) -> Vec<Frame> {
+    bytes
+        .chunks(RTT_BYTES_PER_FRAME)
+        .map(|c| Frame::RttChunk {
+            id,
+            bytes: c.to_vec(),
+        })
+        .collect()
+}
+
+/// The full frame sequence answering an RTT query: header, chunks, end.
+/// Both the daemon and the router answer through this one helper, so a
+/// routed answer is frame-for-frame identical to a local one given the
+/// same report bytes.
+pub fn rtt_result_frames(
+    id: u64,
+    degraded: bool,
+    report_bytes: &[u8],
+    trace: Option<TraceContext>,
+) -> Vec<Frame> {
+    let mut frames = vec![Frame::RttHeader {
+        id,
+        degraded,
+        total: report_bytes.len() as u32,
+        trace,
+    }];
+    frames.extend(chunk_rtt(id, report_bytes));
+    frames.push(Frame::ResultEnd { id });
+    frames
 }
 
 /// Flatten a registry snapshot into wire samples (key order preserved).
@@ -1870,7 +2127,7 @@ mod tests {
         });
         round_trip(&Frame::StandingQueryResult {
             id: 31,
-            result: StreamResult {
+            result: Box::new(StreamResult {
                 seq: 2,
                 watermark_ns: 5_000_000,
                 port: 3,
@@ -1896,12 +2153,43 @@ mod tests {
                     from: 1_100_000,
                     to: 1_200_000,
                 }],
-            },
+                rtt: RttAgg::default(),
+            }),
+        });
+        // A result carrying an RTT aggregate suffix.
+        let mut rtt = RttAgg::default();
+        for v in [250_000u64, 300_000, 1_900_000] {
+            rtt.offer(1_500_000, v);
+        }
+        round_trip(&Frame::StandingQueryResult {
+            id: 31,
+            result: Box::new(StreamResult {
+                seq: 3,
+                watermark_ns: 5_000_000,
+                port: 3,
+                from: 1_000_000,
+                to: 2_000_000,
+                fired: true,
+                forced: false,
+                degraded: false,
+                last: false,
+                max: 12,
+                min: 1,
+                sum: 40,
+                count: 7,
+                last_t: 1_900_000,
+                last_depth: 9,
+                flows: vec![],
+                evictions: 0,
+                evicted_weight: 0.0,
+                gaps: vec![],
+                rtt,
+            }),
         });
         // An empty progress close (no flows, no gaps, watermark only).
         round_trip(&Frame::StandingQueryResult {
             id: 31,
-            result: StreamResult {
+            result: Box::new(StreamResult {
                 seq: 0,
                 watermark_ns: u64::MAX,
                 port: 0,
@@ -1921,7 +2209,8 @@ mod tests {
                 evictions: 0,
                 evicted_weight: 0.0,
                 gaps: vec![],
-            },
+                rtt: RttAgg::default(),
+            }),
         });
         round_trip(&Frame::SubscribeAck {
             id: 33,
@@ -1935,7 +2224,7 @@ mod tests {
         // Inflated flow count on a result frame.
         let frame = Frame::StandingQueryResult {
             id: 1,
-            result: StreamResult {
+            result: Box::new(StreamResult {
                 seq: 0,
                 watermark_ns: 0,
                 port: 0,
@@ -1955,7 +2244,8 @@ mod tests {
                 evictions: 0,
                 evicted_weight: 0.0,
                 gaps: vec![],
-            },
+                rtt: RttAgg::default(),
+            }),
         };
         let mut body = encode_body(&frame);
         // The flow-count u32 sits right before the single 12-byte flow
@@ -1981,6 +2271,225 @@ mod tests {
         for cut in 0..body.len() {
             assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    fn sample_rtt_agg() -> RttAgg {
+        let mut rtt = RttAgg::default();
+        for (t, v) in [(10u64, 250_000u64), (20, 300_000), (30, 1_900_000)] {
+            rtt.offer(t, v);
+        }
+        rtt
+    }
+
+    #[test]
+    fn rtt_frames_round_trip() {
+        round_trip(&Frame::Request {
+            id: 41,
+            req: Request::Rtt {
+                port: 3,
+                from: 10,
+                to: 999,
+                max_flows: 16,
+            },
+            trace: None,
+        });
+        round_trip(&Frame::Request {
+            id: 41,
+            req: Request::Rtt {
+                port: 3,
+                from: 0,
+                to: u64::MAX,
+                max_flows: 0,
+            },
+            trace: Some(TraceContext {
+                trace_id: 7,
+                parent_span: 8,
+                sampled: true,
+            }),
+        });
+        round_trip(&Frame::RttHeader {
+            id: 41,
+            degraded: true,
+            total: 1234,
+            trace: None,
+        });
+        round_trip(&Frame::RttHeader {
+            id: 41,
+            degraded: false,
+            total: 0,
+            trace: Some(TraceContext {
+                trace_id: 9,
+                parent_span: 10,
+                sampled: false,
+            }),
+        });
+        round_trip(&Frame::RttChunk {
+            id: 41,
+            bytes: vec![],
+        });
+        round_trip(&Frame::RttChunk {
+            id: 41,
+            bytes: (0..=255u8).collect(),
+        });
+        // The full answer sequence, and truncation never panics.
+        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        for f in rtt_result_frames(41, false, &payload, None) {
+            round_trip(&f);
+            let body = encode_body(&f);
+            for cut in 0..body.len() {
+                assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_payload_chunks_reassemble() {
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let frames = chunk_rtt(7, &payload);
+        assert!(frames.len() > 1, "payload must span several chunks");
+        let mut back = Vec::new();
+        for f in &frames {
+            match decode_body(&encode_body(f)).expect("decode") {
+                Frame::RttChunk { id, bytes } => {
+                    assert_eq!(id, 7);
+                    assert!(bytes.len() <= RTT_BYTES_PER_FRAME);
+                    back.extend_from_slice(&bytes);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn hostile_rtt_frames_are_rejected() {
+        // Chunk length pointing past the bytes present.
+        let mut body = vec![0x95];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Chunk length over the per-frame cap.
+        let mut body = vec![0x95];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&(RTT_BYTES_PER_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Header announcing a report over the reassembly cap.
+        let mut body = vec![0x94];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0);
+        body.extend_from_slice(&(MAX_RTT_REPORT_LEN + 1).to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_rtt_suffix_is_the_pre_rtt_layout() {
+        let base = StreamResult {
+            seq: 1,
+            watermark_ns: 9,
+            port: 3,
+            from: 0,
+            to: 1_000_000,
+            fired: true,
+            forced: false,
+            degraded: false,
+            last: false,
+            max: 5,
+            min: 1,
+            sum: 9,
+            count: 3,
+            last_t: 500,
+            last_depth: 2,
+            flows: vec![(FlowId(4), 1.5)],
+            evictions: 0,
+            evicted_weight: 0.0,
+            gaps: vec![],
+            rtt: RttAgg::default(),
+        };
+        let bare = encode_body(&Frame::StandingQueryResult {
+            id: 1,
+            result: Box::new(base.clone()),
+        });
+        let mut with_rtt = base;
+        with_rtt.rtt = sample_rtt_agg();
+        let suffixed = encode_body(&Frame::StandingQueryResult {
+            id: 1,
+            result: Box::new(with_rtt),
+        });
+        // The suffix is a pure suffix: same prefix, magic-led extra bytes.
+        assert!(suffixed.len() > bare.len());
+        assert_eq!(&suffixed[..bare.len()], &bare[..]);
+        assert_eq!(suffixed[bare.len()], RTT_SUFFIX_MAGIC);
+        // Truncation inside the suffix never panics, and never silently
+        // decodes as a suffix-less result.
+        for cut in bare.len() + 1..suffixed.len() {
+            assert!(decode_body(&suffixed[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_rtt_suffixes_are_rejected() {
+        let result = StreamResult {
+            seq: 0,
+            watermark_ns: 0,
+            port: 0,
+            from: 0,
+            to: 0,
+            fired: false,
+            forced: false,
+            degraded: false,
+            last: false,
+            max: 0,
+            min: 0,
+            sum: 0,
+            count: 0,
+            last_t: 0,
+            last_depth: 0,
+            flows: vec![],
+            evictions: 0,
+            evicted_weight: 0.0,
+            gaps: vec![],
+            rtt: sample_rtt_agg(),
+        };
+        let body = encode_body(&Frame::StandingQueryResult {
+            id: 1,
+            result: Box::new(result),
+        });
+        let agg = sample_rtt_agg();
+        let suffix_len = {
+            let mut s = Vec::new();
+            put_rtt_suffix(&mut s, &agg);
+            s.len()
+        };
+        let suffix_at = body.len() - suffix_len;
+        // A zero count must be encoded as an absent suffix.
+        let mut hostile = body.clone();
+        hostile[suffix_at + 1..suffix_at + 9].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            decode_body(&hostile),
+            Err(WireError::Malformed(_))
+        ));
+        // Bucket counts must sum to the sample count.
+        let mut hostile = body.clone();
+        hostile[suffix_at + 1..suffix_at + 9].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(&hostile),
+            Err(WireError::Malformed(_))
+        ));
+        // min > max contradicts the aggregate invariant.
+        let mut hostile = body.clone();
+        hostile[suffix_at + 17..suffix_at + 25].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(&hostile),
+            Err(WireError::Malformed(_))
+        ));
+        // A non-magic trailer is trailing garbage, not an empty suffix.
+        let mut hostile = body.clone();
+        hostile[suffix_at] = 0x00;
+        assert!(matches!(
+            decode_body(&hostile),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

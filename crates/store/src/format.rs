@@ -9,9 +9,23 @@
 //! SEGHDR  := port varint | count varint | min_t varint | max_t varint
 //!            | prev_periodic varint (0 = none, else value+1)
 //!            | last_periodic varint (0 = none, else value+1)
+//!            | [kind varint]          (absent = 0 = checkpoints)
 //! TRAILER := "PQIX" | index bytes | crc32(index) u32-LE
 //!            | index_len u64-LE | "PQEN"
 //! ```
+//!
+//! **Segment kinds.** `kind` selects the body codec: 0 is the original
+//! checkpoint stream, 1 is an RTT report (`pq-rtt`), and anything else
+//! belongs to a future writer. The field rides in two back-compatible
+//! places: as an optional trailing varint inside the length-delimited
+//! SEGHDR (readers that stop after `last_periodic` simply ignore it), and
+//! as an optional kinds array appended after the per-port section of the
+//! trailer index (old readers never look past the ports they parsed).
+//! Kind-0-only archives encode byte-identically to the pre-kind format.
+//! A reader encountering a kind it does not know **skips the segment and
+//! surfaces its span as a coverage gap with a distinct unknown-kind
+//! reason** (see `StoreReader::unknown_kind_gaps`) — never a decode
+//! failure — so old binaries degrade gracefully on new archives.
 //!
 //! Everything after the fixed 9-byte header is append-only. A segment is
 //! written in one `write` burst at seal time, so its header metadata
@@ -49,6 +63,13 @@ pub const HEADER_LEN: u64 = 9;
 pub const TRAILER_FIXED: u64 = 16;
 /// Upper bound on an encoded segment header (sanity cap for scans).
 pub const MAX_SEGHDR_LEN: usize = 256;
+/// Segment kind 0: the original delta-coded checkpoint stream.
+pub const KIND_CHECKPOINTS: u64 = 0;
+/// Segment kind 1: an encoded `pq-rtt` RTT report.
+pub const KIND_RTT: u64 = 1;
+/// Kinds this build knows how to interpret (or deliberately skip).
+/// Anything else is surfaced as an unknown-kind coverage gap.
+pub const KNOWN_KINDS: [u64; 2] = [KIND_CHECKPOINTS, KIND_RTT];
 
 pub(crate) fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -114,6 +135,8 @@ pub struct SegmentMeta {
     pub last_periodic: Option<Nanos>,
     /// CRC-32 of the segment body.
     pub body_crc: u32,
+    /// Body codec selector (see [`KIND_CHECKPOINTS`], [`KIND_RTT`]).
+    pub kind: u64,
 }
 
 fn write_opt_nanos<W: Write>(w: &mut W, v: Option<Nanos>) -> io::Result<()> {
@@ -137,11 +160,20 @@ impl SegmentMeta {
         varint::write_u64(w, self.min_t)?;
         varint::write_u64(w, self.max_t)?;
         write_opt_nanos(w, self.prev_periodic)?;
-        write_opt_nanos(w, self.last_periodic)
+        write_opt_nanos(w, self.last_periodic)?;
+        if self.kind != KIND_CHECKPOINTS {
+            // Only non-default kinds are written, so kind-0 archives stay
+            // byte-identical to the pre-kind format.
+            varint::write_u64(w, self.kind)?;
+        }
+        Ok(())
     }
 
     /// Decode an in-segment header; `offset`/`len`/`body_crc` are filled by
-    /// the caller from the physical framing.
+    /// the caller from the physical framing. This form reads only the base
+    /// fields (for inline index parsing, where no length delimits the
+    /// header); use [`read_seg_header_delimited`](Self::read_seg_header_delimited)
+    /// when the header slice is known.
     pub fn read_seg_header(cursor: &mut &[u8]) -> io::Result<SegmentMeta> {
         let port = varint::read_len(cursor, u16::MAX as usize)? as u16;
         let count = varint::read_u64(cursor)?;
@@ -159,7 +191,19 @@ impl SegmentMeta {
             prev_periodic,
             last_periodic,
             body_crc: 0,
+            kind: KIND_CHECKPOINTS,
         })
+    }
+
+    /// Decode a length-delimited header slice, including the optional
+    /// trailing kind (absent = checkpoints).
+    pub fn read_seg_header_delimited(mut hdr: &[u8]) -> io::Result<SegmentMeta> {
+        let cursor = &mut hdr;
+        let mut meta = Self::read_seg_header(cursor)?;
+        if !cursor.is_empty() {
+            meta.kind = varint::read_u64(cursor)?;
+        }
+        Ok(meta)
     }
 
     /// Does the segment's checkpoint chain possibly contribute to a query
@@ -227,7 +271,14 @@ pub fn write_index<W: Write>(
         varint::write_u64(w, s.offset)?;
         varint::write_u64(w, s.len)?;
         varint::write_u64(w, u64::from(s.body_crc))?;
-        s.write_seg_header(w)?;
+        // Base header only — index entries are parsed inline (no length
+        // delimiter), so the kind must not trail here; it rides in the
+        // kinds array after the ports section instead.
+        SegmentMeta {
+            kind: KIND_CHECKPOINTS,
+            ..*s
+        }
+        .write_seg_header(w)?;
     }
     varint::write_u64(w, ports.len() as u64)?;
     for (port, meta) in ports {
@@ -240,6 +291,15 @@ pub fn write_index<W: Write>(
         }
         for field in health_fields(&meta.health) {
             varint::write_u64(w, field)?;
+        }
+    }
+    // Segment kinds ride after the ports section, where pre-kind readers
+    // never look. Only written when some kind is non-default, so
+    // kind-0-only archives stay byte-identical to the old format.
+    if segments.iter().any(|s| s.kind != KIND_CHECKPOINTS) {
+        varint::write_u64(w, segments.len() as u64)?;
+        for s in segments {
+            varint::write_u64(w, s.kind)?;
         }
     }
     Ok(())
@@ -299,6 +359,16 @@ pub fn read_index(mut cursor: &[u8]) -> io::Result<StoreIndex> {
             },
         ));
     }
+    // Optional trailing kinds array (absent in pre-kind archives = all 0).
+    if !cursor.is_empty() {
+        let n_kinds = varint::read_len(cursor, cursor.len() + 1)?;
+        if n_kinds != segments.len() {
+            return Err(invalid("index kinds array mismatches segment count"));
+        }
+        for s in &mut segments {
+            s.kind = varint::read_u64(cursor)?;
+        }
+    }
     Ok((segments, ports))
 }
 
@@ -336,6 +406,7 @@ mod tests {
                 prev_periodic: None,
                 last_periodic: Some(400),
                 body_crc: 0xdead_beef,
+                kind: KIND_CHECKPOINTS,
             },
             SegmentMeta {
                 offset: 109,
@@ -347,6 +418,7 @@ mod tests {
                 prev_periodic: Some(0),
                 last_periodic: Some(300),
                 body_crc: 7,
+                kind: KIND_CHECKPOINTS,
             },
         ];
         let meta = PortMeta {
@@ -368,6 +440,94 @@ mod tests {
     }
 
     #[test]
+    fn index_roundtrip_preserves_kinds() {
+        let base = SegmentMeta {
+            offset: 9,
+            len: 50,
+            port: 2,
+            count: 0,
+            min_t: 10,
+            max_t: 90,
+            prev_periodic: None,
+            last_periodic: None,
+            body_crc: 1,
+            kind: KIND_CHECKPOINTS,
+        };
+        let segments = vec![
+            base,
+            SegmentMeta {
+                offset: 59,
+                kind: KIND_RTT,
+                ..base
+            },
+            SegmentMeta {
+                offset: 109,
+                kind: 7,
+                ..base
+            }, // future kind
+        ];
+        let mut buf = Vec::new();
+        write_index(&mut buf, &segments, &[]).unwrap();
+        let (segs, _) = read_index(&buf).unwrap();
+        assert_eq!(segs, segments);
+    }
+
+    #[test]
+    fn kind_zero_index_is_byte_identical_to_pre_kind_format() {
+        let seg = SegmentMeta {
+            offset: 9,
+            len: 50,
+            port: 2,
+            count: 3,
+            min_t: 10,
+            max_t: 90,
+            prev_periodic: None,
+            last_periodic: Some(90),
+            body_crc: 1,
+            kind: KIND_CHECKPOINTS,
+        };
+        let mut buf = Vec::new();
+        write_index(&mut buf, &[seg], &[]).unwrap();
+        // No kinds array: the bytes end right after the (empty) ports
+        // section, exactly as the pre-kind writer laid them out.
+        let mut expect = Vec::new();
+        varint::write_u64(&mut expect, 1).unwrap();
+        varint::write_u64(&mut expect, seg.offset).unwrap();
+        varint::write_u64(&mut expect, seg.len).unwrap();
+        varint::write_u64(&mut expect, u64::from(seg.body_crc)).unwrap();
+        seg.write_seg_header(&mut expect).unwrap();
+        varint::write_u64(&mut expect, 0).unwrap();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn delimited_seg_header_reads_optional_kind() {
+        let seg = SegmentMeta {
+            offset: 0,
+            len: 0,
+            port: 4,
+            count: 0,
+            min_t: 5,
+            max_t: 6,
+            prev_periodic: None,
+            last_periodic: None,
+            body_crc: 0,
+            kind: KIND_RTT,
+        };
+        let mut hdr = Vec::new();
+        seg.write_seg_header(&mut hdr).unwrap();
+        let meta = SegmentMeta::read_seg_header_delimited(&hdr).unwrap();
+        assert_eq!(meta.kind, KIND_RTT);
+        // A pre-kind reader parsing the same slice stops after the base
+        // fields and sees a checkpoint segment — the ignored trailing
+        // varint is what keeps the format forward-compatible.
+        let mut cursor = hdr.as_slice();
+        let old = SegmentMeta::read_seg_header(&mut cursor).unwrap();
+        assert_eq!(old.kind, KIND_CHECKPOINTS);
+        assert!(!cursor.is_empty());
+    }
+
+    #[test]
     fn query_overlap_uses_chain_seed() {
         let seg = SegmentMeta {
             offset: 0,
@@ -379,6 +539,7 @@ mod tests {
             prev_periodic: Some(100),
             last_periodic: Some(300),
             body_crc: 0,
+            kind: KIND_CHECKPOINTS,
         };
         // A query ending before the chain seed cannot touch this segment…
         assert!(!seg.overlaps_query(0, 99));

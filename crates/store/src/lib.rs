@@ -40,7 +40,7 @@ pub mod varint;
 pub mod writer;
 
 pub use codec::DecodeBudget;
-pub use format::{PortMeta, SegmentMeta};
+pub use format::{PortMeta, SegmentMeta, KIND_CHECKPOINTS, KIND_RTT, KNOWN_KINDS};
 pub use json::{
     archives_from_json, archives_to_json, archives_to_pqa, format_for_path, read_archives,
     write_archives, ArchiveFormat,

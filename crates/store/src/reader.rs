@@ -143,6 +143,10 @@ pub struct StoreReader<R: Read + Seek> {
     /// Spans lost to CRC-failing or torn segments, discovered at open
     /// (scan) or lazily at decode (index path).
     corrupt: Vec<(u16, CoverageGap)>,
+    /// Spans covered by segments whose kind this build does not know.
+    /// Distinct from `corrupt`: the bytes are intact, the *codec* is from
+    /// the future. Skip-and-surface, never a decode failure.
+    unknown_kind: Vec<(u16, CoverageGap)>,
     recovery: Recovery,
     /// Whether the scan hit unparseable bytes before end of file.
     tail_torn: bool,
@@ -167,6 +171,7 @@ impl<R: Read + Seek> StoreReader<R> {
             segments: Vec::new(),
             ports: Vec::new(),
             corrupt: Vec::new(),
+            unknown_kind: Vec::new(),
             recovery: Recovery::Index,
             tail_torn: false,
             budget_bytes: 64 << 20,
@@ -181,6 +186,20 @@ impl<R: Read + Seek> StoreReader<R> {
             None => {
                 reader.recovery = Recovery::Scan;
                 reader.scan(file_len)?;
+            }
+        }
+        // Segments from the future: skip, and surface the span they cover
+        // as a distinct unknown-kind gap so queries degrade instead of
+        // failing (or silently missing data).
+        for s in &reader.segments {
+            if !format::KNOWN_KINDS.contains(&s.kind) {
+                reader.unknown_kind.push((
+                    s.port,
+                    CoverageGap {
+                        from: s.prev_periodic.map_or(s.min_t, |p| p.saturating_add(1)),
+                        to: s.max_t,
+                    },
+                ));
             }
         }
         Ok(reader)
@@ -218,6 +237,16 @@ impl<R: Read + Seek> StoreReader<R> {
         self.tail_torn
     }
 
+    /// Spans covered by segments whose kind this build does not know,
+    /// per port. A non-empty list means the archive was written by a
+    /// newer binary; the data is intact on disk but unreadable here, so
+    /// overlapping queries come back degraded with these gaps — the
+    /// *reason* stays distinct from corruption (see
+    /// [`tail_torn`](Self::tail_torn) and CRC gaps).
+    pub fn unknown_kind_gaps(&self) -> &[(u16, CoverageGap)] {
+        &self.unknown_kind
+    }
+
     /// Segment index entries, in file order.
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.segments
@@ -240,9 +269,47 @@ impl<R: Read + Seek> StoreReader<R> {
     pub fn checkpoint_count(&self, port: u16) -> u64 {
         self.segments
             .iter()
-            .filter(|s| s.port == port)
+            .filter(|s| s.port == port && s.kind == format::KIND_CHECKPOINTS)
             .map(|s| s.count)
             .sum()
+    }
+
+    /// Index entries for `port`'s raw segments of the given kind (e.g.
+    /// [`format::KIND_RTT`]), in file order.
+    pub fn raw_segments(&self, port: u16, kind: u64) -> Vec<SegmentMeta> {
+        self.segments
+            .iter()
+            .filter(|s| s.port == port && s.kind == kind)
+            .copied()
+            .collect()
+    }
+
+    /// Read one segment's body bytes, verifying framing and CRC but not
+    /// decoding — the caller owns the kind's codec.
+    pub fn read_raw_body(&mut self, meta: &SegmentMeta) -> io::Result<Vec<u8>> {
+        self.src.seek(SeekFrom::Start(meta.offset))?;
+        let mut frame = vec![0u8; meta.len as usize];
+        self.src.read_exact(&mut frame)?;
+        let mut cursor = frame.as_slice();
+        if varint::read_bytes(&mut cursor, 4)? != format::SEGMENT_MAGIC.as_slice() {
+            return Err(invalid("segment magic mismatch"));
+        }
+        let hdr_len = varint::read_len(&mut cursor, format::MAX_SEGHDR_LEN)?;
+        let _hdr = varint::read_bytes(&mut cursor, hdr_len)?;
+        let remaining = cursor.len();
+        let body_len = varint::read_len(&mut cursor, remaining)?;
+        if cursor.len() != body_len + 4 {
+            return Err(invalid("segment framing length mismatch"));
+        }
+        let body = &cursor[..body_len];
+        let stored_crc = u32::from_le_bytes(cursor[body_len..].try_into().unwrap());
+        if crc32(body) != stored_crc {
+            return Err(invalid("segment body CRC mismatch"));
+        }
+        if let Some(t) = &self.telemetry {
+            t.segments_decoded.inc();
+        }
+        Ok(body.to_vec())
     }
 
     fn port_meta(&self, port: u16) -> PortMeta {
@@ -320,8 +387,8 @@ impl<R: Read + Seek> StoreReader<R> {
             let mut cursor = peek.as_slice();
             let parsed = (|| -> io::Result<(SegmentMeta, u64, u64)> {
                 let hdr_len = varint::read_len(&mut cursor, format::MAX_SEGHDR_LEN)?;
-                let mut hdr = varint::read_bytes(&mut cursor, hdr_len)?;
-                let meta = SegmentMeta::read_seg_header(&mut hdr)?;
+                let hdr = varint::read_bytes(&mut cursor, hdr_len)?;
+                let meta = SegmentMeta::read_seg_header_delimited(hdr)?;
                 let body_len = varint::read_u64(&mut cursor)?;
                 let consumed = 4 + (peek_len - cursor.len()) as u64;
                 Ok((meta, body_len, consumed))
@@ -367,8 +434,12 @@ impl<R: Read + Seek> StoreReader<R> {
             pos += frame_len;
         }
         // Reconstruct per-port chain ends from the recovered segments (the
-        // trailer that would normally carry them is gone).
+        // trailer that would normally carry them is gone). Raw segments
+        // carry no periodic chain, so only checkpoint segments contribute.
         for s in &self.segments {
+            if s.kind != format::KIND_CHECKPOINTS {
+                continue;
+            }
             match self.ports.iter_mut().find(|(p, _)| *p == s.port) {
                 Some((_, meta)) => meta.last_periodic = s.last_periodic,
                 None => self.ports.push((
@@ -439,7 +510,7 @@ impl<R: Read + Seek> StoreReader<R> {
         let metas: Vec<SegmentMeta> = self
             .segments
             .iter()
-            .filter(|s| s.port == port)
+            .filter(|s| s.port == port && s.kind == format::KIND_CHECKPOINTS)
             .copied()
             .collect();
         let mut checkpoints = Vec::new();
@@ -456,6 +527,12 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         gaps.extend(
             self.corrupt
+                .iter()
+                .filter(|(p, _)| *p == port)
+                .map(|(_, g)| *g),
+        );
+        gaps.extend(
+            self.unknown_kind
                 .iter()
                 .filter(|(p, _)| *p == port)
                 .map(|(_, g)| *g),
@@ -512,7 +589,11 @@ impl<R: Read + Seek> StoreReader<R> {
         let metas: Vec<SegmentMeta> = self
             .segments
             .iter()
-            .filter(|s| s.port == port && s.overlaps_query(interval.from, interval.to))
+            .filter(|s| {
+                s.port == port
+                    && s.kind == format::KIND_CHECKPOINTS
+                    && s.overlaps_query(interval.from, interval.to)
+            })
             .copied()
             .collect();
         let mut stats = QueryStats {
@@ -586,6 +667,12 @@ impl<R: Read + Seek> StoreReader<R> {
                 .map(|(_, g)| *g),
         );
         gaps.extend(corrupt_gaps.iter().filter(|g| g.overlaps(interval)));
+        gaps.extend(
+            self.unknown_kind
+                .iter()
+                .filter(|(p, g)| *p == port && g.overlaps(interval))
+                .map(|(_, g)| *g),
+        );
         let t_set = self.tw.set_period();
         let last = meta_info.last_periodic.unwrap_or(0);
         if interval.to > last.saturating_add(t_set) {

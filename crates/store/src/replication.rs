@@ -67,6 +67,25 @@ pub fn ship_archive(src: &Path, dst: &Path) -> io::Result<ShipReport> {
         }
         checkpoints += decoded;
     }
+    // Raw (non-checkpoint) segments aren't touched by `read_port`; verify
+    // their body CRCs explicitly so an RTT spill can't ship corrupted.
+    let raw: Vec<SegmentMeta> = reader
+        .segments()
+        .iter()
+        .filter(|s| s.kind != crate::format::KIND_CHECKPOINTS)
+        .copied()
+        .collect();
+    for m in &raw {
+        reader.read_raw_body(m).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "port {} kind-{} segment failed verification: {e}",
+                    m.port, m.kind
+                ),
+            )
+        })?;
+    }
     let report = ShipReport {
         segments: reader.segments().len(),
         ports: ports.len(),
@@ -100,7 +119,7 @@ impl std::fmt::Display for ReplicaDivergence {
                 write!(f, "segment counts differ: {left} vs {right}")
             }
             ReplicaDivergence::Segment { index } => {
-                write!(f, "segment {index} differs (port/count/crc/bounds)")
+                write!(f, "segment {index} differs (port/kind/count/crc/bounds)")
             }
         }
     }
@@ -124,7 +143,7 @@ pub fn verify_replica(a: &Path, b: &Path) -> io::Result<Option<ReplicaDivergence
             right: rs.len(),
         }));
     }
-    let key = |s: &SegmentMeta| (s.port, s.count, s.body_crc, s.min_t, s.max_t);
+    let key = |s: &SegmentMeta| (s.port, s.kind, s.count, s.body_crc, s.min_t, s.max_t);
     for (index, (l, r)) in ls.iter().zip(rs.iter()).enumerate() {
         if key(l) != key(r) {
             return Ok(Some(ReplicaDivergence::Segment { index }));

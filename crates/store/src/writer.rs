@@ -177,6 +177,61 @@ impl<W: Write> StoreWriter<W> {
         Ok(())
     }
 
+    /// Append a raw segment of the given `kind` (e.g. an encoded RTT
+    /// report under [`format::KIND_RTT`]). The port's open checkpoint
+    /// segment is sealed first so file order tracks append order. Raw
+    /// segments sit outside the checkpoint chain (`prev_periodic` /
+    /// `last_periodic` are none) and never participate in checkpoint
+    /// queries; `count` is informational (e.g. samples in the body).
+    pub fn push_raw(
+        &mut self,
+        port: u16,
+        kind: u64,
+        count: u64,
+        min_t: Nanos,
+        max_t: Nanos,
+        body: &[u8],
+    ) -> io::Result<()> {
+        self.seal(port)?;
+        self.ports.entry(port).or_default();
+        let mut meta = SegmentMeta {
+            offset: self.pos,
+            len: 0,
+            port,
+            count,
+            min_t,
+            max_t,
+            prev_periodic: None,
+            last_periodic: None,
+            body_crc: crc32(body),
+            kind,
+        };
+        let mut frame = Vec::with_capacity(body.len() + 64);
+        frame.extend_from_slice(&format::SEGMENT_MAGIC);
+        let mut hdr = Vec::new();
+        meta.write_seg_header(&mut hdr)?;
+        varint::write_u64(&mut frame, hdr.len() as u64)?;
+        frame.extend_from_slice(&hdr);
+        varint::write_u64(&mut frame, body.len() as u64)?;
+        frame.extend_from_slice(body);
+        frame.extend_from_slice(&meta.body_crc.to_le_bytes());
+        meta.len = frame.len() as u64;
+        self.out.write_all(&frame)?;
+        self.pos += meta.len;
+        if let Some(t) = &self.telemetry {
+            t.segments_sealed.inc();
+            t.bytes_written.add(meta.len);
+            t.segment_bytes.record(meta.len);
+            if t.plane.tracing_enabled() {
+                t.plane
+                    .spans()
+                    .record(names::SPAN_SEGMENT_FLUSH, min_t, max_t, u32::from(port));
+            }
+        }
+        self.segments.push(meta);
+        Ok(())
+    }
+
     /// Record a coverage gap for `port` (carried in the trailer).
     pub fn push_gap(&mut self, port: u16, gap: CoverageGap) {
         self.ports.entry(port).or_default().meta.gaps.push(gap);
@@ -205,6 +260,7 @@ impl<W: Write> StoreWriter<W> {
             prev_periodic: open.prev_periodic,
             last_periodic: state.chain,
             body_crc: crc32(&open.body),
+            kind: format::KIND_CHECKPOINTS,
         };
         // Frame the whole segment in one buffer so a crash tears at most
         // the tail of a single write burst.
@@ -245,10 +301,18 @@ impl<W: Write> StoreWriter<W> {
         let mut kept = Vec::with_capacity(self.segments.len());
         let mut per_port: BTreeMap<u16, usize> = BTreeMap::new();
         for s in &self.segments {
-            *per_port.entry(s.port).or_default() += 1;
+            if s.kind == format::KIND_CHECKPOINTS {
+                *per_port.entry(s.port).or_default() += 1;
+            }
         }
         let mut seen: BTreeMap<u16, usize> = BTreeMap::new();
         for s in self.segments.drain(..) {
+            if s.kind != format::KIND_CHECKPOINTS {
+                // Retention bounds the checkpoint chain; raw segments
+                // (RTT reports and future kinds) are kept as written.
+                kept.push(s);
+                continue;
+            }
             let idx = seen.entry(s.port).or_default();
             *idx += 1;
             let total = per_port[&s.port];

@@ -38,6 +38,10 @@ pub mod query;
 pub mod topk;
 pub mod window;
 
-pub use query::{parse, Cmp, Emit, ParseError, PortSel, Predicate, Query, Stat, WindowKind};
+pub use query::{
+    parse, Cmp, Emit, ParseError, PortSel, Predicate, Query, Stat, Target, WindowKind,
+};
 pub use topk::TopKSummary;
-pub use window::{Closed, DepthAgg, Record, Standing, WindowKey};
+pub use window::{
+    rtt_bucket_of, Closed, DepthAgg, Record, RttAgg, Standing, WindowKey, RTT_BUCKETS,
+};

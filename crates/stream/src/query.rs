@@ -6,7 +6,7 @@
 //! ```text
 //! [port <n>|port *]
 //! window tumbling <dur> | window sliding <dur> slide <dur>
-//! [where <stat>(depth) <cmp> <number>]
+//! [where <stat>(depth|rtt) <cmp> <number>]
 //! [topk <n>]
 //! [emit flows|depth]
 //! [lateness <dur>]
@@ -14,7 +14,10 @@
 //!
 //! Durations take `ns`/`us`/`ms`/`s` suffixes (a bare integer is
 //! nanoseconds of sim time). `<stat>` is one of `max`, `min`, `avg`,
-//! `last`, `count`; `<cmp>` one of `>`, `>=`, `<`, `<=`. Defaults:
+//! `last`, `count` — plus `p50`/`p90`/`p99`, which are histogram-backed
+//! and therefore valid only over `rtt`; `<cmp>` one of `>`, `>=`, `<`,
+//! `<=`. A bare stat name (no parenthesised target) means `(depth)`,
+//! the historical form. RTT thresholds are in nanoseconds. Defaults:
 //! every port, no predicate (every window fires), emit `flows`,
 //! lateness 0.
 //!
@@ -46,16 +49,22 @@ pub enum WindowKind {
     },
 }
 
-/// A per-window statistic over checkpoint queue depths.
+/// A per-window statistic over checkpoint queue depths or RTT samples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stat {
     Max,
     Min,
     Avg,
-    /// Depth of the latest-timestamped record in the window.
+    /// Value of the latest-timestamped record in the window.
     Last,
-    /// Number of checkpoint records that landed in the window.
+    /// Number of records that landed in the window.
     Count,
+    /// Median — histogram-backed, so `rtt` only.
+    P50,
+    /// 90th percentile (`rtt` only).
+    P90,
+    /// 99th percentile (`rtt` only).
+    P99,
 }
 
 impl Stat {
@@ -66,6 +75,32 @@ impl Stat {
             Stat::Avg => "avg",
             Stat::Last => "last",
             Stat::Count => "count",
+            Stat::P50 => "p50",
+            Stat::P90 => "p90",
+            Stat::P99 => "p99",
+        }
+    }
+
+    /// Quantile stats need the bounded histogram only the RTT aggregate
+    /// keeps; the depth aggregate is a handful of scalars.
+    pub fn needs_histogram(self) -> bool {
+        matches!(self, Stat::P50 | Stat::P90 | Stat::P99)
+    }
+}
+
+/// What a `where` clause measures: checkpoint queue depths or the
+/// window's passive RTT samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    Depth,
+    Rtt,
+}
+
+impl Target {
+    fn name(self) -> &'static str {
+        match self {
+            Target::Depth => "depth",
+            Target::Rtt => "rtt",
         }
     }
 }
@@ -100,12 +135,13 @@ impl Cmp {
     }
 }
 
-/// `where <stat>(depth) <cmp> <value>` — evaluated once per closed
+/// `where <stat>(depth|rtt) <cmp> <value>` — evaluated once per closed
 /// window; a window "fires" when the predicate holds (or when the
-/// query has no predicate at all).
+/// query has no predicate at all). RTT thresholds are nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Predicate {
     pub stat: Stat,
+    pub target: Target,
     pub cmp: Cmp,
     pub value: f64,
 }
@@ -163,8 +199,9 @@ impl fmt::Display for Query {
         if let Some(p) = &self.predicate {
             write!(
                 f,
-                " where {}(depth) {} {}",
+                " where {}({}) {} {}",
                 p.stat.name(),
+                p.target.name(),
                 p.cmp.name(),
                 p.value
             )?;
@@ -253,19 +290,40 @@ fn parse_duration(tok: &str) -> Result<u64, ParseError> {
         .map_or_else(|| err(format!("duration {tok:?} overflows")), Ok)
 }
 
-/// Split `max(depth)` style stat references.
-fn parse_stat(tok: &str) -> Result<Stat, ParseError> {
-    let name = tok.strip_suffix("(depth)").unwrap_or(tok);
-    match name {
-        "max" => Ok(Stat::Max),
-        "min" => Ok(Stat::Min),
-        "avg" => Ok(Stat::Avg),
-        "last" => Ok(Stat::Last),
-        "count" => Ok(Stat::Count),
-        _ => err(format!(
-            "unknown stat {tok:?} (want max/min/avg/last/count over depth)"
-        )),
+/// Split `max(depth)` / `p99(rtt)` style stat references. A bare stat
+/// name (the historical form) targets depth.
+fn parse_stat(tok: &str) -> Result<(Stat, Target), ParseError> {
+    let (name, target) = if let Some(n) = tok.strip_suffix("(depth)") {
+        (n, Target::Depth)
+    } else if let Some(n) = tok.strip_suffix("(rtt)") {
+        (n, Target::Rtt)
+    } else {
+        (tok, Target::Depth)
+    };
+    let stat = match name {
+        "max" => Stat::Max,
+        "min" => Stat::Min,
+        "avg" => Stat::Avg,
+        "last" => Stat::Last,
+        "count" => Stat::Count,
+        "p50" => Stat::P50,
+        "p90" => Stat::P90,
+        "p99" => Stat::P99,
+        _ => {
+            return err(format!(
+                "unknown stat {tok:?} (want max/min/avg/last/count over depth or rtt, \
+                 or p50/p90/p99 over rtt)"
+            ))
+        }
+    };
+    if stat.needs_histogram() && target != Target::Rtt {
+        return err(format!(
+            "{} needs a histogram and is only available over rtt, e.g. `{}(rtt)`",
+            stat.name(),
+            stat.name()
+        ));
     }
+    Ok((stat, target))
 }
 
 /// Parse the standing-query text form. See the module docs for the
@@ -327,7 +385,7 @@ pub fn parse(text: &str) -> Result<Query, ParseError> {
                 if predicate.is_some() {
                     return err("duplicate where clause");
                 }
-                let stat = parse_stat(t.next("a stat like max(depth)")?)?;
+                let (stat, target) = parse_stat(t.next("a stat like max(depth) or p99(rtt)")?)?;
                 let cmp = match t.next("a comparison")? {
                     ">" => Cmp::Gt,
                     ">=" => Cmp::Ge,
@@ -340,7 +398,12 @@ pub fn parse(text: &str) -> Result<Query, ParseError> {
                     Ok(v) if f64::is_finite(v) => v,
                     _ => return err(format!("bad threshold {vtok:?}")),
                 };
-                predicate = Some(Predicate { stat, cmp, value });
+                predicate = Some(Predicate {
+                    stat,
+                    target,
+                    cmp,
+                    value,
+                });
             }
             "topk" => {
                 let ktok = t.next("a top-k count")?;
@@ -392,6 +455,7 @@ mod tests {
             q.predicate,
             Some(Predicate {
                 stat: Stat::Max,
+                target: Target::Depth,
                 cmp: Cmp::Gt,
                 value: 5.0
             })
@@ -427,6 +491,8 @@ mod tests {
             "port * window sliding 1s slide 250ms emit depth lateness 2us",
             "window tumbling 100ns where avg(depth) <= 1.5",
             "port 65535 window tumbling 3s where count(depth) >= 10 topk 1 emit depth",
+            "port 2 window tumbling 1ms where p99(rtt) > 1000000 emit flows",
+            "window sliding 2ms slide 1ms where avg(rtt) <= 500000 emit depth",
         ] {
             let q = parse(text).unwrap();
             let canon = q.to_string();
@@ -444,6 +510,9 @@ mod tests {
             "window tumbling 0",
             "window tumbling 1ms where",
             "window tumbling 1ms where median(depth) > 1",
+            "window tumbling 1ms where p99(depth) > 1",
+            "window tumbling 1ms where p99 > 1",
+            "window tumbling 1ms where max(latency) > 1",
             "window tumbling 1ms where max(depth) != 1",
             "window tumbling 1ms where max(depth) > nan",
             "window tumbling 1ms topk 0",

@@ -23,7 +23,7 @@
 //! closed** early and flagged, keeping worst-case memory fixed while
 //! surfacing the truncation instead of hiding it.
 
-use crate::query::{Emit, PortSel, Query, Stat, WindowKind};
+use crate::query::{Emit, PortSel, Query, Stat, Target, WindowKind};
 use std::collections::BTreeMap;
 
 /// One checkpoint event on the stream.
@@ -104,6 +104,8 @@ impl DepthAgg {
     }
 
     /// Evaluate one statistic; `min` on an empty aggregate is 0.
+    /// Quantile stats are rejected at parse time for depth, so they
+    /// evaluate as 0 here.
     pub fn stat(&self, stat: Stat) -> f64 {
         match stat {
             Stat::Max => self.max as f64,
@@ -123,6 +125,140 @@ impl DepthAgg {
             }
             Stat::Last => self.last_depth as f64,
             Stat::Count => self.count as f64,
+            Stat::P50 | Stat::P90 | Stat::P99 => 0.0,
+        }
+    }
+}
+
+/// Number of log-scale RTT buckets; mirrors `pq-rtt`'s histogram so a
+/// standing `p99(rtt)` and a `pqsim rtt` report quantize identically
+/// (pq-stream stays dependency-free, so the scheme is duplicated, not
+/// imported).
+pub const RTT_BUCKETS: usize = 64;
+
+/// Order-independent RTT aggregate for one window: exact scalar moments
+/// plus a bounded log₂ histogram for quantiles. `offer`/`merge` are
+/// commutative and associative like [`DepthAgg`]'s, so shuffled arrivals
+/// and shard-partial merges agree bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttAgg {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Latest sample, tie-broken by value (see [`DepthAgg::last_t`]).
+    pub last_t: u64,
+    pub last_rtt: u64,
+    /// `buckets[i]` counts samples `v` with `bucket_of(v) == i`.
+    pub buckets: [u64; RTT_BUCKETS],
+}
+
+impl Default for RttAgg {
+    fn default() -> RttAgg {
+        RttAgg {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            last_t: 0,
+            last_rtt: 0,
+            buckets: [0; RTT_BUCKETS],
+        }
+    }
+}
+
+/// Log₂ bucket index of an RTT sample (same mapping as `pq-rtt`).
+pub fn rtt_bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(RTT_BUCKETS - 1)
+    }
+}
+
+impl RttAgg {
+    pub fn offer(&mut self, t_ns: u64, rtt_ns: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(rtt_ns);
+        self.min = self.min.min(rtt_ns);
+        self.max = self.max.max(rtt_ns);
+        self.buckets[rtt_bucket_of(rtt_ns)] += 1;
+        if self.count == 1 || (t_ns, rtt_ns) > (self.last_t, self.last_rtt) {
+            self.last_t = t_ns;
+            self.last_rtt = rtt_ns;
+        }
+    }
+
+    /// Fold another aggregate in (shard partials at the router).
+    pub fn merge(&mut self, other: &RttAgg) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        if (other.last_t, other.last_rtt) > (self.last_t, self.last_rtt) {
+            self.last_t = other.last_t;
+            self.last_rtt = other.last_rtt;
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// q-th sample, clamped to the exact observed max (≤ one octave of
+    /// error, matching `pq-rtt`). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = if i == 0 {
+                    0
+                } else if i < RTT_BUCKETS - 1 {
+                    (1u64 << i) - 1
+                } else {
+                    u64::MAX
+                };
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Evaluate one statistic; empty aggregates read as 0.
+    pub fn stat(&self, stat: Stat) -> f64 {
+        match stat {
+            Stat::Max => self.max as f64,
+            Stat::Min => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.min as f64
+                }
+            }
+            Stat::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum as f64 / self.count as f64
+                }
+            }
+            Stat::Last => self.last_rtt as f64,
+            Stat::Count => self.count as f64,
+            Stat::P50 => self.quantile(0.50) as f64,
+            Stat::P90 => self.quantile(0.90) as f64,
+            Stat::P99 => self.quantile(0.99) as f64,
         }
     }
 }
@@ -132,6 +268,9 @@ impl DepthAgg {
 pub struct Closed {
     pub key: WindowKey,
     pub agg: DepthAgg,
+    /// Passive RTT samples that landed in the window (empty unless the
+    /// source feeds them).
+    pub rtt: RttAgg,
     /// The query predicate held (or the query has none).
     pub fired: bool,
     /// Closed early by the open-window cap, not the watermark — the
@@ -168,7 +307,7 @@ pub struct Standing {
     pub query: Query,
     /// Open windows keyed `(to, from, port)` so the close scan walks
     /// them in emission order.
-    open: BTreeMap<(u64, u64, u16), DepthAgg>,
+    open: BTreeMap<(u64, u64, u16), (DepthAgg, RttAgg)>,
     /// Cap on `open.len()`; exceeded entries are force-closed oldest
     /// first.
     max_open: usize,
@@ -215,34 +354,47 @@ impl Standing {
     /// Feed one record. Returns `false` if the record was late (dropped
     /// and counted); the watermark ratchets up either way.
     pub fn push(&mut self, r: Record) -> bool {
-        if !self.query.wants_port(r.port) {
+        self.feed(r.t_ns, r.port, r.depth, None)
+    }
+
+    /// Feed one passive RTT sample. Samples share the record stream's
+    /// time axis and watermark: a late sample is dropped and counted
+    /// exactly like a late checkpoint record.
+    pub fn push_rtt(&mut self, t_ns: u64, port: u16, rtt_ns: u64) -> bool {
+        self.feed(t_ns, port, 0, Some(rtt_ns))
+    }
+
+    fn feed(&mut self, t_ns: u64, port: u16, depth: u64, rtt: Option<u64>) -> bool {
+        if !self.query.wants_port(port) {
             return true;
         }
-        let on_time = r.t_ns >= self.watermark && !self.sealed;
+        let on_time = t_ns >= self.watermark && !self.sealed;
         self.watermark = self
             .watermark
-            .max(r.t_ns.saturating_sub(self.query.lateness_ns));
+            .max(t_ns.saturating_sub(self.query.lateness_ns));
         if !on_time {
             self.late_records += 1;
             return false;
         }
         self.records += 1;
-        for from in window_starts(r.t_ns, self.query.size_ns, self.query.kind) {
+        for from in window_starts(t_ns, self.query.size_ns, self.query.kind) {
             let to = from.saturating_add(self.query.size_ns);
-            self.open
-                .entry((to, from, r.port))
-                .or_default()
-                .offer(r.t_ns, r.depth);
+            let (depth_agg, rtt_agg) = self.open.entry((to, from, port)).or_default();
+            match rtt {
+                None => depth_agg.offer(t_ns, depth),
+                Some(v) => rtt_agg.offer(t_ns, v),
+            }
         }
         while self.open.len() > self.max_open {
             let (&key, _) = self.open.iter().next().expect("len > max_open >= 1");
-            let agg = self.open.remove(&key).expect("key came from the map");
+            let (agg, rtt) = self.open.remove(&key).expect("key came from the map");
             let (to, from, port) = key;
             self.forced_closes += 1;
             self.forced.push(Closed {
                 key: WindowKey { port, from, to },
                 agg,
-                fired: self.fires(&agg),
+                rtt,
+                fired: self.fires(&agg, &rtt),
                 forced: true,
             });
         }
@@ -257,10 +409,16 @@ impl Standing {
         self.watermark = u64::MAX;
     }
 
-    fn fires(&self, agg: &DepthAgg) -> bool {
+    fn fires(&self, agg: &DepthAgg, rtt: &RttAgg) -> bool {
         match &self.query.predicate {
             None => true,
-            Some(p) => p.cmp.eval(agg.stat(p.stat), p.value),
+            Some(p) => {
+                let lhs = match p.target {
+                    Target::Depth => agg.stat(p.stat),
+                    Target::Rtt => rtt.stat(p.stat),
+                };
+                p.cmp.eval(lhs, p.value)
+            }
         }
     }
 
@@ -274,11 +432,12 @@ impl Standing {
             if to > self.watermark {
                 break;
             }
-            let agg = self.open.remove(&key).expect("key came from the map");
+            let (agg, rtt) = self.open.remove(&key).expect("key came from the map");
             out.push(Closed {
                 key: WindowKey { port, from, to },
                 agg,
-                fired: self.fires(&agg),
+                rtt,
+                fired: self.fires(&agg, &rtt),
                 forced: false,
             });
         }
@@ -413,6 +572,62 @@ mod tests {
         // Records after the seal are late by definition.
         assert!(!s.push(rec(500, 1, 1)));
         assert_eq!(s.late_records, 1);
+    }
+
+    #[test]
+    fn rtt_samples_share_the_watermark_and_fire_predicates() {
+        let q = parse("port 1 window tumbling 100 where p99(rtt) > 1000").unwrap();
+        let mut s = Standing::new(q, 64);
+        assert!(s.push_rtt(10, 1, 500));
+        assert!(s.push_rtt(20, 1, 800));
+        assert!(s.push_rtt(110, 1, 5_000));
+        // RTT samples ratchet the watermark like records do.
+        assert_eq!(s.watermark(), 110);
+        assert!(!s.push_rtt(50, 1, 9_999), "behind the watermark: late");
+        assert_eq!(s.late_records, 1);
+        s.seal();
+        let closed = s.drain();
+        assert_eq!(closed.len(), 2);
+        // [0,100): p99 quantizes to the 800 ns sample's octave — under
+        // the 1 µs threshold. [100,200): the 5 µs sample trips it.
+        assert!(!closed[0].fired);
+        assert_eq!(closed[0].rtt.count, 2);
+        assert!(closed[1].fired);
+        assert_eq!(closed[1].rtt.max, 5_000);
+        // Depth aggregates are untouched by RTT samples.
+        assert_eq!(closed[0].agg.count, 0);
+    }
+
+    #[test]
+    fn rtt_agg_merge_matches_sequential_fold() {
+        let samples = [(10u64, 400u64), (20, 90_000), (30, 1_200), (30, 700)];
+        let mut whole = RttAgg::default();
+        let mut left = RttAgg::default();
+        let mut right = RttAgg::default();
+        for &(t, v) in &samples {
+            whole.offer(t, v);
+        }
+        for &(t, v) in &samples[..2] {
+            left.offer(t, v);
+        }
+        for &(t, v) in &samples[2..] {
+            right.offer(t, v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(whole.stat(Stat::Count), 4.0);
+        assert_eq!(whole.stat(Stat::Avg), 23_075.0);
+        assert_eq!(whole.stat(Stat::Min), 400.0);
+        assert_eq!(whole.stat(Stat::Max), 90_000.0);
+        assert_eq!(
+            whole.stat(Stat::Last),
+            1_200.0,
+            "equal-time tie breaks by value"
+        );
+        // Quantiles clamp to the observed max.
+        assert_eq!(whole.quantile(1.0), 90_000);
+        assert!(whole.quantile(0.5) >= 700 && whole.quantile(0.5) <= 2_047);
+        assert_eq!(RttAgg::default().quantile(0.99), 0);
     }
 
     #[test]

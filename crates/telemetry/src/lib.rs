@@ -200,6 +200,26 @@ pub mod names {
     /// Fired window results pushed to standing-query clients (counter).
     pub const STREAM_RESULTS: &str = "pq_stream_results_total";
 
+    // -- pq-rtt (passive RTT diagnosis) ------------------------------------
+    /// RTT samples measured, seq-match and spin-bit combined (counter,
+    /// label `port`).
+    pub const RTT_SAMPLES: &str = "pq_rtt_samples_total";
+    /// Measured round-trip times; each sample's exemplar carries the flow
+    /// id (histogram, ns, label `port`).
+    pub const RTT_SAMPLE_NS: &str = "pq_rtt_sample_ns";
+    /// Packets lost to a flow slot owned by another live flow (gauge,
+    /// label `port`).
+    pub const RTT_COLLISIONS: &str = "pq_rtt_collisions";
+    /// Idle flows displaced from their slot (gauge, label `port`).
+    pub const RTT_EVICTIONS: &str = "pq_rtt_evictions";
+    /// Samples or timestamps dropped to bounded state (gauge, label
+    /// `port`).
+    pub const RTT_SAMPLE_DROPS: &str = "pq_rtt_sample_drops";
+    /// RTT queries answered by a serve daemon (counter).
+    pub const RTT_QUERIES: &str = "pq_rtt_queries_total";
+    /// RTT report merges performed while answering queries (counter).
+    pub const RTT_MERGES: &str = "pq_rtt_merges_total";
+
     // -- pq-trace (request-scoped distributed tracing) ---------------------
     /// Anonymous ring-buffer spans overwritten because the ring was full
     /// (counter; surfaces silent span loss so it is `--require`-gateable).
@@ -285,6 +305,13 @@ pub mod names {
             STREAM_LATE_RECORDS => "Stream records dropped for arriving behind the watermark.",
             STREAM_EVICTIONS => "Bounded-state evictions in standing subscriptions, by kind.",
             STREAM_RESULTS => "Fired window results pushed to standing-query clients.",
+            RTT_SAMPLES => "RTT samples measured, seq-match and spin-bit combined.",
+            RTT_SAMPLE_NS => "Measured round-trip times in ns; exemplars carry the flow id.",
+            RTT_COLLISIONS => "Packets lost to a flow slot owned by another live flow.",
+            RTT_EVICTIONS => "Idle flows displaced from their RTT table slot.",
+            RTT_SAMPLE_DROPS => "RTT samples or timestamps dropped to bounded state.",
+            RTT_QUERIES => "RTT queries answered by a serve daemon.",
+            RTT_MERGES => "RTT report merges performed while answering queries.",
             TRACE_SPANS_DROPPED => "Ring-buffer spans overwritten because the ring was full.",
             TRACE_COMMITTED => "Request traces committed to the per-process trace store.",
             TRACE_DROPPED => "Committed traces evicted from the recent-trace ring.",
@@ -332,6 +359,10 @@ pub mod names {
     pub const SPAN_WINDOW_CLOSE: &str = "window_close";
     /// Stream evaluator: pushing fired-window results to the subscriber.
     pub const SPAN_EMIT: &str = "emit";
+    /// Serve: gathering and decoding the RTT reports one query needs.
+    pub const SPAN_RTT_MEASURE: &str = "rtt_measure";
+    /// Serve/router: folding partial RTT reports into one answer.
+    pub const SPAN_RTT_MERGE: &str = "rtt_merge";
 }
 
 /// The shared observability handle: one registry, one span tracer, and

@@ -262,8 +262,8 @@ impl ActiveTrace {
         span_id
     }
 
-    /// Record a completed span under a previously [`reserve`](Self::
-    /// reserve)d id.
+    /// Record a completed span under an id previously handed out by
+    /// [`Self::reserve`].
     pub fn record_with_id(
         &mut self,
         span_id: u64,

@@ -166,6 +166,11 @@ fn usage() -> ! {
          pqsim replicate SRC.pqa DST.pqa\n  \
          pqsim query FILE.pqtr|--remote ADDR --from NS --to NS [--port P]\n  \
          \x20         [--kind tw|monitor|replay] [--at NS] [--d NS] [--json] [--trace]\n  \
+         pqsim rtt [--flows N] [--pkts N] [--ports N] [--seed S] [--loss P]\n  \
+         \x20         [--reorder P] [--jitter F] [--spin F] [--slow-flow-ns NS]\n  \
+         \x20         [--archive OUT.pqa] [--top N] [--json]\n  \
+         pqsim rtt --remote ADDR [--port P] [--from NS] [--to NS]\n  \
+         \x20         [--max-flows N] [--top N] [--json]\n  \
          pqsim trace --from ADDR[,ADDR...]|--files F.jsonl[,...] [--top N]\n  \
          \x20         [--slow] [--out chrome.json] [--json]\n  \
          pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
@@ -248,6 +253,7 @@ fn main() {
         "router" => cmd_router(&args),
         "replicate" => cmd_replicate(&args),
         "query" => cmd_query(&args),
+        "rtt" => cmd_rtt(&args),
         "trace" => cmd_trace(&args),
         "watch" => cmd_watch(&args),
         "stream" => cmd_stream(&args),
@@ -1067,8 +1073,17 @@ fn cmd_serve(args: &Args) -> CliResult {
         &printqueue::telemetry::provenance::git_commit(),
     );
     configure_tracing(args, &plane)?;
-    let server = Server::bind(listen, Sources { live, archive }, config, &plane)
-        .map_err(|err| format!("bind {listen}: {err}"))?;
+    let server = Server::bind(
+        listen,
+        Sources {
+            live,
+            archive,
+            rtt: Vec::new(),
+        },
+        config,
+        &plane,
+    )
+    .map_err(|err| format!("bind {listen}: {err}"))?;
     let addr = server
         .local_addr()
         .map_err(|err| format!("local addr: {err}"))?;
@@ -1354,6 +1369,275 @@ fn remote_error(err: printqueue::serve::ClientError) -> String {
             format!("server busy, retry after {retry_after_ms} ms")
         }
         other => format!("remote query failed: {other}"),
+    }
+}
+
+/// Passive RTT diagnosis. Local mode generates the QUIC-like workload
+/// with known per-flow ground truth, measures it through the switch
+/// pipeline with `RttHook`, and grades the estimates; `--archive` spills
+/// the measured reports as raw kind-1 segments that `pqsim serve
+/// --archive` later serves to `rtt --remote`, standing `where p99(rtt)`
+/// queries, and watch alerts. `--remote` instead fetches the merged
+/// report a daemon (or router, transparently) answers for the interval.
+fn cmd_rtt(args: &Args) -> CliResult {
+    use printqueue::rtt::{RttHook, RttReport, RttWorkload, TableConfig, RTT_SEGMENT_KIND};
+    use printqueue::switch::PortConfig;
+    let json = args.has("json");
+    let top: usize = args.get("top", 8);
+
+    if let Some(remote) = args.get_str("remote") {
+        use printqueue::serve::Client;
+        let port: u16 = args.get("port", 0);
+        let from: u64 = args.get("from", 0);
+        let to: u64 = args.get("to", u64::MAX);
+        let max_flows: u32 = args.get("max-flows", 0);
+        let mut client =
+            Client::connect(remote).map_err(|err| format!("connect {remote}: {err}"))?;
+        let r = client
+            .rtt(port, from, to, max_flows)
+            .map_err(remote_error)?;
+        print_rtt_reports(std::slice::from_ref(&r.report), r.degraded, None, top, json);
+        return Ok(());
+    }
+
+    let mut cfg = RttWorkload {
+        flows: args.get("flows", 64),
+        ports: args.get("ports", 1),
+        pkts_per_flow: args.get("pkts", 96),
+        jitter_frac: args.get("jitter", 0.05),
+        loss: args.get("loss", 0.01),
+        reorder: args.get("reorder", 0.01),
+        spin_fraction: args.get("spin", 0.5),
+        seed: args.get("seed", 7),
+        ..RttWorkload::default()
+    };
+    if args.has("slow-flow-ns") {
+        cfg.slow_rtt_ns = Some(args.get("slow-flow-ns", 8_000_000));
+    }
+    let trace = cfg.generate();
+    progress!(
+        "measuring {} flows / {} arrivals across {} port(s)",
+        cfg.flows,
+        trace.arrivals.len(),
+        cfg.ports
+    );
+    let plane = Telemetry::new();
+    let mut sw = Switch::new(SwitchConfig {
+        ports: vec![
+            PortConfig {
+                rate_gbps: 100.0,
+                ..PortConfig::default()
+            };
+            cfg.ports as usize
+        ],
+        ..SwitchConfig::default()
+    });
+    let mut hook = RttHook::new(&trace.obs, TableConfig::default());
+    hook.set_telemetry(&plane);
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut hook];
+        sw.run(trace.arrivals.iter().cloned(), &mut hooks, 1_000_000);
+    }
+    let reports = hook.reports();
+    if let Some(out) = args.get_str("archive") {
+        let tw = TimeWindowConfig::new(6, 2, 12, 4);
+        let file = std::fs::File::create(out).map_err(|err| format!("create {out}: {err}"))?;
+        let mut w = StoreWriter::new(std::io::BufWriter::new(file), tw, SegmentPolicy::default())
+            .map_err(|err| format!("start store: {err}"))?;
+        for r in &reports {
+            w.push_raw(
+                r.port,
+                RTT_SEGMENT_KIND,
+                r.sample_count(),
+                r.min_t,
+                r.max_t,
+                &r.encode(),
+            )
+            .map_err(|err| format!("spill port {}: {err}", r.port))?;
+        }
+        w.finish().map_err(|err| format!("store finish: {err}"))?;
+        progress!("spilled {} rtt report(s) to {out}", reports.len());
+    }
+    let degraded = reports.iter().any(RttReport::degraded);
+    print_rtt_reports(&reports, degraded, Some(&trace.truth), top, json);
+    Ok(())
+}
+
+/// Shared presentation for local and remote RTT reports. `truth` (local
+/// mode only) adds per-flow ground-truth error and the recall of
+/// top-decile slow-flow detection — the headline numbers
+/// `ext_rtt_precision` sweeps.
+fn print_rtt_reports(
+    reports: &[printqueue::rtt::RttReport],
+    degraded: bool,
+    truth: Option<&[printqueue::rtt::FlowTruth]>,
+    top: usize,
+    json: bool,
+) {
+    use std::fmt::Write as _;
+    let ms = |ns: u64| format!("{:.3}ms", ns as f64 / 1e6);
+    // Grade only flows with enough samples to claim an estimate (slow
+    // spin flows yield few edges in a short run).
+    let mut errs: Vec<f64> = Vec::new();
+    let mut graded = 0usize;
+    let mut recall = None;
+    if let Some(truth) = truth {
+        for r in reports {
+            for f in &r.flows {
+                let Some(t) = truth.get(f.flow as usize) else {
+                    continue;
+                };
+                if f.hist.count >= 8 {
+                    errs.push((f.hist.mean() as f64 - t.rtt_ns as f64).abs() / t.rtt_ns as f64);
+                }
+            }
+        }
+        errs.sort_by(f64::total_cmp);
+        graded = errs.len();
+        // Top-decile slow-flow detection over the *graded* flows: a spin
+        // flow that sent for less than one RTT yields no edges and is
+        // unmeasurable by construction — that is a coverage property
+        // (visible in the sample counts), not a ranking failure.
+        let mut est: Vec<(u64, u32)> = reports
+            .iter()
+            .flat_map(|r| r.flows.iter().map(|f| (f.hist.mean(), f.flow)))
+            .filter(|&(_, flow)| {
+                reports
+                    .iter()
+                    .flat_map(|r| r.flows.iter())
+                    .any(|f| f.flow == flow && f.hist.count >= 8)
+            })
+            .collect();
+        est.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut by_truth: Vec<_> = truth
+            .iter()
+            .filter(|t| est.iter().any(|&(_, f)| f == t.flow))
+            .collect();
+        by_truth.sort_by(|a, b| b.rtt_ns.cmp(&a.rtt_ns).then(a.flow.cmp(&b.flow)));
+        if !by_truth.is_empty() {
+            let k = by_truth.len().div_ceil(10).max(1);
+            let want: std::collections::BTreeSet<u32> =
+                by_truth.iter().take(k).map(|t| t.flow).collect();
+            let got: std::collections::BTreeSet<u32> =
+                est.iter().take(k).map(|&(_, f)| f).collect();
+            recall = Some(want.intersection(&got).count() as f64 / k as f64);
+        }
+    }
+    let p50_err = (!errs.is_empty()).then(|| errs[errs.len() / 2]);
+    let truth_of = |flow: u32| truth.and_then(|t| t.get(flow as usize)).map(|t| t.rtt_ns);
+    // Slowest flows first — the answer to "who is the slow peer".
+    fn ranked(r: &printqueue::rtt::RttReport, top: usize) -> Vec<&printqueue::rtt::FlowRtt> {
+        let mut flows: Vec<_> = r.flows.iter().collect();
+        flows.sort_by(|a, b| b.hist.mean().cmp(&a.hist.mean()).then(a.flow.cmp(&b.flow)));
+        flows.truncate(top);
+        flows
+    }
+    if json {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"degraded\":{degraded},\"ports\":[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let c = &r.counters;
+            let _ = write!(
+                out,
+                "{{\"port\":{},\"samples\":{},\"flows\":{},\"min_t\":{},\"max_t\":{},\
+                 \"p50_ns\":{},\"p99_ns\":{},\"seq_samples\":{},\"spin_edges\":{},\
+                 \"collisions\":{},\"evictions\":{},\"sample_drops\":{},\"clipped\":{},\"top\":[",
+                r.port,
+                r.sample_count(),
+                r.flows.len(),
+                r.min_t,
+                r.max_t,
+                r.agg.p50(),
+                r.agg.p99(),
+                c.seq_samples,
+                c.spin_edges,
+                c.collisions,
+                c.evictions,
+                c.sample_drops,
+                r.clipped,
+            );
+            for (j, f) in ranked(r, top).into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"flow\":{},\"count\":{},\"mean_ns\":{},\"p99_ns\":{},\"truth_ns\":{}}}",
+                    f.flow,
+                    f.hist.count,
+                    f.hist.mean(),
+                    f.hist.p99(),
+                    truth_of(f.flow)
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "null".into()),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        let _ = write!(out, ",\"graded_flows\":{graded}");
+        let _ = write!(
+            out,
+            ",\"p50_err\":{}",
+            p50_err.map(|e| format!("{e:.6}")).unwrap_or("null".into())
+        );
+        let _ = write!(
+            out,
+            ",\"top_decile_recall\":{}",
+            recall.map(|r| format!("{r:.4}")).unwrap_or("null".into())
+        );
+        out.push('}');
+        println!("{out}");
+    } else {
+        for r in reports {
+            let c = &r.counters;
+            println!(
+                "rtt port {}: {} samples over [{}, {}], {} flows, p50 {} p99 {} \
+                 (seq {}, spin {}, collisions {}, evictions {}, drops {}){}",
+                r.port,
+                r.sample_count(),
+                r.min_t,
+                r.max_t,
+                r.flows.len(),
+                ms(r.agg.p50()),
+                ms(r.agg.p99()),
+                c.seq_samples,
+                c.spin_edges,
+                c.collisions,
+                c.evictions,
+                c.sample_drops,
+                if r.clipped { " [clipped]" } else { "" },
+            );
+            for f in ranked(r, top) {
+                let truth_col = match truth_of(f.flow) {
+                    Some(t) => {
+                        let err = (f.hist.mean() as f64 - t as f64).abs() / t as f64;
+                        format!("  truth {}  err {:.1}%", ms(t), 100.0 * err)
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "  flow {:>6}  count {:>5}  mean {}  p99 {}{}",
+                    f.flow,
+                    f.hist.count,
+                    ms(f.hist.mean()),
+                    ms(f.hist.p99()),
+                    truth_col,
+                );
+            }
+        }
+        if let (Some(err), Some(rec)) = (p50_err, recall) {
+            println!(
+                "accuracy: {graded} flows graded, p50 err {:.2}%, top-decile recall {rec:.2}",
+                100.0 * err
+            );
+        }
+        if degraded {
+            println!("degraded: collisions, evictions, drops, or truncation affected this answer");
+        }
     }
 }
 
@@ -2031,6 +2315,27 @@ fn watch_text(
     );
     if qps_hist.len() > 1 {
         let _ = writeln!(out, "  qps {}", qps_hist.sparkline(40));
+    }
+    // RTT row, present only when the daemon actually serves RTT data
+    // (`pq_rtt_samples_total` is the same series the CI floor gates).
+    let rtt_samples = sum_counter(server, telemetry::names::RTT_SAMPLES);
+    if rtt_samples > 0 {
+        let rtt_queries = sum_counter(server, telemetry::names::RTT_QUERIES);
+        let (mut p50, mut p99) = (0u64, 0u64);
+        for (key, value) in server.iter() {
+            if key.name == telemetry::names::RTT_SAMPLE_NS {
+                if let MetricValue::Histogram(h) = value {
+                    p50 = p50.max(h.p50());
+                    p99 = p99.max(h.p99());
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  rtt {rtt_samples} samples, {rtt_queries} queries, worst-port p50 {:.3}ms p99 {:.3}ms",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+        );
     }
     let statuses = engine.statuses();
     if statuses.is_empty() {

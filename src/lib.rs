@@ -45,7 +45,12 @@
 //!   space-saving top-k summary with explicit eviction accounting. The
 //!   daemon evaluates subscriptions on a dedicated thread and pushes
 //!   `StandingQueryResult` frames; the router fans a standing query to
-//!   every shard and merges per-window partials associatively.
+//!   every shard and merges per-window partials associatively;
+//! * [`rtt`] — passive RTT diagnosis: seq-match and QUIC spin-bit
+//!   detectors over a budgeted per-flow table of log2 RTT histograms,
+//!   canonical mergeable reports that spill into `.pqa` archives and
+//!   answer `Rtt` wire queries bit-identically through the router, and
+//!   a QUIC-like ground-truth workload generator.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +83,7 @@ pub use pq_baselines as baselines;
 pub use pq_core as core;
 pub use pq_packet as packet;
 pub use pq_router as router;
+pub use pq_rtt as rtt;
 pub use pq_serve as serve;
 pub use pq_store as store;
 pub use pq_stream as stream;

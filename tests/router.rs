@@ -110,6 +110,7 @@ fn spawn_fleet(
             Sources {
                 live: None,
                 archive: Some(replica.clone()),
+                rtt: Vec::new(),
             },
             cfg,
             &Telemetry::new(),
@@ -384,6 +385,7 @@ fn quarantined_backend_is_readmitted_by_the_probe() {
         Sources {
             live: None,
             archive: Some(replica),
+            rtt: Vec::new(),
         },
         ServeConfig {
             shard: "shard-late".to_string(),
@@ -454,6 +456,7 @@ fn client_retry_honors_busy_and_recovers() {
         Sources {
             live: None,
             archive: Some(path.clone()),
+            rtt: Vec::new(),
         },
         ServeConfig {
             max_conns: 1,

@@ -111,6 +111,7 @@ fn remote_replay_matches_local_bit_for_bit() {
         Sources {
             live: None,
             archive: Some(path.clone()),
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -166,6 +167,7 @@ fn remote_live_queries_match_in_process() {
         Sources {
             live: Some(Arc::clone(&ap)),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -219,6 +221,7 @@ fn corrupt_segment_stays_degraded_over_the_wire() {
         Sources {
             live: None,
             archive: Some(path.clone()),
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -250,6 +253,7 @@ fn remote_errors_carry_typed_codes_and_gaps() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -294,6 +298,7 @@ fn overload_sheds_with_busy_never_silently() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );
@@ -358,6 +363,7 @@ fn per_connection_inflight_cap_sheds_pipelined_requests() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );
@@ -420,6 +426,7 @@ fn shutdown_drains_admitted_requests() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );
@@ -490,6 +497,7 @@ fn health_answers_inline_and_reflects_config() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );
@@ -526,6 +534,7 @@ fn metrics_get_matches_prometheus_exposition() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -576,6 +585,7 @@ fn subscription_deltas_fold_to_server_state() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -636,6 +646,7 @@ fn subscriptions_beyond_cap_shed_busy() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );
@@ -659,6 +670,7 @@ fn shutdown_sends_subscribers_a_final_update() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         ServeConfig::default(),
     );
@@ -697,6 +709,7 @@ fn connection_cap_refuses_with_busy_at_accept() {
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
     );

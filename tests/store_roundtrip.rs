@@ -9,8 +9,8 @@ use printqueue::core::params::TimeWindowConfig;
 use printqueue::core::snapshot::QueryInterval;
 use printqueue::packet::FlowId;
 use printqueue::store::{
-    archives_to_pqa, ArchiveFormat, Recovery, SegmentPolicy, SharedStoreWriter, StoreReader,
-    StoreWriter,
+    archives_to_pqa, ship_archive, verify_replica, ArchiveFormat, Recovery, SegmentPolicy,
+    SharedStoreWriter, StoreReader, StoreWriter, KIND_CHECKPOINTS, KIND_RTT,
 };
 use printqueue::telemetry::{names, Telemetry};
 use proptest::prelude::*;
@@ -376,6 +376,143 @@ fn telemetry_counts_writes_reads_and_spans() {
         .find(|s| s.name == names::SPAN_REPLAY_QUERY)
         .expect("replay_query span recorded");
     assert_eq!((q.start, q.end), (interval.from, interval.to));
+}
+
+/// Rebuild port 0's checkpoints into a fresh store, optionally appending
+/// one raw segment of `kind` spanning sim-time 2 500–2 900.
+fn store_with_raw(kind: Option<u64>) -> Vec<u8> {
+    let ap = drive_program(None, 1_000);
+    let mut w = StoreWriter::new(Vec::new(), tw_small(), tiny_segments()).unwrap();
+    for cp in ap.checkpoints(0) {
+        w.push(0, cp).unwrap();
+    }
+    if let Some(kind) = kind {
+        w.push_raw(0, kind, 3, 2_500, 2_900, b"opaque future bytes")
+            .unwrap();
+    }
+    w.finish().unwrap()
+}
+
+#[test]
+fn unknown_kind_segments_skip_and_surface_as_distinct_gaps() {
+    let bytes = store_with_raw(Some(99));
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let mut plain = StoreReader::open(Cursor::new(store_with_raw(None))).unwrap();
+
+    // Index path and scan path (torn end magic) must agree.
+    let mut torn = bytes.clone();
+    let n = torn.len();
+    torn[n - 2] ^= 0xff;
+    for (src, want) in [(bytes.clone(), Recovery::Index), (torn, Recovery::Scan)] {
+        let mut reader = StoreReader::open(Cursor::new(src)).unwrap();
+        assert_eq!(reader.recovery(), want);
+        // The span is surfaced as an unknown-kind gap, not corruption.
+        assert_eq!(
+            reader.unknown_kind_gaps(),
+            &[(
+                0,
+                printqueue::core::control::CoverageGap {
+                    from: 2_500,
+                    to: 2_900
+                }
+            )]
+        );
+        assert!(!reader.tail_torn() || want == Recovery::Scan);
+        // Queries overlapping the span degrade with that gap...
+        let q = reader
+            .query(0, QueryInterval::new(2_400, 3_000), &coeffs)
+            .unwrap();
+        assert!(q.degraded);
+        assert!(q.gaps.iter().any(|g| g.from == 2_500 && g.to == 2_900));
+        // ...while queries elsewhere are bit-identical to a store that
+        // never carried the segment.
+        let early = QueryInterval::new(0, 500);
+        let a = plain.query(0, early, &coeffs).unwrap();
+        let b = reader.query(0, early, &coeffs).unwrap();
+        assert_eq!(a.estimates.counts, b.estimates.counts);
+        assert_eq!(a.gaps, b.gaps);
+        // read_port skips the segment but records the loss.
+        let archive = reader.read_port(0).unwrap();
+        assert!(archive
+            .gaps
+            .iter()
+            .any(|g| g.from == 2_500 && g.to == 2_900));
+        // Unknown segments never count as checkpoints.
+        assert_eq!(reader.checkpoint_count(0), plain.checkpoint_count(0));
+    }
+}
+
+#[test]
+fn rtt_segments_ride_along_without_gaps() {
+    let bytes = store_with_raw(Some(KIND_RTT));
+    let coeffs = Coefficients::compute(&tw_small(), 1);
+    let mut plain = StoreReader::open(Cursor::new(store_with_raw(None))).unwrap();
+
+    let mut torn = bytes.clone();
+    let n = torn.len();
+    torn[n - 2] ^= 0xff;
+    for src in [bytes.clone(), torn] {
+        let mut reader = StoreReader::open(Cursor::new(src)).unwrap();
+        // A known kind is data, not a gap.
+        assert!(reader.unknown_kind_gaps().is_empty());
+        let raw = reader.raw_segments(0, KIND_RTT);
+        assert_eq!(raw.len(), 1);
+        assert_eq!(
+            (raw[0].count, raw[0].min_t, raw[0].max_t),
+            (3, 2_500, 2_900)
+        );
+        assert_eq!(
+            reader.read_raw_body(&raw[0]).unwrap(),
+            b"opaque future bytes"
+        );
+        // Checkpoint queries are oblivious to the rider.
+        assert_eq!(reader.checkpoint_count(0), plain.checkpoint_count(0));
+        for interval in sweep_intervals() {
+            let a = plain.query(0, interval, &coeffs).unwrap();
+            let b = reader.query(0, interval, &coeffs).unwrap();
+            assert_eq!(a.estimates.counts, b.estimates.counts);
+            assert_eq!(a.gaps, b.gaps, "interval {interval:?}");
+        }
+        assert_eq!(
+            reader
+                .segments()
+                .iter()
+                .filter(|s| s.kind == KIND_CHECKPOINTS)
+                .count(),
+            plain.segments().len()
+        );
+    }
+}
+
+#[test]
+fn replication_verifies_raw_segments() {
+    let tmp =
+        |name: &str| std::env::temp_dir().join(format!("pq-rttrepl-{}-{name}", std::process::id()));
+    let bytes = store_with_raw(Some(KIND_RTT));
+    let src = tmp("src.pqa");
+    let dst = tmp("dst.pqa");
+    std::fs::write(&src, &bytes).unwrap();
+    ship_archive(&src, &dst).unwrap();
+    assert_eq!(verify_replica(&src, &dst).unwrap(), None);
+
+    // Same body, same bounds, different kind: not an equivalent replica.
+    let other = tmp("kind2.pqa");
+    std::fs::write(&other, store_with_raw(Some(2))).unwrap();
+    assert!(verify_replica(&src, &other).unwrap().is_some());
+
+    // A corrupted raw body must refuse to ship.
+    let clean = StoreReader::open(Cursor::new(bytes.clone())).unwrap();
+    let raw = clean.raw_segments(0, KIND_RTT)[0];
+    let mut corrupted = bytes;
+    corrupted[(raw.offset + raw.len - 8) as usize] ^= 0x01;
+    let bad = tmp("bad.pqa");
+    let bad_dst = tmp("bad-out.pqa");
+    std::fs::write(&bad, &corrupted).unwrap();
+    assert!(ship_archive(&bad, &bad_dst).is_err());
+    assert!(!bad_dst.exists());
+    for p in [src, dst, other, bad] {
+        std::fs::remove_file(p).ok();
+    }
 }
 
 proptest! {

@@ -69,6 +69,7 @@ fn serve_live(ap: Arc<AnalysisProgram>, config: ServeConfig) -> (ServerHandle, T
         Sources {
             live: Some(ap),
             archive: None,
+            rtt: Vec::new(),
         },
         config,
         &plane,

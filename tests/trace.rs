@@ -102,6 +102,7 @@ fn spawn_traced_fleet(
             Sources {
                 live: None,
                 archive: Some(replica.clone()),
+                rtt: Vec::new(),
             },
             cfg,
             &plane,

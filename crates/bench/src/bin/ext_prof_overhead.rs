@@ -1,0 +1,191 @@
+//! Extension experiment: per-packet cost of the continuous profiler.
+//!
+//! Replays the same workload through the switch + PrintQueue stack in
+//! three modes — profiler fully detached (scopes and lock stats off),
+//! attached but not sampling (scopes enabled, the production default
+//! once `--prof` is passed), and sampling at the production fleet period (5 ms, the CI prof smoke's `--prof-sample-ms`) — and reports the
+//! per-packet wall time of each. The headline acceptance numbers are
+//! the *attached* overhead (must stay under 2%: a disabled scope guard
+//! is one relaxed atomic load, an enabled one two `Instant` reads and a
+//! handful of relaxed adds on leaked statics) and the *sampling*
+//! overhead (under 5%: the ticker thread walks seqlock-published stacks
+//! without ever stopping the mutators). Rounds are interleaved (one rep
+//! of each mode per round) so clock drift and cache warmth hit all
+//! modes equally, mirroring `ext_telemetry_overhead`. CI gates these
+//! numbers, so the overhead estimator must survive a noisy shared
+//! runner: machine speed drifts *multiplicatively* across a run
+//! (frequency governors, co-tenants), which an unpaired median or min
+//! cannot cancel. Instead each round yields a paired ratio — this
+//! round's attached (or sampling) time over this round's detached time,
+//! measured back-to-back on the same machine state — and the reported
+//! overhead is the median of those ratios.
+
+use pq_bench::report::{write_json_with_meta, CommonArgs, Table};
+use pq_core::params::TimeWindowConfig;
+use pq_core::printqueue::{PrintQueue, PrintQueueConfig};
+use pq_switch::{QueueHooks, Switch, SwitchConfig};
+use pq_trace::workload::{GeneratedTrace, Workload, WorkloadKind};
+use serde::{Serialize, Value};
+use std::time::{Duration, Instant};
+
+const MIN_PKT_TX_DELAY: u64 = 110;
+
+/// Sampling period for the Sampling mode: the production period the CI
+/// prof smoke runs its fleet at. (1 ms works too, but on a single-core
+/// box a 1 kHz ticker's wakeup interference — not the sampling work —
+/// dominates what the budget is meant to measure.)
+const SAMPLE_MS: u64 = 5;
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Mode {
+    /// Seed behavior: scopes off, lock stats off, no sampler.
+    Detached,
+    /// Scopes and lock stats recording, no stack sampler.
+    Attached,
+    /// Attached plus the stack-sampling ticker at the fleet period.
+    Sampling,
+}
+
+fn tw() -> TimeWindowConfig {
+    // The paper's WS/DM data-plane configuration (§7.1).
+    TimeWindowConfig::new(6, 1, 10, 3)
+}
+
+/// One full replay; returns wall nanoseconds per packet. The profiler
+/// is process-global, so each rep flips the global switches for its
+/// mode and resets accumulated state afterwards to keep reps
+/// independent.
+fn run_once(trace: &GeneratedTrace, mode: Mode) -> f64 {
+    pq_prof::set_enabled(mode != Mode::Detached);
+    pq_prof::set_lock_stats(mode != Mode::Detached);
+    if mode == Mode::Sampling {
+        pq_prof::start_sampler(Duration::from_millis(SAMPLE_MS));
+    }
+    let tw = tw();
+    let mut pq = PrintQueue::new(PrintQueueConfig::single_port(tw, MIN_PKT_TX_DELAY));
+    let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+    let start = Instant::now();
+    {
+        let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+        sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as f64;
+    if mode == Mode::Sampling {
+        pq_prof::stop_sampler();
+    }
+    pq_prof::set_enabled(false);
+    pq_prof::set_lock_stats(true);
+    pq_prof::reset();
+    elapsed_ns / trace.packets() as f64
+}
+
+fn min_ns(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Median of per-round `mode / detached` ratios, as an overhead
+/// percentage. Pairing within a round cancels the multiplicative
+/// machine-speed drift that dominates between rounds.
+fn paired_overhead_pct(mode: &[f64], detached: &[f64]) -> f64 {
+    let mut ratios: Vec<f64> = mode.iter().zip(detached).map(|(m, d)| m / d).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+#[derive(Serialize)]
+struct Results {
+    packets: u64,
+    reps: usize,
+    detached_ns_per_pkt: f64,
+    attached_ns_per_pkt: f64,
+    sampling_ns_per_pkt: f64,
+    attached_overhead_pct: f64,
+    sampling_overhead_pct: f64,
+    attached_within_2pct: bool,
+    sampling_within_5pct: bool,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (duration_ms, reps): (u64, usize) = if args.quick { (20, 5) } else { (60, 9) };
+    let trace =
+        Workload::paper_testbed(WorkloadKind::Ws, duration_ms * 1_000_000, args.seed).generate();
+    eprintln!(
+        "[ext_prof_overhead] {} packets, min of {reps} interleaved reps",
+        trace.packets()
+    );
+
+    // Warmup rep of each mode (first-touch page faults, branch training,
+    // scope-site interning).
+    for mode in [Mode::Detached, Mode::Attached, Mode::Sampling] {
+        run_once(&trace, mode);
+    }
+    let mut detached = Vec::with_capacity(reps);
+    let mut attached = Vec::with_capacity(reps);
+    let mut sampling = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        detached.push(run_once(&trace, Mode::Detached));
+        attached.push(run_once(&trace, Mode::Attached));
+        sampling.push(run_once(&trace, Mode::Sampling));
+    }
+    // The ns/pkt columns are best-case (min) throughput per mode; the
+    // gated overheads come from the paired per-round ratios.
+    let detached_ns = min_ns(&detached);
+    let attached_ns = min_ns(&attached);
+    let sampling_ns = min_ns(&sampling);
+    let attached_pct = paired_overhead_pct(&attached, &detached);
+    let sampling_pct = paired_overhead_pct(&sampling, &detached);
+
+    let mut table = Table::new(vec!["mode", "ns/pkt", "overhead"]);
+    table.row(vec![
+        "detached".to_string(),
+        format!("{detached_ns:.1}"),
+        "-".to_string(),
+    ]);
+    table.row(vec![
+        "attached, not sampling".to_string(),
+        format!("{attached_ns:.1}"),
+        format!("{attached_pct:+.2}%"),
+    ]);
+    table.row(vec![
+        format!("sampling at {SAMPLE_MS}ms"),
+        format!("{sampling_ns:.1}"),
+        format!("{sampling_pct:+.2}%"),
+    ]);
+    table.print("Extension — continuous profiler per-packet overhead");
+    let results = Results {
+        packets: trace.packets() as u64,
+        reps,
+        detached_ns_per_pkt: detached_ns,
+        attached_ns_per_pkt: attached_ns,
+        sampling_ns_per_pkt: sampling_ns,
+        attached_overhead_pct: attached_pct,
+        sampling_overhead_pct: sampling_pct,
+        attached_within_2pct: attached_pct < 2.0,
+        sampling_within_5pct: sampling_pct < 5.0,
+    };
+    // The overhead percentages ride in the meta block too, so any
+    // consumer of the results file sees the qualification without
+    // parsing the rows.
+    write_json_with_meta(
+        "ext_prof_overhead",
+        &results,
+        true,
+        vec![
+            (
+                "overhead_attached_pct".to_string(),
+                Value::F64(attached_pct),
+            ),
+            (
+                "overhead_sampling_pct".to_string(),
+                Value::F64(sampling_pct),
+            ),
+        ],
+    );
+    if !results.attached_within_2pct {
+        eprintln!("WARNING: attached-profiler overhead {attached_pct:.2}% exceeds the 2% budget");
+    }
+    if !results.sampling_within_5pct {
+        eprintln!("WARNING: sampling-profiler overhead {sampling_pct:.2}% exceeds the 5% budget");
+    }
+}

@@ -309,6 +309,15 @@ pub struct AnalysisProgram {
     telemetry: Telemetry,
     /// Pre-resolved control-plane counter handles into `telemetry`.
     counters: ControlCounters,
+    /// Serialises the freeze-and-read critical section. The simulation
+    /// is single-threaded today, so this never blocks — it exists as
+    /// the *measurement point*: pq-prof publishes its wait/hold times
+    /// as `pq_lock_wait_ns{lock="freeze"}` / `pq_lock_hold_ns`, the
+    /// before/after evidence the ROADMAP lock-removal refactor (item 2)
+    /// names as its success criterion. Poisoning (a reader panicking
+    /// mid-freeze) is recovered and surfaced as a [`CoverageGap`], not
+    /// propagated — a panicked worker must not wedge the control loop.
+    freeze_gate: pq_prof::PqMutex<()>,
     /// Cumulative register entries read by the control plane (for the
     /// bandwidth model).
     pub entries_read: u64,
@@ -390,6 +399,7 @@ impl AnalysisProgram {
             spill: None,
             telemetry,
             counters,
+            freeze_gate: pq_prof::PqMutex::new("freeze", ()),
             tw_config,
             control,
             entries_read: 0,
@@ -672,6 +682,22 @@ impl AnalysisProgram {
         trigger: Option<QueryInterval>,
         dropped: bool,
     ) {
+        pq_prof::scope!("control/freeze_read");
+        let gate = self.freeze_gate.lock();
+        if gate.was_poisoned() {
+            // A reader died mid-freeze. Recover, but surface the event
+            // the way every other degradation surfaces: a coverage gap
+            // at the recovery instant (zero-length — no history was
+            // provably lost, but the record and the counters mark it).
+            let gap = CoverageGap { from: now, to: now };
+            self.counters.coverage_gaps.inc();
+            if let Some(sink) = self.spill.as_mut() {
+                if sink.on_gap(self.ports[i].0, gap).is_err() {
+                    self.counters.spill_errors.inc();
+                }
+            }
+            self.gaps[i].push(gap);
+        }
         let regs = &mut self.ports[i].1;
         if on_demand {
             // The special set stays locked for the duration of the read;
@@ -683,6 +709,7 @@ impl AnalysisProgram {
         let windows = TimeWindowSnapshot::capture(&regs.time_windows);
         let queue_monitors: Vec<QueueMonitorSnapshot> =
             regs.queue_monitors.iter().map(|m| m.snapshot()).collect();
+        drop(gate);
 
         // Bandwidth accounting: every cell of every window (8 B) plus every
         // queue-monitor entry (16 B: two halves of flow+seq). The bytes
@@ -905,6 +932,37 @@ mod tests {
             1,
             1,
         )
+    }
+
+    #[test]
+    fn poisoned_freeze_gate_recovers_and_records_a_gap() {
+        let mut ap = program(64);
+        // Panic while holding the freeze gate from another thread: the
+        // next freeze-and-read must recover (not panic or wedge) and
+        // surface the event as a CoverageGap.
+        std::thread::scope(|s| {
+            let gate = &ap.freeze_gate;
+            let _ = s
+                .spawn(move || {
+                    let _g = gate.lock();
+                    panic!("die mid-freeze");
+                })
+                .join();
+        });
+        assert!(ap.coverage_gaps(0).is_empty());
+        ap.on_tick(64);
+        assert!(
+            !ap.checkpoints(0).is_empty(),
+            "freeze-and-read still stores checkpoints after poisoning"
+        );
+        let gaps = ap.coverage_gaps(0);
+        assert_eq!(gaps.len(), 1, "poisoning surfaced as a coverage gap");
+        assert_eq!(gaps[0].from, gaps[0].to, "recovery gap is zero-length");
+        let snap = ap.telemetry().snapshot();
+        assert!(
+            snap.counter_sum(names::CONTROL_COVERAGE_GAPS) >= 1,
+            "gap counter incremented"
+        );
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Optional counting allocator attributing allocations to scopes.
+//!
+//! [`CountingAlloc`] wraps the system allocator. When tracking is on,
+//! every allocation adds one count and its size to the innermost active
+//! profiling scope on the allocating thread (via the same thread-local
+//! pointer the scope guards maintain). The hook is reentrancy-safe by
+//! construction: it performs only relaxed atomic adds on leaked stats
+//! and probes a const-initialised TLS cell, so it can never allocate —
+//! and `try_with` keeps it sound during thread teardown.
+//!
+//! Install it in a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pq_prof::CountingAlloc = pq_prof::CountingAlloc;
+//! ```
+//!
+//! and arm it at runtime with [`set_alloc_tracking`]. Off (the default)
+//! the overhead is one relaxed load per allocation.
+
+use crate::scope;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ALLOC_TRACK: AtomicBool = AtomicBool::new(false);
+
+/// Arm or disarm allocation attribution. Only has an effect in binaries
+/// that installed [`CountingAlloc`] as their global allocator.
+pub fn set_alloc_tracking(on: bool) {
+    ALLOC_TRACK.store(on, Ordering::Relaxed);
+}
+
+/// Is allocation attribution armed?
+#[inline]
+pub fn alloc_tracking() -> bool {
+    ALLOC_TRACK.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note(bytes: usize) {
+    if !alloc_tracking() {
+        return;
+    }
+    let stat = scope::current_stat();
+    if !stat.is_null() {
+        // Safety: scope stats are leaked &'static cells.
+        unsafe { &*stat }.note_alloc(bytes as u64);
+    }
+}
+
+/// System-allocator wrapper that attributes allocations to the
+/// innermost profiling scope.
+pub struct CountingAlloc;
+
+// Safety: defers every allocation to `System` unchanged; the counting
+// side effect touches only atomics and never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && new_size > layout.size() {
+            note(new_size - layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

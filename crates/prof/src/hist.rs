@@ -1,0 +1,234 @@
+//! Atomic log2-bucketed histogram, bucket-compatible with pq-telemetry.
+//!
+//! pq-prof is dependency-free (it sits *below* pq-telemetry so the
+//! telemetry plane can re-export profiler series), so it carries its own
+//! histogram — but the bucketing scheme is byte-for-byte the one in
+//! `pq_telemetry::histogram`: bucket 0 holds the value 0 and bucket
+//! `i >= 1` holds `[2^(i-1), 2^i - 1]`. That makes converting a
+//! [`HistSnapshot`] into a telemetry `HistogramSnapshot` a lossless field
+//! copy, and it means lock-wait p99s computed here agree with the ones
+//! `pqsim telemetry` computes after the conversion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count shared with `pq_telemetry::NUM_BUCKETS`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Which bucket a value lands in (0 for 0, else `64 - leading_zeros`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    match v {
+        0 => 0,
+        n => 64 - n.leading_zeros() as usize,
+    }
+}
+
+/// The smallest value bucket `i` can hold.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        n => 1u64 << (n - 1),
+    }
+}
+
+/// The largest value bucket `i` can hold (`u64::MAX` for the last).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        n => (1u64 << n) - 1,
+    }
+}
+
+/// Lock-free recording histogram. Recording is a handful of relaxed
+/// atomic adds; snapshotting is a relaxed sweep.
+pub struct Hist {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Hist {
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Record one sample. Lock-free, alloc-free, thread-safe.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every cell (tests and benches only; concurrent recorders may
+    /// interleave, which is fine for those callers).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data histogram state; merges element-wise, so merging is
+/// associative and commutative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; NUM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another snapshot in (element-wise sums, min/max extremes).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Approximate quantile by cumulative bucket walk with linear
+    /// interpolation inside the landing bucket, clamped to `[min, max]`
+    /// — the same estimator pq-telemetry uses, so p99s agree.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min.min(self.max), self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Internal consistency: bucket counts sum to `count`, and min/max
+    /// are coherent with occupancy. Decoders reject snapshots that fail
+    /// this, so hostile bytes cannot smuggle an inconsistent histogram.
+    pub fn is_consistent(&self) -> bool {
+        let total: u64 = self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        if total != self.count {
+            return false;
+        }
+        if self.count == 0 {
+            return self.min == u64::MAX && self.max == 0 && self.sum == 0;
+        }
+        self.min <= self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_match_telemetry_scheme() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_snapshot_merge() {
+        let h = Hist::new();
+        h.record(0);
+        h.record(5);
+        h.record(1000);
+        let a = h.snapshot();
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1005);
+        assert_eq!(a.min, 0);
+        assert_eq!(a.max, 1000);
+        assert!(a.is_consistent());
+
+        let mut m = a.clone();
+        m.merge(&a);
+        assert_eq!(m.count, 6);
+        assert_eq!(m.sum, 2010);
+        assert!(m.is_consistent());
+        assert_eq!(HistSnapshot::default().quantile(0.99), 0);
+        assert!(a.p99() <= 1000);
+        assert!(a.p50() <= a.p99());
+    }
+}

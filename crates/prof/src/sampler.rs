@@ -1,0 +1,168 @@
+//! Background ticker that folds live scope stacks into collapsed form.
+//!
+//! Every tick the sampler walks the thread registry, takes a seqlock
+//! read of each live thread's scope stack, and increments that stack's
+//! count in a bounded map — exactly the "collapsed stack" format
+//! flamegraph tooling consumes (`outer;inner count`). Threads with an
+//! empty stack are idle and contribute nothing, so a quiesced process
+//! accumulates no samples and its profile dump is stable — the property
+//! the routed-dump byte-identity test leans on.
+//!
+//! The map is capped at [`MAX_DISTINCT_STACKS`]; overflow increments
+//! `samples_dropped` instead of growing without bound, and that counter
+//! is CI-gated so silent sample loss fails loudly.
+
+use crate::scope;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Most distinct collapsed stacks retained before counting drops.
+pub const MAX_DISTINCT_STACKS: usize = 8_192;
+
+static SAMPLES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static SAMPLES_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Collapsed stacks keyed by frame-id path (outermost first).
+static STACKS: Mutex<BTreeMap<Vec<u32>, u64>> = Mutex::new(BTreeMap::new());
+
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<()>,
+}
+
+static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
+
+/// Stack samples captured so far.
+pub fn samples_total() -> u64 {
+    SAMPLES_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Stack samples dropped because the collapsed-stack map was full.
+pub fn samples_dropped() -> u64 {
+    SAMPLES_DROPPED.load(Ordering::Relaxed)
+}
+
+/// Take one sampling pass over every live thread right now. Used by the
+/// ticker, and directly by tests that need determinism without a
+/// background thread.
+pub fn sample_once() {
+    for thread in scope::live_threads() {
+        let Some(frames) = thread.sample() else {
+            continue;
+        };
+        let mut stacks = STACKS.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(count) = stacks.get_mut(&frames) {
+            *count += 1;
+        } else if stacks.len() < MAX_DISTINCT_STACKS {
+            stacks.insert(frames, 1);
+        } else {
+            SAMPLES_DROPPED.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        SAMPLES_TOTAL.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Start the background sampling ticker. Idempotent: if a sampler is
+/// already running the call is a no-op (the process has one profile).
+pub fn start_sampler(period: Duration) {
+    let mut slot = SAMPLER.lock().unwrap_or_else(|p| p.into_inner());
+    if slot.is_some() {
+        return;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let period = period.max(Duration::from_micros(100));
+    let join = std::thread::Builder::new()
+        .name("pq-prof-sampler".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                sample_once();
+                std::thread::sleep(period);
+            }
+        })
+        .expect("spawn pq-prof sampler");
+    *slot = Some(Sampler { stop, join });
+}
+
+/// Stop the background sampler, if one is running, and wait for it.
+pub fn stop_sampler() {
+    let sampler = SAMPLER.lock().unwrap_or_else(|p| p.into_inner()).take();
+    if let Some(s) = sampler {
+        s.stop.store(true, Ordering::Relaxed);
+        let _ = s.join.join();
+    }
+}
+
+/// Is a background sampler currently running?
+pub fn sampler_running() -> bool {
+    SAMPLER.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+}
+
+/// Collapsed stacks with ids resolved to names, sorted by frame path.
+/// Frames whose id no longer resolves (a torn sample that slipped past
+/// the seq check) are dropped whole rather than misattributed.
+pub(crate) fn stacks_snapshot() -> Vec<(Vec<&'static str>, u64)> {
+    let stacks = STACKS.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = Vec::with_capacity(stacks.len());
+    for (frames, &count) in stacks.iter() {
+        let names: Vec<&'static str> = frames
+            .iter()
+            .filter_map(|&id| scope::stat_by_id(id).map(|s| s.name))
+            .collect();
+        if names.len() == frames.len() {
+            out.push((names, count));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clear captured stacks and sample counters (benches and tests).
+pub(crate) fn reset_sampler_state() {
+    STACKS.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    SAMPLES_TOTAL.store(0, Ordering::Relaxed);
+    SAMPLES_DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_once_collapses_active_stacks() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            crate::scope!("prof/sampler_outer");
+            {
+                crate::scope!("prof/sampler_inner");
+                sample_once();
+                sample_once();
+            }
+        }
+        crate::set_enabled(false);
+        let stacks = stacks_snapshot();
+        let found = stacks.iter().find(|(frames, _)| {
+            frames.len() >= 2
+                && frames[frames.len() - 2] == "prof/sampler_outer"
+                && frames[frames.len() - 1] == "prof/sampler_inner"
+        });
+        let (_, count) = found.expect("collapsed stack captured");
+        assert!(*count >= 2);
+        crate::reset();
+    }
+
+    #[test]
+    fn ticker_starts_and_stops() {
+        start_sampler(Duration::from_millis(1));
+        assert!(sampler_running());
+        // Idempotent second start.
+        start_sampler(Duration::from_millis(1));
+        stop_sampler();
+        assert!(!sampler_running());
+    }
+}

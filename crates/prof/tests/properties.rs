@@ -1,0 +1,189 @@
+//! Property tests for the profile codec and merge algebra.
+//!
+//! The router's scatter-gather leans on two laws: `decode(encode(r)) ==
+//! r` for canonical reports, and merge being associative and
+//! commutative — so a routed dump folded in any backend order encodes
+//! to the same bytes a client folding the same dumps produces.
+
+use pq_prof::hist::HistSnapshot;
+use pq_prof::{LockSnapshot, ProfileReport, ScopeEntry, StackEntry};
+use proptest::prelude::*;
+
+/// Short lowercase names like the real scope/lock literals.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..27, 1..16).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| if b == 26 { '/' } else { (b'a' + b) as char })
+            .collect()
+    })
+}
+
+/// A consistent histogram, built the way recording builds one.
+fn arb_hist() -> impl Strategy<Value = HistSnapshot> {
+    proptest::collection::vec(0u64..1_000_000, 0..8).prop_map(|samples| {
+        let mut h = HistSnapshot::default();
+        for v in samples {
+            h.buckets[pq_prof::bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        h
+    })
+}
+
+fn arb_scope() -> impl Strategy<Value = ScopeEntry> {
+    (
+        arb_name(),
+        0u64..10_000,
+        0u64..1_000_000_000,
+        0u64..1_000_000_000,
+        0u64..10_000,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(name, calls, total_ns, child_ns, allocs, alloc_bytes)| ScopeEntry {
+                name,
+                calls,
+                total_ns,
+                child_ns,
+                allocs,
+                alloc_bytes,
+            },
+        )
+}
+
+fn arb_lock() -> impl Strategy<Value = LockSnapshot> {
+    (
+        arb_name(),
+        0u64..10_000,
+        0u64..100,
+        0u64..3,
+        arb_hist(),
+        arb_hist(),
+    )
+        .prop_map(
+            |(name, acquisitions, contended, poisoned, wait, hold)| LockSnapshot {
+                name,
+                acquisitions,
+                contended,
+                poisoned,
+                wait,
+                hold,
+            },
+        )
+}
+
+fn arb_stack() -> impl Strategy<Value = StackEntry> {
+    (proptest::collection::vec(arb_name(), 1..5), 1u64..100_000)
+        .prop_map(|(frames, count)| StackEntry { frames, count })
+}
+
+/// A canonical report: sections sorted and deduped by key, the form
+/// `capture()` and `merge()` always produce.
+fn arb_report() -> impl Strategy<Value = ProfileReport> {
+    (
+        0u64..1_000_000,
+        0u64..1_000,
+        proptest::collection::vec(arb_scope(), 0..10),
+        proptest::collection::vec(arb_lock(), 0..5),
+        proptest::collection::vec(arb_stack(), 0..10),
+    )
+        .prop_map(
+            |(samples_total, samples_dropped, mut scopes, mut locks, mut stacks)| {
+                scopes.sort_by(|a, b| a.name.cmp(&b.name));
+                scopes.dedup_by(|a, b| a.name == b.name);
+                locks.sort_by(|a, b| a.name.cmp(&b.name));
+                locks.dedup_by(|a, b| a.name == b.name);
+                stacks.sort_by(|a, b| a.frames.cmp(&b.frames));
+                stacks.dedup_by(|a, b| a.frames == b.frames);
+                ProfileReport {
+                    samples_total,
+                    samples_dropped,
+                    scopes,
+                    locks,
+                    stacks,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(r in arb_report()) {
+        let bytes = r.encode();
+        let back = ProfileReport::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn truncation_never_decodes(r in arb_report(), cut in 1usize..64) {
+        let bytes = r.encode();
+        if cut < bytes.len() {
+            prop_assert!(ProfileReport::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn merge_commutes(a in arb_report(), b in arb_report()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.encode(), ba.encode());
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_report(), b in arb_report(), c in arb_report()) {
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.encode(), right.encode());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in arb_report()) {
+        let mut merged = a.clone();
+        merged.merge(&ProfileReport::default());
+        prop_assert_eq!(&merged, &a);
+        let mut other = ProfileReport::default();
+        other.merge(&a);
+        prop_assert_eq!(&other, &a);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decode(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ProfileReport::decode(&bytes);
+    }
+}
+
+#[test]
+fn hist_bucket_consistency_is_enforced() {
+    let mut r = ProfileReport::default();
+    let mut bad = HistSnapshot::default();
+    bad.buckets[3] = 5;
+    bad.count = 4; // buckets sum != count
+    bad.min = 4;
+    bad.max = 7;
+    r.locks.push(LockSnapshot {
+        name: "x".into(),
+        acquisitions: 1,
+        contended: 0,
+        poisoned: 0,
+        wait: bad,
+        hold: HistSnapshot::default(),
+    });
+    let bytes = r.encode();
+    assert!(ProfileReport::decode(&bytes).is_err());
+}

@@ -728,6 +728,52 @@ impl Shared {
         frames
     }
 
+    /// Route a profile dump: fan to **every** live backend in parallel,
+    /// decode each dump, and merge. `ProfileReport::merge` is
+    /// associative and commutative and `encode` is canonical, so the
+    /// routed bytes equal a client-side merge of the per-backend dumps
+    /// folded in any order. The router's own profile is deliberately
+    /// excluded — ask the router address with `pqsim prof` for fleet
+    /// numbers and a backend address for per-process ones; mixing the
+    /// two in one report would make the identity above unfalsifiable.
+    /// Quarantined backends are skipped, and a reachable backend
+    /// failing mid-dump is dropped from the merge; the request errors
+    /// only when *no* backend answered.
+    fn route_profile_dump(&self, id: u64) -> Vec<Frame> {
+        let results: Vec<Result<pq_prof::ProfileReport, ClientError>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..self.backends.len())
+                .filter(|&bi| !self.backends[bi].quarantined.load(Ordering::SeqCst))
+                .map(|bi| s.spawn(move || self.sub_call(bi, |client| client.profile_dump())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prof fan thread panicked"))
+                .collect()
+        });
+        self.instruments.fanout.record(results.len() as u64);
+        let mut merged = pq_prof::ProfileReport::default();
+        let mut answered = 0usize;
+        let mut last_err: Option<ClientError> = None;
+        for r in results {
+            match r {
+                Ok(p) => {
+                    merged.merge(&p);
+                    answered += 1;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if answered == 0 {
+            self.instruments.errors.inc();
+            let msg = match last_err {
+                Some(e) => format!("no backend answered the profile dump: {e}"),
+                None => "no live backend to profile".to_string(),
+            };
+            return vec![protocol_error(id, ErrorCode::Io, &msg)];
+        }
+        wire::prof_result_frames(id, &merged.encode())
+    }
+
     /// Route a standing query: fan a *stripped* copy (no predicate, no
     /// top-k) to **every** backend, merge each window's partials
     /// associatively, and evaluate the predicate on the merged
@@ -1420,6 +1466,10 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                     t.spans.truncate(wire::MAX_SPANS_PER_TRACE);
                 }
                 let _ = conn.send(&[Frame::TraceDumpAck { id, traces: out }]);
+            }
+            Frame::ProfileDumpReq { id } => {
+                let frames = shared.route_profile_dump(id);
+                let _ = conn.send(&frames);
             }
             Frame::HealthReq { id } => {
                 let health = shared.health_info();

@@ -9,7 +9,7 @@
 
 use crate::wire::{
     self, samples_to_snapshot, ErrorCode, Frame, HealthInfo, Request, ShardMap, StreamResult,
-    WireError, WireSample, MAX_FRAME_LEN, MAX_RTT_REPORT_LEN, PROTOCOL_VERSION,
+    WireError, WireSample, MAX_FRAME_LEN, MAX_PROF_DUMP_LEN, MAX_RTT_REPORT_LEN, PROTOCOL_VERSION,
 };
 use pq_core::control::CoverageGap;
 use pq_core::snapshot::FlowEstimates;
@@ -1018,6 +1018,86 @@ impl Client {
                 "expected TraceDumpAck, got {other:?}"
             ))),
         }
+    }
+
+    /// Fetch the peer's raw encoded profile dump (the `pq-prof`
+    /// canonical bytes, reassembled from chunks but not decoded). The
+    /// routed-dump byte-identity check compares these bytes directly. A
+    /// v1 peer answers with a protocol error, surfaced as
+    /// [`ClientError::Remote`].
+    pub fn profile_dump_bytes(&mut self) -> Result<Vec<u8>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Frame::ProfileDumpReq { id })?;
+        let total = match self.read()? {
+            Frame::ProfHeader { id: got, total } => {
+                self.expect_id(got, id)?;
+                total as usize
+            }
+            Frame::Error {
+                id: got,
+                code,
+                gaps,
+                message,
+            } => {
+                if got != 0 {
+                    self.expect_id(got, id)?;
+                }
+                return Err(ClientError::Remote {
+                    code,
+                    message,
+                    gaps,
+                });
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected ProfHeader, got {other:?}"
+                )))
+            }
+        };
+        if total > MAX_PROF_DUMP_LEN as usize {
+            return Err(ClientError::Protocol(
+                "profile dump length exceeds cap".into(),
+            ));
+        }
+        let mut bytes: Vec<u8> = Vec::with_capacity(total);
+        loop {
+            match self.read()? {
+                Frame::ProfChunk { id: got, bytes: b } => {
+                    self.expect_id(got, id)?;
+                    if bytes.len() + b.len() > total {
+                        return Err(ClientError::Protocol(
+                            "more chunk bytes than the header announced".into(),
+                        ));
+                    }
+                    bytes.extend_from_slice(&b);
+                }
+                Frame::ResultEnd { id: got } => {
+                    self.expect_id(got, id)?;
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected prof chunk, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if bytes.len() != total {
+            return Err(ClientError::Protocol(format!(
+                "header announced {total} dump bytes, got {}",
+                bytes.len()
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Fetch and decode the peer's profile dump. A daemon answers with
+    /// its own process profile; a router answers with the merged dump of
+    /// all its live backends.
+    pub fn profile_dump(&mut self) -> Result<pq_prof::ProfileReport, ClientError> {
+        let bytes = self.profile_dump_bytes()?;
+        pq_prof::ProfileReport::decode(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("profile dump: {e}")))
     }
 
     /// Connect with the same bounded-retry treatment for accept-time

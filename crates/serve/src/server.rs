@@ -77,6 +77,14 @@ pub struct ServeConfig {
     /// Carried in `HealthAck` and `ShardMapAck` so a router — or an
     /// operator watching a mixed fleet — can tell backends apart.
     pub shard: String,
+    /// Enable the `pq-prof` continuous profiler at bind: scope timing
+    /// turns on and the daemon exports `pq_prof_*` / `pq_lock_*` series
+    /// on its metrics plane. Dump requests are answered either way —
+    /// with an empty report when profiling never ran.
+    pub prof: bool,
+    /// Stack-sampling period in milliseconds; 0 leaves the sampler off
+    /// (exact scope aggregation still runs when `prof` is set).
+    pub prof_sample_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +100,8 @@ impl Default for ServeConfig {
             work_delay: Duration::ZERO,
             max_subs: 16,
             shard: String::new(),
+            prof: false,
+            prof_sample_ms: 0,
         }
     }
 }
@@ -508,6 +518,17 @@ impl Server {
             reg.counter(names::RTT_SAMPLES, &labels)
                 .add(r.samples.len() as u64);
         }
+        // Profiling is process-global ("a process has one profile"),
+        // but only the process-owning plane exports it — a fleet of
+        // per-port planes merged downstream would double-count the
+        // shared globals.
+        if config.prof {
+            pq_prof::set_enabled(true);
+            plane.set_export_prof(true);
+            if config.prof_sample_ms > 0 {
+                pq_prof::start_sampler(Duration::from_millis(config.prof_sample_ms));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener
@@ -787,6 +808,15 @@ fn connection_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) -> io::Result<()> {
                 }
                 let _ = conn.send(&[Frame::TraceDumpAck { id, traces: out }]);
             }
+            Frame::ProfileDumpReq { id } => {
+                // Inline like a trace dump: a profile read is a diagnostic
+                // and must keep working when the worker pool is saturated.
+                // Serving it here also keeps the dump path outside the
+                // `serve/worker_exec` scope, so a dump never perturbs the
+                // numbers it reports.
+                let bytes = pq_prof::ProfileReport::capture().encode();
+                let _ = conn.send(&wire::prof_result_frames(id, &bytes));
+            }
             Frame::StandingQueryCancel { id, sub } => cancel_standing(shared, conn, id, sub),
             Frame::ShutdownReq { id } => {
                 let _ = conn.send(&[Frame::ShutdownAck { id }]);
@@ -925,15 +955,23 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // under worker_exec before either interval is closed.
                 let root_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
                 let exec_span = tracer.as_mut().map(ActiveTrace::reserve).unwrap_or(0);
-                let frames = execute(
-                    shared,
-                    &mut reader,
-                    job.id,
-                    req,
-                    echo,
-                    tracer.as_mut(),
-                    exec_span,
-                );
+                // The profiling scope closes with this block — before the
+                // answer is sent below — so a client that reads its result
+                // and immediately pulls a profile dump sees its own query's
+                // time (the same read-your-writes contract the request
+                // counters keep).
+                let frames = {
+                    pq_prof::scope!("serve/worker_exec");
+                    execute(
+                        shared,
+                        &mut reader,
+                        job.id,
+                        req,
+                        echo,
+                        tracer.as_mut(),
+                        exec_span,
+                    )
+                };
                 let exec_end_ns = shared.trace_clock.now_ns();
                 // Count before answering: a synchronous client that reads
                 // its result and immediately asks for metrics must see its
@@ -1338,6 +1376,9 @@ fn service_stream_sub(shared: &Arc<Shared>, live: &AnalysisProgram, sub: &mut St
     let mut ended = false;
     let mut closed = 0u64;
     for close in sub.state.drain() {
+        // One scope entry per closed window, so an idle tick records
+        // nothing: calls == windows materialized.
+        pq_prof::scope!("stream/window_close");
         shared.instruments.stream_windows_closed.inc();
         closed += 1;
         if close.forced {

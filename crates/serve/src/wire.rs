@@ -92,6 +92,16 @@ pub const RTT_BYTES_PER_FRAME: usize = 64 * 1024;
 /// `pq-rtt` codec) stays far below this.
 pub const MAX_RTT_REPORT_LEN: u32 = 16 << 20;
 
+/// Most payload bytes one `ProfChunk` frame may carry. An encoded
+/// `pq-prof` report travels exactly like an RTT report: an opaque byte
+/// blob split into bounded chunks.
+pub const PROF_BYTES_PER_FRAME: usize = 64 * 1024;
+
+/// Cap on the total encoded-dump length a [`Frame::ProfHeader`] may
+/// announce. Matches `pq_prof::MAX_ENCODED_LEN` so a header can never
+/// promise more than the codec itself would accept.
+pub const MAX_PROF_DUMP_LEN: u32 = 16 << 20;
+
 /// First byte of the optional RTT-aggregate suffix on a
 /// [`Frame::StandingQueryResult`]. Like the trace extension, absence
 /// encodes zero bytes — a result from a window that saw no RTT samples
@@ -425,6 +435,11 @@ pub enum Frame {
     /// Ask for the server's recent completed traces (newest first),
     /// `max`-bounded; `slow_only` restricts to the slow-query log.
     TraceDumpReq { id: u64, max: u32, slow_only: bool },
+    /// Ask for the server's profile dump (scopes, locks, sampled
+    /// stacks). Per-process like `TraceDumpReq` in spirit — but a
+    /// router answers with the *merged* dump of all its live backends,
+    /// its own profile excluded, so one request profiles the fleet.
+    ProfileDumpReq { id: u64 },
 
     // -- server → client ---------------------------------------------------
     /// Accepted version and frame cap (`min` of both sides).
@@ -535,6 +550,16 @@ pub enum Frame {
     },
     /// One bounded slice of an encoded RTT report.
     RttChunk { id: u64, bytes: Vec<u8> },
+    /// Start of a profile-dump answer: the report travels as the
+    /// `pq-prof` canonical encoding, split into [`Frame::ProfChunk`]
+    /// blobs of at most [`PROF_BYTES_PER_FRAME`] bytes and terminated
+    /// by `ResultEnd`. `total` is the byte length of the full encoding
+    /// (capped by [`MAX_PROF_DUMP_LEN`]); payload validation lives in
+    /// the `pq-prof` codec, which the client runs on the reassembled
+    /// bytes.
+    ProfHeader { id: u64, total: u32 },
+    /// One bounded slice of an encoded profile dump.
+    ProfChunk { id: u64, bytes: Vec<u8> },
 }
 
 /// Why a frame failed to decode.
@@ -789,6 +814,10 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, *max);
             out.push(u8::from(*slow_only));
         }
+        Frame::ProfileDumpReq { id } => {
+            out.push(0x0C);
+            put_u64(&mut out, *id);
+        }
         Frame::HelloAck { version, max_frame } => {
             out.push(0x81);
             put_u16(&mut out, *version);
@@ -1039,6 +1068,19 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             out.push(0x95);
             put_u64(&mut out, *id);
             debug_assert!(bytes.len() <= RTT_BYTES_PER_FRAME);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+        Frame::ProfHeader { id, total } => {
+            out.push(0x96);
+            put_u64(&mut out, *id);
+            debug_assert!(*total <= MAX_PROF_DUMP_LEN);
+            put_u32(&mut out, *total);
+        }
+        Frame::ProfChunk { id, bytes } => {
+            out.push(0x97);
+            put_u64(&mut out, *id);
+            debug_assert!(bytes.len() <= PROF_BYTES_PER_FRAME);
             put_u32(&mut out, bytes.len() as u32);
             out.extend_from_slice(bytes);
         }
@@ -1382,6 +1424,7 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             max: get_u32(cur)?,
             slow_only: get_u8(cur)? != 0,
         },
+        0x0C => Frame::ProfileDumpReq { id: get_u64(cur)? },
         0x81 => Frame::HelloAck {
             version: get_u16(cur)?,
             max_frame: get_u32(cur)?,
@@ -1699,6 +1742,30 @@ pub fn decode_body(mut body: &[u8]) -> Result<Frame, WireError> {
             *cur = rest;
             Frame::RttChunk { id, bytes }
         }
+        0x96 => {
+            let id = get_u64(cur)?;
+            let total = get_u32(cur)?;
+            if total > MAX_PROF_DUMP_LEN {
+                return Err(WireError::Malformed("profile dump length exceeds cap"));
+            }
+            Frame::ProfHeader { id, total }
+        }
+        0x97 => {
+            let id = get_u64(cur)?;
+            let n = get_u32(cur)? as usize;
+            if n > PROF_BYTES_PER_FRAME {
+                return Err(WireError::Malformed(
+                    "prof chunk exceeds bytes-per-frame cap",
+                ));
+            }
+            if n > cur.len() {
+                return Err(WireError::Malformed("count exceeds bytes present"));
+            }
+            let (head, rest) = cur.split_at(n);
+            let bytes = head.to_vec();
+            *cur = rest;
+            Frame::ProfChunk { id, bytes }
+        }
         _ => return Err(WireError::Malformed("unknown frame type")),
     };
     if !cur.is_empty() {
@@ -1790,6 +1857,31 @@ pub fn rtt_result_frames(
         trace,
     }];
     frames.extend(chunk_rtt(id, report_bytes));
+    frames.push(Frame::ResultEnd { id });
+    frames
+}
+
+/// Split an encoded profile dump into bounded `ProfChunk` frames.
+pub fn chunk_prof(id: u64, bytes: &[u8]) -> Vec<Frame> {
+    bytes
+        .chunks(PROF_BYTES_PER_FRAME)
+        .map(|c| Frame::ProfChunk {
+            id,
+            bytes: c.to_vec(),
+        })
+        .collect()
+}
+
+/// The full frame sequence answering a profile-dump request: header,
+/// chunks, end. The daemon and the router both answer through this one
+/// helper, so a routed (merged) dump is frame-for-frame identical to a
+/// local one given the same report bytes.
+pub fn prof_result_frames(id: u64, dump_bytes: &[u8]) -> Vec<Frame> {
+    let mut frames = vec![Frame::ProfHeader {
+        id,
+        total: dump_bytes.len() as u32,
+    }];
+    frames.extend(chunk_prof(id, dump_bytes));
     frames.push(Frame::ResultEnd { id });
     frames
 }
@@ -2379,6 +2471,72 @@ mod tests {
         body.extend_from_slice(&1u64.to_le_bytes());
         body.push(0);
         body.extend_from_slice(&(MAX_RTT_REPORT_LEN + 1).to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn prof_frames_round_trip() {
+        round_trip(&Frame::ProfileDumpReq { id: 51 });
+        round_trip(&Frame::ProfHeader { id: 51, total: 0 });
+        round_trip(&Frame::ProfHeader {
+            id: 51,
+            total: MAX_PROF_DUMP_LEN,
+        });
+        round_trip(&Frame::ProfChunk {
+            id: 51,
+            bytes: vec![],
+        });
+        round_trip(&Frame::ProfChunk {
+            id: 51,
+            bytes: (0..=255u8).collect(),
+        });
+        // The full answer sequence, and truncation never panics.
+        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        for f in prof_result_frames(51, &payload) {
+            round_trip(&f);
+            let body = encode_body(&f);
+            for cut in 0..body.len() {
+                assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn prof_payload_chunks_reassemble() {
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let frames = chunk_prof(9, &payload);
+        assert!(frames.len() > 1, "payload must span several chunks");
+        let mut back = Vec::new();
+        for f in &frames {
+            match decode_body(&encode_body(f)).expect("decode") {
+                Frame::ProfChunk { id, bytes } => {
+                    assert_eq!(id, 9);
+                    assert!(bytes.len() <= PROF_BYTES_PER_FRAME);
+                    back.extend_from_slice(&bytes);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn hostile_prof_frames_are_rejected() {
+        // Chunk length pointing past the bytes present.
+        let mut body = vec![0x97];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Chunk length over the per-frame cap.
+        let mut body = vec![0x97];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&(PROF_BYTES_PER_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+        // Header announcing a dump over the reassembly cap.
+        let mut body = vec![0x96];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&(MAX_PROF_DUMP_LEN + 1).to_le_bytes());
         assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
     }
 

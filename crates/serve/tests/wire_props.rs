@@ -6,7 +6,8 @@ use pq_core::control::CoverageGap;
 use pq_packet::FlowId;
 use pq_serve::wire::{
     decode_body, encode_body, read_frame, ErrorCode, Frame, HealthInfo, Request, ShardMap,
-    ShardMapEntry, WireError, WireSample, WireValue, MAX_FRAME_LEN, TRACE_EXT_LEN,
+    ShardMapEntry, WireError, WireSample, WireValue, MAX_FRAME_LEN, MAX_PROF_DUMP_LEN,
+    PROF_BYTES_PER_FRAME, TRACE_EXT_LEN,
 };
 use pq_telemetry::{BucketExemplar, Trace, TraceContext, TraceSpan, NUM_BUCKETS};
 use proptest::prelude::*;
@@ -345,6 +346,18 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .boxed(),
         (any::<u64>(), proptest::collection::vec(arb_trace(), 0..3))
             .prop_map(|(id, traces)| Frame::TraceDumpAck { id, traces })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|id| Frame::ProfileDumpReq { id })
+            .boxed(),
+        (any::<u64>(), 0u32..=MAX_PROF_DUMP_LEN)
+            .prop_map(|(id, total)| Frame::ProfHeader { id, total })
+            .boxed(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..PROF_BYTES_PER_FRAME.min(512))
+        )
+            .prop_map(|(id, bytes)| Frame::ProfChunk { id, bytes })
             .boxed(),
     ]
 }

@@ -457,6 +457,7 @@ impl<R: Read + Seek> StoreReader<R> {
     /// Decode one segment's checkpoints, verifying framing and CRC. The
     /// decode budget is fresh per segment (see [`Self::set_decode_budget`]).
     fn decode_segment(&mut self, meta: &SegmentMeta) -> io::Result<Vec<Checkpoint>> {
+        pq_prof::scope!("store/segment_decode");
         let mut budget = DecodeBudget::new(self.budget_bytes);
         self.src.seek(SeekFrom::Start(meta.offset))?;
         let mut frame = vec![0u8; meta.len as usize];

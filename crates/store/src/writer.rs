@@ -23,7 +23,7 @@ use pq_packet::Nanos;
 use pq_telemetry::{names, Counter, Histogram, Telemetry};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Segment rotation and retention knobs.
 #[derive(Debug, Clone, Copy)]
@@ -244,6 +244,7 @@ impl<W: Write> StoreWriter<W> {
 
     /// Seal `port`'s open segment (no-op when nothing is buffered).
     pub fn seal(&mut self, port: u16) -> io::Result<()> {
+        pq_prof::scope!("store/segment_encode");
         let Some(state) = self.ports.get_mut(&port) else {
             return Ok(());
         };
@@ -359,8 +360,16 @@ impl<W: Write> StoreWriter<W> {
 /// A clonable, `'static`, thread-safe handle to a [`StoreWriter`] usable
 /// as the analysis program's [`CheckpointSink`] while the caller retains
 /// the ability to [`finish`](SharedStoreWriter::finish) the file.
+///
+/// The interior mutex is pq-prof's instrumented facade under the name
+/// `store_writer`, so every checkpoint append publishes its wait/hold
+/// time as `pq_lock_wait_ns{lock="store_writer"}` — the contention
+/// evidence the ROADMAP "remove the `Arc<Mutex>` store writer" item
+/// needs before and after. Poisoning (a writer thread panicking mid-
+/// append) is recovered rather than propagated; the segment CRCs guard
+/// the file itself.
 pub struct SharedStoreWriter<W: Write> {
-    inner: Arc<Mutex<Option<StoreWriter<W>>>>,
+    inner: Arc<pq_prof::PqMutex<Option<StoreWriter<W>>>>,
 }
 
 impl<W: Write> Clone for SharedStoreWriter<W> {
@@ -375,7 +384,7 @@ impl<W: Write> SharedStoreWriter<W> {
     /// Wrap a writer for sharing.
     pub fn new(writer: StoreWriter<W>) -> SharedStoreWriter<W> {
         SharedStoreWriter {
-            inner: Arc::new(Mutex::new(Some(writer))),
+            inner: Arc::new(pq_prof::PqMutex::new("store_writer", Some(writer))),
         }
     }
 
@@ -385,7 +394,7 @@ impl<W: Write> SharedStoreWriter<W> {
 
     /// Run `f` against the writer (errors once finished).
     pub fn with<R>(&self, f: impl FnOnce(&mut StoreWriter<W>) -> R) -> io::Result<R> {
-        match self.inner.lock().unwrap().as_mut() {
+        match self.inner.lock().as_mut() {
             Some(w) => Ok(f(w)),
             None => Err(Self::closed()),
         }
@@ -393,7 +402,7 @@ impl<W: Write> SharedStoreWriter<W> {
 
     /// Finish the store, consuming the shared writer's interior.
     pub fn finish(&self) -> io::Result<W> {
-        match self.inner.lock().unwrap().take() {
+        match self.inner.lock().take() {
             Some(w) => w.finish(),
             None => Err(Self::closed()),
         }

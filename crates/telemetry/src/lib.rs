@@ -229,6 +229,32 @@ pub mod names {
     /// Committed traces evicted from the recent ring (counter).
     pub const TRACE_DROPPED: &str = "pq_trace_dropped_total";
 
+    // -- pq-prof (continuous profiler) --------------------------------------
+    /// Scope-stack samples captured by the profiling ticker (counter).
+    pub const PROF_SAMPLES: &str = "pq_prof_samples_total";
+    /// Stack samples dropped because the collapsed-stack map was full
+    /// (counter; CI-gated so silent sample loss fails loudly).
+    pub const PROF_SAMPLES_DROPPED: &str = "pq_prof_samples_dropped_total";
+    /// Exact per-scope self wall time, total minus named children
+    /// (counter, ns, label `scope`).
+    pub const PROF_SCOPE_SELF_NS: &str = "pq_prof_scope_self_ns_total";
+    /// Exact per-scope entry count (counter, label `scope`).
+    pub const PROF_SCOPE_CALLS: &str = "pq_prof_scope_calls_total";
+    /// Time from requesting a named lock to holding it (histogram, ns,
+    /// label `lock`) — the regression gate for the ROADMAP lock-removal
+    /// refactors.
+    pub const LOCK_WAIT_NS: &str = "pq_lock_wait_ns";
+    /// Time a named lock was held (histogram, ns, label `lock`).
+    pub const LOCK_HOLD_NS: &str = "pq_lock_hold_ns";
+    /// Acquisitions of a named lock (counter, label `lock`).
+    pub const LOCK_ACQUISITIONS: &str = "pq_lock_acquisitions_total";
+    /// Acquisitions that found the lock already held (counter, label
+    /// `lock`).
+    pub const LOCK_CONTENDED: &str = "pq_lock_contended_total";
+    /// Acquisitions that recovered a poisoned lock (counter, label
+    /// `lock`).
+    pub const LOCK_POISONED: &str = "pq_lock_poisoned_total";
+
     // -- cross-crate -------------------------------------------------------
     /// Build provenance carrier: constant 1, labels `version`, `commit`.
     pub const BUILD_INFO: &str = "pq_build_info";
@@ -312,6 +338,19 @@ pub mod names {
             RTT_SAMPLE_DROPS => "RTT samples or timestamps dropped to bounded state.",
             RTT_QUERIES => "RTT queries answered by a serve daemon.",
             RTT_MERGES => "RTT report merges performed while answering queries.",
+            PROF_SAMPLES => "Scope-stack samples captured by the profiling ticker.",
+            PROF_SAMPLES_DROPPED => {
+                "Stack samples dropped because the collapsed-stack map was full."
+            }
+            PROF_SCOPE_SELF_NS => {
+                "Exact per-scope self wall time in ns, total minus named children."
+            }
+            PROF_SCOPE_CALLS => "Exact per-scope entry count.",
+            LOCK_WAIT_NS => "Time from requesting a named lock to holding it, in ns.",
+            LOCK_HOLD_NS => "Time a named lock was held, in ns.",
+            LOCK_ACQUISITIONS => "Acquisitions of a named lock.",
+            LOCK_CONTENDED => "Acquisitions that found the lock already held.",
+            LOCK_POISONED => "Acquisitions that recovered a poisoned lock.",
             TRACE_SPANS_DROPPED => "Ring-buffer spans overwritten because the ring was full.",
             TRACE_COMMITTED => "Request traces committed to the per-process trace store.",
             TRACE_DROPPED => "Committed traces evicted from the recent-trace ring.",
@@ -377,6 +416,14 @@ pub struct Telemetry {
     registry: Registry,
     spans: Arc<SpanTracer>,
     traces: Arc<trace::TraceStore>,
+    /// When set, [`Telemetry::snapshot`] folds the process-global
+    /// pq-prof state (scope self times, lock wait/hold histograms,
+    /// sample counters) into the snapshot. Opt-in per plane: only the
+    /// plane that *owns* the process view (a serve daemon, a router, a
+    /// `pqsim` run) should set it — per-port fleet planes must not, or
+    /// a fleet-level merge would count the process profile once per
+    /// member.
+    export_prof: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl Telemetry {
@@ -411,6 +458,22 @@ impl Telemetry {
         self.spans.is_enabled()
     }
 
+    /// Fold the process-global profiler series (`pq_prof_*`,
+    /// `pq_lock_*`) into every future [`Telemetry::snapshot`] of this
+    /// plane. Set by the plane that owns the process view so lock-wait
+    /// p99s and scope hotspots are queryable through every existing
+    /// exposition path — the metrics wire, Prometheus text, `pqsim
+    /// telemetry --require`, and `pqsim watch`.
+    pub fn set_export_prof(&self, on: bool) {
+        self.export_prof
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Does this plane's snapshot carry the profiler series?
+    pub fn export_prof(&self) -> bool {
+        self.export_prof.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Snapshot every metric (plain data; mergeable, exportable).
     ///
     /// The snapshot also carries the tracing loss counters
@@ -433,7 +496,73 @@ impl Telemetry {
             MetricKey::new(names::TRACE_DROPPED, &[]),
             MetricValue::Counter(self.traces.dropped()),
         );
+        if self.export_prof() {
+            inject_prof(&mut snap);
+        }
         snap
+    }
+}
+
+/// Fold the process-global pq-prof state into a snapshot as ordinary
+/// registry series. Lock histograms convert losslessly — pq-prof uses
+/// the same 65-bucket log2 scheme — so `pq_lock_wait_ns{lock="freeze"}`
+/// quantiles computed downstream match the profiler's own.
+fn inject_prof(snap: &mut RegistrySnapshot) {
+    let prof = pq_prof::ProfileReport::capture();
+    snap.insert(
+        MetricKey::new(names::PROF_SAMPLES, &[]),
+        MetricValue::Counter(prof.samples_total),
+    );
+    snap.insert(
+        MetricKey::new(names::PROF_SAMPLES_DROPPED, &[]),
+        MetricValue::Counter(prof.samples_dropped),
+    );
+    for scope in &prof.scopes {
+        let labels = [("scope", scope.name.as_str())];
+        snap.insert(
+            MetricKey::new(names::PROF_SCOPE_SELF_NS, &labels),
+            MetricValue::Counter(scope.self_ns()),
+        );
+        snap.insert(
+            MetricKey::new(names::PROF_SCOPE_CALLS, &labels),
+            MetricValue::Counter(scope.calls),
+        );
+    }
+    for lock in &prof.locks {
+        let labels = [("lock", lock.name.as_str())];
+        snap.insert(
+            MetricKey::new(names::LOCK_ACQUISITIONS, &labels),
+            MetricValue::Counter(lock.acquisitions),
+        );
+        snap.insert(
+            MetricKey::new(names::LOCK_CONTENDED, &labels),
+            MetricValue::Counter(lock.contended),
+        );
+        snap.insert(
+            MetricKey::new(names::LOCK_POISONED, &labels),
+            MetricValue::Counter(lock.poisoned),
+        );
+        snap.insert(
+            MetricKey::new(names::LOCK_WAIT_NS, &labels),
+            MetricValue::Histogram(Box::new(prof_hist(&lock.wait))),
+        );
+        snap.insert(
+            MetricKey::new(names::LOCK_HOLD_NS, &labels),
+            MetricValue::Histogram(Box::new(prof_hist(&lock.hold))),
+        );
+    }
+}
+
+/// Lossless pq-prof → pq-telemetry histogram conversion (identical
+/// bucketing; prof histograms carry no exemplars).
+fn prof_hist(h: &pq_prof::HistSnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        buckets: h.buckets,
+        count: h.count,
+        sum: h.sum,
+        min: h.min,
+        max: h.max,
+        exemplars: Vec::new(),
     }
 }
 
@@ -482,6 +611,31 @@ mod tests {
         });
         let snap = tel.clone().snapshot();
         assert_eq!(snap.counter(names::TRACE_COMMITTED, &[]), Some(1));
+    }
+
+    #[test]
+    fn export_prof_injects_lock_series() {
+        let _g = pq_prof::test_lock();
+        pq_prof::reset();
+        let m = pq_prof::PqMutex::new("telemetry_test_lock", 0u32);
+        *m.lock() += 1;
+        let tel = Telemetry::new();
+        // Off by default: no profiler series in the snapshot.
+        assert!(tel
+            .snapshot()
+            .counter(names::LOCK_ACQUISITIONS, &[("lock", "telemetry_test_lock")])
+            .is_none());
+        tel.set_export_prof(true);
+        let snap = tel.clone().snapshot();
+        assert_eq!(
+            snap.counter(names::LOCK_ACQUISITIONS, &[("lock", "telemetry_test_lock")]),
+            Some(1)
+        );
+        let wait = snap
+            .histogram(names::LOCK_WAIT_NS, &[("lock", "telemetry_test_lock")])
+            .expect("wait histogram exported");
+        assert_eq!(wait.count, 1);
+        pq_prof::reset();
     }
 
     #[test]

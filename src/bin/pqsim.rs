@@ -104,6 +104,16 @@
 //!   first. `--slow` keeps only slow-threshold traces (the slow-query
 //!   log), `--json` prints one JSON document per trace, and `--out`
 //!   writes a Chrome/Perfetto trace with one lane per process.
+//! * `prof --from ADDR[,ADDR...] [--top N] [--folded out.txt] [--json]`
+//!   Pull the continuous profiler's dump from running daemons/routers
+//!   (start them with `--prof [--prof-sample-ms N]`) and print the
+//!   top-N self-time scopes, per-lock wait/hold quantiles, and sampled
+//!   stacks. A router address answers with the merged dump of its live
+//!   backends. `--folded` writes collapsed stacks ready for
+//!   `flamegraph.pl` / inferno; `--json` prints the full report.
+//! * `prof FILE.pqtr [tw flags] [--sample-ms N] [...]`
+//!   Same report from a local replay: run the trace with profiling and
+//!   the stack sampler on, no fleet required.
 //! * `serve-stop ADDR`
 //!   Ask a running daemon to drain in-flight queries and exit.
 //!
@@ -157,10 +167,12 @@ fn usage() -> ! {
          \x20         [--workers N] [--queue-cap N] [--inflight N] [--max-conns N]\n  \
          \x20         [--cache-mb MB] [--work-delay-ms N] [--shard NAME]\n  \
          \x20         [--addr-file PATH] [--metrics-file PATH] [trace flags]\n  \
+         \x20         [--prof] [--prof-sample-ms N]\n  \
          pqsim router --backends name=addr[,name=addr...] [--listen ADDR]\n  \
          \x20         [--replication N] [--epoch-ns N] [--quarantine-after N]\n  \
          \x20         [--probe-ms N] [--connect-ms N] [--io-ms N] [--max-conns N]\n  \
          \x20         [--addr-file PATH] [--metrics-file PATH] [trace flags]\n  \
+         \x20         [--prof] [--prof-sample-ms N]\n  \
          \x20         (trace flags: --trace | --trace-sample P | --trace-slow-ms N\n  \
          \x20          | --trace-out FILE.jsonl)\n  \
          pqsim replicate SRC.pqa DST.pqa\n  \
@@ -173,6 +185,9 @@ fn usage() -> ! {
          \x20         [--max-flows N] [--top N] [--json]\n  \
          pqsim trace --from ADDR[,ADDR...]|--files F.jsonl[,...] [--top N]\n  \
          \x20         [--slow] [--out chrome.json] [--json]\n  \
+         pqsim prof --from ADDR[,ADDR...] [--top N] [--folded FILE] [--json]\n  \
+         pqsim prof FILE.pqtr [tw flags] [--sample-ms N] [--top N]\n  \
+         \x20         [--folded FILE] [--json]\n  \
          pqsim watch ADDR [--interval-ms N] [--updates N] [--rules FILE]\n  \
          \x20         [--once] [--json]\n  \
          pqsim stream ADDR --query Q [--cap N] [--windows N] [--once] [--json]\n  \
@@ -183,7 +198,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet", "json", "once", "trace", "slow"];
+const BOOL_FLAGS: &[&str] = &["quiet", "json", "once", "trace", "slow", "prof"];
 
 /// Minimal flag parser: `--name value` pairs, boolean `--name` switches,
 /// and positional arguments.
@@ -255,6 +270,7 @@ fn main() {
         "query" => cmd_query(&args),
         "rtt" => cmd_rtt(&args),
         "trace" => cmd_trace(&args),
+        "prof" => cmd_prof(&args),
         "watch" => cmd_watch(&args),
         "stream" => cmd_stream(&args),
         "serve-stop" => cmd_serve_stop(&args),
@@ -330,6 +346,12 @@ fn attach_telemetry(
 ) -> Result<(Telemetry, SharedStoreWriter<std::io::Sink>), String> {
     let plane = Telemetry::new();
     plane.set_tracing(true);
+    // `run`/`telemetry` own their process, so the plane exports the
+    // profiler's series; scopes record so `--require` can gate on
+    // `pq_prof_scope_self_ns_total{scope="switch/run"}` and the lock
+    // facade's wait/hold histograms.
+    printqueue::prof::set_enabled(true);
+    plane.set_export_prof(true);
     pq.set_telemetry(&plane);
     sw.set_telemetry(&plane);
     // Stream checkpoints into a discarding store: `run` archives nothing,
@@ -1065,6 +1087,8 @@ fn cmd_serve(args: &Args) -> CliResult {
         work_delay: std::time::Duration::from_millis(args.get("work-delay-ms", 0)),
         max_subs: args.get("max-subs", 16),
         shard: args.get_str("shard").unwrap_or_default().to_string(),
+        prof: args.has("prof") || args.get::<u64>("prof-sample-ms", 0) > 0,
+        prof_sample_ms: args.get("prof-sample-ms", 0),
     };
     let plane = Telemetry::new();
     printqueue::telemetry::provenance::set_build_info(
@@ -1140,6 +1164,17 @@ fn cmd_router(args: &Args) -> CliResult {
         &printqueue::telemetry::provenance::git_commit(),
     );
     configure_tracing(args, &plane)?;
+    // The router profiles like a daemon does: process-global scopes on,
+    // `pq_prof_*` series on its own plane. Its dump answer stays the
+    // merged backends-only report either way.
+    if args.has("prof") || args.get::<u64>("prof-sample-ms", 0) > 0 {
+        printqueue::prof::set_enabled(true);
+        plane.set_export_prof(true);
+        let sample_ms: u64 = args.get("prof-sample-ms", 0);
+        if sample_ms > 0 {
+            printqueue::prof::start_sampler(std::time::Duration::from_millis(sample_ms));
+        }
+    }
     progress!(
         "routing across {} backend(s), replication {}",
         backends.len(),
@@ -1773,6 +1808,87 @@ fn cmd_trace(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_prof(args: &Args) -> CliResult {
+    use printqueue::prof::ProfileReport;
+    let top: usize = args.get("top", 10);
+    let json = args.has("json");
+
+    let report = if let Some(from) = args.get_str("from") {
+        // Remote: fetch each peer's dump and fold. A router address
+        // already answers with its backends' merged dump — merging here
+        // too lets one invocation span several routers, or mix routers
+        // with standalone daemons, because the fold is associative and
+        // commutative no matter how the dumps were grouped upstream.
+        use printqueue::serve::Client;
+        let mut merged = ProfileReport::default();
+        let mut fetched = 0usize;
+        for addr in from.split(',').filter(|s| !s.is_empty()) {
+            let mut client =
+                Client::connect(addr).map_err(|err| format!("connect {addr}: {err}"))?;
+            let dump = client
+                .profile_dump()
+                .map_err(|err| format!("profile {addr}: {err}"))?;
+            progress!(
+                "{addr}: {} scopes, {} locks, {} stacks, {} samples",
+                dump.scopes.len(),
+                dump.locks.len(),
+                dump.stacks.len(),
+                dump.samples_total,
+            );
+            merged.merge(&dump);
+            fetched += 1;
+        }
+        if fetched == 0 {
+            return Err("--from needs at least one address".into());
+        }
+        merged
+    } else {
+        // Local: replay a trace with the profiler attached — the
+        // walkthrough path that ends in a flamegraph without needing a
+        // running fleet.
+        let trace = load_trace(args)?;
+        let sample_ms: u64 = args.get("sample-ms", 1);
+        let m0: u8 = args.get("m0", 6);
+        let alpha: u8 = args.get("alpha", 2);
+        let k: u8 = args.get("k", 12);
+        let t: u8 = args.get("t", 4);
+        let d: u64 = args.get("d", 110);
+        let tw = TimeWindowConfig::new(m0, alpha, k, t);
+        printqueue::prof::reset();
+        printqueue::prof::set_enabled(true);
+        if sample_ms > 0 {
+            printqueue::prof::start_sampler(std::time::Duration::from_millis(sample_ms));
+        }
+        let mut pq = PrintQueue::new(PrintQueueConfig::single_port(tw, d));
+        let mut sw = Switch::new(SwitchConfig::single_port(10.0, 32_768));
+        let (_plane, handle) = attach_telemetry(&mut pq, &mut sw, tw)?;
+        progress!(
+            "replaying {} packets with the profiler attached",
+            trace.packets()
+        );
+        {
+            let mut hooks: Vec<&mut dyn QueueHooks> = vec![&mut pq];
+            sw.run(trace.arrivals.iter().copied(), &mut hooks, tw.set_period());
+        }
+        handle
+            .finish()
+            .map_err(|err| format!("profiling store finish: {err}"))?;
+        printqueue::prof::stop_sampler();
+        ProfileReport::capture()
+    };
+
+    if let Some(path) = args.get_str("folded") {
+        std::fs::write(path, report.folded()).map_err(|err| format!("write {path}: {err}"))?;
+        progress!("collapsed stacks written to {path} (flamegraph.pl / inferno input)");
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render(top));
+    }
+    Ok(())
+}
+
 fn cmd_watch(args: &Args) -> CliResult {
     use printqueue::serve::Client;
     use printqueue::telemetry::{names, AlertEngine, GaugeHistory};
@@ -2335,6 +2451,44 @@ fn watch_text(
             "  rtt {rtt_samples} samples, {rtt_queries} queries, worst-port p50 {:.3}ms p99 {:.3}ms",
             p50 as f64 / 1e6,
             p99 as f64 / 1e6,
+        );
+    }
+    // Hotspot row, present only when the backend profiles itself
+    // (`--prof` on serve/router): the top self-time scope and the worst
+    // lock-wait p99s, straight off the exported `pq_prof_*` series.
+    let mut top_scope: Option<(&str, u64)> = None;
+    let mut lock_p99: Vec<(&str, u64)> = Vec::new();
+    for (key, value) in server.iter() {
+        match (key.name.as_str(), value) {
+            (telemetry::names::PROF_SCOPE_SELF_NS, MetricValue::Counter(v)) => {
+                let name = key.labels.first().map(|(_, v)| v.as_str()).unwrap_or("?");
+                if top_scope.is_none_or(|(_, best)| *v > best) {
+                    top_scope = Some((name, *v));
+                }
+            }
+            (telemetry::names::LOCK_WAIT_NS, MetricValue::Histogram(h)) => {
+                let name = key.labels.first().map(|(_, v)| v.as_str()).unwrap_or("?");
+                lock_p99.push((name, h.p99()));
+            }
+            _ => {}
+        }
+    }
+    if let Some((name, self_ns)) = top_scope {
+        lock_p99.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let locks: Vec<String> = lock_p99
+            .iter()
+            .take(2)
+            .map(|(l, p99)| format!("{l} wait p99 {}ns", p99))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  hotspot {name} self {:.3}ms{}",
+            self_ns as f64 / 1e6,
+            if locks.is_empty() {
+                String::new()
+            } else {
+                format!("; locks: {}", locks.join(", "))
+            }
         );
     }
     let statuses = engine.statuses();

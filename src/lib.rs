@@ -82,6 +82,7 @@
 pub use pq_baselines as baselines;
 pub use pq_core as core;
 pub use pq_packet as packet;
+pub use pq_prof as prof;
 pub use pq_router as router;
 pub use pq_rtt as rtt;
 pub use pq_serve as serve;

@@ -1,0 +1,256 @@
+//! End-to-end tests for the continuous profiler: a routed `pqsim prof`
+//! dump must be byte-identical to the client-side merge of the
+//! per-backend dumps, the hot serving scopes must show up with real
+//! self-time, and the named-lock histograms must be queryable off the
+//! daemon's Prometheus exposition.
+//!
+//! The profiler is process-global, so every test serializes on
+//! `pq_prof`'s test lock and keeps the stack sampler off — with idle
+//! worker threads and no sampler, nothing mutates the profile between
+//! the three dump fetches a byte-identity comparison needs.
+
+use printqueue::core::control::{AnalysisProgram, ControlConfig};
+use printqueue::core::params::TimeWindowConfig;
+use printqueue::packet::FlowId;
+use printqueue::prof;
+use printqueue::router::{BackendSpec, Router, RouterConfig, RouterHandle};
+use printqueue::serve::{Client, Request, ServeConfig, Server, ServerHandle, Sources};
+use printqueue::store::{ship_archive, SegmentPolicy, SharedStoreWriter, StoreWriter};
+use printqueue::telemetry::{parse_prometheus, Telemetry};
+use std::path::PathBuf;
+
+const PORTS: [u16; 2] = [0, 3];
+
+fn tw_small() -> TimeWindowConfig {
+    TimeWindowConfig::new(0, 1, 6, 2)
+}
+
+fn tiny_segments() -> SegmentPolicy {
+    SegmentPolicy {
+        checkpoints_per_segment: 4,
+        max_segment_bytes: 1 << 20,
+        retain_segments_per_port: None,
+    }
+}
+
+/// Build a small archive; running the control loop here also exercises
+/// the instrumented freeze gate and store-writer locks, so the dumps
+/// and expositions below have real lock data to show.
+fn build_archive(until: u64) -> Vec<u8> {
+    let tw = tw_small();
+    let writer = StoreWriter::new(Vec::new(), tw, tiny_segments()).unwrap();
+    let handle = SharedStoreWriter::new(writer);
+    let mut ap = AnalysisProgram::new(
+        tw,
+        ControlConfig {
+            poll_period: 64,
+            max_snapshots: 10_000,
+        },
+        &PORTS,
+        32,
+        1,
+        1,
+    );
+    ap.set_spill(Box::new(handle.clone()));
+    for t in 0..until {
+        for (i, &port) in PORTS.iter().enumerate() {
+            if t % (i as u64 + 2) == 0 {
+                ap.record_dequeue(port, FlowId((t % 7) as u32 + i as u32 * 100), t);
+            }
+        }
+        if t % 64 == 0 {
+            ap.on_tick(t);
+        }
+    }
+    handle.finish().unwrap()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pq_prof_e2e_{}_{name}.pqa", std::process::id()))
+}
+
+fn spawn_fleet(
+    bytes: &[u8],
+    n: usize,
+    tag: &str,
+) -> (Vec<ServerHandle>, Vec<BackendSpec>, Vec<PathBuf>) {
+    let src = temp_path(&format!("{tag}_src"));
+    std::fs::write(&src, bytes).unwrap();
+    let mut handles = Vec::new();
+    let mut specs = Vec::new();
+    let mut paths = vec![src.clone()];
+    for i in 0..n {
+        let replica = temp_path(&format!("{tag}_replica{i}"));
+        ship_archive(&src, &replica).unwrap();
+        let config = ServeConfig {
+            shard: format!("shard-{i}"),
+            prof: true,
+            prof_sample_ms: 0, // sampler off: dump stability is the point
+            cache_bytes: 0,    // every replay decodes, so segment_decode records
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(
+            ("127.0.0.1", 0),
+            Sources {
+                live: None,
+                archive: Some(replica.clone()),
+                rtt: Vec::new(),
+            },
+            config,
+            &Telemetry::new(),
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        specs.push(BackendSpec {
+            name: format!("shard-{i}"),
+            addr: handle.addr().to_string(),
+        });
+        handles.push(handle);
+        paths.push(replica);
+    }
+    (handles, specs, paths)
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn routed_dump_is_byte_identical_to_merged_backend_dumps() {
+    let _guard = prof::test_lock();
+    prof::reset();
+    let bytes = build_archive(2_000);
+    let (backends, specs, paths) = spawn_fleet(&bytes, 2, "ident");
+    let plane = Telemetry::new();
+    let router = Router::bind(("127.0.0.1", 0), specs, RouterConfig::default(), &plane).unwrap();
+    let router: RouterHandle = router.spawn().unwrap();
+
+    // Drive load through the router so the serving scopes record.
+    let mut client = Client::connect(router.addr()).unwrap();
+    for round in 0..5u64 {
+        for &port in &PORTS {
+            client
+                .query(Request::Replay {
+                    port,
+                    from: round * 300,
+                    to: round * 300 + 600,
+                    d: 1,
+                })
+                .unwrap();
+        }
+    }
+
+    // Workers are idle now and the sampler never ran, so the process
+    // profile is frozen across these three fetches.
+    let mut dumps = Vec::new();
+    for b in &backends {
+        let mut c = Client::connect(b.addr()).unwrap();
+        dumps.push(c.profile_dump_bytes().unwrap());
+    }
+    let routed = client.profile_dump_bytes().unwrap();
+
+    let mut merged = prof::ProfileReport::default();
+    for d in &dumps {
+        merged.merge(&prof::ProfileReport::decode(d).unwrap());
+    }
+    assert_eq!(
+        routed,
+        merged.encode(),
+        "routed dump must be the canonical encoding of the per-backend merge"
+    );
+
+    // The hot serving scopes are present with real time behind them.
+    let report = prof::ProfileReport::decode(&routed).unwrap();
+    for want in ["serve/worker_exec", "store/segment_decode"] {
+        let scope = report
+            .scopes
+            .iter()
+            .find(|s| s.name == want)
+            .unwrap_or_else(|| panic!("scope {want} missing from routed dump"));
+        assert!(scope.calls > 0, "{want} recorded no calls");
+        assert!(scope.self_ns() > 0, "{want} recorded no self time");
+    }
+    // The named locks the archive build exercised travel in the dump.
+    for want in ["freeze", "store_writer"] {
+        let lock = report
+            .locks
+            .iter()
+            .find(|l| l.name == want)
+            .unwrap_or_else(|| panic!("lock {want} missing from routed dump"));
+        assert!(lock.acquisitions > 0, "{want} recorded no acquisitions");
+        assert!(lock.wait.is_consistent(), "{want} wait histogram corrupt");
+        assert!(lock.hold.is_consistent(), "{want} hold histogram corrupt");
+    }
+
+    drop(client);
+    router.shutdown().unwrap();
+    for b in backends {
+        b.shutdown().unwrap();
+    }
+    cleanup(&paths);
+    prof::set_enabled(false);
+    prof::reset();
+}
+
+#[test]
+fn prof_series_ride_the_prometheus_exposition() {
+    let _guard = prof::test_lock();
+    prof::reset();
+    let bytes = build_archive(1_000);
+    let (backends, _specs, paths) = spawn_fleet(&bytes, 1, "prom");
+
+    let mut client = Client::connect(backends[0].addr()).unwrap();
+    client
+        .query(Request::Replay {
+            port: 0,
+            from: 0,
+            to: 900,
+            d: 1,
+        })
+        .unwrap();
+    let text = client.metrics().unwrap();
+    let metrics = parse_prometheus(&text).unwrap();
+    let has = |name: &str, label: Option<(&str, &str)>| {
+        metrics.iter().any(|m| {
+            m.name == name
+                && label.is_none_or(|(k, v)| m.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+        })
+    };
+    // The lock-wait histograms the freeze-and-read path and the store
+    // writer publish, queryable per named lock (histogram samples keep
+    // their `_bucket`/`_sum`/`_count` suffixes in the exposition).
+    assert!(
+        has("pq_lock_wait_ns_count", Some(("lock", "freeze"))),
+        "freeze lock wait histogram missing:\n{text}"
+    );
+    assert!(
+        has("pq_lock_wait_ns_count", Some(("lock", "store_writer"))),
+        "store_writer lock wait histogram missing:\n{text}"
+    );
+    assert!(
+        has("pq_lock_hold_ns_count", Some(("lock", "freeze"))),
+        "freeze lock hold histogram missing"
+    );
+    assert!(
+        has("pq_lock_acquisitions_total", Some(("lock", "freeze"))),
+        "freeze lock acquisition counter missing"
+    );
+    // Scope self-time counters, labeled by scope.
+    assert!(
+        has(
+            "pq_prof_scope_self_ns_total",
+            Some(("scope", "serve/worker_exec"))
+        ),
+        "worker_exec self-time series missing:\n{text}"
+    );
+
+    drop(client);
+    for b in backends {
+        b.shutdown().unwrap();
+    }
+    cleanup(&paths);
+    prof::set_enabled(false);
+    prof::reset();
+}
